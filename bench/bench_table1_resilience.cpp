@@ -1,0 +1,144 @@
+// Experiment T1 — Table 1 of the paper: fault-tolerance of Byzantine
+// agreement under different model assumptions, with this paper's row
+// ("async + signatures + RDMA non-equivocation → 2f+1") reproduced
+// *executably*: we run Fast & Robust / Robust Backup at and around the
+// n = 2fP+1 bound with fP actively Byzantine processes and check
+// agreement + termination; and we reproduce the crash rows (n ≥ fP+1 with
+// memory, n ≥ 2fP+1 messages-only) the same way.
+//
+// Rows the original table states from prior work (synchronous models,
+// 3f+1 bounds) are printed as context; rows marked "measured" ran here.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.hpp"
+#include "src/harness/table.hpp"
+
+using namespace mnm;
+using namespace mnm::harness;
+
+namespace {
+
+std::string ok(bool b) { return b ? "yes" : "NO"; }
+
+void known_results() {
+  std::printf("\n== Table 1 (paper): known Byzantine agreement bounds ==\n");
+  Table t({"work", "synchrony", "signatures", "non-equiv", "strong validity",
+           "resiliency"});
+  t.row({"LSP [39]", "sync", "yes", "no", "yes", "2f+1"});
+  t.row({"LSP [39]", "sync", "no", "no", "yes", "3f+1"});
+  t.row({"[4,40]", "async", "yes", "yes", "yes", "3f+1"});
+  t.row({"Clement et al. [20]", "async", "yes", "no", "no", "3f+1"});
+  t.row({"Clement et al. [20]", "async", "no", "yes", "no", "3f+1"});
+  t.row({"Clement et al. [20]", "async", "yes", "yes", "no", "2f+1"});
+  t.row({"THIS PAPER", "async", "yes", "no (RDMA)", "no", "2f+1"});
+  t.print();
+}
+
+/// Run one Byzantine configuration; returns (agreement, termination).
+std::pair<bool, bool> byz_run(Algorithm algo, std::size_t n, std::size_t f,
+                              ByzantineStrategy strategy, std::uint64_t seed) {
+  ClusterConfig c;
+  c.algo = algo;
+  c.n = n;
+  c.m = 3;
+  c.seed = seed;
+  for (std::size_t i = 0; i < f; ++i) {
+    // Faulty processes are the highest ids (p1 stays correct so the fast
+    // path is exercised; the silent-leader case is bench_failover's job).
+    c.faults.byzantine[static_cast<ProcessId>(n - i)] = strategy;
+  }
+  const RunReport r = run_cluster(c);
+  return {r.agreement, r.termination};
+}
+
+void measured_byzantine() {
+  std::printf("\n== T1 (measured): this paper's row, executed ==\n");
+  Table t({"algorithm", "n", "fP (Byzantine)", "strategy", "agreement",
+           "termination"});
+  const std::vector<std::pair<ByzantineStrategy, const char*>> strategies = {
+      {ByzantineStrategy::kSilent, "silent"},
+      {ByzantineStrategy::kGarbage, "garbage"},
+      {ByzantineStrategy::kNebEquivocate, "NEB equivocate"},
+  };
+  for (const auto& [strategy, name] : strategies) {
+    for (const auto& [n, f] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {3, 1}, {5, 2}, {7, 3}}) {
+      const auto [agree, term] =
+          byz_run(Algorithm::kFastRobust, n, f, strategy, 1);
+      t.row({"Fast & Robust", std::to_string(n), std::to_string(f), name,
+             ok(agree), ok(term)});
+    }
+  }
+  for (const auto& [n, f] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {3, 1}, {5, 2}}) {
+    const auto [agree, term] = byz_run(Algorithm::kRobustBackup, n, f,
+                                       ByzantineStrategy::kSilent, 1);
+    t.row({"Robust Backup(Paxos)", std::to_string(n), std::to_string(f),
+           "silent", ok(agree), ok(term)});
+  }
+  t.print();
+  std::printf("(n = 2f+1 in every row: the paper's resiliency bound, with f\n"
+              " processes actively faulty. 'NO' anywhere would falsify it.)\n");
+}
+
+void measured_crash() {
+  std::printf("\n== T1b (measured): crash-model resilience bounds ==\n");
+  Table t({"algorithm", "n", "crashed", "m", "crashed mem", "agreement",
+           "termination"});
+
+  // n >= fP+1 with memories: survive all-but-one process.
+  for (std::size_t n : {2u, 3u, 5u}) {
+    ClusterConfig c;
+    c.algo = Algorithm::kProtectedMemoryPaxos;
+    c.n = n;
+    c.m = 3;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      c.faults.process_crashes[static_cast<ProcessId>(i + 1)] = 0;
+    }
+    const RunReport r = run_cluster(c);
+    t.row({"Protected Memory Paxos", std::to_string(n),
+           std::to_string(n - 1) + " (all but one)", "3", "0",
+           ok(r.agreement), ok(r.termination)});
+  }
+
+  // Messages only: minority crashes survive, majority blocks (safety only).
+  {
+    ClusterConfig c;
+    c.algo = Algorithm::kPaxos;
+    c.n = 5;
+    c.m = 0;
+    c.faults.process_crashes[4] = 0;
+    c.faults.process_crashes[5] = 0;
+    const RunReport r = run_cluster(c);
+    t.row({"Paxos (messages)", "5", "2 (minority)", "0", "0", ok(r.agreement),
+           ok(r.termination)});
+  }
+  {
+    ClusterConfig c;
+    c.algo = Algorithm::kPaxos;
+    c.n = 5;
+    c.m = 0;
+    c.horizon = 4000;
+    for (ProcessId p : {3u, 4u, 5u}) c.faults.process_crashes[p] = 0;
+    const RunReport r = run_cluster(c);
+    t.row({"Paxos (messages)", "5", "3 (majority!)", "0", "0",
+           ok(r.agreement), std::string(r.termination ? "yes" : "no (expected)")});
+  }
+  t.print();
+  std::printf("(Protected Memory Paxos keeps terminating with a single live\n"
+              " process — message-passing Paxos cannot: the resilience gap\n"
+              " the paper attributes to shared memory, §1.)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_table1_resilience: Table 1 reproduction\n");
+  known_results();
+  measured_byzantine();
+  measured_crash();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Byzantine ledger: weak Byzantine agreement with n = 2f+1 on an asset
+// transfer, under three adversaries.
+//
+// Three banks must agree on which of two conflicting transfer orders to
+// execute (a classic double-spend setting). With f = 1 Byzantine
+// participant out of n = 3, message-passing BFT would need n ≥ 3f+1 = 4
+// banks — the paper's Fast & Robust does it with 3 (plus 3 fail-prone
+// memories), deciding in 2 delays when nobody misbehaves.
+//
+// Scenarios: (a) everyone honest — fast-path decision; (b) a silent
+// Byzantine bank; (c) a Byzantine *leader* that plants conflicting signed
+// orders on different memories (the equivocation attack the paper's
+// dynamic permissions + unanimity proofs suppress).
+
+#include <cstdio>
+
+#include "src/harness/cluster.hpp"
+
+using namespace mnm;
+using namespace mnm::harness;
+
+namespace {
+
+void run_scenario(const char* title, ClusterConfig config) {
+  std::printf("== %s ==\n", title);
+  const RunReport r = run_cluster(config);
+  for (const auto& p : r.processes) {
+    if (p.byzantine) {
+      std::printf("  bank%u: BYZANTINE\n", p.id);
+    } else if (p.decided) {
+      std::printf("  bank%u: committed '%s' at t=%llu%s\n", p.id,
+                  p.decision.c_str(),
+                  static_cast<unsigned long long>(p.decided_at),
+                  p.fast_path ? " (fast path)" : " (backup path)");
+    } else {
+      std::printf("  bank%u: no decision\n", p.id);
+    }
+  }
+  std::printf("  agreement among honest banks: %s; everyone settled: %s\n\n",
+              r.agreement ? "yes" : "NO — DOUBLE SPEND",
+              r.termination ? "yes" : "no");
+}
+
+ClusterConfig base() {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;   // 2f+1 with f=1 — below the classic 3f+1 bound
+  c.m = 3;   // 2fM+1 fail-prone memories
+  c.identical_inputs = false;  // each bank proposes its own order
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "byzantine_ledger: 3 banks, 1 may be Byzantine (n = 2f+1, §4)\n"
+      "each bank proposes its own transfer order; exactly one must win.\n\n");
+
+  run_scenario("scenario A: all banks honest", base());
+
+  {
+    ClusterConfig c = base();
+    c.faults.byzantine[3] = ByzantineStrategy::kSilent;
+    run_scenario("scenario B: bank3 Byzantine (silent)", c);
+  }
+  {
+    ClusterConfig c = base();
+    c.faults.byzantine[1] = ByzantineStrategy::kCqLeaderEquivocate;
+    run_scenario(
+        "scenario C: bank1 (the leader) equivocates across memories", c);
+  }
+  {
+    ClusterConfig c = base();
+    c.faults.byzantine[2] = ByzantineStrategy::kGarbage;
+    run_scenario("scenario D: bank2 floods garbage", c);
+  }
+
+  std::printf(
+      "Note: with plain message passing this would require 4 banks\n"
+      "(n >= 3f+1, [43]); RDMA's dynamic permissions + signatures get the\n"
+      "same guarantee from 3 (paper Theorem 4.9).\n");
+  return 0;
+}

@@ -1,0 +1,263 @@
+#include "src/core/aligned_paxos.hpp"
+
+#include "src/sim/fanout.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::core {
+
+namespace {
+std::string slot_name(ProcessId p) { return "pmp/slot/" + std::to_string(p); }
+}  // namespace
+
+AlignedPaxos::AlignedPaxos(sim::Executor& exec,
+                           std::vector<mem::MemoryIface*> memories,
+                           RegionId region, net::Network& net, Omega& omega,
+                           ProcessId self, AlignedPaxosConfig config)
+    : exec_(&exec),
+      memories_(std::move(memories)),
+      region_(region),
+      endpoint_(net, self),
+      omega_(&omega),
+      self_(self),
+      config_(config),
+      decision_gate_(exec) {}
+
+void AlignedPaxos::start() {
+  exec_->spawn(acceptor_loop());
+  exec_->spawn(decide_listener());
+}
+
+void AlignedPaxos::decide_locally(const Bytes& value) {
+  if (decided_value_.has_value()) return;
+  decided_value_ = value;
+  decided_at_ = exec_->now();
+  decision_gate_.open();
+}
+
+sim::Task<void> AlignedPaxos::decide_listener() {
+  auto& ch = endpoint_.channel(config_.decide_tag);
+  while (true) {
+    const net::Message m = co_await ch.recv();
+    decide_locally(m.payload);
+  }
+}
+
+sim::Task<void> AlignedPaxos::acceptor_loop() {
+  auto& ch = endpoint_.channel(config_.acceptor_tag);
+  while (true) {
+    const net::Message raw = co_await ch.recv();
+    const auto msg = PaxosMsg::decode(raw.payload);
+    if (!msg.has_value()) continue;
+    max_proposal_seen_ = std::max(max_proposal_seen_, msg->ballot);
+    if (msg->kind == PaxosKind::kPrepare) {
+      if (msg->ballot >= promised_) {
+        promised_ = msg->ballot;
+        endpoint_.send(raw.src, config_.acceptor_tag + 1,
+                       PaxosMsg{PaxosKind::kPromise, msg->ballot,
+                                acc_ballot_.value_or(0), acc_ballot_.has_value(),
+                                acc_value_}
+                           .encode());
+      } else {
+        endpoint_.send(raw.src, config_.acceptor_tag + 1,
+                       PaxosMsg{PaxosKind::kNack, msg->ballot, promised_, false, {}}
+                           .encode());
+      }
+    } else if (msg->kind == PaxosKind::kAccept) {
+      if (msg->ballot >= promised_) {
+        promised_ = msg->ballot;
+        acc_ballot_ = msg->ballot;
+        acc_value_ = msg->value;
+        endpoint_.send(raw.src, config_.acceptor_tag + 1,
+                       PaxosMsg{PaxosKind::kAccepted, msg->ballot, 0, false, {}}
+                           .encode());
+      } else {
+        endpoint_.send(raw.src, config_.acceptor_tag + 1,
+                       PaxosMsg{PaxosKind::kNack, msg->ballot, promised_, false, {}}
+                           .encode());
+      }
+    }
+  }
+}
+
+sim::Task<AlignedPaxos::Phase1Answer> AlignedPaxos::phase1_memory(
+    std::size_t idx, std::uint64_t prop_nr) {
+  mem::MemoryIface* m = memories_[idx];
+  Phase1Answer out;
+
+  const mem::Status grabbed = co_await m->change_permission(
+      self_, region_,
+      mem::Permission::exclusive_writer(self_, all_processes(config_.n)));
+  if (grabbed != mem::Status::kAck) co_return out;
+
+  PmpSlot own;
+  own.min_proposal = prop_nr;
+  const mem::Status wrote =
+      co_await m->write(self_, region_, slot_name(self_), own.encode());
+  if (wrote != mem::Status::kAck) co_return out;
+
+  sim::Fanout<mem::ReadResult> fanout(*exec_);
+  const auto all = all_processes(config_.n);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    fanout.add(i, m->read(self_, region_, slot_name(all[i])));
+  }
+  auto reads = co_await fanout.collect(all.size());
+  for (auto& [i, rr] : reads) {
+    if (!rr.ok()) co_return out;
+    const auto slot = PmpSlot::decode(rr.value);
+    if (!slot.has_value()) co_return out;
+    out.slots.push_back(*slot);
+  }
+  out.ok = true;
+  co_return out;
+}
+
+sim::Task<mem::Status> AlignedPaxos::phase2_memory(std::size_t idx,
+                                                   std::uint64_t prop_nr,
+                                                   Bytes value) {
+  PmpSlot s;
+  s.min_proposal = prop_nr;
+  s.acc_proposal = prop_nr;
+  s.has_value = true;
+  s.value = std::move(value);
+  co_return co_await memories_[idx]->write(self_, region_, slot_name(self_),
+                                           s.encode());
+}
+
+sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
+  const std::size_t n = config_.n;
+  const std::size_t agents = n + memories_.size();
+  const std::size_t quorum = majority(agents);
+
+  while (!decided()) {
+    while (!omega_->trusts(self_) && !decided()) {
+      co_await exec_->sleep(config_.poll);
+    }
+    if (decided()) break;
+
+    const std::uint64_t prop_nr =
+        (max_proposal_seen_ / n + 1) * n + (self_ - 1);
+    max_proposal_seen_ = prop_nr;
+    Bytes my_value = v;
+
+    // ---- Phase 1 against every agent (communicate1 / hearback1). ----
+    // Memory agents.
+    sim::Fanout<Phase1Answer> mem_fan(*exec_);
+    for (std::size_t i = 0; i < memories_.size(); ++i) {
+      mem_fan.add(i, phase1_memory(i, prop_nr));
+    }
+    // Process agents.
+    endpoint_.broadcast(config_.acceptor_tag,
+                        PaxosMsg{PaxosKind::kPrepare, prop_nr, 0, false, {}}
+                            .encode());
+
+    std::size_t responses = 0;
+    bool reject = false;
+    bool adopted = false;
+    std::uint64_t best_acc = 0;
+    const sim::Time deadline = exec_->now() + config_.round_timeout;
+
+    // Collect from both sources until a combined majority answers,
+    // alternating with a short poll so neither source starves the other.
+    auto& proc_ch = endpoint_.channel(config_.acceptor_tag + 1);
+    std::size_t mem_collected = 0;
+    while (responses < quorum && !reject) {
+      if (exec_->now() >= deadline) break;
+      if (mem_collected < memories_.size()) {
+        auto batch = co_await mem_fan.collect_until(
+            1, std::min(deadline, exec_->now() + config_.poll));
+        if (!batch.empty()) {
+          ++mem_collected;
+          ++responses;
+          auto& [idx, answer] = batch[0];
+          if (!answer.ok) {
+            reject = true;
+            break;
+          }
+          for (const auto& slot : answer.slots) {
+            max_proposal_seen_ = std::max(max_proposal_seen_, slot.min_proposal);
+            if (slot.min_proposal > prop_nr) reject = true;
+            if (slot.has_value && (!adopted || slot.acc_proposal > best_acc)) {
+              adopted = true;
+              best_acc = slot.acc_proposal;
+              my_value = slot.value;
+            }
+          }
+          continue;
+        }
+      }
+      auto reply = co_await proc_ch.recv_until(
+          std::min(deadline, exec_->now() + config_.poll));
+      if (!reply.has_value()) continue;
+      const auto msg = PaxosMsg::decode(reply->payload);
+      if (!msg.has_value() || msg->ballot != prop_nr) continue;
+      if (msg->kind == PaxosKind::kNack) {
+        max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
+        reject = true;
+        break;
+      }
+      if (msg->kind != PaxosKind::kPromise) continue;
+      ++responses;
+      if (msg->has_value && (!adopted || msg->acc_ballot > best_acc)) {
+        adopted = true;
+        best_acc = msg->acc_ballot;
+        my_value = msg->value;
+      }
+    }
+    if (reject || responses < quorum) {
+      co_await exec_->sleep(config_.retry_backoff);
+      continue;
+    }
+
+    // ---- Phase 2 against every agent (communicate2 / analyze2). ----
+    sim::Fanout<mem::Status> mem2_fan(*exec_);
+    for (std::size_t i = 0; i < memories_.size(); ++i) {
+      mem2_fan.add(i, phase2_memory(i, prop_nr, my_value));
+    }
+    endpoint_.broadcast(config_.acceptor_tag,
+                        PaxosMsg{PaxosKind::kAccept, prop_nr, 0, true, my_value}
+                            .encode());
+
+    std::size_t acks = 0;
+    bool reject2 = false;
+    std::size_t mem2_collected = 0;
+    const sim::Time deadline2 = exec_->now() + config_.round_timeout;
+    while (acks < quorum && !reject2) {
+      if (exec_->now() >= deadline2) break;
+      if (mem2_collected < memories_.size()) {
+        auto batch = co_await mem2_fan.collect_until(
+            1, std::min(deadline2, exec_->now() + config_.poll));
+        if (!batch.empty()) {
+          ++mem2_collected;
+          if (batch[0].second == mem::Status::kAck) {
+            ++acks;
+          } else {
+            reject2 = true;
+          }
+          continue;
+        }
+      }
+      auto reply = co_await proc_ch.recv_until(
+          std::min(deadline2, exec_->now() + config_.poll));
+      if (!reply.has_value()) continue;
+      const auto msg = PaxosMsg::decode(reply->payload);
+      if (!msg.has_value() || msg->ballot != prop_nr) continue;
+      if (msg->kind == PaxosKind::kNack) {
+        max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
+        reject2 = true;
+        break;
+      }
+      if (msg->kind == PaxosKind::kAccepted) ++acks;
+    }
+    if (reject2 || acks < quorum) {
+      co_await exec_->sleep(config_.retry_backoff);
+      continue;
+    }
+
+    decide_locally(my_value);
+    endpoint_.broadcast(config_.decide_tag, my_value, /*include_self=*/false);
+  }
+
+  co_return decision();
+}
+
+}  // namespace mnm::core

@@ -1,0 +1,103 @@
+// Aligned Paxos (paper §5.2, Algorithms 9–15).
+//
+// Processes and memories are *equivalent agents*: consensus survives as long
+// as a majority of the combined set P ∪ M stays alive. The proposer runs the
+// two Paxos phases against every agent, translating each step per agent
+// kind (the communicate / hear-back / analyze factoring of Algorithm 9):
+//
+//   phase 1   process: send prepare(b), await promise    (Paxos acceptor)
+//             memory:  seize write permission, write (b, -, -) into own
+//                      slot, read all slots               (PMP phase 1)
+//   phase 2   process: send accept(b, v), await accepted
+//             memory:  write (b, b, v) into own slot; an acked write is the
+//                      memory's "accepted"
+//
+// Quorums are majorities of n + m, so any majority of agents — mixing
+// processes and memories freely — suffices. Compare bench_aligned: PMP dies
+// when a majority of *memories* is gone even with all processes alive;
+// Aligned Paxos keeps going.
+//
+// Memory layout reuses the PMP region/slot format ("pmp/..."); acceptor
+// messages reuse the Paxos wire format on a dedicated tag.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/core/omega.hpp"
+#include "src/core/paxos.hpp"
+#include "src/core/protected_memory_paxos.hpp"
+#include "src/mem/memory.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::core {
+
+struct AlignedPaxosConfig {
+  std::size_t n = 3;
+  /// Prepare/accept requests arrive on acceptor_tag; promise/accepted/nack
+  /// replies on acceptor_tag + 1. decide_tag must not collide with either.
+  net::MsgType acceptor_tag = 920;
+  net::MsgType decide_tag = 925;
+  sim::Time round_timeout = 40;
+  sim::Time poll = 1;
+  sim::Time retry_backoff = 8;
+};
+
+class AlignedPaxos {
+ public:
+  /// `region` is a PMP-style region (make_pmp_region), identical across
+  /// memories.
+  AlignedPaxos(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
+               RegionId region, net::Network& net, Omega& omega,
+               ProcessId self, AlignedPaxosConfig config);
+
+  /// Spawn the acceptor + decide listeners.
+  void start();
+
+  sim::Task<Bytes> propose(Bytes v);
+
+  bool decided() const { return decided_value_.has_value(); }
+  const Bytes& decision() const { return *decided_value_; }
+  sim::Time decided_at() const { return decided_at_; }
+
+ private:
+  /// One agent's phase-1 answer translated to the common language
+  /// (Algorithm 11/12): either a rejection or the accepted pairs it knows.
+  struct Phase1Answer {
+    bool ok = false;
+    std::vector<PmpSlot> slots;  // processes report one; memories report n
+  };
+
+  sim::Task<Phase1Answer> phase1_memory(std::size_t idx, std::uint64_t prop_nr);
+  sim::Task<mem::Status> phase2_memory(std::size_t idx, std::uint64_t prop_nr,
+                                       Bytes value);
+  sim::Task<void> acceptor_loop();
+  sim::Task<void> decide_listener();
+  void decide_locally(const Bytes& value);
+
+  sim::Executor* exec_;
+  std::vector<mem::MemoryIface*> memories_;
+  RegionId region_;
+  net::Endpoint endpoint_;
+  Omega* omega_;
+  ProcessId self_;
+  AlignedPaxosConfig config_;
+
+  // Acceptor state (for the process-agent role).
+  std::uint64_t promised_ = 0;
+  std::optional<std::uint64_t> acc_ballot_;
+  Bytes acc_value_;
+
+  std::uint64_t max_proposal_seen_ = 0;
+  std::optional<Bytes> decided_value_;
+  sim::Time decided_at_ = 0;
+  sim::Gate decision_gate_;
+};
+
+}  // namespace mnm::core

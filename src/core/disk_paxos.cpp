@@ -1,0 +1,185 @@
+#include "src/core/disk_paxos.hpp"
+
+#include "src/sim/fanout.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::core {
+
+Bytes DiskBlock::encode() const {
+  util::Writer w;
+  w.u64(mbal).u64(bal).boolean(has_value).bytes(value);
+  return std::move(w).take();
+}
+
+std::optional<DiskBlock> DiskBlock::decode(const Bytes& raw) {
+  if (util::is_bottom(raw)) return DiskBlock{};
+  try {
+    util::Reader r(raw);
+    DiskBlock b;
+    b.mbal = r.u64();
+    b.bal = r.u64();
+    b.has_value = r.boolean();
+    b.value = r.bytes();
+    r.expect_end();
+    return b;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+namespace {
+std::string block_name(ProcessId p) { return "dp/block/" + std::to_string(p); }
+}  // namespace
+
+DiskPaxos::DiskPaxos(sim::Executor& exec,
+                     std::vector<mem::MemoryIface*> memories, RegionId region,
+                     net::Network& net, Omega& omega, ProcessId self,
+                     DiskPaxosConfig config)
+    : exec_(&exec),
+      memories_(std::move(memories)),
+      region_(region),
+      endpoint_(net, self),
+      omega_(&omega),
+      self_(self),
+      config_(config),
+      decision_gate_(exec) {}
+
+void DiskPaxos::start() { exec_->spawn(decide_listener()); }
+
+void DiskPaxos::decide_locally(const Bytes& value) {
+  if (decided_value_.has_value()) return;
+  decided_value_ = value;
+  decided_at_ = exec_->now();
+  decision_gate_.open();
+}
+
+sim::Task<void> DiskPaxos::decide_listener() {
+  auto& ch = endpoint_.channel(config_.decide_tag);
+  while (true) {
+    const net::Message m = co_await ch.recv();
+    decide_locally(m.payload);
+  }
+}
+
+sim::Task<DiskPaxos::RoundResult> DiskPaxos::phase_at_memory(
+    std::size_t idx, DiskBlock own) {
+  mem::MemoryIface* m = memories_[idx];
+  RoundResult out;
+
+  const mem::Status wrote =
+      co_await m->write(self_, region_, block_name(self_), own.encode());
+  if (wrote != mem::Status::kAck) co_return out;
+
+  sim::Fanout<mem::ReadResult> fanout(*exec_);
+  const auto all = all_processes(config_.n);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    fanout.add(i, m->read(self_, region_, block_name(all[i])));
+  }
+  auto reads = co_await fanout.collect(all.size());
+  out.blocks.resize(all.size());
+  for (auto& [i, rr] : reads) {
+    if (!rr.ok()) co_return out;
+    const auto block = DiskBlock::decode(rr.value);
+    if (!block.has_value()) co_return out;
+    out.blocks[i] = *block;
+  }
+  out.ok = true;
+  co_return out;
+}
+
+sim::Task<Bytes> DiskPaxos::propose(Bytes v) {
+  const std::size_t m = memories_.size();
+  const std::size_t quorum = majority(m);
+  const auto all = all_processes(config_.n);
+
+  while (!decided()) {
+    while (!omega_->trusts(self_) && !decided()) {
+      co_await exec_->sleep(config_.poll);
+    }
+    if (decided()) break;
+
+    std::uint64_t mbal;
+    Bytes my_value = v;
+
+    const bool fast = (self_ == kLeaderP1 && first_attempt_);
+    first_attempt_ = false;
+    if (fast) {
+      // p1's implicit phase 1 at ballot 0: blocks are all ⊥ initially, so no
+      // value adoption is needed. Unlike Protected Memory Paxos, Disk Paxos
+      // must still pay the verifying read in phase 2 below.
+      mbal = 0;
+    } else {
+      mbal = (max_mbal_seen_ / config_.n + 1) * config_.n + (self_ - 1);
+      max_mbal_seen_ = mbal;
+
+      // Phase 1: announce mbal, read everyone's blocks from a majority.
+      DiskBlock own;
+      own.mbal = mbal;
+      sim::Fanout<RoundResult> fanout(*exec_);
+      for (std::size_t i = 0; i < m; ++i) fanout.add(i, phase_at_memory(i, own));
+      auto results = co_await fanout.collect(quorum);
+
+      bool restart = false;
+      std::uint64_t best_bal = 0;
+      bool adopted = false;
+      for (auto& [idx, r] : results) {
+        if (!r.ok) {
+          restart = true;
+          break;
+        }
+        for (std::size_t i = 0; i < r.blocks.size(); ++i) {
+          const DiskBlock& b = r.blocks[i];
+          max_mbal_seen_ = std::max(max_mbal_seen_, b.mbal);
+          if (all[i] != self_ && b.mbal > mbal) restart = true;
+          if (b.has_value && (!adopted || b.bal > best_bal)) {
+            adopted = true;
+            best_bal = b.bal;
+            my_value = b.value;
+          }
+        }
+        if (restart) break;
+      }
+      if (restart) {
+        co_await exec_->sleep(config_.retry_backoff);
+        continue;
+      }
+    }
+
+    // Phase 2: write the chosen value, then *verify* by re-reading all
+    // blocks — with static permissions an acked write proves nothing about
+    // contention, so the extra read (2 more delays) is unavoidable (§6).
+    DiskBlock commit;
+    commit.mbal = mbal;
+    commit.bal = mbal;
+    commit.has_value = true;
+    commit.value = my_value;
+    sim::Fanout<RoundResult> fanout(*exec_);
+    for (std::size_t i = 0; i < m; ++i) fanout.add(i, phase_at_memory(i, commit));
+    auto results = co_await fanout.collect(quorum);
+
+    bool restart = false;
+    for (auto& [idx, r] : results) {
+      if (!r.ok) {
+        restart = true;
+        break;
+      }
+      for (std::size_t i = 0; i < r.blocks.size(); ++i) {
+        const DiskBlock& b = r.blocks[i];
+        max_mbal_seen_ = std::max(max_mbal_seen_, b.mbal);
+        if (all[i] != self_ && b.mbal > mbal) restart = true;
+      }
+      if (restart) break;
+    }
+    if (restart) {
+      co_await exec_->sleep(config_.retry_backoff);
+      continue;
+    }
+
+    decide_locally(my_value);
+    endpoint_.broadcast(config_.decide_tag, my_value, /*include_self=*/false);
+  }
+
+  co_return decision();
+}
+
+}  // namespace mnm::core

@@ -1,0 +1,102 @@
+// Disk Paxos (Gafni & Lamport [28]) — the static-permission baseline.
+//
+// Memory-only consensus with n ≥ fP+1 processes and m ≥ 2fM+1 memories, but
+// *no* dynamic permissions: every memory exposes a single region that always
+// permits all processes to read and write (the paper's "disk model", §3).
+// Matching the paper's framing (§1, §6), a leader here cannot know its
+// phase-2 write was uncontended, so after writing it must re-read all blocks
+// to check that no higher ballot appeared — the verifying read that
+// Protected Memory Paxos eliminates with permissions. Common case:
+//
+//   write block (2 delays) + verifying read (2 delays) = 4 delays,
+//
+// even when p1 skips phase 1 on its first attempt. Theorem 6.1 shows no
+// static-permission shared-memory algorithm can do better than this 2-op
+// structure (no 2-deciding algorithm exists); bench_lower_bound measures the
+// gap.
+//
+// Registers: "dp/block/<p>" holds p's block (mbal, bal, value) — Disk Paxos's
+// dblock — replicated across the m memories by direct per-memory writes.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/core/omega.hpp"
+#include "src/mem/memory.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::core {
+
+/// Create the single open, static region of the disk model on one memory.
+template <typename MemoryT>
+RegionId make_disk_region(MemoryT& memory, std::size_t n) {
+  return memory.create_region({"dp/"},
+                              mem::Permission::open(all_processes(n)),
+                              mem::static_permissions());
+}
+
+struct DiskBlock {
+  std::uint64_t mbal = 0;  // ballot being attempted
+  std::uint64_t bal = 0;   // ballot of the accepted value
+  bool has_value = false;
+  Bytes value;
+
+  Bytes encode() const;
+  static std::optional<DiskBlock> decode(const Bytes& raw);
+};
+
+struct DiskPaxosConfig {
+  std::size_t n = 2;
+  net::MsgType decide_tag = 910;
+  sim::Time poll = 1;
+  sim::Time retry_backoff = 8;
+};
+
+class DiskPaxos {
+ public:
+  DiskPaxos(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
+            RegionId region, net::Network& net, Omega& omega, ProcessId self,
+            DiskPaxosConfig config);
+
+  void start();
+  sim::Task<Bytes> propose(Bytes v);
+
+  bool decided() const { return decided_value_.has_value(); }
+  const Bytes& decision() const { return *decided_value_; }
+  sim::Time decided_at() const { return decided_at_; }
+
+ private:
+  struct RoundResult {
+    bool ok = false;                 // no higher mbal seen
+    std::vector<DiskBlock> blocks;   // all blocks at this memory
+  };
+
+  /// Write own block then read all blocks at memory `idx` (one Disk Paxos
+  /// "phase" at one disk).
+  sim::Task<RoundResult> phase_at_memory(std::size_t idx, DiskBlock own);
+  sim::Task<void> decide_listener();
+  void decide_locally(const Bytes& value);
+
+  sim::Executor* exec_;
+  std::vector<mem::MemoryIface*> memories_;
+  RegionId region_;
+  net::Endpoint endpoint_;
+  Omega* omega_;
+  ProcessId self_;
+  DiskPaxosConfig config_;
+
+  std::uint64_t max_mbal_seen_ = 0;
+  bool first_attempt_ = true;
+  std::optional<Bytes> decided_value_;
+  sim::Time decided_at_ = 0;
+  sim::Gate decision_gate_;
+};
+
+}  // namespace mnm::core

@@ -1,0 +1,84 @@
+#include "src/core/fast_robust.hpp"
+
+namespace mnm::core {
+
+PriorityFn fast_robust_priority(const crypto::KeyStore& keystore, std::size_t n,
+                                ProcessId leader) {
+  return [&keystore, n, leader](const PrioInput& input) -> int {
+    // T: contains a correct unanimity proof *for this value*.
+    LeaderBlob lb;
+    if (verify_unanimity_proof(keystore, n, leader, input.proof, &lb) &&
+        lb.value == input.value) {
+      return 2;
+    }
+    // M: contains the leader's signature over the value.
+    if (!input.leader_sig.empty()) {
+      try {
+        util::Reader r(input.leader_sig);
+        const crypto::Signature sig = crypto::Signature::decode(r);
+        r.expect_end();
+        if (keystore.valid_from(leader, cq_value_signing_bytes(input.value), sig)) {
+          return 1;
+        }
+      } catch (const util::SerdeError&) {
+        // fall through to B
+      }
+    }
+    return 0;  // B
+  };
+}
+
+FastRobustProcess::FastRobustProcess(sim::Executor& exec,
+                                     std::vector<mem::MemoryIface*> memories,
+                                     CheapQuorumRegions cq_regions,
+                                     NebSlots& neb_slots,
+                                     const crypto::KeyStore& keystore,
+                                     crypto::Signer signer, Omega& omega,
+                                     FastRobustConfig config)
+    : config_(config),
+      cheap_(exec, std::move(memories), cq_regions, keystore, signer,
+             config.cheap),
+      neb_(exec, neb_slots, keystore, signer, config.neb),
+      trusted_(exec, neb_, keystore, signer, trusted::TrustedConfig{config.n},
+               paxos_validator(keystore, config.n)),
+      mux_(exec, trusted_),
+      paxos_(exec, mux_.sub(kMuxPaxos), omega, config.paxos),
+      preferential_(exec, mux_.sub(kMuxSetup), paxos_,
+                    PreferentialPaxosConfig{config.n, config.f},
+                    fast_robust_priority(keystore, config.n, config.cheap.leader)) {}
+
+void FastRobustProcess::start() {
+  neb_.start();
+  trusted_.start();
+  mux_.start();
+  paxos_.start();
+}
+
+sim::Task<FastRobustOutcome> FastRobustProcess::propose(Bytes v) {
+  // Fast path.
+  const CqOutcome cq = co_await cheap_.propose(std::move(v));
+
+  // Backup path — joined unconditionally (Figure 6): the abort (or fast
+  // decision, for liveness of the others) becomes this process's
+  // Preferential Paxos input with Definition 3 priorities computed by
+  // verification at each receiver.
+  PrioInput input;
+  input.value = cq.value;
+  input.proof = cq.proof;
+  input.leader_sig = cq.leader_sig;
+  const PrioInput backup = co_await preferential_.propose(std::move(input));
+
+  FastRobustOutcome out;
+  if (cq.decided) {
+    out.value = cq.value;
+    out.fast = true;
+    out.decided_at = cq.at;
+  } else {
+    out.value = backup.value;
+    out.fast = false;
+    out.decided_at = paxos_.decided_at();
+  }
+  co_return out;
+}
+
+}  // namespace mnm::core

@@ -1,0 +1,79 @@
+// Fast & Robust (paper §4.3, Theorem 4.9, Figure 6).
+//
+// The composition: run Cheap Quorum; on abort, feed each process's abort
+// value — prioritized per Definition 3 — into Preferential Paxos, whose
+// embedded consensus is Robust Backup(Paxos). The Composition Lemma (4.8)
+// guarantees that a value decided on the fast path is the only value the
+// backup can decide:
+//
+//   T (priority 2): abort values carrying a correct unanimity proof
+//   M (priority 1): abort values signed by the leader p1
+//   B (priority 0): everything else
+//
+// Every process joins the backup phase regardless of whether it decided on
+// the fast path (a fast decider keeps its fast decision; its participation
+// keeps the backup live for the others). Weak Byzantine agreement with
+// n ≥ 2fP+1, m ≥ 2fM+1; 2-deciding in the common case.
+
+#pragma once
+
+#include <memory>
+
+#include "src/core/cheap_quorum.hpp"
+#include "src/core/nonequiv_broadcast.hpp"
+#include "src/core/omega.hpp"
+#include "src/core/paxos.hpp"
+#include "src/core/paxos_validator.hpp"
+#include "src/core/preferential_paxos.hpp"
+#include "src/core/transport_mux.hpp"
+#include "src/core/trusted_messaging.hpp"
+
+namespace mnm::core {
+
+/// The verifying priority function of Definition 3.
+PriorityFn fast_robust_priority(const crypto::KeyStore& keystore, std::size_t n,
+                                ProcessId leader = kLeaderP1);
+
+struct FastRobustConfig {
+  std::size_t n = 3;
+  std::size_t f = 1;  // fP; requires n >= 2f+1
+  CheapQuorumConfig cheap{};
+  NebConfig neb{};
+  PaxosConfig paxos{};
+};
+
+struct FastRobustOutcome {
+  Bytes value;
+  bool fast = false;        // decided on the Cheap Quorum path
+  sim::Time decided_at = 0; // virtual time of this process's decision
+};
+
+/// One process's full Fast & Robust stack.
+class FastRobustProcess {
+ public:
+  FastRobustProcess(sim::Executor& exec,
+                    std::vector<mem::MemoryIface*> memories,
+                    CheapQuorumRegions cq_regions, NebSlots& neb_slots,
+                    const crypto::KeyStore& keystore, crypto::Signer signer,
+                    Omega& omega, FastRobustConfig config);
+
+  void start();
+
+  sim::Task<FastRobustOutcome> propose(Bytes v);
+
+  CheapQuorum& cheap_quorum() { return cheap_; }
+  Paxos& backup_paxos() { return paxos_; }
+  trusted::TrustedTransport& trusted_transport() { return trusted_; }
+  NonEquivBroadcast& neb() { return neb_; }
+
+ private:
+  FastRobustConfig config_;
+  CheapQuorum cheap_;
+  NonEquivBroadcast neb_;
+  trusted::TrustedTransport trusted_;
+  TransportMux mux_;
+  Paxos paxos_;
+  PreferentialPaxos preferential_;
+};
+
+}  // namespace mnm::core

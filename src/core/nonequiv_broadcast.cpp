@@ -1,0 +1,143 @@
+#include "src/core/nonequiv_broadcast.hpp"
+
+#include <cassert>
+
+#include "src/sim/fanout.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::core {
+
+NebSlots::NebSlots(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
+                   std::map<ProcessId, RegionId> owner_regions,
+                   std::string prefix)
+    : exec_(&exec),
+      memories_(std::move(memories)),
+      owner_regions_(std::move(owner_regions)),
+      prefix_(std::move(prefix)) {}
+
+swmr::ReplicatedRegister& NebSlots::slot(ProcessId owner, std::uint64_t k,
+                                         ProcessId broadcaster) {
+  const std::string name = prefix_ + "/" + std::to_string(owner) + "/" +
+                           std::to_string(k) + "/" + std::to_string(broadcaster);
+  auto it = cache_.find(name);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(name, std::make_unique<swmr::ReplicatedRegister>(
+                                *exec_, memories_, owner_regions_.at(owner), name))
+             .first;
+  }
+  return *it->second;
+}
+
+Bytes neb_signing_bytes(std::uint64_t k, const Bytes& message) {
+  util::Writer w;
+  w.str("neb").u64(k).raw(crypto::digest_bytes(crypto::sha256(message)));
+  return std::move(w).take();
+}
+
+Bytes encode_neb_slot(std::uint64_t k, const Bytes& message,
+                      const crypto::Signature& sig) {
+  util::Writer w;
+  w.u64(k).bytes(message);
+  sig.encode(w);
+  return std::move(w).take();
+}
+
+std::optional<NebSlotContent> decode_neb_slot(const Bytes& raw) {
+  try {
+    util::Reader r(raw);
+    NebSlotContent c;
+    c.k = r.u64();
+    c.message = r.bytes();
+    c.sig = crypto::Signature::decode(r);
+    r.expect_end();
+    return c;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+NonEquivBroadcast::NonEquivBroadcast(sim::Executor& exec, NebSlots& slots,
+                                     const crypto::KeyStore& keystore,
+                                     crypto::Signer signer, NebConfig config)
+    : exec_(&exec),
+      slots_(&slots),
+      keystore_(&keystore),
+      signer_(signer),
+      config_(config),
+      deliveries_(exec) {
+  for (ProcessId q : all_processes(config_.n)) last_[q] = 1;
+}
+
+void NonEquivBroadcast::start() {
+  assert(!started_);
+  started_ = true;
+  exec_->spawn(scan_loop());
+}
+
+sim::Task<mem::Status> NonEquivBroadcast::broadcast(Bytes message) {
+  const std::uint64_t k = next_k_++;
+  const ProcessId self = signer_.id();
+  const crypto::Signature sig = signer_.sign(neb_signing_bytes(k, message));
+  // Algorithm 2 line 4: write(slots[p, k, p], sign((k, m))).
+  co_return co_await slots_->slot(self, k, self)
+      .write(self, encode_neb_slot(k, message, sig));
+}
+
+sim::Task<bool> NonEquivBroadcast::try_deliver(ProcessId q) {
+  const ProcessId self = signer_.id();
+  const std::uint64_t k = last_.at(q);
+
+  // (1) Read q's own slot for its k-th broadcast.
+  const mem::ReadResult head = co_await slots_->slot(q, k, q).read(self);
+  if (!head.ok() || util::is_bottom(head.value)) co_return false;
+  const auto content = decode_neb_slot(head.value);
+  if (!content.has_value() || content->k != k ||
+      !keystore_->valid_from(q, neb_signing_bytes(content->k, content->message),
+                             content->sig)) {
+    // q hasn't written anything valid (or is Byzantine). Retry later.
+    co_return false;
+  }
+
+  // (2) Copy the signed value into our own slot so others can cross-check.
+  const mem::Status copied =
+      co_await slots_->slot(self, k, q).write(self, head.value);
+  if (copied != mem::Status::kAck) co_return false;
+
+  // (3) Read everyone's copy; a different validly-signed value for the same
+  // key proves q equivocated — refuse delivery (forever: last_ stays put).
+  sim::Fanout<mem::ReadResult> fanout(*exec_);
+  const auto all = all_processes(config_.n);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    fanout.add(i, slots_->slot(all[i], k, q).read(self));
+  }
+  auto copies = co_await fanout.collect(all.size());
+  for (auto& [idx, rr] : copies) {
+    if (!rr.ok() || util::is_bottom(rr.value)) continue;
+    if (rr.value == head.value) continue;
+    const auto other = decode_neb_slot(rr.value);
+    if (other.has_value() && other->k == k &&
+        keystore_->valid_from(q, neb_signing_bytes(other->k, other->message),
+                              other->sig) &&
+        other->message != content->message) {
+      co_return false;  // q is Byzantine; no delivery.
+    }
+  }
+
+  deliveries_.send(NebDelivery{q, k, content->message, content->sig});
+  last_[q] = k + 1;
+  co_return true;
+}
+
+sim::Task<void> NonEquivBroadcast::scan_loop() {
+  while (true) {
+    for (ProcessId q : all_processes(config_.n)) {
+      // Drain q's backlog before moving on; stop at the first gap.
+      while (co_await try_deliver(q)) {
+      }
+    }
+    co_await exec_->sleep(config_.poll);
+  }
+}
+
+}  // namespace mnm::core

@@ -1,0 +1,146 @@
+// Non-equivocating broadcast (paper §4.1, Algorithm 2, Lemma 4.1).
+//
+// Prevents a Byzantine broadcaster from delivering different k-th messages
+// to different correct processes:
+//
+//  (1) a correct broadcaster's (k, m) is eventually delivered by all correct
+//      processes;
+//  (2) no two correct processes deliver different messages for the same
+//      (broadcaster, k);
+//  (3) delivery from a correct broadcaster implies it broadcast exactly that.
+//
+// Mechanics (verbatim from Algorithm 2): every process p owns an SWMR slot
+// slot[p, k, q] for each sequence number k and broadcaster q. To broadcast
+// its k-th message, q signs (k, m) and writes it to slot[q, k, q]. To
+// deliver, p (a) reads q's own slot and validates the signature and key,
+// (b) copies the signed value into its own slot[p, k, q], then (c) reads
+// slot[i, k, q] of every process i and refuses delivery if any holds a
+// *different* validly-signed value for the same key — that can only happen
+// if q equivocated, because nobody else can forge q's signature.
+//
+// Registers live in the replicated SWMR layer (src/swmr), so the primitive
+// tolerates fM < m/2 memory crashes exactly as §4.1 prescribes. Slot
+// register names: "neb/<owner>/<k>/<broadcaster>"; each owner's slots form
+// one SWMR region per memory, created by make_neb_regions().
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/crypto/signature.hpp"
+#include "src/mem/memory.hpp"
+#include "src/sim/channel.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/task.hpp"
+#include "src/swmr/swmr_register.hpp"
+
+namespace mnm::core {
+
+/// Create the n SWMR regions ("neb/<p>/" owned by p) on one memory, in
+/// process-id order so region ids agree across memories. Returns the map
+/// owner → region id. Works for both mem::Memory and verbs::VerbsMemory.
+template <typename MemoryT>
+std::map<ProcessId, RegionId> make_neb_regions(MemoryT& memory, std::size_t n,
+                                               const std::string& prefix = "neb") {
+  std::map<ProcessId, RegionId> out;
+  const auto all = all_processes(n);
+  for (ProcessId p : all) {
+    out[p] = memory.create_region({prefix + "/" + std::to_string(p) + "/"},
+                                  mem::Permission::swmr(p, all));
+  }
+  return out;
+}
+
+/// Shared table of replicated slot registers.
+class NebSlots {
+ public:
+  NebSlots(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
+           std::map<ProcessId, RegionId> owner_regions,
+           std::string prefix = "neb");
+
+  /// slot[owner, k, broadcaster].
+  swmr::ReplicatedRegister& slot(ProcessId owner, std::uint64_t k,
+                                 ProcessId broadcaster);
+
+ private:
+  sim::Executor* exec_;
+  std::vector<mem::MemoryIface*> memories_;
+  std::map<ProcessId, RegionId> owner_regions_;
+  std::string prefix_;
+  std::map<std::string, std::unique_ptr<swmr::ReplicatedRegister>> cache_;
+};
+
+struct NebDelivery {
+  ProcessId from = 0;
+  std::uint64_t k = 0;
+  Bytes message;
+  /// The broadcaster's signature over neb_signing_bytes(k, message). Carried
+  /// so higher layers (trusted messaging receipts) can cite it as evidence.
+  crypto::Signature sig;
+};
+
+/// Canonical signed-slot encoding: (k, m, sig_q(...)). Exposed so tests
+/// and Byzantine strategies can craft (in)valid slot contents.
+Bytes encode_neb_slot(std::uint64_t k, const Bytes& message,
+                      const crypto::Signature& sig);
+
+/// What a broadcaster signs: ("neb", k, SHA256(m)). Signing the *digest* of
+/// m lets receipts prove "q broadcast a message with digest d as its k-th"
+/// without embedding m (and, recursively, m's attached history) — the
+/// receipt compression that keeps Clement-style histories linear.
+Bytes neb_signing_bytes(std::uint64_t k, const Bytes& message);
+struct NebSlotContent {
+  std::uint64_t k = 0;
+  Bytes message;
+  crypto::Signature sig;
+};
+std::optional<NebSlotContent> decode_neb_slot(const Bytes& raw);
+
+struct NebConfig {
+  std::size_t n = 3;
+  sim::Time poll = 1;  // scan period of the delivery loop
+};
+
+class NonEquivBroadcast {
+ public:
+  NonEquivBroadcast(sim::Executor& exec, NebSlots& slots,
+                    const crypto::KeyStore& keystore, crypto::Signer signer,
+                    NebConfig config);
+
+  /// Spawn the delivery scanner (try_deliver over all broadcasters forever).
+  void start();
+
+  /// broadcast(k, m) with k auto-incremented (Definition 1 requires each
+  /// invocation to use the next k). Completes when the slot write is
+  /// acknowledged by a memory majority.
+  sim::Task<mem::Status> broadcast(Bytes message);
+
+  /// Stream of deliveries, in (broadcaster, k) order per broadcaster.
+  sim::Channel<NebDelivery>& deliveries() { return deliveries_; }
+
+  std::uint64_t broadcasts_made() const { return next_k_ - 1; }
+
+  /// One delivery attempt for broadcaster q (Algorithm 2 try_deliver).
+  /// Exposed for step-by-step unit tests; normally driven by start().
+  sim::Task<bool> try_deliver(ProcessId q);
+
+ private:
+  sim::Task<void> scan_loop();
+
+  sim::Executor* exec_;
+  NebSlots* slots_;
+  const crypto::KeyStore* keystore_;
+  crypto::Signer signer_;
+  NebConfig config_;
+  std::uint64_t next_k_ = 1;
+  std::map<ProcessId, std::uint64_t> last_;  // next seq to deliver per q
+  sim::Channel<NebDelivery> deliveries_;
+  bool started_ = false;
+};
+
+}  // namespace mnm::core

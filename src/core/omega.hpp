@@ -1,0 +1,50 @@
+// Ω failure detector (eventual leader election).
+//
+// The paper's liveness arguments assume the standard Ω oracle: eventually
+// all correct processes trust the same correct process forever (§5.1,
+// Algorithm 7 line 5 "Ω: failure detector that returns current leader";
+// Theorem C.5). Ω is an *assumption*, not an algorithm, so we model it as a
+// queryable oracle: the harness supplies a leader function over virtual
+// time — typically "lowest-id process alive at t", which converges once
+// crashes stop, or a scripted schedule for adversarial tests.
+
+#pragma once
+
+#include <functional>
+
+#include "src/common.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::core {
+
+class Omega {
+ public:
+  using LeaderFn = std::function<ProcessId(sim::Time now)>;
+
+  /// Leader oracle from an arbitrary time-indexed function.
+  Omega(sim::Executor& exec, LeaderFn fn)
+      : exec_(&exec), fn_(std::move(fn)) {}
+
+  /// Fixed leader forever (the common-case benchmark configuration).
+  static Omega fixed(sim::Executor& exec, ProcessId leader) {
+    return Omega(exec, [leader](sim::Time) { return leader; });
+  }
+
+  ProcessId leader() const { return fn_(exec_->now()); }
+  bool trusts(ProcessId p) const { return leader() == p; }
+
+  /// Suspend until this process is the leader ("wait until Ω == p",
+  /// Alg. 7 line 9). Polls the oracle every `poll` units.
+  sim::Task<void> wait_leadership(ProcessId self, sim::Time poll = 1) {
+    while (!trusts(self)) {
+      co_await exec_->sleep(poll);
+    }
+  }
+
+ private:
+  sim::Executor* exec_;
+  LeaderFn fn_;
+};
+
+}  // namespace mnm::core

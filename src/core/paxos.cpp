@@ -1,0 +1,191 @@
+#include "src/core/paxos.hpp"
+
+#include <cassert>
+
+namespace mnm::core {
+
+Bytes PaxosMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind))
+      .u64(ballot)
+      .u64(acc_ballot)
+      .boolean(has_value)
+      .bytes(value);
+  return std::move(w).take();
+}
+
+std::optional<PaxosMsg> PaxosMsg::decode(const Bytes& raw) {
+  try {
+    util::Reader r(raw);
+    PaxosMsg m;
+    const std::uint8_t kind = r.u8();
+    if (kind < 1 || kind > 6) return std::nullopt;
+    m.kind = static_cast<PaxosKind>(kind);
+    m.ballot = r.u64();
+    m.acc_ballot = r.u64();
+    m.has_value = r.boolean();
+    m.value = r.bytes();
+    r.expect_end();
+    return m;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Paxos::Paxos(sim::Executor& exec, Transport& transport, Omega& omega,
+             PaxosConfig config)
+    : exec_(&exec),
+      transport_(&transport),
+      omega_(&omega),
+      config_(config),
+      replies_(exec),
+      decision_gate_(exec) {}
+
+void Paxos::start() {
+  assert(!started_ && "Paxos::start called twice");
+  started_ = true;
+  exec_->spawn(dispatch_loop());
+}
+
+void Paxos::decide_locally(const Bytes& value) {
+  if (decided_value_.has_value()) return;
+  decided_value_ = value;
+  decided_at_ = exec_->now();
+  decision_gate_.open();
+}
+
+sim::Task<void> Paxos::dispatch_loop() {
+  while (true) {
+    TMsg raw = co_await transport_->incoming().recv();
+    const auto msg = PaxosMsg::decode(raw.payload);
+    if (!msg.has_value()) continue;  // malformed (possibly Byzantine) — drop
+    switch (msg->kind) {
+      case PaxosKind::kPrepare:
+      case PaxosKind::kAccept:
+        handle_acceptor(raw.src, *msg);
+        break;
+      case PaxosKind::kDecide:
+        decide_locally(msg->value);
+        break;
+      case PaxosKind::kPromise:
+      case PaxosKind::kAccepted:
+      case PaxosKind::kNack:
+        replies_.send({raw.src, *msg});
+        break;
+    }
+  }
+}
+
+void Paxos::handle_acceptor(ProcessId src, const PaxosMsg& msg) {
+  max_ballot_seen_ = std::max(max_ballot_seen_, msg.ballot);
+  if (msg.kind == PaxosKind::kPrepare) {
+    if (msg.ballot >= min_ballot_) {
+      min_ballot_ = msg.ballot;
+      PaxosMsg reply{PaxosKind::kPromise, msg.ballot,
+                     accepted_ballot_.value_or(0), accepted_ballot_.has_value(),
+                     accepted_value_};
+      transport_->send(src, reply.encode());
+    } else {
+      transport_->send(src, PaxosMsg{PaxosKind::kNack, msg.ballot, min_ballot_,
+                                     false, {}}
+                                .encode());
+    }
+    return;
+  }
+  // kAccept.
+  if (msg.ballot >= min_ballot_) {
+    min_ballot_ = msg.ballot;
+    accepted_ballot_ = msg.ballot;
+    accepted_value_ = msg.value;
+    transport_->send(src,
+                     PaxosMsg{PaxosKind::kAccepted, msg.ballot, 0, false, {}}
+                         .encode());
+  } else {
+    transport_->send(src, PaxosMsg{PaxosKind::kNack, msg.ballot, min_ballot_,
+                                   false, {}}
+                              .encode());
+  }
+}
+
+sim::Task<bool> Paxos::run_round(const Bytes& input, bool fast_first) {
+  const std::size_t n = config_.n;
+  const std::size_t quorum = majority(n);
+  const ProcessId self = transport_->self();
+
+  std::uint64_t ballot;
+  Bytes value = input;
+
+  if (fast_first) {
+    // p1's implicit phase 1 at ballot 0.
+    ballot = 0;
+  } else {
+    // Pick a fresh ballot owned by self, above everything seen.
+    const std::uint64_t round = max_ballot_seen_ / n + 1;
+    ballot = round * n + (self - 1);
+    max_ballot_seen_ = std::max(max_ballot_seen_, ballot);
+
+    // Phase 1: prepare / promise.
+    transport_->send_all(PaxosMsg{PaxosKind::kPrepare, ballot, 0, false, {}}
+                             .encode());
+    std::size_t promises = 0;
+    std::uint64_t best_acc = 0;
+    bool adopted = false;
+    const sim::Time deadline = exec_->now() + config_.round_timeout;
+    while (promises < quorum) {
+      auto reply = co_await replies_.recv_until(deadline);
+      if (!reply.has_value()) co_return false;  // timeout
+      const PaxosMsg& m = reply->second;
+      if (m.ballot != ballot) continue;  // stale round
+      if (m.kind == PaxosKind::kNack) co_return false;
+      if (m.kind != PaxosKind::kPromise) continue;
+      ++promises;
+      if (m.has_value && (!adopted || m.acc_ballot > best_acc)) {
+        adopted = true;
+        best_acc = m.acc_ballot;
+        value = m.value;
+      }
+    }
+  }
+
+  // Phase 2: accept / accepted.
+  transport_->send_all(
+      PaxosMsg{PaxosKind::kAccept, ballot, 0, true, value}.encode());
+  std::size_t accepts = 0;
+  const sim::Time deadline = exec_->now() + config_.round_timeout;
+  while (accepts < quorum) {
+    auto reply = co_await replies_.recv_until(deadline);
+    if (!reply.has_value()) co_return false;
+    const PaxosMsg& m = reply->second;
+    if (m.ballot != ballot) continue;
+    if (m.kind == PaxosKind::kNack) co_return false;
+    if (m.kind != PaxosKind::kAccepted) continue;
+    ++accepts;
+  }
+
+  // Chosen. Decide and tell everyone.
+  decide_locally(value);
+  transport_->send_all(
+      PaxosMsg{PaxosKind::kDecide, ballot, 0, true, value}.encode(),
+      /*include_self=*/false);
+  co_return true;
+}
+
+sim::Task<Bytes> Paxos::propose(Bytes value) {
+  assert(started_ && "Paxos::propose before start()");
+  const ProcessId self = transport_->self();
+  while (!decided()) {
+    if (omega_->trusts(self)) {
+      const bool fast = config_.skip_phase1_for_p1 && self == kLeaderP1 &&
+                        !used_fast_ballot_;
+      used_fast_ballot_ = used_fast_ballot_ || fast;
+      const bool ok = co_await run_round(value, fast);
+      if (ok) break;
+      co_await exec_->sleep(config_.retry_backoff);
+    } else {
+      co_await exec_->sleep(config_.poll);
+    }
+  }
+  co_return decision();
+}
+
+}  // namespace mnm::core

@@ -1,0 +1,114 @@
+// Classic single-decree Paxos (Lamport, "The Part-Time Parliament") over the
+// Transport abstraction, tolerating fP < n/2 crash failures.
+//
+// Roles in the paper's uses:
+//  * It is the crash-tolerant algorithm A that Robust Backup(A) transforms
+//    into a Byzantine-tolerant one (§4.1, Definition 2) — run it over
+//    trusted::TrustedTransport and the transformation is literal.
+//  * With `skip_phase1_for_p1` it becomes the message-passing baseline that
+//    decides in 2 delays with n ≥ 2fP+1 (the steady-state/fast path the
+//    paper contrasts with Protected Memory Paxos in §1); without it, the
+//    conservative 4-delay two-phase baseline.
+//
+// Ballot numbering: ballot b is owned by process (b mod n) + 1; p1's first
+// ballot is 0, which acceptors implicitly pre-promise (minBallot starts
+// at 0), making the phase-1 skip safe.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common.hpp"
+#include "src/core/omega.hpp"
+#include "src/core/transport.hpp"
+#include "src/crypto/signature.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::core {
+
+// Wire format shared with the trusted-history validator
+// (trusted_messaging.*), which replays Paxos messages.
+enum class PaxosKind : std::uint8_t {
+  kPrepare = 1,
+  kPromise = 2,
+  kAccept = 3,
+  kAccepted = 4,
+  kNack = 5,
+  kDecide = 6,
+};
+
+struct PaxosMsg {
+  PaxosKind kind = PaxosKind::kNack;
+  std::uint64_t ballot = 0;
+  // For kPromise: the highest ballot at which the acceptor accepted a value
+  // (meaningful when has_value). For kAccept/kDecide: `value` carries data.
+  std::uint64_t acc_ballot = 0;
+  bool has_value = false;
+  Bytes value;
+
+  Bytes encode() const;
+  static std::optional<PaxosMsg> decode(const Bytes& raw);
+};
+
+struct PaxosConfig {
+  std::size_t n = 3;
+  /// How long a proposer waits for a quorum of replies before retrying.
+  sim::Time round_timeout = 40;
+  /// Backoff between failed rounds.
+  sim::Time retry_backoff = 10;
+  /// Leadership polling period while not the leader.
+  sim::Time poll = 1;
+  /// Allow p1 to skip phase 1 at ballot 0 (2-delay fast path).
+  bool skip_phase1_for_p1 = false;
+};
+
+class Paxos {
+ public:
+  Paxos(sim::Executor& exec, Transport& transport, Omega& omega,
+        PaxosConfig config);
+
+  /// Spawn the message-handling loop. Call exactly once before propose.
+  void start();
+
+  /// Propose `value`; resolves with the decided value (§3 consensus:
+  /// uniform agreement, validity; termination under Ω).
+  sim::Task<Bytes> propose(Bytes value);
+
+  bool decided() const { return decided_value_.has_value(); }
+  const Bytes& decision() const { return *decided_value_; }
+  sim::Time decided_at() const { return decided_at_; }
+  sim::Gate& decision_gate() { return decision_gate_; }
+
+ private:
+  sim::Task<void> dispatch_loop();
+  void handle_acceptor(ProcessId src, const PaxosMsg& msg);
+  sim::Task<bool> run_round(const Bytes& input, bool fast_first);
+  void decide_locally(const Bytes& value);
+
+  sim::Executor* exec_;
+  Transport* transport_;
+  Omega* omega_;
+  PaxosConfig config_;
+
+  // Acceptor state.
+  std::uint64_t min_ballot_ = 0;
+  std::optional<std::uint64_t> accepted_ballot_;
+  Bytes accepted_value_;
+
+  // Proposer state.
+  std::uint64_t max_ballot_seen_ = 0;
+  bool used_fast_ballot_ = false;
+  sim::Channel<std::pair<ProcessId, PaxosMsg>> replies_;
+
+  // Decision.
+  std::optional<Bytes> decided_value_;
+  sim::Time decided_at_ = 0;
+  sim::Gate decision_gate_;
+  bool started_ = false;
+};
+
+}  // namespace mnm::core

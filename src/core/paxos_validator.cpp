@@ -1,0 +1,226 @@
+#include "src/core/paxos_validator.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/core/paxos.hpp"
+#include "src/core/transport_mux.hpp"
+
+namespace mnm::core {
+
+namespace {
+
+using trusted::History;
+using trusted::HistoryEntry;
+using trusted::Receipt;
+
+ProcessId ballot_owner(std::uint64_t ballot, std::size_t n) {
+  return static_cast<ProcessId>(ballot % n) + 1;
+}
+
+/// Framing: returns the Paxos bytes if this payload is (framed or raw)
+/// Paxos; nullopt for set-up payloads or garbage-with-setup-tag.
+enum class Framing { kPaxos, kSetup, kMalformed };
+
+Framing classify(const Bytes& payload, Bytes& paxos_bytes) {
+  if (payload.empty()) return Framing::kMalformed;
+  const std::uint8_t first = payload[0];
+  if (first == kMuxSetup) return Framing::kSetup;
+  if (first == kMuxPaxos) {
+    paxos_bytes.assign(payload.begin() + 1, payload.end());
+    return Framing::kPaxos;
+  }
+  // Raw (unframed) PaxosMsg bytes.
+  paxos_bytes = payload;
+  return Framing::kPaxos;
+}
+
+/// Replayed state of one process's Paxos run.
+struct Replay {
+  explicit Replay(std::size_t n) : n(n) {}
+
+  std::size_t n;
+  // Acceptor state.
+  std::uint64_t promised = 0;
+  std::optional<std::uint64_t> acc_ballot;
+  Bytes acc_value;
+  // Verified receipts, grouped for the proposer rules.
+  // ballot → origins that sent PROMISE(b) (+ their reported accepted pair).
+  struct PromiseInfo {
+    bool has_value = false;
+    std::uint64_t acc_ballot = 0;
+    Bytes value;
+  };
+  std::map<std::uint64_t, std::map<ProcessId, PromiseInfo>> promises;
+  std::map<std::uint64_t, std::set<ProcessId>> prepares_seen;  // ballot → owners
+  std::map<std::uint64_t, std::map<ProcessId, Bytes>> accepts_seen;  // ballot → origin → value
+  std::map<std::uint64_t, std::set<ProcessId>> accepted_seen;  // ballot → origins
+  // Our own sent ACCEPTs: ballot → value.
+  std::map<std::uint64_t, Bytes> sent_accepts;
+
+  bool ingest_receipt(ProcessId origin, const PaxosMsg& m) {
+    switch (m.kind) {
+      case PaxosKind::kPrepare:
+        prepares_seen[m.ballot].insert(origin);
+        return true;
+      case PaxosKind::kPromise: {
+        auto& info = promises[m.ballot][origin];
+        info.has_value = m.has_value;
+        info.acc_ballot = m.acc_ballot;
+        info.value = m.value;
+        return true;
+      }
+      case PaxosKind::kAccept:
+        accepts_seen[m.ballot][origin] = m.value;
+        return true;
+      case PaxosKind::kAccepted:
+        accepted_seen[m.ballot].insert(origin);
+        return true;
+      case PaxosKind::kNack:
+      case PaxosKind::kDecide:
+        return true;
+    }
+    return false;
+  }
+
+  /// Check a message `owner` sends and advance the replayed state.
+  bool ingest_send(ProcessId owner, const PaxosMsg& m, ProcessId dst) {
+    const std::size_t quorum = majority(n);
+    switch (m.kind) {
+      case PaxosKind::kPrepare:
+        return ballot_owner(m.ballot, n) == owner;
+
+      case PaxosKind::kPromise: {
+        const ProcessId proposer = ballot_owner(m.ballot, n);
+        if (dst != proposer && dst != trusted::kToAll) return false;
+        if (!prepares_seen[m.ballot].contains(proposer)) return false;
+        if (m.ballot < promised) return false;
+        // The promise must report the acceptor's real accepted state.
+        if (m.has_value != acc_ballot.has_value()) return false;
+        if (m.has_value &&
+            (m.acc_ballot != *acc_ballot || m.value != acc_value)) {
+          return false;
+        }
+        promised = m.ballot;
+        return true;
+      }
+
+      case PaxosKind::kAccepted: {
+        const ProcessId proposer = ballot_owner(m.ballot, n);
+        if (dst != proposer && dst != trusted::kToAll) return false;
+        const auto bit = accepts_seen.find(m.ballot);
+        if (bit == accepts_seen.end() || !bit->second.contains(proposer)) {
+          return false;
+        }
+        if (m.ballot < promised) return false;
+        promised = m.ballot;
+        acc_ballot = m.ballot;
+        acc_value = bit->second.at(proposer);
+        return true;
+      }
+
+      case PaxosKind::kAccept: {
+        if (ballot_owner(m.ballot, n) != owner) return false;
+        if (!m.has_value) return false;
+        if (m.ballot == 0) {  // p1's fast ballot: value is its own input
+          sent_accepts[0] = m.value;
+          return true;
+        }
+        const auto pit = promises.find(m.ballot);
+        if (pit == promises.end() || pit->second.size() < quorum) return false;
+        // Value-choice rule.
+        bool any = false;
+        std::uint64_t best = 0;
+        Bytes best_value;
+        for (const auto& [origin, info] : pit->second) {
+          if (info.has_value && (!any || info.acc_ballot > best)) {
+            any = true;
+            best = info.acc_ballot;
+            best_value = info.value;
+          }
+        }
+        if (any && m.value != best_value) return false;
+        sent_accepts[m.ballot] = m.value;
+        return true;
+      }
+
+      case PaxosKind::kDecide: {
+        if (!m.has_value) return false;
+        for (const auto& [ballot, origins] : accepted_seen) {
+          if (origins.size() < quorum) continue;
+          const auto sit = sent_accepts.find(ballot);
+          if (sit != sent_accepts.end() && sit->second == m.value) return true;
+          if (ballot == 0 && ballot_owner(0, n) == owner) {
+            // Fast ballot: the accept itself may be ballot 0.
+            const auto fit = sent_accepts.find(0);
+            if (fit != sent_accepts.end() && fit->second == m.value) return true;
+          }
+        }
+        return false;
+      }
+
+      case PaxosKind::kNack:
+        return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+trusted::HistoryValidator paxos_validator(const crypto::KeyStore& keystore,
+                                          std::size_t n) {
+  return [&keystore, n](ProcessId owner, const History& h, std::uint64_t k,
+                        ProcessId dst, const Bytes& payload) {
+    (void)k;
+    Replay replay(n);
+
+    const auto process_send = [&](ProcessId to, const Bytes& p) {
+      Bytes paxos_bytes;
+      switch (classify(p, paxos_bytes)) {
+        case Framing::kSetup:
+          return true;  // set-up values are arbitrary inputs
+        case Framing::kMalformed:
+          return false;
+        case Framing::kPaxos:
+          break;
+      }
+      const auto msg = PaxosMsg::decode(paxos_bytes);
+      if (!msg.has_value()) return false;
+      return replay.ingest_send(owner, *msg, to);
+    };
+
+    for (const auto& e : h) {
+      if (e.kind == HistoryEntry::Kind::kSent) {
+        if (!process_send(e.peer, e.payload)) return false;
+        continue;
+      }
+      // kReceived: verify the receipt, then feed it to the replay.
+      const auto receipt = Receipt::decode(e.payload);
+      if (!receipt.has_value()) return false;
+      if (!trusted::verify_receipt(keystore, e.peer, e.k, *receipt)) {
+        return false;
+      }
+      // Only messages addressed to the owner (or broadcast) may influence it.
+      if (receipt->dst != owner && receipt->dst != trusted::kToAll) continue;
+      Bytes paxos_bytes;
+      switch (classify(receipt->payload, paxos_bytes)) {
+        case Framing::kSetup:
+          continue;
+        case Framing::kMalformed:
+          continue;  // junk the origin sent; ignore, it cannot justify anything
+        case Framing::kPaxos:
+          break;
+      }
+      const auto msg = PaxosMsg::decode(paxos_bytes);
+      if (!msg.has_value()) continue;
+      if (!replay.ingest_receipt(e.peer, *msg)) return false;
+    }
+
+    // Finally, the message being sent right now.
+    return process_send(dst, payload);
+  };
+}
+
+}  // namespace mnm::core

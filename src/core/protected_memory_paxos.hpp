@@ -1,0 +1,116 @@
+// Protected Memory Paxos (paper §5.1, Algorithm 7, Theorem 5.1).
+//
+// Disk Paxos with dynamic permissions: each memory has a single region whose
+// write permission is held *exclusively* by the current leader. Because a
+// new leader must seize the permission before writing, a leader whose
+// phase-2 write is acknowledged knows no other leader intervened — the
+// "uncontended instantaneous guarantee" (§1) — and can decide immediately,
+// without Disk Paxos's verifying read. That removes two delays:
+//
+//   crash consensus, n ≥ fP+1 processes, m ≥ 2fM+1 memories, 2-deciding
+//   (p1's first attempt is a single parallel write across the memories).
+//
+// Memory layout: one region per memory covering "pmp/"; registers
+// "pmp/slot/<p>" hold (minProposal, accProposal, value) triples. legalChange
+// permits exactly one kind of change: a process taking exclusive
+// write-ownership for itself (pmp_legal_change) — this is a crash-failure
+// algorithm, so the rule only needs to encode the protocol, not defend
+// against Byzantine behaviour.
+//
+// Decisions are disseminated with a DECIDE broadcast so every correct
+// process decides (the standard extension the paper notes after Alg. 7).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/core/omega.hpp"
+#include "src/mem/memory.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::core {
+
+/// legalChange for PMP regions: the only legal change is `requester` taking
+/// exclusive writership (R: Π−{requester}, RW: {requester}).
+mem::LegalChangeFn pmp_legal_change(std::vector<ProcessId> all);
+
+/// Create the single PMP region on one memory. Initial exclusive writer is
+/// the fixed first leader p1.
+template <typename MemoryT>
+RegionId make_pmp_region(MemoryT& memory, std::size_t n,
+                         ProcessId first_leader = kLeaderP1) {
+  const auto all = all_processes(n);
+  return memory.create_region({"pmp/"},
+                              mem::Permission::exclusive_writer(first_leader, all),
+                              pmp_legal_change(all));
+}
+
+/// Slot contents (minProposal, accProposal, value) — Algorithm 7 line 4.
+struct PmpSlot {
+  std::uint64_t min_proposal = 0;
+  std::uint64_t acc_proposal = 0;
+  bool has_value = false;
+  Bytes value;
+
+  Bytes encode() const;
+  static std::optional<PmpSlot> decode(const Bytes& raw);
+};
+
+struct PmpConfig {
+  std::size_t n = 2;
+  net::MsgType decide_tag = 900;
+  sim::Time poll = 1;
+  sim::Time retry_backoff = 8;
+};
+
+class ProtectedMemoryPaxos {
+ public:
+  /// `region` must be the PMP region id, identical across `memories`.
+  ProtectedMemoryPaxos(sim::Executor& exec,
+                       std::vector<mem::MemoryIface*> memories, RegionId region,
+                       net::Network& net, Omega& omega, ProcessId self,
+                       PmpConfig config);
+
+  /// Spawn the DECIDE listener.
+  void start();
+
+  sim::Task<Bytes> propose(Bytes v);
+
+  bool decided() const { return decided_value_.has_value(); }
+  const Bytes& decision() const { return *decided_value_; }
+  sim::Time decided_at() const { return decided_at_; }
+
+ private:
+  struct Phase1Result {
+    bool ok = false;                   // permission + write1 succeeded
+    std::vector<PmpSlot> slots;        // all processes' slots at this memory
+  };
+
+  sim::Task<Phase1Result> phase1_at_memory(std::size_t idx, std::uint64_t prop_nr);
+  sim::Task<mem::Status> phase2_at_memory(std::size_t idx, std::uint64_t prop_nr,
+                                          Bytes value);
+  sim::Task<void> decide_listener();
+  void decide_locally(const Bytes& value);
+
+  sim::Executor* exec_;
+  std::vector<mem::MemoryIface*> memories_;
+  RegionId region_;
+  net::Endpoint endpoint_;
+  Omega* omega_;
+  ProcessId self_;
+  PmpConfig config_;
+
+  std::uint64_t max_proposal_seen_ = 0;
+  bool first_attempt_ = true;
+  std::optional<Bytes> decided_value_;
+  sim::Time decided_at_ = 0;
+  sim::Gate decision_gate_;
+};
+
+}  // namespace mnm::core

@@ -1,0 +1,92 @@
+// Transport abstraction for message-passing algorithms.
+//
+// The Robust Backup construction (§4.1, Definition 2) takes a crash-tolerant
+// message-passing algorithm A and replaces its sends/receives with trusted
+// T-send/T-receive. To make that replacement literal in code, Paxos and
+// Preferential Paxos are written against this interface; they run over
+// `NetTransport` (plain authenticated links) in the crash model and over
+// `trusted::TrustedTransport` (non-equivocating broadcast + signed
+// histories) inside Robust Backup.
+
+#pragma once
+
+#include <memory>
+
+#include "src/common.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/channel.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::core {
+
+/// An inbound algorithm-level message. `payload` is the algorithm's own
+/// encoding (e.g. a Paxos message).
+struct TMsg {
+  ProcessId src = 0;
+  Bytes payload;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual std::size_t process_count() const = 0;
+
+  /// Send `payload` to `dst` (fire and forget; delivery per the model).
+  virtual void send(ProcessId dst, Bytes payload) = 0;
+
+  /// Stream of inbound messages addressed to this process.
+  virtual sim::Channel<TMsg>& incoming() = 0;
+
+  /// Send to every process. Default: one point-to-point send per process.
+  /// TrustedTransport overrides this with a single broadcast (every T-send
+  /// is a broadcast anyway), in which case self always receives a copy.
+  virtual void send_all(const Bytes& payload, bool include_self = true) {
+    for (ProcessId p : all_processes(process_count())) {
+      if (!include_self && p == self()) continue;
+      send(p, payload);
+    }
+  }
+};
+
+/// Plain message-passing transport over src/net, scoped to one message type
+/// tag so several protocol instances can share a network.
+class NetTransport : public Transport {
+ public:
+  NetTransport(sim::Executor& exec, net::Network& net, ProcessId self,
+               net::MsgType tag)
+      : exec_(&exec), endpoint_(net, self), tag_(tag), incoming_(exec) {
+    start_pump();
+  }
+
+  ProcessId self() const override { return endpoint_.self(); }
+  std::size_t process_count() const override {
+    return endpoint_.network().process_count();
+  }
+
+  void send(ProcessId dst, Bytes payload) override {
+    endpoint_.send(dst, tag_, std::move(payload));
+  }
+
+  sim::Channel<TMsg>& incoming() override { return incoming_; }
+
+ private:
+  void start_pump() {
+    exec_->spawn(pump(&endpoint_.channel(tag_), &incoming_));
+  }
+  static sim::Task<void> pump(sim::Channel<net::Message>* from,
+                              sim::Channel<TMsg>* to) {
+    while (true) {
+      net::Message m = co_await from->recv();
+      to->send(TMsg{m.src, std::move(m.payload)});
+    }
+  }
+
+  sim::Executor* exec_;
+  net::Endpoint endpoint_;
+  net::MsgType tag_;
+  sim::Channel<TMsg> incoming_;
+};
+
+}  // namespace mnm::core

@@ -1,0 +1,90 @@
+// Transport multiplexer.
+//
+// Preferential Paxos (Algorithm 8) runs two conversations over one trusted
+// transport: its set-up exchange and the embedded Paxos. The mux frames each
+// payload with a one-byte tag and demultiplexes inbound messages to per-tag
+// sub-transports. Tags are chosen outside the PaxosKind byte range so a
+// history validator can tell framed from raw payloads unambiguously.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/common.hpp"
+#include "src/core/transport.hpp"
+#include "src/sim/executor.hpp"
+
+namespace mnm::core {
+
+inline constexpr std::uint8_t kMuxPaxos = 0x50;  // 'P'
+inline constexpr std::uint8_t kMuxSetup = 0x53;  // 'S'
+
+class TransportMux {
+ public:
+  TransportMux(sim::Executor& exec, Transport& base)
+      : exec_(&exec), base_(&base) {}
+
+  /// The sub-transport for `tag` (created on first use). start() must be
+  /// called after all subs are created and before messages flow.
+  Transport& sub(std::uint8_t tag) {
+    auto it = subs_.find(tag);
+    if (it == subs_.end()) {
+      it = subs_.emplace(tag, std::make_unique<Sub>(*exec_, *base_, tag)).first;
+    }
+    return *it->second;
+  }
+
+  void start() { exec_->spawn(demux_loop(base_, &subs_)); }
+
+  static Bytes frame(std::uint8_t tag, const Bytes& payload) {
+    Bytes out;
+    out.reserve(payload.size() + 1);
+    out.push_back(tag);
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+  }
+
+ private:
+  class Sub : public Transport {
+   public:
+    Sub(sim::Executor& exec, Transport& base, std::uint8_t tag)
+        : base_(&base), tag_(tag), incoming_(exec) {}
+
+    ProcessId self() const override { return base_->self(); }
+    std::size_t process_count() const override { return base_->process_count(); }
+    void send(ProcessId dst, Bytes payload) override {
+      base_->send(dst, frame(tag_, payload));
+    }
+    void send_all(const Bytes& payload, bool include_self = true) override {
+      base_->send_all(frame(tag_, payload), include_self);
+    }
+    sim::Channel<TMsg>& incoming() override { return incoming_; }
+
+   private:
+    Transport* base_;
+    std::uint8_t tag_;
+    sim::Channel<TMsg> incoming_;
+    friend class TransportMux;
+  };
+
+  static sim::Task<void> demux_loop(Transport* base,
+                                    std::map<std::uint8_t, std::unique_ptr<Sub>>* subs) {
+    while (true) {
+      TMsg m = co_await base->incoming().recv();
+      if (m.payload.empty()) continue;
+      const std::uint8_t tag = static_cast<std::uint8_t>(m.payload[0]);
+      const auto it = subs->find(tag);
+      if (it == subs->end()) continue;  // unknown tag: drop
+      m.payload.erase(m.payload.begin());
+      it->second->incoming_.send(std::move(m));
+    }
+  }
+
+  sim::Executor* exec_;
+  Transport* base_;
+  std::map<std::uint8_t, std::unique_ptr<Sub>> subs_;
+};
+
+}  // namespace mnm::core

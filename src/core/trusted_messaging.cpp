@@ -1,0 +1,252 @@
+#include "src/core/trusted_messaging.hpp"
+
+#include <cassert>
+
+namespace mnm::core::trusted {
+
+Bytes HistoryEntry::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind)).u64(k).u32(peer).bytes(payload).bytes(chain);
+  sig.encode(w);
+  return std::move(w).take();
+}
+
+std::optional<HistoryEntry> HistoryEntry::decode(util::Reader& r) {
+  try {
+    HistoryEntry e;
+    const std::uint8_t kind = r.u8();
+    if (kind != 1 && kind != 2) return std::nullopt;
+    e.kind = static_cast<Kind>(kind);
+    e.k = r.u64();
+    e.peer = r.u32();
+    e.payload = r.bytes();
+    e.chain = r.bytes();
+    e.sig = crypto::Signature::decode(r);
+    return e;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_history(const History& h) {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(h.size()));
+  for (const auto& e : h) w.bytes(e.encode());
+  return std::move(w).take();
+}
+
+std::optional<History> decode_history(const Bytes& raw) {
+  try {
+    util::Reader r(raw);
+    const std::uint32_t count = r.u32();
+    History h;
+    h.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Bytes entry_bytes = r.bytes();
+      util::Reader er(entry_bytes);
+      auto e = HistoryEntry::decode(er);
+      if (!e.has_value()) return std::nullopt;
+      h.push_back(std::move(*e));
+    }
+    r.expect_end();
+    return h;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes chain_entry(const Bytes& prev_chain, HistoryEntry::Kind kind,
+                  std::uint64_t k, ProcessId peer, const Bytes& payload) {
+  util::Writer w;
+  w.bytes(prev_chain).u8(static_cast<std::uint8_t>(kind)).u64(k).u32(peer).bytes(payload);
+  return crypto::digest_bytes(crypto::sha256(w.data()));
+}
+
+bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
+                              const History& h) {
+  Bytes prev_chain;  // empty seed
+  std::uint64_t expected_sent = 1;
+  for (const auto& e : h) {
+    if (e.chain != chain_entry(prev_chain, e.kind, e.k, e.peer, e.payload)) {
+      return false;
+    }
+    if (!ks.valid_from(owner, e.chain, e.sig)) return false;
+    if (e.kind == HistoryEntry::Kind::kSent) {
+      if (e.k != expected_sent) return false;
+      ++expected_sent;
+    }
+    prev_chain = e.chain;
+  }
+  return true;
+}
+
+Bytes encode_tsend(ProcessId dst, const Bytes& payload, const History& h,
+                   std::uint64_t k, const crypto::Signature& sig) {
+  util::Writer w;
+  w.u32(dst).bytes(payload).bytes(encode_history(h)).u64(k);
+  sig.encode(w);
+  return std::move(w).take();
+}
+
+std::optional<TSendContent> decode_tsend(const Bytes& raw) {
+  try {
+    util::Reader r(raw);
+    TSendContent c;
+    c.dst = r.u32();
+    c.payload = r.bytes();
+    auto h = decode_history(r.bytes());
+    if (!h.has_value()) return std::nullopt;
+    c.history = std::move(*h);
+    c.k = r.u64();
+    c.sig = crypto::Signature::decode(r);
+    r.expect_end();
+    return c;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, const Bytes& payload,
+                          const Bytes& history_digest) {
+  util::Writer w;
+  w.str("tsend")
+      .u64(k)
+      .u32(dst)
+      .raw(crypto::digest_bytes(crypto::sha256(payload)))
+      .bytes(history_digest);
+  return std::move(w).take();
+}
+
+Bytes Receipt::encode() const {
+  util::Writer w;
+  w.u32(dst).bytes(payload).bytes(history_digest);
+  origin_sig.encode(w);
+  return std::move(w).take();
+}
+
+std::optional<Receipt> Receipt::decode(const Bytes& raw) {
+  try {
+    util::Reader r(raw);
+    Receipt rec;
+    rec.dst = r.u32();
+    rec.payload = r.bytes();
+    rec.history_digest = r.bytes();
+    rec.origin_sig = crypto::Signature::decode(r);
+    r.expect_end();
+    return rec;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+bool verify_receipt(const crypto::KeyStore& ks, ProcessId origin,
+                    std::uint64_t k, const Receipt& r) {
+  return ks.valid_from(
+      origin, tsend_signing_bytes(k, r.dst, r.payload, r.history_digest),
+      r.origin_sig);
+}
+
+TrustedTransport::TrustedTransport(sim::Executor& exec, NonEquivBroadcast& neb,
+                                   const crypto::KeyStore& keystore,
+                                   crypto::Signer signer, TrustedConfig config,
+                                   HistoryValidator validator)
+    : exec_(&exec),
+      neb_(&neb),
+      keystore_(&keystore),
+      signer_(signer),
+      config_(config),
+      validator_(std::move(validator)),
+      incoming_(exec) {}
+
+void TrustedTransport::start() {
+  assert(!started_);
+  started_ = true;
+  exec_->spawn(deliver_loop());
+}
+
+void TrustedTransport::append_entry(HistoryEntry::Kind kind, std::uint64_t k,
+                                    ProcessId peer, const Bytes& payload) {
+  const Bytes prev = history_.empty() ? Bytes{} : history_.back().chain;
+  HistoryEntry e;
+  e.kind = kind;
+  e.k = k;
+  e.peer = peer;
+  e.payload = payload;
+  e.chain = chain_entry(prev, kind, k, peer, payload);
+  e.sig = signer_.sign(e.chain);
+  history_.push_back(std::move(e));
+}
+
+namespace {
+sim::Task<void> run_broadcast(NonEquivBroadcast* neb, Bytes wire) {
+  (void)co_await neb->broadcast(std::move(wire));
+}
+}  // namespace
+
+void TrustedTransport::send(ProcessId dst, Bytes payload) {
+  // Algorithm 3 T-send: k++; broadcast(k, (m, H)); append sent(k, m) to H.
+  const std::uint64_t k = next_k_++;
+  const Bytes history_digest =
+      crypto::digest_bytes(crypto::sha256(encode_history(history_)));
+  const crypto::Signature sig =
+      signer_.sign(tsend_signing_bytes(k, dst, payload, history_digest));
+  const Bytes wire = encode_tsend(dst, payload, history_, k, sig);
+  append_entry(HistoryEntry::Kind::kSent, k, dst, payload);
+  // Fire-and-forget: the broadcast completes (majority ack) in background.
+  exec_->spawn(run_broadcast(neb_, wire));
+}
+
+sim::Task<void> TrustedTransport::deliver_loop() {
+  while (true) {
+    const NebDelivery d = co_await neb_->deliveries().recv();
+    const auto content = decode_tsend(d.message);
+    if (!content.has_value()) {
+      ++rejected_;
+      continue;
+    }
+    // Structural audit of the sender's attached history: hash chain intact,
+    // every link signed by the sender, sent-sequence contiguous, and the
+    // NEB sequence number matches the number of prior sends.
+    if (!verify_history_structure(*keystore_, d.from, content->history)) {
+      ++rejected_;
+      continue;
+    }
+    std::uint64_t prior_sends = 0;
+    for (const auto& e : content->history) {
+      if (e.kind == HistoryEntry::Kind::kSent) ++prior_sends;
+    }
+    if (prior_sends + 1 != d.k || content->k != d.k) {
+      ++rejected_;
+      continue;
+    }
+    // The sender's inner signature must bind (k, dst, payload, history) —
+    // this is what makes receipts citable later.
+    const Bytes history_digest =
+        crypto::digest_bytes(crypto::sha256(encode_history(content->history)));
+    if (!keystore_->valid_from(d.from,
+                               tsend_signing_bytes(d.k, content->dst,
+                                                   content->payload,
+                                                   history_digest),
+                               content->sig)) {
+      ++rejected_;
+      continue;
+    }
+    // Protocol-level audit ("whether they correspond to a correct history of
+    // the algorithm", Algorithm 3 line 10).
+    if (!validator_(d.from, content->history, d.k, content->dst,
+                    content->payload)) {
+      ++rejected_;
+      continue;
+    }
+    // T-receive: record a standalone-verifiable receipt in our own history,
+    // hand the message to the protocol if it is addressed to us.
+    const Receipt receipt{content->dst, content->payload, history_digest,
+                          content->sig};
+    append_entry(HistoryEntry::Kind::kReceived, d.k, d.from, receipt.encode());
+    if (content->dst == self() || content->dst == kToAll) {
+      incoming_.send(TMsg{d.from, content->payload});
+    }
+  }
+}
+
+}  // namespace mnm::core::trusted

@@ -1,0 +1,191 @@
+// Trusted message passing: T-send / T-receive (paper §4.1, Algorithm 3,
+// after Clement et al. [20]).
+//
+// The transformation that powers Robust Backup needs message passing in
+// which a Byzantine process can behave, at worst, like a crashed one. It is
+// built from two ingredients the M&M model supplies:
+//
+//  * non-equivocation — every T-send is carried by non-equivocating
+//    broadcast, so all correct processes that deliver a sender's k-th
+//    message deliver the same bytes;
+//  * signatures + full histories — each message carries the sender's entire
+//    hash-chained, signed history (every message it ever sent or received),
+//    and receivers check that the history is internally consistent and that
+//    the current message is a protocol-legal continuation.
+//
+// History entries are chained: chain_i = SHA256(chain_{i-1} || entry_i) and
+// the sender signs each link, so a Byzantine process cannot revise history
+// retroactively; it can only extend it. Combined with non-equivocation
+// (everyone sees the same k-th broadcast), a faulty process either produces
+// protocol-consistent messages — indistinguishable from a correct process —
+// or its messages are rejected by every correct receiver, i.e. it has
+// crashed as far as the protocol is concerned.
+//
+// Protocol legality is checked by a pluggable `HistoryValidator`; the
+// structural checks (chain, signatures, sequence numbers, echo of the
+// current message) are always enforced. `paxos_validator()` (see
+// paxos_validator.hpp) replays Paxos semantics and is what Robust
+// Backup(Paxos) installs.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/core/nonequiv_broadcast.hpp"
+#include "src/core/transport.hpp"
+#include "src/crypto/sha256.hpp"
+#include "src/crypto/signature.hpp"
+#include "src/sim/channel.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::core::trusted {
+
+/// Destination marker for T-send broadcasts addressed to everyone.
+inline constexpr ProcessId kToAll = 0;
+
+struct HistoryEntry {
+  enum class Kind : std::uint8_t { kSent = 1, kReceived = 2 };
+
+  Kind kind = Kind::kSent;
+  std::uint64_t k = 0;     // sender seq (kSent) / origin's seq (kReceived)
+  ProcessId peer = 0;      // destination (kSent) / origin (kReceived)
+  Bytes payload;           // protocol message bytes
+  Bytes chain;             // SHA256(prev_chain || fields)
+  crypto::Signature sig;   // history owner's signature over `chain`
+
+  Bytes encode() const;
+  static std::optional<HistoryEntry> decode(util::Reader& r);
+};
+
+using History = std::vector<HistoryEntry>;
+
+Bytes encode_history(const History& h);
+std::optional<History> decode_history(const Bytes& raw);
+
+/// Chain hash of an entry given its predecessor's chain value.
+Bytes chain_entry(const Bytes& prev_chain, HistoryEntry::Kind kind,
+                  std::uint64_t k, ProcessId peer, const Bytes& payload);
+
+/// Structural verification of `owner`'s history: chain hashes link, every
+/// link is signed by owner, sent-seqs are 1,2,3,… Returns false on any
+/// inconsistency.
+bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
+                              const History& h);
+
+/// Protocol-level check: given `owner`'s verified history and the message it
+/// is now sending (seq `k`, destination `dst`, bytes `payload`), is this a
+/// legal continuation? The default accepts everything.
+using HistoryValidator = std::function<bool(
+    ProcessId owner, const History& h, std::uint64_t k, ProcessId dst,
+    const Bytes& payload)>;
+
+inline HistoryValidator accept_all_validator() {
+  return [](ProcessId, const History&, std::uint64_t, ProcessId, const Bytes&) {
+    return true;
+  };
+}
+
+struct TrustedConfig {
+  std::size_t n = 3;
+};
+
+/// Transport implementing T-send / T-receive. All sends are broadcast via
+/// the NEB instance (receivers filter on the destination field), matching
+/// Algorithm 3 where every message is a broadcast so that everyone can audit
+/// everyone's history.
+class TrustedTransport : public Transport {
+ public:
+  TrustedTransport(sim::Executor& exec, NonEquivBroadcast& neb,
+                   const crypto::KeyStore& keystore, crypto::Signer signer,
+                   TrustedConfig config,
+                   HistoryValidator validator = accept_all_validator());
+
+  /// Spawn the delivery/verification loop.
+  void start();
+
+  ProcessId self() const override { return signer_.id(); }
+  std::size_t process_count() const override { return config_.n; }
+
+  /// T-send(dst, m): append a signed `sent` link, broadcast (dst, m, H).
+  void send(ProcessId dst, Bytes payload) override;
+
+  /// T-send addressed to everyone as a single broadcast (dst = kToAll);
+  /// cheaper than n point-to-point T-sends and semantically identical
+  /// because every T-send is a broadcast anyway. `include_self` is ignored:
+  /// broadcasts always self-deliver.
+  void send_all(const Bytes& payload, bool include_self = true) override {
+    (void)include_self;
+    send(kToAll, payload);
+  }
+
+  /// T-received messages addressed to this process (or to kToAll).
+  sim::Channel<TMsg>& incoming() override { return incoming_; }
+
+  /// Messages from `p` rejected by verification (metrics / tests).
+  std::uint64_t rejected() const { return rejected_; }
+
+  const History& history() const { return history_; }
+
+ private:
+  sim::Task<void> deliver_loop();
+  void append_entry(HistoryEntry::Kind kind, std::uint64_t k, ProcessId peer,
+                    const Bytes& payload);
+
+  sim::Executor* exec_;
+  NonEquivBroadcast* neb_;
+  const crypto::KeyStore* keystore_;
+  crypto::Signer signer_;
+  TrustedConfig config_;
+  HistoryValidator validator_;
+
+  std::uint64_t next_k_ = 1;
+  History history_;
+  sim::Channel<TMsg> incoming_;
+  std::uint64_t rejected_ = 0;
+  bool started_ = false;
+};
+
+/// Wire format of a T-send broadcast: (dst, payload, history-before-send,
+/// sender signature). The signature covers (k, dst, H(payload), H(history))
+/// — see tsend_signing_bytes — so a *receipt* citing this message can be
+/// verified later from just (k, dst, payload, history-digest, sig), without
+/// re-embedding the sender's history. This is what keeps Clement-style
+/// attached histories linear instead of recursively nested.
+Bytes encode_tsend(ProcessId dst, const Bytes& payload, const History& h,
+                   std::uint64_t k, const crypto::Signature& sig);
+struct TSendContent {
+  ProcessId dst = 0;
+  Bytes payload;
+  History history;
+  std::uint64_t k = 0;
+  crypto::Signature sig;
+};
+std::optional<TSendContent> decode_tsend(const Bytes& raw);
+
+/// Bytes a sender signs for its k-th T-send.
+Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, const Bytes& payload,
+                          const Bytes& history_digest);
+
+/// Payload stored in a kReceived history entry: standalone-verifiable
+/// evidence that `origin` really T-sent (k, dst, payload).
+struct Receipt {
+  ProcessId dst = 0;
+  Bytes payload;
+  Bytes history_digest;  // SHA256 of the origin's attached history encoding
+  crypto::Signature origin_sig;
+
+  Bytes encode() const;
+  static std::optional<Receipt> decode(const Bytes& raw);
+};
+
+/// Verify a receipt for origin's k-th send.
+bool verify_receipt(const crypto::KeyStore& ks, ProcessId origin,
+                    std::uint64_t k, const Receipt& r);
+
+}  // namespace mnm::core::trusted

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by the signature scheme (HMAC-SHA256, signature.hpp) and by the
+// hash-chained histories of the Clement et al. transformation
+// (src/core/trusted_messaging.hpp). Verified against the FIPS test vectors
+// in tests/crypto_test.cpp.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.hpp"
+
+namespace mnm::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const util::Bytes& data) { update(data.data(), data.size()); }
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(const util::Bytes& data);
+
+/// Digest as a Bytes value (for serialization into histories).
+util::Bytes digest_bytes(const Digest& d);
+
+}  // namespace mnm::crypto

@@ -1,0 +1,67 @@
+#include "src/crypto/signature.hpp"
+
+#include <stdexcept>
+
+namespace mnm::crypto {
+
+Digest hmac_sha256(const util::Bytes& key, const util::Bytes& msg) {
+  // RFC 2104: H((K' ^ opad) || H((K' ^ ipad) || msg)).
+  util::Bytes k = key;
+  if (k.size() > kSha256BlockSize) {
+    const Digest d = sha256(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kSha256BlockSize, 0);
+
+  util::Bytes ipad(kSha256BlockSize), opad(kSha256BlockSize);
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(msg);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+KeyStore::KeyStore(std::uint64_t seed) : rng_(seed ^ 0xC0FFEE0DDBA11ULL) {}
+
+Signer KeyStore::register_process(ProcessId id) {
+  if (keys_.contains(id)) {
+    throw std::logic_error("KeyStore: process already registered");
+  }
+  util::Bytes key(32);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng_.next());
+  keys_.emplace(id, std::move(key));
+  return Signer(this, id);
+}
+
+util::Bytes KeyStore::key_of(ProcessId id) const {
+  const auto it = keys_.find(id);
+  if (it == keys_.end()) {
+    throw std::logic_error("KeyStore: unknown process");
+  }
+  return it->second;
+}
+
+Signature Signer::sign(const util::Bytes& msg) const {
+  ++store_->sign_count_;
+  const Digest mac = hmac_sha256(store_->key_of(id_), msg);
+  return Signature{id_, util::Bytes(mac.begin(), mac.end())};
+}
+
+bool KeyStore::valid(const util::Bytes& msg, const Signature& sig) const {
+  ++verify_count_;
+  const auto it = keys_.find(sig.signer);
+  if (it == keys_.end()) return false;
+  const Digest mac = hmac_sha256(it->second, msg);
+  return util::ct_equal(util::Bytes(mac.begin(), mac.end()), sig.mac);
+}
+
+}  // namespace mnm::crypto

@@ -1,0 +1,474 @@
+#include "src/harness/cluster.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/aligned_paxos.hpp"
+#include "src/core/cheap_quorum.hpp"
+#include "src/core/disk_paxos.hpp"
+#include "src/core/fast_robust.hpp"
+#include "src/core/nonequiv_broadcast.hpp"
+#include "src/core/omega.hpp"
+#include "src/core/paxos.hpp"
+#include "src/core/protected_memory_paxos.hpp"
+#include "src/core/robust_backup.hpp"
+#include "src/core/transport.hpp"
+#include "src/crypto/signature.hpp"
+#include "src/harness/process_view.hpp"
+#include "src/mem/memory.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/rng.hpp"
+#include "src/verbs/verbs.hpp"
+
+namespace mnm::harness {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPaxos: return "Paxos (messages, 2-phase)";
+    case Algorithm::kFastPaxos: return "Fast Paxos (messages, phase-1 skip)";
+    case Algorithm::kDiskPaxos: return "Disk Paxos (memory, static perms)";
+    case Algorithm::kProtectedMemoryPaxos: return "Protected Memory Paxos";
+    case Algorithm::kAlignedPaxos: return "Aligned Paxos";
+    case Algorithm::kRobustBackup: return "Robust Backup(Paxos)";
+    case Algorithm::kFastRobust: return "Fast & Robust";
+  }
+  return "?";
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os << "decided=" << (decided_value ? *decided_value : "<none>")
+     << " first_delay=" << (first_decision_delay == sim::kTimeInfinity
+                                ? std::string("inf")
+                                : std::to_string(first_decision_delay))
+     << " agreement=" << agreement << " validity=" << validity
+     << " termination=" << termination << " msgs=" << messages_sent
+     << " reads=" << mem_reads << " writes=" << mem_writes
+     << " perm_changes=" << permission_changes << " sigs=" << signatures;
+  return os.str();
+}
+
+namespace {
+
+using core::Omega;
+
+std::string input_of(const ClusterConfig& cfg, ProcessId p) {
+  return cfg.identical_inputs ? "value-all" : "value-" + std::to_string(p);
+}
+
+/// Everything one run owns. The executor is declared first (constructed
+/// first, destroyed last); all cross-object references during teardown go
+/// through shared nodes, so this order is safe.
+struct World {
+  explicit World(const ClusterConfig& cfg)
+      : cfg(cfg),
+        exec(),
+        rng(cfg.seed),
+        keystore(cfg.seed ^ 0x5157ULL),
+        network(exec, cfg.n) {
+    if (cfg.gst > 0) network.set_gst(cfg.gst, cfg.pre_gst_delay);
+
+    // Memories (either backend).
+    for (std::size_t i = 0; i < cfg.m; ++i) {
+      const MemoryId mid = static_cast<MemoryId>(i + 1);
+      if (cfg.verbs_backend) {
+        verbs_backing.push_back(std::make_unique<verbs::VerbsMemory>(
+            exec, std::make_unique<verbs::RdmaDevice>(exec, mid, rng.next()),
+            all_processes(cfg.n)));
+        memories.push_back(verbs_backing.back().get());
+      } else {
+        mem_backing.push_back(std::make_unique<mem::Memory>(exec, mid));
+        memories.push_back(mem_backing.back().get());
+      }
+    }
+
+    // Per-process liveness flags, signers and memory views.
+    for (ProcessId p : all_processes(cfg.n)) {
+      alive.push_back(std::make_shared<bool>(true));
+      signers.push_back(keystore.register_process(p));
+      std::vector<std::unique_ptr<ProcessView>> vs;
+      std::vector<mem::MemoryIface*> raw;
+      for (auto* m : memories) {
+        vs.push_back(std::make_unique<ProcessView>(exec, *m, alive.back()));
+        raw.push_back(vs.back().get());
+      }
+      views.push_back(std::move(vs));
+      view_ptrs.push_back(std::move(raw));
+    }
+
+    // Ω: lowest-id correct process alive at t (converges once crashes stop;
+    // Byzantine processes are never trusted — the standard assumption that
+    // Ω eventually outputs a correct process).
+    omega = std::make_unique<Omega>(exec, [this](sim::Time t) -> ProcessId {
+      for (ProcessId p : all_processes(this->cfg.n)) {
+        if (this->cfg.faults.is_byzantine(p)) continue;
+        const auto it = this->cfg.faults.process_crashes.find(p);
+        if (it != this->cfg.faults.process_crashes.end() && it->second <= t) continue;
+        return p;
+      }
+      return kLeaderP1;
+    });
+
+    // Schedule faults.
+    for (const auto& [p, t] : cfg.faults.process_crashes) {
+      exec.call_at(t, [this, p = p] {
+        *alive[p - 1] = false;
+        network.crash(p);
+      });
+    }
+    for (const auto& [mid, t] : cfg.faults.memory_crashes) {
+      exec.call_at(t, [this, mid = mid] {
+        if (mid == 0 || mid > memories.size()) return;
+        if (this->cfg.verbs_backend) {
+          verbs_backing[mid - 1]->device().crash();
+        } else {
+          mem_backing[mid - 1]->crash();
+        }
+      });
+    }
+
+    reports.resize(cfg.n);
+    for (ProcessId p : all_processes(cfg.n)) {
+      auto& row = reports[p - 1];
+      row.id = p;
+      row.byzantine = cfg.faults.is_byzantine(p);
+      const auto it = cfg.faults.process_crashes.find(p);
+      if (it != cfg.faults.process_crashes.end()) row.crashed_at = it->second;
+    }
+  }
+
+  /// Apply `fn` to every backing memory object (for region creation).
+  template <typename Fn>
+  void for_each_backing(Fn&& fn) {
+    if (cfg.verbs_backend) {
+      for (auto& vm : verbs_backing) fn(*vm);
+    } else {
+      for (auto& mm : mem_backing) fn(*mm);
+    }
+  }
+
+  bool correct(ProcessId p) const {
+    return !cfg.faults.is_byzantine(p) &&
+           !cfg.faults.process_crashes.contains(p);
+  }
+
+  bool done() const {
+    for (ProcessId p : all_processes(cfg.n)) {
+      if (!correct(p)) continue;
+      if (!reports[p - 1].decided) return false;
+    }
+    return true;
+  }
+
+  ClusterConfig cfg;
+  sim::Executor exec;
+  sim::Rng rng;
+  crypto::KeyStore keystore;
+  net::Network network;
+  std::vector<std::unique_ptr<mem::Memory>> mem_backing;
+  std::vector<std::unique_ptr<verbs::VerbsMemory>> verbs_backing;
+  std::vector<mem::MemoryIface*> memories;
+  std::vector<std::shared_ptr<bool>> alive;
+  std::vector<crypto::Signer> signers;
+  std::vector<std::vector<std::unique_ptr<ProcessView>>> views;
+  std::vector<std::vector<mem::MemoryIface*>> view_ptrs;
+  std::unique_ptr<Omega> omega;
+  std::vector<ProcessReport> reports;
+
+  // Algorithm objects (only the relevant vectors are populated).
+  std::vector<std::unique_ptr<core::NetTransport>> transports;
+  std::vector<std::unique_ptr<core::Paxos>> paxoses;
+  std::vector<std::unique_ptr<core::DiskPaxos>> disk_paxoses;
+  std::vector<std::unique_ptr<core::ProtectedMemoryPaxos>> pmps;
+  std::vector<std::unique_ptr<core::AlignedPaxos>> aligneds;
+  std::vector<std::unique_ptr<core::NebSlots>> neb_slots;
+  std::vector<std::unique_ptr<core::RobustBackup>> robust_backups;
+  std::vector<std::unique_ptr<core::FastRobustProcess>> fast_robusts;
+
+  // Region ids needed by Byzantine strategies.
+  std::map<ProcessId, RegionId> neb_region_ids;
+  RegionId cq_region_leader_ = 0;
+};
+
+// --- Driver coroutines (parameters, not captures). ---
+
+sim::Task<void> drive_bytes(sim::Executor* exec, ProcessReport* row,
+                            sim::Task<Bytes> proposal) {
+  const Bytes v = co_await std::move(proposal);
+  row->decided = true;
+  row->decision = util::to_string(v);
+  row->decided_at = exec->now();
+}
+
+sim::Task<void> drive_fast_robust(ProcessReport* row,
+                                  sim::Task<core::FastRobustOutcome> proposal) {
+  const core::FastRobustOutcome out = co_await std::move(proposal);
+  row->decided = true;
+  row->decision = util::to_string(out.value);
+  row->decided_at = out.decided_at;
+  row->fast_path = out.fast;
+}
+
+// --- Byzantine strategies. ---
+
+sim::Task<void> byz_neb_equivocate(World* w, ProcessId p) {
+  // Write a *different* validly-signed first message to each memory's copy
+  // of our own NEB slot — the equivocation Algorithm 2 must suppress.
+  const std::string slot = "neb/" + std::to_string(p) + "/1/" + std::to_string(p);
+  for (std::size_t i = 0; i < w->memories.size(); ++i) {
+    const Bytes msg = util::to_bytes("equivocation-" + std::to_string(i));
+    const crypto::Signature sig =
+        w->signers[p - 1].sign(core::neb_signing_bytes(1, msg));
+    // Region id for p's NEB region: created in process order after any
+    // algorithm-specific regions; the harness stores it in neb_region_ids.
+    (void)co_await w->memories[i]->write(p, w->neb_region_ids.at(p), slot,
+                                         core::encode_neb_slot(1, msg, sig));
+  }
+  co_return;
+}
+
+sim::Task<void> byz_cq_leader_equivocate(World* w, ProcessId p) {
+  // As the Cheap Quorum leader, plant different signed values on different
+  // memories, then go silent. Followers read a mixed quorum, fail to reach
+  // unanimity, panic, and the backup must still agree.
+  for (std::size_t i = 0; i < w->memories.size(); ++i) {
+    const Bytes v = util::to_bytes("evil-" + std::to_string(i % 2));
+    const crypto::Signature sig =
+        w->signers[p - 1].sign(core::cq_value_signing_bytes(v));
+    (void)co_await w->memories[i]->write(p, w->cq_region_leader_, "cq/leader/value",
+                                         core::encode_leader_blob(v, sig));
+  }
+  co_return;
+}
+
+sim::Task<void> byz_garbage(World* w, ProcessId p) {
+  // Malformed NEB slot + junk on every message tag others listen on.
+  const std::string slot = "neb/" + std::to_string(p) + "/1/" + std::to_string(p);
+  for (std::size_t i = 0; i < w->memories.size(); ++i) {
+    (void)co_await w->memories[i]->write(p, w->neb_region_ids.at(p), slot,
+                                         util::to_bytes("\xde\xad\xbe\xef"));
+  }
+  w->network.broadcast(p, 900, util::to_bytes("junk"));
+  w->network.broadcast(p, 100, util::to_bytes("junk"));
+  co_return;
+}
+
+}  // namespace
+
+RunReport run_cluster(const ClusterConfig& config) {
+  World w(config);
+  const std::size_t n = config.n;
+  const auto all = all_processes(n);
+  const std::size_t fP = n > 0 ? (n - 1) / 2 : 0;  // tolerance n >= 2f+1
+
+  // ---- Wire the chosen algorithm. ----
+  switch (config.algo) {
+    case Algorithm::kPaxos:
+    case Algorithm::kFastPaxos: {
+      core::PaxosConfig pc;
+      pc.n = n;
+      pc.skip_phase1_for_p1 = (config.algo == Algorithm::kFastPaxos);
+      for (ProcessId p : all) {
+        w.transports.push_back(
+            std::make_unique<core::NetTransport>(w.exec, w.network, p, /*tag=*/100));
+        w.paxoses.push_back(
+            std::make_unique<core::Paxos>(w.exec, *w.transports.back(), *w.omega, pc));
+      }
+      for (ProcessId p : all) {
+        if (w.cfg.faults.is_byzantine(p)) continue;  // crash-model algorithms
+        w.paxoses[p - 1]->start();
+        w.exec.spawn(drive_bytes(&w.exec, &w.reports[p - 1],
+                                 w.paxoses[p - 1]->propose(
+                                     util::to_bytes(input_of(config, p)))));
+      }
+      break;
+    }
+
+    case Algorithm::kDiskPaxos: {
+      RegionId region = 0;
+      w.for_each_backing([&](auto& m) { region = core::make_disk_region(m, n); });
+      core::DiskPaxosConfig dc;
+      dc.n = n;
+      for (ProcessId p : all) {
+        w.disk_paxoses.push_back(std::make_unique<core::DiskPaxos>(
+            w.exec, w.view_ptrs[p - 1], region, w.network, *w.omega, p, dc));
+      }
+      for (ProcessId p : all) {
+        w.disk_paxoses[p - 1]->start();
+        w.exec.spawn(drive_bytes(&w.exec, &w.reports[p - 1],
+                                 w.disk_paxoses[p - 1]->propose(
+                                     util::to_bytes(input_of(config, p)))));
+      }
+      break;
+    }
+
+    case Algorithm::kProtectedMemoryPaxos: {
+      RegionId region = 0;
+      w.for_each_backing([&](auto& m) { region = core::make_pmp_region(m, n); });
+      core::PmpConfig pc;
+      pc.n = n;
+      for (ProcessId p : all) {
+        w.pmps.push_back(std::make_unique<core::ProtectedMemoryPaxos>(
+            w.exec, w.view_ptrs[p - 1], region, w.network, *w.omega, p, pc));
+      }
+      for (ProcessId p : all) {
+        w.pmps[p - 1]->start();
+        w.exec.spawn(drive_bytes(&w.exec, &w.reports[p - 1],
+                                 w.pmps[p - 1]->propose(
+                                     util::to_bytes(input_of(config, p)))));
+      }
+      break;
+    }
+
+    case Algorithm::kAlignedPaxos: {
+      RegionId region = 0;
+      w.for_each_backing([&](auto& m) { region = core::make_pmp_region(m, n); });
+      core::AlignedPaxosConfig ac;
+      ac.n = n;
+      for (ProcessId p : all) {
+        w.aligneds.push_back(std::make_unique<core::AlignedPaxos>(
+            w.exec, w.view_ptrs[p - 1], region, w.network, *w.omega, p, ac));
+      }
+      for (ProcessId p : all) {
+        w.aligneds[p - 1]->start();
+        w.exec.spawn(drive_bytes(&w.exec, &w.reports[p - 1],
+                                 w.aligneds[p - 1]->propose(
+                                     util::to_bytes(input_of(config, p)))));
+      }
+      break;
+    }
+
+    case Algorithm::kRobustBackup: {
+      std::map<ProcessId, RegionId> neb_regions;
+      w.for_each_backing([&](auto& m) { neb_regions = core::make_neb_regions(m, n); });
+      w.neb_region_ids = neb_regions;
+      core::RobustBackupConfig rc;
+      rc.n = n;
+      rc.neb.n = n;
+      rc.paxos.n = n;
+      // Rounds run over non-equivocating broadcast (≥6 delays per hop, plus
+      // scan latency growing with n); give proposers generous patience so
+      // they don't abort rounds that are still in flight.
+      rc.paxos.round_timeout = 150 * n;
+      rc.paxos.retry_backoff = 40;
+      for (ProcessId p : all) {
+        w.neb_slots.push_back(std::make_unique<core::NebSlots>(
+            w.exec, w.view_ptrs[p - 1], neb_regions));
+        w.robust_backups.push_back(std::make_unique<core::RobustBackup>(
+            w.exec, *w.neb_slots.back(), w.keystore, w.signers[p - 1], *w.omega, rc));
+      }
+      for (ProcessId p : all) {
+        if (w.cfg.faults.is_byzantine(p)) continue;
+        w.robust_backups[p - 1]->start();
+        w.exec.spawn(drive_bytes(&w.exec, &w.reports[p - 1],
+                                 w.robust_backups[p - 1]->propose(
+                                     util::to_bytes(input_of(config, p)))));
+      }
+      break;
+    }
+
+    case Algorithm::kFastRobust: {
+      core::CheapQuorumRegions cq_regions;
+      std::map<ProcessId, RegionId> neb_regions;
+      w.for_each_backing([&](auto& m) {
+        cq_regions = core::make_cq_regions(m, n);
+        neb_regions = core::make_neb_regions(m, n);
+      });
+      w.neb_region_ids = neb_regions;
+      w.cq_region_leader_ = cq_regions.leader;
+
+      core::FastRobustConfig fc;
+      fc.n = n;
+      fc.f = fP;
+      fc.cheap.n = n;
+      fc.cheap.timeout = config.cq_timeout;
+      fc.neb.n = n;
+      fc.paxos.n = n;
+      fc.paxos.round_timeout = 150 * n;  // backup runs over NEB (see above)
+      fc.paxos.retry_backoff = 40;
+      for (ProcessId p : all) {
+        w.neb_slots.push_back(std::make_unique<core::NebSlots>(
+            w.exec, w.view_ptrs[p - 1], neb_regions));
+        w.fast_robusts.push_back(std::make_unique<core::FastRobustProcess>(
+            w.exec, w.view_ptrs[p - 1], cq_regions, *w.neb_slots.back(),
+            w.keystore, w.signers[p - 1], *w.omega, fc));
+      }
+      for (ProcessId p : all) {
+        if (w.cfg.faults.is_byzantine(p)) continue;
+        w.fast_robusts[p - 1]->start();
+        w.exec.spawn(drive_fast_robust(&w.reports[p - 1],
+                                       w.fast_robusts[p - 1]->propose(
+                                           util::to_bytes(input_of(config, p)))));
+      }
+      break;
+    }
+  }
+
+  // ---- Byzantine strategies. ----
+  for (const auto& [p, strategy] : config.faults.byzantine) {
+    switch (strategy) {
+      case ByzantineStrategy::kSilent:
+        break;
+      case ByzantineStrategy::kNebEquivocate:
+        w.exec.spawn(byz_neb_equivocate(&w, p));
+        break;
+      case ByzantineStrategy::kCqLeaderEquivocate:
+        w.exec.spawn(byz_cq_leader_equivocate(&w, p));
+        break;
+      case ByzantineStrategy::kGarbage:
+        w.exec.spawn(byz_garbage(&w, p));
+        break;
+    }
+  }
+
+  // ---- Run. ----
+  w.exec.run_until([&] { return w.done(); }, config.horizon);
+
+  // ---- Report. ----
+  RunReport report;
+  report.processes = w.reports;
+
+  std::set<std::string> inputs;
+  for (ProcessId p : all) inputs.insert(input_of(config, p));
+
+  std::optional<std::string> decided;
+  for (ProcessId p : all) {
+    const auto& row = w.reports[p - 1];
+    if (row.byzantine) continue;
+    if (row.decided) {
+      report.first_decision_delay =
+          std::min(report.first_decision_delay, row.decided_at);
+      report.first_correct_decision_delay =
+          std::min(report.first_correct_decision_delay, row.decided_at);
+      if (decided.has_value() && *decided != row.decision) {
+        report.agreement = false;
+      }
+      decided = decided.has_value() ? decided : row.decision;
+      if (!inputs.contains(row.decision)) report.validity = false;
+    } else if (w.correct(p)) {
+      report.termination = false;
+    }
+  }
+  report.decided_value = decided;
+
+  report.messages_sent = w.network.messages_sent();
+  if (!config.verbs_backend) {
+    for (const auto& m : w.mem_backing) {
+      report.mem_reads += m->reads();
+      report.mem_writes += m->writes();
+      report.permission_changes += m->permission_changes();
+    }
+  } else {
+    for (const auto& vm : w.verbs_backing) {
+      report.mem_reads += vm->device().posted_reads();
+      report.mem_writes += vm->device().posted_writes();
+    }
+  }
+  report.signatures = w.keystore.signatures_made();
+  report.verifications = w.keystore.verifications_made();
+  return report;
+}
+
+}  // namespace mnm::harness

@@ -1,0 +1,124 @@
+// Experiment harness: builds a full M&M cluster for one consensus instance,
+// injects faults, runs to quiescence, and checks the paper's correctness
+// properties (§3: uniform agreement / agreement, validity, termination).
+//
+// One Cluster = one configuration of
+//   * an algorithm (the paper's three + baselines),
+//   * n processes and m memories (mem::Memory or the verbs backend),
+//   * a fault plan: crash times for processes/memories, Byzantine
+//     strategies, and a partial-synchrony shape (GST + pre-GST delay),
+// and produces a RunReport with per-process outcomes, delay counts, message
+// and memory-operation counts, signature counts, and invariant verdicts.
+//
+// Everything is deterministic given the seed.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/sim/time.hpp"
+
+namespace mnm::harness {
+
+enum class Algorithm {
+  kPaxos,                // message passing, 2 phases always (4 delays)
+  kFastPaxos,            // message passing, p1 skips phase 1 (2 delays)
+  kDiskPaxos,            // memory only, static permissions (4 delays)
+  kProtectedMemoryPaxos, // memory + dynamic permissions (2 delays, n ≥ f+1)
+  kAlignedPaxos,         // messages + memory, combined-majority resilience
+  kRobustBackup,         // Byzantine: Robust Backup(Paxos), slow path only
+  kFastRobust,           // Byzantine: Cheap Quorum + backup (2 delays)
+};
+
+const char* algorithm_name(Algorithm a);
+
+/// How a Byzantine process misbehaves. Strategies act through the same
+/// capability objects as correct processes (own signer, own permissions), so
+/// they cannot do anything the model forbids.
+enum class ByzantineStrategy {
+  kSilent,             // participates in nothing
+  kNebEquivocate,      // writes conflicting signed values into its own NEB
+                       // slots on different memories (the attack Alg. 2 stops)
+  kCqLeaderEquivocate, // as CQ leader: plants different signed values on
+                       // different memories, then goes silent
+  kGarbage,            // floods its regions and links with malformed bytes
+};
+
+struct FaultPlan {
+  std::map<ProcessId, sim::Time> process_crashes;
+  std::map<MemoryId, sim::Time> memory_crashes;
+  std::map<ProcessId, ByzantineStrategy> byzantine;
+
+  std::size_t crashed_by_horizon() const { return process_crashes.size(); }
+  bool is_byzantine(ProcessId p) const { return byzantine.contains(p); }
+};
+
+struct ClusterConfig {
+  Algorithm algo = Algorithm::kPaxos;
+  std::size_t n = 3;
+  std::size_t m = 3;
+  std::uint64_t seed = 1;
+  bool verbs_backend = false;  // run memories through the RDMA-like layer
+
+  /// Partial synchrony: messages sent before `gst` take `pre_gst_delay`.
+  sim::Time gst = 0;
+  sim::Time pre_gst_delay = 1;
+
+  /// Give every process the same input instead of distinct ones.
+  bool identical_inputs = false;
+
+  sim::Time horizon = 60000;
+  sim::Time cq_timeout = 120;
+
+  FaultPlan faults;
+};
+
+struct ProcessReport {
+  ProcessId id = 0;
+  bool byzantine = false;
+  sim::Time crashed_at = sim::kTimeInfinity;
+  bool decided = false;
+  std::string decision;
+  sim::Time decided_at = 0;
+  bool fast_path = false;  // Fast & Robust: decided on the Cheap Quorum path
+};
+
+struct RunReport {
+  std::vector<ProcessReport> processes;
+
+  // Invariants (computed over correct processes only).
+  bool agreement = true;
+  bool validity = true;
+  bool termination = true;
+  bool all_ok() const { return agreement && validity && termination; }
+
+  std::optional<std::string> decided_value;
+  /// Virtual time of the earliest decision = decision delay (proposals start
+  /// at t = 0, one unit = one network delay).
+  sim::Time first_decision_delay = sim::kTimeInfinity;
+  /// Earliest decision by a *correct* process.
+  sim::Time first_correct_decision_delay = sim::kTimeInfinity;
+
+  // Cost metrics, whole run.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writes = 0;
+  std::uint64_t permission_changes = 0;
+  std::uint64_t signatures = 0;
+  std::uint64_t verifications = 0;
+
+  std::string summary() const;
+};
+
+/// Build and run one consensus instance under `config`. Process p proposes
+/// "value-p" (or "value-all" with identical_inputs).
+RunReport run_cluster(const ClusterConfig& config);
+
+}  // namespace mnm::harness

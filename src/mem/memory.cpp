@@ -1,0 +1,148 @@
+#include "src/mem/memory.hpp"
+
+#include <stdexcept>
+
+namespace mnm::mem {
+
+Memory::Memory(sim::Executor& exec, MemoryId id, sim::Time op_delay)
+    : exec_(&exec), id_(id), op_delay_(op_delay) {}
+
+bool Memory::Region::contains(const std::string& reg) const {
+  for (const auto& p : prefixes) {
+    if (reg.size() >= p.size() && reg.compare(0, p.size(), p) == 0) return true;
+  }
+  for (const auto& e : exact) {
+    if (reg == e) return true;
+  }
+  return false;
+}
+
+RegionId Memory::create_region(std::vector<std::string> prefixes,
+                               Permission perm, LegalChangeFn legal,
+                               std::vector<std::string> exact) {
+  if (!perm.disjoint()) {
+    throw std::invalid_argument("Memory::create_region: R/W/RW must be disjoint");
+  }
+  const RegionId rid = next_region_++;
+  regions_.emplace(rid, Region{std::move(prefixes), std::move(exact),
+                               std::move(perm), std::move(legal)});
+  return rid;
+}
+
+const Memory::Region* Memory::find_region(RegionId id) const {
+  const auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+sim::Task<Status> Memory::write(ProcessId caller, RegionId region,
+                                std::string reg, Bytes value) {
+  sim::OneShot<Status> done(*exec_);
+  const sim::Time effect_at = op_delay_ / 2;  // arrival at the memory
+  auto outcome = std::make_shared<std::optional<Status>>();
+
+  exec_->call_after(effect_at, [this, caller, region, reg, value = std::move(value),
+                                outcome]() mutable {
+    if (crashed_) return;  // request lost inside the dead memory
+    const Region* r = find_region(region);
+    if (r == nullptr || !r->contains(reg) || !r->perm.can_write(caller)) {
+      ++naks_;
+      *outcome = Status::kNak;
+      return;
+    }
+    ++writes_;
+    registers_[reg] = std::move(value);
+    *outcome = Status::kAck;
+  });
+  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
+    if (crashed_ || !outcome->has_value()) return;  // response never leaves
+    done.fulfill(**outcome);
+  });
+
+  co_return co_await done.wait();
+}
+
+sim::Task<ReadResult> Memory::read(ProcessId caller, RegionId region,
+                                   std::string reg) {
+  sim::OneShot<ReadResult> done(*exec_);
+  const sim::Time effect_at = op_delay_ / 2;
+  auto outcome = std::make_shared<std::optional<ReadResult>>();
+
+  exec_->call_after(effect_at, [this, caller, region, reg, outcome] {
+    if (crashed_) return;
+    const Region* r = find_region(region);
+    if (r == nullptr || !r->contains(reg) || !r->perm.can_read(caller)) {
+      ++naks_;
+      *outcome = ReadResult{Status::kNak, {}};
+      return;
+    }
+    ++reads_;
+    const auto it = registers_.find(reg);
+    *outcome = ReadResult{Status::kAck,
+                          it == registers_.end() ? util::bottom() : it->second};
+  });
+  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
+    if (crashed_ || !outcome->has_value()) return;
+    done.fulfill(std::move(**outcome));
+  });
+
+  co_return co_await done.wait();
+}
+
+sim::Task<Status> Memory::change_permission(ProcessId caller, RegionId region,
+                                            Permission proposed) {
+  sim::OneShot<Status> done(*exec_);
+  const sim::Time effect_at = op_delay_ / 2;
+  auto outcome = std::make_shared<std::optional<Status>>();
+
+  exec_->call_after(effect_at, [this, caller, region, proposed = std::move(proposed),
+                                outcome]() mutable {
+    if (crashed_) return;
+    const auto it = regions_.find(region);
+    if (it == regions_.end() || !proposed.disjoint()) {
+      ++naks_;
+      *outcome = Status::kNak;
+      return;
+    }
+    Region& r = it->second;
+    // §3: the system evaluates legalChange to decide whether the change
+    // takes effect or becomes a no-op. A refused change still *returns* (it
+    // is a no-op, not a hang) — we report it as nak so callers can tell.
+    if (!r.legal(caller, region, r.perm, proposed)) {
+      ++naks_;
+      *outcome = Status::kNak;
+      return;
+    }
+    ++perm_changes_;
+    r.perm = std::move(proposed);
+    *outcome = Status::kAck;
+  });
+  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
+    if (crashed_ || !outcome->has_value()) return;
+    done.fulfill(**outcome);
+  });
+
+  co_return co_await done.wait();
+}
+
+std::optional<Bytes> Memory::peek(const std::string& reg) const {
+  const auto it = registers_.find(reg);
+  if (it == registers_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Memory::poke(const std::string& reg, Bytes value) {
+  registers_[reg] = std::move(value);
+}
+
+const Permission& Memory::region_permission(RegionId region) const {
+  const Region* r = find_region(region);
+  if (r == nullptr) throw std::out_of_range("Memory::region_permission");
+  return r->perm;
+}
+
+bool Memory::region_contains(RegionId region, const std::string& reg) const {
+  const Region* r = find_region(region);
+  return r != nullptr && r->contains(reg);
+}
+
+}  // namespace mnm::mem

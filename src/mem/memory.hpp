@@ -1,0 +1,131 @@
+// Shared memories of the M&M model (paper §3, Figure 1).
+//
+// A memory is a set of named registers grouped into (possibly overlapping)
+// regions, each region guarded by a permission. Operations:
+//
+//   write(mr, r, v) → ack | nak       (nak when r ∉ mr or no write permission)
+//   read(mr, r)     → value | nak     (nak when r ∉ mr or no read permission)
+//   changePermission(mr, perm)        (filtered through legalChange, §3)
+//
+// Timing: every operation costs kMemoryOpDelay (2 units — the round trip the
+// paper charges memory operations). The request *takes effect* at the
+// midpoint (arrival at the memory) and the response lands at the full delay;
+// this models RDMA's NIC-side execution and gives per-memory linearizable
+// registers, from which the SWMR layer (src/swmr) builds the regular
+// registers the algorithms need.
+//
+// Failures: a crashed memory never executes or answers anything again —
+// callers hang (§3: "operations ... hang without returning a response").
+// A crash between the effect point and the response leaves the write applied
+// but unacknowledged, exactly the ambiguity real systems face.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/mem/permissions.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/oneshot.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::mem {
+
+enum class Status : std::uint8_t { kAck, kNak };
+
+struct ReadResult {
+  Status status = Status::kNak;
+  Bytes value;  // meaningful only when status == kAck
+
+  bool ok() const { return status == Status::kAck; }
+};
+
+/// Abstract memory surface. `mem::Memory` implements it directly;
+/// `verbs::VerbsMemory` implements it through the RDMA-like layer (§7
+/// mapping). Algorithms are written against this interface so they run on
+/// either backend.
+class MemoryIface {
+ public:
+  virtual ~MemoryIface() = default;
+
+  virtual MemoryId id() const = 0;
+
+  virtual sim::Task<Status> write(ProcessId caller, RegionId region,
+                                  std::string reg, Bytes value) = 0;
+  virtual sim::Task<ReadResult> read(ProcessId caller, RegionId region,
+                                     std::string reg) = 0;
+  virtual sim::Task<Status> change_permission(ProcessId caller, RegionId region,
+                                              Permission proposed) = 0;
+};
+
+class Memory : public MemoryIface {
+ public:
+  Memory(sim::Executor& exec, MemoryId id,
+         sim::Time op_delay = sim::kMemoryOpDelay);
+
+  MemoryId id() const override { return id_; }
+
+  /// Define a region. Registers belong to it if their name starts with any
+  /// of `prefixes` (an empty prefix list with `exact` names is also
+  /// supported). Regions may overlap (§3) though the shipped algorithms
+  /// keep them disjoint.
+  RegionId create_region(std::vector<std::string> prefixes, Permission perm,
+                         LegalChangeFn legal = static_permissions(),
+                         std::vector<std::string> exact = {});
+
+  sim::Task<Status> write(ProcessId caller, RegionId region,
+                          std::string reg, Bytes value) override;
+  sim::Task<ReadResult> read(ProcessId caller, RegionId region,
+                             std::string reg) override;
+  sim::Task<Status> change_permission(ProcessId caller, RegionId region,
+                                      Permission proposed) override;
+
+  /// Crash the memory: all in-flight and future operations hang forever.
+  void crash() { crashed_ = true; }
+  bool crashed() const { return crashed_; }
+
+  // --- Introspection for tests and the harness (no delay, no permission
+  // checks; not part of the model's operation surface). ---
+  std::optional<Bytes> peek(const std::string& reg) const;
+  void poke(const std::string& reg, Bytes value);
+  const Permission& region_permission(RegionId region) const;
+  bool region_contains(RegionId region, const std::string& reg) const;
+
+  // Metrics.
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t permission_changes() const { return perm_changes_; }
+  std::uint64_t naks() const { return naks_; }
+
+ private:
+  struct Region {
+    std::vector<std::string> prefixes;
+    std::vector<std::string> exact;
+    Permission perm;
+    LegalChangeFn legal;
+
+    bool contains(const std::string& reg) const;
+  };
+
+  const Region* find_region(RegionId id) const;
+
+  sim::Executor* exec_;
+  MemoryId id_;
+  sim::Time op_delay_;
+  bool crashed_ = false;
+  std::map<RegionId, Region> regions_;
+  RegionId next_region_ = 1;
+  std::map<std::string, Bytes> registers_;
+
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t perm_changes_ = 0;
+  std::uint64_t naks_ = 0;
+};
+
+}  // namespace mnm::mem

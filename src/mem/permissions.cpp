@@ -1,0 +1,48 @@
+#include "src/mem/permissions.hpp"
+
+#include <algorithm>
+
+namespace mnm::mem {
+
+bool Permission::disjoint() const {
+  for (ProcessId p : read) {
+    if (write.contains(p) || read_write.contains(p)) return false;
+  }
+  for (ProcessId p : write) {
+    if (read_write.contains(p)) return false;
+  }
+  return true;
+}
+
+Permission Permission::swmr(ProcessId writer, const std::vector<ProcessId>& all) {
+  Permission perm;
+  for (ProcessId p : all) {
+    if (p == writer) {
+      perm.read_write.insert(p);
+    } else {
+      perm.read.insert(p);
+    }
+  }
+  return perm;
+}
+
+Permission Permission::open(const std::vector<ProcessId>& all) {
+  Permission perm;
+  perm.read_write.insert(all.begin(), all.end());
+  return perm;
+}
+
+Permission Permission::exclusive_writer(ProcessId writer,
+                                        const std::vector<ProcessId>& all) {
+  // Same shape as SWMR; named separately because Protected Memory Paxos
+  // *transfers* it between processes at run time.
+  return swmr(writer, all);
+}
+
+Permission Permission::read_only(const std::vector<ProcessId>& all) {
+  Permission perm;
+  perm.read.insert(all.begin(), all.end());
+  return perm;
+}
+
+}  // namespace mnm::mem

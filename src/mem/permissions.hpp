@@ -1,0 +1,73 @@
+// Memory permissions (paper §3, "Memory permissions" / "Permission change").
+//
+// Each region carries a permission: three disjoint process sets (R, W, RW).
+// A process may read if it is in R ∪ RW and write if in W ∪ RW. Algorithms
+// restrict *changes* to permissions with a legalChange predicate evaluated by
+// the memory itself; when legalChange always refuses, permissions are static.
+
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <set>
+#include <string>
+
+#include "src/common.hpp"
+
+namespace mnm::mem {
+
+struct Permission {
+  std::set<ProcessId> read;        // R: may read only
+  std::set<ProcessId> write;       // W: may write only
+  std::set<ProcessId> read_write;  // RW: may do both
+
+  bool can_read(ProcessId p) const {
+    return read.contains(p) || read_write.contains(p);
+  }
+  bool can_write(ProcessId p) const {
+    return write.contains(p) || read_write.contains(p);
+  }
+
+  /// The paper's invariant: the three sets are pairwise disjoint.
+  bool disjoint() const;
+
+  /// SWMR permission: `writer` in RW, everyone else in R (paper §3:
+  /// Rmr = P \ {p}, Wmr = ∅, RWmr = {p}).
+  static Permission swmr(ProcessId writer, const std::vector<ProcessId>& all);
+
+  /// Everyone may read and write (the disk model's single region).
+  static Permission open(const std::vector<ProcessId>& all);
+
+  /// Everyone may read; exactly one process may write (Protected Memory
+  /// Paxos's per-memory exclusive-writer region).
+  static Permission exclusive_writer(ProcessId writer,
+                                     const std::vector<ProcessId>& all);
+
+  /// Read-only for everyone (a revoked region, e.g. Region[ℓ] after panic).
+  static Permission read_only(const std::vector<ProcessId>& all);
+
+  bool operator==(const Permission&) const = default;
+};
+
+/// Decides whether `requester` may replace `current` with `proposed` on a
+/// region. Returning false makes changePermission a no-op (§3).
+using LegalChangeFn = std::function<bool(
+    ProcessId requester, RegionId region, const Permission& current,
+    const Permission& proposed)>;
+
+/// Static permissions: every change is refused.
+inline LegalChangeFn static_permissions() {
+  return [](ProcessId, RegionId, const Permission&, const Permission&) {
+    return false;
+  };
+}
+
+/// Fully dynamic permissions: every change is allowed (crash-failure
+/// algorithms, where processes follow the protocol).
+inline LegalChangeFn dynamic_permissions() {
+  return [](ProcessId, RegionId, const Permission&, const Permission&) {
+    return true;
+  };
+}
+
+}  // namespace mnm::mem

@@ -1,0 +1,48 @@
+#include "src/net/network.hpp"
+
+#include <stdexcept>
+
+namespace mnm::net {
+
+Network::Network(sim::Executor& exec, std::size_t n_processes)
+    : exec_(&exec), n_(n_processes) {
+  delay_fn_ = [](ProcessId, ProcessId, sim::Time) { return sim::kMessageDelay; };
+  for (ProcessId p : all_processes(n_)) {
+    inboxes_.emplace(p, std::make_unique<Inbox>(exec));
+  }
+}
+
+void Network::set_gst(sim::Time gst, sim::Time pre_delay) {
+  delay_fn_ = [gst, pre_delay](ProcessId, ProcessId, sim::Time now) {
+    return now < gst ? pre_delay : sim::kMessageDelay;
+  };
+}
+
+Inbox& Network::inbox(ProcessId pid) {
+  const auto it = inboxes_.find(pid);
+  if (it == inboxes_.end()) throw std::out_of_range("Network::inbox: unknown process");
+  return *it->second;
+}
+
+void Network::send(ProcessId src, ProcessId dst, MsgType type, Bytes payload) {
+  if (crashed_.contains(src)) return;           // crashed processes are silent
+  if (!inboxes_.contains(dst)) return;          // unknown destination: drop
+  ++sent_;
+  const sim::Time delay = delay_fn_(src, dst, exec_->now());
+  Message msg{src, dst, type, std::move(payload)};
+  exec_->call_after(delay, [this, msg = std::move(msg)]() mutable {
+    if (crashed_.contains(msg.dst)) return;     // receiver died in flight
+    ++delivered_;
+    inboxes_.at(msg.dst)->deliver(std::move(msg));
+  });
+}
+
+void Network::broadcast(ProcessId src, MsgType type, const Bytes& payload,
+                        bool include_self) {
+  for (ProcessId dst : all_processes(n_)) {
+    if (!include_self && dst == src) continue;
+    send(src, dst, type, payload);
+  }
+}
+
+}  // namespace mnm::net

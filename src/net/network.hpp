@@ -1,0 +1,136 @@
+// Message-passing half of the M&M model (paper §3, "Sending messages").
+//
+// Directed, authenticated, reliable links between every pair of processes:
+//  * Integrity — a message is received at most once, and only if it was sent:
+//    the network stamps the true sender on every message, so even Byzantine
+//    strategies cannot spoof a source id (they hold only their own Endpoint).
+//  * No-loss — messages between correct processes are eventually delivered;
+//    asynchrony is modeled by the per-link delay function, never by drops.
+//
+// Crashed processes stop sending and receiving. Delivery to a process that
+// crashed before the message arrives is dropped (a crashed process "stops
+// taking steps forever").
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/sim/channel.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/time.hpp"
+
+namespace mnm::net {
+
+using MsgType = std::uint32_t;
+
+struct Message {
+  ProcessId src = 0;
+  ProcessId dst = 0;
+  MsgType type = 0;
+  Bytes payload;
+};
+
+/// Per-process demultiplexing inbox: one channel per message type plus a
+/// catch-all for unregistered types. Algorithms sharing a process (e.g. Fast
+/// & Robust's fast path and backup) each listen on their own types.
+class Inbox {
+ public:
+  explicit Inbox(sim::Executor& exec) : exec_(&exec) {}
+
+  /// Channel for a specific message type (created on first use).
+  sim::Channel<Message>& channel(MsgType type) {
+    auto it = channels_.find(type);
+    if (it == channels_.end()) {
+      it = channels_.emplace(type, std::make_unique<sim::Channel<Message>>(*exec_)).first;
+    }
+    return *it->second;
+  }
+
+  bool has_channel(MsgType type) const { return channels_.contains(type); }
+
+  void deliver(Message msg) { channel(msg.type).send(std::move(msg)); }
+
+ private:
+  sim::Executor* exec_;
+  std::map<MsgType, std::unique_ptr<sim::Channel<Message>>> channels_;
+};
+
+/// Delay (in virtual time units) for a message src → dst sent at `now`.
+/// Returning larger values before a GST models partial synchrony.
+using DelayFn = std::function<sim::Time(ProcessId src, ProcessId dst, sim::Time now)>;
+
+class Network {
+ public:
+  Network(sim::Executor& exec, std::size_t n_processes);
+
+  std::size_t process_count() const { return n_; }
+
+  /// Replace the delay function (default: every message takes
+  /// sim::kMessageDelay).
+  void set_delay_fn(DelayFn fn) { delay_fn_ = std::move(fn); }
+
+  /// Convenience partial-synchrony shape: messages sent before `gst` take
+  /// `pre_delay`; messages sent at/after take kMessageDelay.
+  void set_gst(sim::Time gst, sim::Time pre_delay);
+
+  Inbox& inbox(ProcessId pid);
+
+  /// Send one message. No-op if src has crashed. Delivery is scheduled per
+  /// the delay function and dropped if dst has crashed by arrival.
+  void send(ProcessId src, ProcessId dst, MsgType type, Bytes payload);
+
+  /// Send to every process (including src itself by default — self-delivery
+  /// costs the same one delay, keeping the delay accounting uniform).
+  void broadcast(ProcessId src, MsgType type, const Bytes& payload,
+                 bool include_self = true);
+
+  void crash(ProcessId pid) { crashed_.insert(pid); }
+  bool crashed(ProcessId pid) const { return crashed_.contains(pid); }
+
+  // Metrics.
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  sim::Executor* exec_;
+  std::size_t n_;
+  DelayFn delay_fn_;
+  std::map<ProcessId, std::unique_ptr<Inbox>> inboxes_;
+  std::set<ProcessId> crashed_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Identity-bound capability handed to one process: all sends are stamped
+/// with the owner's id. This is the mechanism that makes sender spoofing
+/// impossible for Byzantine strategies.
+class Endpoint {
+ public:
+  Endpoint() = default;
+  Endpoint(Network& net, ProcessId self) : net_(&net), self_(self) {}
+
+  ProcessId self() const { return self_; }
+  Network& network() const { return *net_; }
+
+  void send(ProcessId dst, MsgType type, Bytes payload) const {
+    net_->send(self_, dst, type, std::move(payload));
+  }
+  void broadcast(MsgType type, const Bytes& payload, bool include_self = true) const {
+    net_->broadcast(self_, type, payload, include_self);
+  }
+  sim::Channel<Message>& channel(MsgType type) const {
+    return net_->inbox(self_).channel(type);
+  }
+
+ private:
+  Network* net_ = nullptr;
+  ProcessId self_ = 0;
+};
+
+}  // namespace mnm::net

@@ -1,0 +1,131 @@
+// Unbounded channel for the simulator.
+//
+// `send` never blocks; `recv` suspends the calling coroutine until a value is
+// available; `recv_until` additionally wakes with std::nullopt at a deadline.
+// Values are handed directly to a waiting receiver (no re-check races — the
+// simulator is single-threaded), otherwise queued FIFO.
+//
+// Waiter bookkeeping uses shared nodes so that coroutine frames can be
+// destroyed at executor teardown in any order relative to the channel: an
+// awaiter's destructor only flips a flag on its own node and never touches
+// the channel object.
+//
+// Channels carry network messages into process inboxes and quorum-completion
+// notifications out of per-memory sub-tasks.
+
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+
+#include "src/sim/executor.hpp"
+#include "src/sim/time.hpp"
+
+namespace mnm::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Executor& exec) : exec_(&exec) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Number of queued (undelivered) values.
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  void send(T value) {
+    while (!waiters_.empty()) {
+      std::shared_ptr<Waiter> w = waiters_.front();
+      waiters_.pop_front();
+      if (w->dead || !w->linked) continue;  // abandoned or timed out
+      w->linked = false;
+      w->value.emplace(std::move(value));
+      exec_->call_at(exec_->now(), [w] {
+        if (!w->dead) w->handle.resume();
+      });
+      return;
+    }
+    queue_.push_back(std::move(value));
+  }
+
+  /// Awaitable receive; suspends until a value arrives.
+  auto recv() {
+    struct Awaiter {
+      Channel* ch;
+      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
+      bool await_ready() {
+        if (!ch->queue_.empty()) {
+          w->value.emplace(std::move(ch->queue_.front()));
+          ch->queue_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        w->handle = h;
+        w->linked = true;
+        ch->waiters_.push_back(w);
+      }
+      T await_resume() { return std::move(*w->value); }
+      ~Awaiter() { w->dead = true; }
+    };
+    return Awaiter{this};
+  }
+
+  /// Awaitable receive with an absolute-time deadline. Returns std::nullopt
+  /// if the deadline passes first.
+  auto recv_until(Time deadline) {
+    struct Awaiter {
+      Channel* ch;
+      Time deadline;
+      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
+      TimerHandle timer;
+      bool await_ready() {
+        if (!ch->queue_.empty()) {
+          w->value.emplace(std::move(ch->queue_.front()));
+          ch->queue_.pop_front();
+          return true;
+        }
+        return ch->exec_->now() >= deadline;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        w->handle = h;
+        w->linked = true;
+        ch->waiters_.push_back(w);
+        timer = ch->exec_->call_at(deadline, [w = w] {
+          if (!w->dead && w->linked) {
+            w->linked = false;  // lazily skipped by send()
+            w->handle.resume();
+          }
+        });
+      }
+      std::optional<T> await_resume() {
+        timer.cancel();
+        return std::move(w->value);
+      }
+      ~Awaiter() {
+        timer.cancel();
+        w->dead = true;
+      }
+    };
+    return Awaiter{this, deadline, std::make_shared<Waiter>(), TimerHandle{}};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> value;
+    bool linked = false;
+    bool dead = false;
+  };
+
+  Executor* exec_;
+  std::deque<T> queue_;
+  std::list<std::shared_ptr<Waiter>> waiters_;
+};
+
+}  // namespace mnm::sim

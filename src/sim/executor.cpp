@@ -1,0 +1,98 @@
+#include "src/sim/executor.hpp"
+
+#include <cassert>
+
+namespace mnm::sim {
+
+Executor::~Executor() {
+  // Drop all pending events first so nothing resumes a frame mid-teardown,
+  // then destroy surviving root frames (which recursively destroys children
+  // suspended inside them).
+  while (!queue_.empty()) queue_.pop();
+  for (auto it = roots_.rbegin(); it != roots_.rend(); ++it) {
+    if (it->handle) it->handle.destroy();
+  }
+}
+
+TimerHandle Executor::call_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle{cancelled};
+}
+
+void Executor::spawn(Task<void> task) {
+  auto handle = task.release();
+  if (!handle) return;
+  roots_.push_back(Root{handle});
+  // Start the task as a scheduled event so spawn() is safe to call from
+  // anywhere, including inside another coroutine's step.
+  call_at(now_, [handle] { handle.resume(); });
+  if (++spawns_since_reap_ >= 1024) {
+    reap_finished_roots();
+    spawns_since_reap_ = 0;
+  }
+}
+
+void Executor::reap_finished_roots() {
+  std::erase_if(roots_, [](Root& r) {
+    if (r.handle && r.handle.done()) {
+      r.handle.destroy();
+      return true;
+    }
+    return false;
+  });
+}
+
+std::size_t Executor::live_roots() const {
+  std::size_t n = 0;
+  for (const auto& r : roots_) {
+    if (r.handle && !r.handle.done()) ++n;
+  }
+  return n;
+}
+
+bool Executor::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.t;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Executor::run(Time until) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled events to find the next real one.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().t > until) break;
+    if (!step()) break;
+    ++processed;
+  }
+  reap_finished_roots();
+  return processed;
+}
+
+bool Executor::run_until(const std::function<bool()>& pred, Time until) {
+  if (pred()) return true;
+  while (!queue_.empty()) {
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().t > until) return false;
+    if (!step()) break;
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace mnm::sim

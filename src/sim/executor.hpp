@@ -1,0 +1,123 @@
+// Deterministic virtual-time event loop.
+//
+// The executor holds a priority queue of (time, sequence) ordered events.
+// `run()` pops events in order, advancing the virtual clock; ties are broken
+// by insertion order, so every run with the same inputs is bit-for-bit
+// deterministic. Asynchrony and adversarial schedules are expressed as delay
+// functions (src/net) and scripted failures (src/harness), never as real
+// nondeterminism.
+//
+// Detached tasks: `spawn` registers a Task<void> as a root. Roots that
+// finish are reaped lazily; roots still suspended when the executor is
+// destroyed are destroyed with it (this is how operations on crashed
+// memories, which hang forever per §3, are cleaned up).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/task.hpp"
+#include "src/sim/time.hpp"
+
+namespace mnm::sim {
+
+/// Handle used to cancel a scheduled callback (e.g. a timeout that lost the
+/// race against the event it guarded).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void cancel() {
+    if (auto p = flag_.lock()) *p = true;
+  }
+  bool valid() const { return !flag_.expired(); }
+
+ private:
+  friend class Executor;
+  explicit TimerHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::weak_ptr<bool> flag_;
+};
+
+class Executor {
+ public:
+  Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  ~Executor();
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now). Returns a handle
+  /// that can cancel the callback before it fires.
+  TimerHandle call_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` units.
+  TimerHandle call_after(Time delay, std::function<void()> fn) {
+    return call_at(now_ + delay, std::move(fn));
+  }
+
+  /// Awaitable: suspend the current coroutine for `delay` units.
+  auto sleep(Time delay) {
+    struct Awaiter {
+      Executor* exec;
+      Time delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        exec->call_after(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  /// Awaitable: reschedule the current coroutine at the current time, after
+  /// all events already queued for this instant.
+  auto yield() { return sleep(0); }
+
+  /// Detach a root task; it starts at the next processed event.
+  void spawn(Task<void> task);
+
+  /// Run until the event queue drains or the clock would pass `until`.
+  /// Returns the number of events processed.
+  std::size_t run(Time until = kTimeInfinity);
+
+  /// Process events while `pred()` is false. Returns true if pred became
+  /// true, false if the queue drained or `until` was reached first.
+  bool run_until(const std::function<bool()>& pred, Time until = kTimeInfinity);
+
+  std::size_t events_processed() const { return events_processed_; }
+  std::size_t live_roots() const;
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Root {
+    std::coroutine_handle<Task<void>::promise_type> handle;
+  };
+
+  void reap_finished_roots();
+  bool step();  // process one event; false if queue empty
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  std::vector<Root> roots_;
+  std::size_t spawns_since_reap_ = 0;
+};
+
+}  // namespace mnm::sim

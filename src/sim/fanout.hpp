@@ -1,0 +1,80 @@
+// Quorum fan-out helper.
+//
+// The paper's algorithms repeatedly issue an operation to all m memories in
+// parallel and continue after m − fM complete ("wait for completion of
+// m - fM iterations of pfor loop", Alg. 7). Fanout spawns each sub-operation
+// as a detached task and lets the caller collect the first k completions;
+// stragglers — including operations hanging on crashed memories — keep
+// running (or hang) harmlessly and are reaped at executor teardown.
+//
+// Results are tagged with the index passed to add(), so callers know which
+// memory answered.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sim/channel.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::sim {
+
+template <typename R>
+class Fanout {
+ public:
+  explicit Fanout(Executor& exec)
+      : exec_(&exec), results_(std::make_shared<Channel<std::pair<std::size_t, R>>>(exec)) {}
+
+  /// Launch one sub-operation, tagged with `index`.
+  void add(std::size_t index, Task<R> op) {
+    exec_->spawn(run_one(std::move(op), index, results_));
+    ++added_;
+  }
+
+  std::size_t added() const { return added_; }
+
+  /// Await the first `k` completions (in completion order). Must not ask for
+  /// more than were added; completions already consumed are not returned
+  /// again, so collect() can be called repeatedly to drain stragglers.
+  Task<std::vector<std::pair<std::size_t, R>>> collect(std::size_t k) {
+    std::vector<std::pair<std::size_t, R>> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      out.push_back(co_await results_->recv());
+    }
+    co_return out;
+  }
+
+  /// Like collect(), but gives up at the absolute deadline; returns what
+  /// arrived in time.
+  Task<std::vector<std::pair<std::size_t, R>>> collect_until(std::size_t k,
+                                                             Time deadline) {
+    std::vector<std::pair<std::size_t, R>> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      auto v = co_await results_->recv_until(deadline);
+      if (!v.has_value()) break;
+      out.push_back(std::move(*v));
+    }
+    co_return out;
+  }
+
+ private:
+  // Parameters (not captures!) so the detached coroutine owns everything it
+  // touches — lambda captures do not survive in detached coroutines.
+  static Task<void> run_one(Task<R> op, std::size_t index,
+                            std::shared_ptr<Channel<std::pair<std::size_t, R>>> results) {
+    R r = co_await std::move(op);
+    results->send({index, std::move(r)});
+  }
+
+  Executor* exec_;
+  std::shared_ptr<Channel<std::pair<std::size_t, R>>> results_;
+  std::size_t added_ = 0;
+};
+
+}  // namespace mnm::sim

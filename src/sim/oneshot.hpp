@@ -1,0 +1,60 @@
+// One-shot future used for operation completions.
+//
+// A `OneShot<R>` is fulfilled at most once; awaiting it yields the value. If
+// it is never fulfilled — the fate of operations on crashed memories (§3) —
+// the awaiting coroutine stays suspended until executor teardown. The shared
+// state keeps both sides safe regardless of destruction order.
+
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <optional>
+
+#include "src/sim/executor.hpp"
+
+namespace mnm::sim {
+
+template <typename R>
+class OneShot {
+ public:
+  explicit OneShot(Executor& exec)
+      : exec_(&exec), state_(std::make_shared<State>()) {}
+
+  /// Fulfill the future. Later calls are ignored (first writer wins), which
+  /// simplifies crash-race bookkeeping at call sites.
+  void fulfill(R value) {
+    if (state_->value.has_value()) return;
+    state_->value.emplace(std::move(value));
+    if (state_->waiter) {
+      exec_->call_at(exec_->now(), [s = state_] {
+        if (!s->dead && s->waiter) s->waiter.resume();
+      });
+    }
+  }
+
+  bool fulfilled() const { return state_->value.has_value(); }
+
+  auto wait() {
+    struct Awaiter {
+      std::shared_ptr<State> s;
+      bool await_ready() const { return s->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) { s->waiter = h; }
+      R await_resume() { return std::move(*s->value); }
+      ~Awaiter() { s->dead = true; }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  struct State {
+    std::optional<R> value;
+    std::coroutine_handle<> waiter;
+    bool dead = false;
+  };
+
+  Executor* exec_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace mnm::sim

@@ -1,0 +1,122 @@
+// One-shot synchronization primitives.
+//
+// `Latch` counts completions (used by quorum waits: continue after k of m
+// memory sub-operations finish; stragglers keep running or hang). `Gate` is a
+// one-shot broadcast event (used for "wait until this process decides").
+// Both use the same shared-node pattern as Channel so frames may be torn
+// down in any order.
+
+#pragma once
+
+#include <coroutine>
+#include <list>
+#include <memory>
+
+#include "src/sim/executor.hpp"
+
+namespace mnm::sim {
+
+/// One-shot broadcast gate: open() wakes all current and future waiters.
+class Gate {
+ public:
+  explicit Gate(Executor& exec) : exec_(&exec) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const { return open_; }
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (auto& w : waiters_) {
+      exec_->call_at(exec_->now(), [w] {
+        if (!w->dead) w->handle.resume();
+      });
+    }
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Gate* g;
+      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
+      bool await_ready() const { return g->open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        w->handle = h;
+        g->waiters_.push_back(w);
+      }
+      void await_resume() const {}
+      ~Awaiter() { w->dead = true; }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool dead = false;
+  };
+  Executor* exec_;
+  bool open_ = false;
+  std::list<std::shared_ptr<Waiter>> waiters_;
+};
+
+/// Completion counter: waiters block until the count reaches a threshold.
+/// Thresholds are per-wait, so one Latch can serve "first ack", "majority"
+/// and "all" simultaneously.
+class Latch {
+ public:
+  explicit Latch(Executor& exec) : exec_(&exec) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  std::size_t count() const { return count_; }
+
+  void arrive() {
+    ++count_;
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      auto w = *it;
+      if (w->dead) {
+        it = waiters_.erase(it);
+        continue;
+      }
+      if (count_ >= w->threshold) {
+        it = waiters_.erase(it);
+        exec_->call_at(exec_->now(), [w] {
+          if (!w->dead) w->handle.resume();
+        });
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  auto wait_for(std::size_t threshold) {
+    struct Awaiter {
+      Latch* l;
+      std::size_t threshold;
+      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
+      bool await_ready() const { return l->count_ >= threshold; }
+      void await_suspend(std::coroutine_handle<> h) {
+        w->handle = h;
+        w->threshold = threshold;
+        l->waiters_.push_back(w);
+      }
+      void await_resume() const {}
+      ~Awaiter() { w->dead = true; }
+    };
+    return Awaiter{this, threshold};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::size_t threshold = 0;
+    bool dead = false;
+  };
+  Executor* exec_;
+  std::size_t count_ = 0;
+  std::list<std::shared_ptr<Waiter>> waiters_;
+};
+
+}  // namespace mnm::sim

@@ -1,0 +1,26 @@
+// Virtual time.
+//
+// The paper (§3) measures algorithm performance in *delays*: a message takes
+// one delay, a memory operation takes two (its hardware implementation is a
+// round trip). The simulator's clock counts exactly those units, so claims
+// like "2-deciding" are checked as integer equalities on this clock.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mnm::sim {
+
+/// One unit == one network delay (paper §3 "Complexity of algorithms").
+using Time = std::uint64_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+/// Default cost of one message between processes.
+inline constexpr Time kMessageDelay = 1;
+
+/// Default cost of one memory operation (request + response round trip).
+inline constexpr Time kMemoryOpDelay = 2;
+
+}  // namespace mnm::sim

@@ -1,0 +1,109 @@
+#include "src/swmr/swmr_register.hpp"
+
+#include <map>
+#include <set>
+
+#include "src/sim/fanout.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::swmr {
+
+ReplicatedRegister::ReplicatedRegister(sim::Executor& exec,
+                                       std::vector<mem::MemoryIface*> memories,
+                                       RegionId region, std::string name,
+                                       Mode mode)
+    : exec_(&exec),
+      memories_(std::move(memories)),
+      region_(region),
+      name_(std::move(name)),
+      mode_(mode) {}
+
+Bytes ReplicatedRegister::encode(Bytes value) {
+  if (mode_ == Mode::kPlain) return value;
+  util::Writer w;
+  w.u64(next_ts_++).bytes(value);
+  return std::move(w).take();
+}
+
+Bytes ReplicatedRegister::decode(const Bytes& stored, std::uint64_t& ts_out) {
+  util::Reader r(stored);
+  ts_out = r.u64();
+  return r.bytes();
+}
+
+sim::Task<mem::Status> ReplicatedRegister::write(ProcessId caller, Bytes value) {
+  const Bytes encoded = encode(std::move(value));
+  sim::Fanout<mem::Status> fanout(*exec_);
+  for (std::size_t i = 0; i < memories_.size(); ++i) {
+    fanout.add(i, memories_[i]->write(caller, region_, name_, encoded));
+  }
+  const std::size_t quorum = majority(memories_.size());
+
+  // Collect responses until a majority of acks is reached or becomes
+  // unreachable. Crashed memories never respond and never count.
+  std::size_t acks = 0, responses = 0;
+  while (responses < memories_.size()) {
+    auto batch = co_await fanout.collect(1);
+    ++responses;
+    if (batch[0].second == mem::Status::kAck) ++acks;
+    if (acks >= quorum) co_return mem::Status::kAck;
+    // Even if every outstanding memory acked, could we still reach quorum?
+    if (acks + (memories_.size() - responses) < quorum) break;
+  }
+  co_return mem::Status::kNak;
+}
+
+sim::Task<mem::ReadResult> ReplicatedRegister::read(ProcessId caller) {
+  sim::Fanout<mem::ReadResult> fanout(*exec_);
+  for (std::size_t i = 0; i < memories_.size(); ++i) {
+    fanout.add(i, memories_[i]->read(caller, region_, name_));
+  }
+  const std::size_t quorum = majority(memories_.size());
+  auto responses = co_await fanout.collect(quorum);
+
+  std::size_t acked = 0;
+  if (mode_ == Mode::kPlain) {
+    // Paper's rule: exactly one distinct non-⊥ value → return it, else ⊥.
+    std::set<Bytes> distinct;
+    for (auto& [idx, r] : responses) {
+      if (!r.ok()) continue;
+      ++acked;
+      if (!util::is_bottom(r.value)) distinct.insert(r.value);
+    }
+    if (acked == 0) co_return mem::ReadResult{mem::Status::kNak, {}};
+    if (distinct.size() == 1) {
+      co_return mem::ReadResult{mem::Status::kAck, *distinct.begin()};
+    }
+    co_return mem::ReadResult{mem::Status::kAck, util::bottom()};
+  }
+
+  // Timestamped mode: highest timestamp wins.
+  std::uint64_t best_ts = 0;
+  Bytes best;
+  for (auto& [idx, r] : responses) {
+    if (!r.ok()) continue;
+    ++acked;
+    if (util::is_bottom(r.value)) continue;
+    std::uint64_t ts = 0;
+    Bytes v = decode(r.value, ts);
+    if (ts > best_ts) {
+      best_ts = ts;
+      best = std::move(v);
+    }
+  }
+  if (acked == 0) co_return mem::ReadResult{mem::Status::kNak, {}};
+  co_return mem::ReadResult{mem::Status::kAck, std::move(best)};
+}
+
+ReplicatedRegister& RegisterSpace::reg(const std::string& name) {
+  auto it = registers_.find(name);
+  if (it == registers_.end()) {
+    it = registers_
+             .emplace(name, std::make_unique<ReplicatedRegister>(
+                                *exec_, memories_, region_, name, mode_))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace mnm::swmr

@@ -1,0 +1,96 @@
+// Fault-tolerant SWMR regular registers over m crash-prone memories.
+//
+// This is the construction the paper uses to lift its shared-memory
+// algorithms to fail-prone memory (§4.1, "Non-equivocation in our model",
+// following Afek et al. / Attiya-Bar-Noy-Dolev / Jayanti et al.):
+//
+//   "To implement an SWMR register, a process writes or reads all memories,
+//    and waits for a majority to respond. When reading, if p sees exactly
+//    one distinct non-⊥ value v across the memories, it returns v;
+//    otherwise, it returns ⊥."
+//
+// With m ≥ 2fM + 1 memories, a majority always responds, and any two
+// majorities intersect, giving a *regular* register: a read concurrent with
+// a write may return either the old or the new value, but a read that
+// follows a completed write (with no concurrent writes) sees it.
+//
+// `write` reports kAck only if a majority of memories acknowledged — so a
+// writer whose permission was revoked at a majority (Cheap Quorum's panic
+// path) observes the nak, which is exactly the signal Algorithm 4 needs.
+//
+// The timestamped variant (`Mode::kTimestamped`) tags each write with a
+// writer-local sequence number and reads return the highest-timestamped
+// value; it behaves like a regular register even when the single writer
+// rewrites the register many times. The paper's algorithms only need the
+// plain mode (their registers are written once), but the timestamped mode is
+// used by the harness and examples.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/mem/memory.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::swmr {
+
+enum class Mode : std::uint8_t {
+  kPlain,        // paper's scheme: exactly-one-distinct-value reads
+  kTimestamped,  // (ts, value) pairs; reads return highest ts
+};
+
+class ReplicatedRegister {
+ public:
+  /// `memories` must all contain `region` covering register `name`.
+  ReplicatedRegister(sim::Executor& exec,
+                     std::vector<mem::MemoryIface*> memories, RegionId region,
+                     std::string name, Mode mode = Mode::kPlain);
+
+  const std::string& name() const { return name_; }
+
+  /// Write to all memories; kAck iff a majority acknowledged.
+  sim::Task<mem::Status> write(ProcessId caller, Bytes value);
+
+  /// Read from all memories, wait for a majority of responses.
+  /// kAck with the reconstructed value (possibly ⊥); kNak if no memory
+  /// granted the read.
+  sim::Task<mem::ReadResult> read(ProcessId caller);
+
+ private:
+  Bytes encode(Bytes value);
+  static Bytes decode(const Bytes& stored, std::uint64_t& ts_out);
+
+  sim::Executor* exec_;
+  std::vector<mem::MemoryIface*> memories_;
+  RegionId region_;
+  std::string name_;
+  Mode mode_;
+  std::uint64_t next_ts_ = 1;
+};
+
+/// Convenience bundle: a namespace of replicated registers sharing the same
+/// memories/region (e.g. all of one process's slots in Algorithm 2).
+class RegisterSpace {
+ public:
+  RegisterSpace(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
+                RegionId region, Mode mode = Mode::kPlain)
+      : exec_(&exec), memories_(std::move(memories)), region_(region), mode_(mode) {}
+
+  /// Get (creating on first use) the register with this name.
+  ReplicatedRegister& reg(const std::string& name);
+
+ private:
+  sim::Executor* exec_;
+  std::vector<mem::MemoryIface*> memories_;
+  RegionId region_;
+  Mode mode_;
+  std::map<std::string, std::unique_ptr<ReplicatedRegister>> registers_;
+};
+
+}  // namespace mnm::swmr

@@ -1,0 +1,52 @@
+#include "src/util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace mnm::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(const Bytes& b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("hex_decode: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("hex_decode: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ct_equal(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace mnm::util

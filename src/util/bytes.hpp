@@ -1,0 +1,48 @@
+// Byte-string utilities shared across the library.
+//
+// The M&M model (paper §3) treats register contents and message payloads as
+// opaque values; we represent both as `Bytes`. Helpers here convert between
+// Bytes, std::string and hex, and provide a canonical "bottom" (⊥) encoding:
+// the empty byte string. Every register starts at ⊥ and the algorithms test
+// for it with `is_bottom`.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnm::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// The paper's ⊥ value: registers are initialized to it and algorithms
+/// compare against it to detect "nothing written yet".
+inline const Bytes& bottom() {
+  static const Bytes b{};
+  return b;
+}
+
+inline bool is_bottom(const Bytes& b) { return b.empty(); }
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Lowercase hex encoding (for logs, digests and test expectations).
+std::string hex_encode(const Bytes& b);
+
+/// Inverse of hex_encode. Throws std::invalid_argument on malformed input.
+Bytes hex_decode(std::string_view hex);
+
+/// Constant-time equality; used when comparing MACs so that (simulated)
+/// adversaries cannot use comparison timing as an oracle. In a simulator this
+/// is about fidelity of the crypto module's contract, not real side channels.
+bool ct_equal(const Bytes& a, const Bytes& b);
+
+}  // namespace mnm::util

@@ -1,0 +1,80 @@
+// Minimal canonical serialization.
+//
+// Signatures (src/crypto) are computed over byte strings, so every signed
+// structure needs a canonical encoding. `Writer` appends little-endian
+// fixed-width integers and length-prefixed byte strings; `Reader` parses the
+// same format with strict bounds checking and throws `SerdeError` on any
+// malformed input. Byzantine strategies deliberately produce malformed
+// encodings in tests, so Reader failures must be exceptions, not UB.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/bytes.hpp"
+
+namespace mnm::util {
+
+class SerdeError : public std::runtime_error {
+ public:
+  explicit SerdeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  Writer() = default;
+
+  Writer& u8(std::uint8_t v);
+  Writer& u16(std::uint16_t v);
+  Writer& u32(std::uint32_t v);
+  Writer& u64(std::uint64_t v);
+  Writer& i64(std::int64_t v);
+  Writer& boolean(bool v);
+  /// Length-prefixed (u32) byte string.
+  Writer& bytes(const Bytes& b);
+  /// Length-prefixed (u32) UTF-8/opaque string.
+  Writer& str(std::string_view s);
+  /// Raw append with no length prefix (for fixed-width digests).
+  Writer& raw(const Bytes& b);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  bool boolean();
+  Bytes bytes();
+  std::string str();
+  /// Read exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  bool at_end() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  /// Throws SerdeError unless the whole buffer was consumed. Call at the end
+  /// of every message parser so trailing garbage is rejected.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mnm::util

@@ -1,0 +1,180 @@
+// Tests for SHA-256 (FIPS 180-4 vectors), HMAC (RFC 4231 vectors) and the
+// identity-bound signature scheme.
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha256.hpp"
+#include "src/crypto/signature.hpp"
+#include "src/util/bytes.hpp"
+
+namespace mnm::crypto {
+namespace {
+
+using util::Bytes;
+using util::hex_decode;
+using util::hex_encode;
+using util::to_bytes;
+
+std::string sha256_hex(const std::string& msg) {
+  const Digest d = sha256(to_bytes(msg));
+  return hex_encode(Bytes(d.begin(), d.end()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const Digest d = h.finish();
+  EXPECT_EQ(hex_encode(Bytes(d.begin(), d.end())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message: padding must spill into a second block.
+  const std::string msg(64, 'x');
+  Sha256 h;
+  h.update(to_bytes(msg));
+  const Digest once = h.finish();
+
+  // Same message fed byte by byte must agree.
+  Sha256 h2;
+  for (char c : msg) {
+    const std::uint8_t b = static_cast<std::uint8_t>(c);
+    h2.update(&b, 1);
+  }
+  EXPECT_EQ(once, h2.finish());
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(to_bytes("garbage"));
+  (void)h.finish();  // finish() resets
+  h.update(to_bytes("abc"));
+  const Digest d = h.finish();
+  EXPECT_EQ(hex_encode(Bytes(d.begin(), d.end())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest d = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(Bytes(d.begin(), d.end())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Digest d = hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(Bytes(d.begin(), d.end())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  const Digest d = hmac_sha256(key, msg);
+  EXPECT_EQ(hex_encode(Bytes(d.begin(), d.end())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Digest d = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(Bytes(d.begin(), d.end())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Signatures, SignAndVerify) {
+  KeyStore ks(1);
+  Signer alice = ks.register_process(1);
+  const Bytes msg = to_bytes("propose v=7");
+  const Signature sig = alice.sign(msg);
+  EXPECT_EQ(sig.signer, 1u);
+  EXPECT_TRUE(ks.valid(msg, sig));
+  EXPECT_TRUE(ks.valid_from(1, msg, sig));
+}
+
+TEST(Signatures, TamperedMessageFailsVerification) {
+  KeyStore ks(1);
+  Signer alice = ks.register_process(1);
+  const Signature sig = alice.sign(to_bytes("value A"));
+  EXPECT_FALSE(ks.valid(to_bytes("value B"), sig));
+}
+
+TEST(Signatures, CannotClaimAnotherSignersIdentity) {
+  // A Byzantine process relabeling its own signature as someone else's must
+  // fail verification — the unforgeability the paper's model assumes.
+  KeyStore ks(1);
+  Signer alice = ks.register_process(1);
+  (void)ks.register_process(2);
+  const Bytes msg = to_bytes("equivocation attempt");
+  Signature forged = alice.sign(msg);
+  forged.signer = 2;
+  EXPECT_FALSE(ks.valid(msg, forged));
+  EXPECT_FALSE(ks.valid_from(2, msg, forged));
+}
+
+TEST(Signatures, TamperedMacFails) {
+  KeyStore ks(1);
+  Signer alice = ks.register_process(1);
+  const Bytes msg = to_bytes("m");
+  Signature sig = alice.sign(msg);
+  sig.mac[0] ^= 0x01;
+  EXPECT_FALSE(ks.valid(msg, sig));
+}
+
+TEST(Signatures, UnknownSignerFails) {
+  KeyStore ks(1);
+  Signer alice = ks.register_process(1);
+  Signature sig = alice.sign(to_bytes("m"));
+  sig.signer = 99;
+  EXPECT_FALSE(ks.valid(to_bytes("m"), sig));
+}
+
+TEST(Signatures, DuplicateRegistrationThrows) {
+  KeyStore ks(1);
+  (void)ks.register_process(1);
+  EXPECT_THROW((void)ks.register_process(1), std::logic_error);
+}
+
+TEST(Signatures, CountersTrackUsage) {
+  KeyStore ks(1);
+  Signer alice = ks.register_process(1);
+  ks.reset_counters();
+  const Signature sig = alice.sign(to_bytes("x"));
+  (void)ks.valid(to_bytes("x"), sig);
+  (void)ks.valid(to_bytes("x"), sig);
+  EXPECT_EQ(ks.signatures_made(), 1u);
+  EXPECT_EQ(ks.verifications_made(), 2u);
+}
+
+TEST(Signatures, DifferentSeedsGiveDifferentKeys) {
+  KeyStore ks1(1), ks2(2);
+  Signer a1 = ks1.register_process(1);
+  Signer a2 = ks2.register_process(1);
+  const Bytes msg = to_bytes("m");
+  // A signature from one universe must not verify in another.
+  EXPECT_FALSE(ks2.valid(msg, a1.sign(msg)));
+  EXPECT_FALSE(ks1.valid(msg, a2.sign(msg)));
+}
+
+}  // namespace
+}  // namespace mnm::crypto

@@ -1,0 +1,187 @@
+// Tests for the message-passing substrate (src/net): link integrity,
+// no-loss, delay accounting, crash behaviour, partial synchrony.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/network.hpp"
+#include "src/sim/executor.hpp"
+#include "src/util/bytes.hpp"
+
+namespace mnm::net {
+namespace {
+
+using sim::Executor;
+using sim::Task;
+using sim::Time;
+using util::to_bytes;
+using util::to_string;
+
+constexpr MsgType kPing = 1;
+constexpr MsgType kPong = 2;
+
+TEST(Network, MessageTakesOneDelay) {
+  Executor exec;
+  Network net(exec, 2);
+  Time delivered_at = 0;
+  exec.spawn([](Executor& e, Network& net, Time& at) -> Task<void> {
+    Message m = co_await net.inbox(2).channel(kPing).recv();
+    at = e.now();
+    EXPECT_EQ(m.src, 1u);
+    EXPECT_EQ(to_string(m.payload), "hi");
+  }(exec, net, delivered_at));
+  net.send(1, 2, kPing, to_bytes("hi"));
+  exec.run();
+  EXPECT_EQ(delivered_at, sim::kMessageDelay);
+}
+
+TEST(Network, RoundTripTakesTwoDelays) {
+  Executor exec;
+  Network net(exec, 2);
+  Time done_at = 0;
+
+  exec.spawn([](Network& net) -> Task<void> {
+    Message m = co_await net.inbox(2).channel(kPing).recv();
+    net.send(2, m.src, kPong, to_bytes("pong"));
+  }(net));
+  exec.spawn([](Executor& e, Network& net, Time& at) -> Task<void> {
+    net.send(1, 2, kPing, to_bytes("ping"));
+    (void)co_await net.inbox(1).channel(kPong).recv();
+    at = e.now();
+  }(exec, net, done_at));
+
+  exec.run();
+  EXPECT_EQ(done_at, 2 * sim::kMessageDelay);
+}
+
+TEST(Network, SenderIdentityIsStamped) {
+  // Even a "malicious" caller of Endpoint::send cannot spoof its source: the
+  // endpoint owns the id.
+  Executor exec;
+  Network net(exec, 3);
+  Endpoint p3(net, 3);
+  ProcessId seen_src = 0;
+  exec.spawn([](Network& net, ProcessId& src) -> Task<void> {
+    Message m = co_await net.inbox(1).channel(kPing).recv();
+    src = m.src;
+  }(net, seen_src));
+  p3.send(1, kPing, to_bytes("i am p2, honest"));
+  exec.run();
+  EXPECT_EQ(seen_src, 3u);
+}
+
+TEST(Network, BroadcastReachesAll) {
+  Executor exec;
+  Network net(exec, 4);
+  int received = 0;
+  for (ProcessId p : all_processes(4)) {
+    exec.spawn([](Network& net, ProcessId p, int& received) -> Task<void> {
+      (void)co_await net.inbox(p).channel(kPing).recv();
+      ++received;
+    }(net, p, received));
+  }
+  net.broadcast(2, kPing, to_bytes("to all"));
+  exec.run();
+  EXPECT_EQ(received, 4);
+}
+
+TEST(Network, BroadcastCanExcludeSelf) {
+  Executor exec;
+  Network net(exec, 3);
+  net.broadcast(1, kPing, to_bytes("x"), /*include_self=*/false);
+  exec.run();
+  EXPECT_EQ(net.inbox(1).channel(kPing).size(), 0u);
+  EXPECT_EQ(net.inbox(2).channel(kPing).size(), 1u);
+  EXPECT_EQ(net.inbox(3).channel(kPing).size(), 1u);
+}
+
+TEST(Network, CrashedSenderIsSilent) {
+  Executor exec;
+  Network net(exec, 2);
+  net.crash(1);
+  net.send(1, 2, kPing, to_bytes("ghost"));
+  exec.run();
+  EXPECT_EQ(net.inbox(2).channel(kPing).size(), 0u);
+  EXPECT_EQ(net.messages_sent(), 0u);
+}
+
+TEST(Network, MessageToCrashedReceiverIsDropped) {
+  Executor exec;
+  Network net(exec, 2);
+  net.send(1, 2, kPing, to_bytes("x"));
+  net.crash(2);  // crashes before delivery
+  exec.run();
+  EXPECT_EQ(net.inbox(2).channel(kPing).size(), 0u);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(Network, InFlightMessageDroppedIfReceiverCrashesMidFlight) {
+  Executor exec;
+  Network net(exec, 2);
+  net.set_delay_fn([](ProcessId, ProcessId, Time) { return Time{10}; });
+  net.send(1, 2, kPing, to_bytes("x"));
+  exec.call_at(5, [&] { net.crash(2); });
+  exec.run();
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(Network, GstShapesDelays) {
+  Executor exec;
+  Network net(exec, 2);
+  net.set_gst(/*gst=*/100, /*pre_delay=*/50);
+
+  std::vector<Time> arrivals;
+  exec.spawn([](Executor& e, Network& net, std::vector<Time>& arrivals) -> Task<void> {
+    for (int i = 0; i < 2; ++i) {
+      (void)co_await net.inbox(2).channel(kPing).recv();
+      arrivals.push_back(e.now());
+    }
+  }(exec, net, arrivals));
+
+  net.send(1, 2, kPing, to_bytes("slow"));                    // sent at 0 → +50
+  exec.call_at(100, [&] { net.send(1, 2, kPing, to_bytes("fast")); });  // → +1
+  exec.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 50u);
+  EXPECT_EQ(arrivals[1], 101u);
+}
+
+TEST(Network, FifoPerLinkWithEqualDelays) {
+  Executor exec;
+  Network net(exec, 2);
+  std::vector<std::string> got;
+  exec.spawn([](Network& net, std::vector<std::string>& got) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      Message m = co_await net.inbox(2).channel(kPing).recv();
+      got.push_back(to_string(m.payload));
+    }
+  }(net, got));
+  net.send(1, 2, kPing, to_bytes("a"));
+  net.send(1, 2, kPing, to_bytes("b"));
+  net.send(1, 2, kPing, to_bytes("c"));
+  exec.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Network, TypeDemultiplexing) {
+  Executor exec;
+  Network net(exec, 2);
+  net.send(1, 2, kPing, to_bytes("p"));
+  net.send(1, 2, kPong, to_bytes("q"));
+  exec.run();
+  EXPECT_EQ(net.inbox(2).channel(kPing).size(), 1u);
+  EXPECT_EQ(net.inbox(2).channel(kPong).size(), 1u);
+}
+
+TEST(Network, UnknownDestinationIsIgnored) {
+  Executor exec;
+  Network net(exec, 2);
+  net.send(1, 99, kPing, to_bytes("void"));  // must not throw
+  exec.run();
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace mnm::net

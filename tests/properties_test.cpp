@@ -1,0 +1,283 @@
+// Property sweeps (TEST_P): agreement / validity / termination over the
+// cross-product of algorithms × cluster sizes × fault vectors × seeds.
+// Every run is deterministic given its seed; a failure prints the exact
+// configuration to reproduce it.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "src/harness/cluster.hpp"
+#include "src/sim/rng.hpp"
+
+namespace mnm::harness {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: common-case correctness, all algorithms × sizes × seeds.
+// ---------------------------------------------------------------------------
+
+using CommonParam = std::tuple<Algorithm, int /*n*/, int /*m*/, int /*seed*/>;
+
+class CommonSweep : public ::testing::TestWithParam<CommonParam> {};
+
+TEST_P(CommonSweep, SafeAndLive) {
+  const auto [algo, n, m, seed] = GetParam();
+  ClusterConfig c;
+  c.algo = algo;
+  c.n = static_cast<std::size_t>(n);
+  c.m = static_cast<std::size_t>(m);
+  c.seed = static_cast<std::uint64_t>(seed);
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement) << algorithm_name(algo) << " " << r.summary();
+  EXPECT_TRUE(r.validity) << algorithm_name(algo) << " " << r.summary();
+  EXPECT_TRUE(r.termination) << algorithm_name(algo) << " " << r.summary();
+}
+
+std::string common_name(const ::testing::TestParamInfo<CommonParam>& info) {
+  const auto [algo, n, m, seed] = info.param;
+  std::ostringstream os;
+  switch (algo) {
+    case Algorithm::kPaxos: os << "Paxos"; break;
+    case Algorithm::kFastPaxos: os << "FastPaxos"; break;
+    case Algorithm::kDiskPaxos: os << "DiskPaxos"; break;
+    case Algorithm::kProtectedMemoryPaxos: os << "PMP"; break;
+    case Algorithm::kAlignedPaxos: os << "Aligned"; break;
+    case Algorithm::kRobustBackup: os << "RobustBackup"; break;
+    case Algorithm::kFastRobust: os << "FastRobust"; break;
+  }
+  os << "_n" << n << "_m" << m << "_s" << seed;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MessageAlgos, CommonSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kPaxos, Algorithm::kFastPaxos),
+                       ::testing::Values(3, 5, 7), ::testing::Values(0),
+                       ::testing::Values(1, 2)),
+    common_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    MemoryAlgos, CommonSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kDiskPaxos,
+                                         Algorithm::kProtectedMemoryPaxos),
+                       ::testing::Values(2, 3), ::testing::Values(3, 5),
+                       ::testing::Values(1, 2)),
+    common_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    CombinedAlgos, CommonSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kAlignedPaxos),
+                       ::testing::Values(2, 3), ::testing::Values(3),
+                       ::testing::Values(1, 2, 3)),
+    common_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    ByzantineAlgos, CommonSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kRobustBackup,
+                                         Algorithm::kFastRobust),
+                       ::testing::Values(3), ::testing::Values(3, 5),
+                       ::testing::Values(1, 2)),
+    common_name);
+
+// ---------------------------------------------------------------------------
+// Sweep 2: randomized crash schedules (crash count within each algorithm's
+// bound, times drawn from the seed).
+// ---------------------------------------------------------------------------
+
+using CrashParam = std::tuple<Algorithm, int /*seed*/>;
+
+class CrashSweep : public ::testing::TestWithParam<CrashParam> {};
+
+TEST_P(CrashSweep, SafeAndLiveUnderCrashes) {
+  const auto [algo, seed] = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+
+  ClusterConfig c;
+  c.algo = algo;
+  c.seed = static_cast<std::uint64_t>(seed);
+  // Shape: n and the crash budget depend on the resilience class.
+  std::size_t max_proc_crashes = 0;
+  switch (algo) {
+    case Algorithm::kPaxos:
+    case Algorithm::kFastPaxos:
+      c.n = 5;
+      c.m = 0;
+      max_proc_crashes = 2;  // minority
+      break;
+    case Algorithm::kDiskPaxos:
+    case Algorithm::kProtectedMemoryPaxos:
+      c.n = 3;
+      c.m = 5;
+      max_proc_crashes = 2;  // all but one
+      break;
+    case Algorithm::kAlignedPaxos:
+      c.n = 3;
+      c.m = 3;
+      max_proc_crashes = 1;
+      break;
+    case Algorithm::kRobustBackup:
+    case Algorithm::kFastRobust:
+      c.n = 5;
+      c.m = 5;
+      max_proc_crashes = 2;  // n ≥ 2f+1
+      break;
+  }
+  // Crash a random subset of processes at random times. Never crash every
+  // process; for message-passing algorithms keep a majority alive.
+  const std::size_t crashes = rng.below(max_proc_crashes + 1);
+  std::set<ProcessId> victims;
+  while (victims.size() < crashes) {
+    victims.insert(static_cast<ProcessId>(rng.range(1, c.n)));
+  }
+  for (ProcessId v : victims) {
+    c.faults.process_crashes[v] = rng.below(200);
+  }
+  // For memory-replicated algorithms, also crash a memory minority.
+  if (c.m >= 3 && rng.chance(0.5)) {
+    const std::size_t mem_crashes = rng.below((c.m - 1) / 2 + 1);
+    std::set<MemoryId> mem_victims;
+    while (mem_victims.size() < mem_crashes) {
+      mem_victims.insert(static_cast<MemoryId>(rng.range(1, c.m)));
+    }
+    for (MemoryId v : mem_victims) c.faults.memory_crashes[v] = rng.below(200);
+  }
+  c.horizon = 200000;
+
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement) << algorithm_name(algo) << " seed=" << seed << " "
+                           << r.summary();
+  EXPECT_TRUE(r.validity) << algorithm_name(algo) << " seed=" << seed << " "
+                          << r.summary();
+  EXPECT_TRUE(r.termination) << algorithm_name(algo) << " seed=" << seed << " "
+                             << r.summary();
+}
+
+std::string crash_name(const ::testing::TestParamInfo<CrashParam>& info) {
+  const auto [algo, seed] = info.param;
+  std::ostringstream os;
+  switch (algo) {
+    case Algorithm::kPaxos: os << "Paxos"; break;
+    case Algorithm::kFastPaxos: os << "FastPaxos"; break;
+    case Algorithm::kDiskPaxos: os << "DiskPaxos"; break;
+    case Algorithm::kProtectedMemoryPaxos: os << "PMP"; break;
+    case Algorithm::kAlignedPaxos: os << "Aligned"; break;
+    case Algorithm::kRobustBackup: os << "RobustBackup"; break;
+    case Algorithm::kFastRobust: os << "FastRobust"; break;
+  }
+  os << "_s" << seed;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Crashes, CrashSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kPaxos, Algorithm::kFastPaxos,
+                                         Algorithm::kDiskPaxos,
+                                         Algorithm::kProtectedMemoryPaxos,
+                                         Algorithm::kAlignedPaxos),
+                       ::testing::Range(1, 9)),
+    crash_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    ByzantineCrashes, CrashSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kFastRobust),
+                       ::testing::Range(1, 5)),
+    crash_name);
+
+// ---------------------------------------------------------------------------
+// Sweep 3: Byzantine strategies × which process is faulty.
+// ---------------------------------------------------------------------------
+
+using ByzParam = std::tuple<ByzantineStrategy, int /*faulty pid*/, int /*seed*/>;
+
+class ByzSweep : public ::testing::TestWithParam<ByzParam> {};
+
+TEST_P(ByzSweep, FastRobustSafeAndLive) {
+  const auto [strategy, pid, seed] = GetParam();
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;
+  c.m = 3;
+  c.seed = static_cast<std::uint64_t>(seed);
+  c.faults.byzantine[static_cast<ProcessId>(pid)] = strategy;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement) << r.summary();
+  EXPECT_TRUE(r.termination) << r.summary();
+}
+
+std::string byz_name(const ::testing::TestParamInfo<ByzParam>& info) {
+  const auto [strategy, pid, seed] = info.param;
+  std::ostringstream os;
+  switch (strategy) {
+    case ByzantineStrategy::kSilent: os << "Silent"; break;
+    case ByzantineStrategy::kNebEquivocate: os << "NebEquiv"; break;
+    case ByzantineStrategy::kCqLeaderEquivocate: os << "CqEquiv"; break;
+    case ByzantineStrategy::kGarbage: os << "Garbage"; break;
+  }
+  os << "_p" << pid << "_s" << seed;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ByzSweep,
+    ::testing::Combine(::testing::Values(ByzantineStrategy::kSilent,
+                                         ByzantineStrategy::kNebEquivocate,
+                                         ByzantineStrategy::kGarbage),
+                       ::testing::Values(1, 2, 3), ::testing::Values(1, 2)),
+    byz_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    LeaderEquivocation, ByzSweep,
+    ::testing::Combine(::testing::Values(ByzantineStrategy::kCqLeaderEquivocate),
+                       ::testing::Values(1), ::testing::Values(1, 2, 3)),
+    byz_name);
+
+// ---------------------------------------------------------------------------
+// Sweep 4: partial synchrony — GST onset × algorithm.
+// ---------------------------------------------------------------------------
+
+using GstParam = std::tuple<Algorithm, int /*gst*/, int /*pre delay*/>;
+
+class GstSweep : public ::testing::TestWithParam<GstParam> {};
+
+TEST_P(GstSweep, SafetyAlwaysLivenessAfterGst) {
+  const auto [algo, gst, pre] = GetParam();
+  ClusterConfig c;
+  c.algo = algo;
+  c.n = 3;
+  c.m = (algo == Algorithm::kPaxos || algo == Algorithm::kFastPaxos) ? 0 : 3;
+  c.gst = static_cast<sim::Time>(gst);
+  c.pre_gst_delay = static_cast<sim::Time>(pre);
+  c.horizon = 300000;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement) << algorithm_name(algo) << " " << r.summary();
+  EXPECT_TRUE(r.validity) << algorithm_name(algo) << " " << r.summary();
+  EXPECT_TRUE(r.termination) << algorithm_name(algo) << " " << r.summary();
+}
+
+std::string gst_name(const ::testing::TestParamInfo<GstParam>& info) {
+  const auto [algo, gst, pre] = info.param;
+  std::ostringstream os;
+  switch (algo) {
+    case Algorithm::kPaxos: os << "Paxos"; break;
+    case Algorithm::kFastPaxos: os << "FastPaxos"; break;
+    case Algorithm::kProtectedMemoryPaxos: os << "PMP"; break;
+    case Algorithm::kFastRobust: os << "FastRobust"; break;
+    default: os << "Algo"; break;
+  }
+  os << "_gst" << gst << "_pre" << pre;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gst, GstSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kPaxos,
+                                         Algorithm::kProtectedMemoryPaxos,
+                                         Algorithm::kFastRobust),
+                       ::testing::Values(100, 500), ::testing::Values(10, 60)),
+    gst_name);
+
+}  // namespace
+}  // namespace mnm::harness

@@ -1,0 +1,374 @@
+// Tests for trusted messaging (T-send/T-receive, Algorithm 3): history
+// chains, receipts, structural verification, and the Paxos history validator
+// that makes Byzantine ≡ crash.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/nonequiv_broadcast.hpp"
+#include "src/core/paxos.hpp"
+#include "src/core/paxos_validator.hpp"
+#include "src/core/transport_mux.hpp"
+#include "src/core/trusted_messaging.hpp"
+#include "src/mem/memory.hpp"
+#include "src/sim/executor.hpp"
+
+namespace mnm::core::trusted {
+namespace {
+
+using sim::Executor;
+using sim::Task;
+using util::to_bytes;
+using util::to_string;
+
+struct TrustedFixture {
+  explicit TrustedFixture(std::size_t n, HistoryValidator validator =
+                                             accept_all_validator())
+      : n(n), keystore(11) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      auto mp = std::make_unique<mem::Memory>(exec, static_cast<MemoryId>(i + 1));
+      regions = make_neb_regions(*mp, n);
+      memories.push_back(std::move(mp));
+      iface.push_back(memories.back().get());
+    }
+    for (ProcessId p : all_processes(n)) {
+      signers.push_back(keystore.register_process(p));
+      slots.push_back(std::make_unique<NebSlots>(exec, iface, regions));
+      nebs.push_back(std::make_unique<NonEquivBroadcast>(
+          exec, *slots.back(), keystore, signers.back(), NebConfig{n, 1}));
+      transports.push_back(std::make_unique<TrustedTransport>(
+          exec, *nebs.back(), keystore, signers.back(), TrustedConfig{n},
+          validator));
+    }
+  }
+
+  void start_all() {
+    for (std::size_t i = 0; i < n; ++i) {
+      nebs[i]->start();
+      transports[i]->start();
+    }
+  }
+
+  std::size_t n;
+  Executor exec;
+  crypto::KeyStore keystore;
+  std::vector<std::unique_ptr<mem::Memory>> memories;
+  std::vector<mem::MemoryIface*> iface;
+  std::map<ProcessId, RegionId> regions;
+  std::vector<crypto::Signer> signers;
+  std::vector<std::unique_ptr<NebSlots>> slots;
+  std::vector<std::unique_ptr<NonEquivBroadcast>> nebs;
+  std::vector<std::unique_ptr<TrustedTransport>> transports;
+};
+
+TEST(HistoryStructure, ChainVerifies) {
+  crypto::KeyStore ks(1);
+  crypto::Signer s = ks.register_process(1);
+  History h;
+  Bytes prev;
+  for (int i = 1; i <= 3; ++i) {
+    HistoryEntry e;
+    e.kind = HistoryEntry::Kind::kSent;
+    e.k = static_cast<std::uint64_t>(i);
+    e.peer = kToAll;
+    e.payload = to_bytes("m" + std::to_string(i));
+    e.chain = chain_entry(prev, e.kind, e.k, e.peer, e.payload);
+    e.sig = s.sign(e.chain);
+    prev = e.chain;
+    h.push_back(e);
+  }
+  EXPECT_TRUE(verify_history_structure(ks, 1, h));
+}
+
+TEST(HistoryStructure, TamperedPayloadBreaksChain) {
+  crypto::KeyStore ks(1);
+  crypto::Signer s = ks.register_process(1);
+  History h;
+  HistoryEntry e;
+  e.kind = HistoryEntry::Kind::kSent;
+  e.k = 1;
+  e.peer = kToAll;
+  e.payload = to_bytes("original");
+  e.chain = chain_entry({}, e.kind, e.k, e.peer, e.payload);
+  e.sig = s.sign(e.chain);
+  h.push_back(e);
+  ASSERT_TRUE(verify_history_structure(ks, 1, h));
+
+  h[0].payload = to_bytes("revised!");  // retroactive edit
+  EXPECT_FALSE(verify_history_structure(ks, 1, h));
+}
+
+TEST(HistoryStructure, SkippedSeqRejected) {
+  crypto::KeyStore ks(1);
+  crypto::Signer s = ks.register_process(1);
+  History h;
+  HistoryEntry e;
+  e.kind = HistoryEntry::Kind::kSent;
+  e.k = 2;  // should be 1
+  e.peer = kToAll;
+  e.payload = to_bytes("m");
+  e.chain = chain_entry({}, e.kind, e.k, e.peer, e.payload);
+  e.sig = s.sign(e.chain);
+  h.push_back(e);
+  EXPECT_FALSE(verify_history_structure(ks, 1, h));
+}
+
+TEST(HistoryStructure, WrongSignerRejected) {
+  crypto::KeyStore ks(1);
+  crypto::Signer s1 = ks.register_process(1);
+  (void)ks.register_process(2);
+  History h;
+  HistoryEntry e;
+  e.kind = HistoryEntry::Kind::kSent;
+  e.k = 1;
+  e.peer = kToAll;
+  e.payload = to_bytes("m");
+  e.chain = chain_entry({}, e.kind, e.k, e.peer, e.payload);
+  e.sig = s1.sign(e.chain);
+  h.push_back(e);
+  EXPECT_TRUE(verify_history_structure(ks, 1, h));
+  EXPECT_FALSE(verify_history_structure(ks, 2, h));  // claimed owner mismatch
+}
+
+TEST(Receipts, RoundTripAndVerify) {
+  crypto::KeyStore ks(3);
+  crypto::Signer s = ks.register_process(5);
+  const Bytes payload = to_bytes("msg");
+  const Bytes hdigest(32, 0x42);
+  const crypto::Signature sig =
+      s.sign(tsend_signing_bytes(7, 2, payload, hdigest));
+  Receipt r{2, payload, hdigest, sig};
+  const auto decoded = Receipt::decode(r.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(verify_receipt(ks, 5, 7, *decoded));
+  EXPECT_FALSE(verify_receipt(ks, 5, 8, *decoded));  // wrong k
+  Receipt forged = *decoded;
+  forged.payload = to_bytes("other");
+  EXPECT_FALSE(verify_receipt(ks, 5, 7, forged));
+}
+
+TEST(TrustedTransport, DeliversToAddresseeOnly) {
+  TrustedFixture f(3);
+  f.start_all();
+  f.transports[0]->send(2, to_bytes("for p2"));
+  std::map<ProcessId, int> got;
+  for (ProcessId p : all_processes(3)) {
+    f.exec.spawn([](TrustedTransport* t, int* count) -> Task<void> {
+      while (true) {
+        (void)co_await t->incoming().recv();
+        ++*count;
+      }
+    }(f.transports[p - 1].get(), &got[p]));
+  }
+  f.exec.run(500);
+  EXPECT_EQ(got[1], 0);
+  EXPECT_EQ(got[2], 1);
+  EXPECT_EQ(got[3], 0);
+  // Everyone audited it regardless (receipts recorded).
+  EXPECT_GE(f.transports[2]->history().size(), 1u);
+}
+
+TEST(TrustedTransport, SendAllReachesEveryoneIncludingSelf) {
+  TrustedFixture f(3);
+  f.start_all();
+  f.transports[1]->send_all(to_bytes("broadcast"));
+  std::map<ProcessId, int> got;
+  for (ProcessId p : all_processes(3)) {
+    f.exec.spawn([](TrustedTransport* t, int* count) -> Task<void> {
+      while (true) {
+        (void)co_await t->incoming().recv();
+        ++*count;
+      }
+    }(f.transports[p - 1].get(), &got[p]));
+  }
+  f.exec.run(500);
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 1);
+  EXPECT_EQ(got[3], 1);
+}
+
+TEST(TrustedTransport, ValidatorRejectionsAreCounted) {
+  // A validator that rejects everything: messages are audited, rejected,
+  // never delivered.
+  const auto reject_all = [](ProcessId, const History&, std::uint64_t,
+                             ProcessId, const Bytes&) { return false; };
+  TrustedFixture f(3, reject_all);
+  f.start_all();
+  f.transports[0]->send_all(to_bytes("doomed"));
+  f.exec.run(500);
+  EXPECT_GE(f.transports[1]->rejected(), 1u);
+  EXPECT_TRUE(f.transports[1]->incoming().empty());
+}
+
+// --- Paxos validator semantics. ---
+
+struct ValidatorFixture {
+  ValidatorFixture() : ks(5) {
+    for (ProcessId p : all_processes(3)) signers.push_back(ks.register_process(p));
+    validator = paxos_validator(ks, 3);
+  }
+
+  /// Build a history for `owner` from (kind, peer, paxos-msg) tuples,
+  /// with receipts signed properly by their origins.
+  HistoryEntry make_sent(ProcessId owner, std::uint64_t k, ProcessId dst,
+                         const Bytes& payload, Bytes& prev_chain,
+                         std::uint64_t& next_k) {
+    HistoryEntry e;
+    e.kind = HistoryEntry::Kind::kSent;
+    e.k = k;
+    e.peer = dst;
+    e.payload = payload;
+    e.chain = chain_entry(prev_chain, e.kind, e.k, e.peer, e.payload);
+    e.sig = signers[owner - 1].sign(e.chain);
+    prev_chain = e.chain;
+    next_k = k + 1;
+    return e;
+  }
+
+  HistoryEntry make_received(ProcessId owner, ProcessId origin,
+                             std::uint64_t origin_k, ProcessId dst,
+                             const Bytes& payload, Bytes& prev_chain) {
+    const Bytes hdigest(32, 0);  // arbitrary: signed below, so consistent
+    const crypto::Signature osig = signers[origin - 1].sign(
+        tsend_signing_bytes(origin_k, dst, payload, hdigest));
+    const Receipt r{dst, payload, hdigest, osig};
+    HistoryEntry e;
+    e.kind = HistoryEntry::Kind::kReceived;
+    e.k = origin_k;
+    e.peer = origin;
+    e.payload = r.encode();
+    e.chain = chain_entry(prev_chain, e.kind, e.k, e.peer, e.payload);
+    e.sig = signers[owner - 1].sign(e.chain);
+    prev_chain = e.chain;
+    return e;
+  }
+
+  crypto::KeyStore ks;
+  std::vector<crypto::Signer> signers;
+  HistoryValidator validator;
+};
+
+TEST(PaxosValidator, PromiseWithoutPrepareRejected) {
+  ValidatorFixture f;
+  History h;  // empty: p2 never received a prepare
+  const Bytes promise =
+      PaxosMsg{PaxosKind::kPromise, 4, 0, false, {}}.encode();
+  EXPECT_FALSE(f.validator(2, h, 1, 2, promise));
+}
+
+TEST(PaxosValidator, PromiseAfterPrepareAccepted) {
+  ValidatorFixture f;
+  History h;
+  Bytes chain;
+  // p2 received PREPARE(4) from p2's owner... ballot 4 owner = 4%3+1 = p2.
+  // Use ballot 3 (owner p1) prepared by p1, promise sent to p1.
+  const Bytes prepare = PaxosMsg{PaxosKind::kPrepare, 3, 0, false, {}}.encode();
+  h.push_back(f.make_received(2, 1, 1, kToAll, prepare, chain));
+  const Bytes promise = PaxosMsg{PaxosKind::kPromise, 3, 0, false, {}}.encode();
+  EXPECT_TRUE(f.validator(2, h, 1, 1, promise));
+}
+
+TEST(PaxosValidator, DoublePromiseOnLowerBallotRejected) {
+  ValidatorFixture f;
+  History h;
+  Bytes chain;
+  std::uint64_t next_k = 1;
+  const Bytes prep6 = PaxosMsg{PaxosKind::kPrepare, 6, 0, false, {}}.encode();
+  const Bytes prep3 = PaxosMsg{PaxosKind::kPrepare, 3, 0, false, {}}.encode();
+  h.push_back(f.make_received(2, 1, 1, kToAll, prep6, chain));
+  h.push_back(f.make_sent(2, 1, 1,
+                          PaxosMsg{PaxosKind::kPromise, 6, 0, false, {}}.encode(),
+                          chain, next_k));
+  h.push_back(f.make_received(2, 1, 2, kToAll, prep3, chain));
+  // Promising 3 after promising 6 is a protocol violation.
+  const Bytes promise3 = PaxosMsg{PaxosKind::kPromise, 3, 0, false, {}}.encode();
+  EXPECT_FALSE(f.validator(2, h, 2, 1, promise3));
+}
+
+TEST(PaxosValidator, AcceptWithoutQuorumOfPromisesRejected) {
+  ValidatorFixture f;
+  History h;
+  Bytes chain;
+  // p1 sends ACCEPT(3, v) having received only its own promise.
+  const Bytes promise = PaxosMsg{PaxosKind::kPromise, 3, 0, false, {}}.encode();
+  h.push_back(f.make_received(1, 1, 1, 1, promise, chain));
+  const Bytes accept =
+      PaxosMsg{PaxosKind::kAccept, 3, 0, true, to_bytes("v")}.encode();
+  EXPECT_FALSE(f.validator(1, h, 1, kToAll, accept));
+}
+
+TEST(PaxosValidator, AcceptMustCarryHighestAcceptedValue) {
+  ValidatorFixture f;
+  History h;
+  Bytes chain;
+  // p1 received two promises for ballot 3: p2's empty, p3's carrying
+  // (acc_ballot=2, "locked"). ACCEPT(3) must propose "locked".
+  const Bytes pr2 = PaxosMsg{PaxosKind::kPromise, 3, 0, false, {}}.encode();
+  const Bytes pr3 =
+      PaxosMsg{PaxosKind::kPromise, 3, 2, true, to_bytes("locked")}.encode();
+  h.push_back(f.make_received(1, 2, 1, 1, pr2, chain));
+  h.push_back(f.make_received(1, 3, 1, 1, pr3, chain));
+  const Bytes good =
+      PaxosMsg{PaxosKind::kAccept, 3, 0, true, to_bytes("locked")}.encode();
+  const Bytes bad =
+      PaxosMsg{PaxosKind::kAccept, 3, 0, true, to_bytes("mine")}.encode();
+  EXPECT_TRUE(f.validator(1, h, 1, kToAll, good));
+  EXPECT_FALSE(f.validator(1, h, 1, kToAll, bad));
+}
+
+TEST(PaxosValidator, ForeignBallotAcceptRejected) {
+  ValidatorFixture f;
+  History h;
+  // Ballot 4's owner is p2 (4 % 3 + 1); p1 cannot send ACCEPT(4).
+  const Bytes accept =
+      PaxosMsg{PaxosKind::kAccept, 4, 0, true, to_bytes("v")}.encode();
+  EXPECT_FALSE(f.validator(1, h, 1, kToAll, accept));
+}
+
+TEST(PaxosValidator, FastBallotZeroAllowsLeaderInput) {
+  ValidatorFixture f;
+  History h;
+  const Bytes accept =
+      PaxosMsg{PaxosKind::kAccept, 0, 0, true, to_bytes("anything")}.encode();
+  EXPECT_TRUE(f.validator(1, h, 1, kToAll, accept));   // p1 owns ballot 0
+  EXPECT_FALSE(f.validator(2, h, 1, kToAll, accept));  // p2 does not
+}
+
+TEST(PaxosValidator, DecideRequiresAcceptedQuorumForOwnAccept) {
+  ValidatorFixture f;
+  History h;
+  Bytes chain;
+  std::uint64_t next_k = 1;
+  // p1 fast-path: sends ACCEPT(0, v), receives ACCEPTED(0) from p2, p3.
+  const Bytes accept =
+      PaxosMsg{PaxosKind::kAccept, 0, 0, true, to_bytes("v")}.encode();
+  h.push_back(f.make_sent(1, 1, kToAll, accept, chain, next_k));
+  const Bytes accepted = PaxosMsg{PaxosKind::kAccepted, 0, 0, false, {}}.encode();
+  h.push_back(f.make_received(1, 2, 1, 1, accepted, chain));
+  h.push_back(f.make_received(1, 3, 1, 1, accepted, chain));
+  const Bytes decide_v =
+      PaxosMsg{PaxosKind::kDecide, 0, 0, true, to_bytes("v")}.encode();
+  const Bytes decide_w =
+      PaxosMsg{PaxosKind::kDecide, 0, 0, true, to_bytes("w")}.encode();
+  EXPECT_TRUE(f.validator(1, h, 2, kToAll, decide_v));
+  EXPECT_FALSE(f.validator(1, h, 2, kToAll, decide_w));  // wrong value
+}
+
+TEST(PaxosValidator, SetupPayloadsAlwaysLegal) {
+  ValidatorFixture f;
+  History h;
+  Bytes setup = TransportMux::frame(kMuxSetup, to_bytes("any value at all"));
+  EXPECT_TRUE(f.validator(2, h, 1, kToAll, setup));
+}
+
+TEST(PaxosValidator, MalformedPaxosPayloadRejected) {
+  ValidatorFixture f;
+  History h;
+  EXPECT_FALSE(f.validator(2, h, 1, kToAll, to_bytes("\x03garbage")));
+}
+
+}  // namespace
+}  // namespace mnm::core::trusted

@@ -1,0 +1,109 @@
+// Tests for byte utilities and canonical serialization.
+
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::util {
+namespace {
+
+TEST(Bytes, BottomIsEmpty) {
+  EXPECT_TRUE(is_bottom(bottom()));
+  EXPECT_TRUE(is_bottom(Bytes{}));
+  EXPECT_FALSE(is_bottom(to_bytes("x")));
+}
+
+TEST(Bytes, RoundTripString) {
+  const std::string s = "hello \x01\x02 world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  const Bytes b{0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  EXPECT_EQ(hex_encode(b), "0001abcdefff");
+  EXPECT_EQ(hex_decode("0001abcdefff"), b);
+  EXPECT_EQ(hex_decode("0001ABCDEFFF"), b);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(hex_encode({}), "");
+  EXPECT_EQ(hex_decode(""), Bytes{});
+}
+
+TEST(CtEqual, Basics) {
+  EXPECT_TRUE(ct_equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Serde, IntegersRoundTrip) {
+  Writer w;
+  w.u8(0xAB).u16(0xBEEF).u32(0xDEADBEEF).u64(0x0123456789ABCDEFULL).i64(-42);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serde, BytesAndStringsRoundTrip) {
+  Writer w;
+  w.bytes(to_bytes("payload")).str("name").bytes({});
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), to_bytes("payload"));
+  EXPECT_EQ(r.str(), "name");
+  EXPECT_EQ(r.bytes(), Bytes{});
+  r.expect_end();
+}
+
+TEST(Serde, BooleanStrict) {
+  Writer w;
+  w.boolean(true).boolean(false).u8(2);
+  Reader r(w.data());
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_THROW(r.boolean(), SerdeError);  // 2 is not a valid bool
+}
+
+TEST(Serde, TruncatedInputThrows) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.data());
+  EXPECT_THROW(r.u64(), SerdeError);
+}
+
+TEST(Serde, TruncatedLengthPrefixedBytesThrows) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), SerdeError);
+}
+
+TEST(Serde, ExpectEndRejectsTrailingGarbage) {
+  Writer w;
+  w.u8(1).u8(2);
+  Reader r(w.data());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_end(), SerdeError);
+}
+
+TEST(Serde, RawReadsExactCount) {
+  Writer w;
+  w.raw(to_bytes("abcdef"));
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), to_bytes("abc"));
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_THROW(r.raw(4), SerdeError);
+}
+
+}  // namespace
+}  // namespace mnm::util
