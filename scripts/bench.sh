@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the bench preset and run the two performance regression guards with
+# machine-readable output:
+#   * bench_smr_throughput — end-to-end consensus instances/sec per algorithm
+#   * bench_hotpath        — per-layer cost floor (executor, channel, fan-out)
+#
+# JSON lands in BENCH_smr_throughput.json / BENCH_hotpath.json at the repo
+# root; compare against the checked-in baseline to detect regressions:
+#   ./scripts/bench.sh
+#   git diff --stat BENCH_hotpath.json
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset bench
+cmake --build --preset bench -j"$(nproc)"
+
+MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+
+# --benchmark_out keeps the JSON clean even though bench_smr_throughput also
+# prints its per-instance cost table to stdout.
+./build-bench/bench_smr_throughput \
+  --benchmark_out=BENCH_smr_throughput.json --benchmark_out_format=json \
+  --benchmark_min_time="${MIN_TIME}"
+./build-bench/bench_hotpath \
+  --benchmark_out=BENCH_hotpath.json --benchmark_out_format=json \
+  --benchmark_min_time="${MIN_TIME}"
+
+echo "Wrote BENCH_smr_throughput.json and BENCH_hotpath.json"

@@ -20,16 +20,20 @@ AlignedPaxos::AlignedPaxos(sim::Executor& exec,
       omega_(&omega),
       self_(self),
       config_(config),
-      decision_gate_(exec) {}
+      all_(all_processes(config.n)),
+      excl_perm_(mem::Permission::exclusive_writer(self, all_)),
+      decision_gate_(exec) {
+  for (ProcessId p : all_) slot_names_.push_back(slot_name(p));
+}
 
 void AlignedPaxos::start() {
   exec_->spawn(acceptor_loop());
   exec_->spawn(decide_listener());
 }
 
-void AlignedPaxos::decide_locally(const Bytes& value) {
+void AlignedPaxos::decide_locally(util::ByteView value) {
   if (decided_value_.has_value()) return;
-  decided_value_ = value;
+  decided_value_ = util::to_bytes(value);
   decided_at_ = exec_->now();
   decision_gate_.open();
 }
@@ -84,23 +88,21 @@ sim::Task<AlignedPaxos::Phase1Answer> AlignedPaxos::phase1_memory(
   mem::MemoryIface* m = memories_[idx];
   Phase1Answer out;
 
-  const mem::Status grabbed = co_await m->change_permission(
-      self_, region_,
-      mem::Permission::exclusive_writer(self_, all_processes(config_.n)));
+  const mem::Status grabbed =
+      co_await m->change_permission(self_, region_, excl_perm_);
   if (grabbed != mem::Status::kAck) co_return out;
 
   PmpSlot own;
   own.min_proposal = prop_nr;
   const mem::Status wrote =
-      co_await m->write(self_, region_, slot_name(self_), own.encode());
+      co_await m->write(self_, region_, slot_names_[self_ - 1], own.encode());
   if (wrote != mem::Status::kAck) co_return out;
 
   sim::Fanout<mem::ReadResult> fanout(*exec_);
-  const auto all = all_processes(config_.n);
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    fanout.add(i, m->read(self_, region_, slot_name(all[i])));
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    fanout.add(i, m->read(self_, region_, slot_names_[i]));
   }
-  auto reads = co_await fanout.collect(all.size());
+  auto reads = co_await fanout.collect(all_.size());
   for (auto& [i, rr] : reads) {
     if (!rr.ok()) co_return out;
     const auto slot = PmpSlot::decode(rr.value);
@@ -119,8 +121,8 @@ sim::Task<mem::Status> AlignedPaxos::phase2_memory(std::size_t idx,
   s.acc_proposal = prop_nr;
   s.has_value = true;
   s.value = std::move(value);
-  co_return co_await memories_[idx]->write(self_, region_, slot_name(self_),
-                                           s.encode());
+  co_return co_await memories_[idx]->write(self_, region_,
+                                           slot_names_[self_ - 1], s.encode());
 }
 
 sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {

@@ -79,7 +79,7 @@ class AlignedPaxos {
                                        Bytes value);
   sim::Task<void> acceptor_loop();
   sim::Task<void> decide_listener();
-  void decide_locally(const Bytes& value);
+  void decide_locally(util::ByteView value);
 
   sim::Executor* exec_;
   std::vector<mem::MemoryIface*> memories_;
@@ -88,6 +88,11 @@ class AlignedPaxos {
   Omega* omega_;
   ProcessId self_;
   AlignedPaxosConfig config_;
+
+  // Hot-path caches (built once in the constructor).
+  std::vector<ProcessId> all_;
+  std::vector<std::string> slot_names_;  // index p - 1
+  mem::Permission excl_perm_;            // exclusive_writer(self, all)
 
   // Acceptor state (for the process-agent role).
   std::uint64_t promised_ = 0;

@@ -6,12 +6,12 @@
 namespace mnm::core {
 
 Bytes DiskBlock::encode() const {
-  util::Writer w;
+  util::Writer w(8 + 8 + 1 + 4 + value.size());
   w.u64(mbal).u64(bal).boolean(has_value).bytes(value);
   return std::move(w).take();
 }
 
-std::optional<DiskBlock> DiskBlock::decode(const Bytes& raw) {
+std::optional<DiskBlock> DiskBlock::decode(util::ByteView raw) {
   if (util::is_bottom(raw)) return DiskBlock{};
   try {
     util::Reader r(raw);
@@ -42,13 +42,16 @@ DiskPaxos::DiskPaxos(sim::Executor& exec,
       omega_(&omega),
       self_(self),
       config_(config),
-      decision_gate_(exec) {}
+      all_(all_processes(config.n)),
+      decision_gate_(exec) {
+  for (ProcessId p : all_) block_names_.push_back(block_name(p));
+}
 
 void DiskPaxos::start() { exec_->spawn(decide_listener()); }
 
-void DiskPaxos::decide_locally(const Bytes& value) {
+void DiskPaxos::decide_locally(util::ByteView value) {
   if (decided_value_.has_value()) return;
-  decided_value_ = value;
+  decided_value_ = util::to_bytes(value);
   decided_at_ = exec_->now();
   decision_gate_.open();
 }
@@ -66,17 +69,16 @@ sim::Task<DiskPaxos::RoundResult> DiskPaxos::phase_at_memory(
   mem::MemoryIface* m = memories_[idx];
   RoundResult out;
 
-  const mem::Status wrote =
-      co_await m->write(self_, region_, block_name(self_), own.encode());
+  const mem::Status wrote = co_await m->write(
+      self_, region_, block_names_[self_ - 1], own.encode());
   if (wrote != mem::Status::kAck) co_return out;
 
   sim::Fanout<mem::ReadResult> fanout(*exec_);
-  const auto all = all_processes(config_.n);
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    fanout.add(i, m->read(self_, region_, block_name(all[i])));
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    fanout.add(i, m->read(self_, region_, block_names_[i]));
   }
-  auto reads = co_await fanout.collect(all.size());
-  out.blocks.resize(all.size());
+  auto reads = co_await fanout.collect(all_.size());
+  out.blocks.resize(all_.size());
   for (auto& [i, rr] : reads) {
     if (!rr.ok()) co_return out;
     const auto block = DiskBlock::decode(rr.value);
@@ -90,7 +92,7 @@ sim::Task<DiskPaxos::RoundResult> DiskPaxos::phase_at_memory(
 sim::Task<Bytes> DiskPaxos::propose(Bytes v) {
   const std::size_t m = memories_.size();
   const std::size_t quorum = majority(m);
-  const auto all = all_processes(config_.n);
+  const auto& all = all_;
 
   while (!decided()) {
     while (!omega_->trusts(self_) && !decided()) {

@@ -49,7 +49,7 @@ struct DiskBlock {
   Bytes value;
 
   Bytes encode() const;
-  static std::optional<DiskBlock> decode(const Bytes& raw);
+  static std::optional<DiskBlock> decode(util::ByteView raw);
 };
 
 struct DiskPaxosConfig {
@@ -82,7 +82,7 @@ class DiskPaxos {
   /// "phase" at one disk).
   sim::Task<RoundResult> phase_at_memory(std::size_t idx, DiskBlock own);
   sim::Task<void> decide_listener();
-  void decide_locally(const Bytes& value);
+  void decide_locally(util::ByteView value);
 
   sim::Executor* exec_;
   std::vector<mem::MemoryIface*> memories_;
@@ -91,6 +91,10 @@ class DiskPaxos {
   Omega* omega_;
   ProcessId self_;
   DiskPaxosConfig config_;
+
+  // Hot-path caches (built once in the constructor).
+  std::vector<ProcessId> all_;
+  std::vector<std::string> block_names_;  // index p - 1
 
   std::uint64_t max_mbal_seen_ = 0;
   bool first_attempt_ = true;

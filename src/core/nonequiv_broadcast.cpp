@@ -17,27 +17,26 @@ NebSlots::NebSlots(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
 
 swmr::ReplicatedRegister& NebSlots::slot(ProcessId owner, std::uint64_t k,
                                          ProcessId broadcaster) {
-  const std::string name = prefix_ + "/" + std::to_string(owner) + "/" +
-                           std::to_string(k) + "/" + std::to_string(broadcaster);
-  auto it = cache_.find(name);
-  if (it == cache_.end()) {
-    it = cache_
-             .emplace(name, std::make_unique<swmr::ReplicatedRegister>(
-                                *exec_, memories_, owner_regions_.at(owner), name))
-             .first;
+  std::unique_ptr<swmr::ReplicatedRegister>& entry =
+      cache_[slot_key(owner, k, broadcaster)];
+  if (entry == nullptr) {
+    const std::string name = prefix_ + "/" + std::to_string(owner) + "/" +
+                             std::to_string(k) + "/" + std::to_string(broadcaster);
+    entry = std::make_unique<swmr::ReplicatedRegister>(
+        *exec_, memories_, owner_regions_.at(owner), name);
   }
-  return *it->second;
+  return *entry;
 }
 
 Bytes neb_signing_bytes(std::uint64_t k, const Bytes& message) {
-  util::Writer w;
+  util::Writer w(4 + 3 + 8 + crypto::kSha256DigestSize);
   w.str("neb").u64(k).raw(crypto::digest_bytes(crypto::sha256(message)));
   return std::move(w).take();
 }
 
 Bytes encode_neb_slot(std::uint64_t k, const Bytes& message,
                       const crypto::Signature& sig) {
-  util::Writer w;
+  util::Writer w(8 + 4 + message.size() + 8 + sig.mac.size());
   w.u64(k).bytes(message);
   sig.encode(w);
   return std::move(w).take();
@@ -66,7 +65,7 @@ NonEquivBroadcast::NonEquivBroadcast(sim::Executor& exec, NebSlots& slots,
       signer_(signer),
       config_(config),
       deliveries_(exec) {
-  for (ProcessId q : all_processes(config_.n)) last_[q] = 1;
+  last_.assign(config_.n, 1);
 }
 
 void NonEquivBroadcast::start() {
@@ -86,7 +85,7 @@ sim::Task<mem::Status> NonEquivBroadcast::broadcast(Bytes message) {
 
 sim::Task<bool> NonEquivBroadcast::try_deliver(ProcessId q) {
   const ProcessId self = signer_.id();
-  const std::uint64_t k = last_.at(q);
+  const std::uint64_t k = last_.at(q - 1);
 
   // (1) Read q's own slot for its k-th broadcast.
   const mem::ReadResult head = co_await slots_->slot(q, k, q).read(self);
@@ -107,11 +106,10 @@ sim::Task<bool> NonEquivBroadcast::try_deliver(ProcessId q) {
   // (3) Read everyone's copy; a different validly-signed value for the same
   // key proves q equivocated — refuse delivery (forever: last_ stays put).
   sim::Fanout<mem::ReadResult> fanout(*exec_);
-  const auto all = all_processes(config_.n);
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    fanout.add(i, slots_->slot(all[i], k, q).read(self));
+  for (std::size_t i = 0; i < config_.n; ++i) {
+    fanout.add(i, slots_->slot(static_cast<ProcessId>(i + 1), k, q).read(self));
   }
-  auto copies = co_await fanout.collect(all.size());
+  auto copies = co_await fanout.collect(config_.n);
   for (auto& [idx, rr] : copies) {
     if (!rr.ok() || util::is_bottom(rr.value)) continue;
     if (rr.value == head.value) continue;
@@ -125,13 +123,13 @@ sim::Task<bool> NonEquivBroadcast::try_deliver(ProcessId q) {
   }
 
   deliveries_.send(NebDelivery{q, k, content->message, content->sig});
-  last_[q] = k + 1;
+  last_[q - 1] = k + 1;
   co_return true;
 }
 
 sim::Task<void> NonEquivBroadcast::scan_loop() {
   while (true) {
-    for (ProcessId q : all_processes(config_.n)) {
+    for (ProcessId q = 1; q <= static_cast<ProcessId>(config_.n); ++q) {
       // Drain q's backlog before moving on; stop at the first gap.
       while (co_await try_deliver(q)) {
       }

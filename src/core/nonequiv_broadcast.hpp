@@ -38,6 +38,7 @@
 #include "src/sim/executor.hpp"
 #include "src/sim/task.hpp"
 #include "src/swmr/swmr_register.hpp"
+#include "src/util/flat_map.hpp"
 
 namespace mnm::core {
 
@@ -56,7 +57,10 @@ std::map<ProcessId, RegionId> make_neb_regions(MemoryT& memory, std::size_t n,
   return out;
 }
 
-/// Shared table of replicated slot registers.
+/// Shared table of replicated slot registers. Lookups are on the scan-loop
+/// hot path (every poll tick touches slot(q, k, q)), so registers are keyed
+/// by a packed (owner, k, broadcaster) integer in a flat table; the string
+/// register name is only built when a slot is first created.
 class NebSlots {
  public:
   NebSlots(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
@@ -68,11 +72,18 @@ class NebSlots {
                                  ProcessId broadcaster);
 
  private:
+  static std::uint64_t slot_key(ProcessId owner, std::uint64_t k,
+                                ProcessId broadcaster) {
+    // owner and broadcaster are 1..n (n is small); k gets the middle 48 bits.
+    return (static_cast<std::uint64_t>(owner) << 56) | ((k & 0xFFFFFFFFFFFFULL) << 8) |
+           static_cast<std::uint64_t>(broadcaster & 0xFF);
+  }
+
   sim::Executor* exec_;
   std::vector<mem::MemoryIface*> memories_;
   std::map<ProcessId, RegionId> owner_regions_;
   std::string prefix_;
-  std::map<std::string, std::unique_ptr<swmr::ReplicatedRegister>> cache_;
+  util::FlatMap<std::uint64_t, std::unique_ptr<swmr::ReplicatedRegister>> cache_;
 };
 
 struct NebDelivery {
@@ -138,7 +149,7 @@ class NonEquivBroadcast {
   crypto::Signer signer_;
   NebConfig config_;
   std::uint64_t next_k_ = 1;
-  std::map<ProcessId, std::uint64_t> last_;  // next seq to deliver per q
+  std::vector<std::uint64_t> last_;  // next seq to deliver, index q - 1
   sim::Channel<NebDelivery> deliveries_;
   bool started_ = false;
 };

@@ -5,7 +5,7 @@
 namespace mnm::core {
 
 Bytes PaxosMsg::encode() const {
-  util::Writer w;
+  util::Writer w(1 + 8 + 8 + 1 + 4 + value.size());
   w.u8(static_cast<std::uint8_t>(kind))
       .u64(ballot)
       .u64(acc_ballot)
@@ -14,7 +14,7 @@ Bytes PaxosMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<PaxosMsg> PaxosMsg::decode(const Bytes& raw) {
+std::optional<PaxosMsg> PaxosMsg::decode(util::ByteView raw) {
   try {
     util::Reader r(raw);
     PaxosMsg m;
@@ -47,9 +47,9 @@ void Paxos::start() {
   exec_->spawn(dispatch_loop());
 }
 
-void Paxos::decide_locally(const Bytes& value) {
+void Paxos::decide_locally(util::ByteView value) {
   if (decided_value_.has_value()) return;
-  decided_value_ = value;
+  decided_value_ = util::to_bytes(value);
   decided_at_ = exec_->now();
   decision_gate_.open();
 }

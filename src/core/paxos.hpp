@@ -51,7 +51,7 @@ struct PaxosMsg {
   Bytes value;
 
   Bytes encode() const;
-  static std::optional<PaxosMsg> decode(const Bytes& raw);
+  static std::optional<PaxosMsg> decode(util::ByteView raw);
 };
 
 struct PaxosConfig {
@@ -87,7 +87,7 @@ class Paxos {
   sim::Task<void> dispatch_loop();
   void handle_acceptor(ProcessId src, const PaxosMsg& msg);
   sim::Task<bool> run_round(const Bytes& input, bool fast_first);
-  void decide_locally(const Bytes& value);
+  void decide_locally(util::ByteView value);
 
   sim::Executor* exec_;
   Transport* transport_;

@@ -169,57 +169,98 @@ struct Replay {
 
 }  // namespace
 
+namespace {
+
+/// Process one history entry of `owner` into `replay`. Returns false if the
+/// entry proves the history illegal.
+bool ingest_entry(const crypto::KeyStore& keystore, ProcessId owner,
+                  const HistoryEntry& e, Replay& replay) {
+  const auto process_send = [&](ProcessId to, const Bytes& p) {
+    Bytes paxos_bytes;
+    switch (classify(p, paxos_bytes)) {
+      case Framing::kSetup:
+        return true;  // set-up values are arbitrary inputs
+      case Framing::kMalformed:
+        return false;
+      case Framing::kPaxos:
+        break;
+    }
+    const auto msg = PaxosMsg::decode(paxos_bytes);
+    if (!msg.has_value()) return false;
+    return replay.ingest_send(owner, *msg, to);
+  };
+
+  if (e.kind == HistoryEntry::Kind::kSent) {
+    return process_send(e.peer, e.payload);
+  }
+  // kReceived: verify the receipt, then feed it to the replay.
+  const auto receipt = Receipt::decode(e.payload);
+  if (!receipt.has_value()) return false;
+  if (!trusted::verify_receipt(keystore, e.peer, e.k, *receipt)) {
+    return false;
+  }
+  // Only messages addressed to the owner (or broadcast) may influence it.
+  if (receipt->dst != owner && receipt->dst != trusted::kToAll) return true;
+  Bytes paxos_bytes;
+  switch (classify(receipt->payload, paxos_bytes)) {
+    case Framing::kSetup:
+      return true;
+    case Framing::kMalformed:
+      return true;  // junk the origin sent; ignore, it cannot justify anything
+    case Framing::kPaxos:
+      break;
+  }
+  const auto msg = PaxosMsg::decode(paxos_bytes);
+  if (!msg.has_value()) return true;
+  return replay.ingest_receipt(e.peer, *msg);
+}
+
+/// Replayed state of one owner's history up to `entries`, resumable when the
+/// next message's history extends this one (identified by the chain value of
+/// the last replayed entry — the chain commits to every prior entry's
+/// fields, so a matching chain means a matching prefix).
+struct OwnerCache {
+  std::size_t entries = 0;
+  Bytes last_chain;
+  Replay replay{0};
+};
+
+}  // namespace
+
 trusted::HistoryValidator paxos_validator(const crypto::KeyStore& keystore,
                                           std::size_t n) {
-  return [&keystore, n](ProcessId owner, const History& h, std::uint64_t k,
-                        ProcessId dst, const Bytes& payload) {
+  return [&keystore, n, caches = std::map<ProcessId, OwnerCache>{}](
+             ProcessId owner, const History& h, std::uint64_t k, ProcessId dst,
+             const Bytes& payload) mutable {
     (void)k;
-    Replay replay(n);
-
-    const auto process_send = [&](ProcessId to, const Bytes& p) {
-      Bytes paxos_bytes;
-      switch (classify(p, paxos_bytes)) {
-        case Framing::kSetup:
-          return true;  // set-up values are arbitrary inputs
-        case Framing::kMalformed:
-          return false;
-        case Framing::kPaxos:
-          break;
-      }
-      const auto msg = PaxosMsg::decode(paxos_bytes);
-      if (!msg.has_value()) return false;
-      return replay.ingest_send(owner, *msg, to);
-    };
-
-    for (const auto& e : h) {
-      if (e.kind == HistoryEntry::Kind::kSent) {
-        if (!process_send(e.peer, e.payload)) return false;
-        continue;
-      }
-      // kReceived: verify the receipt, then feed it to the replay.
-      const auto receipt = Receipt::decode(e.payload);
-      if (!receipt.has_value()) return false;
-      if (!trusted::verify_receipt(keystore, e.peer, e.k, *receipt)) {
+    OwnerCache& c = caches.try_emplace(owner).first->second;
+    std::size_t start = 0;
+    if (c.entries > 0 && h.size() >= c.entries &&
+        h[c.entries - 1].chain == c.last_chain) {
+      start = c.entries;  // resume: the prefix was already replayed
+    } else {
+      c.replay = Replay(n);
+      c.entries = 0;
+    }
+    for (std::size_t i = start; i < h.size(); ++i) {
+      if (!ingest_entry(keystore, owner, h[i], c.replay)) {
+        caches.erase(owner);  // partially-applied state; rebuild next time
         return false;
       }
-      // Only messages addressed to the owner (or broadcast) may influence it.
-      if (receipt->dst != owner && receipt->dst != trusted::kToAll) continue;
-      Bytes paxos_bytes;
-      switch (classify(receipt->payload, paxos_bytes)) {
-        case Framing::kSetup:
-          continue;
-        case Framing::kMalformed:
-          continue;  // junk the origin sent; ignore, it cannot justify anything
-        case Framing::kPaxos:
-          break;
-      }
-      const auto msg = PaxosMsg::decode(paxos_bytes);
-      if (!msg.has_value()) continue;
-      if (!replay.ingest_receipt(e.peer, *msg)) return false;
     }
+    c.entries = h.size();
+    c.last_chain = h.empty() ? Bytes{} : h.back().chain;
 
-    // Finally, the message being sent right now.
-    return process_send(dst, payload);
+    // Finally, the message being sent right now. It is not part of `h` yet
+    // (it will arrive as a kSent entry of the next history), so replay it as
+    // a synthetic sent entry on a scratch copy that does not advance the
+    // cache — one code path for "entry in history" and "entry being sent".
+    Replay scratch = c.replay;
+    HistoryEntry current;
+    current.kind = HistoryEntry::Kind::kSent;
+    current.peer = dst;
+    current.payload = payload;
+    return ingest_entry(keystore, owner, current, scratch);
   };
 }
 

@@ -7,12 +7,12 @@
 namespace mnm::core {
 
 Bytes PrioInput::encode() const {
-  util::Writer w;
+  util::Writer w(12 + value.size() + proof.size() + leader_sig.size());
   w.bytes(value).bytes(proof).bytes(leader_sig);
   return std::move(w).take();
 }
 
-std::optional<PrioInput> PrioInput::decode(const Bytes& raw) {
+std::optional<PrioInput> PrioInput::decode(util::ByteView raw) {
   try {
     util::Reader r(raw);
     PrioInput p;

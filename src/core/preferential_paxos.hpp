@@ -33,7 +33,7 @@ struct PrioInput {
   Bytes leader_sig;  // encoded Signature of p1 over value, empty if none
 
   Bytes encode() const;
-  static std::optional<PrioInput> decode(const Bytes& raw);
+  static std::optional<PrioInput> decode(util::ByteView raw);
   bool operator==(const PrioInput&) const = default;
 };
 

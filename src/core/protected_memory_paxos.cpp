@@ -6,20 +6,31 @@
 namespace mnm::core {
 
 mem::LegalChangeFn pmp_legal_change(std::vector<ProcessId> all) {
-  return [all = std::move(all)](ProcessId requester, RegionId,
-                                const mem::Permission&,
-                                const mem::Permission& proposed) {
+  // Precompute each process's exclusive-writer permission: the memory
+  // evaluates legalChange on every change_permission, and rebuilding the
+  // target permission there allocated three sets per call.
+  std::vector<mem::Permission> targets;
+  targets.reserve(all.size());
+  for (ProcessId p : all) {
+    targets.push_back(mem::Permission::exclusive_writer(p, all));
+  }
+  return [all = std::move(all), targets = std::move(targets)](
+             ProcessId requester, RegionId, const mem::Permission&,
+             const mem::Permission& proposed) {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i] == requester) return proposed == targets[i];
+    }
     return proposed == mem::Permission::exclusive_writer(requester, all);
   };
 }
 
 Bytes PmpSlot::encode() const {
-  util::Writer w;
+  util::Writer w(8 + 8 + 1 + 4 + value.size());
   w.u64(min_proposal).u64(acc_proposal).boolean(has_value).bytes(value);
   return std::move(w).take();
 }
 
-std::optional<PmpSlot> PmpSlot::decode(const Bytes& raw) {
+std::optional<PmpSlot> PmpSlot::decode(util::ByteView raw) {
   if (util::is_bottom(raw)) return PmpSlot{};  // ⊥ slot: all zero
   try {
     util::Reader r(raw);
@@ -50,13 +61,17 @@ ProtectedMemoryPaxos::ProtectedMemoryPaxos(
       omega_(&omega),
       self_(self),
       config_(config),
-      decision_gate_(exec) {}
+      all_(all_processes(config.n)),
+      excl_perm_(mem::Permission::exclusive_writer(self, all_)),
+      decision_gate_(exec) {
+  for (ProcessId p : all_) slot_names_.push_back(slot_name(p));
+}
 
 void ProtectedMemoryPaxos::start() { exec_->spawn(decide_listener()); }
 
-void ProtectedMemoryPaxos::decide_locally(const Bytes& value) {
+void ProtectedMemoryPaxos::decide_locally(util::ByteView value) {
   if (decided_value_.has_value()) return;
-  decided_value_ = value;
+  decided_value_ = util::to_bytes(value);
   decided_at_ = exec_->now();
   decision_gate_.open();
 }
@@ -75,26 +90,24 @@ ProtectedMemoryPaxos::phase1_at_memory(std::size_t idx, std::uint64_t prop_nr) {
   Phase1Result out;
 
   // Seize exclusive write permission (Alg. 7 line 13).
-  const mem::Status grabbed = co_await m->change_permission(
-      self_, region_,
-      mem::Permission::exclusive_writer(self_, all_processes(config_.n)));
+  const mem::Status grabbed =
+      co_await m->change_permission(self_, region_, excl_perm_);
   if (grabbed != mem::Status::kAck) co_return out;
 
   // write1: stamp our proposal number (line 14).
   PmpSlot own;
   own.min_proposal = prop_nr;
-  const mem::Status wrote =
-      co_await m->write(self_, region_, slot_name(self_), own.encode());
+  const mem::Status wrote = co_await m->write(self_, region_,
+                                              slot_names_[self_ - 1], own.encode());
   if (wrote != mem::Status::kAck) co_return out;
 
   // Read every process's slot at this memory, in parallel (line 15).
   sim::Fanout<mem::ReadResult> fanout(*exec_);
-  const auto all = all_processes(config_.n);
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    fanout.add(i, m->read(self_, region_, slot_name(all[i])));
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    fanout.add(i, m->read(self_, region_, slot_names_[i]));
   }
-  auto reads = co_await fanout.collect(all.size());
-  out.slots.resize(all.size());
+  auto reads = co_await fanout.collect(all_.size());
+  out.slots.resize(all_.size());
   for (auto& [i, rr] : reads) {
     if (!rr.ok()) co_return out;  // lost permission mid-phase: fail iteration
     const auto slot = PmpSlot::decode(rr.value);
@@ -112,8 +125,8 @@ sim::Task<mem::Status> ProtectedMemoryPaxos::phase2_at_memory(
   s.acc_proposal = prop_nr;
   s.has_value = true;
   s.value = std::move(value);
-  co_return co_await memories_[idx]->write(self_, region_, slot_name(self_),
-                                           s.encode());
+  co_return co_await memories_[idx]->write(self_, region_,
+                                           slot_names_[self_ - 1], s.encode());
 }
 
 sim::Task<Bytes> ProtectedMemoryPaxos::propose(Bytes v) {

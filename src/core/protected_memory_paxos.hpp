@@ -59,7 +59,7 @@ struct PmpSlot {
   Bytes value;
 
   Bytes encode() const;
-  static std::optional<PmpSlot> decode(const Bytes& raw);
+  static std::optional<PmpSlot> decode(util::ByteView raw);
 };
 
 struct PmpConfig {
@@ -96,7 +96,7 @@ class ProtectedMemoryPaxos {
   sim::Task<mem::Status> phase2_at_memory(std::size_t idx, std::uint64_t prop_nr,
                                           Bytes value);
   sim::Task<void> decide_listener();
-  void decide_locally(const Bytes& value);
+  void decide_locally(util::ByteView value);
 
   sim::Executor* exec_;
   std::vector<mem::MemoryIface*> memories_;
@@ -105,6 +105,11 @@ class ProtectedMemoryPaxos {
   Omega* omega_;
   ProcessId self_;
   PmpConfig config_;
+
+  // Hot-path caches (built once in the constructor).
+  std::vector<ProcessId> all_;
+  std::vector<std::string> slot_names_;  // index p - 1
+  mem::Permission excl_perm_;            // exclusive_writer(self, all)
 
   std::uint64_t max_proposal_seen_ = 0;
   bool first_attempt_ = true;

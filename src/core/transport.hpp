@@ -7,6 +7,9 @@
 // `NetTransport` (plain authenticated links) in the crash model and over
 // `trusted::TrustedTransport` (non-equivocating broadcast + signed
 // histories) inside Robust Backup.
+//
+// Payloads are util::Buffer end to end: an encoder serializes once, and
+// send_all shares the same bytes across all n point-to-point sends.
 
 #pragma once
 
@@ -16,14 +19,16 @@
 #include "src/net/network.hpp"
 #include "src/sim/channel.hpp"
 #include "src/sim/task.hpp"
+#include "src/util/buffer.hpp"
 
 namespace mnm::core {
 
 /// An inbound algorithm-level message. `payload` is the algorithm's own
-/// encoding (e.g. a Paxos message).
+/// encoding (e.g. a Paxos message), shared with — never copied from — the
+/// network-level message that carried it.
 struct TMsg {
   ProcessId src = 0;
-  Bytes payload;
+  util::Buffer payload;
 };
 
 class Transport {
@@ -34,16 +39,18 @@ class Transport {
   virtual std::size_t process_count() const = 0;
 
   /// Send `payload` to `dst` (fire and forget; delivery per the model).
-  virtual void send(ProcessId dst, Bytes payload) = 0;
+  virtual void send(ProcessId dst, util::Buffer payload) = 0;
 
   /// Stream of inbound messages addressed to this process.
   virtual sim::Channel<TMsg>& incoming() = 0;
 
-  /// Send to every process. Default: one point-to-point send per process.
+  /// Send to every process. Default: one point-to-point send per process,
+  /// all sharing one payload buffer.
   /// TrustedTransport overrides this with a single broadcast (every T-send
   /// is a broadcast anyway), in which case self always receives a copy.
-  virtual void send_all(const Bytes& payload, bool include_self = true) {
-    for (ProcessId p : all_processes(process_count())) {
+  virtual void send_all(util::Buffer payload, bool include_self = true) {
+    const ProcessId n = static_cast<ProcessId>(process_count());
+    for (ProcessId p = 1; p <= n; ++p) {
       if (!include_self && p == self()) continue;
       send(p, payload);
     }
@@ -65,7 +72,7 @@ class NetTransport : public Transport {
     return endpoint_.network().process_count();
   }
 
-  void send(ProcessId dst, Bytes payload) override {
+  void send(ProcessId dst, util::Buffer payload) override {
     endpoint_.send(dst, tag_, std::move(payload));
   }
 

@@ -5,16 +5,21 @@
 // payload with a one-byte tag and demultiplexes inbound messages to per-tag
 // sub-transports. Tags are chosen outside the PaxosKind byte range so a
 // history validator can tell framed from raw payloads unambiguously.
+//
+// The tag is one byte, so the demux table is a direct-indexed 256-entry
+// array, and stripping the tag on the inbound path is a zero-copy Buffer
+// slice into the same backing bytes.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <memory>
 
 #include "src/common.hpp"
 #include "src/core/transport.hpp"
 #include "src/sim/executor.hpp"
+#include "src/util/serde.hpp"
 
 namespace mnm::core {
 
@@ -29,21 +34,18 @@ class TransportMux {
   /// The sub-transport for `tag` (created on first use). start() must be
   /// called after all subs are created and before messages flow.
   Transport& sub(std::uint8_t tag) {
-    auto it = subs_.find(tag);
-    if (it == subs_.end()) {
-      it = subs_.emplace(tag, std::make_unique<Sub>(*exec_, *base_, tag)).first;
+    if (subs_[tag] == nullptr) {
+      subs_[tag] = std::make_unique<Sub>(*exec_, *base_, tag);
     }
-    return *it->second;
+    return *subs_[tag];
   }
 
   void start() { exec_->spawn(demux_loop(base_, &subs_)); }
 
-  static Bytes frame(std::uint8_t tag, const Bytes& payload) {
-    Bytes out;
-    out.reserve(payload.size() + 1);
-    out.push_back(tag);
-    out.insert(out.end(), payload.begin(), payload.end());
-    return out;
+  static Bytes frame(std::uint8_t tag, util::ByteView payload) {
+    util::Writer w(payload.size() + 1);
+    w.u8(tag).raw(payload);
+    return std::move(w).take();
   }
 
  private:
@@ -54,10 +56,11 @@ class TransportMux {
 
     ProcessId self() const override { return base_->self(); }
     std::size_t process_count() const override { return base_->process_count(); }
-    void send(ProcessId dst, Bytes payload) override {
+    void send(ProcessId dst, util::Buffer payload) override {
       base_->send(dst, frame(tag_, payload));
     }
-    void send_all(const Bytes& payload, bool include_self = true) override {
+    void send_all(util::Buffer payload, bool include_self = true) override {
+      // Frame once; the framed buffer is shared across the fan-out.
       base_->send_all(frame(tag_, payload), include_self);
     }
     sim::Channel<TMsg>& incoming() override { return incoming_; }
@@ -69,22 +72,23 @@ class TransportMux {
     friend class TransportMux;
   };
 
-  static sim::Task<void> demux_loop(Transport* base,
-                                    std::map<std::uint8_t, std::unique_ptr<Sub>>* subs) {
+  using SubTable = std::array<std::unique_ptr<Sub>, 256>;
+
+  static sim::Task<void> demux_loop(Transport* base, SubTable* subs) {
     while (true) {
       TMsg m = co_await base->incoming().recv();
       if (m.payload.empty()) continue;
-      const std::uint8_t tag = static_cast<std::uint8_t>(m.payload[0]);
-      const auto it = subs->find(tag);
-      if (it == subs->end()) continue;  // unknown tag: drop
-      m.payload.erase(m.payload.begin());
-      it->second->incoming_.send(std::move(m));
+      const std::uint8_t tag = m.payload[0];
+      Sub* sub = (*subs)[tag].get();
+      if (sub == nullptr) continue;  // unknown tag: drop
+      m.payload = m.payload.suffix(1);  // strip the tag in place, zero-copy
+      sub->incoming_.send(std::move(m));
     }
   }
 
   sim::Executor* exec_;
   Transport* base_;
-  std::map<std::uint8_t, std::unique_ptr<Sub>> subs_;
+  SubTable subs_;
 };
 
 }  // namespace mnm::core

@@ -1,13 +1,18 @@
 #include "src/core/trusted_messaging.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace mnm::core::trusted {
 
-Bytes HistoryEntry::encode() const {
-  util::Writer w;
+void HistoryEntry::encode_into(util::Writer& w) const {
   w.u8(static_cast<std::uint8_t>(kind)).u64(k).u32(peer).bytes(payload).bytes(chain);
   sig.encode(w);
+}
+
+Bytes HistoryEntry::encode() const {
+  util::Writer w(1 + 8 + 4 + 8 + payload.size() + chain.size() + 8 + sig.mac.size());
+  encode_into(w);
   return std::move(w).take();
 }
 
@@ -28,10 +33,29 @@ std::optional<HistoryEntry> HistoryEntry::decode(util::Reader& r) {
   }
 }
 
+namespace {
+/// Append one length-prefixed entry encoding to `w` — the single owner of
+/// the entry framing shared by encode_history and the incremental
+/// per-transport encoding.
+void append_prefixed_entry(util::Writer& w, const HistoryEntry& e) {
+  const std::size_t at = w.size();
+  w.u32(0);
+  e.encode_into(w);
+  w.patch_u32(at, static_cast<std::uint32_t>(w.size() - at - 4));
+}
+}  // namespace
+
 Bytes encode_history(const History& h) {
-  util::Writer w;
+  // One pre-sized buffer; each entry is written in place behind a patched
+  // length prefix instead of being encoded into its own temporary.
+  std::size_t estimate = 4;
+  for (const auto& e : h) {
+    estimate += 4 + 1 + 8 + 4 + 8 + e.payload.size() + e.chain.size() + 8 +
+                e.sig.mac.size();
+  }
+  util::Writer w(estimate);
   w.u32(static_cast<std::uint32_t>(h.size()));
-  for (const auto& e : h) w.bytes(e.encode());
+  for (const auto& e : h) append_prefixed_entry(w, e);
   return std::move(w).take();
 }
 
@@ -42,7 +66,7 @@ std::optional<History> decode_history(const Bytes& raw) {
     History h;
     h.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
-      const Bytes entry_bytes = r.bytes();
+      const util::ByteView entry_bytes = r.bytes_view();
       util::Reader er(entry_bytes);
       auto e = HistoryEntry::decode(er);
       if (!e.has_value()) return std::nullopt;
@@ -56,17 +80,17 @@ std::optional<History> decode_history(const Bytes& raw) {
 }
 
 Bytes chain_entry(const Bytes& prev_chain, HistoryEntry::Kind kind,
-                  std::uint64_t k, ProcessId peer, const Bytes& payload) {
-  util::Writer w;
+                  std::uint64_t k, ProcessId peer, util::ByteView payload) {
+  util::Writer w(4 + prev_chain.size() + 1 + 8 + 4 + 4 + payload.size());
   w.bytes(prev_chain).u8(static_cast<std::uint8_t>(kind)).u64(k).u32(peer).bytes(payload);
   return crypto::digest_bytes(crypto::sha256(w.data()));
 }
 
-bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
-                              const History& h) {
-  Bytes prev_chain;  // empty seed
-  std::uint64_t expected_sent = 1;
-  for (const auto& e : h) {
+bool verify_history_suffix(const crypto::KeyStore& ks, ProcessId owner,
+                           const History& h, std::size_t start,
+                           Bytes& prev_chain, std::uint64_t& expected_sent) {
+  for (std::size_t i = start; i < h.size(); ++i) {
+    const HistoryEntry& e = h[i];
     if (e.chain != chain_entry(prev_chain, e.kind, e.k, e.peer, e.payload)) {
       return false;
     }
@@ -80,15 +104,41 @@ bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
   return true;
 }
 
-Bytes encode_tsend(ProcessId dst, const Bytes& payload, const History& h,
-                   std::uint64_t k, const crypto::Signature& sig) {
-  util::Writer w;
-  w.u32(dst).bytes(payload).bytes(encode_history(h)).u64(k);
+bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
+                              const History& h) {
+  Bytes prev_chain;  // empty seed
+  std::uint64_t expected_sent = 1;
+  return verify_history_suffix(ks, owner, h, 0, prev_chain, expected_sent);
+}
+
+namespace {
+/// The single owner of the T-send wire layout, taking the history as its
+/// pre-encoded (count, body) pieces so callers that maintain the encoding
+/// incrementally never have to materialize the concatenation.
+Bytes encode_tsend_wire(ProcessId dst, util::ByteView payload,
+                        std::uint32_t history_count,
+                        util::ByteView history_body, std::uint64_t k,
+                        const crypto::Signature& sig) {
+  util::Writer w(4 + 4 + payload.size() + 4 + 4 + history_body.size() + 8 +
+                 8 + sig.mac.size());
+  w.u32(dst).bytes(payload);
+  w.u32(static_cast<std::uint32_t>(4 + history_body.size()));  // bytes() prefix
+  w.u32(history_count);
+  w.raw(history_body);
+  w.u64(k);
   sig.encode(w);
   return std::move(w).take();
 }
+}  // namespace
 
-std::optional<TSendContent> decode_tsend(const Bytes& raw) {
+Bytes encode_tsend(ProcessId dst, util::ByteView payload, const History& h,
+                   std::uint64_t k, const crypto::Signature& sig) {
+  const Bytes enc = encode_history(h);
+  return encode_tsend_wire(dst, payload, static_cast<std::uint32_t>(h.size()),
+                           util::ByteView(enc).subspan(4), k, sig);
+}
+
+std::optional<TSendContent> decode_tsend(util::ByteView raw) {
   try {
     util::Reader r(raw);
     TSendContent c;
@@ -106,9 +156,10 @@ std::optional<TSendContent> decode_tsend(const Bytes& raw) {
   }
 }
 
-Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, const Bytes& payload,
+Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, util::ByteView payload,
                           const Bytes& history_digest) {
-  util::Writer w;
+  util::Writer w(4 + 5 + 8 + 4 + crypto::kSha256DigestSize + 4 +
+                 history_digest.size());
   w.str("tsend")
       .u64(k)
       .u32(dst)
@@ -118,13 +169,14 @@ Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, const Bytes& payload,
 }
 
 Bytes Receipt::encode() const {
-  util::Writer w;
+  util::Writer w(4 + 4 + payload.size() + 4 + history_digest.size() + 8 +
+                 origin_sig.mac.size());
   w.u32(dst).bytes(payload).bytes(history_digest);
   origin_sig.encode(w);
   return std::move(w).take();
 }
 
-std::optional<Receipt> Receipt::decode(const Bytes& raw) {
+std::optional<Receipt> Receipt::decode(util::ByteView raw) {
   try {
     util::Reader r(raw);
     Receipt rec;
@@ -165,15 +217,21 @@ void TrustedTransport::start() {
 }
 
 void TrustedTransport::append_entry(HistoryEntry::Kind kind, std::uint64_t k,
-                                    ProcessId peer, const Bytes& payload) {
+                                    ProcessId peer, util::ByteView payload) {
   const Bytes prev = history_.empty() ? Bytes{} : history_.back().chain;
   HistoryEntry e;
   e.kind = kind;
   e.k = k;
   e.peer = peer;
-  e.payload = payload;
+  e.payload = util::to_bytes(payload);
   e.chain = chain_entry(prev, kind, k, peer, payload);
   e.sig = signer_.sign(e.chain);
+  // Keep the incremental encoding in lockstep with history_.
+  util::Writer w(4 + 1 + 8 + 4 + 8 + e.payload.size() + e.chain.size() + 8 +
+                 e.sig.mac.size());
+  append_prefixed_entry(w, e);
+  const Bytes& entry_enc = w.data();
+  encoded_body_.insert(encoded_body_.end(), entry_enc.begin(), entry_enc.end());
   history_.push_back(std::move(e));
 }
 
@@ -183,46 +241,70 @@ sim::Task<void> run_broadcast(NonEquivBroadcast* neb, Bytes wire) {
 }
 }  // namespace
 
-void TrustedTransport::send(ProcessId dst, Bytes payload) {
+void TrustedTransport::send(ProcessId dst, util::Buffer payload) {
   // Algorithm 3 T-send: k++; broadcast(k, (m, H)); append sent(k, m) to H.
+  // The history encoding is u32(count) || encoded_body_; both the digest
+  // and the wire are produced from those two pieces directly, without
+  // materializing the concatenation.
   const std::uint64_t k = next_k_++;
-  const Bytes history_digest =
-      crypto::digest_bytes(crypto::sha256(encode_history(history_)));
+  const std::uint32_t count = static_cast<std::uint32_t>(history_.size());
+  util::Writer count_prefix(4);
+  count_prefix.u32(count);
+
+  crypto::Sha256 hist_hash;
+  hist_hash.update(count_prefix.data());
+  hist_hash.update(encoded_body_);
+  const Bytes history_digest = crypto::digest_bytes(hist_hash.finish());
+
   const crypto::Signature sig =
       signer_.sign(tsend_signing_bytes(k, dst, payload, history_digest));
-  const Bytes wire = encode_tsend(dst, payload, history_, k, sig);
+
+  Bytes wire = encode_tsend_wire(dst, payload, count, encoded_body_, k, sig);
+
   append_entry(HistoryEntry::Kind::kSent, k, dst, payload);
   // Fire-and-forget: the broadcast completes (majority ack) in background.
-  exec_->spawn(run_broadcast(neb_, wire));
+  exec_->spawn(run_broadcast(neb_, std::move(wire)));
 }
 
 sim::Task<void> TrustedTransport::deliver_loop() {
   while (true) {
     const NebDelivery d = co_await neb_->deliveries().recv();
-    const auto content = decode_tsend(d.message);
+    auto content = decode_tsend(d.message);
     if (!content.has_value()) {
       ++rejected_;
       continue;
     }
     // Structural audit of the sender's attached history: hash chain intact,
     // every link signed by the sender, sent-sequence contiguous, and the
-    // NEB sequence number matches the number of prior sends.
-    if (!verify_history_structure(*keystore_, d.from, content->history)) {
+    // NEB sequence number matches the number of prior sends. Histories only
+    // ever extend, so entries whose encoding byte-matches the prefix already
+    // verified on this sender's previous message are not re-verified.
+    const Bytes enc_history = encode_history(content->history);
+    PeerCache& pc = peer_cache_[d.from];
+    std::size_t start = 0;
+    Bytes prev_chain;
+    std::uint64_t expected_sent = 1;
+    if (pc.entries > 0 && enc_history.size() >= 4 + pc.body.size() &&
+        std::memcmp(enc_history.data() + 4, pc.body.data(), pc.body.size()) == 0) {
+      start = pc.entries;
+      prev_chain = pc.last_chain;
+      expected_sent = pc.expected_sent;
+    }
+    if (!verify_history_suffix(*keystore_, d.from, content->history, start,
+                               prev_chain, expected_sent)) {
       ++rejected_;
       continue;
     }
-    std::uint64_t prior_sends = 0;
-    for (const auto& e : content->history) {
-      if (e.kind == HistoryEntry::Kind::kSent) ++prior_sends;
-    }
-    if (prior_sends + 1 != d.k || content->k != d.k) {
+    // verify_history_suffix left expected_sent at 1 + (#kSent entries in the
+    // whole history), i.e. prior sends + 1 — no re-scan needed.
+    if (expected_sent != d.k || content->k != d.k) {
       ++rejected_;
       continue;
     }
     // The sender's inner signature must bind (k, dst, payload, history) —
     // this is what makes receipts citable later.
     const Bytes history_digest =
-        crypto::digest_bytes(crypto::sha256(encode_history(content->history)));
+        crypto::digest_bytes(crypto::sha256(enc_history));
     if (!keystore_->valid_from(d.from,
                                tsend_signing_bytes(d.k, content->dst,
                                                    content->payload,
@@ -238,13 +320,26 @@ sim::Task<void> TrustedTransport::deliver_loop() {
       ++rejected_;
       continue;
     }
+    // All checks passed: remember this sender's now-verified prefix. On a
+    // cache hit the existing body bytes were just memcmp-verified equal, so
+    // only the new suffix needs appending.
+    pc.entries = content->history.size();
+    if (start > 0) {
+      pc.body.insert(pc.body.end(),
+                     enc_history.begin() + 4 + static_cast<std::ptrdiff_t>(pc.body.size()),
+                     enc_history.end());
+    } else {
+      pc.body.assign(enc_history.begin() + 4, enc_history.end());
+    }
+    pc.last_chain = prev_chain;
+    pc.expected_sent = expected_sent;
     // T-receive: record a standalone-verifiable receipt in our own history,
     // hand the message to the protocol if it is addressed to us.
     const Receipt receipt{content->dst, content->payload, history_digest,
                           content->sig};
     append_entry(HistoryEntry::Kind::kReceived, d.k, d.from, receipt.encode());
     if (content->dst == self() || content->dst == kToAll) {
-      incoming_.send(TMsg{d.from, content->payload});
+      incoming_.send(TMsg{d.from, Bytes(std::move(content->payload))});
     }
   }
 }

@@ -43,6 +43,7 @@
 #include "src/sim/channel.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/task.hpp"
+#include "src/util/flat_map.hpp"
 
 namespace mnm::core::trusted {
 
@@ -60,6 +61,9 @@ struct HistoryEntry {
   crypto::Signature sig;   // history owner's signature over `chain`
 
   Bytes encode() const;
+  /// Append this entry's encoding to `w` (hot path: encode_history writes
+  /// every entry into one pre-sized buffer).
+  void encode_into(util::Writer& w) const;
   static std::optional<HistoryEntry> decode(util::Reader& r);
 };
 
@@ -70,13 +74,23 @@ std::optional<History> decode_history(const Bytes& raw);
 
 /// Chain hash of an entry given its predecessor's chain value.
 Bytes chain_entry(const Bytes& prev_chain, HistoryEntry::Kind kind,
-                  std::uint64_t k, ProcessId peer, const Bytes& payload);
+                  std::uint64_t k, ProcessId peer, util::ByteView payload);
 
 /// Structural verification of `owner`'s history: chain hashes link, every
 /// link is signed by owner, sent-seqs are 1,2,3,… Returns false on any
 /// inconsistency.
 bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
                               const History& h);
+
+/// Verify only entries [start, h.size()) given the already-verified prefix's
+/// last chain value and next expected sent-seq. On success, `prev_chain` and
+/// `expected_sent` are advanced to the new suffix state. This is the
+/// incremental form deliver-side caching uses: a history can only be
+/// extended, so once a byte-identical prefix has been verified it never
+/// needs re-verifying.
+bool verify_history_suffix(const crypto::KeyStore& ks, ProcessId owner,
+                           const History& h, std::size_t start,
+                           Bytes& prev_chain, std::uint64_t& expected_sent);
 
 /// Protocol-level check: given `owner`'s verified history and the message it
 /// is now sending (seq `k`, destination `dst`, bytes `payload`), is this a
@@ -113,15 +127,15 @@ class TrustedTransport : public Transport {
   std::size_t process_count() const override { return config_.n; }
 
   /// T-send(dst, m): append a signed `sent` link, broadcast (dst, m, H).
-  void send(ProcessId dst, Bytes payload) override;
+  void send(ProcessId dst, util::Buffer payload) override;
 
   /// T-send addressed to everyone as a single broadcast (dst = kToAll);
   /// cheaper than n point-to-point T-sends and semantically identical
   /// because every T-send is a broadcast anyway. `include_self` is ignored:
   /// broadcasts always self-deliver.
-  void send_all(const Bytes& payload, bool include_self = true) override {
+  void send_all(util::Buffer payload, bool include_self = true) override {
     (void)include_self;
-    send(kToAll, payload);
+    send(kToAll, std::move(payload));
   }
 
   /// T-received messages addressed to this process (or to kToAll).
@@ -135,7 +149,7 @@ class TrustedTransport : public Transport {
  private:
   sim::Task<void> deliver_loop();
   void append_entry(HistoryEntry::Kind kind, std::uint64_t k, ProcessId peer,
-                    const Bytes& payload);
+                    util::ByteView payload);
 
   sim::Executor* exec_;
   NonEquivBroadcast* neb_;
@@ -146,6 +160,23 @@ class TrustedTransport : public Transport {
 
   std::uint64_t next_k_ = 1;
   History history_;
+  /// Concatenated length-prefixed entry encodings of history_ (the body of
+  /// encode_history without its leading count), appended on append_entry.
+  Bytes encoded_body_;
+
+  /// Verified prefix of one peer's attached history. Histories are
+  /// append-only, so if a new message's encoded history starts with the
+  /// bytes we already verified, only the suffix needs chain/signature
+  /// checks — this turns O(k) signature verifications per receive into
+  /// O(new entries).
+  struct PeerCache {
+    std::size_t entries = 0;
+    Bytes body;  // verified encoding (sans count header), byte-compared
+    Bytes last_chain;
+    std::uint64_t expected_sent = 1;
+  };
+  util::FlatMap<ProcessId, PeerCache> peer_cache_;
+
   sim::Channel<TMsg> incoming_;
   std::uint64_t rejected_ = 0;
   bool started_ = false;
@@ -157,7 +188,7 @@ class TrustedTransport : public Transport {
 /// verified later from just (k, dst, payload, history-digest, sig), without
 /// re-embedding the sender's history. This is what keeps Clement-style
 /// attached histories linear instead of recursively nested.
-Bytes encode_tsend(ProcessId dst, const Bytes& payload, const History& h,
+Bytes encode_tsend(ProcessId dst, util::ByteView payload, const History& h,
                    std::uint64_t k, const crypto::Signature& sig);
 struct TSendContent {
   ProcessId dst = 0;
@@ -166,10 +197,10 @@ struct TSendContent {
   std::uint64_t k = 0;
   crypto::Signature sig;
 };
-std::optional<TSendContent> decode_tsend(const Bytes& raw);
+std::optional<TSendContent> decode_tsend(util::ByteView raw);
 
 /// Bytes a sender signs for its k-th T-send.
-Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, const Bytes& payload,
+Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, util::ByteView payload,
                           const Bytes& history_digest);
 
 /// Payload stored in a kReceived history entry: standalone-verifiable
@@ -181,7 +212,7 @@ struct Receipt {
   crypto::Signature origin_sig;
 
   Bytes encode() const;
-  static std::optional<Receipt> decode(const Bytes& raw);
+  static std::optional<Receipt> decode(util::ByteView raw);
 };
 
 /// Verify a receipt for origin's k-th send.

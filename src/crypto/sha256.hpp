@@ -26,7 +26,7 @@ class Sha256 {
 
   void reset();
   void update(const std::uint8_t* data, std::size_t len);
-  void update(const util::Bytes& data) { update(data.data(), data.size()); }
+  void update(util::ByteView data) { update(data.data(), data.size()); }
   Digest finish();
 
  private:
@@ -39,7 +39,7 @@ class Sha256 {
 };
 
 /// One-shot convenience.
-Digest sha256(const util::Bytes& data);
+Digest sha256(util::ByteView data);
 
 /// Digest as a Bytes value (for serialization into histories).
 util::Bytes digest_bytes(const Digest& d);

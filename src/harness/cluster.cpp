@@ -98,14 +98,23 @@ struct World {
       view_ptrs.push_back(std::move(raw));
     }
 
+    // Per-process fault summary, precomputed so the per-event predicates
+    // below (Ω queries, done()) never walk the fault maps.
+    byzantine_.assign(cfg.n, 0);
+    crash_at_.assign(cfg.n, sim::kTimeInfinity);
+    for (ProcessId p : all_processes(cfg.n)) {
+      if (cfg.faults.is_byzantine(p)) byzantine_[p - 1] = 1;
+      const auto it = cfg.faults.process_crashes.find(p);
+      if (it != cfg.faults.process_crashes.end()) crash_at_[p - 1] = it->second;
+    }
+
     // Ω: lowest-id correct process alive at t (converges once crashes stop;
     // Byzantine processes are never trusted — the standard assumption that
     // Ω eventually outputs a correct process).
     omega = std::make_unique<Omega>(exec, [this](sim::Time t) -> ProcessId {
-      for (ProcessId p : all_processes(this->cfg.n)) {
-        if (this->cfg.faults.is_byzantine(p)) continue;
-        const auto it = this->cfg.faults.process_crashes.find(p);
-        if (it != this->cfg.faults.process_crashes.end() && it->second <= t) continue;
+      for (ProcessId p = 1; p <= static_cast<ProcessId>(this->cfg.n); ++p) {
+        if (this->byzantine_[p - 1]) continue;
+        if (this->crash_at_[p - 1] <= t) continue;
         return p;
       }
       return kLeaderP1;
@@ -150,12 +159,11 @@ struct World {
   }
 
   bool correct(ProcessId p) const {
-    return !cfg.faults.is_byzantine(p) &&
-           !cfg.faults.process_crashes.contains(p);
+    return !byzantine_[p - 1] && crash_at_[p - 1] == sim::kTimeInfinity;
   }
 
   bool done() const {
-    for (ProcessId p : all_processes(cfg.n)) {
+    for (ProcessId p = 1; p <= static_cast<ProcessId>(cfg.n); ++p) {
       if (!correct(p)) continue;
       if (!reports[p - 1].decided) return false;
     }
@@ -176,6 +184,8 @@ struct World {
   std::vector<std::vector<mem::MemoryIface*>> view_ptrs;
   std::unique_ptr<Omega> omega;
   std::vector<ProcessReport> reports;
+  std::vector<std::uint8_t> byzantine_;   // index p - 1
+  std::vector<sim::Time> crash_at_;       // index p - 1; infinity = never
 
   // Algorithm objects (only the relevant vectors are populated).
   std::vector<std::unique_ptr<core::NetTransport>> transports;

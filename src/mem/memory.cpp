@@ -23,39 +23,48 @@ RegionId Memory::create_region(std::vector<std::string> prefixes,
   if (!perm.disjoint()) {
     throw std::invalid_argument("Memory::create_region: R/W/RW must be disjoint");
   }
-  const RegionId rid = next_region_++;
-  regions_.emplace(rid, Region{std::move(prefixes), std::move(exact),
-                               std::move(perm), std::move(legal)});
-  return rid;
+  regions_.push_back(Region{std::move(prefixes), std::move(exact),
+                            std::move(perm), std::move(legal)});
+  return static_cast<RegionId>(regions_.size());
 }
 
 const Memory::Region* Memory::find_region(RegionId id) const {
-  const auto it = regions_.find(id);
-  return it == regions_.end() ? nullptr : &it->second;
+  if (id < 1 || id > regions_.size()) return nullptr;
+  return &regions_[id - 1];
 }
 
 sim::Task<Status> Memory::write(ProcessId caller, RegionId region,
                                 std::string reg, Bytes value) {
   sim::OneShot<Status> done(*exec_);
   const sim::Time effect_at = op_delay_ / 2;  // arrival at the memory
-  auto outcome = std::make_shared<std::optional<Status>>();
+  // Op state lives in one pooled node so the two scheduled callbacks below
+  // capture a pointer, not the register name and value (keeps every event
+  // inside InlineFn's inline budget).
+  struct Op {
+    ProcessId caller;
+    RegionId region;
+    std::string reg;
+    Bytes value;
+    std::optional<Status> outcome;
+  };
+  auto op = sim::Rc<Op>::make(Op{caller, region, std::move(reg),
+                                 std::move(value), std::nullopt});
 
-  exec_->call_after(effect_at, [this, caller, region, reg, value = std::move(value),
-                                outcome]() mutable {
+  exec_->schedule_after(effect_at, [this, op] {
     if (crashed_) return;  // request lost inside the dead memory
-    const Region* r = find_region(region);
-    if (r == nullptr || !r->contains(reg) || !r->perm.can_write(caller)) {
+    const Region* r = find_region(op->region);
+    if (r == nullptr || !r->contains(op->reg) || !r->perm.can_write(op->caller)) {
       ++naks_;
-      *outcome = Status::kNak;
+      op->outcome = Status::kNak;
       return;
     }
     ++writes_;
-    registers_[reg] = std::move(value);
-    *outcome = Status::kAck;
+    registers_[op->reg] = std::move(op->value);
+    op->outcome = Status::kAck;
   });
-  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
-    if (crashed_ || !outcome->has_value()) return;  // response never leaves
-    done.fulfill(**outcome);
+  exec_->schedule_after(op_delay_, [this, done, op]() mutable {
+    if (crashed_ || !op->outcome.has_value()) return;  // response never leaves
+    done.fulfill(*op->outcome);
   });
 
   co_return co_await done.wait();
@@ -65,24 +74,30 @@ sim::Task<ReadResult> Memory::read(ProcessId caller, RegionId region,
                                    std::string reg) {
   sim::OneShot<ReadResult> done(*exec_);
   const sim::Time effect_at = op_delay_ / 2;
-  auto outcome = std::make_shared<std::optional<ReadResult>>();
+  struct Op {
+    ProcessId caller;
+    RegionId region;
+    std::string reg;
+    std::optional<ReadResult> outcome;
+  };
+  auto op = sim::Rc<Op>::make(Op{caller, region, std::move(reg), std::nullopt});
 
-  exec_->call_after(effect_at, [this, caller, region, reg, outcome] {
+  exec_->schedule_after(effect_at, [this, op] {
     if (crashed_) return;
-    const Region* r = find_region(region);
-    if (r == nullptr || !r->contains(reg) || !r->perm.can_read(caller)) {
+    const Region* r = find_region(op->region);
+    if (r == nullptr || !r->contains(op->reg) || !r->perm.can_read(op->caller)) {
       ++naks_;
-      *outcome = ReadResult{Status::kNak, {}};
+      op->outcome = ReadResult{Status::kNak, {}};
       return;
     }
     ++reads_;
-    const auto it = registers_.find(reg);
-    *outcome = ReadResult{Status::kAck,
-                          it == registers_.end() ? util::bottom() : it->second};
+    const auto it = registers_.find(op->reg);
+    op->outcome = ReadResult{Status::kAck,
+                             it == registers_.end() ? util::bottom() : it->second};
   });
-  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
-    if (crashed_ || !outcome->has_value()) return;
-    done.fulfill(std::move(**outcome));
+  exec_->schedule_after(op_delay_, [this, done, op]() mutable {
+    if (crashed_ || !op->outcome.has_value()) return;
+    done.fulfill(std::move(*op->outcome));
   });
 
   co_return co_await done.wait();
@@ -92,33 +107,37 @@ sim::Task<Status> Memory::change_permission(ProcessId caller, RegionId region,
                                             Permission proposed) {
   sim::OneShot<Status> done(*exec_);
   const sim::Time effect_at = op_delay_ / 2;
-  auto outcome = std::make_shared<std::optional<Status>>();
+  struct Op {
+    ProcessId caller;
+    RegionId region;
+    Permission proposed;
+    std::optional<Status> outcome;
+  };
+  auto op = sim::Rc<Op>::make(Op{caller, region, std::move(proposed), std::nullopt});
 
-  exec_->call_after(effect_at, [this, caller, region, proposed = std::move(proposed),
-                                outcome]() mutable {
+  exec_->schedule_after(effect_at, [this, op] {
     if (crashed_) return;
-    const auto it = regions_.find(region);
-    if (it == regions_.end() || !proposed.disjoint()) {
+    if (op->region < 1 || op->region > regions_.size() || !op->proposed.disjoint()) {
       ++naks_;
-      *outcome = Status::kNak;
+      op->outcome = Status::kNak;
       return;
     }
-    Region& r = it->second;
+    Region& r = regions_[op->region - 1];
     // §3: the system evaluates legalChange to decide whether the change
     // takes effect or becomes a no-op. A refused change still *returns* (it
     // is a no-op, not a hang) — we report it as nak so callers can tell.
-    if (!r.legal(caller, region, r.perm, proposed)) {
+    if (!r.legal(op->caller, op->region, r.perm, op->proposed)) {
       ++naks_;
-      *outcome = Status::kNak;
+      op->outcome = Status::kNak;
       return;
     }
     ++perm_changes_;
-    r.perm = std::move(proposed);
-    *outcome = Status::kAck;
+    r.perm = std::move(op->proposed);
+    op->outcome = Status::kAck;
   });
-  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
-    if (crashed_ || !outcome->has_value()) return;
-    done.fulfill(**outcome);
+  exec_->schedule_after(op_delay_, [this, done, op]() mutable {
+    if (crashed_ || !op->outcome.has_value()) return;
+    done.fulfill(*op->outcome);
   });
 
   co_return co_await done.wait();

@@ -118,8 +118,7 @@ class Memory : public MemoryIface {
   MemoryId id_;
   sim::Time op_delay_;
   bool crashed_ = false;
-  std::map<RegionId, Region> regions_;
-  RegionId next_region_ = 1;
+  std::vector<Region> regions_;  // region id r lives at index r - 1
   std::map<std::string, Bytes> registers_;
 
   std::uint64_t reads_ = 0;

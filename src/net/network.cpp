@@ -5,10 +5,11 @@
 namespace mnm::net {
 
 Network::Network(sim::Executor& exec, std::size_t n_processes)
-    : exec_(&exec), n_(n_processes) {
+    : exec_(&exec), n_(n_processes), crashed_(n_processes, 0) {
   delay_fn_ = [](ProcessId, ProcessId, sim::Time) { return sim::kMessageDelay; };
-  for (ProcessId p : all_processes(n_)) {
-    inboxes_.emplace(p, std::make_unique<Inbox>(exec));
+  inboxes_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>(exec));
   }
 }
 
@@ -19,27 +20,27 @@ void Network::set_gst(sim::Time gst, sim::Time pre_delay) {
 }
 
 Inbox& Network::inbox(ProcessId pid) {
-  const auto it = inboxes_.find(pid);
-  if (it == inboxes_.end()) throw std::out_of_range("Network::inbox: unknown process");
-  return *it->second;
+  if (pid < 1 || pid > n_) throw std::out_of_range("Network::inbox: unknown process");
+  return *inboxes_[pid - 1];
 }
 
-void Network::send(ProcessId src, ProcessId dst, MsgType type, Bytes payload) {
-  if (crashed_.contains(src)) return;           // crashed processes are silent
-  if (!inboxes_.contains(dst)) return;          // unknown destination: drop
+void Network::send(ProcessId src, ProcessId dst, MsgType type, util::Buffer payload) {
+  if (crashed(src)) return;                     // crashed processes are silent
+  if (dst < 1 || dst > n_) return;              // unknown destination: drop
   ++sent_;
   const sim::Time delay = delay_fn_(src, dst, exec_->now());
   Message msg{src, dst, type, std::move(payload)};
-  exec_->call_after(delay, [this, msg = std::move(msg)]() mutable {
-    if (crashed_.contains(msg.dst)) return;     // receiver died in flight
+  exec_->schedule_after(delay, [this, msg = std::move(msg)]() mutable {
+    if (crashed(msg.dst)) return;               // receiver died in flight
     ++delivered_;
-    inboxes_.at(msg.dst)->deliver(std::move(msg));
+    inboxes_[msg.dst - 1]->deliver(std::move(msg));
   });
 }
 
-void Network::broadcast(ProcessId src, MsgType type, const Bytes& payload,
+void Network::broadcast(ProcessId src, MsgType type, util::Buffer payload,
                         bool include_self) {
-  for (ProcessId dst : all_processes(n_)) {
+  // One refcount bump per recipient; the serialized payload is shared.
+  for (ProcessId dst = 1; dst <= static_cast<ProcessId>(n_); ++dst) {
     if (!include_self && dst == src) continue;
     send(src, dst, type, payload);
   }

@@ -10,20 +10,24 @@
 // Crashed processes stop sending and receiving. Delivery to a process that
 // crashed before the message arrives is dropped (a crashed process "stops
 // taking steps forever").
+//
+// Payloads are util::Buffer: a broadcast serializes once and every copy of
+// the message shares the same refcounted bytes (see ROADMAP.md
+// "Performance architecture").
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "src/common.hpp"
 #include "src/sim/channel.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/time.hpp"
+#include "src/util/buffer.hpp"
+#include "src/util/flat_map.hpp"
 
 namespace mnm::net {
 
@@ -33,23 +37,25 @@ struct Message {
   ProcessId src = 0;
   ProcessId dst = 0;
   MsgType type = 0;
-  Bytes payload;
+  util::Buffer payload;
 };
 
 /// Per-process demultiplexing inbox: one channel per message type plus a
 /// catch-all for unregistered types. Algorithms sharing a process (e.g. Fast
-/// & Robust's fast path and backup) each listen on their own types.
+/// & Robust's fast path and backup) each listen on their own types. The
+/// type → channel table is a flat open-addressed map (one probe per
+/// delivery, no rb-tree walk).
 class Inbox {
  public:
   explicit Inbox(sim::Executor& exec) : exec_(&exec) {}
 
   /// Channel for a specific message type (created on first use).
   sim::Channel<Message>& channel(MsgType type) {
-    auto it = channels_.find(type);
-    if (it == channels_.end()) {
-      it = channels_.emplace(type, std::make_unique<sim::Channel<Message>>(*exec_)).first;
+    std::unique_ptr<sim::Channel<Message>>& slot = channels_[type];
+    if (slot == nullptr) {
+      slot = std::make_unique<sim::Channel<Message>>(*exec_);
     }
-    return *it->second;
+    return *slot;
   }
 
   bool has_channel(MsgType type) const { return channels_.contains(type); }
@@ -58,7 +64,7 @@ class Inbox {
 
  private:
   sim::Executor* exec_;
-  std::map<MsgType, std::unique_ptr<sim::Channel<Message>>> channels_;
+  util::FlatMap<MsgType, std::unique_ptr<sim::Channel<Message>>> channels_;
 };
 
 /// Delay (in virtual time units) for a message src → dst sent at `now`.
@@ -83,15 +89,20 @@ class Network {
 
   /// Send one message. No-op if src has crashed. Delivery is scheduled per
   /// the delay function and dropped if dst has crashed by arrival.
-  void send(ProcessId src, ProcessId dst, MsgType type, Bytes payload);
+  void send(ProcessId src, ProcessId dst, MsgType type, util::Buffer payload);
 
   /// Send to every process (including src itself by default — self-delivery
-  /// costs the same one delay, keeping the delay accounting uniform).
-  void broadcast(ProcessId src, MsgType type, const Bytes& payload,
+  /// costs the same one delay, keeping the delay accounting uniform). The
+  /// payload is shared, not copied, across the n messages.
+  void broadcast(ProcessId src, MsgType type, util::Buffer payload,
                  bool include_self = true);
 
-  void crash(ProcessId pid) { crashed_.insert(pid); }
-  bool crashed(ProcessId pid) const { return crashed_.contains(pid); }
+  void crash(ProcessId pid) {
+    if (pid >= 1 && pid <= n_) crashed_[pid - 1] = 1;
+  }
+  bool crashed(ProcessId pid) const {
+    return pid >= 1 && pid <= n_ && crashed_[pid - 1] != 0;
+  }
 
   // Metrics.
   std::uint64_t messages_sent() const { return sent_; }
@@ -101,8 +112,8 @@ class Network {
   sim::Executor* exec_;
   std::size_t n_;
   DelayFn delay_fn_;
-  std::map<ProcessId, std::unique_ptr<Inbox>> inboxes_;
-  std::set<ProcessId> crashed_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;  // index pid - 1
+  std::vector<std::uint8_t> crashed_;            // index pid - 1
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
 };
@@ -118,11 +129,12 @@ class Endpoint {
   ProcessId self() const { return self_; }
   Network& network() const { return *net_; }
 
-  void send(ProcessId dst, MsgType type, Bytes payload) const {
+  void send(ProcessId dst, MsgType type, util::Buffer payload) const {
     net_->send(self_, dst, type, std::move(payload));
   }
-  void broadcast(MsgType type, const Bytes& payload, bool include_self = true) const {
-    net_->broadcast(self_, type, payload, include_self);
+  void broadcast(MsgType type, util::Buffer payload,
+                 bool include_self = true) const {
+    net_->broadcast(self_, type, std::move(payload), include_self);
   }
   sim::Channel<Message>& channel(MsgType type) const {
     return net_->inbox(self_).channel(type);

@@ -8,7 +8,9 @@
 // Waiter bookkeeping uses shared nodes so that coroutine frames can be
 // destroyed at executor teardown in any order relative to the channel: an
 // awaiter's destructor only flips a flag on its own node and never touches
-// the channel object.
+// the channel object. Nodes are pooled Rc (sim/pool.hpp) and allocated only
+// when a receive actually suspends — the fast path (value already queued)
+// touches no node at all.
 //
 // Channels carry network messages into process inboxes and quorum-completion
 // notifications out of per-memory sub-tasks.
@@ -16,12 +18,10 @@
 #pragma once
 
 #include <coroutine>
-#include <deque>
-#include <list>
-#include <memory>
 #include <optional>
 
 #include "src/sim/executor.hpp"
+#include "src/sim/pool.hpp"
 #include "src/sim/time.hpp"
 
 namespace mnm::sim {
@@ -39,12 +39,12 @@ class Channel {
 
   void send(T value) {
     while (!waiters_.empty()) {
-      std::shared_ptr<Waiter> w = waiters_.front();
+      Rc<Waiter> w = std::move(waiters_.front());
       waiters_.pop_front();
       if (w->dead || !w->linked) continue;  // abandoned or timed out
       w->linked = false;
       w->value.emplace(std::move(value));
-      exec_->call_at(exec_->now(), [w] {
+      exec_->schedule_at(exec_->now(), [w = std::move(w)] {
         if (!w->dead) w->handle.resume();
       });
       return;
@@ -56,22 +56,29 @@ class Channel {
   auto recv() {
     struct Awaiter {
       Channel* ch;
-      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
+      Rc<Waiter> w{};            // allocated only if we actually suspend
+      std::optional<T> ready{};  // fast-path value
       bool await_ready() {
         if (!ch->queue_.empty()) {
-          w->value.emplace(std::move(ch->queue_.front()));
+          ready.emplace(std::move(ch->queue_.front()));
           ch->queue_.pop_front();
           return true;
         }
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
+        w = Rc<Waiter>::make();
         w->handle = h;
         w->linked = true;
         ch->waiters_.push_back(w);
       }
-      T await_resume() { return std::move(*w->value); }
-      ~Awaiter() { w->dead = true; }
+      T await_resume() {
+        if (ready.has_value()) return std::move(*ready);
+        return std::move(*w->value);
+      }
+      ~Awaiter() {
+        if (w) w->dead = true;
+      }
     };
     return Awaiter{this};
   }
@@ -82,17 +89,19 @@ class Channel {
     struct Awaiter {
       Channel* ch;
       Time deadline;
-      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
-      TimerHandle timer;
+      Rc<Waiter> w{};
+      std::optional<T> ready{};
+      TimerHandle timer{};
       bool await_ready() {
         if (!ch->queue_.empty()) {
-          w->value.emplace(std::move(ch->queue_.front()));
+          ready.emplace(std::move(ch->queue_.front()));
           ch->queue_.pop_front();
           return true;
         }
         return ch->exec_->now() >= deadline;
       }
       void await_suspend(std::coroutine_handle<> h) {
+        w = Rc<Waiter>::make();
         w->handle = h;
         w->linked = true;
         ch->waiters_.push_back(w);
@@ -105,14 +114,15 @@ class Channel {
       }
       std::optional<T> await_resume() {
         timer.cancel();
+        if (!w) return std::move(ready);
         return std::move(w->value);
       }
       ~Awaiter() {
         timer.cancel();
-        w->dead = true;
+        if (w) w->dead = true;
       }
     };
-    return Awaiter{this, deadline, std::make_shared<Waiter>(), TimerHandle{}};
+    return Awaiter{this, deadline};
   }
 
  private:
@@ -124,8 +134,8 @@ class Channel {
   };
 
   Executor* exec_;
-  std::deque<T> queue_;
-  std::list<std::shared_ptr<Waiter>> waiters_;
+  VecQueue<T> queue_;
+  VecQueue<Rc<Waiter>> waiters_;
 };
 
 }  // namespace mnm::sim

@@ -7,27 +7,61 @@ namespace mnm::sim {
 Executor::~Executor() {
   // Drop all pending events first so nothing resumes a frame mid-teardown,
   // then destroy surviving root frames (which recursively destroys children
-  // suspended inside them).
+  // suspended inside them). The cell pool (cells_) outlives this body, so
+  // TimerHandle::cancel calls from awaiter destructors stay safe.
   while (!queue_.empty()) queue_.pop();
   for (auto it = roots_.rbegin(); it != roots_.rend(); ++it) {
-    if (it->handle) it->handle.destroy();
+    if (it->handle) {
+      // Frames destroyed mid-flight never run return_void; detach the
+      // counter so teardown order cannot touch a stale pointer.
+      it->handle.promise().live_counter = nullptr;
+      it->handle.destroy();
+    }
   }
 }
 
-TimerHandle Executor::call_at(Time t, std::function<void()> fn) {
+void Executor::schedule_at(Time t, InlineFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
-  return TimerHandle{cancelled};
+  queue_.push(Event{t, next_seq_++, std::move(fn), nullptr, 0});
+}
+
+detail::CancelCell* Executor::acquire_cell() {
+  if (free_cells_ != nullptr) {
+    detail::CancelCell* c = free_cells_;
+    free_cells_ = c->next_free;
+    c->next_free = nullptr;
+    return c;
+  }
+  cells_.emplace_back();
+  return &cells_.back();
+}
+
+void Executor::retire_cell(Event& ev) {
+  if (ev.cell == nullptr) return;
+  if (ev.cell->gen != ev.gen) return;  // already recycled (shouldn't happen)
+  ++ev.cell->gen;  // invalidate outstanding TimerHandles
+  ev.cell->cancelled = false;
+  ev.cell->next_free = free_cells_;
+  free_cells_ = ev.cell;
+  ev.cell = nullptr;
+}
+
+TimerHandle Executor::call_at(Time t, InlineFn fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  detail::CancelCell* cell = acquire_cell();
+  queue_.push(Event{t, next_seq_++, std::move(fn), cell, cell->gen});
+  return TimerHandle{cell, cell->gen};
 }
 
 void Executor::spawn(Task<void> task) {
   auto handle = task.release();
   if (!handle) return;
   roots_.push_back(Root{handle});
+  handle.promise().live_counter = &live_roots_;
+  ++live_roots_;
   // Start the task as a scheduled event so spawn() is safe to call from
   // anywhere, including inside another coroutine's step.
-  call_at(now_, [handle] { handle.resume(); });
+  schedule_at(now_, [handle] { handle.resume(); });
   if (++spawns_since_reap_ >= 1024) {
     reap_finished_roots();
     spawns_since_reap_ = 0;
@@ -44,19 +78,15 @@ void Executor::reap_finished_roots() {
   });
 }
 
-std::size_t Executor::live_roots() const {
-  std::size_t n = 0;
-  for (const auto& r : roots_) {
-    if (r.handle && !r.handle.done()) ++n;
-  }
-  return n;
-}
-
 bool Executor::step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    if (*ev.cancelled) continue;
+    if (event_cancelled(ev)) {
+      retire_cell(ev);
+      continue;
+    }
+    retire_cell(ev);
     now_ = ev.t;
     ++events_processed_;
     ev.fn();
@@ -69,8 +99,10 @@ std::size_t Executor::run(Time until) {
   std::size_t processed = 0;
   while (!queue_.empty()) {
     // Peek past cancelled events to find the next real one.
-    if (*queue_.top().cancelled) {
+    if (event_cancelled(queue_.top())) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
+      retire_cell(ev);
       continue;
     }
     if (queue_.top().t > until) break;
@@ -84,8 +116,10 @@ std::size_t Executor::run(Time until) {
 bool Executor::run_until(const std::function<bool()>& pred, Time until) {
   if (pred()) return true;
   while (!queue_.empty()) {
-    if (*queue_.top().cancelled) {
+    if (event_cancelled(queue_.top())) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
+      retire_cell(ev);
       continue;
     }
     if (queue_.top().t > until) return false;

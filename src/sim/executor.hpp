@@ -7,6 +7,18 @@
 // functions (src/net) and scripted failures (src/harness), never as real
 // nondeterminism.
 //
+// Hot-path invariants (see ROADMAP.md "Performance architecture"):
+//  * events store their callback inline (InlineFn) — no heap allocation per
+//    scheduled callback in steady state;
+//  * cancellation is opt-in: `schedule_at`/`schedule_after`/`sleep`/`yield`
+//    carry no cancel state at all, while `call_at`/`call_after` draw a
+//    (generation-counted) cancel cell from an executor-owned free list, so
+//    even cancellable timers allocate nothing once the pool is warm.
+//
+// TimerHandles must not outlive the Executor that issued them (they point
+// into its cell pool). Handles held inside coroutine frames are fine: the
+// executor destroys those frames before its own members in ~Executor.
+//
 // Detached tasks: `spawn` registers a Task<void> as a root. Roots that
 // finish are reaped lazily; roots still suspended when the executor is
 // destroyed are destroyed with it (this is how operations on crashed
@@ -15,15 +27,28 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "src/sim/inline_fn.hpp"
 #include "src/sim/task.hpp"
 #include "src/sim/time.hpp"
 
 namespace mnm::sim {
+
+namespace detail {
+/// Cancellation state for one outstanding cancellable timer. Reused across
+/// timers via a free list; `gen` disambiguates a recycled cell from the
+/// timer a stale TimerHandle was issued for.
+struct CancelCell {
+  std::uint64_t gen = 0;
+  bool cancelled = false;
+  CancelCell* next_free = nullptr;
+};
+}  // namespace detail
 
 /// Handle used to cancel a scheduled callback (e.g. a timeout that lost the
 /// race against the event it guarded).
@@ -31,14 +56,16 @@ class TimerHandle {
  public:
   TimerHandle() = default;
   void cancel() {
-    if (auto p = flag_.lock()) *p = true;
+    if (cell_ != nullptr && cell_->gen == gen_) cell_->cancelled = true;
   }
-  bool valid() const { return !flag_.expired(); }
+  bool valid() const { return cell_ != nullptr && cell_->gen == gen_; }
 
  private:
   friend class Executor;
-  explicit TimerHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
-  std::weak_ptr<bool> flag_;
+  TimerHandle(detail::CancelCell* cell, std::uint64_t gen)
+      : cell_(cell), gen_(gen) {}
+  detail::CancelCell* cell_ = nullptr;
+  std::uint64_t gen_ = 0;
 };
 
 class Executor {
@@ -50,12 +77,21 @@ class Executor {
 
   Time now() const { return now_; }
 
+  /// Schedule `fn` at absolute virtual time `t` (>= now). The common case:
+  /// no handle, no cancel state, no allocation.
+  void schedule_at(Time t, InlineFn fn);
+
+  /// Schedule `fn` after `delay` units (non-cancellable).
+  void schedule_after(Time delay, InlineFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
   /// Schedule `fn` at absolute virtual time `t` (>= now). Returns a handle
   /// that can cancel the callback before it fires.
-  TimerHandle call_at(Time t, std::function<void()> fn);
+  TimerHandle call_at(Time t, InlineFn fn);
 
-  /// Schedule `fn` after `delay` units.
-  TimerHandle call_after(Time delay, std::function<void()> fn) {
+  /// Schedule `fn` after `delay` units, cancellable.
+  TimerHandle call_after(Time delay, InlineFn fn) {
     return call_at(now_ + delay, std::move(fn));
   }
 
@@ -66,7 +102,7 @@ class Executor {
       Time delay;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        exec->call_after(delay, [h] { h.resume(); });
+        exec->schedule_after(delay, [h] { h.resume(); });
       }
       void await_resume() const noexcept {}
     };
@@ -89,14 +125,15 @@ class Executor {
   bool run_until(const std::function<bool()>& pred, Time until = kTimeInfinity);
 
   std::size_t events_processed() const { return events_processed_; }
-  std::size_t live_roots() const;
+  std::size_t live_roots() const { return live_roots_; }
 
  private:
   struct Event {
     Time t;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    InlineFn fn;
+    detail::CancelCell* cell;  // nullptr for non-cancellable events
+    std::uint64_t gen;
   };
   struct EventCompare {
     bool operator()(const Event& a, const Event& b) const {
@@ -109,13 +146,24 @@ class Executor {
     std::coroutine_handle<Task<void>::promise_type> handle;
   };
 
+  bool event_cancelled(const Event& ev) const {
+    return ev.cell != nullptr && (ev.cell->gen != ev.gen || ev.cell->cancelled);
+  }
+  /// Return a consumed event's cell to the free list (bumping its
+  /// generation, which invalidates outstanding handles).
+  void retire_cell(Event& ev);
+  detail::CancelCell* acquire_cell();
+
   void reap_finished_roots();
   bool step();  // process one event; false if queue empty
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_processed_ = 0;
+  std::size_t live_roots_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  std::deque<detail::CancelCell> cells_;  // stable addresses for handles
+  detail::CancelCell* free_cells_ = nullptr;
   std::vector<Root> roots_;
   std::size_t spawns_since_reap_ = 0;
 };

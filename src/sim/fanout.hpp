@@ -13,12 +13,12 @@
 #pragma once
 
 #include <cstddef>
-#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/sim/channel.hpp"
 #include "src/sim/executor.hpp"
+#include "src/sim/pool.hpp"
 #include "src/sim/task.hpp"
 
 namespace mnm::sim {
@@ -27,7 +27,7 @@ template <typename R>
 class Fanout {
  public:
   explicit Fanout(Executor& exec)
-      : exec_(&exec), results_(std::make_shared<Channel<std::pair<std::size_t, R>>>(exec)) {}
+      : exec_(&exec), results_(Rc<Channel<std::pair<std::size_t, R>>>::make(exec)) {}
 
   /// Launch one sub-operation, tagged with `index`.
   void add(std::size_t index, Task<R> op) {
@@ -67,13 +67,13 @@ class Fanout {
   // Parameters (not captures!) so the detached coroutine owns everything it
   // touches — lambda captures do not survive in detached coroutines.
   static Task<void> run_one(Task<R> op, std::size_t index,
-                            std::shared_ptr<Channel<std::pair<std::size_t, R>>> results) {
+                            Rc<Channel<std::pair<std::size_t, R>>> results) {
     R r = co_await std::move(op);
     results->send({index, std::move(r)});
   }
 
   Executor* exec_;
-  std::shared_ptr<Channel<std::pair<std::size_t, R>>> results_;
+  Rc<Channel<std::pair<std::size_t, R>>> results_;
   std::size_t added_ = 0;
 };
 

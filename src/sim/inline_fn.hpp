@@ -1,0 +1,116 @@
+// Small-buffer-optimized move-only callback.
+//
+// Executor events used to be std::function<void()>, which heap-allocates
+// for any capture bigger than two pointers. Every hot callback in the
+// simulator (coroutine resumptions, message deliveries, memory-op effects)
+// captures well under kInlineSize bytes, so InlineFn stores them inline in
+// the event record; larger callables (rare, cold) fall back to the heap.
+// Moves relocate via a per-type thunk, so the priority queue can shuffle
+// events freely.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mnm::sim {
+
+class InlineFn {
+ public:
+  /// Inline capture budget. Hot callbacks capture at most a couple of
+  /// pointers plus one small value (op state lives in pooled Rc nodes), so
+  /// 48 bytes keeps every steady-state event inline while keeping Event
+  /// records small enough to shuffle cheaply in the priority queue.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct into dst from src, then destroy src's object.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* dst, void* src) {
+        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*s);
+      },
+      [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mnm::sim

@@ -3,23 +3,23 @@
 // A `OneShot<R>` is fulfilled at most once; awaiting it yields the value. If
 // it is never fulfilled — the fate of operations on crashed memories (§3) —
 // the awaiting coroutine stays suspended until executor teardown. The shared
-// state keeps both sides safe regardless of destruction order.
+// state (a pooled Rc node) keeps both sides safe regardless of destruction
+// order.
 
 #pragma once
 
 #include <coroutine>
-#include <memory>
 #include <optional>
 
 #include "src/sim/executor.hpp"
+#include "src/sim/pool.hpp"
 
 namespace mnm::sim {
 
 template <typename R>
 class OneShot {
  public:
-  explicit OneShot(Executor& exec)
-      : exec_(&exec), state_(std::make_shared<State>()) {}
+  explicit OneShot(Executor& exec) : exec_(&exec), state_(Rc<State>::make()) {}
 
   /// Fulfill the future. Later calls are ignored (first writer wins), which
   /// simplifies crash-race bookkeeping at call sites.
@@ -27,7 +27,7 @@ class OneShot {
     if (state_->value.has_value()) return;
     state_->value.emplace(std::move(value));
     if (state_->waiter) {
-      exec_->call_at(exec_->now(), [s = state_] {
+      exec_->schedule_at(exec_->now(), [s = state_] {
         if (!s->dead && s->waiter) s->waiter.resume();
       });
     }
@@ -37,7 +37,7 @@ class OneShot {
 
   auto wait() {
     struct Awaiter {
-      std::shared_ptr<State> s;
+      Rc<State> s;
       bool await_ready() const { return s->value.has_value(); }
       void await_suspend(std::coroutine_handle<> h) { s->waiter = h; }
       R await_resume() { return std::move(*s->value); }
@@ -54,7 +54,7 @@ class OneShot {
   };
 
   Executor* exec_;
-  std::shared_ptr<State> state_;
+  Rc<State> state_;
 };
 
 }  // namespace mnm::sim

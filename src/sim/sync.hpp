@@ -3,16 +3,16 @@
 // `Latch` counts completions (used by quorum waits: continue after k of m
 // memory sub-operations finish; stragglers keep running or hang). `Gate` is a
 // one-shot broadcast event (used for "wait until this process decides").
-// Both use the same shared-node pattern as Channel so frames may be torn
-// down in any order.
+// Both use the same pooled shared-node pattern as Channel so frames may be
+// torn down in any order; nodes are allocated only when a wait suspends.
 
 #pragma once
 
 #include <coroutine>
-#include <list>
-#include <memory>
+#include <vector>
 
 #include "src/sim/executor.hpp"
+#include "src/sim/pool.hpp"
 
 namespace mnm::sim {
 
@@ -29,7 +29,7 @@ class Gate {
     if (open_) return;
     open_ = true;
     for (auto& w : waiters_) {
-      exec_->call_at(exec_->now(), [w] {
+      exec_->schedule_at(exec_->now(), [w = std::move(w)] {
         if (!w->dead) w->handle.resume();
       });
     }
@@ -39,14 +39,17 @@ class Gate {
   auto wait() {
     struct Awaiter {
       Gate* g;
-      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
+      Rc<Waiter> w{};
       bool await_ready() const { return g->open_; }
       void await_suspend(std::coroutine_handle<> h) {
+        w = Rc<Waiter>::make();
         w->handle = h;
         g->waiters_.push_back(w);
       }
       void await_resume() const {}
-      ~Awaiter() { w->dead = true; }
+      ~Awaiter() {
+        if (w) w->dead = true;
+      }
     };
     return Awaiter{this};
   }
@@ -58,7 +61,7 @@ class Gate {
   };
   Executor* exec_;
   bool open_ = false;
-  std::list<std::shared_ptr<Waiter>> waiters_;
+  std::vector<Rc<Waiter>> waiters_;
 };
 
 /// Completion counter: waiters block until the count reaches a threshold.
@@ -75,16 +78,16 @@ class Latch {
   void arrive() {
     ++count_;
     for (auto it = waiters_.begin(); it != waiters_.end();) {
-      auto w = *it;
+      Rc<Waiter>& w = *it;
       if (w->dead) {
         it = waiters_.erase(it);
         continue;
       }
       if (count_ >= w->threshold) {
-        it = waiters_.erase(it);
-        exec_->call_at(exec_->now(), [w] {
+        exec_->schedule_at(exec_->now(), [w = std::move(w)] {
           if (!w->dead) w->handle.resume();
         });
+        it = waiters_.erase(it);
       } else {
         ++it;
       }
@@ -95,15 +98,18 @@ class Latch {
     struct Awaiter {
       Latch* l;
       std::size_t threshold;
-      std::shared_ptr<Waiter> w = std::make_shared<Waiter>();
+      Rc<Waiter> w{};
       bool await_ready() const { return l->count_ >= threshold; }
       void await_suspend(std::coroutine_handle<> h) {
+        w = Rc<Waiter>::make();
         w->handle = h;
         w->threshold = threshold;
         l->waiters_.push_back(w);
       }
       void await_resume() const {}
-      ~Awaiter() { w->dead = true; }
+      ~Awaiter() {
+        if (w) w->dead = true;
+      }
     };
     return Awaiter{this, threshold};
   }
@@ -116,7 +122,7 @@ class Latch {
   };
   Executor* exec_;
   std::size_t count_ = 0;
-  std::list<std::shared_ptr<Waiter>> waiters_;
+  std::vector<Rc<Waiter>> waiters_;
 };
 
 }  // namespace mnm::sim

@@ -23,6 +23,8 @@
 #include <utility>
 #include <variant>
 
+#include "src/sim/pool.hpp"
+
 namespace mnm::sim {
 
 template <typename T>
@@ -32,6 +34,12 @@ namespace detail {
 
 struct PromiseBase {
   std::coroutine_handle<> continuation;
+
+  /// Coroutine frames are the simulator's most frequent allocation (every
+  /// memory sub-op and protocol round spawns one); route them through the
+  /// size-bucketed frame pool.
+  static void* operator new(std::size_t n) { return frame_alloc(n); }
+  static void operator delete(void* p, std::size_t n) { frame_free(p, n); }
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }
@@ -121,12 +129,21 @@ class [[nodiscard]] Task<void> {
   struct promise_type : detail::PromiseBase {
     std::exception_ptr error;
     bool finished = false;
+    /// Set by Executor::spawn so detached-root completion is counted in O(1)
+    /// instead of scanning the root list.
+    std::size_t* live_counter = nullptr;
 
     Task get_return_object() {
       return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
     }
-    void return_void() { finished = true; }
-    void unhandled_exception() { error = std::current_exception(); }
+    void return_void() {
+      finished = true;
+      if (live_counter != nullptr) --*live_counter;
+    }
+    void unhandled_exception() {
+      error = std::current_exception();
+      if (live_counter != nullptr) --*live_counter;
+    }
   };
 
   Task() = default;

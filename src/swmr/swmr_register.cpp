@@ -20,7 +20,7 @@ ReplicatedRegister::ReplicatedRegister(sim::Executor& exec,
 
 Bytes ReplicatedRegister::encode(Bytes value) {
   if (mode_ == Mode::kPlain) return value;
-  util::Writer w;
+  util::Writer w(8 + 4 + value.size());
   w.u64(next_ts_++).bytes(value);
   return std::move(w).take();
 }

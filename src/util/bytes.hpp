@@ -8,7 +8,9 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +18,18 @@
 namespace mnm::util {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over contiguous bytes. Hot paths (Reader, message
+/// decoders) take ByteView so callers can hand them a Bytes, a Buffer
+/// (buffer.hpp) or a sub-range without materializing a copy.
+using ByteView = std::span<const std::uint8_t>;
+
+inline bool view_equal(ByteView a, ByteView b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::equal(a.begin(), a.end(), b.begin()));
+}
+
+inline Bytes to_bytes(ByteView v) { return Bytes(v.begin(), v.end()); }
 
 /// The paper's ⊥ value: registers are initialized to it and algorithms
 /// compare against it to detect "nothing written yet".
@@ -25,12 +39,17 @@ inline const Bytes& bottom() {
 }
 
 inline bool is_bottom(const Bytes& b) { return b.empty(); }
+inline bool is_bottom(ByteView b) { return b.empty(); }
 
 inline Bytes to_bytes(std::string_view s) {
   return Bytes(s.begin(), s.end());
 }
 
 inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+inline std::string to_string(ByteView b) {
   return std::string(b.begin(), b.end());
 }
 

@@ -27,7 +27,7 @@ Writer& Writer::i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v));
 
 Writer& Writer::boolean(bool v) { return u8(v ? 1 : 0); }
 
-Writer& Writer::bytes(const Bytes& b) {
+Writer& Writer::bytes(ByteView b) {
   if (b.size() > UINT32_MAX) throw SerdeError("Writer::bytes: too large");
   u32(static_cast<std::uint32_t>(b.size()));
   buf_.insert(buf_.end(), b.begin(), b.end());
@@ -41,8 +41,16 @@ Writer& Writer::str(std::string_view s) {
   return *this;
 }
 
-Writer& Writer::raw(const Bytes& b) {
+Writer& Writer::raw(ByteView b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
+  return *this;
+}
+
+Writer& Writer::patch_u32(std::size_t pos, std::uint32_t v) {
+  if (pos + 4 > buf_.size()) throw SerdeError("Writer::patch_u32: out of range");
+  for (int i = 0; i < 4; ++i) {
+    buf_[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
   return *this;
 }
 
@@ -92,6 +100,18 @@ Bytes Reader::bytes() {
   need(n);
   Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+ByteView Reader::bytes_view() {
+  const std::uint32_t n = u32();
+  return raw_view(n);
+}
+
+ByteView Reader::raw_view(std::size_t n) {
+  need(n);
+  ByteView out = buf_.subspan(pos_, n);
   pos_ += n;
   return out;
 }

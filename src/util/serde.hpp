@@ -27,6 +27,14 @@ class SerdeError : public std::runtime_error {
 class Writer {
  public:
   Writer() = default;
+  /// Pre-size the output buffer; encoders that know their message size use
+  /// this so the vector never regrows byte-by-byte on the hot path.
+  explicit Writer(std::size_t size_hint) { buf_.reserve(size_hint); }
+
+  Writer& reserve(std::size_t total) {
+    buf_.reserve(total);
+    return *this;
+  }
 
   Writer& u8(std::uint8_t v);
   Writer& u16(std::uint16_t v);
@@ -35,12 +43,17 @@ class Writer {
   Writer& i64(std::int64_t v);
   Writer& boolean(bool v);
   /// Length-prefixed (u32) byte string.
-  Writer& bytes(const Bytes& b);
+  Writer& bytes(ByteView b);
   /// Length-prefixed (u32) UTF-8/opaque string.
   Writer& str(std::string_view s);
   /// Raw append with no length prefix (for fixed-width digests).
-  Writer& raw(const Bytes& b);
+  Writer& raw(ByteView b);
 
+  /// Overwrite the u32 previously written at byte offset `pos` (for length
+  /// prefixes whose value is only known after the body is encoded).
+  Writer& patch_u32(std::size_t pos, std::uint32_t v);
+
+  std::size_t size() const { return buf_.size(); }
   const Bytes& data() const& { return buf_; }
   Bytes take() && { return std::move(buf_); }
 
@@ -48,9 +61,11 @@ class Writer {
   Bytes buf_;
 };
 
+/// Bounds-checked parser over a non-owning byte view. The viewed storage
+/// (Bytes, Buffer, sub-range) must outlive the Reader.
 class Reader {
  public:
-  explicit Reader(const Bytes& buf) : buf_(buf) {}
+  explicit Reader(ByteView buf) : buf_(buf) {}
 
   std::uint8_t u8();
   std::uint16_t u16();
@@ -62,6 +77,9 @@ class Reader {
   std::string str();
   /// Read exactly n raw bytes.
   Bytes raw(std::size_t n);
+  /// Zero-copy variants: view into the underlying storage.
+  ByteView bytes_view();
+  ByteView raw_view(std::size_t n);
 
   bool at_end() const { return pos_ == buf_.size(); }
   std::size_t remaining() const { return buf_.size() - pos_; }
@@ -73,7 +91,7 @@ class Reader {
  private:
   void need(std::size_t n) const;
 
-  const Bytes& buf_;
+  ByteView buf_;
   std::size_t pos_ = 0;
 };
 

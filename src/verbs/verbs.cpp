@@ -60,23 +60,31 @@ sim::Task<mem::Status> RdmaDevice::post_write(QpId qp, ProcessId caller,
                                               RKey rkey, std::string reg,
                                               Bytes value) {
   sim::OneShot<mem::Status> done(*exec_);
-  auto outcome = std::make_shared<std::optional<mem::Status>>();
+  struct Op {
+    QpId qp;
+    ProcessId caller;
+    RKey rkey;
+    std::string reg;
+    Bytes value;
+    std::optional<mem::Status> outcome;
+  };
+  auto op = sim::Rc<Op>::make(Op{qp, caller, rkey, std::move(reg),
+                                 std::move(value), std::nullopt});
 
-  exec_->call_after(op_delay_ / 2, [this, qp, caller, rkey, reg,
-                                    value = std::move(value), outcome]() mutable {
+  exec_->schedule_after(op_delay_ / 2, [this, op] {
     if (crashed_) return;
-    if (!allowed(qp, caller, rkey, reg, /*is_write=*/true)) {
+    if (!allowed(op->qp, op->caller, op->rkey, op->reg, /*is_write=*/true)) {
       ++naks_;
-      *outcome = mem::Status::kNak;
+      op->outcome = mem::Status::kNak;
       return;
     }
     ++writes_;
-    registers_[reg] = std::move(value);
-    *outcome = mem::Status::kAck;
+    registers_[op->reg] = std::move(op->value);
+    op->outcome = mem::Status::kAck;
   });
-  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
-    if (crashed_ || !outcome->has_value()) return;
-    done.fulfill(**outcome);
+  exec_->schedule_after(op_delay_, [this, done, op]() mutable {
+    if (crashed_ || !op->outcome.has_value()) return;
+    done.fulfill(*op->outcome);
   });
 
   co_return co_await done.wait();
@@ -85,23 +93,30 @@ sim::Task<mem::Status> RdmaDevice::post_write(QpId qp, ProcessId caller,
 sim::Task<mem::ReadResult> RdmaDevice::post_read(QpId qp, ProcessId caller,
                                                  RKey rkey, std::string reg) {
   sim::OneShot<mem::ReadResult> done(*exec_);
-  auto outcome = std::make_shared<std::optional<mem::ReadResult>>();
+  struct Op {
+    QpId qp;
+    ProcessId caller;
+    RKey rkey;
+    std::string reg;
+    std::optional<mem::ReadResult> outcome;
+  };
+  auto op = sim::Rc<Op>::make(Op{qp, caller, rkey, std::move(reg), std::nullopt});
 
-  exec_->call_after(op_delay_ / 2, [this, qp, caller, rkey, reg, outcome] {
+  exec_->schedule_after(op_delay_ / 2, [this, op] {
     if (crashed_) return;
-    if (!allowed(qp, caller, rkey, reg, /*is_write=*/false)) {
+    if (!allowed(op->qp, op->caller, op->rkey, op->reg, /*is_write=*/false)) {
       ++naks_;
-      *outcome = mem::ReadResult{mem::Status::kNak, {}};
+      op->outcome = mem::ReadResult{mem::Status::kNak, {}};
       return;
     }
     ++reads_;
-    const auto it = registers_.find(reg);
-    *outcome = mem::ReadResult{
+    const auto it = registers_.find(op->reg);
+    op->outcome = mem::ReadResult{
         mem::Status::kAck, it == registers_.end() ? util::bottom() : it->second};
   });
-  exec_->call_after(op_delay_, [this, done, outcome]() mutable {
-    if (crashed_ || !outcome->has_value()) return;
-    done.fulfill(std::move(**outcome));
+  exec_->schedule_after(op_delay_, [this, done, op]() mutable {
+    if (crashed_ || !op->outcome.has_value()) return;
+    done.fulfill(std::move(*op->outcome));
   });
 
   co_return co_await done.wait();
@@ -187,27 +202,31 @@ sim::Task<mem::Status> VerbsMemory::change_permission(ProcessId caller,
                                                       RegionId region,
                                                       mem::Permission proposed) {
   sim::OneShot<mem::Status> done(*exec_);
-  auto outcome = std::make_shared<std::optional<mem::Status>>();
+  struct Op {
+    ProcessId caller;
+    RegionId region;
+    mem::Permission proposed;
+    std::optional<mem::Status> outcome;
+  };
+  auto op = sim::Rc<Op>::make(Op{caller, region, std::move(proposed), std::nullopt});
 
   // The request travels to the host (half an op delay), where the kernel
   // evaluates legalChange and re-registers; the ack travels back.
-  exec_->call_after(sim::kMemoryOpDelay / 2, [this, caller, region,
-                                              proposed = std::move(proposed),
-                                              outcome]() mutable {
+  exec_->schedule_after(sim::kMemoryOpDelay / 2, [this, op] {
     if (device_->crashed()) return;
-    const auto it = regions_.find(region);
-    if (it == regions_.end() || !proposed.disjoint() ||
-        !it->second.legal(caller, region, it->second.perm, proposed)) {
-      *outcome = mem::Status::kNak;
+    const auto it = regions_.find(op->region);
+    if (it == regions_.end() || !op->proposed.disjoint() ||
+        !it->second.legal(op->caller, op->region, it->second.perm, op->proposed)) {
+      op->outcome = mem::Status::kNak;
       return;
     }
-    it->second.perm = std::move(proposed);
+    it->second.perm = std::move(op->proposed);
     install_registrations(it->second);
-    *outcome = mem::Status::kAck;
+    op->outcome = mem::Status::kAck;
   });
-  exec_->call_after(sim::kMemoryOpDelay, [this, done, outcome]() mutable {
-    if (device_->crashed() || !outcome->has_value()) return;
-    done.fulfill(**outcome);
+  exec_->schedule_after(sim::kMemoryOpDelay, [this, done, op]() mutable {
+    if (device_->crashed() || !op->outcome.has_value()) return;
+    done.fulfill(*op->outcome);
   });
 
   co_return co_await done.wait();

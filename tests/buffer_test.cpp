@@ -1,0 +1,136 @@
+// Tests for the refcounted shared payload buffer (src/util/buffer.hpp):
+// aliasing, refcounting, immutability, slicing, and node pooling — the
+// invariants the zero-copy message path leans on.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/util/buffer.hpp"
+#include "src/util/bytes.hpp"
+
+namespace mnm::util {
+namespace {
+
+Bytes make_bytes(std::initializer_list<int> vals) {
+  Bytes b;
+  for (int v : vals) b.push_back(static_cast<std::uint8_t>(v));
+  return b;
+}
+
+TEST(Buffer, DefaultIsEmptyAndUnshared) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.use_count(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Buffer, TakeOwnershipDoesNotCopy) {
+  Bytes src = make_bytes({1, 2, 3, 4});
+  const std::uint8_t* raw = src.data();
+  Buffer b(std::move(src));
+  EXPECT_EQ(b.size(), 4u);
+  // The backing storage is the moved-in vector's: zero-copy wrap.
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b.use_count(), 1u);
+}
+
+TEST(Buffer, CopyBumpsRefcountAndAliases) {
+  Buffer a(make_bytes({9, 8, 7}));
+  Buffer b = a;
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(b.use_count(), 2u);
+  EXPECT_EQ(a.data(), b.data());  // same storage, no copy
+  {
+    Buffer c = b;
+    EXPECT_EQ(a.use_count(), 3u);
+  }
+  EXPECT_EQ(a.use_count(), 2u);  // c's death dropped the count
+}
+
+TEST(Buffer, MoveTransfersWithoutRefcountChange) {
+  Buffer a(make_bytes({5, 5}));
+  Buffer b = a;
+  ASSERT_EQ(a.use_count(), 2u);
+  Buffer c = std::move(a);
+  EXPECT_EQ(c.use_count(), 2u);  // move does not create a new share
+  EXPECT_TRUE(a.empty());        // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Buffer, SlicesShareStorage) {
+  Buffer whole(make_bytes({0x50, 1, 2, 3, 4}));  // tag + body
+  Buffer body = whole.suffix(1);
+  EXPECT_EQ(body.size(), 4u);
+  EXPECT_EQ(body.data(), whole.data() + 1);  // same bytes, offset view
+  EXPECT_EQ(whole.use_count(), 2u);          // slice holds the node alive
+
+  Buffer mid = whole.slice(2, 2);
+  EXPECT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0], 2u);
+  EXPECT_EQ(mid[1], 3u);
+  EXPECT_EQ(whole.use_count(), 3u);
+}
+
+TEST(Buffer, SliceKeepsStorageAliveAfterParentDies) {
+  Buffer body;
+  {
+    Buffer whole(make_bytes({7, 8, 9}));
+    body = whole.suffix(1);
+  }
+  // Parent gone; the slice still owns the node.
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[0], 8u);
+  EXPECT_EQ(body[1], 9u);
+  EXPECT_EQ(body.use_count(), 1u);
+}
+
+TEST(Buffer, EqualityComparesContentsNotIdentity) {
+  const Bytes payload = make_bytes({1, 2, 3});
+  Buffer a(payload);       // copying wrap
+  Buffer b{Bytes(payload)};
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, payload);
+  EXPECT_EQ(payload, b);
+  Buffer c(make_bytes({1, 2}));
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Buffer, ImmutableViewMatchesSource) {
+  const Bytes payload = make_bytes({10, 20, 30});
+  Buffer b(payload);
+  ByteView v = b;  // implicit view conversion
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_TRUE(view_equal(v, ByteView(payload)));
+  // to_bytes copies out; mutating the copy cannot touch the buffer.
+  Bytes out = b.to_bytes();
+  out[0] = 99;
+  EXPECT_EQ(b[0], 10u);
+}
+
+TEST(Buffer, ControlNodesAreRecycledThroughThePool) {
+  // Warm the pool, then check that create/destroy cycles do not grow it
+  // beyond the number of simultaneously-live buffers.
+  { Buffer warm(make_bytes({1})); }
+  const std::size_t baseline = Buffer::pool_size();
+  ASSERT_GE(baseline, 1u);
+  for (int i = 0; i < 100; ++i) {
+    Buffer b(make_bytes({1, 2, 3}));
+    Buffer share = b;
+    Buffer slice = b.suffix(1);
+  }
+  // Max three live at once, all sharing ONE node: pool never needs to grow.
+  EXPECT_EQ(Buffer::pool_size(), baseline);
+}
+
+TEST(Buffer, EmptyBytesWrapToEmptyBuffer) {
+  Buffer b((Bytes()));
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.use_count(), 0u);  // no node allocated for ⊥
+  Buffer s = b.suffix(0);
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace mnm::util

@@ -1,0 +1,135 @@
+// Fixed-seed determinism of whole-cluster runs.
+//
+// The event-loop refactor (pooled events, inline callbacks, opt-in cancel
+// cells) must preserve the executor's (time, seq) ordering contract exactly:
+// the same seed has to produce the same decisions, the same decision times,
+// and the same operation counts, run after run. These tests pin that for
+// every algorithm, including runs with faults.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/harness/cluster.hpp"
+
+namespace mnm::harness {
+namespace {
+
+/// Everything observable a run produces, flattened for equality checks.
+struct Fingerprint {
+  std::vector<ProcessId> ids;
+  std::vector<bool> decided;
+  std::vector<std::string> decisions;
+  std::vector<sim::Time> decided_at;
+  std::optional<std::string> value;
+  sim::Time first_delay = 0;
+  std::uint64_t msgs = 0, reads = 0, writes = 0, perms = 0, sigs = 0, verifs = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(const RunReport& r) {
+  Fingerprint f;
+  for (const auto& p : r.processes) {
+    f.ids.push_back(p.id);
+    f.decided.push_back(p.decided);
+    f.decisions.push_back(p.decision);
+    f.decided_at.push_back(p.decided_at);
+  }
+  f.value = r.decided_value;
+  f.first_delay = r.first_decision_delay;
+  f.msgs = r.messages_sent;
+  f.reads = r.mem_reads;
+  f.writes = r.mem_writes;
+  f.perms = r.permission_changes;
+  f.sigs = r.signatures;
+  f.verifs = r.verifications;
+  return f;
+}
+
+void expect_deterministic(ClusterConfig cfg, bool check_ok = true) {
+  const RunReport a = run_cluster(cfg);
+  const RunReport b = run_cluster(cfg);
+  if (check_ok) {
+    EXPECT_TRUE(a.all_ok()) << a.summary();
+  }
+  EXPECT_EQ(fingerprint(a), fingerprint(b))
+      << "run 1: " << a.summary() << "\nrun 2: " << b.summary();
+}
+
+TEST(Determinism, FastPaxosSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 42;
+  expect_deterministic(c);
+}
+
+TEST(Determinism, ProtectedMemoryPaxosSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kProtectedMemoryPaxos;
+  c.n = 2;
+  c.m = 3;
+  c.seed = 42;
+  expect_deterministic(c);
+}
+
+TEST(Determinism, AlignedPaxosSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kAlignedPaxos;
+  c.n = 3;
+  c.m = 3;
+  c.seed = 42;
+  expect_deterministic(c);
+}
+
+TEST(Determinism, FastRobustSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;
+  c.m = 3;
+  c.seed = 42;
+  expect_deterministic(c);
+}
+
+TEST(Determinism, FastRobustWithByzantineLeaderSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;
+  c.m = 3;
+  c.seed = 7;
+  c.faults.byzantine[1] = ByzantineStrategy::kCqLeaderEquivocate;
+  // This attack config trips the harness's (strict) validity accounting in
+  // the seed too; what this test pins is reproducibility under faults.
+  expect_deterministic(c, /*check_ok=*/false);
+}
+
+TEST(Determinism, PaxosWithCrashSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 11;
+  c.faults.process_crashes[2] = 5;
+  expect_deterministic(c);
+}
+
+/// Different seeds may legitimately differ, but every seed must be
+/// internally reproducible — a sweep catches order-dependent state leaking
+/// between runs (e.g. a pool whose reuse pattern changed scheduling).
+TEST(Determinism, SeedSweepIsReproducible) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ClusterConfig c;
+    c.algo = Algorithm::kFastPaxos;
+    c.n = 3;
+    c.m = 0;
+    c.seed = seed;
+    const RunReport a = run_cluster(c);
+    const RunReport b = run_cluster(c);
+    EXPECT_EQ(fingerprint(a), fingerprint(b)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mnm::harness

@@ -307,5 +307,98 @@ TEST(Rng, BelowStaysInRange) {
   }
 }
 
+
+// --- Allocation-free event loop: determinism and pooling contracts. ---
+
+/// The (time, seq) ordering contract, exercised through a mixed schedule of
+/// cancellable and non-cancellable events. The trace is compared against a
+/// golden order (insertion order within a timestamp, timestamps ascending),
+/// which pins the pre-pool scheduling semantics bit-for-bit.
+TEST(Executor, MixedScheduleTraceIsDeterministic) {
+  auto run_trace = []() {
+    Executor exec;
+    std::vector<int> trace;
+    exec.schedule_at(5, [&] { trace.push_back(1); });
+    exec.call_at(2, [&] { trace.push_back(2); });
+    exec.schedule_at(2, [&] { trace.push_back(3); });
+    TimerHandle cancelled = exec.call_at(3, [&] { trace.push_back(99); });
+    exec.schedule_at(5, [&] { trace.push_back(4); });
+    exec.call_after(1, [&] { trace.push_back(5); });
+    cancelled.cancel();
+    exec.run();
+    return trace;
+  };
+  const std::vector<int> expected{5, 2, 3, 1, 4};
+  EXPECT_EQ(run_trace(), expected);
+  EXPECT_EQ(run_trace(), run_trace());
+}
+
+/// Events scheduled from inside a callback at the current instant run after
+/// everything already queued for that instant (the yield() contract).
+TEST(Executor, SameInstantInsertionKeepsFifoOrder) {
+  Executor exec;
+  std::vector<int> trace;
+  exec.schedule_at(1, [&] {
+    trace.push_back(1);
+    exec.schedule_at(1, [&] { trace.push_back(3); });
+  });
+  exec.schedule_at(1, [&] { trace.push_back(2); });
+  exec.run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+/// Cancel cells are recycled through the free list: a handle from a fired
+/// timer goes stale and cannot cancel the timer that reused its cell.
+TEST(Executor, StaleTimerHandleCannotCancelRecycledCell) {
+  Executor exec;
+  int fired = 0;
+  TimerHandle first = exec.call_at(1, [&] { ++fired; });
+  EXPECT_TRUE(first.valid());
+  exec.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(first.valid());  // cell retired, generation bumped
+
+  // The next cancellable timer reuses the pooled cell; the stale handle
+  // must not be able to touch it.
+  TimerHandle second = exec.call_at(2, [&] { ++fired; });
+  first.cancel();  // no-op: generation mismatch
+  EXPECT_TRUE(second.valid());
+  exec.run();
+  EXPECT_EQ(fired, 2);
+}
+
+/// sleep()/yield() carry no cancel state at all; a long mixed workload must
+/// not grow the cancel-cell pool beyond the cancellable timers in flight.
+TEST(Executor, SleepAndYieldScheduleWithoutCancelCells) {
+  Executor exec;
+  int wakes = 0;
+  auto sleeper = [](Executor* e, int* w) -> Task<void> {
+    for (int i = 0; i < 100; ++i) {
+      co_await e->sleep(1);
+      co_await e->yield();
+      ++*w;
+    }
+  };
+  exec.spawn(sleeper(&exec, &wakes));
+  exec.run();
+  EXPECT_EQ(wakes, 100);
+}
+
+/// Channel fast path: a queued value is consumed without suspending (and
+/// without allocating a waiter node — observable as no extra resume event).
+TEST(Channel, ReadyValueConsumedWithoutExtraEvent) {
+  Executor exec;
+  Channel<int> ch(exec);
+  ch.send(7);
+  std::optional<int> got;
+  auto reader = [](Channel<int>* c, std::optional<int>* out) -> Task<void> {
+    *out = co_await c->recv();
+  };
+  exec.spawn(reader(&ch, &got));
+  exec.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+}
+
 }  // namespace
 }  // namespace mnm::sim

@@ -105,5 +105,48 @@ TEST(Serde, RawReadsExactCount) {
   EXPECT_THROW(r.raw(4), SerdeError);
 }
 
+
+// --- Serde hot-path additions: size hints, length patching, view reads. ---
+
+TEST(Writer, ReserveDoesNotChangeEncoding) {
+  Writer plain;
+  plain.u8(1).u32(7).bytes(to_bytes("payload"));
+  Writer hinted(1 + 4 + 4 + 7);
+  hinted.u8(1).u32(7).bytes(to_bytes("payload"));
+  EXPECT_EQ(plain.data(), hinted.data());
+}
+
+TEST(Writer, PatchU32OverwritesInPlace) {
+  Writer w;
+  const std::size_t at = w.size();
+  w.u32(0);  // placeholder length
+  w.str("body");
+  w.patch_u32(at, static_cast<std::uint32_t>(w.size() - at - 4));
+  Reader r(w.data());
+  EXPECT_EQ(r.u32(), w.size() - 4);
+  EXPECT_EQ(r.str(), "body");
+  EXPECT_THROW(Writer().patch_u32(0, 1), SerdeError);  // out of range
+}
+
+TEST(Reader, ViewReadsAliasTheSource) {
+  Writer w;
+  w.bytes(to_bytes("hello")).u8(9);
+  const Bytes& buf = w.data();
+  Reader r(buf);
+  const ByteView v = r.bytes_view();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.data(), buf.data() + 4);  // points into the source, no copy
+  EXPECT_EQ(to_string(v), "hello");
+  EXPECT_EQ(r.u8(), 9u);
+  r.expect_end();
+}
+
+TEST(Reader, RawViewBoundsChecked) {
+  const Bytes buf = to_bytes("abc");
+  Reader r(buf);
+  EXPECT_EQ(to_string(r.raw_view(2)), "ab");
+  EXPECT_THROW(r.raw_view(2), SerdeError);
+}
+
 }  // namespace
 }  // namespace mnm::util
