@@ -95,6 +95,7 @@ int main() {
     if (slot == 4 && p1_alive) {
       p1_alive = false;
       network.crash(1);
+      omega.poke();  // announce the leadership change to suspended waiters
       std::printf("  !! leader p1 crashed before slot %zu\n", slot);
     }
   };

@@ -1,16 +1,39 @@
 #!/usr/bin/env bash
-# Build the bench preset and run the two performance regression guards with
-# machine-readable output:
-#   * bench_smr_throughput — end-to-end consensus instances/sec per algorithm
-#   * bench_hotpath        — per-layer cost floor (executor, channel, fan-out)
+# Build the bench preset and run the benchmark suite.
 #
-# JSON lands in BENCH_smr_throughput.json / BENCH_hotpath.json at the repo
-# root; compare against the checked-in baseline to detect regressions:
-#   ./scripts/bench.sh
-#   git diff --stat BENCH_hotpath.json
+# Two baseline-compared regression guards always run and write
+# machine-readable JSON at the repo root (compare against the checked-in
+# baselines to detect regressions):
+#   * bench_smr_throughput — end-to-end consensus instances/sec per algorithm
+#     → BENCH_smr_throughput.json
+#   * bench_hotpath        — per-layer cost floor (executor, channel, fan-out)
+#     → BENCH_hotpath.json
+#
+# A full run (the default) additionally executes every other bench_* target
+# — the paper-experiment tables (resilience, delays, signatures, memory
+# faults, lower bound, non-equivocation, failover, aligned) — writing
+# google-benchmark JSON (where the target supports it) under build-bench/.
+#
+#   ./scripts/bench.sh            # full sweep: all ten bench targets
+#   ./scripts/bench.sh --quick    # just the two baseline-compared guards
+#   git diff --stat BENCH_hotpath.json BENCH_smr_throughput.json
+#
+# BENCH_MIN_TIME overrides google-benchmark's --benchmark_min_time (default
+# 0.5; CI smoke uses 0.01).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+      echo "usage: $0 [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 cmake --preset bench
 cmake --build --preset bench -j"$(nproc)"
@@ -25,5 +48,19 @@ MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 ./build-bench/bench_hotpath \
   --benchmark_out=BENCH_hotpath.json --benchmark_out_format=json \
   --benchmark_min_time="${MIN_TIME}"
+
+if [[ "${QUICK}" -eq 0 ]]; then
+  # bench_nonequiv is google-benchmark based like the guards above; the rest
+  # are plain experiment tables with their own main().
+  ./build-bench/bench_nonequiv \
+    --benchmark_out=build-bench/BENCH_nonequiv.json --benchmark_out_format=json \
+    --benchmark_min_time="${MIN_TIME}"
+  for b in aligned delays failover lower_bound memory_faults signatures \
+           table1_resilience; do
+    echo
+    echo "== bench_${b} =="
+    "./build-bench/bench_${b}"
+  done
+fi
 
 echo "Wrote BENCH_smr_throughput.json and BENCH_hotpath.json"

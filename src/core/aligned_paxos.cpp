@@ -1,6 +1,7 @@
 #include "src/core/aligned_paxos.hpp"
 
 #include "src/sim/fanout.hpp"
+#include "src/sim/select.hpp"
 #include "src/util/serde.hpp"
 
 namespace mnm::core {
@@ -98,12 +99,10 @@ sim::Task<AlignedPaxos::Phase1Answer> AlignedPaxos::phase1_memory(
       co_await m->write(self_, region_, slot_names_[self_ - 1], own.encode());
   if (wrote != mem::Status::kAck) co_return out;
 
-  sim::Fanout<mem::ReadResult> fanout(*exec_);
-  for (std::size_t i = 0; i < all_.size(); ++i) {
-    fanout.add(i, m->read(self_, region_, slot_names_[i]));
-  }
-  auto reads = co_await fanout.collect(all_.size());
-  for (auto& [i, rr] : reads) {
+  // One batched scatter-gather read of every slot: a single completion event
+  // and one permission evaluation instead of n independent reads.
+  auto reads = co_await m->read_many(self_, region_, slot_names_);
+  for (auto& rr : reads) {
     if (!rr.ok()) co_return out;
     const auto slot = PmpSlot::decode(rr.value);
     if (!slot.has_value()) co_return out;
@@ -131,9 +130,7 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
   const std::size_t quorum = majority(agents);
 
   while (!decided()) {
-    while (!omega_->trusts(self_) && !decided()) {
-      co_await exec_->sleep(config_.poll);
-    }
+    co_await omega_->wait_leadership_or(self_, decision_gate_, config_.poll);
     if (decided()) break;
 
     const std::uint64_t prop_nr =
@@ -158,52 +155,52 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
     std::uint64_t best_acc = 0;
     const sim::Time deadline = exec_->now() + config_.round_timeout;
 
-    // Collect from both sources until a combined majority answers,
-    // alternating with a short poll so neither source starves the other.
+    // Collect from both sources until a combined majority answers. One
+    // suspension per wait, woken by whichever source signals first in
+    // executor (time, seq) order — a round costs O(responses) events, not
+    // O(round_timeout / poll) timer ticks. Queued memory answers drain
+    // before process replies, mirroring the old memory-first alternation.
     auto& proc_ch = endpoint_.channel(config_.acceptor_tag + 1);
-    std::size_t mem_collected = 0;
+    auto& mem_ch = mem_fan.results();
     while (responses < quorum && !reject) {
-      if (exec_->now() >= deadline) break;
-      if (mem_collected < memories_.size()) {
-        auto batch = co_await mem_fan.collect_until(
-            1, std::min(deadline, exec_->now() + config_.poll));
-        if (!batch.empty()) {
-          ++mem_collected;
-          ++responses;
-          auto& [idx, answer] = batch[0];
-          if (!answer.ok) {
-            reject = true;
-            break;
-          }
-          for (const auto& slot : answer.slots) {
-            max_proposal_seen_ = std::max(max_proposal_seen_, slot.min_proposal);
-            if (slot.min_proposal > prop_nr) reject = true;
-            if (slot.has_value && (!adopted || slot.acc_proposal > best_acc)) {
-              adopted = true;
-              best_acc = slot.acc_proposal;
-              my_value = slot.value;
-            }
-          }
-          continue;
+      if (auto batch = mem_ch.try_recv()) {
+        ++responses;
+        Phase1Answer& answer = batch->second;
+        if (!answer.ok) {
+          reject = true;
+          break;
         }
+        for (const auto& slot : answer.slots) {
+          max_proposal_seen_ = std::max(max_proposal_seen_, slot.min_proposal);
+          if (slot.min_proposal > prop_nr) reject = true;
+          if (slot.has_value && (!adopted || slot.acc_proposal > best_acc)) {
+            adopted = true;
+            best_acc = slot.acc_proposal;
+            my_value = slot.value;
+          }
+        }
+        continue;
       }
-      auto reply = co_await proc_ch.recv_until(
-          std::min(deadline, exec_->now() + config_.poll));
-      if (!reply.has_value()) continue;
-      const auto msg = PaxosMsg::decode(reply->payload);
-      if (!msg.has_value() || msg->ballot != prop_nr) continue;
-      if (msg->kind == PaxosKind::kNack) {
-        max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
-        reject = true;
-        break;
+      if (auto reply = proc_ch.try_recv()) {
+        const auto msg = PaxosMsg::decode(reply->payload);
+        if (!msg.has_value() || msg->ballot != prop_nr) continue;
+        if (msg->kind == PaxosKind::kNack) {
+          max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
+          reject = true;
+          break;
+        }
+        if (msg->kind != PaxosKind::kPromise) continue;
+        ++responses;
+        if (msg->has_value && (!adopted || msg->acc_ballot > best_acc)) {
+          adopted = true;
+          best_acc = msg->acc_ballot;
+          my_value = msg->value;
+        }
+        continue;
       }
-      if (msg->kind != PaxosKind::kPromise) continue;
-      ++responses;
-      if (msg->has_value && (!adopted || msg->acc_ballot > best_acc)) {
-        adopted = true;
-        best_acc = msg->acc_ballot;
-        my_value = msg->value;
-      }
+      sim::Select sel(*exec_);
+      sel.on(mem_ch).on(proc_ch).until(deadline);
+      if (co_await sel == sim::Select::kTimedOut) break;
     }
     if (reject || responses < quorum) {
       co_await exec_->sleep(config_.retry_backoff);
@@ -221,34 +218,31 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
 
     std::size_t acks = 0;
     bool reject2 = false;
-    std::size_t mem2_collected = 0;
     const sim::Time deadline2 = exec_->now() + config_.round_timeout;
+    auto& mem2_ch = mem2_fan.results();
     while (acks < quorum && !reject2) {
-      if (exec_->now() >= deadline2) break;
-      if (mem2_collected < memories_.size()) {
-        auto batch = co_await mem2_fan.collect_until(
-            1, std::min(deadline2, exec_->now() + config_.poll));
-        if (!batch.empty()) {
-          ++mem2_collected;
-          if (batch[0].second == mem::Status::kAck) {
-            ++acks;
-          } else {
-            reject2 = true;
-          }
-          continue;
+      if (auto batch = mem2_ch.try_recv()) {
+        if (batch->second == mem::Status::kAck) {
+          ++acks;
+        } else {
+          reject2 = true;
         }
+        continue;
       }
-      auto reply = co_await proc_ch.recv_until(
-          std::min(deadline2, exec_->now() + config_.poll));
-      if (!reply.has_value()) continue;
-      const auto msg = PaxosMsg::decode(reply->payload);
-      if (!msg.has_value() || msg->ballot != prop_nr) continue;
-      if (msg->kind == PaxosKind::kNack) {
-        max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
-        reject2 = true;
-        break;
+      if (auto reply = proc_ch.try_recv()) {
+        const auto msg = PaxosMsg::decode(reply->payload);
+        if (!msg.has_value() || msg->ballot != prop_nr) continue;
+        if (msg->kind == PaxosKind::kNack) {
+          max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
+          reject2 = true;
+          break;
+        }
+        if (msg->kind == PaxosKind::kAccepted) ++acks;
+        continue;
       }
-      if (msg->kind == PaxosKind::kAccepted) ++acks;
+      sim::Select sel(*exec_);
+      sel.on(mem2_ch).on(proc_ch).until(deadline2);
+      if (co_await sel == sim::Select::kTimedOut) break;
     }
     if (reject2 || acks < quorum) {
       co_await exec_->sleep(config_.retry_backoff);

@@ -45,6 +45,8 @@ struct AlignedPaxosConfig {
   net::MsgType acceptor_tag = 920;
   net::MsgType decide_tag = 925;
   sim::Time round_timeout = 40;
+  /// Seed for the leadership-wait backoff (waits are event-driven; this only
+  /// paces the fallback re-check of un-poked Ω schedules).
   sim::Time poll = 1;
   sim::Time retry_backoff = 8;
 };

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/mem/write_watch.hpp"
 #include "src/sim/fanout.hpp"
 #include "src/util/serde.hpp"
 
@@ -235,10 +236,18 @@ sim::Task<CqOutcome> CheapQuorum::follower_body(Bytes input, bool decide_allowed
   const ProcessId self = signer_.id();
   const sim::Time deadline = exec_->now() + config_.timeout;
 
+  // Both waits below are event-driven: a pass over the registers, then a
+  // suspension on the memories' write-version signals (bounded by the panic
+  // deadline) — a write by the leader, a copier or a panicker wakes us, and
+  // an idle wait costs no events at all. The watch snapshots before each
+  // pass, so writes landing mid-pass rescan immediately.
+  mem::WriteWatch watch(memories_);
+
   // Wait for the leader's value (Algorithm 4 lines 10–12).
   Bytes leader_blob;
   std::optional<LeaderBlob> lb;
   while (true) {
+    watch.snapshot();
     const mem::ReadResult rr = co_await leader_value_reg().read(self);
     if (rr.ok() && !util::is_bottom(rr.value)) {
       lb = decode_leader_blob(rr.value);
@@ -253,7 +262,7 @@ sim::Task<CqOutcome> CheapQuorum::follower_body(Bytes input, bool decide_allowed
     if (co_await anyone_panicked() || exec_->now() >= deadline) {
       co_return co_await panic_mode(std::move(input));
     }
-    co_await exec_->sleep(config_.poll);
+    co_await watch.wait_change(*exec_, deadline, config_.poll);
   }
 
   // Sign and replicate our copy (line 14–15).
@@ -266,6 +275,7 @@ sim::Task<CqOutcome> CheapQuorum::follower_body(Bytes input, bool decide_allowed
   const auto all = all_processes(config_.n);
   bool proof_written = false;
   while (true) {
+    watch.snapshot();
     // Read all Value[q].
     sim::Fanout<mem::ReadResult> fanout(*exec_);
     for (std::size_t i = 0; i < all.size(); ++i) {
@@ -329,7 +339,7 @@ sim::Task<CqOutcome> CheapQuorum::follower_body(Bytes input, bool decide_allowed
     if (co_await anyone_panicked() || exec_->now() >= deadline) {
       co_return co_await panic_mode(std::move(input));
     }
-    co_await exec_->sleep(config_.poll);
+    co_await watch.wait_change(*exec_, deadline, config_.poll);
   }
 }
 

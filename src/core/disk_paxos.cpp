@@ -73,15 +73,13 @@ sim::Task<DiskPaxos::RoundResult> DiskPaxos::phase_at_memory(
       self_, region_, block_names_[self_ - 1], own.encode());
   if (wrote != mem::Status::kAck) co_return out;
 
-  sim::Fanout<mem::ReadResult> fanout(*exec_);
-  for (std::size_t i = 0; i < all_.size(); ++i) {
-    fanout.add(i, m->read(self_, region_, block_names_[i]));
-  }
-  auto reads = co_await fanout.collect(all_.size());
+  // Batched scatter-gather read of every block at this disk: one completion
+  // event, results in block_names_ order.
+  auto reads = co_await m->read_many(self_, region_, block_names_);
   out.blocks.resize(all_.size());
-  for (auto& [i, rr] : reads) {
-    if (!rr.ok()) co_return out;
-    const auto block = DiskBlock::decode(rr.value);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (!reads[i].ok()) co_return out;
+    const auto block = DiskBlock::decode(reads[i].value);
     if (!block.has_value()) co_return out;
     out.blocks[i] = *block;
   }
@@ -95,9 +93,7 @@ sim::Task<Bytes> DiskPaxos::propose(Bytes v) {
   const auto& all = all_;
 
   while (!decided()) {
-    while (!omega_->trusts(self_) && !decided()) {
-      co_await exec_->sleep(config_.poll);
-    }
+    co_await omega_->wait_leadership_or(self_, decision_gate_, config_.poll);
     if (decided()) break;
 
     std::uint64_t mbal;

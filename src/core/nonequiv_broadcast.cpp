@@ -1,7 +1,10 @@
 #include "src/core/nonequiv_broadcast.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
+#include "src/mem/write_watch.hpp"
 #include "src/sim/fanout.hpp"
 #include "src/util/serde.hpp"
 
@@ -28,16 +31,18 @@ swmr::ReplicatedRegister& NebSlots::slot(ProcessId owner, std::uint64_t k,
   return *entry;
 }
 
-Bytes neb_signing_bytes(std::uint64_t k, const Bytes& message) {
-  util::Writer w(4 + 3 + 8 + crypto::kSha256DigestSize);
-  w.str("neb").u64(k).raw(crypto::digest_bytes(crypto::sha256(message)));
+Bytes neb_signing_bytes(std::uint64_t k, util::ByteView message,
+                        std::uint32_t prefix_len) {
+  util::Writer w(4 + 3 + 8 + 4 + crypto::kSha256DigestSize);
+  w.str("neb").u64(k).u32(prefix_len).raw(
+      crypto::digest_bytes(crypto::sha256(message.subspan(prefix_len))));
   return std::move(w).take();
 }
 
 Bytes encode_neb_slot(std::uint64_t k, const Bytes& message,
-                      const crypto::Signature& sig) {
-  util::Writer w(8 + 4 + message.size() + 8 + sig.mac.size());
-  w.u64(k).bytes(message);
+                      const crypto::Signature& sig, std::uint32_t prefix_len) {
+  util::Writer w(8 + 4 + 4 + message.size() + 8 + sig.mac.size());
+  w.u64(k).u32(prefix_len).bytes(message);
   sig.encode(w);
   return std::move(w).take();
 }
@@ -47,6 +52,7 @@ std::optional<NebSlotContent> decode_neb_slot(const Bytes& raw) {
     util::Reader r(raw);
     NebSlotContent c;
     c.k = r.u64();
+    c.prefix_len = r.u32();
     c.message = r.bytes();
     c.sig = crypto::Signature::decode(r);
     r.expect_end();
@@ -66,6 +72,7 @@ NonEquivBroadcast::NonEquivBroadcast(sim::Executor& exec, NebSlots& slots,
       config_(config),
       deliveries_(exec) {
   last_.assign(config_.n, 1);
+  prev_delivered_.assign(config_.n, Bytes{});
 }
 
 void NonEquivBroadcast::start() {
@@ -77,23 +84,46 @@ void NonEquivBroadcast::start() {
 sim::Task<mem::Status> NonEquivBroadcast::broadcast(Bytes message) {
   const std::uint64_t k = next_k_++;
   const ProcessId self = signer_.id();
-  const crypto::Signature sig = signer_.sign(neb_signing_bytes(k, message));
+  // Suffix-digest signing: declare how many leading bytes this message
+  // shares with our previous broadcast and hash only the rest. Receivers
+  // deliver strictly in order, so their anchor (our (k−1)-th delivered
+  // message) is exactly prev_broadcast_.
+  const std::uint32_t prefix_len = static_cast<std::uint32_t>(
+      std::mismatch(message.begin(), message.end(), prev_broadcast_.begin(),
+                    prev_broadcast_.end())
+          .first -
+      message.begin());
+  const crypto::Signature sig =
+      signer_.sign(neb_signing_bytes(k, message, prefix_len));
   // Algorithm 2 line 4: write(slots[p, k, p], sign((k, m))).
-  co_return co_await slots_->slot(self, k, self)
-      .write(self, encode_neb_slot(k, message, sig));
+  const Bytes slot_bytes = encode_neb_slot(k, message, sig, prefix_len);
+  prev_broadcast_ = std::move(message);
+  co_return co_await slots_->slot(self, k, self).write(self, slot_bytes);
+}
+
+bool NonEquivBroadcast::slot_valid(ProcessId q, const NebSlotContent& c) const {
+  const Bytes& prev = prev_delivered_[q - 1];
+  if (c.prefix_len > c.message.size() || c.prefix_len > prev.size()) {
+    return false;  // claims more shared bytes than exist
+  }
+  if (c.prefix_len != 0 &&
+      std::memcmp(c.message.data(), prev.data(), c.prefix_len) != 0) {
+    return false;  // claimed prefix does not match the delivered history
+  }
+  return keystore_->valid_from(
+      q, neb_signing_bytes(c.k, c.message, c.prefix_len), c.sig);
 }
 
 sim::Task<bool> NonEquivBroadcast::try_deliver(ProcessId q) {
   const ProcessId self = signer_.id();
   const std::uint64_t k = last_.at(q - 1);
 
-  // (1) Read q's own slot for its k-th broadcast.
+  // (1) Read q's own slot for its k-th broadcast. Verification hashes only
+  // the suffix past the prefix shared with q's previous delivered message.
   const mem::ReadResult head = co_await slots_->slot(q, k, q).read(self);
   if (!head.ok() || util::is_bottom(head.value)) co_return false;
-  const auto content = decode_neb_slot(head.value);
-  if (!content.has_value() || content->k != k ||
-      !keystore_->valid_from(q, neb_signing_bytes(content->k, content->message),
-                             content->sig)) {
+  auto content = decode_neb_slot(head.value);
+  if (!content.has_value() || content->k != k || !slot_valid(q, *content)) {
     // q hasn't written anything valid (or is Byzantine). Retry later.
     co_return false;
   }
@@ -114,27 +144,35 @@ sim::Task<bool> NonEquivBroadcast::try_deliver(ProcessId q) {
     if (!rr.ok() || util::is_bottom(rr.value)) continue;
     if (rr.value == head.value) continue;
     const auto other = decode_neb_slot(rr.value);
-    if (other.has_value() && other->k == k &&
-        keystore_->valid_from(q, neb_signing_bytes(other->k, other->message),
-                              other->sig) &&
+    if (other.has_value() && other->k == k && slot_valid(q, *other) &&
         other->message != content->message) {
       co_return false;  // q is Byzantine; no delivery.
     }
   }
 
   deliveries_.send(NebDelivery{q, k, content->message, content->sig});
+  prev_delivered_[q - 1] = std::move(content->message);
   last_[q - 1] = k + 1;
   co_return true;
 }
 
 sim::Task<void> NonEquivBroadcast::scan_loop() {
+  // Event-driven scanning: instead of re-reading every broadcaster's head
+  // slot each poll tick, suspend on the memories' write-version signals and
+  // rescan only when some register actually changed. The watch snapshots
+  // *before* a pass, so a write landing mid-scan re-arms the select
+  // immediately — no lost wakeups. Backends without a signal (none in-tree)
+  // degrade to the config_.poll timeout.
+  mem::WriteWatch watch(slots_->memories());
   while (true) {
+    watch.snapshot();
+    bool progress = false;
     for (ProcessId q = 1; q <= static_cast<ProcessId>(config_.n); ++q) {
       // Drain q's backlog before moving on; stop at the first gap.
-      while (co_await try_deliver(q)) {
-      }
+      while (co_await try_deliver(q)) progress = true;
     }
-    co_await exec_->sleep(config_.poll);
+    if (progress) continue;  // re-snapshot and look again before sleeping
+    co_await watch.wait_change(*exec_, sim::kTimeInfinity, config_.poll);
   }
 }
 

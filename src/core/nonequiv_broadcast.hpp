@@ -71,6 +71,10 @@ class NebSlots {
   swmr::ReplicatedRegister& slot(ProcessId owner, std::uint64_t k,
                                  ProcessId broadcaster);
 
+  /// The backing memories, for composing scan wakeups with their
+  /// write-version signals (NonEquivBroadcast's event-driven delivery loop).
+  const std::vector<mem::MemoryIface*>& memories() const { return memories_; }
+
  private:
   static std::uint64_t slot_key(ProcessId owner, std::uint64_t k,
                                 ProcessId broadcaster) {
@@ -95,18 +99,30 @@ struct NebDelivery {
   crypto::Signature sig;
 };
 
-/// Canonical signed-slot encoding: (k, m, sig_q(...)). Exposed so tests
-/// and Byzantine strategies can craft (in)valid slot contents.
+/// Canonical signed-slot encoding: (k, prefix_len, m, sig_q(...)). Exposed so
+/// tests and Byzantine strategies can craft (in)valid slot contents.
 Bytes encode_neb_slot(std::uint64_t k, const Bytes& message,
-                      const crypto::Signature& sig);
+                      const crypto::Signature& sig,
+                      std::uint32_t prefix_len = 0);
 
-/// What a broadcaster signs: ("neb", k, SHA256(m)). Signing the *digest* of
-/// m lets receipts prove "q broadcast a message with digest d as its k-th"
-/// without embedding m (and, recursively, m's attached history) — the
-/// receipt compression that keeps Clement-style histories linear.
-Bytes neb_signing_bytes(std::uint64_t k, const Bytes& message);
+/// What a broadcaster signs: ("neb", k, prefix_len, SHA256(m[prefix_len:])).
+///
+/// Signing a *digest* of m lets receipts prove "q broadcast a message with
+/// digest d as its k-th" without embedding m — the receipt compression that
+/// keeps Clement-style histories linear. Hashing only the suffix past
+/// `prefix_len` makes verification incremental: the first prefix_len bytes
+/// are committed transitively, because a verifier only accepts the claim
+/// after byte-comparing them against q's (k−1)-th *delivered* message — and
+/// non-equivocation guarantees all correct processes hold the same one.
+/// T-send wires put the append-only history body first precisely so that
+/// consecutive broadcasts share a long prefix and the hashed suffix is O(new
+/// bytes), not O(history). prefix_len = 0 (the default, and the only legal
+/// value for k = 1) is the self-contained form: SHA256 over all of m.
+Bytes neb_signing_bytes(std::uint64_t k, util::ByteView message,
+                        std::uint32_t prefix_len = 0);
 struct NebSlotContent {
   std::uint64_t k = 0;
+  std::uint32_t prefix_len = 0;  // bytes shared with the previous message
   Bytes message;
   crypto::Signature sig;
 };
@@ -114,7 +130,9 @@ std::optional<NebSlotContent> decode_neb_slot(const Bytes& raw);
 
 struct NebConfig {
   std::size_t n = 3;
-  sim::Time poll = 1;  // scan period of the delivery loop
+  /// Fallback scan period, used only when a memory backend offers no
+  /// write-version signal; the delivery loop is otherwise event-driven.
+  sim::Time poll = 1;
 };
 
 class NonEquivBroadcast {
@@ -142,6 +160,10 @@ class NonEquivBroadcast {
 
  private:
   sim::Task<void> scan_loop();
+  /// Signature + prefix-claim check of a decoded slot for broadcaster `q`
+  /// at its next undelivered sequence number (hashes only the suffix past
+  /// the prefix verified against q's previous delivered message).
+  bool slot_valid(ProcessId q, const NebSlotContent& c) const;
 
   sim::Executor* exec_;
   NebSlots* slots_;
@@ -150,6 +172,10 @@ class NonEquivBroadcast {
   NebConfig config_;
   std::uint64_t next_k_ = 1;
   std::vector<std::uint64_t> last_;  // next seq to deliver, index q - 1
+  /// Per-broadcaster previous delivered message — the anchor for suffix-
+  /// digest verification. Index q - 1.
+  std::vector<Bytes> prev_delivered_;
+  Bytes prev_broadcast_;  // our own previous broadcast (prefix_len source)
   sim::Channel<NebDelivery> deliveries_;
   bool started_ = false;
 };

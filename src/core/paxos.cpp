@@ -182,7 +182,8 @@ sim::Task<Bytes> Paxos::propose(Bytes value) {
       if (ok) break;
       co_await exec_->sleep(config_.retry_backoff);
     } else {
-      co_await exec_->sleep(config_.poll);
+      // Event-driven: woken by an Ω poke or by our own DECIDE.
+      co_await omega_->wait_leadership_or(self, decision_gate_, config_.poll);
     }
   }
   co_return decision();

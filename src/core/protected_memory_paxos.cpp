@@ -101,16 +101,13 @@ ProtectedMemoryPaxos::phase1_at_memory(std::size_t idx, std::uint64_t prop_nr) {
                                               slot_names_[self_ - 1], own.encode());
   if (wrote != mem::Status::kAck) co_return out;
 
-  // Read every process's slot at this memory, in parallel (line 15).
-  sim::Fanout<mem::ReadResult> fanout(*exec_);
-  for (std::size_t i = 0; i < all_.size(); ++i) {
-    fanout.add(i, m->read(self_, region_, slot_names_[i]));
-  }
-  auto reads = co_await fanout.collect(all_.size());
+  // Read every process's slot at this memory in one batched scatter-gather
+  // request (line 15): a single completion and permission evaluation.
+  auto reads = co_await m->read_many(self_, region_, slot_names_);
   out.slots.resize(all_.size());
-  for (auto& [i, rr] : reads) {
-    if (!rr.ok()) co_return out;  // lost permission mid-phase: fail iteration
-    const auto slot = PmpSlot::decode(rr.value);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (!reads[i].ok()) co_return out;  // lost permission mid-phase: fail
+    const auto slot = PmpSlot::decode(reads[i].value);
     if (!slot.has_value()) co_return out;
     out.slots[i] = *slot;
   }
@@ -135,9 +132,7 @@ sim::Task<Bytes> ProtectedMemoryPaxos::propose(Bytes v) {
 
   while (!decided()) {
     // Wait to become leader (line 9), but wake up if a DECIDE arrives.
-    while (!omega_->trusts(self_) && !decided()) {
-      co_await exec_->sleep(config_.poll);
-    }
+    co_await omega_->wait_leadership_or(self_, decision_gate_, config_.poll);
     if (decided()) break;
 
     Bytes my_value = v;

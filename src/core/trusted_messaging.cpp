@@ -70,6 +70,7 @@ std::optional<History> decode_history(const Bytes& raw) {
       util::Reader er(entry_bytes);
       auto e = HistoryEntry::decode(er);
       if (!e.has_value()) return std::nullopt;
+      er.expect_end();  // entry frames are canonical (see decode_tsend)
       h.push_back(std::move(*e));
     }
     r.expect_end();
@@ -113,19 +114,19 @@ bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
 
 namespace {
 /// The single owner of the T-send wire layout, taking the history as its
-/// pre-encoded (count, body) pieces so callers that maintain the encoding
-/// incrementally never have to materialize the concatenation.
+/// pre-encoded body so callers that maintain the encoding incrementally
+/// never have to materialize a concatenation. The body leads the wire (see
+/// trusted_messaging.hpp): append-only bodies give consecutive wires a long
+/// shared prefix, which NEB's digest-over-suffix verification exploits. A
+/// zero length-prefix terminates the entry stream (entries are never empty).
 Bytes encode_tsend_wire(ProcessId dst, util::ByteView payload,
-                        std::uint32_t history_count,
                         util::ByteView history_body, std::uint64_t k,
                         const crypto::Signature& sig) {
-  util::Writer w(4 + 4 + payload.size() + 4 + 4 + history_body.size() + 8 +
-                 8 + sig.mac.size());
-  w.u32(dst).bytes(payload);
-  w.u32(static_cast<std::uint32_t>(4 + history_body.size()));  // bytes() prefix
-  w.u32(history_count);
+  util::Writer w(history_body.size() + 4 + 4 + 4 + payload.size() + 8 + 8 +
+                 sig.mac.size());
   w.raw(history_body);
-  w.u64(k);
+  w.u32(0);  // entry-stream terminator
+  w.u32(dst).bytes(payload).u64(k);
   sig.encode(w);
   return std::move(w).take();
 }
@@ -134,19 +135,30 @@ Bytes encode_tsend_wire(ProcessId dst, util::ByteView payload,
 Bytes encode_tsend(ProcessId dst, util::ByteView payload, const History& h,
                    std::uint64_t k, const crypto::Signature& sig) {
   const Bytes enc = encode_history(h);
-  return encode_tsend_wire(dst, payload, static_cast<std::uint32_t>(h.size()),
-                           util::ByteView(enc).subspan(4), k, sig);
+  return encode_tsend_wire(dst, payload, util::ByteView(enc).subspan(4), k, sig);
 }
 
 std::optional<TSendContent> decode_tsend(util::ByteView raw) {
   try {
     util::Reader r(raw);
     TSendContent c;
+    while (true) {
+      const util::ByteView entry_bytes = r.bytes_view();
+      if (entry_bytes.empty()) break;  // terminator
+      util::Reader er(entry_bytes);
+      auto e = HistoryEntry::decode(er);
+      if (!e.has_value()) return std::nullopt;
+      // Reject trailing bytes inside an entry frame: entry encodings must
+      // be canonical so that NEB's prefix-digest sharing (and any raw-byte
+      // comparison of wires) cannot be defeated by a Byzantine sender
+      // alternating encodings of the same history.
+      er.expect_end();
+      c.history.push_back(std::move(*e));
+    }
+    // Everything before the 4-byte terminator is the history body.
+    c.history_body = raw.subspan(0, raw.size() - r.remaining() - 4);
     c.dst = r.u32();
     c.payload = r.bytes();
-    auto h = decode_history(r.bytes());
-    if (!h.has_value()) return std::nullopt;
-    c.history = std::move(*h);
     c.k = r.u64();
     c.sig = crypto::Signature::decode(r);
     r.expect_end();
@@ -243,23 +255,17 @@ sim::Task<void> run_broadcast(NonEquivBroadcast* neb, Bytes wire) {
 
 void TrustedTransport::send(ProcessId dst, util::Buffer payload) {
   // Algorithm 3 T-send: k++; broadcast(k, (m, H)); append sent(k, m) to H.
-  // The history encoding is u32(count) || encoded_body_; both the digest
-  // and the wire are produced from those two pieces directly, without
-  // materializing the concatenation.
+  // The wire is produced from the incrementally-maintained encoded_body_,
+  // and the history is bound by its chain tip — O(1), no re-hash of the
+  // encoding (the chain already commits to every entry).
   const std::uint64_t k = next_k_++;
-  const std::uint32_t count = static_cast<std::uint32_t>(history_.size());
-  util::Writer count_prefix(4);
-  count_prefix.u32(count);
-
-  crypto::Sha256 hist_hash;
-  hist_hash.update(count_prefix.data());
-  hist_hash.update(encoded_body_);
-  const Bytes history_digest = crypto::digest_bytes(hist_hash.finish());
+  const Bytes history_digest =
+      history_.empty() ? Bytes{} : history_.back().chain;
 
   const crypto::Signature sig =
       signer_.sign(tsend_signing_bytes(k, dst, payload, history_digest));
 
-  Bytes wire = encode_tsend_wire(dst, payload, count, encoded_body_, k, sig);
+  Bytes wire = encode_tsend_wire(dst, payload, encoded_body_, k, sig);
 
   append_entry(HistoryEntry::Kind::kSent, k, dst, payload);
   // Fire-and-forget: the broadcast completes (majority ack) in background.
@@ -277,15 +283,20 @@ sim::Task<void> TrustedTransport::deliver_loop() {
     // Structural audit of the sender's attached history: hash chain intact,
     // every link signed by the sender, sent-sequence contiguous, and the
     // NEB sequence number matches the number of prior sends. Histories only
-    // ever extend, so entries whose encoding byte-matches the prefix already
-    // verified on this sender's previous message are not re-verified.
-    const Bytes enc_history = encode_history(content->history);
+    // ever extend, so entries whose encoding byte-matches the prefix we
+    // already verified on this sender's previous message are not
+    // re-verified — the wire carries the encoded body, so the comparison
+    // needs no re-encode. The compare must be against our stored verified
+    // bytes: a chain value read out of the *incoming* prefix is attacker-
+    // supplied and proves nothing (paxos_validator may compare chain tips
+    // only because the transport hands it structurally-verified histories).
+    const util::ByteView body = content->history_body;
     PeerCache& pc = peer_cache_[d.from];
     std::size_t start = 0;
     Bytes prev_chain;
     std::uint64_t expected_sent = 1;
-    if (pc.entries > 0 && enc_history.size() >= 4 + pc.body.size() &&
-        std::memcmp(enc_history.data() + 4, pc.body.data(), pc.body.size()) == 0) {
+    if (pc.entries > 0 && body.size() >= pc.body.size() &&
+        std::memcmp(body.data(), pc.body.data(), pc.body.size()) == 0) {
       start = pc.entries;
       prev_chain = pc.last_chain;
       expected_sent = pc.expected_sent;
@@ -296,15 +307,16 @@ sim::Task<void> TrustedTransport::deliver_loop() {
       continue;
     }
     // verify_history_suffix left expected_sent at 1 + (#kSent entries in the
-    // whole history), i.e. prior sends + 1 — no re-scan needed.
+    // whole history), i.e. prior sends + 1 — no re-scan needed. It also left
+    // prev_chain at the chain tip, which *is* the history digest the inner
+    // signature binds (empty history ⇒ empty digest) — no O(history) hash.
     if (expected_sent != d.k || content->k != d.k) {
       ++rejected_;
       continue;
     }
     // The sender's inner signature must bind (k, dst, payload, history) —
     // this is what makes receipts citable later.
-    const Bytes history_digest =
-        crypto::digest_bytes(crypto::sha256(enc_history));
+    const Bytes& history_digest = prev_chain;
     if (!keystore_->valid_from(d.from,
                                tsend_signing_bytes(d.k, content->dst,
                                                    content->payload,
@@ -326,10 +338,10 @@ sim::Task<void> TrustedTransport::deliver_loop() {
     pc.entries = content->history.size();
     if (start > 0) {
       pc.body.insert(pc.body.end(),
-                     enc_history.begin() + 4 + static_cast<std::ptrdiff_t>(pc.body.size()),
-                     enc_history.end());
+                     body.begin() + static_cast<std::ptrdiff_t>(pc.body.size()),
+                     body.end());
     } else {
-      pc.body.assign(enc_history.begin() + 4, enc_history.end());
+      pc.body.assign(body.begin(), body.end());
     }
     pc.last_chain = prev_chain;
     pc.expected_sent = expected_sent;

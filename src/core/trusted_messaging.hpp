@@ -168,10 +168,13 @@ class TrustedTransport : public Transport {
   /// append-only, so if a new message's encoded history starts with the
   /// bytes we already verified, only the suffix needs chain/signature
   /// checks — this turns O(k) signature verifications per receive into
-  /// O(new entries).
+  /// O(new entries). The cache-hit check must compare *our stored verified
+  /// bytes* (not any field of the incoming message): chain values inside an
+  /// unverified prefix are attacker-supplied, so shortcutting the compare
+  /// through them would let a fabricated prefix ride a copied chain tip.
   struct PeerCache {
     std::size_t entries = 0;
-    Bytes body;  // verified encoding (sans count header), byte-compared
+    Bytes body;  // verified encoding (sans framing), byte-compared
     Bytes last_chain;
     std::uint64_t expected_sent = 1;
   };
@@ -182,18 +185,32 @@ class TrustedTransport : public Transport {
   bool started_ = false;
 };
 
-/// Wire format of a T-send broadcast: (dst, payload, history-before-send,
-/// sender signature). The signature covers (k, dst, H(payload), H(history))
-/// — see tsend_signing_bytes — so a *receipt* citing this message can be
-/// verified later from just (k, dst, payload, history-digest, sig), without
+/// Wire format of a T-send broadcast: the history-before-send *first* (its
+/// length-prefixed entries terminated by a zero length), then (dst, payload,
+/// k, sender signature). History bodies are append-only, so leading with
+/// them makes consecutive broadcasts from one sender share a long byte
+/// prefix — which is exactly what NEB's digest-over-suffix verification
+/// (neb_signing_bytes) needs to hash only the new bytes per delivery.
+///
+/// The signature covers (k, dst, H(payload), history-digest) — see
+/// tsend_signing_bytes — so a *receipt* citing this message can be verified
+/// later from just (k, dst, payload, history-digest, sig), without
 /// re-embedding the sender's history. This is what keeps Clement-style
-/// attached histories linear instead of recursively nested.
+/// attached histories linear instead of recursively nested. The history
+/// digest is the chain value of the history's last entry (empty for an empty
+/// history): the hash chain already commits to every prior entry, and the
+/// receiver holds the chain tip as a byproduct of incremental verification,
+/// so binding the history costs O(1) instead of re-hashing its encoding.
 Bytes encode_tsend(ProcessId dst, util::ByteView payload, const History& h,
                    std::uint64_t k, const crypto::Signature& sig);
 struct TSendContent {
   ProcessId dst = 0;
   Bytes payload;
   History history;
+  /// View of the raw encoded history body inside the decoded wire bytes
+  /// (valid while they live) — the deliver loop byte-compares it against the
+  /// sender's verified prefix without re-encoding.
+  util::ByteView history_body;
   std::uint64_t k = 0;
   crypto::Signature sig;
 };
@@ -208,7 +225,9 @@ Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, util::ByteView payload
 struct Receipt {
   ProcessId dst = 0;
   Bytes payload;
-  Bytes history_digest;  // SHA256 of the origin's attached history encoding
+  /// Chain value of the last entry of the origin's attached history (empty
+  /// for an empty history) — the hash chain commits to the whole history.
+  Bytes history_digest;
   crypto::Signature origin_sig;
 
   Bytes encode() const;

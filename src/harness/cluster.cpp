@@ -45,8 +45,10 @@ std::string RunReport::summary() const {
                                 : std::to_string(first_decision_delay))
      << " agreement=" << agreement << " validity=" << validity
      << " termination=" << termination << " msgs=" << messages_sent
-     << " reads=" << mem_reads << " writes=" << mem_writes
-     << " perm_changes=" << permission_changes << " sigs=" << signatures;
+     << " reads=" << mem_reads << " read_batches=" << mem_read_batches
+     << " writes=" << mem_writes
+     << " perm_changes=" << permission_changes << " sigs=" << signatures
+     << " events=" << events;
   return os.str();
 }
 
@@ -111,20 +113,29 @@ struct World {
     // Ω: lowest-id correct process alive at t (converges once crashes stop;
     // Byzantine processes are never trusted — the standard assumption that
     // Ω eventually outputs a correct process).
-    omega = std::make_unique<Omega>(exec, [this](sim::Time t) -> ProcessId {
-      for (ProcessId p = 1; p <= static_cast<ProcessId>(this->cfg.n); ++p) {
-        if (this->byzantine_[p - 1]) continue;
-        if (this->crash_at_[p - 1] <= t) continue;
-        return p;
-      }
-      return kLeaderP1;
-    });
+    // poke_complete: this oracle's output changes only at process-crash
+    // times, and the crash callbacks below poke — so leadership waits need
+    // no fallback timers at all.
+    omega = std::make_unique<Omega>(
+        exec,
+        [this](sim::Time t) -> ProcessId {
+          for (ProcessId p = 1; p <= static_cast<ProcessId>(this->cfg.n); ++p) {
+            if (this->byzantine_[p - 1]) continue;
+            if (this->crash_at_[p - 1] <= t) continue;
+            return p;
+          }
+          return kLeaderP1;
+        },
+        /*poke_complete=*/true);
 
     // Schedule faults.
     for (const auto& [p, t] : cfg.faults.process_crashes) {
       exec.call_at(t, [this, p = p] {
         *alive[p - 1] = false;
         network.crash(p);
+        // The leader oracle keys off crash times: wake suspended
+        // wait_leadership calls so succession is notification-driven.
+        omega->poke();
       });
     }
     for (const auto& [mid, t] : cfg.faults.memory_crashes) {
@@ -467,17 +478,20 @@ RunReport run_cluster(const ClusterConfig& config) {
   if (!config.verbs_backend) {
     for (const auto& m : w.mem_backing) {
       report.mem_reads += m->reads();
+      report.mem_read_batches += m->read_batches();
       report.mem_writes += m->writes();
       report.permission_changes += m->permission_changes();
     }
   } else {
     for (const auto& vm : w.verbs_backing) {
       report.mem_reads += vm->device().posted_reads();
+      report.mem_read_batches += vm->device().posted_read_batches();
       report.mem_writes += vm->device().posted_writes();
     }
   }
   report.signatures = w.keystore.signatures_made();
   report.verifications = w.keystore.verifications_made();
+  report.events = w.exec.events_processed();
   return report;
 }
 

@@ -106,13 +106,18 @@ struct RunReport {
   /// Earliest decision by a *correct* process.
   sim::Time first_correct_decision_delay = sim::kTimeInfinity;
 
-  // Cost metrics, whole run.
+  // Cost metrics, whole run. `mem_reads` counts per-slot detail (a batched
+  // read of n slots adds n); `mem_read_batches` counts each read_many as one.
   std::uint64_t messages_sent = 0;
   std::uint64_t mem_reads = 0;
+  std::uint64_t mem_read_batches = 0;
   std::uint64_t mem_writes = 0;
   std::uint64_t permission_changes = 0;
   std::uint64_t signatures = 0;
   std::uint64_t verifications = 0;
+  /// Executor events processed by the whole run — the simulator's own cost
+  /// metric (the quantity the event-driven waits minimize).
+  std::uint64_t events = 0;
 
   std::string summary() const;
 };

@@ -47,6 +47,19 @@ class ProcessView final : public mem::MemoryIface {
     co_return co_await inner_->read(caller, region, std::move(reg));
   }
 
+  sim::Task<std::vector<mem::ReadResult>> read_many(
+      ProcessId caller, RegionId region,
+      std::vector<std::string> regs) override {
+    if (!*alive_) co_return co_await hang<std::vector<mem::ReadResult>>();
+    co_return co_await inner_->read_many(caller, region, std::move(regs));
+  }
+
+  sim::VersionSignal* write_version() override {
+    // Forwarded even when dead: a dead process's scan loop may wake, but it
+    // hangs at its next memory operation, exactly like any other step.
+    return inner_->write_version();
+  }
+
   sim::Task<mem::Status> change_permission(ProcessId caller, RegionId region,
                                            mem::Permission proposed) override {
     if (!*alive_) co_return co_await hang<mem::Status>();

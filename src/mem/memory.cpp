@@ -5,7 +5,7 @@
 namespace mnm::mem {
 
 Memory::Memory(sim::Executor& exec, MemoryId id, sim::Time op_delay)
-    : exec_(&exec), id_(id), op_delay_(op_delay) {}
+    : exec_(&exec), id_(id), op_delay_(op_delay), write_version_(exec) {}
 
 bool Memory::Region::contains(const std::string& reg) const {
   for (const auto& p : prefixes) {
@@ -61,6 +61,7 @@ sim::Task<Status> Memory::write(ProcessId caller, RegionId region,
     ++writes_;
     registers_[op->reg] = std::move(op->value);
     op->outcome = Status::kAck;
+    write_version_.bump();
   });
   exec_->schedule_after(op_delay_, [this, done, op]() mutable {
     if (crashed_ || !op->outcome.has_value()) return;  // response never leaves
@@ -94,6 +95,49 @@ sim::Task<ReadResult> Memory::read(ProcessId caller, RegionId region,
     const auto it = registers_.find(op->reg);
     op->outcome = ReadResult{Status::kAck,
                              it == registers_.end() ? util::bottom() : it->second};
+  });
+  exec_->schedule_after(op_delay_, [this, done, op]() mutable {
+    if (crashed_ || !op->outcome.has_value()) return;
+    done.fulfill(std::move(*op->outcome));
+  });
+
+  co_return co_await done.wait();
+}
+
+sim::Task<std::vector<ReadResult>> Memory::read_many(
+    ProcessId caller, RegionId region, std::vector<std::string> regs) {
+  sim::OneShot<std::vector<ReadResult>> done(*exec_);
+  const sim::Time effect_at = op_delay_ / 2;
+  struct Op {
+    ProcessId caller;
+    RegionId region;
+    std::vector<std::string> regs;
+    std::optional<std::vector<ReadResult>> outcome;
+  };
+  auto op = sim::Rc<Op>::make(Op{caller, region, std::move(regs), std::nullopt});
+
+  // One effect point for the whole batch: every slot is evaluated against
+  // the region permission at the same instant, and the caller pays one
+  // round trip instead of regs.size() of them.
+  exec_->schedule_after(effect_at, [this, op] {
+    if (crashed_) return;
+    ++read_batches_;
+    const Region* r = find_region(op->region);
+    std::vector<ReadResult> out;
+    out.reserve(op->regs.size());
+    const bool readable = r != nullptr && r->perm.can_read(op->caller);
+    for (const auto& reg : op->regs) {
+      if (!readable || !r->contains(reg)) {
+        ++naks_;
+        out.push_back(ReadResult{Status::kNak, {}});
+        continue;
+      }
+      ++reads_;
+      const auto it = registers_.find(reg);
+      out.push_back(ReadResult{
+          Status::kAck, it == registers_.end() ? util::bottom() : it->second});
+    }
+    op->outcome = std::move(out);
   });
   exec_->schedule_after(op_delay_, [this, done, op]() mutable {
     if (crashed_ || !op->outcome.has_value()) return;
@@ -151,6 +195,7 @@ std::optional<Bytes> Memory::peek(const std::string& reg) const {
 
 void Memory::poke(const std::string& reg, Bytes value) {
   registers_[reg] = std::move(value);
+  write_version_.bump();  // injected state counts as a write for watchers
 }
 
 const Permission& Memory::region_permission(RegionId region) const {

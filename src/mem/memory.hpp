@@ -32,6 +32,7 @@
 #include "src/mem/permissions.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/oneshot.hpp"
+#include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
 
 namespace mnm::mem {
@@ -59,8 +60,21 @@ class MemoryIface {
                                   std::string reg, Bytes value) = 0;
   virtual sim::Task<ReadResult> read(ProcessId caller, RegionId region,
                                      std::string reg) = 0;
+  /// Scatter-gather read: all of `regs` in one request / one response (the
+  /// RDMA doorbell-batched read, §7). Costs a single op round trip and a
+  /// single permission evaluation per slot at the same instant, so an
+  /// n-slot scan is one completion event instead of n. Results are in
+  /// `regs` order; a crashed memory hangs the whole batch, like read().
+  virtual sim::Task<std::vector<ReadResult>> read_many(
+      ProcessId caller, RegionId region, std::vector<std::string> regs) = 0;
   virtual sim::Task<Status> change_permission(ProcessId caller, RegionId region,
                                               Permission proposed) = 0;
+
+  /// Bumped at the effect point of every applied write (never for naks).
+  /// Pollers turned waiters (NEB's delivery scan) select on this instead of
+  /// sleeping; nullptr means the backend offers no notification and callers
+  /// must keep a timeout fallback.
+  virtual sim::VersionSignal* write_version() { return nullptr; }
 };
 
 class Memory : public MemoryIface {
@@ -82,8 +96,13 @@ class Memory : public MemoryIface {
                           std::string reg, Bytes value) override;
   sim::Task<ReadResult> read(ProcessId caller, RegionId region,
                              std::string reg) override;
+  sim::Task<std::vector<ReadResult>> read_many(
+      ProcessId caller, RegionId region,
+      std::vector<std::string> regs) override;
   sim::Task<Status> change_permission(ProcessId caller, RegionId region,
                                       Permission proposed) override;
+
+  sim::VersionSignal* write_version() override { return &write_version_; }
 
   /// Crash the memory: all in-flight and future operations hang forever.
   void crash() { crashed_ = true; }
@@ -96,8 +115,10 @@ class Memory : public MemoryIface {
   const Permission& region_permission(RegionId region) const;
   bool region_contains(RegionId region, const std::string& reg) const;
 
-  // Metrics.
+  // Metrics. `reads` counts per-slot detail (a read_many of n slots adds n);
+  // `read_batches` counts one per read_many call.
   std::uint64_t reads() const { return reads_; }
+  std::uint64_t read_batches() const { return read_batches_; }
   std::uint64_t writes() const { return writes_; }
   std::uint64_t permission_changes() const { return perm_changes_; }
   std::uint64_t naks() const { return naks_; }
@@ -120,8 +141,10 @@ class Memory : public MemoryIface {
   bool crashed_ = false;
   std::vector<Region> regions_;  // region id r lives at index r - 1
   std::map<std::string, Bytes> registers_;
+  sim::VersionSignal write_version_;
 
   std::uint64_t reads_ = 0;
+  std::uint64_t read_batches_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t perm_changes_ = 0;
   std::uint64_t naks_ = 0;

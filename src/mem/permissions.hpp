@@ -7,19 +7,55 @@
 
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <initializer_list>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "src/common.hpp"
 
 namespace mnm::mem {
 
+/// Small sorted-vector set of process ids. Permissions are built, copied and
+/// compared on every region creation and permission change, and process sets
+/// are tiny — a flat sorted vector beats a rb-tree node per element (see
+/// ROADMAP.md "Flat demux tables"). Mirrors the std::set surface the call
+/// sites use (insert, contains, empty, iteration, ==).
+class IdSet {
+ public:
+  IdSet() = default;
+  IdSet(std::initializer_list<ProcessId> xs) {
+    for (ProcessId x : xs) insert(x);
+  }
+
+  void insert(ProcessId p) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), p);
+    if (it == ids_.end() || *it != p) ids_.insert(it, p);
+  }
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  bool contains(ProcessId p) const {
+    return std::binary_search(ids_.begin(), ids_.end(), p);
+  }
+  bool empty() const { return ids_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  bool operator==(const IdSet&) const = default;
+
+ private:
+  std::vector<ProcessId> ids_;  // sorted, unique
+};
+
 struct Permission {
-  std::set<ProcessId> read;        // R: may read only
-  std::set<ProcessId> write;       // W: may write only
-  std::set<ProcessId> read_write;  // RW: may do both
+  IdSet read;        // R: may read only
+  IdSet write;       // W: may write only
+  IdSet read_write;  // RW: may do both
 
   bool can_read(ProcessId p) const {
     return read.contains(p) || read_write.contains(p);

@@ -3,7 +3,10 @@
 // `send` never blocks; `recv` suspends the calling coroutine until a value is
 // available; `recv_until` additionally wakes with std::nullopt at a deadline.
 // Values are handed directly to a waiting receiver (no re-check races — the
-// simulator is single-threaded), otherwise queued FIFO.
+// simulator is single-threaded), otherwise queued FIFO. Channels are also
+// sim::Select sources (`try_recv` + the select_* hooks): a queued value with
+// no direct receiver wakes at most one multi-source waiter, which consumes
+// it with try_recv on resume.
 //
 // Waiter bookkeeping uses shared nodes so that coroutine frames can be
 // destroyed at executor teardown in any order relative to the channel: an
@@ -19,10 +22,12 @@
 
 #include <coroutine>
 #include <optional>
+#include <utility>
 
 #include "src/sim/executor.hpp"
 #include "src/sim/pool.hpp"
 #include "src/sim/time.hpp"
+#include "src/sim/wait_node.hpp"
 
 namespace mnm::sim {
 
@@ -50,6 +55,38 @@ class Channel {
       return;
     }
     queue_.push_back(std::move(value));
+    // One value wakes at most one multi-source waiter; the value stays
+    // queued (the woken Select consumes it with try_recv). Stale watchers
+    // swept past here are erased along with the fired one (FIFO order).
+    std::size_t consumed = 0;
+    for (; consumed < select_waiters_.size();) {
+      auto& [node, idx] = select_waiters_[consumed];
+      ++consumed;
+      if (node->dead || !node->try_fire(idx)) continue;  // stale watcher
+      exec_->schedule_at(exec_->now(), [n = std::move(node)] {
+        if (!n->dead) n->handle.resume();
+      });
+      break;
+    }
+    if (consumed > 0) {
+      select_waiters_.erase(select_waiters_.begin(),
+                            select_waiters_.begin() +
+                                static_cast<std::ptrdiff_t>(consumed));
+    }
+  }
+
+  /// Non-suspending receive: the queued front value, or nullopt.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(queue_.front()));
+    queue_.pop_front();
+    return v;
+  }
+
+  // --- Select source hooks (sim/select.hpp). ---
+  bool select_ready() const { return !queue_.empty(); }
+  void select_watch(const Rc<SelectNode>& node, std::uint32_t idx) {
+    detail::add_select_watcher(select_waiters_, node, idx);
   }
 
   /// Awaitable receive; suspends until a value arrives.
@@ -136,6 +173,7 @@ class Channel {
   Executor* exec_;
   VecQueue<T> queue_;
   VecQueue<Rc<Waiter>> waiters_;
+  std::vector<std::pair<Rc<SelectNode>, std::uint32_t>> select_waiters_;
 };
 
 }  // namespace mnm::sim

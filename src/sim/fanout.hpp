@@ -37,6 +37,11 @@ class Fanout {
 
   std::size_t added() const { return added_; }
 
+  /// The completion channel itself, for composing a fan-out with other wait
+  /// sources via sim::Select (`sel.on(fanout.results())`) and draining ready
+  /// completions without suspending (`fanout.results().try_recv()`).
+  Channel<std::pair<std::size_t, R>>& results() { return *results_; }
+
   /// Await the first `k` completions (in completion order). Must not ask for
   /// more than were added; completions already consumed are not returned
   /// again, so collect() can be called repeatedly to drain stragglers.

@@ -5,6 +5,13 @@
 // the awaiting coroutine stays suspended until executor teardown. The shared
 // state (a pooled Rc node) keeps both sides safe regardless of destruction
 // order.
+//
+// fulfill() resumes the waiter *inline*: every fulfiller is itself an
+// executor event (a memory/NIC response callback), so the continuation runs
+// within that event instead of costing a second scheduled hop — one event
+// per completed operation, not two. Callers must invoke fulfill() from
+// executor-event context and only as their last action (the resumed chain
+// may run arbitrarily far, including destroying the fulfilling object).
 
 #pragma once
 
@@ -26,10 +33,11 @@ class OneShot {
   void fulfill(R value) {
     if (state_->value.has_value()) return;
     state_->value.emplace(std::move(value));
-    if (state_->waiter) {
-      exec_->schedule_at(exec_->now(), [s = state_] {
-        if (!s->dead && s->waiter) s->waiter.resume();
-      });
+    if (state_->waiter && !state_->dead) {
+      // Hold the state alive across the resume: the continuation may destroy
+      // this OneShot (it usually lives in the resumed coroutine's frame).
+      Rc<State> s = state_;
+      s->waiter.resume();
     }
   }
 

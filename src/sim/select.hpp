@@ -1,0 +1,174 @@
+// Multi-source wait: suspend once, wake on the first source that signals.
+//
+// The paper's mixed-agent algorithms wait on several kinds of completion at
+// once — Aligned Paxos's proposer hears back from memory sub-operations *and*
+// process acceptors, NEB's scanner watches m memories, every proposer watches
+// Ω and its own decision gate. Before Select these waits were poll-sleep
+// alternation loops costing O(round_timeout / poll) timer events per round;
+// with Select a round costs O(responses) events (see ROADMAP.md
+// "Performance architecture").
+//
+// Shape: build a Select, register sources with on(), optionally bound it
+// with until(deadline), then co_await it. The result is the index of the
+// source that fired (registration order), or Select::kTimedOut.
+//
+//   sim::Select sel(exec);
+//   sel.on(mem_results).on(proc_inbox).until(deadline);
+//   const int which = co_await sel;
+//
+// Contract:
+//  * A returned index means that source *signaled* readiness. For channels
+//    the value is left in place — consume it with try_recv(). If several
+//    consumers race on one channel the value may be gone by resume time;
+//    single-consumer call sites (all current ones) never observe that, and
+//    robust loops simply re-select when try_recv comes back empty.
+//  * Arbitration is deterministic. If sources are already ready at await
+//    time, the lowest registered index wins without suspending. Once
+//    suspended, the first signal in executor (time, seq) order claims the
+//    node; later signals and the deadline timer see it disarmed and do
+//    nothing. A deadline exactly equal to now() times out immediately —
+//    after the ready checks, so an already-queued value still wins.
+//  * No steady-state allocation: the waiter node is a pooled Rc
+//    (sim/pool.hpp), sources live in inline storage, and the deadline timer
+//    draws its cancel cell from the executor free list.
+//
+// A Select is single-shot: co_await it once. Destroying the awaiting
+// coroutine mid-suspension is safe (the node is flagged dead and skipped by
+// any source that still holds it).
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/sim/channel.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/pool.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/wait_node.hpp"
+
+namespace mnm::sim {
+
+class Select {
+ public:
+  static constexpr int kTimedOut = -1;
+  /// Plenty for every call site (sources are 2–3 channels/gates or one
+  /// version signal per memory); raising it costs only inline bytes.
+  static constexpr std::size_t kMaxSources = 16;
+
+  explicit Select(Executor& exec) : exec_(&exec) {}
+  Select(const Select&) = delete;
+  Select& operator=(const Select&) = delete;
+  ~Select() {
+    timer_.cancel();
+    if (node_) node_->dead = true;
+  }
+
+  /// Register any source exposing `bool select_ready() const` and
+  /// `void select_watch(const Rc<SelectNode>&, std::uint32_t idx)` —
+  /// Channel<T> and Gate qualify. Fanout completions are a channel:
+  /// `sel.on(fanout.results())`.
+  template <typename S>
+  Select& on(S& src) {
+    return push(&src, 0,
+                [](void* o, std::uint64_t) {
+                  return static_cast<S*>(o)->select_ready();
+                },
+                [](void* o, const Rc<SelectNode>& n, std::uint32_t idx) {
+                  static_cast<S*>(o)->select_watch(n, idx);
+                });
+  }
+
+  /// Version-counter source: ready once `sig.version() > seen`. Snapshot
+  /// `seen` *before* re-checking the guarded state and lost wakeups are
+  /// impossible — any bump between the snapshot and the await makes the
+  /// select ready immediately.
+  Select& on(VersionSignal& sig, std::uint64_t seen) {
+    return push(&sig, seen,
+                [](void* o, std::uint64_t s) {
+                  return static_cast<VersionSignal*>(o)->version() > s;
+                },
+                [](void* o, const Rc<SelectNode>& n, std::uint32_t idx) {
+                  static_cast<VersionSignal*>(o)->select_watch(n, idx);
+                });
+  }
+
+  /// Absolute-time deadline; the await resumes with kTimedOut at `t` if no
+  /// source fired first.
+  Select& until(Time t) {
+    deadline_ = t;
+    has_deadline_ = true;
+    return *this;
+  }
+
+  // --- Awaitable interface. ---
+  bool await_ready() {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      if (sources_[i].ready(sources_[i].obj, sources_[i].arg)) {
+        result_ = static_cast<int>(i);
+        return true;
+      }
+    }
+    if (has_deadline_ && exec_->now() >= deadline_) {
+      result_ = kTimedOut;
+      return true;
+    }
+    return false;
+  }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    node_ = Rc<SelectNode>::make();
+    node_->handle = h;
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      sources_[i].watch(sources_[i].obj, node_, i);
+    }
+    if (has_deadline_) {
+      // Direct resume, like Channel::recv_until's timer: the callback already
+      // runs as its own executor event.
+      timer_ = exec_->call_at(deadline_, [n = node_] {
+        if (!n->dead && n->try_fire(SelectNode::kFiredTimeout)) {
+          n->handle.resume();
+        }
+      });
+    }
+  }
+
+  int await_resume() {
+    timer_.cancel();
+    if (!node_) return result_;  // fast path: never suspended
+    return node_->fired == SelectNode::kFiredTimeout
+               ? kTimedOut
+               : static_cast<int>(node_->fired);
+  }
+
+ private:
+  struct Source {
+    void* obj = nullptr;
+    std::uint64_t arg = 0;
+    bool (*ready)(void*, std::uint64_t) = nullptr;
+    void (*watch)(void*, const Rc<SelectNode>&, std::uint32_t) = nullptr;
+  };
+
+  Select& push(void* obj, std::uint64_t arg, bool (*ready)(void*, std::uint64_t),
+               void (*watch)(void*, const Rc<SelectNode>&, std::uint32_t)) {
+    // Hard runtime check: silently overflowing the inline array would
+    // corrupt the awaiter (and asserts are off in the bench build).
+    if (count_ >= kMaxSources) {
+      throw std::length_error("sim::Select: too many sources");
+    }
+    sources_[count_++] = Source{obj, arg, ready, watch};
+    return *this;
+  }
+
+  Executor* exec_;
+  Source sources_[kMaxSources];
+  std::uint32_t count_ = 0;
+  bool has_deadline_ = false;
+  Time deadline_ = 0;
+  int result_ = kTimedOut;
+  Rc<SelectNode> node_;
+  TimerHandle timer_;
+};
+
+}  // namespace mnm::sim

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <vector>
 
 #include "src/sim/executor.hpp"
 #include "src/sim/pool.hpp"
+#include "src/sim/wait_node.hpp"
 
 namespace mnm::sim {
 
@@ -34,6 +36,13 @@ class Gate {
       });
     }
     waiters_.clear();
+    detail::fire_select_watchers(*exec_, select_waiters_);
+  }
+
+  // --- Select source hooks (sim/select.hpp). ---
+  bool select_ready() const { return open_; }
+  void select_watch(const Rc<SelectNode>& node, std::uint32_t idx) {
+    detail::add_select_watcher(select_waiters_, node, idx);
   }
 
   auto wait() {
@@ -62,6 +71,37 @@ class Gate {
   Executor* exec_;
   bool open_ = false;
   std::vector<Rc<Waiter>> waiters_;
+  std::vector<std::pair<Rc<SelectNode>, std::uint32_t>> select_waiters_;
+};
+
+/// Monotone change counter with wakeups: bump() increments the version and
+/// wakes every multi-source waiter registered since the last bump. Waits are
+/// race-free by construction — snapshot version() *before* inspecting the
+/// guarded state, then `Select::on(signal, snapshot)`: a bump that lands
+/// between the snapshot and the await makes the select ready immediately,
+/// so there is no lost-wakeup window. Used for memory write notifications
+/// (NEB's scan loop) and Ω leadership changes.
+class VersionSignal {
+ public:
+  explicit VersionSignal(Executor& exec) : exec_(&exec) {}
+  VersionSignal(const VersionSignal&) = delete;
+  VersionSignal& operator=(const VersionSignal&) = delete;
+
+  std::uint64_t version() const { return version_; }
+
+  void bump() {
+    ++version_;
+    detail::fire_select_watchers(*exec_, select_waiters_);
+  }
+
+  void select_watch(const Rc<SelectNode>& node, std::uint32_t idx) {
+    detail::add_select_watcher(select_waiters_, node, idx);
+  }
+
+ private:
+  Executor* exec_;
+  std::uint64_t version_ = 0;
+  std::vector<std::pair<Rc<SelectNode>, std::uint32_t>> select_waiters_;
 };
 
 /// Completion counter: waiters block until the count reaches a threshold.

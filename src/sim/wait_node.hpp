@@ -1,0 +1,73 @@
+// Shared waiter node for multi-source waits (sim/select.hpp).
+//
+// A suspended Select holds one pooled SelectNode; every registered source
+// holds an Rc to it. The first source (or the deadline timer) to fire claims
+// the node by CAS-ing `fired` away from kArmed — later signals see it
+// disarmed and do nothing, which is what makes arbitration a pure function
+// of executor (time, seq) order. `dead` is the same teardown-safety flag the
+// Channel/Gate waiter nodes use: the awaiter's destructor flips it and never
+// touches the sources, so coroutine frames may die in any order.
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sim/executor.hpp"
+#include "src/sim/pool.hpp"
+
+namespace mnm::sim {
+
+struct SelectNode {
+  static constexpr std::uint32_t kArmed = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kFiredTimeout = 0xFFFFFFFEu;
+
+  std::coroutine_handle<> handle;
+  std::uint32_t fired = kArmed;
+  bool dead = false;
+
+  bool armed() const { return fired == kArmed; }
+  /// Claim the node for source `idx`; false if another source beat us.
+  bool try_fire(std::uint32_t idx) {
+    if (!armed()) return false;
+    fired = idx;
+    return true;
+  }
+};
+
+namespace detail {
+
+/// Fire-and-forget wake of multi-source waiters (sim/select.hpp): claim each
+/// live node and schedule its resume. Disarmed nodes (another source won)
+/// are dropped.
+inline void fire_select_watchers(
+    Executor& exec, std::vector<std::pair<Rc<SelectNode>, std::uint32_t>>& ws) {
+  for (auto& [node, idx] : ws) {
+    if (node->dead || !node->try_fire(idx)) continue;
+    exec.schedule_at(exec.now(), [n = std::move(node)] {
+      if (!n->dead) n->handle.resume();
+    });
+  }
+  ws.clear();
+}
+
+/// Register a watcher, pruning stale entries first once the list grows — a
+/// source that never fires (a gate that never opens, a channel nothing is
+/// sent to) would otherwise accumulate one dead node per re-armed wait,
+/// unboundedly over a long run. Amortized O(1).
+inline void add_select_watcher(
+    std::vector<std::pair<Rc<SelectNode>, std::uint32_t>>& ws,
+    const Rc<SelectNode>& node, std::uint32_t idx) {
+  if (ws.size() >= 8) {
+    std::erase_if(ws, [](const auto& w) {
+      return w.first->dead || !w.first->armed();
+    });
+  }
+  ws.push_back({node, idx});
+}
+
+}  // namespace detail
+
+}  // namespace mnm::sim

@@ -6,7 +6,11 @@ namespace mnm::verbs {
 
 RdmaDevice::RdmaDevice(sim::Executor& exec, MemoryId id, std::uint64_t rkey_seed,
                        sim::Time op_delay)
-    : exec_(&exec), id_(id), op_delay_(op_delay), rkey_rng_(rkey_seed) {}
+    : exec_(&exec),
+      id_(id),
+      op_delay_(op_delay),
+      rkey_rng_(rkey_seed),
+      write_version_(exec) {}
 
 bool RdmaDevice::Mr::covers(const std::string& reg) const {
   for (const auto& p : prefixes) {
@@ -81,6 +85,7 @@ sim::Task<mem::Status> RdmaDevice::post_write(QpId qp, ProcessId caller,
     ++writes_;
     registers_[op->reg] = std::move(op->value);
     op->outcome = mem::Status::kAck;
+    write_version_.bump();
   });
   exec_->schedule_after(op_delay_, [this, done, op]() mutable {
     if (crashed_ || !op->outcome.has_value()) return;
@@ -122,6 +127,46 @@ sim::Task<mem::ReadResult> RdmaDevice::post_read(QpId qp, ProcessId caller,
   co_return co_await done.wait();
 }
 
+sim::Task<std::vector<mem::ReadResult>> RdmaDevice::post_read_many(
+    QpId qp, ProcessId caller, RKey rkey, std::vector<std::string> regs) {
+  sim::OneShot<std::vector<mem::ReadResult>> done(*exec_);
+  struct Op {
+    QpId qp;
+    ProcessId caller;
+    RKey rkey;
+    std::vector<std::string> regs;
+    std::optional<std::vector<mem::ReadResult>> outcome;
+  };
+  auto op =
+      sim::Rc<Op>::make(Op{qp, caller, rkey, std::move(regs), std::nullopt});
+
+  exec_->schedule_after(op_delay_ / 2, [this, op] {
+    if (crashed_) return;
+    ++read_batches_;
+    std::vector<mem::ReadResult> out;
+    out.reserve(op->regs.size());
+    for (const auto& reg : op->regs) {
+      if (!allowed(op->qp, op->caller, op->rkey, reg, /*is_write=*/false)) {
+        ++naks_;
+        out.push_back(mem::ReadResult{mem::Status::kNak, {}});
+        continue;
+      }
+      ++reads_;
+      const auto it = registers_.find(reg);
+      out.push_back(mem::ReadResult{
+          mem::Status::kAck,
+          it == registers_.end() ? util::bottom() : it->second});
+    }
+    op->outcome = std::move(out);
+  });
+  exec_->schedule_after(op_delay_, [this, done, op]() mutable {
+    if (crashed_ || !op->outcome.has_value()) return;
+    done.fulfill(std::move(*op->outcome));
+  });
+
+  co_return co_await done.wait();
+}
+
 std::optional<Bytes> RdmaDevice::peek(const std::string& reg) const {
   const auto it = registers_.find(reg);
   if (it == registers_.end()) return std::nullopt;
@@ -130,6 +175,7 @@ std::optional<Bytes> RdmaDevice::peek(const std::string& reg) const {
 
 void RdmaDevice::poke(const std::string& reg, Bytes value) {
   registers_[reg] = std::move(value);
+  write_version_.bump();
 }
 
 // ---------------------------------------------------------------------------
@@ -196,6 +242,23 @@ sim::Task<mem::ReadResult> VerbsMemory::read(ProcessId caller, RegionId region,
   const RKey rkey = kit == it->second.rkeys.end() ? 0 : kit->second;
   co_return co_await device_->post_read(qps_.at(caller), caller, rkey,
                                         std::move(reg));
+}
+
+sim::Task<std::vector<mem::ReadResult>> VerbsMemory::read_many(
+    ProcessId caller, RegionId region, std::vector<std::string> regs) {
+  // Mirror read() exactly: an unknown region naks immediately without
+  // touching the device; a known region with no registration for this
+  // process posts with a null rkey so the NIC-side naks still cost the
+  // round trip, like a stale-rkey read would.
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    co_return std::vector<mem::ReadResult>(regs.size(),
+                                           mem::ReadResult{mem::Status::kNak, {}});
+  }
+  const auto kit = it->second.rkeys.find(caller);
+  const RKey rkey = kit == it->second.rkeys.end() ? 0 : kit->second;
+  co_return co_await device_->post_read_many(qps_.at(caller), caller, rkey,
+                                             std::move(regs));
 }
 
 sim::Task<mem::Status> VerbsMemory::change_permission(ProcessId caller,

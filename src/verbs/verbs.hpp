@@ -33,6 +33,7 @@
 #include "src/sim/executor.hpp"
 #include "src/sim/oneshot.hpp"
 #include "src/sim/rng.hpp"
+#include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
 
 namespace mnm::verbs {
@@ -76,6 +77,13 @@ class RdmaDevice {
                                     std::string reg, Bytes value);
   sim::Task<mem::ReadResult> post_read(QpId qp, ProcessId caller, RKey rkey,
                                        std::string reg);
+  /// Doorbell-batched scatter-gather read: one posted work request covering
+  /// all of `regs`, NIC-checked per slot at arrival, one completion.
+  sim::Task<std::vector<mem::ReadResult>> post_read_many(
+      QpId qp, ProcessId caller, RKey rkey, std::vector<std::string> regs);
+
+  /// Bumped at the NIC-side effect point of every applied write.
+  sim::VersionSignal& write_version() { return write_version_; }
 
   void crash() { crashed_ = true; }
   bool crashed() const { return crashed_; }
@@ -87,6 +95,7 @@ class RdmaDevice {
 
   std::uint64_t posted_writes() const { return writes_; }
   std::uint64_t posted_reads() const { return reads_; }
+  std::uint64_t posted_read_batches() const { return read_batches_; }
   std::uint64_t nic_naks() const { return naks_; }
 
  private:
@@ -118,9 +127,11 @@ class RdmaDevice {
   std::map<QpId, Qp> qps_;
   std::map<RKey, Mr> mrs_;
   std::map<std::string, Bytes> registers_;
+  sim::VersionSignal write_version_;
 
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
+  std::uint64_t read_batches_ = 0;
   std::uint64_t naks_ = 0;
 };
 
@@ -146,6 +157,13 @@ class VerbsMemory : public mem::MemoryIface {
                                std::string reg, Bytes value) override;
   sim::Task<mem::ReadResult> read(ProcessId caller, RegionId region,
                                   std::string reg) override;
+  sim::Task<std::vector<mem::ReadResult>> read_many(
+      ProcessId caller, RegionId region,
+      std::vector<std::string> regs) override;
+
+  sim::VersionSignal* write_version() override {
+    return &device_->write_version();
+  }
 
   /// Control-plane permission change: the host kernel evaluates legalChange
   /// (§7: "this should be done in the OS kernel"), deregisters stale MRs and

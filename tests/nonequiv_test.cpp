@@ -90,6 +90,116 @@ TEST(NebWire, RejectsGarbage) {
   EXPECT_FALSE(decode_neb_slot({}).has_value());
 }
 
+TEST(NebWire, SuffixDigestSigningBindsPrefixLength) {
+  // neb_signing_bytes(k, m, p) hashes only m[p:]; the same message with a
+  // different prefix claim signs differently, and two messages sharing a
+  // prefix of p bytes sign identically iff their suffixes match.
+  crypto::KeyStore ks(1);
+  crypto::Signer s = ks.register_process(1);
+  const Bytes m1 = to_bytes("shared-prefix|tail-one");
+  const Bytes m2 = to_bytes("shared-prefix|tail-two");
+  EXPECT_NE(neb_signing_bytes(3, m1, 0), neb_signing_bytes(3, m1, 14));
+  EXPECT_NE(neb_signing_bytes(3, m1, 14), neb_signing_bytes(3, m2, 14));
+  // Suffix equality ⇒ identical signing bytes under the same prefix claim.
+  const Bytes m3 = to_bytes("SHARED-PREFIX|tail-one");
+  EXPECT_EQ(neb_signing_bytes(3, m1, 14), neb_signing_bytes(3, m3, 14));
+
+  const crypto::Signature sig = s.sign(neb_signing_bytes(7, m1, 14));
+  const auto decoded = decode_neb_slot(encode_neb_slot(7, m1, sig, 14));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->k, 7u);
+  EXPECT_EQ(decoded->prefix_len, 14u);
+  EXPECT_TRUE(ks.valid_from(
+      1, neb_signing_bytes(decoded->k, decoded->message, decoded->prefix_len),
+      decoded->sig));
+}
+
+TEST(NonEquivBroadcast, SharedPrefixMessagesDeliverInOrder) {
+  // Broadcasts whose wires share long prefixes (the t-send shape: append-only
+  // history first) exercise the prefix_len > 0 verification path: receivers
+  // must anchor each claim against the previous delivered message.
+  NebFixture f(3, 3);
+  f.start_all();
+  std::map<ProcessId, std::vector<NebDelivery>> got;
+  f.exec.spawn([](NonEquivBroadcast* neb) -> Task<void> {
+    (void)co_await neb->broadcast(to_bytes("hist|AAAA|m1"));
+    (void)co_await neb->broadcast(to_bytes("hist|AAAA|m1|BBBB|m2"));
+    (void)co_await neb->broadcast(to_bytes("hist|AAAA|m1|BBBB|m2|CCCC|m3"));
+  }(f.nebs[0].get()));
+  f.collect(got, /*expected_total=*/9);
+  for (ProcessId p : all_processes(3)) {
+    ASSERT_EQ(got[p].size(), 3u) << "process " << p;
+    EXPECT_EQ(to_string(got[p][0].message), "hist|AAAA|m1");
+    EXPECT_EQ(to_string(got[p][1].message), "hist|AAAA|m1|BBBB|m2");
+    EXPECT_EQ(to_string(got[p][2].message), "hist|AAAA|m1|BBBB|m2|CCCC|m3");
+  }
+}
+
+TEST(NonEquivBroadcast, ForgedPrefixClaimsNeverDeliver) {
+  // A Byzantine broadcaster writes slots whose prefix_len claims are bogus:
+  // (a) longer than the previous delivered message, (b) claiming shared
+  // bytes that differ from it. Correct processes must reject both.
+  NebFixture f(3, 3);
+  f.nebs[0]->start();
+  f.nebs[2]->start();
+
+  f.exec.spawn([](NebFixture* f) -> Task<void> {
+    // k = 1 with a nonzero prefix claim: there is no previous message, so
+    // any prefix_len > 0 is unverifiable.
+    const Bytes m1 = to_bytes("first");
+    const crypto::Signature s1 = f->signers[1].sign(neb_signing_bytes(1, m1, 3));
+    (void)co_await f->iface[0]->write(2, f->regions.at(2), "neb/2/1/2",
+                                      encode_neb_slot(1, m1, s1, 3));
+  }(&f));
+  std::map<ProcessId, std::vector<NebDelivery>> got;
+  for (ProcessId p : {ProcessId{1}, ProcessId{3}}) {
+    f.exec.spawn([](NonEquivBroadcast* neb,
+                    std::vector<NebDelivery>* sink) -> Task<void> {
+      while (true) sink->push_back(co_await neb->deliveries().recv());
+    }(f.nebs[p - 1].get(), &got[p]));
+  }
+  f.exec.run(800);
+  EXPECT_TRUE(got[1].empty());
+  EXPECT_TRUE(got[3].empty());
+}
+
+TEST(NonEquivBroadcast, PrefixMismatchAgainstDeliveredHistoryRejected) {
+  // q = 2 broadcasts k = 1 honestly; its k = 2 slot claims a prefix shared
+  // with k = 1 but the actual bytes differ — the memcmp anchor must fail.
+  NebFixture f(3, 3);
+  f.nebs[0]->start();
+  f.nebs[2]->start();
+
+  f.exec.spawn([](NebFixture* f) -> Task<void> {
+    const Bytes m1 = to_bytes("honest-first");
+    const crypto::Signature s1 = f->signers[1].sign(neb_signing_bytes(1, m1, 0));
+    for (std::size_t i = 0; i < f->iface.size(); ++i) {
+      (void)co_await f->iface[i]->write(2, f->regions.at(2), "neb/2/1/2",
+                                        encode_neb_slot(1, m1, s1, 0));
+    }
+    // k = 2: claims 7 shared bytes with "honest-first" but starts "HONEST-".
+    const Bytes m2 = to_bytes("HONEST-second");
+    const crypto::Signature s2 = f->signers[1].sign(neb_signing_bytes(2, m2, 7));
+    for (std::size_t i = 0; i < f->iface.size(); ++i) {
+      (void)co_await f->iface[i]->write(2, f->regions.at(2), "neb/2/2/2",
+                                        encode_neb_slot(2, m2, s2, 7));
+    }
+  }(&f));
+  std::map<ProcessId, std::vector<NebDelivery>> got;
+  for (ProcessId p : {ProcessId{1}, ProcessId{3}}) {
+    f.exec.spawn([](NonEquivBroadcast* neb,
+                    std::vector<NebDelivery>* sink) -> Task<void> {
+      while (true) sink->push_back(co_await neb->deliveries().recv());
+    }(f.nebs[p - 1].get(), &got[p]));
+  }
+  f.exec.run(1500);
+  // k = 1 delivers (it is honest); the forged k = 2 never does.
+  for (ProcessId p : {ProcessId{1}, ProcessId{3}}) {
+    ASSERT_EQ(got[p].size(), 1u) << "process " << p;
+    EXPECT_EQ(to_string(got[p][0].message), "honest-first");
+  }
+}
+
 TEST(NonEquivBroadcast, Property1AllCorrectDeliver) {
   NebFixture f(3, 3);
   f.start_all();

@@ -53,6 +53,9 @@ TEST(OmegaOracle, FixedLeader) {
 }
 
 TEST(OmegaOracle, TimeVaryingLeaderAndWait) {
+  // wait_leadership is notification-driven: whoever changes the oracle's
+  // inputs pokes Ω, and the waiter wakes at exactly that instant (no
+  // per-tick polling).
   Executor exec;
   Omega omega(exec, [](Time t) -> ProcessId { return t < 10 ? 1u : 3u; });
   Time became_leader_at = 0;
@@ -60,8 +63,24 @@ TEST(OmegaOracle, TimeVaryingLeaderAndWait) {
     co_await o.wait_leadership(3);
     at = e.now();
   }(exec, omega, became_leader_at));
+  exec.schedule_at(10, [&omega] { omega.poke(); });
   exec.run(/*until=*/100);
   EXPECT_EQ(became_leader_at, 10u);
+}
+
+TEST(OmegaOracle, UnpokedScheduleChangeCaughtByBackoff) {
+  // Without a poke the capped-backoff fallback still observes the change,
+  // within kBackoffCap ticks of the flip.
+  Executor exec;
+  Omega omega(exec, [](Time t) -> ProcessId { return t < 10 ? 1u : 3u; });
+  Time became_leader_at = 0;
+  exec.spawn([](Executor& e, Omega& o, Time& at) -> Task<void> {
+    co_await o.wait_leadership(3);
+    at = e.now();
+  }(exec, omega, became_leader_at));
+  exec.run(/*until=*/200);
+  EXPECT_GE(became_leader_at, 10u);
+  EXPECT_LE(became_leader_at, 10u + Omega::kBackoffCap);
 }
 
 struct PaxosCluster {

@@ -133,6 +133,88 @@ TEST(HistoryStructure, WrongSignerRejected) {
   EXPECT_FALSE(verify_history_structure(ks, 2, h));  // claimed owner mismatch
 }
 
+TEST(TSendWire, PaddedHistoryEntryFrameRejected) {
+  // The deliver loop's prefix cache byte-compares the *raw* wire body, so
+  // decode_tsend must reject non-canonical entry frames (trailing bytes
+  // inside a length prefix) — otherwise a Byzantine sender could alternate
+  // encodings of one history and force full re-verification every message.
+  crypto::KeyStore ks(9);
+  crypto::Signer s = ks.register_process(1);
+  History h;
+  HistoryEntry e;
+  e.kind = HistoryEntry::Kind::kSent;
+  e.k = 1;
+  e.peer = kToAll;
+  e.payload = to_bytes("m");
+  e.chain = chain_entry({}, e.kind, e.k, e.peer, e.payload);
+  e.sig = s.sign(e.chain);
+  h.push_back(e);
+  const Bytes payload = to_bytes("p");
+  const crypto::Signature sig = s.sign(to_bytes("outer"));
+
+  const Bytes canonical = encode_tsend(2, payload, h, 2, sig);
+  ASSERT_TRUE(decode_tsend(canonical).has_value());
+
+  // Same content, but the entry frame carries one trailing garbage byte.
+  Bytes entry_enc = h[0].encode();
+  entry_enc.push_back(0x5a);
+  util::Writer w;
+  w.bytes(entry_enc);  // padded frame
+  w.u32(0);            // terminator
+  w.u32(2).bytes(payload).u64(2);
+  sig.encode(w);
+  EXPECT_FALSE(decode_tsend(std::move(w).take()).has_value());
+}
+
+TEST(TrustedTransport, FabricatedPrefixWithCopiedChainTipRejected) {
+  // Attack on the deliver-side prefix cache: after two honest sends, the
+  // receiver's cache holds (entries=1, tip=chain_1). A Byzantine sender then
+  // attaches a history whose first entry is fabricated but carries the
+  // *copied* real chain tip (and a genuine signature over it — entry sigs
+  // cover only the chain value). The cache-hit check must compare stored
+  // verified bytes, not incoming chain fields, so this message is rejected:
+  // the fabricated entry's recomputed chain does not match.
+  TrustedFixture f(3);
+  f.start_all();
+  f.transports[1]->send_all(to_bytes("one"));
+  f.exec.run(300);
+  f.transports[1]->send_all(to_bytes("two"));
+  f.exec.run(300);
+  ASSERT_EQ(f.transports[0]->rejected(), 0u);
+
+  // Craft the malicious third broadcast by hand and push it through p2's
+  // (honest) NEB as its k=3 broadcast.
+  crypto::Signer& s2 = f.signers[1];
+  const Bytes real_chain1 =
+      chain_entry({}, HistoryEntry::Kind::kSent, 1, kToAll, to_bytes("one"));
+  HistoryEntry fab;
+  fab.kind = HistoryEntry::Kind::kSent;
+  fab.k = 1;
+  fab.peer = kToAll;
+  fab.payload = to_bytes("EVIL");   // not what was really sent
+  fab.chain = real_chain1;          // copied real tip
+  fab.sig = s2.sign(fab.chain);     // genuinely signed (sigs cover the chain)
+  HistoryEntry e2;
+  e2.kind = HistoryEntry::Kind::kSent;
+  e2.k = 2;
+  e2.peer = kToAll;
+  e2.payload = to_bytes("two");
+  e2.chain = chain_entry(real_chain1, e2.kind, e2.k, e2.peer, e2.payload);
+  e2.sig = s2.sign(e2.chain);
+  History h{fab, e2};
+  const Bytes payload3 = to_bytes("three");
+  const crypto::Signature outer =
+      s2.sign(tsend_signing_bytes(3, kToAll, payload3, e2.chain));
+  const Bytes wire = encode_tsend(kToAll, payload3, h, 3, outer);
+  f.exec.spawn([](NonEquivBroadcast* neb, Bytes wire) -> sim::Task<void> {
+    (void)co_await neb->broadcast(std::move(wire));
+  }(f.nebs[1].get(), wire));
+  f.exec.run(500);
+
+  EXPECT_GE(f.transports[0]->rejected(), 1u);
+  EXPECT_GE(f.transports[2]->rejected(), 1u);
+}
+
 TEST(Receipts, RoundTripAndVerify) {
   crypto::KeyStore ks(3);
   crypto::Signer s = ks.register_process(5);
