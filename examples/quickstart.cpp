@@ -16,6 +16,7 @@
 
 #include "src/core/omega.hpp"
 #include "src/core/protected_memory_paxos.hpp"
+#include "src/core/transport.hpp"
 #include "src/mem/memory.hpp"
 #include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
@@ -45,11 +46,14 @@ int main() {
   // 3. Ω failure detector: p1 is the (stable) leader.
   core::Omega omega = core::Omega::fixed(exec, kLeaderP1);
 
-  // 4. One Protected Memory Paxos instance per process.
+  // 4. One Protected Memory Paxos instance per process, each over its own
+  //    transport endpoint (the DECIDE conversation).
   core::PmpConfig config;
   config.n = 2;
-  core::ProtectedMemoryPaxos p1(exec, ifc, region, network, omega, 1, config);
-  core::ProtectedMemoryPaxos p2(exec, ifc, region, network, omega, 2, config);
+  core::NetTransport t1(exec, network, 1, /*tag=*/900);
+  core::NetTransport t2(exec, network, 2, /*tag=*/900);
+  core::ProtectedMemoryPaxos p1(exec, ifc, region, t1, omega, config);
+  core::ProtectedMemoryPaxos p2(exec, ifc, region, t2, omega, config);
   p1.start();
   p2.start();
 

@@ -1,41 +1,47 @@
-// Replicated log (mini state-machine replication) on the fast message
-// baseline, with a leader crash mid-stream.
+// Replicated log (state-machine replication) on the fast message baseline,
+// with a leader crash mid-window.
 //
 // The systems the paper motivates (DARE, APUS — §1/§2) replicate a log: one
-// consensus instance per slot. This example chains instances of the
-// 2-deciding message-passing Paxos (one instance per log index, each on its
-// own message tag), applies the decided commands to a trivial key-value
-// state machine on every replica, and kills the leader halfway to show the
-// failover path — the log stays identical across replicas.
+// consensus instance per slot. This example runs the new smr stack directly:
+// one core::PaxosEngine (Fast Paxos: 2-delay steady state) per replica over
+// a SINGLE shared transport — the engine's slot-tag namespace replaces the
+// old per-slot tag hand-allocation — and one smr::Replica per process that
+// batches commands into slots and pipelines them through a 4-slot window.
+// Halfway through, the leader is killed: Ω's poke hands leadership to p2,
+// which re-proposes the open window and continues with its own queued
+// commands. The surviving replicas' logs stay identical.
 
 #include <cstdio>
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "src/core/fast_paxos.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/omega.hpp"
 #include "src/core/transport.hpp"
 #include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
+#include "src/smr/replica.hpp"
 
 using namespace mnm;
 
 namespace {
 
 constexpr std::size_t kReplicas = 3;
-constexpr std::size_t kSlots = 8;
-constexpr net::MsgType kBaseTag = 1000;
+constexpr std::size_t kCommandsPerReplica = 12;
+constexpr std::size_t kBatch = 2;   // commands packed per slot
+constexpr std::size_t kWindow = 4;  // slots in flight
 
-struct Replica {
-  ProcessId id;
-  std::map<std::string, std::string> kv;  // the replicated state machine
+/// The replicated state machine: a trivial key-value store that also keeps
+/// the raw command log for the equality check below.
+struct KvStateMachine : smr::StateMachine {
+  std::map<std::string, std::string> kv;
   std::vector<std::string> log;
 
-  void apply(const std::string& cmd) {
+  void apply(Slot, util::ByteView command) override {
     // Command format: "set <key> <value>".
+    const std::string cmd = util::to_string(command);
     log.push_back(cmd);
     const auto sp1 = cmd.find(' ');
     const auto sp2 = cmd.find(' ', sp1 + 1);
@@ -45,105 +51,96 @@ struct Replica {
   }
 };
 
-sim::Task<void> drive_slot(core::Paxos* paxos, Replica* replica, Bytes proposal,
-                           bool* done) {
-  const Bytes decided = co_await paxos->propose(std::move(proposal));
-  replica->apply(util::to_string(decided));
-  *done = true;
-}
-
 }  // namespace
 
 int main() {
-  std::printf("replicated_log: %zu replicas, %zu log slots, leader crash at slot 4\n\n",
-              kReplicas, kSlots);
+  std::printf(
+      "replicated_log: %zu replicas, %zu commands each, batch=%zu, "
+      "window=%zu, leader crash mid-stream\n\n",
+      kReplicas, kCommandsPerReplica, kBatch, kWindow);
 
   sim::Executor exec;
   net::Network network(exec, kReplicas);
   bool p1_alive = true;
   // Ω: p1 while alive, then p2 — the standard leader-failover shape.
-  core::Omega omega(exec, [&p1_alive](sim::Time) -> ProcessId {
-    return p1_alive ? 1 : 2;
-  });
+  core::Omega omega(
+      exec, [&p1_alive](sim::Time) -> ProcessId { return p1_alive ? 1 : 2; },
+      /*poke_complete=*/true);
 
-  std::vector<Replica> replicas;
-  for (ProcessId p : all_processes(kReplicas)) replicas.push_back(Replica{p, {}, {}});
-
-  // One Paxos instance per slot per replica, each slot on its own tag.
-  std::vector<std::unique_ptr<core::NetTransport>> transports;
-  std::vector<std::unique_ptr<core::Paxos>> instances;  // [slot * kReplicas + (p-1)]
+  // One engine + replica per process; each replica owns exactly ONE
+  // transport endpoint (tag 100) — the engine multiplexes every slot over it.
   core::PaxosConfig pc;
   pc.n = kReplicas;
   pc.skip_phase1_for_p1 = true;  // 2-delay steady state under a stable leader
-  for (std::size_t slot = 0; slot < kSlots; ++slot) {
-    for (ProcessId p : all_processes(kReplicas)) {
-      transports.push_back(std::make_unique<core::NetTransport>(
-          exec, network, p, kBaseTag + static_cast<net::MsgType>(slot)));
-      instances.push_back(
-          std::make_unique<core::Paxos>(exec, *transports.back(), omega, pc));
-      instances.back()->start();
-    }
+  smr::ReplicaConfig rc;
+  rc.batch = kBatch;
+  rc.log.window = kWindow;
+
+  std::vector<std::unique_ptr<core::NetTransport>> transports;
+  std::vector<std::unique_ptr<core::PaxosEngine>> engines;
+  std::vector<std::unique_ptr<KvStateMachine>> machines;
+  std::vector<std::unique_ptr<smr::Replica>> replicas;
+  for (ProcessId p : all_processes(kReplicas)) {
+    transports.push_back(
+        std::make_unique<core::NetTransport>(exec, network, p, /*tag=*/100));
+    engines.push_back(std::make_unique<core::PaxosEngine>(
+        exec, *transports.back(), omega, pc));
+    machines.push_back(std::make_unique<KvStateMachine>());
+    replicas.push_back(std::make_unique<smr::Replica>(
+        exec, *engines.back(), omega, *machines.back(), rc));
+    engines.back()->start();
+    replicas.back()->start();
   }
 
-  // Drive slots sequentially: slot i+1 starts when slot i is decided at the
-  // proposing replica (a pipelined log would overlap them).
-  std::deque<bool> slot_done(kSlots * kReplicas, false);
-  std::size_t launched = 0;
-
-  // Kill p1 when slot 4 begins.
-  const auto maybe_crash_leader = [&](std::size_t slot) {
-    if (slot == 4 && p1_alive) {
-      p1_alive = false;
-      network.crash(1);
-      omega.poke();  // announce the leadership change to suspended waiters
-      std::printf("  !! leader p1 crashed before slot %zu\n", slot);
+  // Every replica submits its own workload; only the leader's commands
+  // commit while it leads (followers' queues drain if they take over).
+  for (ProcessId p : all_processes(kReplicas)) {
+    for (std::size_t i = 0; i < kCommandsPerReplica; ++i) {
+      replicas[p - 1]->submit(
+          util::to_bytes("set key" + std::to_string(i) + " from-p" +
+                         std::to_string(p)));
     }
-  };
-
-  std::function<void(std::size_t)> launch_slot = [&](std::size_t slot) {
-    if (slot >= kSlots) return;
-    maybe_crash_leader(slot);
-    ++launched;
-    for (ProcessId p : all_processes(kReplicas)) {
-      if (!p1_alive && p == 1) continue;  // dead replicas do not propose
-      const std::size_t idx = slot * kReplicas + (p - 1);
-      const std::string cmd = "set key" + std::to_string(slot) + " from-p" +
-                              std::to_string(p);
-      exec.spawn(drive_slot(instances[idx].get(), &replicas[p - 1],
-                            util::to_bytes(cmd), &slot_done[idx]));
-    }
-  };
-
-  launch_slot(0);
-  for (std::size_t slot = 0; slot < kSlots; ++slot) {
-    // Run until every live replica finished this slot, then launch the next.
-    exec.run_until(
-        [&] {
-          for (ProcessId p : all_processes(kReplicas)) {
-            if (!p1_alive && p == 1) continue;
-            if (!slot_done[slot * kReplicas + (p - 1)]) return false;
-          }
-          return true;
-        },
-        1000000);
-    launch_slot(slot + 1);
+    replicas[p - 1]->flush();
   }
+
+  // Kill p1 once it has pipelined a few slots: undecided slots in its window
+  // are re-proposed by p2 (Paxos adopts any value a quorum accepted).
+  exec.call_at(5, [&] {
+    p1_alive = false;
+    network.crash(1);
+    omega.poke();  // announce the leadership change to suspended waiters
+    std::printf("  !! leader p1 crashed at t=5 (mid-window)\n");
+  });
+
+  exec.run_until(
+      [&] {
+        if (!replicas[1]->idle()) return false;  // p2: the post-crash leader
+        const Slot len = replicas[1]->log().applied_len();
+        return replicas[2]->log().applied_len() == len;
+      },
+      1000000);
 
   // Report: logs of the surviving replicas must be identical.
   std::printf("\nfinal logs:\n");
-  for (const Replica& r : replicas) {
-    if (!p1_alive && r.id == 1) {
-      std::printf("  p%u: (crashed after %zu entries)\n", r.id, r.log.size());
+  for (ProcessId p : all_processes(kReplicas)) {
+    const auto& log = machines[p - 1]->log;
+    if (p == 1) {
+      std::printf("  p%u: (crashed after %zu applied commands)\n", p, log.size());
       continue;
     }
-    std::printf("  p%u: %zu entries:", r.id, r.log.size());
-    for (const auto& e : r.log) std::printf(" [%s]", e.c_str());
-    std::printf("\n");
+    std::printf("  p%u: %zu commands over %llu slots\n", p, log.size(),
+                static_cast<unsigned long long>(
+                    replicas[p - 1]->log().applied_len()));
   }
-  const bool logs_match = replicas[1].log == replicas[2].log;
-  std::printf("\nreplica logs identical: %s\n", logs_match ? "yes" : "NO (bug!)");
+  const bool logs_match = machines[1]->log == machines[2]->log;
+
+  const smr::RunStats s2 = replicas[1]->stats();
+  std::printf("\np2 run stats: %s\n", s2.summary().c_str());
+  std::printf("replica logs identical: %s\n", logs_match ? "yes" : "NO (bug!)");
   std::printf("state machine on p2: ");
-  for (const auto& [k, v] : replicas[1].kv) std::printf("%s=%s ", k.c_str(), v.c_str());
+  for (const auto& [k, v] : machines[1]->kv) {
+    std::printf("%s=%s ", k.c_str(), v.c_str());
+  }
   std::printf("\n");
   return logs_match ? 0 : 1;
 }

@@ -17,6 +17,9 @@ namespace mnm {
 using ProcessId = std::uint32_t;  // p1 == 1
 using MemoryId = std::uint32_t;   // µ1 == 1
 using RegionId = std::uint32_t;
+/// Log-slot index for multi-decree replication (core::ConsensusEngine /
+/// smr::Log). Slots are 0-based and contiguous.
+using Slot = std::uint64_t;
 
 inline constexpr ProcessId kLeaderP1 = 1;
 

@@ -6,31 +6,27 @@
 
 namespace mnm::core {
 
-namespace {
-std::string slot_name(ProcessId p) { return "pmp/slot/" + std::to_string(p); }
-}  // namespace
-
 AlignedPaxos::AlignedPaxos(sim::Executor& exec,
                            std::vector<mem::MemoryIface*> memories,
-                           RegionId region, net::Network& net, Omega& omega,
-                           ProcessId self, AlignedPaxosConfig config)
+                           RegionId region, Transport& transport, Omega& omega,
+                           AlignedPaxosConfig config)
     : exec_(&exec),
       memories_(std::move(memories)),
       region_(region),
-      endpoint_(net, self),
+      transport_(&transport),
       omega_(&omega),
-      self_(self),
-      config_(config),
-      all_(all_processes(config.n)),
-      excl_perm_(mem::Permission::exclusive_writer(self, all_)),
+      self_(transport.self()),
+      config_(std::move(config)),
+      replies_(exec),
+      all_(all_processes(config_.n)),
+      excl_perm_(mem::Permission::exclusive_writer(self_, all_)),
       decision_gate_(exec) {
-  for (ProcessId p : all_) slot_names_.push_back(slot_name(p));
+  for (ProcessId p : all_) {
+    slot_names_.push_back(config_.prefix + "/slot/" + std::to_string(p));
+  }
 }
 
-void AlignedPaxos::start() {
-  exec_->spawn(acceptor_loop());
-  exec_->spawn(decide_listener());
-}
+void AlignedPaxos::start() { exec_->spawn(dispatch_loop()); }
 
 void AlignedPaxos::decide_locally(util::ByteView value) {
   if (decided_value_.has_value()) return;
@@ -39,47 +35,61 @@ void AlignedPaxos::decide_locally(util::ByteView value) {
   decision_gate_.open();
 }
 
-sim::Task<void> AlignedPaxos::decide_listener() {
-  auto& ch = endpoint_.channel(config_.decide_tag);
+sim::Task<void> AlignedPaxos::dispatch_loop() {
   while (true) {
-    const net::Message m = co_await ch.recv();
-    decide_locally(m.payload);
+    const TMsg raw = co_await transport_->incoming().recv();
+    if (raw.payload.empty()) continue;
+    if (raw.payload[0] == kMuxDecide) {
+      decide_locally(util::ByteView(raw.payload).subspan(1));
+      continue;
+    }
+    const auto msg = PaxosMsg::decode(raw.payload);
+    if (!msg.has_value()) continue;  // malformed — drop
+    switch (msg->kind) {
+      case PaxosKind::kPrepare:
+      case PaxosKind::kAccept:
+        handle_acceptor(raw.src, *msg);
+        break;
+      case PaxosKind::kPromise:
+      case PaxosKind::kAccepted:
+      case PaxosKind::kNack:
+        replies_.send({raw.src, *msg});
+        break;
+      case PaxosKind::kDecide:
+        break;  // not part of Aligned's wire protocol
+    }
   }
 }
 
-sim::Task<void> AlignedPaxos::acceptor_loop() {
-  auto& ch = endpoint_.channel(config_.acceptor_tag);
-  while (true) {
-    const net::Message raw = co_await ch.recv();
-    const auto msg = PaxosMsg::decode(raw.payload);
-    if (!msg.has_value()) continue;
-    max_proposal_seen_ = std::max(max_proposal_seen_, msg->ballot);
-    if (msg->kind == PaxosKind::kPrepare) {
-      if (msg->ballot >= promised_) {
-        promised_ = msg->ballot;
-        endpoint_.send(raw.src, config_.acceptor_tag + 1,
-                       PaxosMsg{PaxosKind::kPromise, msg->ballot,
+void AlignedPaxos::handle_acceptor(ProcessId src, const PaxosMsg& msg) {
+  max_proposal_seen_ = std::max(max_proposal_seen_, msg.ballot);
+  if (msg.kind == PaxosKind::kPrepare) {
+    if (msg.ballot >= promised_) {
+      promised_ = msg.ballot;
+      transport_->send(src,
+                       PaxosMsg{PaxosKind::kPromise, msg.ballot,
                                 acc_ballot_.value_or(0), acc_ballot_.has_value(),
                                 acc_value_}
                            .encode());
-      } else {
-        endpoint_.send(raw.src, config_.acceptor_tag + 1,
-                       PaxosMsg{PaxosKind::kNack, msg->ballot, promised_, false, {}}
+    } else {
+      transport_->send(src,
+                       PaxosMsg{PaxosKind::kNack, msg.ballot, promised_, false,
+                                {}}
                            .encode());
-      }
-    } else if (msg->kind == PaxosKind::kAccept) {
-      if (msg->ballot >= promised_) {
-        promised_ = msg->ballot;
-        acc_ballot_ = msg->ballot;
-        acc_value_ = msg->value;
-        endpoint_.send(raw.src, config_.acceptor_tag + 1,
-                       PaxosMsg{PaxosKind::kAccepted, msg->ballot, 0, false, {}}
+    }
+  } else if (msg.kind == PaxosKind::kAccept) {
+    if (msg.ballot >= promised_) {
+      promised_ = msg.ballot;
+      acc_ballot_ = msg.ballot;
+      acc_value_ = msg.value;
+      transport_->send(src,
+                       PaxosMsg{PaxosKind::kAccepted, msg.ballot, 0, false, {}}
                            .encode());
-      } else {
-        endpoint_.send(raw.src, config_.acceptor_tag + 1,
-                       PaxosMsg{PaxosKind::kNack, msg->ballot, promised_, false, {}}
+    } else {
+      transport_->send(src,
+                       PaxosMsg{PaxosKind::kNack, msg.ballot, promised_, false,
+                                {}}
                            .encode());
-      }
     }
   }
 }
@@ -145,9 +155,8 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
       mem_fan.add(i, phase1_memory(i, prop_nr));
     }
     // Process agents.
-    endpoint_.broadcast(config_.acceptor_tag,
-                        PaxosMsg{PaxosKind::kPrepare, prop_nr, 0, false, {}}
-                            .encode());
+    transport_->send_all(
+        PaxosMsg{PaxosKind::kPrepare, prop_nr, 0, false, {}}.encode());
 
     std::size_t responses = 0;
     bool reject = false;
@@ -160,7 +169,7 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
     // executor (time, seq) order — a round costs O(responses) events, not
     // O(round_timeout / poll) timer ticks. Queued memory answers drain
     // before process replies, mirroring the old memory-first alternation.
-    auto& proc_ch = endpoint_.channel(config_.acceptor_tag + 1);
+    auto& proc_ch = replies_;
     auto& mem_ch = mem_fan.results();
     while (responses < quorum && !reject) {
       if (auto batch = mem_ch.try_recv()) {
@@ -182,19 +191,19 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
         continue;
       }
       if (auto reply = proc_ch.try_recv()) {
-        const auto msg = PaxosMsg::decode(reply->payload);
-        if (!msg.has_value() || msg->ballot != prop_nr) continue;
-        if (msg->kind == PaxosKind::kNack) {
-          max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
+        const PaxosMsg& msg = reply->second;
+        if (msg.ballot != prop_nr) continue;
+        if (msg.kind == PaxosKind::kNack) {
+          max_proposal_seen_ = std::max(max_proposal_seen_, msg.acc_ballot);
           reject = true;
           break;
         }
-        if (msg->kind != PaxosKind::kPromise) continue;
+        if (msg.kind != PaxosKind::kPromise) continue;
         ++responses;
-        if (msg->has_value && (!adopted || msg->acc_ballot > best_acc)) {
+        if (msg.has_value && (!adopted || msg.acc_ballot > best_acc)) {
           adopted = true;
-          best_acc = msg->acc_ballot;
-          my_value = msg->value;
+          best_acc = msg.acc_ballot;
+          my_value = msg.value;
         }
         continue;
       }
@@ -212,9 +221,8 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
     for (std::size_t i = 0; i < memories_.size(); ++i) {
       mem2_fan.add(i, phase2_memory(i, prop_nr, my_value));
     }
-    endpoint_.broadcast(config_.acceptor_tag,
-                        PaxosMsg{PaxosKind::kAccept, prop_nr, 0, true, my_value}
-                            .encode());
+    transport_->send_all(
+        PaxosMsg{PaxosKind::kAccept, prop_nr, 0, true, my_value}.encode());
 
     std::size_t acks = 0;
     bool reject2 = false;
@@ -230,14 +238,14 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
         continue;
       }
       if (auto reply = proc_ch.try_recv()) {
-        const auto msg = PaxosMsg::decode(reply->payload);
-        if (!msg.has_value() || msg->ballot != prop_nr) continue;
-        if (msg->kind == PaxosKind::kNack) {
-          max_proposal_seen_ = std::max(max_proposal_seen_, msg->acc_ballot);
+        const PaxosMsg& msg = reply->second;
+        if (msg.ballot != prop_nr) continue;
+        if (msg.kind == PaxosKind::kNack) {
+          max_proposal_seen_ = std::max(max_proposal_seen_, msg.acc_ballot);
           reject2 = true;
           break;
         }
-        if (msg->kind == PaxosKind::kAccepted) ++acks;
+        if (msg.kind == PaxosKind::kAccepted) ++acks;
         continue;
       }
       sim::Select sel(*exec_);
@@ -250,7 +258,8 @@ sim::Task<Bytes> AlignedPaxos::propose(Bytes v) {
     }
 
     decide_locally(my_value);
-    endpoint_.broadcast(config_.decide_tag, my_value, /*include_self=*/false);
+    transport_->send_all(TransportMux::frame(kMuxDecide, my_value),
+                         /*include_self=*/false);
   }
 
   co_return decision();

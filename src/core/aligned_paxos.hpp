@@ -17,21 +17,27 @@
 // when a majority of *memories* is gone even with all processes alive;
 // Aligned Paxos keeps going.
 //
-// Memory layout reuses the PMP region/slot format ("pmp/..."); acceptor
-// messages reuse the Paxos wire format on a dedicated tag.
+// Memory layout reuses the PMP region/slot format ("<prefix>/slot/<p>");
+// acceptor messages reuse the Paxos wire format. All conversations run over
+// ONE base Transport — a standalone setup passes a NetTransport, a
+// multi-slot engine a slot sub-transport. A single dispatch loop (the Paxos
+// shape) routes inbound messages: raw PaxosMsg bytes (first byte is a
+// PaxosKind) are acceptor traffic, a kMuxDecide-framed payload is a DECIDE
+// — no per-conversation demux hop, no per-message re-framing.
 
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common.hpp"
 #include "src/core/omega.hpp"
 #include "src/core/paxos.hpp"
 #include "src/core/protected_memory_paxos.hpp"
+#include "src/core/transport_mux.hpp"
 #include "src/mem/memory.hpp"
-#include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
@@ -40,10 +46,8 @@ namespace mnm::core {
 
 struct AlignedPaxosConfig {
   std::size_t n = 3;
-  /// Prepare/accept requests arrive on acceptor_tag; promise/accepted/nack
-  /// replies on acceptor_tag + 1. decide_tag must not collide with either.
-  net::MsgType acceptor_tag = 920;
-  net::MsgType decide_tag = 925;
+  /// Register-name namespace; must match the region's make_pmp_region prefix.
+  std::string prefix = "pmp";
   sim::Time round_timeout = 40;
   /// Seed for the leadership-wait backoff (waits are event-driven; this only
   /// paces the fallback re-check of un-poked Ω schedules).
@@ -54,10 +58,11 @@ struct AlignedPaxosConfig {
 class AlignedPaxos {
  public:
   /// `region` is a PMP-style region (make_pmp_region), identical across
-  /// memories.
+  /// memories. `transport` carries all three conversations;
+  /// `transport.self()` is this process's identity.
   AlignedPaxos(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
-               RegionId region, net::Network& net, Omega& omega,
-               ProcessId self, AlignedPaxosConfig config);
+               RegionId region, Transport& transport, Omega& omega,
+               AlignedPaxosConfig config);
 
   /// Spawn the acceptor + decide listeners.
   void start();
@@ -67,6 +72,10 @@ class AlignedPaxos {
   bool decided() const { return decided_value_.has_value(); }
   const Bytes& decision() const { return *decided_value_; }
   sim::Time decided_at() const { return decided_at_; }
+  /// Aligned Paxos always runs both phases — kept for the uniform
+  /// ConsensusEngine surface.
+  bool decided_fast() const { return false; }
+  sim::Gate& decision_gate() { return decision_gate_; }
 
  private:
   /// One agent's phase-1 answer translated to the common language
@@ -79,17 +88,19 @@ class AlignedPaxos {
   sim::Task<Phase1Answer> phase1_memory(std::size_t idx, std::uint64_t prop_nr);
   sim::Task<mem::Status> phase2_memory(std::size_t idx, std::uint64_t prop_nr,
                                        Bytes value);
-  sim::Task<void> acceptor_loop();
-  sim::Task<void> decide_listener();
+  sim::Task<void> dispatch_loop();
+  void handle_acceptor(ProcessId src, const PaxosMsg& msg);
   void decide_locally(util::ByteView value);
 
   sim::Executor* exec_;
   std::vector<mem::MemoryIface*> memories_;
   RegionId region_;
-  net::Endpoint endpoint_;
+  Transport* transport_;
   Omega* omega_;
   ProcessId self_;
   AlignedPaxosConfig config_;
+  /// Promise/accepted/nack replies routed to the proposer by dispatch_loop.
+  sim::Channel<std::pair<ProcessId, PaxosMsg>> replies_;
 
   // Hot-path caches (built once in the constructor).
   std::vector<ProcessId> all_;

@@ -138,7 +138,7 @@ CheapQuorum::CheapQuorum(sim::Executor& exec,
       config_(config) {}
 
 swmr::ReplicatedRegister& CheapQuorum::leader_value_reg() {
-  const std::string name = "cq/leader/value";
+  const std::string name = config_.prefix + "/leader/value";
   auto it = regs_.find(name);
   if (it == regs_.end()) {
     it = regs_
@@ -150,7 +150,7 @@ swmr::ReplicatedRegister& CheapQuorum::leader_value_reg() {
 }
 
 swmr::ReplicatedRegister& CheapQuorum::value_reg(ProcessId p) {
-  const std::string name = "cq/p/" + std::to_string(p) + "/value";
+  const std::string name = config_.prefix + "/p/" + std::to_string(p) + "/value";
   auto it = regs_.find(name);
   if (it == regs_.end()) {
     it = regs_
@@ -162,7 +162,7 @@ swmr::ReplicatedRegister& CheapQuorum::value_reg(ProcessId p) {
 }
 
 swmr::ReplicatedRegister& CheapQuorum::panic_reg(ProcessId p) {
-  const std::string name = "cq/p/" + std::to_string(p) + "/panic";
+  const std::string name = config_.prefix + "/p/" + std::to_string(p) + "/panic";
   auto it = regs_.find(name);
   if (it == regs_.end()) {
     it = regs_
@@ -174,7 +174,7 @@ swmr::ReplicatedRegister& CheapQuorum::panic_reg(ProcessId p) {
 }
 
 swmr::ReplicatedRegister& CheapQuorum::proof_reg(ProcessId p) {
-  const std::string name = "cq/p/" + std::to_string(p) + "/proof";
+  const std::string name = config_.prefix + "/p/" + std::to_string(p) + "/proof";
   auto it = regs_.find(name);
   if (it == regs_.end()) {
     it = regs_

@@ -51,9 +51,11 @@ struct CheapQuorumRegions {
 
 /// Create Cheap Quorum's regions on one memory (identical order on every
 /// memory keeps region ids aligned). Works for mem::Memory / VerbsMemory.
+/// Multi-slot engines namespace the prefix per slot ("s<slot>/cq").
 template <typename MemoryT>
 CheapQuorumRegions make_cq_regions(MemoryT& memory, std::size_t n,
-                                   ProcessId leader = kLeaderP1) {
+                                   ProcessId leader = kLeaderP1,
+                                   const std::string& prefix = "cq") {
   CheapQuorumRegions out;
   const auto all = all_processes(n);
   // legalChange: only total write revocation is permitted (§4.2).
@@ -61,11 +63,11 @@ CheapQuorumRegions make_cq_regions(MemoryT& memory, std::size_t n,
                               const mem::Permission& proposed) {
     return proposed.write.empty() && proposed.read_write.empty();
   };
-  out.leader = memory.create_region({"cq/leader/"},
+  out.leader = memory.create_region({prefix + "/leader/"},
                                     mem::Permission::swmr(leader, all), revoke_only);
   for (ProcessId p : all) {
     out.per_process[p] =
-        memory.create_region({"cq/p/" + std::to_string(p) + "/"},
+        memory.create_region({prefix + "/p/" + std::to_string(p) + "/"},
                              mem::Permission::swmr(p, all));
   }
   return out;
@@ -102,6 +104,8 @@ bool verify_unanimity_proof(const crypto::KeyStore& ks, std::size_t n,
 struct CheapQuorumConfig {
   std::size_t n = 3;
   ProcessId leader = kLeaderP1;
+  /// Register-name namespace; must match the make_cq_regions prefix.
+  std::string prefix = "cq";
   /// Follower patience before panicking (virtual time units). "An upper
   /// bound on the communication, processing and computation delays in the
   /// common case" (§4.2 footnote 3).

@@ -27,24 +27,21 @@ std::optional<DiskBlock> DiskBlock::decode(util::ByteView raw) {
   }
 }
 
-namespace {
-std::string block_name(ProcessId p) { return "dp/block/" + std::to_string(p); }
-}  // namespace
-
 DiskPaxos::DiskPaxos(sim::Executor& exec,
                      std::vector<mem::MemoryIface*> memories, RegionId region,
-                     net::Network& net, Omega& omega, ProcessId self,
-                     DiskPaxosConfig config)
+                     Transport& transport, Omega& omega, DiskPaxosConfig config)
     : exec_(&exec),
       memories_(std::move(memories)),
       region_(region),
-      endpoint_(net, self),
+      transport_(&transport),
       omega_(&omega),
-      self_(self),
-      config_(config),
-      all_(all_processes(config.n)),
+      self_(transport.self()),
+      config_(std::move(config)),
+      all_(all_processes(config_.n)),
       decision_gate_(exec) {
-  for (ProcessId p : all_) block_names_.push_back(block_name(p));
+  for (ProcessId p : all_) {
+    block_names_.push_back(config_.prefix + "/block/" + std::to_string(p));
+  }
 }
 
 void DiskPaxos::start() { exec_->spawn(decide_listener()); }
@@ -57,9 +54,8 @@ void DiskPaxos::decide_locally(util::ByteView value) {
 }
 
 sim::Task<void> DiskPaxos::decide_listener() {
-  auto& ch = endpoint_.channel(config_.decide_tag);
   while (true) {
-    const net::Message m = co_await ch.recv();
+    const TMsg m = co_await transport_->incoming().recv();
     decide_locally(m.payload);
   }
 }
@@ -174,7 +170,7 @@ sim::Task<Bytes> DiskPaxos::propose(Bytes v) {
     }
 
     decide_locally(my_value);
-    endpoint_.broadcast(config_.decide_tag, my_value, /*include_self=*/false);
+    transport_->send_all(my_value, /*include_self=*/false);
   }
 
   co_return decision();

@@ -15,19 +15,26 @@
 // structure (no 2-deciding algorithm exists); bench_lower_bound measures the
 // gap.
 //
-// Registers: "dp/block/<p>" holds p's block (mbal, bal, value) — Disk Paxos's
-// dblock — replicated across the m memories by direct per-memory writes.
+// Registers: "<prefix>/block/<p>" holds p's block (mbal, bal, value) — Disk
+// Paxos's dblock — replicated across the m memories by direct per-memory
+// writes. The prefix defaults to "dp"; multi-slot engines namespace it per
+// slot ("s<slot>/dp") so one memory serves a whole log.
+//
+// DECIDE dissemination runs over the Transport abstraction (one conversation,
+// no tag plumbing): pass a NetTransport in a standalone setup or a slot
+// sub-transport under core::ConsensusEngine.
 
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common.hpp"
 #include "src/core/omega.hpp"
+#include "src/core/transport.hpp"
 #include "src/mem/memory.hpp"
-#include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
@@ -36,8 +43,9 @@ namespace mnm::core {
 
 /// Create the single open, static region of the disk model on one memory.
 template <typename MemoryT>
-RegionId make_disk_region(MemoryT& memory, std::size_t n) {
-  return memory.create_region({"dp/"},
+RegionId make_disk_region(MemoryT& memory, std::size_t n,
+                          const std::string& prefix = "dp") {
+  return memory.create_region({prefix + "/"},
                               mem::Permission::open(all_processes(n)),
                               mem::static_permissions());
 }
@@ -54,15 +62,18 @@ struct DiskBlock {
 
 struct DiskPaxosConfig {
   std::size_t n = 2;
-  net::MsgType decide_tag = 910;
+  /// Register-name namespace; must match the region's make_disk_region prefix.
+  std::string prefix = "dp";
   sim::Time poll = 1;
   sim::Time retry_backoff = 8;
 };
 
 class DiskPaxos {
  public:
+  /// `transport` carries the DECIDE dissemination; `transport.self()` is this
+  /// process's identity.
   DiskPaxos(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
-            RegionId region, net::Network& net, Omega& omega, ProcessId self,
+            RegionId region, Transport& transport, Omega& omega,
             DiskPaxosConfig config);
 
   void start();
@@ -71,6 +82,10 @@ class DiskPaxos {
   bool decided() const { return decided_value_.has_value(); }
   const Bytes& decision() const { return *decided_value_; }
   sim::Time decided_at() const { return decided_at_; }
+  /// Disk Paxos is never 2-deciding (Theorem 6.1) — kept for the uniform
+  /// ConsensusEngine surface.
+  bool decided_fast() const { return false; }
+  sim::Gate& decision_gate() { return decision_gate_; }
 
  private:
   struct RoundResult {
@@ -87,7 +102,7 @@ class DiskPaxos {
   sim::Executor* exec_;
   std::vector<mem::MemoryIface*> memories_;
   RegionId region_;
-  net::Endpoint endpoint_;
+  Transport* transport_;
   Omega* omega_;
   ProcessId self_;
   DiskPaxosConfig config_;

@@ -163,6 +163,7 @@ sim::Task<bool> Paxos::run_round(const Bytes& input, bool fast_first) {
   }
 
   // Chosen. Decide and tell everyone.
+  if (!decided()) decided_fast_ = fast_first;
   decide_locally(value);
   transport_->send_all(
       PaxosMsg{PaxosKind::kDecide, ballot, 0, true, value}.encode(),

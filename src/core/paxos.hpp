@@ -81,6 +81,9 @@ class Paxos {
   bool decided() const { return decided_value_.has_value(); }
   const Bytes& decision() const { return *decided_value_; }
   sim::Time decided_at() const { return decided_at_; }
+  /// True iff this process decided as the proposer of the ballot-0 phase-1
+  /// skip (the 2-delay steady-state round). Learners report false.
+  bool decided_fast() const { return decided_fast_; }
   sim::Gate& decision_gate() { return decision_gate_; }
 
  private:
@@ -102,6 +105,7 @@ class Paxos {
   // Proposer state.
   std::uint64_t max_ballot_seen_ = 0;
   bool used_fast_ballot_ = false;
+  bool decided_fast_ = false;
   sim::Channel<std::pair<ProcessId, PaxosMsg>> replies_;
 
   // Decision.

@@ -46,25 +46,22 @@ std::optional<PmpSlot> PmpSlot::decode(util::ByteView raw) {
   }
 }
 
-namespace {
-std::string slot_name(ProcessId p) { return "pmp/slot/" + std::to_string(p); }
-}  // namespace
-
 ProtectedMemoryPaxos::ProtectedMemoryPaxos(
     sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
-    RegionId region, net::Network& net, Omega& omega, ProcessId self,
-    PmpConfig config)
+    RegionId region, Transport& transport, Omega& omega, PmpConfig config)
     : exec_(&exec),
       memories_(std::move(memories)),
       region_(region),
-      endpoint_(net, self),
+      transport_(&transport),
       omega_(&omega),
-      self_(self),
-      config_(config),
-      all_(all_processes(config.n)),
-      excl_perm_(mem::Permission::exclusive_writer(self, all_)),
+      self_(transport.self()),
+      config_(std::move(config)),
+      all_(all_processes(config_.n)),
+      excl_perm_(mem::Permission::exclusive_writer(self_, all_)),
       decision_gate_(exec) {
-  for (ProcessId p : all_) slot_names_.push_back(slot_name(p));
+  for (ProcessId p : all_) {
+    slot_names_.push_back(config_.prefix + "/slot/" + std::to_string(p));
+  }
 }
 
 void ProtectedMemoryPaxos::start() { exec_->spawn(decide_listener()); }
@@ -77,9 +74,8 @@ void ProtectedMemoryPaxos::decide_locally(util::ByteView value) {
 }
 
 sim::Task<void> ProtectedMemoryPaxos::decide_listener() {
-  auto& ch = endpoint_.channel(config_.decide_tag);
   while (true) {
-    const net::Message m = co_await ch.recv();
+    const TMsg m = co_await transport_->incoming().recv();
     decide_locally(m.payload);
   }
 }
@@ -138,7 +134,8 @@ sim::Task<Bytes> ProtectedMemoryPaxos::propose(Bytes v) {
     Bytes my_value = v;
     std::uint64_t prop_nr;
 
-    if (self_ == kLeaderP1 && first_attempt_) {
+    const bool fast_attempt = (self_ == kLeaderP1 && first_attempt_);
+    if (fast_attempt) {
       // p1's first attempt: it already holds every permission, and no slot
       // can contain anything yet — skip straight to phase 2 (the 2-delay
       // fast path). Proposal number 0 is owned by p1.
@@ -199,8 +196,9 @@ sim::Task<Bytes> ProtectedMemoryPaxos::propose(Bytes v) {
       continue;
     }
 
+    if (!decided()) decided_fast_ = fast_attempt;
     decide_locally(my_value);
-    endpoint_.broadcast(config_.decide_tag, my_value, /*include_self=*/false);
+    transport_->send_all(my_value, /*include_self=*/false);
   }
 
   co_return decision();

@@ -24,12 +24,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common.hpp"
 #include "src/core/omega.hpp"
+#include "src/core/transport.hpp"
 #include "src/mem/memory.hpp"
-#include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
@@ -41,12 +42,14 @@ namespace mnm::core {
 mem::LegalChangeFn pmp_legal_change(std::vector<ProcessId> all);
 
 /// Create the single PMP region on one memory. Initial exclusive writer is
-/// the fixed first leader p1.
+/// the fixed first leader p1. Multi-slot engines namespace the prefix per
+/// slot ("s<slot>/pmp") so one memory serves a whole log.
 template <typename MemoryT>
 RegionId make_pmp_region(MemoryT& memory, std::size_t n,
-                         ProcessId first_leader = kLeaderP1) {
+                         ProcessId first_leader = kLeaderP1,
+                         const std::string& prefix = "pmp") {
   const auto all = all_processes(n);
-  return memory.create_region({"pmp/"},
+  return memory.create_region({prefix + "/"},
                               mem::Permission::exclusive_writer(first_leader, all),
                               pmp_legal_change(all));
 }
@@ -64,7 +67,8 @@ struct PmpSlot {
 
 struct PmpConfig {
   std::size_t n = 2;
-  net::MsgType decide_tag = 900;
+  /// Register-name namespace; must match the region's make_pmp_region prefix.
+  std::string prefix = "pmp";
   sim::Time poll = 1;
   sim::Time retry_backoff = 8;
 };
@@ -72,10 +76,11 @@ struct PmpConfig {
 class ProtectedMemoryPaxos {
  public:
   /// `region` must be the PMP region id, identical across `memories`.
+  /// `transport` carries the DECIDE dissemination; `transport.self()` is this
+  /// process's identity.
   ProtectedMemoryPaxos(sim::Executor& exec,
                        std::vector<mem::MemoryIface*> memories, RegionId region,
-                       net::Network& net, Omega& omega, ProcessId self,
-                       PmpConfig config);
+                       Transport& transport, Omega& omega, PmpConfig config);
 
   /// Spawn the DECIDE listener.
   void start();
@@ -85,6 +90,11 @@ class ProtectedMemoryPaxos {
   bool decided() const { return decided_value_.has_value(); }
   const Bytes& decision() const { return *decided_value_; }
   sim::Time decided_at() const { return decided_at_; }
+  /// True iff this process decided on p1's single-write fast path (§1's
+  /// uncontended instantaneous guarantee), i.e. as the proposer of the
+  /// 2-delay first attempt. Learners report false.
+  bool decided_fast() const { return decided_fast_; }
+  sim::Gate& decision_gate() { return decision_gate_; }
 
  private:
   struct Phase1Result {
@@ -101,7 +111,7 @@ class ProtectedMemoryPaxos {
   sim::Executor* exec_;
   std::vector<mem::MemoryIface*> memories_;
   RegionId region_;
-  net::Endpoint endpoint_;
+  Transport* transport_;
   Omega* omega_;
   ProcessId self_;
   PmpConfig config_;
@@ -113,6 +123,7 @@ class ProtectedMemoryPaxos {
 
   std::uint64_t max_proposal_seen_ = 0;
   bool first_attempt_ = true;
+  bool decided_fast_ = false;
   std::optional<Bytes> decided_value_;
   sim::Time decided_at_ = 0;
   sim::Gate decision_gate_;

@@ -58,13 +58,23 @@ class Transport {
 };
 
 /// Plain message-passing transport over src/net, scoped to one message type
-/// tag so several protocol instances can share a network.
+/// tag so several protocol instances can share a network. Inbound messages
+/// are re-wrapped into the transport's TMsg channel directly inside the
+/// network delivery event (an Inbox sink) — no pump coroutine, no extra
+/// executor event per message. The destructor unhooks the sink, so a
+/// transport may die before its network; traffic on the tag then falls
+/// back to the inbox channel instead of a dangling callback.
 class NetTransport : public Transport {
  public:
   NetTransport(sim::Executor& exec, net::Network& net, ProcessId self,
                net::MsgType tag)
-      : exec_(&exec), endpoint_(net, self), tag_(tag), incoming_(exec) {
-    start_pump();
+      : endpoint_(net, self), tag_(tag), incoming_(exec) {
+    net.inbox(self).set_sink(tag, [this](net::Message&& m) {
+      incoming_.send(TMsg{m.src, std::move(m.payload)});
+    });
+  }
+  ~NetTransport() override {
+    endpoint_.network().inbox(endpoint_.self()).set_sink(tag_, nullptr);
   }
 
   ProcessId self() const override { return endpoint_.self(); }
@@ -79,18 +89,6 @@ class NetTransport : public Transport {
   sim::Channel<TMsg>& incoming() override { return incoming_; }
 
  private:
-  void start_pump() {
-    exec_->spawn(pump(&endpoint_.channel(tag_), &incoming_));
-  }
-  static sim::Task<void> pump(sim::Channel<net::Message>* from,
-                              sim::Channel<TMsg>* to) {
-    while (true) {
-      net::Message m = co_await from->recv();
-      to->send(TMsg{m.src, std::move(m.payload)});
-    }
-  }
-
-  sim::Executor* exec_;
   net::Endpoint endpoint_;
   net::MsgType tag_;
   sim::Channel<TMsg> incoming_;

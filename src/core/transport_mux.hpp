@@ -25,6 +25,11 @@ namespace mnm::core {
 
 inline constexpr std::uint8_t kMuxPaxos = 0x50;  // 'P'
 inline constexpr std::uint8_t kMuxSetup = 0x53;  // 'S'
+/// Aligned Paxos frames only its DECIDE payloads (aligned_paxos.*): acceptor
+/// traffic travels as raw PaxosMsg encodings, whose first byte is a
+/// PaxosKind in 1..6, so the single out-of-range tag byte disambiguates
+/// without a demux hop.
+inline constexpr std::uint8_t kMuxDecide = 0x44;  // 'D'
 
 class TransportMux {
  public:

@@ -4,9 +4,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <algorithm>
+#include <set>
+
 #include "src/core/aligned_paxos.hpp"
 #include "src/core/cheap_quorum.hpp"
 #include "src/core/disk_paxos.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/fast_robust.hpp"
 #include "src/core/nonequiv_broadcast.hpp"
 #include "src/core/omega.hpp"
@@ -20,6 +24,7 @@
 #include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/rng.hpp"
+#include "src/smr/replica.hpp"
 #include "src/verbs/verbs.hpp"
 
 namespace mnm::harness {
@@ -49,6 +54,12 @@ std::string RunReport::summary() const {
      << " writes=" << mem_writes
      << " perm_changes=" << permission_changes << " sigs=" << signatures
      << " events=" << events;
+  if (slots_applied > 0) {
+    os << " slots=" << slots_applied << " cmds=" << commands_applied
+       << " noop=" << noop_slots << " fast=" << fast_slots
+       << " p50=" << commit_p50 << " p99=" << commit_p99
+       << " events/slot=" << events_per_slot;
+  }
   return os.str();
 }
 
@@ -59,6 +70,19 @@ using core::Omega;
 std::string input_of(const ClusterConfig& cfg, ProcessId p) {
   return cfg.identical_inputs ? "value-all" : "value-" + std::to_string(p);
 }
+
+std::string smr_command(ProcessId p, std::size_t i) {
+  return "set k" + std::to_string(i) + " p" + std::to_string(p);
+}
+
+/// The harness's replicated state machine: records every applied command so
+/// the run can check log agreement across replicas.
+struct RecordingSm : smr::StateMachine {
+  std::vector<std::string> log;
+  void apply(Slot, util::ByteView command) override {
+    log.push_back(util::to_string(command));
+  }
+};
 
 /// Everything one run owns. The executor is declared first (constructed
 /// first, destroyed last); all cross-object references during teardown go
@@ -208,9 +232,18 @@ struct World {
   std::vector<std::unique_ptr<core::RobustBackup>> robust_backups;
   std::vector<std::unique_ptr<core::FastRobustProcess>> fast_robusts;
 
-  // Region ids needed by Byzantine strategies.
+  // SMR mode (index p - 1; Byzantine processes hold no replica).
+  std::vector<std::unique_ptr<core::ConsensusEngine>> engines;
+  std::vector<std::unique_ptr<RecordingSm>> state_machines;
+  std::vector<std::unique_ptr<smr::Replica>> smr_replicas;
+  std::shared_ptr<core::SlotRegions<core::FastRobustSlotRegions>> fr_regions;
+
+  // Region ids + name prefixes used by Byzantine strategies (SMR mode
+  // points them at slot 0's regions).
   std::map<ProcessId, RegionId> neb_region_ids;
   RegionId cq_region_leader_ = 0;
+  std::string neb_prefix = "neb";
+  std::string cq_prefix = "cq";
 };
 
 // --- Driver coroutines (parameters, not captures). ---
@@ -237,7 +270,8 @@ sim::Task<void> drive_fast_robust(ProcessReport* row,
 sim::Task<void> byz_neb_equivocate(World* w, ProcessId p) {
   // Write a *different* validly-signed first message to each memory's copy
   // of our own NEB slot — the equivocation Algorithm 2 must suppress.
-  const std::string slot = "neb/" + std::to_string(p) + "/1/" + std::to_string(p);
+  const std::string slot =
+      w->neb_prefix + "/" + std::to_string(p) + "/1/" + std::to_string(p);
   for (std::size_t i = 0; i < w->memories.size(); ++i) {
     const Bytes msg = util::to_bytes("equivocation-" + std::to_string(i));
     const crypto::Signature sig =
@@ -258,7 +292,8 @@ sim::Task<void> byz_cq_leader_equivocate(World* w, ProcessId p) {
     const Bytes v = util::to_bytes("evil-" + std::to_string(i % 2));
     const crypto::Signature sig =
         w->signers[p - 1].sign(core::cq_value_signing_bytes(v));
-    (void)co_await w->memories[i]->write(p, w->cq_region_leader_, "cq/leader/value",
+    (void)co_await w->memories[i]->write(p, w->cq_region_leader_,
+                                         w->cq_prefix + "/leader/value",
                                          core::encode_leader_blob(v, sig));
   }
   co_return;
@@ -266,7 +301,8 @@ sim::Task<void> byz_cq_leader_equivocate(World* w, ProcessId p) {
 
 sim::Task<void> byz_garbage(World* w, ProcessId p) {
   // Malformed NEB slot + junk on every message tag others listen on.
-  const std::string slot = "neb/" + std::to_string(p) + "/1/" + std::to_string(p);
+  const std::string slot =
+      w->neb_prefix + "/" + std::to_string(p) + "/1/" + std::to_string(p);
   for (std::size_t i = 0; i < w->memories.size(); ++i) {
     (void)co_await w->memories[i]->write(p, w->neb_region_ids.at(p), slot,
                                          util::to_bytes("\xde\xad\xbe\xef"));
@@ -276,10 +312,310 @@ sim::Task<void> byz_garbage(World* w, ProcessId p) {
   co_return;
 }
 
+void spawn_byzantine(World& w, const ClusterConfig& config) {
+  for (const auto& [p, strategy] : config.faults.byzantine) {
+    switch (strategy) {
+      case ByzantineStrategy::kSilent:
+        break;
+      case ByzantineStrategy::kNebEquivocate:
+        w.exec.spawn(byz_neb_equivocate(&w, p));
+        break;
+      case ByzantineStrategy::kCqLeaderEquivocate:
+        w.exec.spawn(byz_cq_leader_equivocate(&w, p));
+        break;
+      case ByzantineStrategy::kGarbage:
+        w.exec.spawn(byz_garbage(&w, p));
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SMR mode: one smr::Replica per correct process over the algorithm's
+// ConsensusEngine adapter.
+// ---------------------------------------------------------------------------
+
+RunReport run_smr(World& w, const ClusterConfig& config) {
+  const std::size_t n = config.n;
+  const auto all = all_processes(n);
+  const std::size_t fP = n > 0 ? (n - 1) / 2 : 0;
+
+  // ---- Build one engine per process over one shared transport/memory set. ----
+  switch (config.algo) {
+    case Algorithm::kPaxos:
+    case Algorithm::kFastPaxos: {
+      core::PaxosConfig pc;
+      pc.n = n;
+      pc.skip_phase1_for_p1 = (config.algo == Algorithm::kFastPaxos);
+      for (ProcessId p : all) {
+        w.transports.push_back(std::make_unique<core::NetTransport>(
+            w.exec, w.network, p, /*tag=*/100));
+        w.engines.push_back(std::make_unique<core::PaxosEngine>(
+            w.exec, *w.transports.back(), *w.omega, pc));
+      }
+      break;
+    }
+
+    case Algorithm::kDiskPaxos: {
+      auto pool = std::make_shared<core::SlotRegions<RegionId>>(
+          [wp = &w, n](Slot s) {
+            RegionId region = 0;
+            wp->for_each_backing([&](auto& m) {
+              region = core::make_disk_region(m, n, core::slot_ns(s, "dp"));
+            });
+            return region;
+          });
+      core::DiskPaxosConfig dc;
+      dc.n = n;
+      for (ProcessId p : all) {
+        w.transports.push_back(std::make_unique<core::NetTransport>(
+            w.exec, w.network, p, /*tag=*/910));
+        w.engines.push_back(std::make_unique<core::DiskPaxosEngine>(
+            w.exec, w.view_ptrs[p - 1], *w.transports.back(), *w.omega, pool,
+            dc));
+      }
+      break;
+    }
+
+    case Algorithm::kProtectedMemoryPaxos:
+    case Algorithm::kAlignedPaxos: {
+      auto pool = std::make_shared<core::SlotRegions<RegionId>>(
+          [wp = &w, n](Slot s) {
+            RegionId region = 0;
+            wp->for_each_backing([&](auto& m) {
+              region = core::make_pmp_region(m, n, kLeaderP1,
+                                             core::slot_ns(s, "pmp"));
+            });
+            return region;
+          });
+      for (ProcessId p : all) {
+        w.transports.push_back(std::make_unique<core::NetTransport>(
+            w.exec, w.network, p,
+            /*tag=*/config.algo == Algorithm::kAlignedPaxos ? 920 : 900));
+        if (config.algo == Algorithm::kAlignedPaxos) {
+          core::AlignedPaxosConfig ac;
+          ac.n = n;
+          w.engines.push_back(std::make_unique<core::AlignedEngine>(
+              w.exec, w.view_ptrs[p - 1], *w.transports.back(), *w.omega, pool,
+              ac));
+        } else {
+          core::PmpConfig pc;
+          pc.n = n;
+          w.engines.push_back(std::make_unique<core::PmpEngine>(
+              w.exec, w.view_ptrs[p - 1], *w.transports.back(), *w.omega, pool,
+              pc));
+        }
+      }
+      break;
+    }
+
+    case Algorithm::kFastRobust: {
+      auto pool = std::make_shared<core::SlotRegions<core::FastRobustSlotRegions>>(
+          [wp = &w, n](Slot s) {
+            core::FastRobustSlotRegions out;
+            wp->for_each_backing([&](auto& m) {
+              out.cq = core::make_cq_regions(m, n, kLeaderP1,
+                                             core::slot_ns(s, "cq"));
+              out.neb = core::make_neb_regions(m, n, core::slot_ns(s, "neb"));
+            });
+            return out;
+          });
+      w.fr_regions = pool;
+      // Byzantine region attacks target the first slot's regions.
+      w.neb_prefix = core::slot_ns(0, "neb");
+      w.cq_prefix = core::slot_ns(0, "cq");
+      if (!config.faults.byzantine.empty()) {
+        const core::FastRobustSlotRegions& r0 = pool->get(0);
+        w.neb_region_ids = r0.neb;
+        w.cq_region_leader_ = r0.cq.leader;
+      }
+
+      core::FastRobustConfig fc;
+      fc.n = n;
+      fc.f = fP;
+      fc.cheap.n = n;
+      fc.cheap.timeout = config.cq_timeout;
+      fc.neb.n = n;
+      fc.paxos.n = n;
+      fc.paxos.round_timeout = 150 * n;  // backup runs over NEB (see above)
+      fc.paxos.retry_backoff = 40;
+      for (ProcessId p : all) {
+        w.engines.push_back(std::make_unique<core::FastRobustEngine>(
+            w.exec, w.view_ptrs[p - 1], pool, w.keystore, w.signers[p - 1],
+            *w.omega, fc));
+      }
+      break;
+    }
+
+    case Algorithm::kRobustBackup:
+      throw std::invalid_argument(
+          "SMR mode: RobustBackup has no ConsensusEngine adapter (use "
+          "FastRobust, whose backup path is RobustBackup(Paxos))");
+  }
+
+  // ---- Replicas + workload. ----
+  // Byzantine engines route everything through memories, where passive
+  // replicas could never be heard — every correct replica proposes each slot.
+  const bool all_propose = (config.algo == Algorithm::kFastRobust);
+  smr::ReplicaConfig rc;
+  rc.batch = config.smr.batch;
+  rc.log.window = config.smr.window;
+  rc.log.all_propose = all_propose;
+  const Slot fixed_slots =
+      (config.smr.commands + config.smr.batch - 1) / config.smr.batch;
+  if (all_propose) rc.log.fixed_slots = fixed_slots;
+
+  for (ProcessId p : all) {
+    w.state_machines.push_back(std::make_unique<RecordingSm>());
+    if (config.faults.is_byzantine(p)) {
+      w.smr_replicas.push_back(nullptr);
+      continue;
+    }
+    w.smr_replicas.push_back(std::make_unique<smr::Replica>(
+        w.exec, *w.engines[p - 1], *w.omega, *w.state_machines.back(), rc));
+  }
+  for (ProcessId p : all) {
+    if (config.faults.is_byzantine(p)) continue;
+    w.engines[p - 1]->start();
+    w.smr_replicas[p - 1]->start();
+    for (std::size_t i = 0; i < config.smr.commands; ++i) {
+      w.smr_replicas[p - 1]->submit(util::to_bytes(smr_command(p, i)));
+    }
+    w.smr_replicas[p - 1]->flush();
+  }
+
+  spawn_byzantine(w, config);
+
+  // ---- Run to quiescence. ----
+  // Leader mode: the current leader drained its queue and applied everything
+  // it proposed, and every correct replica caught up to the same log length.
+  // All-propose mode: every correct replica applied all fixed slots.
+  const auto done = [&]() -> bool {
+    if (all_propose) {
+      for (ProcessId p : all) {
+        if (!w.correct(p)) continue;
+        if (w.smr_replicas[p - 1]->log().applied_len() != fixed_slots) {
+          return false;
+        }
+      }
+      return true;
+    }
+    const ProcessId leader = w.omega->leader();
+    if (leader < 1 || leader > n || !w.correct(leader)) return false;
+    const smr::Replica& lr = *w.smr_replicas[leader - 1];
+    if (!lr.idle()) return false;
+    const Slot len = lr.log().applied_len();
+    for (ProcessId p : all) {
+      if (!w.correct(p)) continue;
+      if (w.smr_replicas[p - 1]->log().applied_len() != len) return false;
+    }
+    return true;
+  };
+  w.exec.run_until(done, config.horizon);
+
+  // ---- Report. ----
+  RunReport report;
+  report.termination = done();
+
+  std::set<std::string> submitted;
+  for (ProcessId p : all) {
+    if (config.faults.is_byzantine(p)) continue;
+    for (std::size_t i = 0; i < config.smr.commands; ++i) {
+      submitted.insert(smr_command(p, i));
+    }
+  }
+
+  std::vector<sim::Time> latencies;
+  const std::vector<std::string>* reference_log = nullptr;
+  for (ProcessId p : all) {
+    auto& row = w.reports[p - 1];
+    if (!row.byzantine && w.smr_replicas[p - 1] != nullptr) {
+      const smr::Replica& replica = *w.smr_replicas[p - 1];
+      const smr::RunStats stats = replica.stats();
+      row.log = w.state_machines[p - 1]->log;
+      row.decided = stats.slots_applied > 0;
+      row.decided_at = stats.last_apply_at;
+      row.fast_path = stats.slots_applied > 0 &&
+                      stats.fast_slots + stats.noop_slots >= stats.slots_applied;
+      std::string joined;
+      for (const auto& c : row.log) {
+        if (!joined.empty()) joined += '|';
+        joined += c;
+      }
+      row.decision = std::move(joined);
+
+      if (w.correct(p)) {
+        // Aggregate SMR metrics over correct replicas. fast-path is a
+        // proposer-local property (learners decide via DECIDE), so take the
+        // max rather than the last replica's count.
+        if (stats.slots_applied >= report.slots_applied) {
+          report.slots_applied = stats.slots_applied;
+          report.commands_applied = stats.commands_applied;
+          report.noop_slots = stats.noop_slots;
+        }
+        report.fast_slots = std::max(report.fast_slots, stats.fast_slots);
+        const std::vector<sim::Time> won = smr::won_slot_latencies(replica.log());
+        latencies.insert(latencies.end(), won.begin(), won.end());
+        const auto& records = replica.log().records();
+        if (replica.log().applied_len() > 0 && !records.empty()) {
+          report.first_decision_delay =
+              std::min(report.first_decision_delay, records[0].decided_at);
+          report.first_correct_decision_delay = std::min(
+              report.first_correct_decision_delay, records[0].decided_at);
+        }
+        // Invariants: identical logs (SMR agreement), applied ⊆ submitted
+        // (SMR validity).
+        if (reference_log == nullptr) {
+          reference_log = &w.state_machines[p - 1]->log;
+        } else if (*reference_log != w.state_machines[p - 1]->log) {
+          report.agreement = false;
+        }
+        for (const auto& c : w.state_machines[p - 1]->log) {
+          if (!submitted.contains(c)) report.validity = false;
+        }
+      }
+    }
+    report.processes.push_back(row);
+  }
+  if (report.slots_applied > 0 && reference_log != nullptr &&
+      !reference_log->empty()) {
+    report.decided_value = reference_log->front();
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  report.commit_p50 = smr::latency_percentile(latencies, 50);
+  report.commit_p99 = smr::latency_percentile(latencies, 99);
+
+  report.messages_sent = w.network.messages_sent();
+  if (!config.verbs_backend) {
+    for (const auto& m : w.mem_backing) {
+      report.mem_reads += m->reads();
+      report.mem_read_batches += m->read_batches();
+      report.mem_writes += m->writes();
+      report.permission_changes += m->permission_changes();
+    }
+  } else {
+    for (const auto& vm : w.verbs_backing) {
+      report.mem_reads += vm->device().posted_reads();
+      report.mem_read_batches += vm->device().posted_read_batches();
+      report.mem_writes += vm->device().posted_writes();
+    }
+  }
+  report.signatures = w.keystore.signatures_made();
+  report.verifications = w.keystore.verifications_made();
+  report.events = w.exec.events_processed();
+  if (report.slots_applied > 0) {
+    report.events_per_slot = static_cast<double>(report.events) /
+                             static_cast<double>(report.slots_applied);
+  }
+  return report;
+}
+
 }  // namespace
 
 RunReport run_cluster(const ClusterConfig& config) {
   World w(config);
+  if (config.smr.enabled) return run_smr(w, config);
   const std::size_t n = config.n;
   const auto all = all_processes(n);
   const std::size_t fP = n > 0 ? (n - 1) / 2 : 0;  // tolerance n >= 2f+1
@@ -313,8 +649,11 @@ RunReport run_cluster(const ClusterConfig& config) {
       core::DiskPaxosConfig dc;
       dc.n = n;
       for (ProcessId p : all) {
+        w.transports.push_back(std::make_unique<core::NetTransport>(
+            w.exec, w.network, p, /*tag=*/910));
         w.disk_paxoses.push_back(std::make_unique<core::DiskPaxos>(
-            w.exec, w.view_ptrs[p - 1], region, w.network, *w.omega, p, dc));
+            w.exec, w.view_ptrs[p - 1], region, *w.transports.back(), *w.omega,
+            dc));
       }
       for (ProcessId p : all) {
         w.disk_paxoses[p - 1]->start();
@@ -331,8 +670,11 @@ RunReport run_cluster(const ClusterConfig& config) {
       core::PmpConfig pc;
       pc.n = n;
       for (ProcessId p : all) {
+        w.transports.push_back(std::make_unique<core::NetTransport>(
+            w.exec, w.network, p, /*tag=*/900));
         w.pmps.push_back(std::make_unique<core::ProtectedMemoryPaxos>(
-            w.exec, w.view_ptrs[p - 1], region, w.network, *w.omega, p, pc));
+            w.exec, w.view_ptrs[p - 1], region, *w.transports.back(), *w.omega,
+            pc));
       }
       for (ProcessId p : all) {
         w.pmps[p - 1]->start();
@@ -349,8 +691,11 @@ RunReport run_cluster(const ClusterConfig& config) {
       core::AlignedPaxosConfig ac;
       ac.n = n;
       for (ProcessId p : all) {
+        w.transports.push_back(std::make_unique<core::NetTransport>(
+            w.exec, w.network, p, /*tag=*/920));
         w.aligneds.push_back(std::make_unique<core::AlignedPaxos>(
-            w.exec, w.view_ptrs[p - 1], region, w.network, *w.omega, p, ac));
+            w.exec, w.view_ptrs[p - 1], region, *w.transports.back(), *w.omega,
+            ac));
       }
       for (ProcessId p : all) {
         w.aligneds[p - 1]->start();
@@ -428,21 +773,7 @@ RunReport run_cluster(const ClusterConfig& config) {
   }
 
   // ---- Byzantine strategies. ----
-  for (const auto& [p, strategy] : config.faults.byzantine) {
-    switch (strategy) {
-      case ByzantineStrategy::kSilent:
-        break;
-      case ByzantineStrategy::kNebEquivocate:
-        w.exec.spawn(byz_neb_equivocate(&w, p));
-        break;
-      case ByzantineStrategy::kCqLeaderEquivocate:
-        w.exec.spawn(byz_cq_leader_equivocate(&w, p));
-        break;
-      case ByzantineStrategy::kGarbage:
-        w.exec.spawn(byz_garbage(&w, p));
-        break;
-    }
-  }
+  spawn_byzantine(w, config);
 
   // ---- Run. ----
   w.exec.run_until([&] { return w.done(); }, config.horizon);

@@ -60,6 +60,20 @@ struct FaultPlan {
   bool is_byzantine(ProcessId p) const { return byzantine.contains(p); }
 };
 
+/// Multi-slot (state-machine replication) mode: instead of one consensus
+/// instance, every correct replica runs an smr::Replica over the chosen
+/// algorithm's core::ConsensusEngine adapter, submits `commands` commands
+/// (batched `batch` per slot, `window` slots in flight), and the run checks
+/// SMR invariants: identical applied logs, in-order apply, termination.
+/// Fault plans (crashes, Byzantine strategies) apply exactly as in
+/// single-shot mode; Byzantine region attacks target slot 0's regions.
+struct SmrConfig {
+  bool enabled = false;
+  std::size_t commands = 32;  // workload submitted per correct replica
+  std::size_t batch = 4;      // commands packed per slot payload
+  std::size_t window = 8;     // max in-flight slots
+};
+
 struct ClusterConfig {
   Algorithm algo = Algorithm::kPaxos;
   std::size_t n = 3;
@@ -77,6 +91,8 @@ struct ClusterConfig {
   sim::Time horizon = 60000;
   sim::Time cq_timeout = 120;
 
+  SmrConfig smr;
+
   FaultPlan faults;
 };
 
@@ -88,6 +104,9 @@ struct ProcessReport {
   std::string decision;
   sim::Time decided_at = 0;
   bool fast_path = false;  // Fast & Robust: decided on the Cheap Quorum path
+
+  /// SMR mode: the commands this replica applied, in apply order.
+  std::vector<std::string> log;
 };
 
 struct RunReport {
@@ -118,6 +137,19 @@ struct RunReport {
   /// Executor events processed by the whole run — the simulator's own cost
   /// metric (the quantity the event-driven waits minimize).
   std::uint64_t events = 0;
+
+  // SMR mode only (config.smr.enabled).
+  Slot slots_applied = 0;             // longest correct replica's applied log
+  std::uint64_t commands_applied = 0;
+  std::uint64_t noop_slots = 0;
+  std::uint64_t fast_slots = 0;
+  /// Commit latency (enqueue → local decide, sim-time) percentiles over
+  /// every slot some correct replica proposed and won.
+  sim::Time commit_p50 = 0;
+  sim::Time commit_p99 = 0;
+  /// Executor events per applied slot — the pipelining-efficiency metric
+  /// bench_log_pipeline tracks.
+  double events_per_slot = 0.0;
 
   std::string summary() const;
 };

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/common.hpp"
@@ -47,6 +48,13 @@ struct Message {
 /// delivery, no rb-tree walk).
 class Inbox {
  public:
+  /// Direct-delivery hook: when set for a type, deliver() hands the message
+  /// to the sink inside the delivery event itself instead of queueing into
+  /// a channel — transports that re-wrap messages (core::NetTransport's
+  /// net::Message → TMsg conversion) skip a whole pump hop per message.
+  /// The sink must outlive message flow on its type.
+  using Sink = std::function<void(Message&&)>;
+
   explicit Inbox(sim::Executor& exec) : exec_(&exec) {}
 
   /// Channel for a specific message type (created on first use).
@@ -60,11 +68,20 @@ class Inbox {
 
   bool has_channel(MsgType type) const { return channels_.contains(type); }
 
-  void deliver(Message msg) { channel(msg.type).send(std::move(msg)); }
+  void set_sink(MsgType type, Sink sink) { sinks_[type] = std::move(sink); }
+
+  void deliver(Message msg) {
+    if (Sink* s = sinks_.find(msg.type); s != nullptr && *s) {
+      (*s)(std::move(msg));
+      return;
+    }
+    channel(msg.type).send(std::move(msg));
+  }
 
  private:
   sim::Executor* exec_;
   util::FlatMap<MsgType, std::unique_ptr<sim::Channel<Message>>> channels_;
+  util::FlatMap<MsgType, Sink> sinks_;
 };
 
 /// Delay (in virtual time units) for a message src → dst sent at `now`.

@@ -1,0 +1,187 @@
+#include "src/smr/log.hpp"
+
+#include <cassert>
+
+#include "src/sim/select.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::smr {
+
+Bytes encode_batch(const std::vector<Bytes>& commands) {
+  std::size_t payload = 0;
+  for (const Bytes& c : commands) payload += 4 + c.size();
+  util::Writer w(4 + payload);
+  w.u32(static_cast<std::uint32_t>(commands.size()));
+  for (const Bytes& c : commands) w.bytes(c);
+  return std::move(w).take();
+}
+
+std::vector<Bytes> decode_batch(util::ByteView raw) {
+  try {
+    util::Reader r(raw);
+    const std::uint32_t count = r.u32();
+    std::vector<Bytes> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.bytes());
+    r.expect_end();
+    return out;
+  } catch (const util::SerdeError&) {
+    return {};  // garbage batch applies as zero commands, deterministically
+  }
+}
+
+Log::Log(sim::Executor& exec, core::ConsensusEngine& engine, core::Omega& omega,
+         StateMachine& sm, LogConfig config)
+    : exec_(&exec),
+      engine_(&engine),
+      omega_(&omega),
+      sm_(&sm),
+      config_(config),
+      pending_signal_(exec),
+      applied_signal_(exec) {
+  assert(config_.window >= 1 && "smr::Log: window must be at least 1");
+}
+
+void Log::start() {
+  assert(!started_ && "smr::Log::start called twice");
+  started_ = true;
+  exec_->spawn(apply_loop());
+  exec_->spawn(config_.all_propose ? pump_all() : pump_leader());
+}
+
+void Log::enqueue(Bytes payload) {
+  pending_.push_back(Pending{std::move(payload), exec_->now()});
+  pending_signal_.bump();
+}
+
+SlotRecord& Log::record(Slot s) {
+  if (records_.size() <= s) records_.resize(s + 1);
+  return records_[s];
+}
+
+Log::Pending Log::take_pending_or_noop() {
+  if (pending_.empty()) return Pending{Bytes{}, exec_->now()};
+  Pending p = std::move(pending_.front());
+  pending_.pop_front();
+  return p;
+}
+
+void Log::launch(Slot slot, Pending p, bool retry) {
+  SlotRecord& rec = record(slot);
+  rec.proposed_here = true;
+  rec.enqueued_at = p.enqueued_at;
+  rec.proposed_at = exec_->now();
+  exec_->spawn(drive(slot, std::move(p.payload), p.enqueued_at, retry));
+}
+
+sim::Task<void> Log::drive(Slot slot, Bytes payload, sim::Time enqueued_at,
+                           bool retry) {
+  // Survives the move into propose(): detects a lost slot, and is what the
+  // abort path re-queues.
+  const Bytes proposed = payload;
+  try {
+    const core::Decision d = co_await engine_->propose(slot, std::move(payload));
+    if (d.value == proposed) {
+      record(slot).won_here = true;
+    } else if (retry && !proposed.empty()) {
+      // Our batch lost the slot (a hand-off adopted an older leader's
+      // value): put it back at the front so it wins a later slot.
+      pending_.push_front(Pending{proposed, enqueued_at});
+      pending_signal_.bump();
+    }
+  } catch (const core::ProposeAborted&) {
+    // Engine could not decide this proposal (Cheap Quorum abort). The
+    // payload is not lost if retry is on.
+    if (retry && !proposed.empty()) {
+      pending_.push_front(Pending{proposed, enqueued_at});
+      pending_signal_.bump();
+    }
+  }
+}
+
+void Log::apply_slot(Slot slot, const core::Decision& d) {
+  SlotRecord& rec = record(slot);
+  rec.decided_at = d.decided_at;
+  rec.fast = d.fast;
+  rec.applied_at = exec_->now();
+  const std::vector<Bytes> commands = decode_batch(d.value);
+  rec.commands = commands.size();
+  rec.noop = commands.empty();
+  for (const Bytes& c : commands) sm_->apply(slot, c);
+}
+
+sim::Task<void> Log::apply_loop() {
+  while (true) {
+    core::SlotDecision sd = co_await engine_->decisions().recv();
+    stash_.emplace(sd.slot, std::move(sd.decision));
+    // Drain the contiguous prefix: decisions may land in any order, the
+    // state machine only ever sees slot order.
+    for (auto it = stash_.find(applied_len_); it != stash_.end();
+         it = stash_.find(applied_len_)) {
+      apply_slot(applied_len_, it->second);
+      stash_.erase(it);
+      ++applied_len_;
+      applied_signal_.bump();
+    }
+  }
+}
+
+sim::Task<void> Log::pump_leader() {
+  const ProcessId self = engine_->self();
+  while (true) {
+    // Snapshot every wait source BEFORE inspecting state: a bump landing
+    // between the snapshot and the await makes the select ready
+    // immediately, so wakeups cannot be lost.
+    const std::uint64_t v_pending = pending_signal_.version();
+    const std::uint64_t v_applied = applied_signal_.version();
+    const std::uint64_t v_omega = omega_->changed().version();
+    const std::uint64_t v_horizon = engine_->horizon_signal().version();
+
+    if (omega_->trusts(self)) {
+      // Hand-off / adoption: drive every open slot we have heard of but not
+      // proposed ourselves (a dead or deposed leader's window). The
+      // engine's protocol adopts any value a quorum already accepted;
+      // otherwise our payload (or a no-op) fills the gap so the applied
+      // prefix can advance. Slots we already drive self-heal (their
+      // propose retries under our leadership), so they are skipped.
+      const Slot horizon = engine_->slot_horizon();
+      for (Slot s = applied_len_; s < horizon; ++s) {
+        if (s < records_.size() && records_[s].proposed_here) continue;
+        if (stash_.contains(s)) continue;  // decided, awaiting apply
+        launch(s, take_pending_or_noop(), /*retry=*/true);
+      }
+      next_slot_ = std::max(next_slot_, horizon);
+      // Fill the window with fresh assignments.
+      while (next_slot_ < applied_len_ + config_.window &&
+             !pending_.empty()) {
+        launch(next_slot_, take_pending_or_noop(), /*retry=*/true);
+        ++next_slot_;
+      }
+    }
+
+    sim::Select sel(*exec_);
+    sel.on(pending_signal_, v_pending)
+        .on(applied_signal_, v_applied)
+        .on(omega_->changed(), v_omega)
+        .on(engine_->horizon_signal(), v_horizon);
+    (void)co_await sel;
+  }
+}
+
+sim::Task<void> Log::pump_all() {
+  while (next_slot_ < config_.fixed_slots) {
+    const std::uint64_t v_applied = applied_signal_.version();
+    if (next_slot_ < applied_len_ + config_.window) {
+      // Candidate-per-slot model: no retry — consensus picking another
+      // replica's candidate is the expected outcome, not a loss.
+      launch(next_slot_, take_pending_or_noop(), /*retry=*/false);
+      ++next_slot_;
+      continue;
+    }
+    sim::Select sel(*exec_);
+    sel.on(applied_signal_, v_applied);
+    (void)co_await sel;
+  }
+}
+
+}  // namespace mnm::smr

@@ -1,0 +1,151 @@
+// smr::Log — pipelined multi-slot replication over a core::ConsensusEngine.
+//
+// The layer the paper's systems motivation (§1/§2: DARE, APUS) actually
+// needs: a log where up to `window` slots are in flight concurrently, each
+// an independent consensus instance behind the engine, with decisions
+// applied to the state machine strictly in slot order no matter what order
+// they commit in. One Log per replica; all replicas of a cluster share one
+// engine *kind* over one transport/memory set.
+//
+// Two proposal modes:
+//
+//  * Leader-driven (default, crash-model engines): only the Ω-trusted
+//    replica assigns slots, pulling queued batch payloads and keeping
+//    `window` slots open past the applied prefix. Followers participate
+//    passively (the engine's discovery loop opens slots heard on the wire)
+//    and apply from the engine's decision stream. Leader hand-off is
+//    notification-driven: when Ω changes (Omega::poke), the new leader
+//    re-proposes every open slot in [applied, horizon) — adopting whatever
+//    a quorum already accepted, per the engine's protocol — and takes over
+//    fresh assignment from the horizon. A queued payload that loses its
+//    slot to an older leader's value is re-queued at the front, so enqueued
+//    batches commit unless their replica dies.
+//
+//  * All-propose (`all_propose`, Byzantine-model engines): every correct
+//    replica proposes its own candidate payload (or a no-op filler once its
+//    queue drains) for each of `fixed_slots` slots, window-paced. This is
+//    the mode Fast & Robust / Cheap Quorum require, since their traffic
+//    runs through memories and passive replicas could never be heard.
+//
+// All waits are event-driven (sim::Select over the pending/applied/Ω/
+// horizon signals, snapshot-before-check); an idle log costs zero events.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/omega.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+
+namespace mnm::smr {
+
+/// In-order command sink. `apply` runs exactly once per command, in slot
+/// order (and submission order within a slot's batch), on every correct
+/// replica — the replicated-state-machine contract.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  virtual void apply(Slot slot, util::ByteView command) = 0;
+};
+
+/// Slot payload codec: a batch of commands (u32 count + length-prefixed
+/// commands). The empty batch is the no-op filler; undecodable bytes (a
+/// Byzantine proposer can win a slot with garbage) apply as zero commands,
+/// identically on every correct replica.
+Bytes encode_batch(const std::vector<Bytes>& commands);
+std::vector<Bytes> decode_batch(util::ByteView raw);
+
+struct LogConfig {
+  /// Max slots between the first unapplied slot and the newest assignment.
+  std::size_t window = 8;
+  /// Every replica proposes every slot (required by Byzantine engines).
+  bool all_propose = false;
+  /// all_propose only: total slots to drive (each replica must use the
+  /// same value).
+  Slot fixed_slots = 0;
+  /// Seed for Ω leadership-wait backoff.
+  sim::Time lead_poll = 1;
+};
+
+/// Everything recorded about one slot at this replica (index == slot).
+struct SlotRecord {
+  bool proposed_here = false;  // this replica drove a proposal for the slot
+  bool won_here = false;       // ...and its payload was the decided value
+  bool noop = false;           // decided batch was empty / undecodable
+  bool fast = false;           // local decision took the engine's fast path
+  std::size_t commands = 0;    // commands applied from the slot
+  sim::Time enqueued_at = 0;   // proposer only: when the payload was queued
+  sim::Time proposed_at = 0;   // proposer only
+  sim::Time decided_at = 0;    // local decision time
+  sim::Time applied_at = 0;
+};
+
+class Log {
+ public:
+  Log(sim::Executor& exec, core::ConsensusEngine& engine, core::Omega& omega,
+      StateMachine& sm, LogConfig config);
+
+  /// Spawn the apply loop and the proposal pump. Call exactly once, after
+  /// engine.start().
+  void start();
+
+  /// Queue a batch payload (encode_batch) for replication.
+  void enqueue(Bytes payload);
+
+  std::size_t pending() const { return pending_.size(); }
+  /// Slots applied to the state machine (the contiguous prefix).
+  Slot applied_len() const { return applied_len_; }
+  /// One past the highest slot this replica has proposed for.
+  Slot proposed_upto() const { return next_slot_; }
+  /// Nothing queued, nothing decided-but-unapplied, every slot this replica
+  /// proposed is applied.
+  bool quiescent() const {
+    return pending_.empty() && stash_.empty() && applied_len_ >= next_slot_;
+  }
+  sim::VersionSignal& applied_signal() { return applied_signal_; }
+  const std::vector<SlotRecord>& records() const { return records_; }
+
+ private:
+  struct Pending {
+    Bytes payload;
+    sim::Time enqueued_at = 0;
+  };
+
+  sim::Task<void> apply_loop();
+  sim::Task<void> pump_leader();
+  sim::Task<void> pump_all();
+  /// One slot proposal; on loss (another value decided) re-queues the
+  /// payload at the front when `retry`.
+  sim::Task<void> drive(Slot slot, Bytes payload, sim::Time enqueued_at,
+                        bool retry);
+
+  SlotRecord& record(Slot s);
+  Pending take_pending_or_noop();
+  void launch(Slot slot, Pending p, bool retry);
+  void apply_slot(Slot slot, const core::Decision& d);
+
+  sim::Executor* exec_;
+  core::ConsensusEngine* engine_;
+  core::Omega* omega_;
+  StateMachine* sm_;
+  LogConfig config_;
+
+  std::deque<Pending> pending_;
+  sim::VersionSignal pending_signal_;
+  std::map<Slot, core::Decision> stash_;  // decided, awaiting in-order apply
+  std::vector<SlotRecord> records_;
+  Slot applied_len_ = 0;
+  Slot next_slot_ = 0;
+  sim::VersionSignal applied_signal_;
+  bool started_ = false;
+};
+
+}  // namespace mnm::smr

@@ -1,0 +1,79 @@
+#include "src/smr/replica.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace mnm::smr {
+
+std::vector<sim::Time> won_slot_latencies(const Log& log) {
+  std::vector<sim::Time> out;
+  const auto& records = log.records();
+  for (Slot s = 0; s < log.applied_len() && s < records.size(); ++s) {
+    const SlotRecord& r = records[s];
+    if (r.proposed_here && r.won_here && !r.noop) {
+      out.push_back(r.decided_at - r.enqueued_at);
+    }
+  }
+  return out;
+}
+
+sim::Time latency_percentile(const std::vector<sim::Time>& sorted, int p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx =
+      (sorted.size() - 1) * static_cast<std::size_t>(p) / 100;
+  return sorted[idx];
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << "cmds=" << commands_applied << "/" << commands_submitted
+     << " slots=" << slots_applied << " noop=" << noop_slots
+     << " fast=" << fast_slots << " p50=" << commit_p50
+     << " p99=" << commit_p99 << " cmds/kdelay=" << commands_per_kdelay;
+  return os.str();
+}
+
+Replica::Replica(sim::Executor& exec, core::ConsensusEngine& engine,
+                 core::Omega& omega, StateMachine& sm, ReplicaConfig config)
+    : log_(exec, engine, omega, sm, config.log), config_(config) {
+  assert(config_.batch >= 1 && "smr::Replica: batch must be at least 1");
+}
+
+void Replica::submit(Bytes command) {
+  ++submitted_;
+  open_batch_.push_back(std::move(command));
+  if (open_batch_.size() >= config_.batch) flush();
+}
+
+void Replica::flush() {
+  if (open_batch_.empty()) return;
+  log_.enqueue(encode_batch(open_batch_));
+  open_batch_.clear();
+}
+
+RunStats Replica::stats() const {
+  RunStats out;
+  out.commands_submitted = submitted_;
+  out.slots_applied = log_.applied_len();
+  const auto& records = log_.records();
+  for (Slot s = 0; s < out.slots_applied && s < records.size(); ++s) {
+    const SlotRecord& r = records[s];
+    out.commands_applied += r.commands;
+    if (r.noop) ++out.noop_slots;
+    if (r.fast) ++out.fast_slots;
+    out.last_apply_at = std::max(out.last_apply_at, r.applied_at);
+  }
+  std::vector<sim::Time> latencies = won_slot_latencies(log_);
+  std::sort(latencies.begin(), latencies.end());
+  out.commit_p50 = latency_percentile(latencies, 50);
+  out.commit_p99 = latency_percentile(latencies, 99);
+  if (out.last_apply_at > 0) {
+    out.commands_per_kdelay = 1000.0 *
+                              static_cast<double>(out.commands_applied) /
+                              static_cast<double>(out.last_apply_at);
+  }
+  return out;
+}
+
+}  // namespace mnm::smr

@@ -1,0 +1,84 @@
+// smr::Replica — the client-facing end of the replication stack.
+//
+// submit(cmd) batches commands into slot payloads (up to `batch` commands
+// per slot — the amortization every log replication system leans on: one
+// consensus round commits many commands), hands them to smr::Log, and
+// reports a RunStats with throughput, per-slot commit-latency percentiles,
+// and path/no-op counts. One Replica per process; the replicated state
+// machine is pluggable.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/smr/log.hpp"
+
+namespace mnm::smr {
+
+struct ReplicaConfig {
+  /// Max commands packed into one slot payload.
+  std::size_t batch = 4;
+  LogConfig log{};
+};
+
+/// Enqueue → local-decide latencies of the applied slots this log proposed
+/// and won (the slots whose commit latency is attributable to this
+/// replica). Unsorted; callers aggregating several replicas concatenate
+/// first, then sort once.
+std::vector<sim::Time> won_slot_latencies(const Log& log);
+
+/// Index-based percentile over a latency list sorted ascending (p in
+/// 0..100; zero when empty). The single definition RunStats and the
+/// harness report share.
+sim::Time latency_percentile(const std::vector<sim::Time>& sorted, int p);
+
+/// End-of-run report for one replica.
+struct RunStats {
+  std::uint64_t commands_submitted = 0;
+  std::uint64_t commands_applied = 0;
+  Slot slots_applied = 0;
+  std::uint64_t noop_slots = 0;
+  std::uint64_t fast_slots = 0;  // slots whose local decision was fast-path
+  sim::Time last_apply_at = 0;
+  /// Commit latency (enqueue → local decide, sim-time) percentiles over the
+  /// slots this replica proposed and won. Zero when it won none.
+  sim::Time commit_p50 = 0;
+  sim::Time commit_p99 = 0;
+  /// Applied commands per 1000 sim-time units — the pipelining headline.
+  double commands_per_kdelay = 0.0;
+
+  std::string summary() const;
+};
+
+class Replica {
+ public:
+  Replica(sim::Executor& exec, core::ConsensusEngine& engine,
+          core::Omega& omega, StateMachine& sm, ReplicaConfig config);
+
+  /// Spawn the log's loops. Call exactly once, after engine.start().
+  void start() { log_.start(); }
+
+  /// Queue a command; auto-flushes a full batch into the log.
+  void submit(Bytes command);
+  /// Flush a partially filled batch.
+  void flush();
+
+  Log& log() { return log_; }
+  const Log& log() const { return log_; }
+  /// No open batch, nothing pending, every proposed slot applied.
+  bool idle() const { return open_batch_.empty() && log_.quiescent(); }
+  std::uint64_t commands_submitted() const { return submitted_; }
+
+  RunStats stats() const;
+
+ private:
+  Log log_;
+  ReplicaConfig config_;
+  std::vector<Bytes> open_batch_;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace mnm::smr

@@ -24,6 +24,11 @@ struct Fingerprint {
   std::optional<std::string> value;
   sim::Time first_delay = 0;
   std::uint64_t msgs = 0, reads = 0, writes = 0, perms = 0, sigs = 0, verifs = 0;
+  // SMR mode: applied logs (in `decisions`, joined) plus the multi-slot
+  // metrics, so a reordered pipeline cannot hide behind equal counts.
+  Slot slots = 0;
+  std::uint64_t cmds = 0;
+  sim::Time p50 = 0, p99 = 0;
 
   bool operator==(const Fingerprint&) const = default;
 };
@@ -44,6 +49,10 @@ Fingerprint fingerprint(const RunReport& r) {
   f.perms = r.permission_changes;
   f.sigs = r.signatures;
   f.verifs = r.verifications;
+  f.slots = r.slots_applied;
+  f.cmds = r.commands_applied;
+  f.p50 = r.commit_p50;
+  f.p99 = r.commit_p99;
   return f;
 }
 
@@ -113,6 +122,50 @@ TEST(Determinism, PaxosWithCrashSameSeedSameRun) {
   c.seed = 11;
   c.faults.process_crashes[2] = 5;
   expect_deterministic(c);
+}
+
+// --- SMR mode: the pipelined log is deterministic too. ---
+
+TEST(Determinism, SmrFastPaxosPipelineSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 42;
+  c.smr.enabled = true;
+  c.smr.commands = 24;
+  c.smr.batch = 2;
+  c.smr.window = 4;
+  expect_deterministic(c);
+}
+
+TEST(Determinism, SmrLeaderCrashMidWindowSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 7;
+  c.smr.enabled = true;
+  c.smr.commands = 24;
+  c.smr.batch = 2;
+  c.smr.window = 4;
+  c.faults.process_crashes[1] = 6;
+  expect_deterministic(c);
+}
+
+TEST(Determinism, SmrFastRobustWithByzantineLeaderSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;
+  c.m = 3;
+  c.seed = 9;
+  c.smr.enabled = true;
+  c.smr.commands = 4;
+  c.smr.batch = 2;
+  c.smr.window = 2;
+  c.faults.byzantine[1] = ByzantineStrategy::kCqLeaderEquivocate;
+  // As in the single-shot Byzantine pin: what matters is reproducibility.
+  expect_deterministic(c, /*check_ok=*/false);
 }
 
 /// Different seeds may legitimately differ, but every seed must be

@@ -11,6 +11,7 @@
 #include "src/core/disk_paxos.hpp"
 #include "src/core/omega.hpp"
 #include "src/core/protected_memory_paxos.hpp"
+#include "src/core/transport.hpp"
 #include "src/mem/memory.hpp"
 #include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
@@ -69,8 +70,10 @@ struct PmpWorld {
     PmpConfig pc;
     pc.n = n;
     for (ProcessId p : all_processes(n)) {
+      transports.push_back(
+          std::make_unique<NetTransport>(exec, network, p, /*tag=*/900));
       pmps.push_back(std::make_unique<ProtectedMemoryPaxos>(
-          exec, ifc, region, network, omega, p, pc));
+          exec, ifc, region, *transports.back(), omega, pc));
       pmps.back()->start();
     }
   }
@@ -88,6 +91,7 @@ struct PmpWorld {
   std::vector<std::unique_ptr<mem::Memory>> memories;
   std::vector<mem::MemoryIface*> ifc;
   RegionId region = 0;
+  std::vector<std::unique_ptr<NetTransport>> transports;
   std::vector<std::unique_ptr<ProtectedMemoryPaxos>> pmps;
 };
 
@@ -133,8 +137,8 @@ TEST(ProtectedMemoryPaxos, LateLeaderAdoptsDecidedValue) {
   Omega omega2 = Omega::fixed(w.exec, 2);
   PmpConfig pc;
   pc.n = 2;
-  pc.decide_tag = 990;
-  ProtectedMemoryPaxos late(w.exec, w.ifc, w.region, w.network, omega2, 2, pc);
+  NetTransport late_transport(w.exec, w.network, 2, /*tag=*/990);
+  ProtectedMemoryPaxos late(w.exec, w.ifc, w.region, late_transport, omega2, pc);
   late.start();
   w.exec.spawn([](ProtectedMemoryPaxos* pmp) -> Task<void> {
     (void)co_await pmp->propose(to_bytes("second"));
@@ -172,8 +176,10 @@ struct DiskWorld {
     DiskPaxosConfig dc;
     dc.n = n;
     for (ProcessId p : all_processes(n)) {
-      dps.push_back(std::make_unique<DiskPaxos>(exec, ifc, region, network,
-                                                omega, p, dc));
+      transports.push_back(
+          std::make_unique<NetTransport>(exec, network, p, /*tag=*/910));
+      dps.push_back(std::make_unique<DiskPaxos>(exec, ifc, region,
+                                                *transports.back(), omega, dc));
       dps.back()->start();
     }
   }
@@ -185,6 +191,7 @@ struct DiskWorld {
   std::vector<std::unique_ptr<mem::Memory>> memories;
   std::vector<mem::MemoryIface*> ifc;
   RegionId region = 0;
+  std::vector<std::unique_ptr<NetTransport>> transports;
   std::vector<std::unique_ptr<DiskPaxos>> dps;
 };
 

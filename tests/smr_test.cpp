@@ -1,0 +1,213 @@
+// smr::Log / smr::Replica: pipelined replication invariants.
+//
+// Unit level: the Log's in-order apply over a scripted engine that decides
+// slots out of order (the engine API makes the Log testable without any
+// network). Cluster level (through harness SMR mode): pipelined logs under
+// leader crash mid-window converge, ≥64 slots flow over a single shared
+// transport per replica, batching packs commands, Byzantine plans apply to
+// multi-slot runs, and the report carries commit-latency percentiles.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/core/omega.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/sim/executor.hpp"
+#include "src/smr/replica.hpp"
+
+namespace mnm {
+namespace {
+
+using harness::Algorithm;
+using harness::ClusterConfig;
+using harness::RunReport;
+using util::to_bytes;
+using util::to_string;
+
+/// Test double: decisions are injected by the test, in any order.
+struct ScriptedEngine : core::ConsensusEngine {
+  explicit ScriptedEngine(sim::Executor& exec) : ConsensusEngine(exec) {}
+
+  ProcessId self() const override { return 1; }
+  std::size_t process_count() const override { return 1; }
+  void start() override {}
+  void open_slot(Slot s) override { note_slot(s); }
+  sim::Task<core::Decision> propose(Slot, Bytes) override {
+    throw std::logic_error("scripted engine: propose not scripted");
+  }
+
+  void inject(Slot s, const std::vector<Bytes>& commands, sim::Time at) {
+    push_decision(s, core::Decision{smr::encode_batch(commands), false, at});
+  }
+  void inject_raw(Slot s, Bytes value) {
+    push_decision(s, core::Decision{std::move(value), false, 0});
+  }
+};
+
+struct RecordingSm : smr::StateMachine {
+  std::vector<std::pair<Slot, std::string>> applied;
+  void apply(Slot slot, util::ByteView command) override {
+    applied.emplace_back(slot, to_string(command));
+  }
+};
+
+TEST(SmrLog, OutOfOrderDecisionsApplyInSlotOrder) {
+  sim::Executor exec;
+  // Ω trusts someone else: the pump stays passive, decisions are scripted.
+  core::Omega omega = core::Omega::fixed(exec, 2);
+  ScriptedEngine engine(exec);
+  RecordingSm sm;
+  smr::Log log(exec, engine, omega, sm, smr::LogConfig{});
+  log.start();
+
+  engine.inject(2, {to_bytes("c2")}, 10);
+  engine.inject(0, {to_bytes("c0a"), to_bytes("c0b")}, 11);
+  exec.run_until([&] { return log.applied_len() == 2; }, 1000);
+  // Slot 1 is missing: 2 stays stashed after 0 applies... 0 applies alone.
+  EXPECT_EQ(log.applied_len(), 1u);
+  ASSERT_EQ(sm.applied.size(), 2u);
+  EXPECT_EQ(sm.applied[0], (std::pair<Slot, std::string>{0, "c0a"}));
+  EXPECT_EQ(sm.applied[1], (std::pair<Slot, std::string>{0, "c0b"}));
+
+  engine.inject(1, {to_bytes("c1")}, 12);
+  exec.run_until([&] { return log.applied_len() == 3; }, 1000);
+  EXPECT_EQ(log.applied_len(), 3u);
+  ASSERT_EQ(sm.applied.size(), 4u);
+  EXPECT_EQ(sm.applied[2], (std::pair<Slot, std::string>{1, "c1"}));
+  EXPECT_EQ(sm.applied[3], (std::pair<Slot, std::string>{2, "c2"}));
+  // Record bookkeeping followed the decisions.
+  EXPECT_EQ(log.records()[2].commands, 1u);
+  EXPECT_EQ(log.records()[2].decided_at, 10u);
+}
+
+TEST(SmrLog, EmptyAndGarbageBatchesApplyAsNoops) {
+  sim::Executor exec;
+  core::Omega omega = core::Omega::fixed(exec, 2);
+  ScriptedEngine engine(exec);
+  RecordingSm sm;
+  smr::Log log(exec, engine, omega, sm, smr::LogConfig{});
+  log.start();
+
+  engine.inject(0, {}, 1);  // explicit no-op filler
+  // A Byzantine proposer can win a slot with bytes that are not a batch.
+  engine.inject_raw(1, to_bytes("\xde\xad"));
+  exec.run_until([&] { return log.applied_len() == 2; }, 1000);
+  EXPECT_EQ(log.applied_len(), 2u);
+  EXPECT_TRUE(sm.applied.empty());
+  EXPECT_TRUE(log.records()[0].noop);
+  EXPECT_TRUE(log.records()[1].noop);
+}
+
+TEST(SmrBatchCodec, RoundTrip) {
+  const std::vector<Bytes> cmds = {to_bytes("a"), to_bytes("bb"), Bytes{}};
+  const auto decoded = smr::decode_batch(smr::encode_batch(cmds));
+  EXPECT_EQ(decoded, cmds);
+  EXPECT_TRUE(smr::decode_batch(to_bytes("garbage")).empty());
+  EXPECT_TRUE(smr::decode_batch(smr::encode_batch({})).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level SMR invariants (harness SMR mode).
+// ---------------------------------------------------------------------------
+
+ClusterConfig smr_config(Algorithm algo, std::size_t n, std::size_t m,
+                         std::size_t commands, std::size_t batch,
+                         std::size_t window) {
+  ClusterConfig c;
+  c.algo = algo;
+  c.n = n;
+  c.m = m;
+  c.smr.enabled = true;
+  c.smr.commands = commands;
+  c.smr.batch = batch;
+  c.smr.window = window;
+  return c;
+}
+
+TEST(SmrCluster, LeaderCrashMidWindowLogsConverge) {
+  ClusterConfig c = smr_config(Algorithm::kFastPaxos, 3, 0, 24, 2, 4);
+  c.faults.process_crashes[1] = 6;  // several slots in flight at the crash
+  const RunReport r = harness::run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  // Survivors hold identical logs and committed the new leader's workload.
+  EXPECT_EQ(r.processes[1].log, r.processes[2].log);
+  EXPECT_GE(r.slots_applied, 12u) << r.summary();
+  // The crashed ex-leader's applied prefix is a prefix of the survivors'.
+  const auto& dead = r.processes[0].log;
+  const auto& live = r.processes[1].log;
+  ASSERT_LE(dead.size(), live.size());
+  EXPECT_TRUE(std::equal(dead.begin(), dead.end(), live.begin()))
+      << "crashed replica's log diverged from the survivors' prefix";
+}
+
+TEST(SmrCluster, SixtyFourSlotsOverOneTransportPerReplica) {
+  const RunReport r =
+      harness::run_cluster(smr_config(Algorithm::kFastPaxos, 3, 0, 64, 1, 16));
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.slots_applied, 64u);
+  EXPECT_EQ(r.commands_applied, 64u);
+  EXPECT_GT(r.fast_slots, 0u);
+}
+
+TEST(SmrCluster, BatchingPacksManyCommandsPerSlot) {
+  const RunReport r =
+      harness::run_cluster(smr_config(Algorithm::kFastPaxos, 3, 0, 32, 8, 4));
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.slots_applied, 4u);  // 32 commands / 8 per batch
+  EXPECT_EQ(r.commands_applied, 32u);
+}
+
+TEST(SmrCluster, DeepWindowBeatsSerialOnVirtualTime) {
+  const RunReport serial =
+      harness::run_cluster(smr_config(Algorithm::kFastPaxos, 3, 0, 32, 1, 1));
+  const RunReport piped =
+      harness::run_cluster(smr_config(Algorithm::kFastPaxos, 3, 0, 32, 1, 8));
+  ASSERT_TRUE(serial.all_ok() && piped.all_ok());
+  // Same #slots, strictly earlier completion with the window open.
+  EXPECT_EQ(serial.slots_applied, piped.slots_applied);
+  EXPECT_LT(piped.processes[0].decided_at, serial.processes[0].decided_at);
+}
+
+TEST(SmrCluster, MemoryEnginesReplicateLogs) {
+  for (const Algorithm algo :
+       {Algorithm::kDiskPaxos, Algorithm::kProtectedMemoryPaxos,
+        Algorithm::kAlignedPaxos}) {
+    const std::size_t n = algo == Algorithm::kAlignedPaxos ? 3 : 2;
+    const RunReport r = harness::run_cluster(smr_config(algo, n, 3, 8, 2, 4));
+    EXPECT_TRUE(r.all_ok()) << harness::algorithm_name(algo) << ": "
+                            << r.summary();
+    EXPECT_EQ(r.slots_applied, 4u) << harness::algorithm_name(algo);
+  }
+}
+
+TEST(SmrCluster, FastRobustAllProposeCommitsFastPath) {
+  const RunReport r =
+      harness::run_cluster(smr_config(Algorithm::kFastRobust, 3, 3, 4, 2, 2));
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.slots_applied, 2u);
+  EXPECT_EQ(r.fast_slots, 2u) << "honest synchronous run must stay fast";
+}
+
+TEST(SmrCluster, FastRobustByzantineLeaderCannotForkTheLog) {
+  ClusterConfig c = smr_config(Algorithm::kFastRobust, 3, 3, 4, 2, 2);
+  c.faults.byzantine[1] = harness::ByzantineStrategy::kCqLeaderEquivocate;
+  const RunReport r = harness::run_cluster(c);
+  EXPECT_TRUE(r.agreement) << r.summary();
+  EXPECT_TRUE(r.termination) << r.summary();
+  EXPECT_EQ(r.processes[1].log, r.processes[2].log);
+}
+
+TEST(SmrCluster, ReportCarriesCommitPercentiles) {
+  const RunReport r =
+      harness::run_cluster(smr_config(Algorithm::kFastPaxos, 3, 0, 32, 2, 4));
+  ASSERT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_GT(r.commit_p50, 0u);
+  EXPECT_GE(r.commit_p99, r.commit_p50);
+  EXPECT_GT(r.events_per_slot, 0.0);
+}
+
+}  // namespace
+}  // namespace mnm
