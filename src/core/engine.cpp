@@ -81,6 +81,12 @@ void FastRobustEngine::open_slot(Slot slot) {
   note_slot(slot);
 }
 
+trusted::TsendStats FastRobustEngine::tsend_stats() const {
+  trusted::TsendStats out;
+  for (const auto& [slot, stack] : slots_) out += stack.process->tsend_stats();
+  return out;
+}
+
 sim::Task<Decision> FastRobustEngine::propose(Slot slot, Bytes value) {
   open_slot(slot);
   FastRobustProcess* inst = slots_.at(slot).process.get();

@@ -355,6 +355,11 @@ class FastRobustEngine : public ConsensusEngine {
   void open_slot(Slot slot) override;
   sim::Task<Decision> propose(Slot slot, Bytes value) override;
 
+  /// Aggregate t-send decode accounting across this replica's slot stacks —
+  /// the per-delivery suffix-only-decode counters bench_log_pipeline and the
+  /// harness RunReport surface.
+  trusted::TsendStats tsend_stats() const;
+
  private:
   struct SlotStack {
     std::unique_ptr<NebSlots> neb_slots;

@@ -65,6 +65,10 @@ class FastRobustProcess {
   Paxos& backup_paxos() { return paxos_; }
   trusted::TrustedTransport& trusted_transport() { return trusted_; }
   NonEquivBroadcast& neb() { return neb_; }
+  /// Backup-path t-send decode accounting (suffix-only decode proof).
+  const trusted::TsendStats& tsend_stats() const {
+    return trusted_.tsend_stats();
+  }
 
  private:
   FastRobustConfig config_;

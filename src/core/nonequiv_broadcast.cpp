@@ -150,7 +150,10 @@ sim::Task<bool> NonEquivBroadcast::try_deliver(ProcessId q) {
     }
   }
 
-  deliveries_.send(NebDelivery{q, k, content->message, content->sig});
+  suffix_bytes_hashed_ += content->message.size() - content->prefix_len;
+  prefix_bytes_skipped_ += content->prefix_len;
+  deliveries_.send(NebDelivery{q, k, content->message, content->sig,
+                               content->prefix_len});
   prev_delivered_[q - 1] = std::move(content->message);
   last_[q - 1] = k + 1;
   co_return true;

@@ -97,6 +97,12 @@ struct NebDelivery {
   /// The broadcaster's signature over neb_signing_bytes(k, message). Carried
   /// so higher layers (trusted messaging receipts) can cite it as evidence.
   crypto::Signature sig;
+  /// Bytes this message was *verified* (memcmp by this receiver's NEB
+  /// instance) to share with the broadcaster's previous delivered message —
+  /// receiver-established prefix identity, never the sender's bare claim.
+  /// TrustedTransport chains these to skip its own verified-prefix compare
+  /// transitively (see PeerCache::neb_known).
+  std::uint32_t shared_prefix = 0;
 };
 
 /// Canonical signed-slot encoding: (k, prefix_len, m, sig_q(...)). Exposed so
@@ -154,6 +160,12 @@ class NonEquivBroadcast {
 
   std::uint64_t broadcasts_made() const { return next_k_ - 1; }
 
+  /// Suffix-digest verification accounting over delivered head slots:
+  /// bytes hashed (the suffix past each verified prefix claim) vs bytes the
+  /// prefix identity let verification skip.
+  std::uint64_t suffix_bytes_hashed() const { return suffix_bytes_hashed_; }
+  std::uint64_t prefix_bytes_skipped() const { return prefix_bytes_skipped_; }
+
   /// One delivery attempt for broadcaster q (Algorithm 2 try_deliver).
   /// Exposed for step-by-step unit tests; normally driven by start().
   sim::Task<bool> try_deliver(ProcessId q);
@@ -177,6 +189,8 @@ class NonEquivBroadcast {
   std::vector<Bytes> prev_delivered_;
   Bytes prev_broadcast_;  // our own previous broadcast (prefix_len source)
   sim::Channel<NebDelivery> deliveries_;
+  std::uint64_t suffix_bytes_hashed_ = 0;
+  std::uint64_t prefix_bytes_skipped_ = 0;
   bool started_ = false;
 };
 

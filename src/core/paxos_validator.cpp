@@ -215,13 +215,13 @@ bool ingest_entry(const crypto::KeyStore& keystore, ProcessId owner,
   return replay.ingest_receipt(e.peer, *msg);
 }
 
-/// Replayed state of one owner's history up to `entries`, resumable when the
-/// next message's history extends this one (identified by the chain value of
-/// the last replayed entry — the chain commits to every prior entry's
-/// fields, so a matching chain means a matching prefix).
+/// Replayed state of one owner's history, committed exactly as far as the
+/// transport's verified-prefix cache: `entries` always equals the transport's
+/// prefix position (both advance only when a whole message is accepted, and
+/// both stay put on any reject), so a resume needs no chain compare at all —
+/// the transport already anchored prefix identity in receiver-stored bytes.
 struct OwnerCache {
   std::size_t entries = 0;
-  Bytes last_chain;
   Replay replay{0};
 };
 
@@ -230,37 +230,38 @@ struct OwnerCache {
 trusted::HistoryValidator paxos_validator(const crypto::KeyStore& keystore,
                                           std::size_t n) {
   return [&keystore, n, caches = std::map<ProcessId, OwnerCache>{}](
-             ProcessId owner, const History& h, std::uint64_t k, ProcessId dst,
-             const Bytes& payload) mutable {
-    (void)k;
-    OwnerCache& c = caches.try_emplace(owner).first->second;
-    std::size_t start = 0;
-    if (c.entries > 0 && h.size() >= c.entries &&
-        h[c.entries - 1].chain == c.last_chain) {
-      start = c.entries;  // resume: the prefix was already replayed
-    } else {
-      c.replay = Replay(n);
-      c.entries = 0;
+             const trusted::ValidatorCall& call) mutable -> bool {
+    OwnerCache& c = caches.try_emplace(call.owner).first->second;
+    if (call.prefix_entries != 0 && call.prefix_entries != c.entries) {
+      // Lockstep violation — cannot happen through TrustedTransport, but a
+      // resume from the wrong position would be unsound, so refuse.
+      return false;
     }
-    for (std::size_t i = start; i < h.size(); ++i) {
-      if (!ingest_entry(keystore, owner, h[i], c.replay)) {
-        caches.erase(owner);  // partially-applied state; rebuild next time
+    // Replay the suffix on a staged state: a reject must leave the committed
+    // state exactly where the transport's cache stays (rollback together).
+    // That includes the rebuild case (prefix_entries == 0, suffix = whole
+    // history): the fresh Replay is staged too, so a rejected rebuild does
+    // not wipe the committed position a later resume will name.
+    Replay staged = call.prefix_entries == 0 ? Replay(n) : c.replay;
+    for (std::size_t i = 0; i < call.suffix_len; ++i) {
+      if (!ingest_entry(keystore, call.owner, call.suffix[i], staged)) {
         return false;
       }
     }
-    c.entries = h.size();
-    c.last_chain = h.empty() ? Bytes{} : h.back().chain;
-
-    // Finally, the message being sent right now. It is not part of `h` yet
-    // (it will arrive as a kSent entry of the next history), so replay it as
-    // a synthetic sent entry on a scratch copy that does not advance the
-    // cache — one code path for "entry in history" and "entry being sent".
-    Replay scratch = c.replay;
+    // Finally, the message being sent right now. It is not part of the
+    // history yet (it will arrive as a kSent entry of a later suffix), so
+    // replay it as a synthetic sent entry on a second scratch copy that is
+    // never committed — one code path for "entry in history" and "entry
+    // being sent".
+    Replay scratch = staged;
     HistoryEntry current;
     current.kind = HistoryEntry::Kind::kSent;
-    current.peer = dst;
-    current.payload = payload;
-    return ingest_entry(keystore, owner, current, scratch);
+    current.peer = call.dst;
+    current.payload = *call.payload;
+    if (!ingest_entry(keystore, call.owner, current, scratch)) return false;
+    c.replay = std::move(staged);
+    c.entries = call.prefix_entries + call.suffix_len;
+    return true;
   };
 }
 

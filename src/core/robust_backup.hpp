@@ -56,6 +56,10 @@ class RobustBackup {
   NonEquivBroadcast& neb() { return neb_; }
   trusted::TrustedTransport& transport() { return transport_; }
   Paxos& paxos() { return paxos_; }
+  /// T-send decode accounting (suffix-only decode proof).
+  const trusted::TsendStats& tsend_stats() const {
+    return transport_.tsend_stats();
+  }
 
  private:
   NonEquivBroadcast neb_;

@@ -1,5 +1,6 @@
 #include "src/core/trusted_messaging.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -64,7 +65,10 @@ std::optional<History> decode_history(const Bytes& raw) {
     util::Reader r(raw);
     const std::uint32_t count = r.u32();
     History h;
-    h.reserve(count);
+    // The count is attacker-controlled; cap the pre-size by what the buffer
+    // could possibly hold (every entry frame is > 8 bytes) so a forged
+    // header cannot force a huge allocation before the bounds checks bite.
+    h.reserve(std::min<std::size_t>(count, r.remaining() / 8));
     for (std::uint32_t i = 0; i < count; ++i) {
       const util::ByteView entry_bytes = r.bytes_view();
       util::Reader er(entry_bytes);
@@ -88,10 +92,10 @@ Bytes chain_entry(const Bytes& prev_chain, HistoryEntry::Kind kind,
 }
 
 bool verify_history_suffix(const crypto::KeyStore& ks, ProcessId owner,
-                           const History& h, std::size_t start,
+                           const HistoryEntry* entries, std::size_t count,
                            Bytes& prev_chain, std::uint64_t& expected_sent) {
-  for (std::size_t i = start; i < h.size(); ++i) {
-    const HistoryEntry& e = h[i];
+  for (std::size_t i = 0; i < count; ++i) {
+    const HistoryEntry& e = entries[i];
     if (e.chain != chain_entry(prev_chain, e.kind, e.k, e.peer, e.payload)) {
       return false;
     }
@@ -109,7 +113,8 @@ bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
                               const History& h) {
   Bytes prev_chain;  // empty seed
   std::uint64_t expected_sent = 1;
-  return verify_history_suffix(ks, owner, h, 0, prev_chain, expected_sent);
+  return verify_history_suffix(ks, owner, h.data(), h.size(), prev_chain,
+                               expected_sent);
 }
 
 namespace {
@@ -138,10 +143,33 @@ Bytes encode_tsend(ProcessId dst, util::ByteView payload, const History& h,
   return encode_tsend_wire(dst, payload, util::ByteView(enc).subspan(4), k, sig);
 }
 
-std::optional<TSendContent> decode_tsend(util::ByteView raw) {
+std::optional<TSendContent> decode_tsend(util::ByteView raw,
+                                         util::ByteView verified_prefix,
+                                         std::size_t prefix_entries,
+                                         std::size_t known_shared) {
   try {
-    util::Reader r(raw);
     TSendContent c;
+    // Hop over the verified prefix if the wire leads with exactly those
+    // bytes. The prefix is a concatenation of well-formed length-prefixed
+    // entry frames, so a byte-identical wire prefix parses to the same
+    // entries with a frame boundary exactly at its end — no decode needed.
+    // Only the residual past `known_shared` is compared; both inputs are
+    // receiver-established (stored verified bytes / NEB delivered-prefix
+    // identity), never fields of the incoming message.
+    std::size_t skip = 0;
+    if (prefix_entries > 0 && !verified_prefix.empty() &&
+        raw.size() > verified_prefix.size()) {
+      const std::size_t from = std::min(known_shared, verified_prefix.size());
+      const std::size_t residual = verified_prefix.size() - from;
+      c.prefix_bytes_compared = residual;  // paid whether or not it matches
+      if (residual == 0 ||
+          std::memcmp(raw.data() + from, verified_prefix.data() + from,
+                      residual) == 0) {
+        skip = verified_prefix.size();
+        c.prefix_entries = prefix_entries;
+      }
+    }
+    util::Reader r(raw.subspan(skip));
     while (true) {
       const util::ByteView entry_bytes = r.bytes_view();
       if (entry_bytes.empty()) break;  // terminator
@@ -153,9 +181,10 @@ std::optional<TSendContent> decode_tsend(util::ByteView raw) {
       // comparison of wires) cannot be defeated by a Byzantine sender
       // alternating encodings of the same history.
       er.expect_end();
-      c.history.push_back(std::move(*e));
+      c.suffix.push_back(std::move(*e));
     }
-    // Everything before the 4-byte terminator is the history body.
+    // Everything before the 4-byte terminator is the history body
+    // (including any skipped prefix).
     c.history_body = raw.subspan(0, raw.size() - r.remaining() - 4);
     c.dst = r.u32();
     c.payload = r.bytes();
@@ -275,34 +304,45 @@ void TrustedTransport::send(ProcessId dst, util::Buffer payload) {
 sim::Task<void> TrustedTransport::deliver_loop() {
   while (true) {
     const NebDelivery d = co_await neb_->deliveries().recv();
-    auto content = decode_tsend(d.message);
+    ++stats_.deliveries;
+    // Fold this wire into the prefix-identity anchor *before* decoding: NEB
+    // verified the wire's first `shared_prefix` bytes equal the sender's
+    // previous delivered wire, of which the first `neb_known` bytes are
+    // known equal to our stored verified body — min-composing keeps the
+    // identity receiver-anchored across deliveries, including rejected ones
+    // (NEB's prev-delivered advances on those too).
+    PeerCache& pc = peer_cache_[d.from];
+    pc.neb_known = std::min<std::size_t>(pc.neb_known, d.shared_prefix);
+    // Decode only past the verified prefix. Histories only ever extend, so a
+    // wire whose leading bytes match the prefix we already verified on this
+    // sender's previous message needs neither re-decoding nor re-verifying —
+    // at most one residual memcmp bounded by the stored prefix. The compare
+    // is against our stored verified bytes: a chain value read out of the
+    // *incoming* prefix is attacker-supplied and proves nothing
+    // (paxos_validator may resume from its committed state only because the
+    // transport anchors prefix identity this way).
+    auto content =
+        decode_tsend(d.message, pc.body, pc.entries, pc.neb_known);
     if (!content.has_value()) {
       ++rejected_;
       continue;
     }
-    // Structural audit of the sender's attached history: hash chain intact,
-    // every link signed by the sender, sent-sequence contiguous, and the
-    // NEB sequence number matches the number of prior sends. Histories only
-    // ever extend, so entries whose encoding byte-matches the prefix we
-    // already verified on this sender's previous message are not
-    // re-verified — the wire carries the encoded body, so the comparison
-    // needs no re-encode. The compare must be against our stored verified
-    // bytes: a chain value read out of the *incoming* prefix is attacker-
-    // supplied and proves nothing (paxos_validator may compare chain tips
-    // only because the transport hands it structurally-verified histories).
+    stats_.entries_decoded += content->suffix.size();
+    stats_.entries_skipped += content->prefix_entries;
+    stats_.prefix_bytes_compared += content->prefix_bytes_compared;
+    // Structural audit of the attached history's new entries: hash chain
+    // intact, every link signed by the sender, sent-sequence contiguous,
+    // and the NEB sequence number matches the number of prior sends.
     const util::ByteView body = content->history_body;
-    PeerCache& pc = peer_cache_[d.from];
-    std::size_t start = 0;
     Bytes prev_chain;
     std::uint64_t expected_sent = 1;
-    if (pc.entries > 0 && body.size() >= pc.body.size() &&
-        std::memcmp(body.data(), pc.body.data(), pc.body.size()) == 0) {
-      start = pc.entries;
+    if (content->prefix_entries > 0) {
       prev_chain = pc.last_chain;
       expected_sent = pc.expected_sent;
     }
-    if (!verify_history_suffix(*keystore_, d.from, content->history, start,
-                               prev_chain, expected_sent)) {
+    if (!verify_history_suffix(*keystore_, d.from, content->suffix.data(),
+                               content->suffix.size(), prev_chain,
+                               expected_sent)) {
       ++rejected_;
       continue;
     }
@@ -326,17 +366,28 @@ sim::Task<void> TrustedTransport::deliver_loop() {
       continue;
     }
     // Protocol-level audit ("whether they correspond to a correct history of
-    // the algorithm", Algorithm 3 line 10).
-    if (!validator_(d.from, content->history, d.k, content->dst,
-                    content->payload)) {
+    // the algorithm", Algorithm 3 line 10), resumable: the validator sees
+    // only the suffix and commits its replay state iff it accepts, so its
+    // per-owner position and our prefix cache advance (and roll back on
+    // reject) in lockstep.
+    ValidatorCall vc;
+    vc.owner = d.from;
+    vc.suffix = content->suffix.data();
+    vc.suffix_len = content->suffix.size();
+    vc.prefix_entries = content->prefix_entries;
+    vc.k = d.k;
+    vc.dst = content->dst;
+    vc.payload = &content->payload;
+    if (!validator_(vc)) {
       ++rejected_;
       continue;
     }
     // All checks passed: remember this sender's now-verified prefix. On a
-    // cache hit the existing body bytes were just memcmp-verified equal, so
-    // only the new suffix needs appending.
-    pc.entries = content->history.size();
-    if (start > 0) {
+    // cache hit the existing body bytes were just confirmed equal, so only
+    // the new suffix needs appending; the whole body is by construction a
+    // prefix of this delivered wire, re-seeding the identity anchor.
+    pc.entries = content->prefix_entries + content->suffix.size();
+    if (content->prefix_entries > 0) {
       pc.body.insert(pc.body.end(),
                      body.begin() + static_cast<std::ptrdiff_t>(pc.body.size()),
                      body.end());
@@ -345,6 +396,8 @@ sim::Task<void> TrustedTransport::deliver_loop() {
     }
     pc.last_chain = prev_chain;
     pc.expected_sent = expected_sent;
+    pc.neb_known = pc.body.size();
+    ++stats_.accepted;
     // T-receive: record a standalone-verifiable receipt in our own history,
     // hand the message to the protocol if it is addressed to us.
     const Receipt receipt{content->dst, content->payload, history_digest,

@@ -82,28 +82,76 @@ Bytes chain_entry(const Bytes& prev_chain, HistoryEntry::Kind kind,
 bool verify_history_structure(const crypto::KeyStore& ks, ProcessId owner,
                               const History& h);
 
-/// Verify only entries [start, h.size()) given the already-verified prefix's
-/// last chain value and next expected sent-seq. On success, `prev_chain` and
+/// Verify `count` suffix entries given the already-verified prefix's last
+/// chain value and next expected sent-seq. On success, `prev_chain` and
 /// `expected_sent` are advanced to the new suffix state. This is the
 /// incremental form deliver-side caching uses: a history can only be
 /// extended, so once a byte-identical prefix has been verified it never
-/// needs re-verifying.
+/// needs re-verifying — or even re-decoding (see decode_tsend).
 bool verify_history_suffix(const crypto::KeyStore& ks, ProcessId owner,
-                           const History& h, std::size_t start,
+                           const HistoryEntry* entries, std::size_t count,
                            Bytes& prev_chain, std::uint64_t& expected_sent);
 
-/// Protocol-level check: given `owner`'s verified history and the message it
-/// is now sending (seq `k`, destination `dst`, bytes `payload`), is this a
-/// legal continuation? The default accepts everything.
-using HistoryValidator = std::function<bool(
-    ProcessId owner, const History& h, std::uint64_t k, ProcessId dst,
-    const Bytes& payload)>;
+/// One protocol-level audit request (Algorithm 3 line 10), in the resumable
+/// form: the transport hands the validator only the *suffix* of the owner's
+/// history past the receiver's verified-prefix cache, never the whole thing.
+///
+/// Contract (state ownership / rollback — kept in lockstep with the
+/// transport's prefix cache):
+///  * `suffix` holds entries [prefix_entries, prefix_entries + suffix_len)
+///    of the owner's history, already structurally verified (chain +
+///    signatures + sent-seqs) by the transport. `prefix_entries` == 0 means
+///    the transport (re)built its cache and the suffix is the whole history.
+///  * The transport guarantees entries [0, prefix_entries) are byte-identical
+///    to those of the last call for this owner that returned true — prefix
+///    identity is anchored in receiver-stored verified bytes, so a stateful
+///    validator may resume its replay from its committed per-owner state.
+///  * Both sides commit together: a validator persists replay state covering
+///    exactly prefix_entries + suffix_len entries iff it returns true; on
+///    false it must leave state untouched (the transport rejects the message
+///    and keeps its cache too — rollback in lockstep). Hence on every call
+///    either prefix_entries == the validator's committed entry count, or
+///    prefix_entries == 0 (rebuild); anything else is a caller bug a
+///    validator should answer with false.
+struct ValidatorCall {
+  ProcessId owner = 0;
+  const HistoryEntry* suffix = nullptr;
+  std::size_t suffix_len = 0;
+  std::size_t prefix_entries = 0;
+  std::uint64_t k = 0;  // NEB sequence number of the message being sent
+  ProcessId dst = 0;
+  const Bytes* payload = nullptr;
+};
+
+/// Protocol-level check: is (k, dst, payload) a legal continuation of the
+/// owner's (prefix + suffix) history? The default accepts everything.
+using HistoryValidator = std::function<bool(const ValidatorCall&)>;
 
 inline HistoryValidator accept_all_validator() {
-  return [](ProcessId, const History&, std::uint64_t, ProcessId, const Bytes&) {
-    return true;
-  };
+  return [](const ValidatorCall&) { return true; };
 }
+
+/// Per-transport cost counters for the Byzantine wire path. `entries_decoded`
+/// vs `entries_skipped` is the suffix-only-decode proof: decoded entries per
+/// delivery stay O(new entries) while skipped entries grow with history.
+struct TsendStats {
+  std::uint64_t deliveries = 0;       // NEB deliveries audited
+  std::uint64_t accepted = 0;         // deliveries that passed every check
+  std::uint64_t entries_decoded = 0;  // history entries materialized
+  std::uint64_t entries_skipped = 0;  // verified-prefix entries hopped over
+  /// Residual prefix bytes memcmp'd (the part NEB's shared-prefix identity
+  /// did not already cover transitively); 0 in the honest steady state.
+  std::uint64_t prefix_bytes_compared = 0;
+
+  TsendStats& operator+=(const TsendStats& o) {
+    deliveries += o.deliveries;
+    accepted += o.accepted;
+    entries_decoded += o.entries_decoded;
+    entries_skipped += o.entries_skipped;
+    prefix_bytes_compared += o.prefix_bytes_compared;
+    return *this;
+  }
+};
 
 struct TrustedConfig {
   std::size_t n = 3;
@@ -144,6 +192,9 @@ class TrustedTransport : public Transport {
   /// Messages from `p` rejected by verification (metrics / tests).
   std::uint64_t rejected() const { return rejected_; }
 
+  /// Byzantine-wire-path cost counters (suffix-only decode accounting).
+  const TsendStats& tsend_stats() const { return stats_; }
+
   const History& history() const { return history_; }
 
  private:
@@ -166,22 +217,31 @@ class TrustedTransport : public Transport {
 
   /// Verified prefix of one peer's attached history. Histories are
   /// append-only, so if a new message's encoded history starts with the
-  /// bytes we already verified, only the suffix needs chain/signature
-  /// checks — this turns O(k) signature verifications per receive into
-  /// O(new entries). The cache-hit check must compare *our stored verified
-  /// bytes* (not any field of the incoming message): chain values inside an
-  /// unverified prefix are attacker-supplied, so shortcutting the compare
-  /// through them would let a fabricated prefix ride a copied chain tip.
+  /// bytes we already verified, only the suffix needs decoding and
+  /// chain/signature checks — this turns O(k) entry materializations and
+  /// signature verifications per receive into O(new entries). The cache-hit
+  /// check must compare *our stored verified bytes* (not any field of the
+  /// incoming message): chain values inside an unverified prefix are
+  /// attacker-supplied, so shortcutting the compare through them would let
+  /// a fabricated prefix ride a copied chain tip.
   struct PeerCache {
     std::size_t entries = 0;
     Bytes body;  // verified encoding (sans framing), byte-compared
     Bytes last_chain;
     std::uint64_t expected_sent = 1;
+    /// Leading bytes of this peer's *latest NEB-delivered wire* known equal
+    /// to `body`, established transitively: at accept time the new body is
+    /// by construction a prefix of the delivered wire, and each later
+    /// delivery shares a NEB-verified `shared_prefix` with its predecessor —
+    /// min-composing the two facts keeps the identity receiver-anchored
+    /// with zero extra compares. Only bytes past this need memcmp.
+    std::size_t neb_known = 0;
   };
   util::FlatMap<ProcessId, PeerCache> peer_cache_;
 
   sim::Channel<TMsg> incoming_;
   std::uint64_t rejected_ = 0;
+  TsendStats stats_;
   bool started_ = false;
 };
 
@@ -206,15 +266,37 @@ Bytes encode_tsend(ProcessId dst, util::ByteView payload, const History& h,
 struct TSendContent {
   ProcessId dst = 0;
   Bytes payload;
-  History history;
+  /// History entries decoded past the caller's verified prefix — the whole
+  /// attached history when no prefix was supplied or it did not match.
+  History suffix;
+  /// Whole entries hopped over: the caller-supplied verified prefix, byte-
+  /// confirmed against the wire (0 when the prefix did not match, in which
+  /// case `suffix` starts at entry 0).
+  std::size_t prefix_entries = 0;
+  /// Prefix bytes this decode actually memcmp'd (cost visibility).
+  std::size_t prefix_bytes_compared = 0;
   /// View of the raw encoded history body inside the decoded wire bytes
-  /// (valid while they live) — the deliver loop byte-compares it against the
-  /// sender's verified prefix without re-encoding.
+  /// (valid while they live), including any skipped prefix — the deliver
+  /// loop extends its verified-bytes cache from it without re-encoding.
   util::ByteView history_body;
   std::uint64_t k = 0;
   crypto::Signature sig;
 };
-std::optional<TSendContent> decode_tsend(util::ByteView raw);
+
+/// Decode a T-send wire, skipping `verified_prefix` if the wire starts with
+/// exactly those bytes. `verified_prefix` MUST be receiver-stored verified
+/// bytes (`prefix_entries` whole entry frames from previously accepted
+/// messages of the same sender) — never anything read out of an incoming
+/// message. The first `known_shared` bytes of the wire may be skipped in the
+/// compare when the caller has already established (e.g. through NEB's
+/// delivered-prefix identity chain) that they equal the stored prefix; the
+/// residual compare is one memcmp bounded by the stored prefix. On a match,
+/// only the suffix entries are materialized — decode cost is O(new bytes).
+/// On any mismatch the whole history is decoded from entry 0.
+std::optional<TSendContent> decode_tsend(util::ByteView raw,
+                                         util::ByteView verified_prefix = {},
+                                         std::size_t prefix_entries = 0,
+                                         std::size_t known_shared = 0);
 
 /// Bytes a sender signs for its k-th T-send.
 Bytes tsend_signing_bytes(std::uint64_t k, ProcessId dst, util::ByteView payload,

@@ -54,6 +54,12 @@ std::string RunReport::summary() const {
      << " writes=" << mem_writes
      << " perm_changes=" << permission_changes << " sigs=" << signatures
      << " events=" << events;
+  if (tsend_deliveries > 0) {
+    os << " tsend_deliveries=" << tsend_deliveries
+       << " entries_decoded=" << history_entries_decoded
+       << " entries_skipped=" << history_entries_skipped
+       << " decoded/delivery=" << decoded_per_delivery;
+  }
   if (slots_applied > 0) {
     os << " slots=" << slots_applied << " cmds=" << commands_applied
        << " noop=" << noop_slots << " fast=" << fast_slots
@@ -335,6 +341,20 @@ void spawn_byzantine(World& w, const ClusterConfig& config) {
 // ConsensusEngine adapter.
 // ---------------------------------------------------------------------------
 
+void add_tsend_stats(RunReport& report, const core::trusted::TsendStats& s) {
+  report.tsend_deliveries += s.deliveries;
+  report.history_entries_decoded += s.entries_decoded;
+  report.history_entries_skipped += s.entries_skipped;
+}
+
+void finish_tsend_stats(RunReport& report) {
+  if (report.tsend_deliveries > 0) {
+    report.decoded_per_delivery =
+        static_cast<double>(report.history_entries_decoded) /
+        static_cast<double>(report.tsend_deliveries);
+  }
+}
+
 RunReport run_smr(World& w, const ClusterConfig& config) {
   const std::size_t n = config.n;
   const auto all = all_processes(n);
@@ -608,6 +628,13 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
     report.events_per_slot = static_cast<double>(report.events) /
                              static_cast<double>(report.slots_applied);
   }
+  if (config.algo == Algorithm::kFastRobust) {
+    for (const auto& engine : w.engines) {
+      add_tsend_stats(report, static_cast<const core::FastRobustEngine&>(*engine)
+                                  .tsend_stats());
+    }
+    finish_tsend_stats(report);
+  }
   return report;
 }
 
@@ -823,6 +850,9 @@ RunReport run_cluster(const ClusterConfig& config) {
   report.signatures = w.keystore.signatures_made();
   report.verifications = w.keystore.verifications_made();
   report.events = w.exec.events_processed();
+  for (const auto& rb : w.robust_backups) add_tsend_stats(report, rb->tsend_stats());
+  for (const auto& fr : w.fast_robusts) add_tsend_stats(report, fr->tsend_stats());
+  finish_tsend_stats(report);
   return report;
 }
 

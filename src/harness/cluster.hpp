@@ -138,6 +138,16 @@ struct RunReport {
   /// metric (the quantity the event-driven waits minimize).
   std::uint64_t events = 0;
 
+  // Byzantine wire path (Robust Backup / Fast & Robust only): t-send decode
+  // accounting, summed over every correct process's trusted transport.
+  // Suffix-only decode keeps decoded_per_delivery flat as histories grow —
+  // skipped entries are the verified prefixes hopped over without
+  // materializing a HistoryEntry.
+  std::uint64_t tsend_deliveries = 0;
+  std::uint64_t history_entries_decoded = 0;
+  std::uint64_t history_entries_skipped = 0;
+  double decoded_per_delivery = 0.0;
+
   // SMR mode only (config.smr.enabled).
   Slot slots_applied = 0;             // longest correct replica's applied log
   std::uint64_t commands_applied = 0;

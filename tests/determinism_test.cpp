@@ -29,6 +29,11 @@ struct Fingerprint {
   Slot slots = 0;
   std::uint64_t cmds = 0;
   sim::Time p50 = 0, p99 = 0;
+  // Byzantine wire path: t-send suffix-decode accounting. Pinning these says
+  // the decode-cost optimization is itself deterministic — the same seed
+  // skips the same prefixes — without perturbing the (time, seq) schedule
+  // the fields above capture.
+  std::uint64_t tsend_deliveries = 0, entries_decoded = 0, entries_skipped = 0;
 
   bool operator==(const Fingerprint&) const = default;
 };
@@ -53,6 +58,9 @@ Fingerprint fingerprint(const RunReport& r) {
   f.cmds = r.commands_applied;
   f.p50 = r.commit_p50;
   f.p99 = r.commit_p99;
+  f.tsend_deliveries = r.tsend_deliveries;
+  f.entries_decoded = r.history_entries_decoded;
+  f.entries_skipped = r.history_entries_skipped;
   return f;
 }
 
@@ -165,6 +173,28 @@ TEST(Determinism, SmrFastRobustWithByzantineLeaderSameSeedSameRun) {
   c.smr.window = 2;
   c.faults.byzantine[1] = ByzantineStrategy::kCqLeaderEquivocate;
   // As in the single-shot Byzantine pin: what matters is reproducibility.
+  expect_deterministic(c, /*check_ok=*/false);
+}
+
+TEST(Determinism, SmrFastRobustBackupPathSameSeedSameRun) {
+  // Backup-heavy schedule (Byzantine CQ leader + impatient followers): every
+  // slot runs the t-send path, so this fingerprint — which includes the
+  // suffix-decode counters — pins that the decode optimization changes cost
+  // accounting deterministically and leaves the (time, seq) schedule alone.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;
+  c.m = 3;
+  c.seed = 13;
+  c.cq_timeout = 10;
+  c.smr.enabled = true;
+  c.smr.commands = 6;
+  c.smr.batch = 2;
+  c.smr.window = 2;
+  c.faults.byzantine[1] = ByzantineStrategy::kCqLeaderEquivocate;
+  const RunReport a = run_cluster(c);
+  EXPECT_GT(a.tsend_deliveries, 0u) << a.summary();
+  EXPECT_GT(a.history_entries_skipped, 0u) << a.summary();
   expect_deterministic(c, /*check_ok=*/false);
 }
 
