@@ -10,13 +10,14 @@ CheapQuorumEngine::CheapQuorumEngine(
     sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
     std::shared_ptr<SlotRegions<CheapQuorumRegions>> regions,
     const crypto::KeyStore& keystore, crypto::Signer signer,
-    CheapQuorumConfig config)
+    CheapQuorumConfig config, std::string ns)
     : ConsensusEngine(exec),
       memories_(std::move(memories)),
       regions_(std::move(regions)),
       keystore_(&keystore),
       signer_(signer),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      ns_(std::move(ns)) {}
 
 ProcessId CheapQuorumEngine::self() const { return signer_.id(); }
 
@@ -24,7 +25,7 @@ void CheapQuorumEngine::open_slot(Slot slot) {
   auto it = slots_.find(slot);
   if (it != slots_.end()) return;
   CheapQuorumConfig c = config_;
-  c.prefix = slot_ns(slot, "cq");
+  c.prefix = slot_ns(slot, ns_);
   slots_.emplace(slot, std::make_unique<CheapQuorum>(*exec_, memories_,
                                                      regions_->get(slot),
                                                      *keystore_, signer_,
@@ -53,14 +54,16 @@ FastRobustEngine::FastRobustEngine(
     sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
     std::shared_ptr<SlotRegions<FastRobustSlotRegions>> regions,
     const crypto::KeyStore& keystore, crypto::Signer signer, Omega& omega,
-    FastRobustConfig config)
+    FastRobustConfig config, std::string cq_ns, std::string neb_ns)
     : ConsensusEngine(exec),
       memories_(std::move(memories)),
       regions_(std::move(regions)),
       keystore_(&keystore),
       signer_(signer),
       omega_(&omega),
-      config_(config) {}
+      config_(config),
+      cq_ns_(std::move(cq_ns)),
+      neb_ns_(std::move(neb_ns)) {}
 
 ProcessId FastRobustEngine::self() const { return signer_.id(); }
 
@@ -69,10 +72,10 @@ void FastRobustEngine::open_slot(Slot slot) {
   if (it != slots_.end()) return;
   const FastRobustSlotRegions& r = regions_->get(slot);
   FastRobustConfig c = config_;
-  c.cheap.prefix = slot_ns(slot, "cq");
+  c.cheap.prefix = slot_ns(slot, cq_ns_);
   SlotStack stack;
   stack.neb_slots = std::make_unique<NebSlots>(*exec_, memories_, r.neb,
-                                               slot_ns(slot, "neb"));
+                                               slot_ns(slot, neb_ns_));
   stack.process = std::make_unique<FastRobustProcess>(
       *exec_, memories_, r.cq, *stack.neb_slots, *keystore_, signer_, *omega_,
       c);

@@ -87,9 +87,19 @@ struct ProposeAborted : std::runtime_error {
 };
 
 /// Per-slot memory-region namespace: "s<slot>/<base>". All per-slot
-/// register names and region prefixes live under it.
-inline std::string slot_ns(Slot s, const char* base) {
-  return "s" + std::to_string(s) + "/" + base;
+/// register names and region prefixes live under it. Memory-backed engines
+/// take `base` as a constructor parameter (default "dp"/"pmp"/"cq"/"neb")
+/// so several engine instances — e.g. one per KV shard, base
+/// kv::shard_ns(g, ...) — can share one set of memories with disjoint
+/// region namespaces.
+inline std::string slot_ns(Slot s, const std::string& base) {
+  std::string out;
+  out.reserve(base.size() + 22);
+  out += 's';
+  out += std::to_string(s);
+  out += '/';
+  out += base;
+  return out;
 }
 
 /// Shared, lazily-populated slot → regions table. `make(slot)` must create
@@ -242,18 +252,18 @@ class PaxosEngine : public HubEngine<Paxos> {
 
 class DiskPaxosEngine : public HubEngine<DiskPaxos> {
  public:
-  /// `regions->get(s)` must create make_disk_region(m, n, slot_ns(s, "dp"))
+  /// `regions->get(s)` must create make_disk_region(m, n, slot_ns(s, ns))
   /// on every backing memory.
   DiskPaxosEngine(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
                   Transport& base, Omega& omega,
                   std::shared_ptr<SlotRegions<RegionId>> regions,
-                  DiskPaxosConfig config)
+                  DiskPaxosConfig config, std::string ns = "dp")
       : HubEngine(exec, base,
                   [&exec, &omega, memories = std::move(memories),
-                   regions = std::move(regions),
-                   config = std::move(config)](Slot s, Transport& t) {
+                   regions = std::move(regions), config = std::move(config),
+                   ns = std::move(ns)](Slot s, Transport& t) {
                     DiskPaxosConfig c = config;
-                    c.prefix = slot_ns(s, "dp");
+                    c.prefix = slot_ns(s, ns);
                     return std::make_unique<DiskPaxos>(
                         exec, memories, regions->get(s), t, omega,
                         std::move(c));
@@ -263,16 +273,17 @@ class DiskPaxosEngine : public HubEngine<DiskPaxos> {
 class PmpEngine : public HubEngine<ProtectedMemoryPaxos> {
  public:
   /// `regions->get(s)` must create make_pmp_region(m, n, first_leader,
-  /// slot_ns(s, "pmp")) on every backing memory.
+  /// slot_ns(s, ns)) on every backing memory.
   PmpEngine(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
             Transport& base, Omega& omega,
-            std::shared_ptr<SlotRegions<RegionId>> regions, PmpConfig config)
+            std::shared_ptr<SlotRegions<RegionId>> regions, PmpConfig config,
+            std::string ns = "pmp")
       : HubEngine(exec, base,
                   [&exec, &omega, memories = std::move(memories),
-                   regions = std::move(regions),
-                   config = std::move(config)](Slot s, Transport& t) {
+                   regions = std::move(regions), config = std::move(config),
+                   ns = std::move(ns)](Slot s, Transport& t) {
                     PmpConfig c = config;
-                    c.prefix = slot_ns(s, "pmp");
+                    c.prefix = slot_ns(s, ns);
                     return std::make_unique<ProtectedMemoryPaxos>(
                         exec, memories, regions->get(s), t, omega,
                         std::move(c));
@@ -282,18 +293,18 @@ class PmpEngine : public HubEngine<ProtectedMemoryPaxos> {
 class AlignedEngine : public HubEngine<AlignedPaxos> {
  public:
   /// `regions->get(s)` must create make_pmp_region(m, n, first_leader,
-  /// slot_ns(s, "pmp")) on every backing memory (Aligned reuses the PMP
-  /// slot format).
+  /// slot_ns(s, ns)) on every backing memory (Aligned reuses the PMP slot
+  /// format).
   AlignedEngine(sim::Executor& exec, std::vector<mem::MemoryIface*> memories,
                 Transport& base, Omega& omega,
                 std::shared_ptr<SlotRegions<RegionId>> regions,
-                AlignedPaxosConfig config)
+                AlignedPaxosConfig config, std::string ns = "pmp")
       : HubEngine(exec, base,
                   [&exec, &omega, memories = std::move(memories),
-                   regions = std::move(regions),
-                   config = std::move(config)](Slot s, Transport& t) {
+                   regions = std::move(regions), config = std::move(config),
+                   ns = std::move(ns)](Slot s, Transport& t) {
                     AlignedPaxosConfig c = config;
-                    c.prefix = slot_ns(s, "pmp");
+                    c.prefix = slot_ns(s, ns);
                     return std::make_unique<AlignedPaxos>(
                         exec, memories, regions->get(s), t, omega,
                         std::move(c));
@@ -308,12 +319,12 @@ class AlignedEngine : public HubEngine<AlignedPaxos> {
 class CheapQuorumEngine : public ConsensusEngine {
  public:
   /// `regions->get(s)` must create make_cq_regions(m, n, leader,
-  /// slot_ns(s, "cq")) on every backing memory.
+  /// slot_ns(s, ns)) on every backing memory.
   CheapQuorumEngine(sim::Executor& exec,
                     std::vector<mem::MemoryIface*> memories,
                     std::shared_ptr<SlotRegions<CheapQuorumRegions>> regions,
                     const crypto::KeyStore& keystore, crypto::Signer signer,
-                    CheapQuorumConfig config);
+                    CheapQuorumConfig config, std::string ns = "cq");
 
   ProcessId self() const override;
   std::size_t process_count() const override { return config_.n; }
@@ -329,6 +340,7 @@ class CheapQuorumEngine : public ConsensusEngine {
   const crypto::KeyStore* keystore_;
   crypto::Signer signer_;
   CheapQuorumConfig config_;
+  std::string ns_;
   std::map<Slot, std::unique_ptr<CheapQuorum>> slots_;
 };
 
@@ -341,13 +353,14 @@ struct FastRobustSlotRegions {
 class FastRobustEngine : public ConsensusEngine {
  public:
   /// `regions->get(s)` must create make_cq_regions(m, n, leader,
-  /// slot_ns(s, "cq")) then make_neb_regions(m, n, slot_ns(s, "neb")) on
+  /// slot_ns(s, cq_ns)) then make_neb_regions(m, n, slot_ns(s, neb_ns)) on
   /// every backing memory, in that order.
   FastRobustEngine(sim::Executor& exec,
                    std::vector<mem::MemoryIface*> memories,
                    std::shared_ptr<SlotRegions<FastRobustSlotRegions>> regions,
                    const crypto::KeyStore& keystore, crypto::Signer signer,
-                   Omega& omega, FastRobustConfig config);
+                   Omega& omega, FastRobustConfig config,
+                   std::string cq_ns = "cq", std::string neb_ns = "neb");
 
   ProcessId self() const override;
   std::size_t process_count() const override { return config_.n; }
@@ -372,6 +385,8 @@ class FastRobustEngine : public ConsensusEngine {
   crypto::Signer signer_;
   Omega* omega_;
   FastRobustConfig config_;
+  std::string cq_ns_;
+  std::string neb_ns_;
   std::map<Slot, SlotStack> slots_;
 };
 

@@ -18,8 +18,13 @@
 #include "src/core/protected_memory_paxos.hpp"
 #include "src/core/robust_backup.hpp"
 #include "src/core/transport.hpp"
+#include "src/core/transport_mux.hpp"
 #include "src/crypto/signature.hpp"
 #include "src/harness/process_view.hpp"
+#include "src/kv/router.hpp"
+#include "src/kv/shard.hpp"
+#include "src/kv/state_machine.hpp"
+#include "src/kv/workload.hpp"
 #include "src/mem/memory.hpp"
 #include "src/net/network.hpp"
 #include "src/sim/executor.hpp"
@@ -64,7 +69,18 @@ std::string RunReport::summary() const {
     os << " slots=" << slots_applied << " cmds=" << commands_applied
        << " noop=" << noop_slots << " fast=" << fast_slots
        << " p50=" << commit_p50 << " p99=" << commit_p99
-       << " events/slot=" << events_per_slot;
+       << " p999=" << commit_p999 << " events/slot=" << events_per_slot;
+  }
+  if (kv_ops > 0) {
+    os << " kv_ops=" << kv_ops << " kv_retries=" << kv_retries
+       << " kv_dups=" << kv_duplicates << " kv_ops/kdelay=" << kv_ops_per_kdelay
+       << " kv_op_p50=" << kv_op_p50 << " kv_op_p99=" << kv_op_p99
+       << " kv_op_p999=" << kv_op_p999 << " kv_hash=" << kv_store_hash
+       << " shard_ops=[";
+    for (std::size_t i = 0; i < kv_shard_ops.size(); ++i) {
+      os << (i > 0 ? "," : "") << kv_shard_ops[i];
+    }
+    os << "]";
   }
   return os.str();
 }
@@ -230,6 +246,7 @@ struct World {
 
   // Algorithm objects (only the relevant vectors are populated).
   std::vector<std::unique_ptr<core::NetTransport>> transports;
+  std::vector<std::unique_ptr<core::TransportMux>> muxes;  // KV: 1 per process
   std::vector<std::unique_ptr<core::Paxos>> paxoses;
   std::vector<std::unique_ptr<core::DiskPaxos>> disk_paxoses;
   std::vector<std::unique_ptr<core::ProtectedMemoryPaxos>> pmps;
@@ -244,8 +261,17 @@ struct World {
   std::vector<std::unique_ptr<smr::Replica>> smr_replicas;
   std::shared_ptr<core::SlotRegions<core::FastRobustSlotRegions>> fr_regions;
 
+  // KV mode (outer index = shard, inner index = p - 1; Byzantine processes
+  // hold no replica). Declared after the transports/muxes they reference so
+  // teardown runs replicas → engines → muxes → transports.
+  std::vector<std::vector<std::unique_ptr<core::ConsensusEngine>>> kv_engines;
+  std::vector<std::vector<std::unique_ptr<kv::StateMachine>>> kv_machines;
+  std::vector<std::vector<std::unique_ptr<smr::Replica>>> kv_replicas;
+  std::unique_ptr<kv::Router> kv_router;
+  std::unique_ptr<kv::Workload> kv_workload;
+
   // Region ids + name prefixes used by Byzantine strategies (SMR mode
-  // points them at slot 0's regions).
+  // points them at slot 0's regions, KV mode at shard 0 / slot 0's).
   std::map<ProcessId, RegionId> neb_region_ids;
   RegionId cq_region_leader_ = 0;
   std::string neb_prefix = "neb";
@@ -340,6 +366,31 @@ void spawn_byzantine(World& w, const ClusterConfig& config) {
 // SMR mode: one smr::Replica per correct process over the algorithm's
 // ConsensusEngine adapter.
 // ---------------------------------------------------------------------------
+
+/// End-of-run resource counters shared by every run mode (single-shot, SMR,
+/// KV) — one definition, so a counter added to RunReport cannot silently
+/// stay zero in one mode.
+void fill_resource_counters(RunReport& report, World& w,
+                            const ClusterConfig& config) {
+  report.messages_sent = w.network.messages_sent();
+  if (!config.verbs_backend) {
+    for (const auto& m : w.mem_backing) {
+      report.mem_reads += m->reads();
+      report.mem_read_batches += m->read_batches();
+      report.mem_writes += m->writes();
+      report.permission_changes += m->permission_changes();
+    }
+  } else {
+    for (const auto& vm : w.verbs_backing) {
+      report.mem_reads += vm->device().posted_reads();
+      report.mem_read_batches += vm->device().posted_read_batches();
+      report.mem_writes += vm->device().posted_writes();
+    }
+  }
+  report.signatures = w.keystore.signatures_made();
+  report.verifications = w.keystore.verifications_made();
+  report.events = w.exec.events_processed();
+}
 
 void add_tsend_stats(RunReport& report, const core::trusted::TsendStats& s) {
   report.tsend_deliveries += s.deliveries;
@@ -605,25 +656,9 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   std::sort(latencies.begin(), latencies.end());
   report.commit_p50 = smr::latency_percentile(latencies, 50);
   report.commit_p99 = smr::latency_percentile(latencies, 99);
+  report.commit_p999 = smr::latency_percentile(latencies, 99.9);
 
-  report.messages_sent = w.network.messages_sent();
-  if (!config.verbs_backend) {
-    for (const auto& m : w.mem_backing) {
-      report.mem_reads += m->reads();
-      report.mem_read_batches += m->read_batches();
-      report.mem_writes += m->writes();
-      report.permission_changes += m->permission_changes();
-    }
-  } else {
-    for (const auto& vm : w.verbs_backing) {
-      report.mem_reads += vm->device().posted_reads();
-      report.mem_read_batches += vm->device().posted_read_batches();
-      report.mem_writes += vm->device().posted_writes();
-    }
-  }
-  report.signatures = w.keystore.signatures_made();
-  report.verifications = w.keystore.verifications_made();
-  report.events = w.exec.events_processed();
+  fill_resource_counters(report, w, config);
   if (report.slots_applied > 0) {
     report.events_per_slot = static_cast<double>(report.events) /
                              static_cast<double>(report.slots_applied);
@@ -638,10 +673,388 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// KV mode: `shards` independent smr::Replica groups over per-shard engine
+// instances — message traffic on a TransportMux sub per shard (each with its
+// own SlotTransportHub slot namespace inside the engine), memory traffic
+// under "g<shard>/"-prefixed slot regions — with a kv::Router providing
+// exactly-once client sessions and a kv::Workload driving closed-loop
+// clients.
+// ---------------------------------------------------------------------------
+
+/// Build shard `g`'s engine for every process. Message engines run over the
+/// per-process mux's sub-transport for tag g; memory engines get a per-shard
+/// SlotRegions pool whose names live under kv::shard_ns(g, ...).
+void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
+  const std::size_t n = config.n;
+  const std::size_t fP = n > 0 ? (n - 1) / 2 : 0;
+  const std::uint8_t tag = static_cast<std::uint8_t>(g);
+  auto& engines = w.kv_engines[g];
+
+  switch (config.algo) {
+    case Algorithm::kPaxos:
+    case Algorithm::kFastPaxos: {
+      core::PaxosConfig pc;
+      pc.n = n;
+      pc.skip_phase1_for_p1 = (config.algo == Algorithm::kFastPaxos);
+      for (ProcessId p : all_processes(n)) {
+        engines.push_back(std::make_unique<core::PaxosEngine>(
+            w.exec, w.muxes[p - 1]->sub(tag), *w.omega, pc));
+      }
+      break;
+    }
+
+    case Algorithm::kDiskPaxos: {
+      auto pool = std::make_shared<core::SlotRegions<RegionId>>(
+          [wp = &w, n, prefix = kv::shard_ns(g, "dp")](Slot s) {
+            RegionId region = 0;
+            wp->for_each_backing([&](auto& m) {
+              region = core::make_disk_region(m, n,
+                                              core::slot_ns(s, prefix));
+            });
+            return region;
+          });
+      core::DiskPaxosConfig dc;
+      dc.n = n;
+      for (ProcessId p : all_processes(n)) {
+        engines.push_back(std::make_unique<core::DiskPaxosEngine>(
+            w.exec, w.view_ptrs[p - 1], w.muxes[p - 1]->sub(tag), *w.omega,
+            pool, dc, kv::shard_ns(g, "dp")));
+      }
+      break;
+    }
+
+    case Algorithm::kProtectedMemoryPaxos:
+    case Algorithm::kAlignedPaxos: {
+      auto pool = std::make_shared<core::SlotRegions<RegionId>>(
+          [wp = &w, n, prefix = kv::shard_ns(g, "pmp")](Slot s) {
+            RegionId region = 0;
+            wp->for_each_backing([&](auto& m) {
+              region = core::make_pmp_region(m, n, kLeaderP1,
+                                             core::slot_ns(s, prefix));
+            });
+            return region;
+          });
+      for (ProcessId p : all_processes(n)) {
+        if (config.algo == Algorithm::kAlignedPaxos) {
+          core::AlignedPaxosConfig ac;
+          ac.n = n;
+          engines.push_back(std::make_unique<core::AlignedEngine>(
+              w.exec, w.view_ptrs[p - 1], w.muxes[p - 1]->sub(tag), *w.omega,
+              pool, ac, kv::shard_ns(g, "pmp")));
+        } else {
+          core::PmpConfig pc;
+          pc.n = n;
+          engines.push_back(std::make_unique<core::PmpEngine>(
+              w.exec, w.view_ptrs[p - 1], w.muxes[p - 1]->sub(tag), *w.omega,
+              pool, pc, kv::shard_ns(g, "pmp")));
+        }
+      }
+      break;
+    }
+
+    case Algorithm::kFastRobust: {
+      const std::string cq_prefix = kv::shard_ns(g, "cq");
+      const std::string neb_prefix = kv::shard_ns(g, "neb");
+      auto pool = std::make_shared<core::SlotRegions<core::FastRobustSlotRegions>>(
+          [wp = &w, n, cq_prefix, neb_prefix](Slot s) {
+            core::FastRobustSlotRegions out;
+            wp->for_each_backing([&](auto& m) {
+              out.cq = core::make_cq_regions(m, n, kLeaderP1,
+                                             core::slot_ns(s, cq_prefix));
+              out.neb = core::make_neb_regions(
+                  m, n, core::slot_ns(s, neb_prefix));
+            });
+            return out;
+          });
+      if (g == 0) {
+        // Byzantine region attacks target the first shard's first slot.
+        w.neb_prefix = core::slot_ns(0, neb_prefix);
+        w.cq_prefix = core::slot_ns(0, cq_prefix);
+        if (!config.faults.byzantine.empty()) {
+          const core::FastRobustSlotRegions& r0 = pool->get(0);
+          w.neb_region_ids = r0.neb;
+          w.cq_region_leader_ = r0.cq.leader;
+        }
+      }
+
+      core::FastRobustConfig fc;
+      fc.n = n;
+      fc.f = fP;
+      fc.cheap.n = n;
+      fc.cheap.timeout = config.cq_timeout;
+      fc.neb.n = n;
+      fc.paxos.n = n;
+      fc.paxos.round_timeout = 150 * n;  // backup runs over NEB
+      fc.paxos.retry_backoff = 40;
+      for (ProcessId p : all_processes(n)) {
+        engines.push_back(std::make_unique<core::FastRobustEngine>(
+            w.exec, w.view_ptrs[p - 1], pool, w.keystore, w.signers[p - 1],
+            *w.omega, fc, cq_prefix, neb_prefix));
+      }
+      break;
+    }
+
+    case Algorithm::kRobustBackup:
+      throw std::invalid_argument(
+          "KV mode: RobustBackup has no ConsensusEngine adapter (use "
+          "FastRobust, whose backup path is RobustBackup(Paxos))");
+  }
+}
+
+RunReport run_kv(World& w, const ClusterConfig& config) {
+  const std::size_t n = config.n;
+  const auto all = all_processes(n);
+  const std::size_t shards = std::max<std::size_t>(1, config.kv.shards);
+  if (shards > 256) {
+    throw std::invalid_argument("KV mode: at most 256 shards (1-byte mux tag)");
+  }
+  const bool fan_out = (config.algo == Algorithm::kFastRobust);
+
+  // One base transport + mux per process; shard g's engine runs over sub(g).
+  for (ProcessId p : all) {
+    w.transports.push_back(std::make_unique<core::NetTransport>(
+        w.exec, w.network, p, /*tag=*/100));
+    w.muxes.push_back(
+        std::make_unique<core::TransportMux>(w.exec, *w.transports.back()));
+  }
+
+  w.kv_engines.resize(shards);
+  w.kv_machines.resize(shards);
+  w.kv_replicas.resize(shards);
+  for (std::size_t g = 0; g < shards; ++g) build_kv_shard(w, config, g);
+
+  // Replicas: one per (shard, correct process); Byzantine processes run none.
+  smr::ReplicaConfig rc;
+  rc.batch = config.kv.batch;
+  rc.log.window = config.kv.window;
+  rc.log.all_propose = fan_out;
+  if (fan_out) {
+    // The workload is dynamic (client-driven), so there is no slot target to
+    // fill with no-ops: replicas wait for fanned-out payloads — which land
+    // on every correct queue in the same tick — and fixed_slots is only the
+    // hub-sized safety cap.
+    rc.log.fixed_slots = Slot{1} << 20;
+    rc.log.noop_fillers = false;
+  }
+  for (std::size_t g = 0; g < shards; ++g) {
+    for (ProcessId p : all) {
+      w.kv_machines[g].push_back(std::make_unique<kv::StateMachine>());
+      if (config.faults.is_byzantine(p)) {
+        w.kv_replicas[g].push_back(nullptr);
+        continue;
+      }
+      w.kv_replicas[g].push_back(std::make_unique<smr::Replica>(
+          w.exec, *w.kv_engines[g][p - 1], *w.omega, *w.kv_machines[g].back(),
+          rc));
+    }
+  }
+
+  // Router + workload over every shard's replica group.
+  std::vector<kv::ShardBackend> backends(shards);
+  for (std::size_t g = 0; g < shards; ++g) {
+    backends[g].fan_out = fan_out;
+    for (ProcessId p : all) {
+      backends[g].replicas.push_back(w.kv_replicas[g][p - 1].get());
+      backends[g].machines.push_back(
+          config.faults.is_byzantine(p) ? nullptr
+                                        : w.kv_machines[g][p - 1].get());
+    }
+  }
+  kv::RouterConfig router_cfg;
+  router_cfg.retry_timeout = config.kv.retry_timeout;
+  w.kv_router = std::make_unique<kv::Router>(w.exec, *w.omega,
+                                             kv::ShardMap(shards),
+                                             std::move(backends), router_cfg);
+  kv::WorkloadConfig wc;
+  wc.clients = config.kv.clients;
+  wc.ops_per_client = config.kv.ops_per_client;
+  wc.mix = config.kv.mix;
+  wc.dist = config.kv.dist;
+  wc.keys = config.kv.keys;
+  wc.seed = config.seed;
+  w.kv_workload = std::make_unique<kv::Workload>(w.exec, *w.kv_router, wc);
+
+  for (ProcessId p : all) w.muxes[p - 1]->start();
+  for (std::size_t g = 0; g < shards; ++g) {
+    for (ProcessId p : all) {
+      if (config.faults.is_byzantine(p)) continue;
+      w.kv_engines[g][p - 1]->start();
+      w.kv_replicas[g][p - 1]->start();
+    }
+  }
+  w.kv_workload->start();
+  spawn_byzantine(w, config);
+
+  // ---- Run to quiescence: every client answered, every shard converged
+  // (no queued duplicates left, all correct replicas at one log length). ----
+  const auto shard_settled = [&](std::size_t g) -> bool {
+    Slot len = 0;
+    bool have_len = false;
+    for (ProcessId p : all) {
+      if (!w.correct(p)) continue;
+      const smr::Replica& r = *w.kv_replicas[g][p - 1];
+      if (fan_out) {
+        if (!r.idle()) return false;
+      }
+      if (!have_len) {
+        len = r.log().applied_len();
+        have_len = true;
+      } else if (r.log().applied_len() != len) {
+        return false;
+      }
+    }
+    if (!fan_out) {
+      const ProcessId leader = w.omega->leader();
+      if (leader < 1 || leader > n || !w.correct(leader)) return false;
+      if (!w.kv_replicas[g][leader - 1]->idle()) return false;
+    }
+    return true;
+  };
+  const auto done = [&]() -> bool {
+    if (!w.kv_workload->done()) return false;
+    for (std::size_t g = 0; g < shards; ++g) {
+      if (!shard_settled(g)) return false;
+    }
+    return true;
+  };
+  w.exec.run_until(done, config.horizon);
+
+  // ---- Report. ----
+  RunReport report;
+  report.termination = done();
+
+  const kv::WorkloadStats& ws = w.kv_workload->stats();
+  report.kv_ops = ws.ops;
+  report.kv_reads = ws.reads;
+  report.kv_writes = ws.puts + ws.dels + ws.cas_ops;
+  report.kv_retries = w.kv_router->retries();
+  report.kv_ops_per_kdelay = ws.ops_per_kdelay();
+  std::vector<sim::Time> op_latencies = ws.latencies;
+  std::sort(op_latencies.begin(), op_latencies.end());
+  report.kv_op_p50 = smr::latency_percentile(op_latencies, 50);
+  report.kv_op_p99 = smr::latency_percentile(op_latencies, 99);
+  report.kv_op_p999 = smr::latency_percentile(op_latencies, 99.9);
+
+  // Per-shard rollups + invariants over correct replicas: equal store/session
+  // hashes (KV agreement), well-formed commands only and no session running
+  // past its client's issued count (KV validity), and — the global
+  // exactly-once check — effective applied ops summing to exactly the
+  // completed client ops, duplicates excluded.
+  std::vector<sim::Time> commit_latencies;
+  std::uint64_t combined_hash = 0xCBF29CE484222325ULL;
+  std::uint64_t effective_total = 0;
+  for (std::size_t g = 0; g < shards; ++g) {
+    const kv::StateMachine* reference = nullptr;
+    const smr::Replica* ref_replica = nullptr;
+    for (ProcessId p : all) {
+      if (!w.correct(p)) continue;
+      const kv::StateMachine& sm = *w.kv_machines[g][p - 1];
+      const smr::Replica& replica = *w.kv_replicas[g][p - 1];
+      if (reference == nullptr) {
+        reference = &sm;
+        ref_replica = &replica;
+        report.kv_shard_ops.push_back(sm.ops_applied());
+        report.kv_duplicates += sm.duplicates_suppressed();
+        report.kv_malformed += sm.malformed();
+        effective_total += sm.ops_applied();
+      } else if (sm.store_hash() != reference->store_hash()) {
+        report.agreement = false;
+      }
+      if (sm.malformed() != 0) report.validity = false;
+      const smr::RunStats stats = replica.stats();
+      report.fast_slots = std::max(report.fast_slots, stats.fast_slots);
+      const std::vector<sim::Time> won = smr::won_slot_latencies(replica.log());
+      commit_latencies.insert(commit_latencies.end(), won.begin(), won.end());
+      const auto& records = replica.log().records();
+      if (replica.log().applied_len() > 0 && !records.empty()) {
+        report.first_decision_delay =
+            std::min(report.first_decision_delay, records[0].decided_at);
+        report.first_correct_decision_delay = std::min(
+            report.first_correct_decision_delay, records[0].decided_at);
+      }
+    }
+    if (ref_replica != nullptr) {
+      // Reference replica's records drive the aggregate slot accounting
+      // (all correct replicas of a shard apply the same log).
+      const Slot shard_slots = ref_replica->log().applied_len();
+      report.slots_applied += shard_slots;
+      const auto& recs = ref_replica->log().records();
+      for (Slot s = 0; s < shard_slots && s < recs.size(); ++s) {
+        report.commands_applied += recs[s].commands;
+        if (recs[s].noop) ++report.noop_slots;
+      }
+      const std::uint64_t h = reference->store_hash();
+      for (int i = 0; i < 8; ++i) {
+        combined_hash ^= static_cast<std::uint8_t>(h >> (i * 8));
+        combined_hash *= 0x100000001B3ULL;
+      }
+    }
+  }
+  report.kv_store_hash = combined_hash;
+  // Exactly-once, globally: every completed client op applied its mutation
+  // exactly once, on exactly one shard (only checkable once everything
+  // settled — a cut-short run legitimately has uncommitted tails).
+  if (report.termination && effective_total != ws.ops) {
+    report.validity = false;
+  }
+
+  std::sort(commit_latencies.begin(), commit_latencies.end());
+  report.commit_p50 = smr::latency_percentile(commit_latencies, 50);
+  report.commit_p99 = smr::latency_percentile(commit_latencies, 99);
+  report.commit_p999 = smr::latency_percentile(commit_latencies, 99.9);
+
+  // Per-process rows: one row per process, its per-shard applied lengths +
+  // store hashes joined — the determinism fingerprint for KV runs.
+  for (ProcessId p : all) {
+    auto& row = w.reports[p - 1];
+    if (!row.byzantine) {
+      std::ostringstream os;
+      sim::Time last_apply = 0;
+      bool any = false;
+      for (std::size_t g = 0; g < shards; ++g) {
+        const smr::Replica* replica = w.kv_replicas[g][p - 1].get();
+        if (replica == nullptr) continue;
+        const smr::RunStats stats = replica->stats();
+        if (stats.slots_applied > 0) any = true;
+        last_apply = std::max(last_apply, stats.last_apply_at);
+        os << (g > 0 ? "|" : "") << "g" << g << ":slots="
+           << stats.slots_applied << ",h=" << std::hex
+           << w.kv_machines[g][p - 1]->store_hash() << std::dec;
+      }
+      row.decided = any;
+      row.decided_at = last_apply;
+      row.decision = os.str();
+    }
+    report.processes.push_back(row);
+  }
+  if (report.kv_ops > 0) {
+    report.decided_value = "kv:" + std::to_string(report.kv_store_hash);
+  }
+
+  fill_resource_counters(report, w, config);
+  if (report.slots_applied > 0) {
+    report.events_per_slot = static_cast<double>(report.events) /
+                             static_cast<double>(report.slots_applied);
+  }
+  if (config.algo == Algorithm::kFastRobust) {
+    for (const auto& shard_engines : w.kv_engines) {
+      for (const auto& engine : shard_engines) {
+        add_tsend_stats(report,
+                        static_cast<const core::FastRobustEngine&>(*engine)
+                            .tsend_stats());
+      }
+    }
+    finish_tsend_stats(report);
+  }
+  return report;
+}
+
 }  // namespace
 
 RunReport run_cluster(const ClusterConfig& config) {
   World w(config);
+  if (config.kv.enabled) return run_kv(w, config);
   if (config.smr.enabled) return run_smr(w, config);
   const std::size_t n = config.n;
   const auto all = all_processes(n);
@@ -832,24 +1245,7 @@ RunReport run_cluster(const ClusterConfig& config) {
   }
   report.decided_value = decided;
 
-  report.messages_sent = w.network.messages_sent();
-  if (!config.verbs_backend) {
-    for (const auto& m : w.mem_backing) {
-      report.mem_reads += m->reads();
-      report.mem_read_batches += m->read_batches();
-      report.mem_writes += m->writes();
-      report.permission_changes += m->permission_changes();
-    }
-  } else {
-    for (const auto& vm : w.verbs_backing) {
-      report.mem_reads += vm->device().posted_reads();
-      report.mem_read_batches += vm->device().posted_read_batches();
-      report.mem_writes += vm->device().posted_writes();
-    }
-  }
-  report.signatures = w.keystore.signatures_made();
-  report.verifications = w.keystore.verifications_made();
-  report.events = w.exec.events_processed();
+  fill_resource_counters(report, w, config);
   for (const auto& rb : w.robust_backups) add_tsend_stats(report, rb->tsend_stats());
   for (const auto& fr : w.fast_robusts) add_tsend_stats(report, fr->tsend_stats());
   finish_tsend_stats(report);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common.hpp"
+#include "src/kv/workload.hpp"
 #include "src/sim/time.hpp"
 
 namespace mnm::harness {
@@ -74,6 +75,29 @@ struct SmrConfig {
   std::size_t window = 8;     // max in-flight slots
 };
 
+/// Sharded-KV mode: the key space is hash-partitioned across `shards`
+/// independent consensus groups, each an smr::Replica group over the chosen
+/// algorithm's engine — per-shard TransportMux sub + slot-hub namespace for
+/// message traffic, per-shard "g<i>/"-prefixed slot regions on the shared
+/// memories — with a kv::Router providing client-visible exactly-once
+/// sessions and a kv::Workload driving `clients` closed-loop YCSB-style
+/// clients through it. Fault plans apply exactly as in the other modes
+/// (Byzantine region attacks target shard 0 / slot 0); the run checks
+/// per-shard store/session agreement, session validity, and termination.
+struct KvConfig {
+  bool enabled = false;
+  std::size_t shards = 2;
+  std::size_t clients = 8;
+  std::size_t ops_per_client = 16;
+  kv::Mix mix = kv::Mix::kA;
+  kv::KeyDist dist = kv::KeyDist::kUniform;
+  std::size_t keys = 64;      // key-space size
+  std::size_t batch = 4;      // commands packed per slot payload
+  std::size_t window = 8;     // max in-flight slots per shard
+  /// Client reply deadline before a (dedup-covered) re-submission.
+  sim::Time retry_timeout = 64;
+};
+
 struct ClusterConfig {
   Algorithm algo = Algorithm::kPaxos;
   std::size_t n = 3;
@@ -92,6 +116,7 @@ struct ClusterConfig {
   sim::Time cq_timeout = 120;
 
   SmrConfig smr;
+  KvConfig kv;
 
   FaultPlan faults;
 };
@@ -154,12 +179,32 @@ struct RunReport {
   std::uint64_t noop_slots = 0;
   std::uint64_t fast_slots = 0;
   /// Commit latency (enqueue → local decide, sim-time) percentiles over
-  /// every slot some correct replica proposed and won.
+  /// every slot some correct replica proposed and won. p999 is the tail
+  /// metric production scale cares about.
   sim::Time commit_p50 = 0;
   sim::Time commit_p99 = 0;
+  sim::Time commit_p999 = 0;
   /// Executor events per applied slot — the pipelining-efficiency metric
   /// bench_log_pipeline tracks.
   double events_per_slot = 0.0;
+
+  // KV mode only (config.kv.enabled). Shard/commit metrics above aggregate
+  // over every shard's replicas; these add the client-visible layer.
+  std::uint64_t kv_ops = 0;             // completed client operations
+  std::uint64_t kv_reads = 0;
+  std::uint64_t kv_writes = 0;          // PUT + DEL + CAS completions
+  std::uint64_t kv_retries = 0;         // client re-submissions (dedup-covered)
+  std::uint64_t kv_duplicates = 0;      // duplicate applies suppressed
+  std::uint64_t kv_malformed = 0;       // undecodable commands applied as no-ops
+  std::uint64_t kv_store_hash = 0;      // combined per-shard store/session hash
+  /// Effective (deduplicated) operations applied per shard, shard order —
+  /// the partitioning fingerprint.
+  std::vector<std::uint64_t> kv_shard_ops;
+  double kv_ops_per_kdelay = 0.0;
+  /// Client-visible operation latency (issue → committed reply).
+  sim::Time kv_op_p50 = 0;
+  sim::Time kv_op_p99 = 0;
+  sim::Time kv_op_p999 = 0;
 
   std::string summary() const;
 };

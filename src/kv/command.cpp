@@ -1,0 +1,49 @@
+#include "src/kv/command.hpp"
+
+namespace mnm::kv {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kGet: return "GET";
+    case Op::kPut: return "PUT";
+    case Op::kDel: return "DEL";
+    case Op::kCas: return "CAS";
+  }
+  return "?";
+}
+
+Bytes encode_command(const Command& c) {
+  util::Writer w(1 + 8 + 8 + 4 + c.key.size() + 4 + c.value.size() + 4 +
+                 c.expected.size());
+  w.u8(static_cast<std::uint8_t>(c.op))
+      .u64(c.client)
+      .u64(c.seq)
+      .bytes(c.key)
+      .bytes(c.value)
+      .bytes(c.expected);
+  return std::move(w).take();
+}
+
+std::optional<Command> decode_command(util::ByteView raw) {
+  try {
+    util::Reader r(raw);
+    Command c;
+    const std::uint8_t op = r.u8();
+    if (op < static_cast<std::uint8_t>(Op::kGet) ||
+        op > static_cast<std::uint8_t>(Op::kCas)) {
+      return std::nullopt;
+    }
+    c.op = static_cast<Op>(op);
+    c.client = r.u64();
+    c.seq = r.u64();
+    c.key = r.bytes();
+    c.value = r.bytes();
+    c.expected = r.bytes();
+    r.expect_end();
+    return c;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mnm::kv

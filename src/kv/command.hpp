@@ -1,0 +1,71 @@
+// KV command / reply codec — the replicated operation format of the sharded
+// key-value store.
+//
+// Every client operation (GET/PUT/DEL/CAS) travels through the consensus log
+// as one smr batch command, stamped with the issuing client's session id and
+// per-client request sequence number. The (client, seq) pair is what makes
+// replies exactly-once: a command re-proposed after a leader hand-off, or
+// re-submitted by a retrying client, is recognized as a duplicate by
+// kv::StateMachine and suppressed (the cached reply is re-delivered instead).
+//
+// The wire format is the canonical util::Writer encoding; decode_command is
+// strict (expect_end) and total — Byzantine proposers can win log slots with
+// arbitrary bytes, so malformed commands must decode to nullopt
+// deterministically on every correct replica, never throw out of apply.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::kv {
+
+/// Client-session identifier. Allocated by kv::Router (dense, 1-based);
+/// unique per closed-loop client for the lifetime of the run.
+using ClientId = std::uint64_t;
+
+enum class Op : std::uint8_t {
+  kGet = 1,  // read key
+  kPut = 2,  // write key := value
+  kDel = 3,  // remove key
+  kCas = 4,  // compare-and-swap: key := value iff current == expected
+};
+
+const char* op_name(Op op);
+
+struct Command {
+  Op op = Op::kGet;
+  ClientId client = 0;
+  /// 1-based per-client request number; strictly increasing per session.
+  std::uint64_t seq = 0;
+  Bytes key;
+  Bytes value;     // kPut / kCas: the new value
+  Bytes expected;  // kCas only: the required current value (empty = absent)
+
+  bool operator==(const Command&) const = default;
+};
+
+enum class Status : std::uint8_t {
+  kOk = 1,
+  kNotFound = 2,     // GET/DEL of an absent key
+  kCasMismatch = 3,  // CAS whose expectation failed
+};
+
+/// What a committed operation returned. Cached per session by
+/// kv::StateMachine so duplicate applies re-deliver the original answer.
+struct Reply {
+  Status status = Status::kOk;
+  Bytes value;  // GET: the read value; CAS mismatch: the actual current value
+
+  bool operator==(const Reply&) const = default;
+};
+
+Bytes encode_command(const Command& c);
+/// Strict decode; nullopt on any malformed input (bad op byte, truncation,
+/// trailing bytes). Never throws, never over-reads.
+std::optional<Command> decode_command(util::ByteView raw);
+
+}  // namespace mnm::kv

@@ -1,0 +1,120 @@
+#include "src/kv/router.hpp"
+
+#include <cassert>
+
+#include "src/sim/select.hpp"
+
+namespace mnm::kv {
+
+Router::Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
+               std::vector<ShardBackend> shards, RouterConfig config)
+    : exec_(&exec),
+      omega_(&omega),
+      map_(map),
+      shards_(std::move(shards)),
+      config_(config),
+      flush_armed_(shards_.size(), 0) {
+  assert(map_.shards() == shards_.size() &&
+         "kv::Router: one backend per shard");
+  for (ShardBackend& b : shards_) {
+    for (StateMachine* sm : b.machines) {
+      if (sm == nullptr) continue;
+      sm->set_reply_sink([this](ClientId c, std::uint64_t seq, const Reply& r) {
+        deliver(c, seq, r);
+      });
+    }
+  }
+}
+
+ClientId Router::register_client() {
+  sessions_.emplace_back(*exec_);
+  return static_cast<ClientId>(sessions_.size());
+}
+
+void Router::deliver(ClientId client, std::uint64_t seq, const Reply& reply) {
+  if (client == 0 || client > sessions_.size()) return;  // not one of ours
+  ClientSession& s = sessions_[client - 1];
+  // First replica to apply wins; replays of older seqs wake nobody.
+  if (s.wait_seq != seq || s.reply.has_value()) return;
+  s.reply = reply;
+  s.signal.bump();
+}
+
+void Router::submit(std::size_t shard, const Bytes& wire) {
+  ShardBackend& b = shards_[shard];
+  if (b.fan_out) {
+    // Every correct replica proposes the same candidate in the same tick —
+    // the all-propose engines' requirement.
+    for (smr::Replica* r : b.replicas) {
+      if (r != nullptr) r->submit(wire);
+    }
+  } else {
+    // Ω never outputs a Byzantine process, so the leader has a replica; the
+    // first-correct fallback only covers scripted oracles pointing at a
+    // process this cluster never built.
+    const ProcessId lead = omega_->leader();
+    smr::Replica* r = (lead >= 1 && lead <= b.replicas.size())
+                          ? b.replicas[lead - 1]
+                          : nullptr;
+    if (r == nullptr) {
+      for (smr::Replica* cand : b.replicas) {
+        if (cand != nullptr) {
+          r = cand;
+          break;
+        }
+      }
+    }
+    if (r == nullptr) return;  // wholly faulty shard: the retry loop re-asks Ω
+    r->submit(wire);
+  }
+  if (!flush_armed_[shard]) {
+    flush_armed_[shard] = 1;
+    exec_->spawn(flush_soon(this, shard));
+  }
+}
+
+sim::Task<void> Router::flush_soon(Router* self, std::size_t shard) {
+  // One yield lets every same-instant submit for this shard join the open
+  // batch before it becomes a slot payload.
+  co_await self->exec_->yield();
+  self->flush_armed_[shard] = 0;
+  for (smr::Replica* r : self->shards_[shard].replicas) {
+    if (r != nullptr) r->flush();
+  }
+}
+
+sim::Task<Reply> Router::execute(ClientId client, Command cmd) {
+  assert(client >= 1 && client <= sessions_.size() &&
+         "kv::Router: unknown client");
+  ClientSession& s = sessions_[client - 1];
+  assert(s.wait_seq == 0 && "kv::Router: one outstanding op per session");
+  cmd.client = client;
+  cmd.seq = ++s.next_seq;
+  const std::size_t shard = map_.shard_of(cmd.key);
+  const Bytes wire = encode_command(cmd);
+  s.wait_seq = cmd.seq;
+  s.reply.reset();
+  submit(shard, wire);
+  while (true) {
+    // Snapshot before checking: a delivery landing between the check and
+    // the await makes the select ready immediately (no lost wakeup).
+    const std::uint64_t seen = s.signal.version();
+    if (s.reply.has_value()) break;
+    sim::Select sel(*exec_);
+    sel.on(s.signal, seen).until(exec_->now() + config_.retry_timeout);
+    const int which = co_await sel;
+    if (s.reply.has_value()) break;
+    if (which == sim::Select::kTimedOut) {
+      // Same client id, same seq, same bytes: the state machines' session
+      // dedup turns a double commit into one apply + a cached-reply echo.
+      ++retries_;
+      submit(shard, wire);
+    }
+  }
+  s.wait_seq = 0;
+  Reply reply = *std::move(s.reply);
+  s.reply.reset();
+  co_return reply;
+}
+
+}  // namespace mnm::kv

@@ -1,0 +1,106 @@
+// kv::Router — the client-facing front door of the sharded store.
+//
+// One Router per cluster (clients are simulated actors, not processes): it
+// owns the client sessions, routes every operation to its key's shard, and
+// replicates it through that shard's smr::Replica group. Two submission
+// modes per shard, matching the engine model:
+//
+//  * Leader-driven (crash-model engines): enqueue at the Ω-trusted
+//    replica's queue. If the leader dies with the command queued (or the
+//    command's slot is lost), the reply never arrives; the client's retry —
+//    same client id, same seq — re-routes to Ω's new output, and the
+//    session dedup in kv::StateMachine makes the duplicate harmless.
+//  * Fan-out (`all_propose` engines — Fast & Robust): every correct replica
+//    of the shard enqueues the same payload in the same tick, so all of
+//    them propose each slot with identical candidates, which is what the
+//    memory-routed Byzantine engines require to decide at all.
+//
+// Submissions batch per shard per tick: the first submit in an instant arms
+// a one-yield flush task, so every same-tick operation for a shard packs
+// into the same slot payload (up to the replica's batch size) — the closed-
+// loop workload's natural batching.
+//
+// execute() is the exactly-once retry loop: submit, wait on the session's
+// reply signal with a deadline, re-submit the *identical* wire on timeout.
+// Replies come back through the reply sinks of the shard's state machines
+// (every replica applies every command); the first delivery per (client,
+// seq) wins, later ones are ignored.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/core/omega.hpp"
+#include "src/kv/command.hpp"
+#include "src/kv/shard.hpp"
+#include "src/kv/state_machine.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+#include "src/smr/replica.hpp"
+
+namespace mnm::kv {
+
+/// One shard's replica group, indexed by process (index p - 1; nullptr for
+/// Byzantine processes, which run no correct replica).
+struct ShardBackend {
+  std::vector<smr::Replica*> replicas;
+  std::vector<StateMachine*> machines;
+  /// All-propose engines: submit to every correct replica (see above).
+  bool fan_out = false;
+};
+
+struct RouterConfig {
+  /// How long execute() waits for a reply before re-submitting. Must exceed
+  /// the shard's typical commit latency or every operation retries.
+  sim::Time retry_timeout = 64;
+};
+
+class Router {
+ public:
+  /// Wires itself as the reply sink of every machine in `shards`.
+  Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
+         std::vector<ShardBackend> shards, RouterConfig config);
+
+  /// Allocate a client session (dense ids, 1-based).
+  ClientId register_client();
+
+  std::size_t shards() const { return shards_.size(); }
+  const ShardMap& shard_map() const { return map_; }
+
+  /// Stamp `cmd` with the client's next seq, route it by key, replicate it,
+  /// and resolve with the committed reply. Retries (same seq) on timeout —
+  /// exactly-once end to end thanks to the state machines' session dedup.
+  sim::Task<Reply> execute(ClientId client, Command cmd);
+
+  /// Client re-submissions issued after a reply deadline expired.
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  struct ClientSession {
+    explicit ClientSession(sim::Executor& exec) : signal(exec) {}
+    std::uint64_t next_seq = 0;
+    std::uint64_t wait_seq = 0;  // seq currently awaited; 0 = none
+    std::optional<Reply> reply;
+    sim::VersionSignal signal;
+  };
+
+  void deliver(ClientId client, std::uint64_t seq, const Reply& reply);
+  void submit(std::size_t shard, const Bytes& wire);
+  static sim::Task<void> flush_soon(Router* self, std::size_t shard);
+
+  sim::Executor* exec_;
+  core::Omega* omega_;
+  ShardMap map_;
+  std::vector<ShardBackend> shards_;
+  RouterConfig config_;
+  std::deque<ClientSession> sessions_;  // stable addresses; index = id - 1
+  std::vector<std::uint8_t> flush_armed_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace mnm::kv

@@ -1,0 +1,58 @@
+// kv::ShardMap — static hash partitioning of the key space.
+//
+// Shard i owns every key whose FNV-1a hash maps to i mod N. Each shard is
+// one independent consensus group (its own engine instances per replica,
+// its own SlotTransportHub slot namespace over a TransportMux sub, its own
+// slot-prefixed memory regions via shard_ns), so any of the seven paper
+// protocols can back any shard and groups commit in parallel. Static for
+// now — reconfiguration/rebalancing is a future PR; everything routing-side
+// funnels through shard_of so the policy has exactly one home.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common.hpp"
+
+namespace mnm::kv {
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+  std::size_t shards() const { return shards_; }
+
+  static std::uint64_t key_hash(util::ByteView key) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const std::uint8_t b : key) {
+      h ^= b;
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+
+  std::size_t shard_of(util::ByteView key) const {
+    return static_cast<std::size_t>(key_hash(key) % shards_);
+  }
+
+ private:
+  std::size_t shards_;
+};
+
+/// Per-shard memory-region namespace: "g<group>/<base>". Composed with
+/// core::slot_ns by each shard's SlotRegions pool, a shard's slot-s regions
+/// live under "s<slot>/g<group>/<base>" — disjoint across groups on the
+/// same memories, exactly like the per-slot prefixes within a group.
+inline std::string shard_ns(std::size_t group, const char* base) {
+  std::string out;
+  out.reserve(24);
+  out += 'g';
+  out += std::to_string(group);
+  out += '/';
+  out += base;
+  return out;
+}
+
+}  // namespace mnm::kv

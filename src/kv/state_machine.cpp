@@ -1,0 +1,103 @@
+#include "src/kv/state_machine.hpp"
+
+namespace mnm::kv {
+
+namespace {
+
+inline std::uint64_t fnv1a(std::uint64_t h, util::ByteView bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (i * 8));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void StateMachine::apply(Slot, util::ByteView command) {
+  const std::optional<Command> c = decode_command(command);
+  if (!c.has_value()) {
+    ++malformed_;  // no-op, deterministically, on every correct replica
+    return;
+  }
+  Session& session = sessions_[c->client];
+  if (c->seq <= session.last_seq) {
+    ++duplicates_;
+    // Re-deliver the cached outcome for the newest request only: in the
+    // closed-loop session model that is the only seq a client can still be
+    // waiting on.
+    if (c->seq == session.last_seq && sink_) {
+      sink_(c->client, c->seq, session.last_reply);
+    }
+    return;
+  }
+  const Reply reply = apply_op(*c);
+  session.last_seq = c->seq;
+  session.last_reply = reply;
+  ++ops_applied_;
+  if (sink_) sink_(c->client, c->seq, reply);
+}
+
+Reply StateMachine::apply_op(const Command& c) {
+  Reply r;
+  switch (c.op) {
+    case Op::kGet: {
+      const auto it = store_.find(c.key);
+      if (it == store_.end()) {
+        r.status = Status::kNotFound;
+      } else {
+        r.value = it->second;
+      }
+      break;
+    }
+    case Op::kPut:
+      store_[c.key] = c.value;
+      break;
+    case Op::kDel:
+      if (store_.erase(c.key) == 0) r.status = Status::kNotFound;
+      break;
+    case Op::kCas: {
+      const auto it = store_.find(c.key);
+      const Bytes& current = it == store_.end() ? util::bottom() : it->second;
+      if (current == c.expected) {
+        store_[c.key] = c.value;
+      } else {
+        r.status = Status::kCasMismatch;
+        r.value = current;
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+std::uint64_t StateMachine::store_hash() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& [k, v] : store_) {
+    h = fnv1a(h, k);
+    h = fnv1a(h, v);
+  }
+  for (const auto& [client, s] : sessions_) {
+    h = fnv1a_u64(h, client);
+    h = fnv1a_u64(h, s.last_seq);
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(s.last_reply.status));
+    h = fnv1a(h, s.last_reply.value);
+  }
+  h = fnv1a_u64(h, ops_applied_);
+  return h;
+}
+
+std::uint64_t StateMachine::last_seq(ClientId c) const {
+  const auto it = sessions_.find(c);
+  return it == sessions_.end() ? 0 : it->second.last_seq;
+}
+
+}  // namespace mnm::kv

@@ -1,0 +1,79 @@
+// kv::StateMachine — the deterministic KV state machine behind every shard
+// replica, with exactly-once client sessions.
+//
+// Applied from smr::Log batches, strictly in slot order, identically on
+// every correct replica of a shard. On top of the plain GET/PUT/DEL/CAS
+// semantics it keeps one session record per client: (last applied seq,
+// cached reply). A command whose seq is ≤ the session's last applied seq is
+// a duplicate — it can appear in the log twice when a leader hand-off
+// re-proposes an open slot the old leader also won, or when a client retry
+// races the original — and its mutation is suppressed; the *cached* reply is
+// re-delivered so the retrying client observes the original outcome. That is
+// the client-visible exactly-once contract.
+//
+// The reply sink is how the co-located router learns outcomes: every replica
+// applies every command, each calls the sink, and the router keeps the first
+// delivery per (client, seq). Everything here is deterministic — iteration
+// is over ordered maps, and store_hash() folds store + sessions into one
+// fingerprint the determinism suite and the harness agreement check pin.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/common.hpp"
+#include "src/kv/command.hpp"
+#include "src/smr/log.hpp"
+
+namespace mnm::kv {
+
+class StateMachine : public smr::StateMachine {
+ public:
+  /// Called once per applied command — fresh applies with the new reply,
+  /// duplicate applies with the session's cached reply (seq == last applied
+  /// only; older duplicates are counted and dropped, no client waits on
+  /// them in the closed-loop model).
+  using ReplySink =
+      std::function<void(ClientId, std::uint64_t seq, const Reply&)>;
+
+  void set_reply_sink(ReplySink sink) { sink_ = std::move(sink); }
+
+  void apply(Slot slot, util::ByteView command) override;
+
+  const std::map<Bytes, Bytes>& store() const { return store_; }
+
+  /// FNV-1a over the store and the session table (last seq + cached reply
+  /// per client). Equal hashes across a shard's correct replicas ⇔ equal
+  /// stores and equal client-visible histories.
+  std::uint64_t store_hash() const;
+
+  /// Effective (non-duplicate, well-formed) operations applied.
+  std::uint64_t ops_applied() const { return ops_applied_; }
+  /// Duplicate (client, seq) applies whose mutation was suppressed.
+  std::uint64_t duplicates_suppressed() const { return duplicates_; }
+  /// Commands that failed decode_command (a Byzantine win can put arbitrary
+  /// bytes in a slot; they no-op deterministically).
+  std::uint64_t malformed() const { return malformed_; }
+
+  /// Last applied request seq for a client (0 = no session).
+  std::uint64_t last_seq(ClientId c) const;
+
+ private:
+  struct Session {
+    std::uint64_t last_seq = 0;
+    Reply last_reply;
+  };
+
+  Reply apply_op(const Command& c);
+
+  std::map<Bytes, Bytes> store_;
+  std::map<ClientId, Session> sessions_;
+  ReplySink sink_;
+  std::uint64_t ops_applied_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace mnm::kv

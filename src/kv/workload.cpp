@@ -1,0 +1,164 @@
+#include "src/kv/workload.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace mnm::kv {
+
+const char* mix_name(Mix mix) {
+  switch (mix) {
+    case Mix::kA: return "A (50/50)";
+    case Mix::kB: return "B (95/5)";
+    case Mix::kC: return "C (read-only)";
+  }
+  return "?";
+}
+
+double read_fraction(Mix mix) {
+  switch (mix) {
+    case Mix::kA: return 0.5;
+    case Mix::kB: return 0.95;
+    case Mix::kC: return 1.0;
+  }
+  return 1.0;
+}
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta), alpha_(1.0 / (1.0 - theta)) {
+  // theta = 1 degenerates silently (alpha = inf makes every draw return
+  // n - 1); the YCSB generator is defined for theta in (0, 1).
+  assert(theta > 0.0 && theta < 1.0 &&
+         "kv::ZipfGenerator: theta must be in (0, 1)");
+  double zetan = 0.0;
+  for (std::size_t i = 1; i <= n_; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  zetan_ = zetan;
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::size_t ZipfGenerator::next(sim::Rng& rng) {
+  // The standard YCSB rejection-free mapping (Gray et al.'s quickly
+  // generating billion-record synthetic databases).
+  const double u = rng.unit();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const std::size_t idx = static_cast<std::size_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= n_ ? n_ - 1 : idx;
+}
+
+Workload::Workload(sim::Executor& exec, Router& router, WorkloadConfig config)
+    : exec_(&exec),
+      router_(&router),
+      config_(config),
+      zipf_(config.keys, config.zipf_theta) {
+  assert(config_.keys >= 1 && "kv::Workload: key space must be non-empty");
+  sim::Rng root(config_.seed ^ 0x79C5B454ULL);
+  clients_.resize(config_.clients);
+  for (Client& c : clients_) {
+    c.id = router_->register_client();
+    c.rng = root.fork();
+  }
+}
+
+void Workload::start() {
+  assert(!started_ && "kv::Workload::start called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    exec_->spawn(client_loop(this, i));
+  }
+}
+
+std::size_t Workload::next_key(Client& c) {
+  return config_.dist == KeyDist::kZipfian ? zipf_.next(c.rng)
+                                           : c.rng.below(config_.keys);
+}
+
+Command Workload::next_op(Client& c) {
+  Command cmd;
+  const std::size_t key = next_key(c);
+  std::string key_name = "key-";
+  key_name += std::to_string(key);
+  cmd.key = util::to_bytes(key_name);
+  if (c.rng.unit() < read_fraction(config_.mix)) {
+    cmd.op = Op::kGet;
+    return cmd;
+  }
+  const Bytes fresh = util::to_bytes("v" + std::to_string(c.id) + "." +
+                                     std::to_string(c.rng.below(1u << 20)));
+  const double w = c.rng.unit();
+  if (w < 0.8) {
+    cmd.op = Op::kPut;
+    cmd.value = fresh;
+  } else if (w < 0.9) {
+    cmd.op = Op::kCas;
+    cmd.value = fresh;
+    // Expect the value this client last saw for the key (empty = absent):
+    // succeeds until another client slips a write in between — both CAS
+    // outcomes occur, deterministically.
+    const auto it = c.seen.find(key);
+    if (it != c.seen.end()) cmd.expected = it->second;
+  } else {
+    cmd.op = Op::kDel;
+  }
+  return cmd;
+}
+
+void Workload::record(const Command& cmd, const Reply& reply,
+                      sim::Time issued_at) {
+  ++stats_.ops;
+  stats_.last_reply_at = exec_->now();
+  stats_.latencies.push_back(exec_->now() - issued_at);
+  switch (cmd.op) {
+    case Op::kGet: ++stats_.reads; break;
+    case Op::kPut: ++stats_.puts; break;
+    case Op::kDel: ++stats_.dels; break;
+    case Op::kCas: ++stats_.cas_ops; break;
+  }
+  if (reply.status == Status::kNotFound) ++stats_.not_found;
+  if (reply.status == Status::kCasMismatch) ++stats_.cas_mismatch;
+}
+
+sim::Task<void> Workload::client_loop(Workload* self, std::size_t idx) {
+  Client& c = self->clients_[idx];
+  for (std::size_t i = 0; i < self->config_.ops_per_client; ++i) {
+    const Command cmd = self->next_op(c);
+    const sim::Time issued_at = self->exec_->now();
+    const Reply reply = co_await self->router_->execute(c.id, cmd);
+    self->record(cmd, reply, issued_at);
+
+    // Track the value the store now holds for this key, as this client
+    // observed it (for future CAS expectations).
+    const std::size_t key = [&] {
+      // key index back out of "key-<i>" — cheaper to recompute than carry.
+      const std::string k = util::to_string(cmd.key);
+      return static_cast<std::size_t>(std::stoull(k.substr(4)));
+    }();
+    switch (cmd.op) {
+      case Op::kGet:
+        if (reply.status == Status::kOk) {
+          c.seen[key] = reply.value;
+        } else {
+          c.seen[key] = Bytes{};
+        }
+        break;
+      case Op::kPut:
+        c.seen[key] = cmd.value;
+        break;
+      case Op::kDel:
+        c.seen[key] = Bytes{};
+        break;
+      case Op::kCas:
+        c.seen[key] = reply.status == Status::kOk ? cmd.value : reply.value;
+        break;
+    }
+  }
+  ++self->finished_;
+}
+
+}  // namespace mnm::kv

@@ -1,0 +1,114 @@
+// kv::Workload — seeded, deterministic closed-loop YCSB-style load.
+//
+// M concurrent clients, each a coroutine driving one operation at a time
+// through kv::Router (issue → await committed reply → next). Operation
+// mixes follow the YCSB core workloads:
+//
+//   mix A  update-heavy   50% read / 50% write
+//   mix B  read-mostly    95% read /  5% write
+//   mix C  read-only     100% read
+//
+// with the write share split 80% PUT / 10% CAS / 10% DEL so all four ops
+// exercise the log. Key popularity is uniform or zipfian (the YCSB
+// generator: theta 0.99 by default) over a fixed key space. Every choice
+// flows from one sim::Rng fork per client, so a (seed, config) pair
+// reproduces the identical operation stream — the determinism suite pins
+// whole sharded runs on that.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/kv/router.hpp"
+#include "src/sim/rng.hpp"
+
+namespace mnm::kv {
+
+enum class Mix : std::uint8_t { kA, kB, kC };
+enum class KeyDist : std::uint8_t { kUniform, kZipfian };
+
+const char* mix_name(Mix mix);
+/// Read share of the mix: 0.5 / 0.95 / 1.0.
+double read_fraction(Mix mix);
+
+/// YCSB-style zipfian generator over [0, n): item 0 most popular.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta);
+  std::size_t next(sim::Rng& rng);
+
+ private:
+  std::size_t n_;
+  double theta_, alpha_, zetan_, eta_;
+};
+
+struct WorkloadConfig {
+  std::size_t clients = 8;
+  std::size_t ops_per_client = 32;
+  Mix mix = Mix::kA;
+  KeyDist dist = KeyDist::kUniform;
+  std::size_t keys = 128;  // key-space size
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadStats {
+  std::uint64_t ops = 0;  // completed client operations
+  std::uint64_t reads = 0, puts = 0, dels = 0, cas_ops = 0;
+  std::uint64_t not_found = 0, cas_mismatch = 0;
+  sim::Time last_reply_at = 0;
+  /// Issue → committed-reply latency of every completed op, completion
+  /// order (unsorted).
+  std::vector<sim::Time> latencies;
+
+  /// Completed operations per 1000 sim-time units — the aggregate
+  /// throughput sharding is supposed to scale.
+  double ops_per_kdelay() const {
+    return last_reply_at > 0
+               ? 1000.0 * static_cast<double>(ops) /
+                     static_cast<double>(last_reply_at)
+               : 0.0;
+  }
+};
+
+class Workload {
+ public:
+  /// Registers `config.clients` sessions with the router.
+  Workload(sim::Executor& exec, Router& router, WorkloadConfig config);
+
+  /// Spawn every client loop. Call once, after the shard replicas started.
+  void start();
+
+  /// Every client completed its full operation count.
+  bool done() const { return finished_ == clients_.size(); }
+
+  const WorkloadStats& stats() const { return stats_; }
+
+ private:
+  struct Client {
+    ClientId id = 0;
+    sim::Rng rng{0};
+    /// Last value this client observed per key index (reads and writes) —
+    /// seeds CAS expectations so both success and mismatch paths occur.
+    std::map<std::size_t, Bytes> seen;
+  };
+
+  static sim::Task<void> client_loop(Workload* self, std::size_t idx);
+  std::size_t next_key(Client& c);
+  Command next_op(Client& c);
+  void record(const Command& cmd, const Reply& reply, sim::Time issued_at);
+
+  sim::Executor* exec_;
+  Router* router_;
+  WorkloadConfig config_;
+  ZipfGenerator zipf_;
+  std::vector<Client> clients_;
+  std::size_t finished_ = 0;
+  WorkloadStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace mnm::kv

@@ -1,5 +1,6 @@
 #include "src/smr/log.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/sim/select.hpp"
@@ -21,7 +22,11 @@ std::vector<Bytes> decode_batch(util::ByteView raw) {
     util::Reader r(raw);
     const std::uint32_t count = r.u32();
     std::vector<Bytes> out;
-    out.reserve(count);
+    // The count is attacker-controlled (a Byzantine proposer can win a slot
+    // with arbitrary bytes): cap the pre-size by the bytes actually present
+    // — every command costs at least its 4-byte length prefix — so a huge
+    // prefix on a tiny body cannot force a bad_alloc before parsing fails.
+    out.reserve(std::min<std::size_t>(count, r.remaining() / 4));
     for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.bytes());
     r.expect_end();
     return out;
@@ -171,7 +176,9 @@ sim::Task<void> Log::pump_leader() {
 sim::Task<void> Log::pump_all() {
   while (next_slot_ < config_.fixed_slots) {
     const std::uint64_t v_applied = applied_signal_.version();
-    if (next_slot_ < applied_len_ + config_.window) {
+    const std::uint64_t v_pending = pending_signal_.version();
+    const bool have_work = !pending_.empty() || config_.noop_fillers;
+    if (have_work && next_slot_ < applied_len_ + config_.window) {
       // Candidate-per-slot model: no retry — consensus picking another
       // replica's candidate is the expected outcome, not a loss.
       launch(next_slot_, take_pending_or_noop(), /*retry=*/false);
@@ -180,6 +187,7 @@ sim::Task<void> Log::pump_all() {
     }
     sim::Select sel(*exec_);
     sel.on(applied_signal_, v_applied);
+    if (!config_.noop_fillers) sel.on(pending_signal_, v_pending);
     (void)co_await sel;
   }
 }

@@ -71,6 +71,14 @@ struct LogConfig {
   /// all_propose only: total slots to drive (each replica must use the
   /// same value).
   Slot fixed_slots = 0;
+  /// all_propose only: when true (the default — the fixed-workload harness
+  /// shape), an empty queue proposes the no-op filler so every slot up to
+  /// fixed_slots completes. When false, the pump waits for queued work
+  /// before opening a slot — the dynamic-workload shape (kv::Router fans
+  /// the same payload out to every correct replica in the same tick, so
+  /// queues advance in lockstep and fillers are never needed). fixed_slots
+  /// is then just a cap, not a target.
+  bool noop_fillers = true;
   /// Seed for Ω leadership-wait backoff.
   sim::Time lead_poll = 1;
 };

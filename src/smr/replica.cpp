@@ -18,10 +18,10 @@ std::vector<sim::Time> won_slot_latencies(const Log& log) {
   return out;
 }
 
-sim::Time latency_percentile(const std::vector<sim::Time>& sorted, int p) {
+sim::Time latency_percentile(const std::vector<sim::Time>& sorted, double p) {
   if (sorted.empty()) return 0;
-  const std::size_t idx =
-      (sorted.size() - 1) * static_cast<std::size_t>(p) / 100;
+  const std::size_t idx = static_cast<std::size_t>(
+      static_cast<double>(sorted.size() - 1) * p / 100.0);
   return sorted[idx];
 }
 
@@ -30,7 +30,8 @@ std::string RunStats::summary() const {
   os << "cmds=" << commands_applied << "/" << commands_submitted
      << " slots=" << slots_applied << " noop=" << noop_slots
      << " fast=" << fast_slots << " p50=" << commit_p50
-     << " p99=" << commit_p99 << " cmds/kdelay=" << commands_per_kdelay;
+     << " p99=" << commit_p99 << " p999=" << commit_p999
+     << " cmds/kdelay=" << commands_per_kdelay;
   return os.str();
 }
 
@@ -68,6 +69,7 @@ RunStats Replica::stats() const {
   std::sort(latencies.begin(), latencies.end());
   out.commit_p50 = latency_percentile(latencies, 50);
   out.commit_p99 = latency_percentile(latencies, 99);
+  out.commit_p999 = latency_percentile(latencies, 99.9);
   if (out.last_apply_at > 0) {
     out.commands_per_kdelay = 1000.0 *
                               static_cast<double>(out.commands_applied) /

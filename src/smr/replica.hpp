@@ -31,9 +31,9 @@ struct ReplicaConfig {
 std::vector<sim::Time> won_slot_latencies(const Log& log);
 
 /// Index-based percentile over a latency list sorted ascending (p in
-/// 0..100; zero when empty). The single definition RunStats and the
-/// harness report share.
-sim::Time latency_percentile(const std::vector<sim::Time>& sorted, int p);
+/// 0..100, fractional percentiles like 99.9 included; zero when empty).
+/// The single definition RunStats and the harness report share.
+sim::Time latency_percentile(const std::vector<sim::Time>& sorted, double p);
 
 /// End-of-run report for one replica.
 struct RunStats {
@@ -44,9 +44,12 @@ struct RunStats {
   std::uint64_t fast_slots = 0;  // slots whose local decision was fast-path
   sim::Time last_apply_at = 0;
   /// Commit latency (enqueue → local decide, sim-time) percentiles over the
-  /// slots this replica proposed and won. Zero when it won none.
+  /// slots this replica proposed and won. Zero when it won none. p999 is
+  /// the production-scale tail metric: one straggler slot per thousand is
+  /// what a p50/p99 pair misses.
   sim::Time commit_p50 = 0;
   sim::Time commit_p99 = 0;
+  sim::Time commit_p999 = 0;
   /// Applied commands per 1000 sim-time units — the pipelining headline.
   double commands_per_kdelay = 0.0;
 

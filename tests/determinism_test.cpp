@@ -28,7 +28,14 @@ struct Fingerprint {
   // metrics, so a reordered pipeline cannot hide behind equal counts.
   Slot slots = 0;
   std::uint64_t cmds = 0;
-  sim::Time p50 = 0, p99 = 0;
+  sim::Time p50 = 0, p99 = 0, p999 = 0;
+  // KV mode: per-shard effective op counts, the combined store/session
+  // hash, client-visible latency percentiles, and the retry/dedup counters
+  // — a sharded run whose partitioning, dedup decisions or reply timing
+  // drifted cannot fingerprint equal.
+  std::uint64_t kv_ops = 0, kv_retries = 0, kv_dups = 0, kv_hash = 0;
+  std::vector<std::uint64_t> kv_shard_ops;
+  sim::Time kv_p50 = 0, kv_p99 = 0, kv_p999 = 0;
   // Byzantine wire path: t-send suffix-decode accounting. Pinning these says
   // the decode-cost optimization is itself deterministic — the same seed
   // skips the same prefixes — without perturbing the (time, seq) schedule
@@ -58,6 +65,15 @@ Fingerprint fingerprint(const RunReport& r) {
   f.cmds = r.commands_applied;
   f.p50 = r.commit_p50;
   f.p99 = r.commit_p99;
+  f.p999 = r.commit_p999;
+  f.kv_ops = r.kv_ops;
+  f.kv_retries = r.kv_retries;
+  f.kv_dups = r.kv_duplicates;
+  f.kv_hash = r.kv_store_hash;
+  f.kv_shard_ops = r.kv_shard_ops;
+  f.kv_p50 = r.kv_op_p50;
+  f.kv_p99 = r.kv_op_p99;
+  f.kv_p999 = r.kv_op_p999;
   f.tsend_deliveries = r.tsend_deliveries;
   f.entries_decoded = r.history_entries_decoded;
   f.entries_skipped = r.history_entries_skipped;
@@ -196,6 +212,61 @@ TEST(Determinism, SmrFastRobustBackupPathSameSeedSameRun) {
   EXPECT_GT(a.tsend_deliveries, 0u) << a.summary();
   EXPECT_GT(a.history_entries_skipped, 0u) << a.summary();
   expect_deterministic(c, /*check_ok=*/false);
+}
+
+// --- KV mode: the sharded store inherits the determinism invariant. ---
+
+TEST(Determinism, KvShardedZipfianSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 42;
+  c.kv.enabled = true;
+  c.kv.shards = 4;
+  c.kv.clients = 8;
+  c.kv.ops_per_client = 12;
+  c.kv.mix = kv::Mix::kA;
+  c.kv.dist = kv::KeyDist::kZipfian;
+  const RunReport a = run_cluster(c);
+  EXPECT_EQ(a.kv_shard_ops.size(), 4u) << a.summary();
+  EXPECT_GT(a.kv_store_hash, 0u);
+  expect_deterministic(c);
+}
+
+TEST(Determinism, KvRetryStormLeaderCrashSameSeedSameRun) {
+  // The adversarial schedule: duplicates from client retries AND a leader
+  // hand-off. The fingerprint pins that retry timing, dedup decisions and
+  // reply delivery are all on the deterministic (time, seq) schedule.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 7;
+  c.kv.enabled = true;
+  c.kv.shards = 2;
+  c.kv.clients = 6;
+  c.kv.ops_per_client = 8;
+  c.kv.batch = 1;
+  c.kv.window = 2;
+  c.kv.retry_timeout = 3;
+  c.faults.process_crashes[1] = 9;
+  const RunReport a = run_cluster(c);
+  EXPECT_GT(a.kv_duplicates, 0u) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, KvFastRobustShardSameSeedSameRun) {
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;
+  c.m = 3;
+  c.seed = 9;
+  c.kv.enabled = true;
+  c.kv.shards = 1;
+  c.kv.clients = 2;
+  c.kv.ops_per_client = 3;
+  expect_deterministic(c);
 }
 
 /// Different seeds may legitimately differ, but every seed must be

@@ -1,0 +1,192 @@
+// Sharded-KV cluster invariants (harness KV mode).
+//
+// The contract under test is client-visible exactly-once on top of
+// per-shard SMR: every completed client operation mutates exactly one
+// shard's store exactly once — even when the command lands in the log twice
+// (client retry racing the original, or a leader hand-off re-proposing an
+// open slot) — and every correct replica of a shard holds the same store
+// and session table. Fault plans reuse the harness machinery: leader
+// crashes mid-workload, Byzantine processes on FastRobust-backed shards.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/harness/cluster.hpp"
+
+namespace mnm::harness {
+namespace {
+
+ClusterConfig kv_config(Algorithm algo, std::size_t n, std::size_t m,
+                        std::size_t shards, std::size_t clients,
+                        std::size_t ops) {
+  ClusterConfig c;
+  c.algo = algo;
+  c.n = n;
+  c.m = m;
+  c.kv.enabled = true;
+  c.kv.shards = shards;
+  c.kv.clients = clients;
+  c.kv.ops_per_client = ops;
+  return c;
+}
+
+std::uint64_t total_shard_ops(const RunReport& r) {
+  return std::accumulate(r.kv_shard_ops.begin(), r.kv_shard_ops.end(),
+                         std::uint64_t{0});
+}
+
+TEST(KvCluster, ShardedMixAOverFastPaxos) {
+  const RunReport r = run_cluster(kv_config(Algorithm::kFastPaxos, 3, 0,
+                                            /*shards=*/4, /*clients=*/8,
+                                            /*ops=*/16));
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_ops, 8u * 16u);
+  // Exactly-once, globally: effective applies across shards == client ops.
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops) << r.summary();
+  EXPECT_EQ(r.kv_malformed, 0u);
+  // The workload actually spread across the groups.
+  EXPECT_EQ(r.kv_shard_ops.size(), 4u);
+  for (std::size_t g = 0; g < r.kv_shard_ops.size(); ++g) {
+    EXPECT_GT(r.kv_shard_ops[g], 0u) << "shard " << g << " saw no ops";
+  }
+  EXPECT_GT(r.kv_reads, 0u);
+  EXPECT_GT(r.kv_writes, 0u);
+  EXPECT_GT(r.kv_op_p50, 0u);
+  EXPECT_GE(r.kv_op_p999, r.kv_op_p99);
+  EXPECT_GE(r.commit_p999, r.commit_p99);
+}
+
+TEST(KvCluster, ZipfianReadMostlyOverFastPaxos) {
+  ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 4, 8, 16);
+  c.kv.mix = kv::Mix::kB;
+  c.kv.dist = kv::KeyDist::kZipfian;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_ops, 8u * 16u);
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops);
+  // 95/5 mix: reads dominate.
+  EXPECT_GT(r.kv_reads, r.kv_writes * 4);
+}
+
+TEST(KvCluster, MemoryEnginesBackShards) {
+  // PMP-backed shards (n=2, m=3): the same router/workload stack runs over
+  // memory-only consensus with per-shard slot-prefixed regions.
+  const RunReport r = run_cluster(
+      kv_config(Algorithm::kProtectedMemoryPaxos, 2, 3, 2, 4, 8));
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_ops, 4u * 8u);
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops);
+  EXPECT_GT(r.mem_writes, 0u);
+}
+
+TEST(KvCluster, MoreShardsMoreThroughput) {
+  // Read-heavy mix, enough clients to saturate one group's pipeline
+  // (window × batch): aggregate ops/kdelay must grow with the shard count.
+  ClusterConfig one = kv_config(Algorithm::kFastPaxos, 3, 0, 1, 32, 8);
+  one.kv.mix = kv::Mix::kC;
+  one.kv.window = 4;
+  one.kv.batch = 4;
+  one.kv.keys = 256;
+  ClusterConfig four = one;
+  four.kv.shards = 4;
+  const RunReport r1 = run_cluster(one);
+  const RunReport r4 = run_cluster(four);
+  ASSERT_TRUE(r1.all_ok()) << r1.summary();
+  ASSERT_TRUE(r4.all_ok()) << r4.summary();
+  EXPECT_GT(r4.kv_ops_per_kdelay, 1.5 * r1.kv_ops_per_kdelay)
+      << "1 shard: " << r1.summary() << "\n4 shards: " << r4.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once under faults.
+// ---------------------------------------------------------------------------
+
+TEST(KvCluster, AggressiveRetriesStayExactlyOnce) {
+  // Retry deadline far below the commit latency: every client re-submits
+  // while its original is still in flight, so the logs fill with duplicate
+  // (client, seq) pairs — all of which must be suppressed, with the cached
+  // reply answering the retry.
+  ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 2, 6, 8);
+  c.kv.retry_timeout = 2;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_ops, 6u * 8u);
+  EXPECT_GT(r.kv_retries, 0u) << "deadline below commit latency must retry";
+  EXPECT_GT(r.kv_duplicates, 0u)
+      << "retries racing their originals must produce suppressed duplicates";
+  // THE invariant: duplicates in the log, yet effective applies == ops.
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops) << r.summary();
+}
+
+TEST(KvCluster, ClientRetryAcrossLeaderCrashExactlyOnce) {
+  // The leader dies mid-workload with commands queued and slots open. Ω
+  // hands off; clients whose commands died with p1's queue time out and
+  // re-submit to the new leader; commands that were already proposed may
+  // ALSO be re-proposed by the hand-off — the duplicate path. Every correct
+  // replica must converge to one store, and every op must apply once.
+  ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 2, 6, 8);
+  c.kv.retry_timeout = 24;
+  // A tight pipeline (1 command per slot, 2 slots in flight) keeps commands
+  // queued at the leader, so the crash reliably strands some unproposed.
+  c.kv.batch = 1;
+  c.kv.window = 2;
+  c.faults.process_crashes[1] = 7;  // mid-stream, slots in flight + queued
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement) << r.summary();
+  EXPECT_TRUE(r.termination) << r.summary();
+  EXPECT_TRUE(r.validity) << r.summary();
+  EXPECT_EQ(r.kv_ops, 6u * 8u) << "every client op must complete";
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops)
+      << "a command must not apply twice across the crash: " << r.summary();
+  EXPECT_GT(r.kv_retries, 0u)
+      << "ops stranded in the dead leader's queue must have retried";
+}
+
+TEST(KvCluster, RetryStormAcrossLeaderCrashStillExactlyOnce) {
+  // Both fault axes at once: aggressive deadlines AND a mid-stream leader
+  // crash. Duplicates come from both the client and the hand-off path.
+  ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 2, 6, 8);
+  c.kv.retry_timeout = 3;
+  c.faults.process_crashes[1] = 9;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement) << r.summary();
+  EXPECT_TRUE(r.termination) << r.summary();
+  EXPECT_EQ(r.kv_ops, 6u * 8u);
+  EXPECT_GT(r.kv_duplicates, 0u);
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine shards (FastRobust engine, fan-out submission).
+// ---------------------------------------------------------------------------
+
+TEST(KvCluster, FastRobustShardHonestRunCommitsFast) {
+  const RunReport r =
+      run_cluster(kv_config(Algorithm::kFastRobust, 3, 3, 1, 2, 3));
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_ops, 2u * 3u);
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops);
+  EXPECT_GT(r.fast_slots, 0u) << "honest synchronous shard should stay on "
+                                 "the 2-delay Cheap Quorum path";
+}
+
+TEST(KvCluster, ByzantineShardCannotForkReplies) {
+  // A Byzantine Cheap Quorum leader plants different signed values on
+  // different memories of shard 0 and goes silent. The engine's backup path
+  // must keep every correct replica's store and session table identical —
+  // no client may observe a forked reply — and every op still completes.
+  ClusterConfig c = kv_config(Algorithm::kFastRobust, 3, 3, 1, 2, 3);
+  c.faults.byzantine[1] = ByzantineStrategy::kCqLeaderEquivocate;
+  c.horizon = 200000;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement)
+      << "correct replicas' stores/sessions diverged: " << r.summary();
+  EXPECT_TRUE(r.termination) << r.summary();
+  EXPECT_EQ(r.kv_ops, 2u * 3u) << "every client op must still complete";
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops)
+      << "fork attempt must not double-apply: " << r.summary();
+}
+
+}  // namespace
+}  // namespace mnm::harness

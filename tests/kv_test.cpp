@@ -1,0 +1,221 @@
+// kv/ unit invariants: the command codec, the state machine's GET/PUT/DEL/
+// CAS semantics and exactly-once session dedup, the shard map, and the
+// workload generators (zipfian skew, fixed-seed reproducibility).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/kv/command.hpp"
+#include "src/kv/shard.hpp"
+#include "src/kv/state_machine.hpp"
+#include "src/kv/workload.hpp"
+#include "src/sim/rng.hpp"
+
+namespace mnm::kv {
+namespace {
+
+using util::to_bytes;
+
+Command cmd(Op op, ClientId client, std::uint64_t seq, const char* key,
+            const char* value = "", const char* expected = "") {
+  Command c;
+  c.op = op;
+  c.client = client;
+  c.seq = seq;
+  c.key = to_bytes(key);
+  c.value = to_bytes(value);
+  c.expected = to_bytes(expected);
+  return c;
+}
+
+TEST(KvCodec, RoundTripAllOps) {
+  for (const Op op : {Op::kGet, Op::kPut, Op::kDel, Op::kCas}) {
+    const Command c = cmd(op, 7, 42, "key-3", "some value", "old value");
+    const auto d = decode_command(encode_command(c));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, c);
+  }
+}
+
+TEST(KvCodec, MalformedInputsDecodeToNullopt) {
+  const Bytes wire = encode_command(cmd(Op::kPut, 1, 1, "k", "v"));
+  // Every proper truncation fails (strict length prefixes + expect_end).
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(
+        decode_command(util::ByteView(wire).subspan(0, cut)).has_value())
+        << "cut " << cut;
+  }
+  // Trailing garbage fails.
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_FALSE(decode_command(extended).has_value());
+  // Bad op byte fails.
+  Bytes bad_op = wire;
+  bad_op[0] = 99;
+  EXPECT_FALSE(decode_command(bad_op).has_value());
+  EXPECT_FALSE(decode_command(Bytes{}).has_value());
+}
+
+TEST(KvStateMachine, GetPutDelCasSemantics) {
+  StateMachine sm;
+  std::vector<Reply> replies;
+  sm.set_reply_sink(
+      [&](ClientId, std::uint64_t, const Reply& r) { replies.push_back(r); });
+
+  sm.apply(0, encode_command(cmd(Op::kGet, 1, 1, "a")));
+  EXPECT_EQ(replies.back().status, Status::kNotFound);
+
+  sm.apply(0, encode_command(cmd(Op::kPut, 1, 2, "a", "v1")));
+  EXPECT_EQ(replies.back().status, Status::kOk);
+  sm.apply(1, encode_command(cmd(Op::kGet, 1, 3, "a")));
+  EXPECT_EQ(replies.back().status, Status::kOk);
+  EXPECT_EQ(replies.back().value, to_bytes("v1"));
+
+  // CAS with the right expectation swaps; with a stale one reports the
+  // actual current value.
+  sm.apply(2, encode_command(cmd(Op::kCas, 1, 4, "a", "v2", "v1")));
+  EXPECT_EQ(replies.back().status, Status::kOk);
+  sm.apply(2, encode_command(cmd(Op::kCas, 1, 5, "a", "v3", "v1")));
+  EXPECT_EQ(replies.back().status, Status::kCasMismatch);
+  EXPECT_EQ(replies.back().value, to_bytes("v2"));
+  // CAS with empty expectation means "create iff absent".
+  sm.apply(3, encode_command(cmd(Op::kCas, 1, 6, "b", "fresh")));
+  EXPECT_EQ(replies.back().status, Status::kOk);
+
+  sm.apply(4, encode_command(cmd(Op::kDel, 1, 7, "a")));
+  EXPECT_EQ(replies.back().status, Status::kOk);
+  sm.apply(4, encode_command(cmd(Op::kDel, 1, 8, "a")));
+  EXPECT_EQ(replies.back().status, Status::kNotFound);
+
+  EXPECT_EQ(sm.ops_applied(), 8u);
+  EXPECT_EQ(sm.duplicates_suppressed(), 0u);
+  EXPECT_EQ(sm.last_seq(1), 8u);
+}
+
+TEST(KvStateMachine, DuplicateApplySuppressedAndCachedReplyRedelivered) {
+  StateMachine sm;
+  std::vector<std::pair<std::uint64_t, Reply>> replies;
+  sm.set_reply_sink([&](ClientId, std::uint64_t seq, const Reply& r) {
+    replies.emplace_back(seq, r);
+  });
+
+  const Bytes put = encode_command(cmd(Op::kPut, 9, 1, "k", "first"));
+  sm.apply(0, put);
+  // The same (client, seq) lands again — a leader hand-off re-proposal or a
+  // client retry racing the original. The mutation must not repeat, and the
+  // cached reply must be re-delivered for the retrying client.
+  sm.apply(1, put);
+  EXPECT_EQ(sm.ops_applied(), 1u);
+  EXPECT_EQ(sm.duplicates_suppressed(), 1u);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], replies[1]);
+  EXPECT_EQ(sm.store().at(to_bytes("k")), to_bytes("first"));
+
+  // A duplicate whose effect would differ if re-applied: PUT k=second, then
+  // a stale copy of the first PUT. The store must keep "second".
+  sm.apply(2, encode_command(cmd(Op::kPut, 9, 2, "k", "second")));
+  sm.apply(3, put);
+  EXPECT_EQ(sm.store().at(to_bytes("k")), to_bytes("second"));
+  EXPECT_EQ(sm.ops_applied(), 2u);
+  EXPECT_EQ(sm.duplicates_suppressed(), 2u);
+
+  // Duplicate CAS: the second apply must NOT see its own write and flip to
+  // mismatch — it must echo the original success.
+  const Bytes cas = encode_command(cmd(Op::kCas, 9, 3, "k", "third", "second"));
+  sm.apply(4, cas);
+  ASSERT_EQ(replies.back().second.status, Status::kOk);
+  sm.apply(5, cas);
+  EXPECT_EQ(replies.back().second.status, Status::kOk) << "duplicate CAS must "
+      "re-deliver the cached success, not re-evaluate against its own write";
+  EXPECT_EQ(sm.ops_applied(), 3u);
+}
+
+TEST(KvStateMachine, MalformedCommandsNoopDeterministically) {
+  StateMachine sm;
+  sm.apply(0, to_bytes("\xde\xad\xbe\xef"));
+  sm.apply(0, Bytes{});
+  EXPECT_EQ(sm.malformed(), 2u);
+  EXPECT_EQ(sm.ops_applied(), 0u);
+  EXPECT_TRUE(sm.store().empty());
+}
+
+TEST(KvStateMachine, StoreHashCoversStoreAndSessions) {
+  StateMachine a, b;
+  const Bytes put = encode_command(cmd(Op::kPut, 1, 1, "k", "v"));
+  a.apply(0, put);
+  b.apply(0, put);
+  EXPECT_EQ(a.store_hash(), b.store_hash());
+  // Same store, different session history (a saw a duplicate) — hashes
+  // still equal because duplicates change no session state...
+  a.apply(1, put);
+  EXPECT_EQ(a.store_hash(), b.store_hash());
+  // ...but a diverging applied op changes the hash even when the store ends
+  // up identical (DEL of an absent key).
+  b.apply(2, encode_command(cmd(Op::kDel, 2, 1, "nope")));
+  EXPECT_NE(a.store_hash(), b.store_hash());
+}
+
+TEST(KvShardMap, StableAndReasonablySpread) {
+  const ShardMap map(8);
+  std::map<std::size_t, std::size_t> counts;
+  for (int i = 0; i < 256; ++i) {
+    const Bytes key = util::to_bytes("key-" + std::to_string(i));
+    const std::size_t s = map.shard_of(key);
+    EXPECT_EQ(s, map.shard_of(key));  // deterministic
+    EXPECT_LT(s, 8u);
+    ++counts[s];
+  }
+  // Every shard owns a meaningful chunk of a 256-key space.
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GE(count, 12u) << "shard " << shard << " nearly empty";
+  }
+  // One shard degenerates to everything-on-0.
+  const ShardMap one(1);
+  EXPECT_EQ(one.shard_of(util::to_bytes("anything")), 0u);
+}
+
+TEST(KvShardNs, DistinctPerGroup) {
+  EXPECT_EQ(shard_ns(0, "dp"), "g0/dp");
+  EXPECT_EQ(shard_ns(3, "neb"), "g3/neb");
+  EXPECT_NE(shard_ns(1, "cq"), shard_ns(2, "cq"));
+}
+
+TEST(KvZipf, SkewedAndDeterministic) {
+  ZipfGenerator zipf(100, 0.99);
+  sim::Rng rng1(7), rng2(7);
+  std::map<std::size_t, std::size_t> hist;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t a = zipf.next(rng1);
+    ASSERT_LT(a, 100u);
+    ++hist[a];
+  }
+  ZipfGenerator zipf2(100, 0.99);
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t b = zipf2.next(rng2);
+    --hist[b];
+  }
+  for (const auto& [k, v] : hist) {
+    EXPECT_EQ(v, 0u) << "zipf stream diverged at key " << k;
+  }
+  // Skew: the hottest item dominates a uniform draw's share by far.
+  ZipfGenerator zipf3(100, 0.99);
+  sim::Rng rng3(11);
+  std::size_t zero = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (zipf3.next(rng3) == 0) ++zero;
+  }
+  EXPECT_GT(zero, 400u) << "item 0 should draw far more than the uniform 1%";
+}
+
+TEST(KvWorkloadMix, ReadFractions) {
+  EXPECT_DOUBLE_EQ(read_fraction(Mix::kA), 0.5);
+  EXPECT_DOUBLE_EQ(read_fraction(Mix::kB), 0.95);
+  EXPECT_DOUBLE_EQ(read_fraction(Mix::kC), 1.0);
+}
+
+}  // namespace
+}  // namespace mnm::kv

@@ -10,13 +10,21 @@
 //    job runs this binary), and never be *accepted*;
 //  * a flip inside the verified prefix region must force the full-decode
 //    fallback, never a prefix skip;
-//  * pure random bytes never crash any framed decoder.
+//  * pure random bytes never crash any framed decoder;
+//  * the smr batch framing and the KV command codec share the decoder
+//    hygiene: attacker-controlled count/length prefixes are capped by the
+//    bytes actually present (the same unchecked-reserve class that caused
+//    the decode_history bad_alloc), truncations and junk decode to
+//    empty/nullopt, and round-trips are exact.
 
 #include <gtest/gtest.h>
 
 #include "src/core/nonequiv_broadcast.hpp"
 #include "src/core/trusted_messaging.hpp"
+#include "src/kv/command.hpp"
 #include "src/sim/rng.hpp"
+#include "src/smr/log.hpp"
+#include "src/util/serde.hpp"
 
 namespace mnm::core::trusted {
 namespace {
@@ -212,6 +220,135 @@ TEST(WireFuzz, RandomBytesNeverCrashAnyDecoder) {
   }
   // Unstructured noise essentially never parses (no assertion on exact 0 —
   // an empty history body + empty tail is a few dozen constrained bytes).
+  EXPECT_LT(decoded, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// smr::encode_batch / decode_batch — the slot-payload framing every engine
+// decision flows through. decode_batch is total (garbage applies as zero
+// commands), so the properties are: exact round-trips, truncations/flips
+// never crash, and a forged count prefix never pre-allocates past the bytes
+// present.
+// ---------------------------------------------------------------------------
+
+TEST(WireFuzz, SmrBatchRoundTripsExactly) {
+  sim::Rng rng(0xBA7C4ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Bytes> cmds;
+    const std::size_t count = rng.below(6);
+    for (std::size_t i = 0; i < count; ++i) {
+      cmds.push_back(random_bytes(rng, rng.below(40)));
+    }
+    EXPECT_EQ(smr::decode_batch(smr::encode_batch(cmds)), cmds)
+        << "trial " << trial;
+  }
+}
+
+TEST(WireFuzz, SmrBatchTruncationsDecodeEmptyNeverCrash) {
+  sim::Rng rng(0xBA7C5ull);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Bytes> cmds;
+    const std::size_t count = rng.below(4) + 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      cmds.push_back(random_bytes(rng, rng.below(24) + 1));
+    }
+    const Bytes wire = smr::encode_batch(cmds);
+    // Strict framing: every proper truncation under-runs a length prefix or
+    // trips expect_end, and the total decoder maps that to the empty batch.
+    for (std::size_t cut = 0; cut < wire.size(); cut += rng.below(5) + 1) {
+      EXPECT_TRUE(
+          smr::decode_batch(util::ByteView(wire).subspan(0, cut)).empty())
+          << "trial " << trial << " cut " << cut;
+    }
+    // Bit flips parse or fail, deterministically — never crash. A flip in a
+    // length prefix is the interesting case (huge claimed lengths).
+    Bytes flipped = wire;
+    const std::size_t bit = rng.below(flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    (void)smr::decode_batch(flipped);
+  }
+}
+
+TEST(WireFuzz, SmrBatchForgedCountPrefixCappedByBytesPresent) {
+  // A Byzantine slot winner claims 2^32 - 1 commands in a 12-byte payload.
+  // The decoder's reserve must be capped by the bytes actually present —
+  // an uncapped reserve(count) is a bad_alloc DoS on every correct replica.
+  util::Writer w;
+  w.u32(0xFFFFFFFFu);
+  w.raw(util::to_bytes("12345678"));
+  EXPECT_TRUE(smr::decode_batch(std::move(w).take()).empty());
+
+  // Same with the largest count that still parses one command: fine.
+  util::Writer w2;
+  w2.u32(1).bytes(util::to_bytes("x"));
+  const auto one = smr::decode_batch(std::move(w2).take());
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], util::to_bytes("x"));
+}
+
+TEST(WireFuzz, SmrBatchRandomBytesNeverCrash) {
+  sim::Rng rng(0xBA7C6ull);
+  for (int trial = 0; trial < 2000; ++trial) {
+    (void)smr::decode_batch(random_bytes(rng, rng.below(120)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kv command codec — client operations inside batch commands. Strict decode
+// (nullopt on malformed), bounded by bytes present.
+// ---------------------------------------------------------------------------
+
+kv::Command random_kv_command(sim::Rng& rng) {
+  kv::Command c;
+  c.op = static_cast<kv::Op>(rng.below(4) + 1);
+  c.client = rng.next();
+  c.seq = rng.next();
+  c.key = random_bytes(rng, rng.below(32));
+  c.value = random_bytes(rng, rng.below(48));
+  c.expected = random_bytes(rng, rng.below(16));
+  return c;
+}
+
+TEST(WireFuzz, KvCommandRoundTripsExactly) {
+  sim::Rng rng(0xC0DE1ull);
+  for (int trial = 0; trial < 300; ++trial) {
+    const kv::Command c = random_kv_command(rng);
+    const auto d = kv::decode_command(kv::encode_command(c));
+    ASSERT_TRUE(d.has_value()) << "trial " << trial;
+    EXPECT_EQ(*d, c);
+  }
+}
+
+TEST(WireFuzz, KvCommandTruncationsAndFlipsNeverCrash) {
+  sim::Rng rng(0xC0DE2ull);
+  for (int trial = 0; trial < 150; ++trial) {
+    const kv::Command c = random_kv_command(rng);
+    const Bytes wire = kv::encode_command(c);
+    for (std::size_t cut = 0; cut < wire.size(); cut += rng.below(5) + 1) {
+      EXPECT_FALSE(
+          kv::decode_command(util::ByteView(wire).subspan(0, cut)).has_value())
+          << "trial " << trial << " cut " << cut;
+    }
+    // A flipped bit may still decode (payload bytes carry no redundancy) —
+    // the property is totality, plus strictness when a length prefix now
+    // overruns the buffer.
+    Bytes flipped = wire;
+    const std::size_t bit = rng.below(flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    (void)kv::decode_command(flipped);
+  }
+}
+
+TEST(WireFuzz, KvCommandRandomBytesNeverCrash) {
+  sim::Rng rng(0xC0DE3ull);
+  std::uint64_t decoded = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    if (kv::decode_command(random_bytes(rng, rng.below(100))).has_value()) {
+      ++decoded;
+    }
+  }
+  // The leading op byte (1..4 of 256) + three strict length prefixes +
+  // expect_end make accidental parses vanishingly rare.
   EXPECT_LT(decoded, 4u);
 }
 
