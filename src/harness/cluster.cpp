@@ -69,7 +69,13 @@ std::string RunReport::summary() const {
     os << " slots=" << slots_applied << " cmds=" << commands_applied
        << " noop=" << noop_slots << " fast=" << fast_slots
        << " p50=" << commit_p50 << " p99=" << commit_p99
-       << " p999=" << commit_p999 << " events/slot=" << events_per_slot;
+       << " p999=" << commit_p999 << " qwait50=" << queue_wait_p50
+       << " qwait99=" << queue_wait_p99 << " occ=" << window_occupancy
+       << " events/slot=" << events_per_slot;
+    if (!tuner_trajectory.empty()) {
+      os << " tuner_epochs=" << tuner_epochs << " tuner_w=" << tuner_window
+         << " tuner_b=" << tuner_batch << " tune=" << tuner_trajectory;
+    }
   }
   if (kv_ops > 0) {
     os << " kv_ops=" << kv_ops << " kv_retries=" << kv_retries
@@ -532,8 +538,12 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   rc.batch = config.smr.batch;
   rc.log.window = config.smr.window;
   rc.log.all_propose = all_propose;
-  const Slot fixed_slots =
-      (config.smr.commands + config.smr.batch - 1) / config.smr.batch;
+  rc.tune.enabled = config.smr.auto_tune;  // Replica forces off if all_propose
+  rc.tune.max_window = config.smr.max_window;
+  rc.tune.max_batch = config.smr.max_batch;
+  // Same clamp rule as smr::Replica (batch=0 would divide by zero here).
+  const std::size_t batch = std::max<std::size_t>(1, config.smr.batch);
+  const Slot fixed_slots = (config.smr.commands + batch - 1) / batch;
   if (all_propose) rc.log.fixed_slots = fixed_slots;
 
   for (ProcessId p : all) {
@@ -597,6 +607,8 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   }
 
   std::vector<sim::Time> latencies;
+  std::vector<sim::Time> queue_waits;
+  std::uint64_t tuner_best_obs = 0;  // the busiest tuner = the leader's
   const std::vector<std::string>* reference_log = nullptr;
   for (ProcessId p : all) {
     auto& row = w.reports[p - 1];
@@ -627,6 +639,21 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
         report.fast_slots = std::max(report.fast_slots, stats.fast_slots);
         const std::vector<sim::Time> won = smr::won_slot_latencies(replica.log());
         latencies.insert(latencies.end(), won.begin(), won.end());
+        const std::vector<sim::Time> qw = smr::queue_wait_latencies(replica.log());
+        queue_waits.insert(queue_waits.end(), qw.begin(), qw.end());
+        report.occupancy_slots += stats.occupancy_slots;
+        report.occupancy_limit += stats.occupancy_limit;
+        if (replica.tuner().enabled() && replica.tuner().observations() > 0) {
+          report.tuner_epochs += stats.tuner_epochs;
+          if (replica.tuner().observations() > tuner_best_obs) {
+            tuner_best_obs = replica.tuner().observations();
+            report.tuner_window = stats.tuner_window;
+            report.tuner_batch = stats.tuner_batch;
+          }
+          if (!report.tuner_trajectory.empty()) report.tuner_trajectory += '|';
+          report.tuner_trajectory +=
+              "p" + std::to_string(p) + ":" + stats.tuner_trajectory;
+        }
         const auto& records = replica.log().records();
         if (replica.log().applied_len() > 0 && !records.empty()) {
           report.first_decision_delay =
@@ -657,6 +684,13 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   report.commit_p50 = smr::latency_percentile(latencies, 50);
   report.commit_p99 = smr::latency_percentile(latencies, 99);
   report.commit_p999 = smr::latency_percentile(latencies, 99.9);
+  std::sort(queue_waits.begin(), queue_waits.end());
+  report.queue_wait_p50 = smr::latency_percentile(queue_waits, 50);
+  report.queue_wait_p99 = smr::latency_percentile(queue_waits, 99);
+  if (report.occupancy_limit > 0) {
+    report.window_occupancy = static_cast<double>(report.occupancy_slots) /
+                              static_cast<double>(report.occupancy_limit);
+  }
 
   fill_resource_counters(report, w, config);
   if (report.slots_applied > 0) {
@@ -829,6 +863,9 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   rc.batch = config.kv.batch;
   rc.log.window = config.kv.window;
   rc.log.all_propose = fan_out;
+  rc.tune.enabled = config.kv.auto_tune;  // Replica forces off if fan_out
+  rc.tune.max_window = config.kv.max_window;
+  rc.tune.max_batch = config.kv.max_batch;
   if (fan_out) {
     // The workload is dynamic (client-driven), so there is no slot target to
     // fill with no-ops: replicas wait for fanned-out payloads — which land
@@ -863,6 +900,7 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   }
   kv::RouterConfig router_cfg;
   router_cfg.retry_timeout = config.kv.retry_timeout;
+  router_cfg.adaptive_retry = config.kv.adaptive_retry;
   w.kv_router = std::make_unique<kv::Router>(w.exec, *w.omega,
                                              kv::ShardMap(shards),
                                              std::move(backends), router_cfg);
@@ -942,6 +980,8 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   // exactly-once check — effective applied ops summing to exactly the
   // completed client ops, duplicates excluded.
   std::vector<sim::Time> commit_latencies;
+  std::vector<sim::Time> queue_waits;
+  std::uint64_t tuner_best_obs = 0;  // the busiest tuner = a leader's
   std::uint64_t combined_hash = 0xCBF29CE484222325ULL;
   std::uint64_t effective_total = 0;
   for (std::size_t g = 0; g < shards; ++g) {
@@ -966,6 +1006,22 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
       report.fast_slots = std::max(report.fast_slots, stats.fast_slots);
       const std::vector<sim::Time> won = smr::won_slot_latencies(replica.log());
       commit_latencies.insert(commit_latencies.end(), won.begin(), won.end());
+      const std::vector<sim::Time> qw = smr::queue_wait_latencies(replica.log());
+      queue_waits.insert(queue_waits.end(), qw.begin(), qw.end());
+      report.occupancy_slots += stats.occupancy_slots;
+      report.occupancy_limit += stats.occupancy_limit;
+      if (replica.tuner().enabled() && replica.tuner().observations() > 0) {
+        report.tuner_epochs += stats.tuner_epochs;
+        if (replica.tuner().observations() > tuner_best_obs) {
+          tuner_best_obs = replica.tuner().observations();
+          report.tuner_window = stats.tuner_window;
+          report.tuner_batch = stats.tuner_batch;
+        }
+        if (!report.tuner_trajectory.empty()) report.tuner_trajectory += '|';
+        report.tuner_trajectory += "g" + std::to_string(g) + "p" +
+                                   std::to_string(p) + ":" +
+                                   stats.tuner_trajectory;
+      }
       const auto& records = replica.log().records();
       if (replica.log().applied_len() > 0 && !records.empty()) {
         report.first_decision_delay =
@@ -1003,6 +1059,13 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   report.commit_p50 = smr::latency_percentile(commit_latencies, 50);
   report.commit_p99 = smr::latency_percentile(commit_latencies, 99);
   report.commit_p999 = smr::latency_percentile(commit_latencies, 99.9);
+  std::sort(queue_waits.begin(), queue_waits.end());
+  report.queue_wait_p50 = smr::latency_percentile(queue_waits, 50);
+  report.queue_wait_p99 = smr::latency_percentile(queue_waits, 99);
+  if (report.occupancy_limit > 0) {
+    report.window_occupancy = static_cast<double>(report.occupancy_slots) /
+                              static_cast<double>(report.occupancy_limit);
+  }
 
   // Per-process rows: one row per process, its per-shard applied lengths +
   // store hashes joined — the determinism fingerprint for KV runs.

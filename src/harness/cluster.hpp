@@ -73,6 +73,12 @@ struct SmrConfig {
   std::size_t commands = 32;  // workload submitted per correct replica
   std::size_t batch = 4;      // commands packed per slot payload
   std::size_t window = 8;     // max in-flight slots
+  /// Online self-tuning (smr::Tuner): window/batch above become the
+  /// controller's starting point, adapted per epoch within the bounds below.
+  /// Leader-driven algorithms only (forced off under all-propose engines).
+  bool auto_tune = false;
+  std::size_t max_window = 16;
+  std::size_t max_batch = 8;
 };
 
 /// Sharded-KV mode: the key space is hash-partitioned across `shards`
@@ -94,8 +100,17 @@ struct KvConfig {
   std::size_t keys = 64;      // key-space size
   std::size_t batch = 4;      // commands packed per slot payload
   std::size_t window = 8;     // max in-flight slots per shard
-  /// Client reply deadline before a (dedup-covered) re-submission.
+  /// Client reply deadline before a (dedup-covered) re-submission: the
+  /// cold-start value with adaptive retry on, the fixed deadline otherwise.
   sim::Time retry_timeout = 64;
+  /// Derive the reply deadline from each shard's observed op latency with
+  /// exponential backoff (kv::RouterConfig::adaptive_retry) instead of
+  /// re-submitting on the fixed timeout above.
+  bool adaptive_retry = true;
+  /// Online self-tuning of each shard's window/batch (see SmrConfig).
+  bool auto_tune = false;
+  std::size_t max_window = 16;
+  std::size_t max_batch = 8;
 };
 
 struct ClusterConfig {
@@ -184,6 +199,23 @@ struct RunReport {
   sim::Time commit_p50 = 0;
   sim::Time commit_p99 = 0;
   sim::Time commit_p999 = 0;
+  /// Queue wait (enqueue → propose) percentiles over every slot some correct
+  /// replica proposed — how long commands sat behind the window before a
+  /// consensus round even started (the tuner's saturation signal).
+  sim::Time queue_wait_p50 = 0;
+  sim::Time queue_wait_p99 = 0;
+  /// Window occupancy: launch-time open slots / live window limit, as the
+  /// fingerprint-exact integer sums and their ratio.
+  std::uint64_t occupancy_slots = 0;
+  std::uint64_t occupancy_limit = 0;
+  double window_occupancy = 0.0;
+  /// Auto-tuning only (zeros / empty otherwise): per-replica controller
+  /// outcome. The trajectory joins each tuning replica's fingerprint
+  /// ("p<id>:w4b4>8:w8b4|...") — the string determinism tests pin.
+  std::uint64_t tuner_epochs = 0;
+  std::size_t tuner_window = 0;
+  std::size_t tuner_batch = 0;
+  std::string tuner_trajectory;
   /// Executor events per applied slot — the pipelining-efficiency metric
   /// bench_log_pipeline tracks.
   double events_per_slot = 0.0;

@@ -1,5 +1,6 @@
 #include "src/kv/router.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/sim/select.hpp"
@@ -13,9 +14,13 @@ Router::Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
       map_(map),
       shards_(std::move(shards)),
       config_(config),
-      flush_armed_(shards_.size(), 0) {
+      flush_armed_(shards_.size(), 0),
+      shard_latency_(shards_.size(), 0) {
   assert(map_.shards() == shards_.size() &&
          "kv::Router: one backend per shard");
+  config_.retry_timeout = std::max<sim::Time>(1, config_.retry_timeout);
+  config_.retry_timeout_cap =
+      std::max(config_.retry_timeout, config_.retry_timeout_cap);
   for (ShardBackend& b : shards_) {
     for (StateMachine* sm : b.machines) {
       if (sm == nullptr) continue;
@@ -40,6 +45,26 @@ void Router::deliver(ClientId client, std::uint64_t seq, const Reply& reply) {
   s.signal.bump();
 }
 
+smr::Replica* Router::leader_replica(std::size_t shard) {
+  ShardBackend& b = shards_[shard];
+  // Ω never outputs a Byzantine process, so the leader has a replica; the
+  // first-correct fallback only covers scripted oracles pointing at a
+  // process this cluster never built.
+  const ProcessId lead = omega_->leader();
+  smr::Replica* r = (lead >= 1 && lead <= b.replicas.size())
+                        ? b.replicas[lead - 1]
+                        : nullptr;
+  if (r == nullptr) {
+    for (smr::Replica* cand : b.replicas) {
+      if (cand != nullptr) {
+        r = cand;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
 void Router::submit(std::size_t shard, const Bytes& wire) {
   ShardBackend& b = shards_[shard];
   if (b.fan_out) {
@@ -49,21 +74,7 @@ void Router::submit(std::size_t shard, const Bytes& wire) {
       if (r != nullptr) r->submit(wire);
     }
   } else {
-    // Ω never outputs a Byzantine process, so the leader has a replica; the
-    // first-correct fallback only covers scripted oracles pointing at a
-    // process this cluster never built.
-    const ProcessId lead = omega_->leader();
-    smr::Replica* r = (lead >= 1 && lead <= b.replicas.size())
-                          ? b.replicas[lead - 1]
-                          : nullptr;
-    if (r == nullptr) {
-      for (smr::Replica* cand : b.replicas) {
-        if (cand != nullptr) {
-          r = cand;
-          break;
-        }
-      }
-    }
+    smr::Replica* r = leader_replica(shard);
     if (r == nullptr) return;  // wholly faulty shard: the retry loop re-asks Ω
     r->submit(wire);
   }
@@ -77,10 +88,52 @@ sim::Task<void> Router::flush_soon(Router* self, std::size_t shard) {
   // One yield lets every same-instant submit for this shard join the open
   // batch before it becomes a slot payload.
   co_await self->exec_->yield();
+  // Pack-more vs flush-now (auto-tuned leaders only): while the leader's
+  // partial batch would just queue behind a saturated window, hold it —
+  // every apply frees capacity and bumps applied_signal, so the wait always
+  // wakes; a leader change re-evaluates against the new leader. The armed
+  // flag stays set, so submits landing during the hold join this flush
+  // instead of spawning another.
+  while (true) {
+    smr::Replica* lead =
+        self->shards_[shard].fan_out ? nullptr : self->leader_replica(shard);
+    if (lead == nullptr) break;
+    // Snapshot before checking (no lost wakeup).
+    const std::uint64_t v_applied = lead->log().applied_signal().version();
+    const std::uint64_t v_omega = self->omega_->changed().version();
+    if (!lead->flush_hold()) break;
+    sim::Select sel(*self->exec_);
+    sel.on(lead->log().applied_signal(), v_applied)
+        .on(self->omega_->changed(), v_omega);
+    (void)co_await sel;
+  }
   self->flush_armed_[shard] = 0;
   for (smr::Replica* r : self->shards_[shard].replicas) {
     if (r != nullptr) r->flush();
   }
+}
+
+sim::Time Router::retry_deadline(std::size_t shard, std::size_t attempt) const {
+  sim::Time base = config_.retry_timeout;
+  if (config_.adaptive_retry && shard_latency_[shard] > 0) {
+    // 2× the slowest recent op + slack: one straggler commit must not be
+    // mistaken for a lost command.
+    base = 2 * shard_latency_[shard] + 2;
+  }
+  for (std::size_t i = 0; i < attempt && base < config_.retry_timeout_cap;
+       ++i) {
+    base *= 2;  // exponential backoff: retries must not storm a slow shard
+  }
+  return std::min(base, config_.retry_timeout_cap);
+}
+
+void Router::observe_latency(std::size_t shard, sim::Time sample) {
+  // Decaying max: jumps to a new slow observation immediately, forgets an
+  // old spike over ~8 replies. Integer arithmetic, sim-time only — the
+  // deadline trajectory is as deterministic as everything else.
+  const sim::Time decayed =
+      shard_latency_[shard] - shard_latency_[shard] / 8;
+  shard_latency_[shard] = std::max(sample, decayed);
 }
 
 sim::Task<Reply> Router::execute(ClientId client, Command cmd) {
@@ -94,6 +147,8 @@ sim::Task<Reply> Router::execute(ClientId client, Command cmd) {
   const Bytes wire = encode_command(cmd);
   s.wait_seq = cmd.seq;
   s.reply.reset();
+  std::size_t attempt = 0;
+  sim::Time submitted_at = exec_->now();
   submit(shard, wire);
   while (true) {
     // Snapshot before checking: a delivery landing between the check and
@@ -101,16 +156,23 @@ sim::Task<Reply> Router::execute(ClientId client, Command cmd) {
     const std::uint64_t seen = s.signal.version();
     if (s.reply.has_value()) break;
     sim::Select sel(*exec_);
-    sel.on(s.signal, seen).until(exec_->now() + config_.retry_timeout);
+    sel.on(s.signal, seen)
+        .until(exec_->now() + retry_deadline(shard, attempt));
     const int which = co_await sel;
     if (s.reply.has_value()) break;
     if (which == sim::Select::kTimedOut) {
       // Same client id, same seq, same bytes: the state machines' session
       // dedup turns a double commit into one apply + a cached-reply echo.
       ++retries_;
+      ++attempt;
+      submitted_at = exec_->now();
       submit(shard, wire);
     }
   }
+  // Feed the deadline model with this op's latency, measured from the last
+  // submission (a retry that raced its predecessor's reply under-reports,
+  // which the decaying max tolerates).
+  observe_latency(shard, exec_->now() - submitted_at);
   s.wait_seq = 0;
   Reply reply = *std::move(s.reply);
   s.reply.reset();

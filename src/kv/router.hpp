@@ -25,6 +25,22 @@
 // Replies come back through the reply sinks of the shard's state machines
 // (every replica applies every command); the first delivery per (client,
 // seq) wins, later ones are ignored.
+//
+// The reply deadline is adaptive by default: a static `retry_timeout` tuned
+// for a fast shard retry-storms on a slow one (a Byzantine-backed shard
+// committing at ~80 time units against the old fixed 64 re-submitted every
+// operation, every time). Each shard tracks a decaying max of observed
+// op latencies; the deadline is 2× that plus slack, doubled per retry
+// attempt (exponential backoff, capped). The static timeout remains the
+// cold-start fallback and the fixed deadline when `adaptive_retry` is off.
+//
+// When a shard's leader replica is auto-tuning (smr::Tuner), the flush task
+// also consults Replica::flush_hold(): while the open batch is short of the
+// live batch size and the leader's pipeline is saturated, flushing is
+// deferred until an apply frees window capacity (or the leader changes) —
+// pack-more beats flush-now exactly when the slot would queue anyway. With
+// tuning off the hold is constantly false and the flush keeps the original
+// one-yield behavior.
 
 #pragma once
 
@@ -55,9 +71,15 @@ struct ShardBackend {
 };
 
 struct RouterConfig {
-  /// How long execute() waits for a reply before re-submitting. Must exceed
-  /// the shard's typical commit latency or every operation retries.
+  /// Reply deadline before observing any commit latency (and the fixed
+  /// per-attempt deadline when `adaptive_retry` is off — which must exceed
+  /// the shard's typical commit latency or every operation retries).
   sim::Time retry_timeout = 64;
+  /// Derive the deadline from the shard's observed op latency (decaying
+  /// max): 2×observed + 2 slack, doubled per retry attempt.
+  bool adaptive_retry = true;
+  /// Upper bound on the backed-off deadline.
+  sim::Time retry_timeout_cap = 4096;
 };
 
 class Router {
@@ -79,6 +101,11 @@ class Router {
 
   /// Client re-submissions issued after a reply deadline expired.
   std::uint64_t retries() const { return retries_; }
+  /// Decaying max of observed op latencies for a shard (0 until the first
+  /// reply) — what the adaptive deadline is derived from.
+  sim::Time observed_latency(std::size_t shard) const {
+    return shard_latency_[shard];
+  }
 
  private:
   struct ClientSession {
@@ -92,6 +119,12 @@ class Router {
   void deliver(ClientId client, std::uint64_t seq, const Reply& reply);
   void submit(std::size_t shard, const Bytes& wire);
   static sim::Task<void> flush_soon(Router* self, std::size_t shard);
+  /// The Ω-trusted replica of a shard (first-correct fallback, nullptr for
+  /// a wholly faulty shard).
+  smr::Replica* leader_replica(std::size_t shard);
+  /// Per-attempt reply deadline (adaptive base, exponential backoff).
+  sim::Time retry_deadline(std::size_t shard, std::size_t attempt) const;
+  void observe_latency(std::size_t shard, sim::Time sample);
 
   sim::Executor* exec_;
   core::Omega* omega_;
@@ -100,6 +133,7 @@ class Router {
   RouterConfig config_;
   std::deque<ClientSession> sessions_;  // stable addresses; index = id - 1
   std::vector<std::uint8_t> flush_armed_;
+  std::vector<sim::Time> shard_latency_;  // decaying max per shard
   std::uint64_t retries_ = 0;
 };
 

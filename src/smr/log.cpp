@@ -44,7 +44,9 @@ Log::Log(sim::Executor& exec, core::ConsensusEngine& engine, core::Omega& omega,
       config_(config),
       pending_signal_(exec),
       applied_signal_(exec) {
-  assert(config_.window >= 1 && "smr::Log: window must be at least 1");
+  // Validation rule (see LogConfig): a window of 0 silently stalled the
+  // pump; clamp rather than assert so Release builds behave identically.
+  config_.window = std::clamp<std::size_t>(config_.window, 1, kMaxWindow);
 }
 
 void Log::start() {
@@ -55,7 +57,15 @@ void Log::start() {
 }
 
 void Log::enqueue(Bytes payload) {
-  pending_.push_back(Pending{std::move(payload), exec_->now()});
+  pending_.push_back(Pending{std::move(payload), {}, exec_->now()});
+  pending_cmds_ += 1;  // opaque group: count unknown, one unit
+  pending_signal_.bump();
+}
+
+void Log::enqueue_commands(std::vector<Bytes> commands) {
+  if (commands.empty()) return;
+  pending_cmds_ += commands.size();
+  pending_.push_back(Pending{Bytes{}, std::move(commands), exec_->now()});
   pending_signal_.bump();
 }
 
@@ -65,10 +75,37 @@ SlotRecord& Log::record(Slot s) {
 }
 
 Log::Pending Log::take_pending_or_noop() {
-  if (pending_.empty()) return Pending{Bytes{}, exec_->now()};
+  if (pending_.empty()) return Pending{Bytes{}, {}, exec_->now()};
   Pending p = std::move(pending_.front());
   pending_.pop_front();
+  pending_cmds_ -= p.cmds.empty() ? 1 : p.cmds.size();
+  // Continuous batching: merge whole raw-command groups queued behind the
+  // head into one slot payload, up to the tuner's live batch. Only the
+  // not-yet-encoded raw path merges (opaque enqueue() payloads and
+  // re-queued groups — whose wire bytes must stay identical on retry —
+  // stay one group = one slot), so fixed-config behavior is untouched.
+  if (tuner_ != nullptr && tuner_->enabled() && !p.cmds.empty() &&
+      p.payload.empty()) {
+    const std::size_t live_batch = tuner_->batch();
+    while (!pending_.empty() && !pending_.front().cmds.empty() &&
+           pending_.front().payload.empty() &&
+           p.cmds.size() < live_batch &&
+           p.cmds.size() + pending_.front().cmds.size() <= live_batch) {
+      Pending next = std::move(pending_.front());
+      pending_.pop_front();
+      pending_cmds_ -= next.cmds.size();
+      for (Bytes& c : next.cmds) p.cmds.push_back(std::move(c));
+      // enqueued_at stays the head group's (the oldest): merged commands'
+      // commit latency is measured from the command that waited longest.
+    }
+  }
   return p;
+}
+
+void Log::requeue_front(Pending group) {
+  pending_cmds_ += group.cmds.empty() ? 1 : group.cmds.size();
+  pending_.push_front(std::move(group));
+  pending_signal_.bump();
 }
 
 void Log::launch(Slot slot, Pending p, bool retry) {
@@ -76,30 +113,34 @@ void Log::launch(Slot slot, Pending p, bool retry) {
   rec.proposed_here = true;
   rec.enqueued_at = p.enqueued_at;
   rec.proposed_at = exec_->now();
-  exec_->spawn(drive(slot, std::move(p.payload), p.enqueued_at, retry));
+  ++open_slots_;
+  rec.in_flight = open_slots_;
+  rec.window_limit = live_window();
+  exec_->spawn(drive(slot, std::move(p), retry));
 }
 
-sim::Task<void> Log::drive(Slot slot, Bytes payload, sim::Time enqueued_at,
-                           bool retry) {
-  // Survives the move into propose(): detects a lost slot, and is what the
-  // abort path re-queues.
-  const Bytes proposed = payload;
+sim::Task<void> Log::drive(Slot slot, Pending group, bool retry) {
+  // Raw groups encode here, at launch; pre-encoded payloads pass through.
+  // The group survives the move into propose(): it detects a lost slot, and
+  // is what the loss/abort paths re-queue.
+  if (group.payload.empty() && !group.cmds.empty()) {
+    group.payload = encode_batch(group.cmds);
+  }
+  const Bytes proposed = group.payload;
   try {
-    const core::Decision d = co_await engine_->propose(slot, std::move(payload));
+    const core::Decision d = co_await engine_->propose(slot, proposed);
     if (d.value == proposed) {
       record(slot).won_here = true;
     } else if (retry && !proposed.empty()) {
       // Our batch lost the slot (a hand-off adopted an older leader's
       // value): put it back at the front so it wins a later slot.
-      pending_.push_front(Pending{proposed, enqueued_at});
-      pending_signal_.bump();
+      requeue_front(std::move(group));
     }
   } catch (const core::ProposeAborted&) {
     // Engine could not decide this proposal (Cheap Quorum abort). The
     // payload is not lost if retry is on.
     if (retry && !proposed.empty()) {
-      pending_.push_front(Pending{proposed, enqueued_at});
-      pending_signal_.bump();
+      requeue_front(std::move(group));
     }
   }
 }
@@ -112,6 +153,22 @@ void Log::apply_slot(Slot slot, const core::Decision& d) {
   const std::vector<Bytes> commands = decode_batch(d.value);
   rec.commands = commands.size();
   rec.noop = commands.empty();
+  if (rec.proposed_here) {
+    if (open_slots_ > 0) --open_slots_;
+    if (tuner_ != nullptr && tuner_->enabled()) {
+      // The controller's inputs, all executor-time/count derived: queue
+      // wait (enqueue→propose), consensus service (propose→decide), the
+      // queue still backed up behind the window, and launch-time occupancy.
+      const sim::Time wait = rec.proposed_at >= rec.enqueued_at
+                                 ? rec.proposed_at - rec.enqueued_at
+                                 : 0;
+      const sim::Time service = rec.decided_at >= rec.proposed_at
+                                    ? rec.decided_at - rec.proposed_at
+                                    : 0;
+      tuner_->observe(wait, service, pending_cmds_, rec.in_flight,
+                      rec.commands);
+    }
+  }
   for (const Bytes& c : commands) sm_->apply(slot, c);
 }
 
@@ -156,9 +213,10 @@ sim::Task<void> Log::pump_leader() {
         launch(s, take_pending_or_noop(), /*retry=*/true);
       }
       next_slot_ = std::max(next_slot_, horizon);
-      // Fill the window with fresh assignments.
-      while (next_slot_ < applied_len_ + config_.window &&
-             !pending_.empty()) {
+      // Fill the window with fresh assignments. The limit is read per slot:
+      // with a tuner attached it is the live, clamped setting — the window
+      // widens (or narrows) mid-run as the controller adapts.
+      while (next_slot_ < applied_len_ + live_window() && !pending_.empty()) {
         launch(next_slot_, take_pending_or_noop(), /*retry=*/true);
         ++next_slot_;
       }

@@ -44,6 +44,7 @@
 #include "src/sim/executor.hpp"
 #include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
+#include "src/smr/tuner.hpp"
 
 namespace mnm::smr {
 
@@ -63,8 +64,18 @@ class StateMachine {
 Bytes encode_batch(const std::vector<Bytes>& commands);
 std::vector<Bytes> decode_batch(util::ByteView raw);
 
+/// Validation rule (applied at Log construction, documented once here):
+/// `window` is clamped into [1, kMaxWindow] — a window of 0 can make no
+/// progress and silently stalled before this rule existed. `fixed_slots`
+/// needs no clamp (a window wider than the slot target is simply never
+/// filled), but all_propose with fixed_slots == 0 drives nothing; callers
+/// wanting a dynamic all-propose workload set a cap and noop_fillers=false.
+inline constexpr std::size_t kMaxWindow = 1 << 16;
+
 struct LogConfig {
   /// Max slots between the first unapplied slot and the newest assignment.
+  /// With auto-tuning (ReplicaConfig::tune.enabled) this is the *initial*
+  /// setting; the pump reads the tuner's live, clamped value per slot.
   std::size_t window = 8;
   /// Every replica proposes every slot (required by Byzantine engines).
   bool all_propose = false;
@@ -94,6 +105,11 @@ struct SlotRecord {
   sim::Time proposed_at = 0;   // proposer only
   sim::Time decided_at = 0;    // local decision time
   sim::Time applied_at = 0;
+  /// Proposer only: open slots (launched, not yet applied) right after this
+  /// slot launched, and the live window limit it launched under — the
+  /// window-occupancy signal the tuner and RunStats read.
+  std::size_t in_flight = 0;
+  std::size_t window_limit = 0;
 };
 
 class Log {
@@ -107,8 +123,27 @@ class Log {
 
   /// Queue a batch payload (encode_batch) for replication.
   void enqueue(Bytes payload);
+  /// Queue a group of raw commands. Unlike enqueue(), the group is encoded
+  /// at *launch* time, so the pump may merge consecutive groups into one
+  /// slot payload up to the tuner's live batch size — the continuous-
+  /// batching path auto-tuned Replicas feed.
+  void enqueue_commands(std::vector<Bytes> commands);
+
+  /// Attach the live window/batch controller (owned by the Replica; may be
+  /// disabled, in which case the static config governs). Call before
+  /// start().
+  void set_tuner(Tuner* tuner) { tuner_ = tuner; }
+  /// The in-flight limit the pump is currently honoring.
+  std::size_t live_window() const {
+    return tuner_ != nullptr && tuner_->enabled() ? tuner_->window()
+                                                  : config_.window;
+  }
 
   std::size_t pending() const { return pending_.size(); }
+  /// Commands queued behind the window (opaque enqueue() payloads count as
+  /// one command each — exact on the enqueue_commands() path the tuner
+  /// actually observes).
+  std::uint64_t pending_commands() const { return pending_cmds_; }
   /// Slots applied to the state machine (the contiguous prefix).
   Slot applied_len() const { return applied_len_; }
   /// One past the highest slot this replica has proposed for.
@@ -123,7 +158,8 @@ class Log {
 
  private:
   struct Pending {
-    Bytes payload;
+    Bytes payload;               // pre-encoded batch; empty on the raw path
+    std::vector<Bytes> cmds;     // raw commands (enqueue_commands path)
     sim::Time enqueued_at = 0;
   };
 
@@ -131,12 +167,12 @@ class Log {
   sim::Task<void> pump_leader();
   sim::Task<void> pump_all();
   /// One slot proposal; on loss (another value decided) re-queues the
-  /// payload at the front when `retry`.
-  sim::Task<void> drive(Slot slot, Bytes payload, sim::Time enqueued_at,
-                        bool retry);
+  /// group at the front when `retry`.
+  sim::Task<void> drive(Slot slot, Pending group, bool retry);
 
   SlotRecord& record(Slot s);
   Pending take_pending_or_noop();
+  void requeue_front(Pending group);
   void launch(Slot slot, Pending p, bool retry);
   void apply_slot(Slot slot, const core::Decision& d);
 
@@ -147,12 +183,15 @@ class Log {
   LogConfig config_;
 
   std::deque<Pending> pending_;
+  std::uint64_t pending_cmds_ = 0;
   sim::VersionSignal pending_signal_;
   std::map<Slot, core::Decision> stash_;  // decided, awaiting in-order apply
   std::vector<SlotRecord> records_;
   Slot applied_len_ = 0;
   Slot next_slot_ = 0;
+  std::size_t open_slots_ = 0;  // launched here, not yet applied
   sim::VersionSignal applied_signal_;
+  Tuner* tuner_ = nullptr;
   bool started_ = false;
 };
 

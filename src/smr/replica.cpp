@@ -1,10 +1,25 @@
 #include "src/smr/replica.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 
 namespace mnm::smr {
+
+namespace {
+
+/// The controller's effective config: the static window/batch settings are
+/// its starting point, and leader-driven mode is required (all_propose
+/// replicas must keep their queues in lockstep, which per-replica live
+/// batching would break — force the tuner off there).
+TunerConfig make_tuner_config(const ReplicaConfig& config) {
+  TunerConfig t = config.tune;
+  t.enabled = t.enabled && !config.log.all_propose;
+  t.window = config.log.window;
+  t.batch = config.batch;
+  return t;
+}
+
+}  // namespace
 
 std::vector<sim::Time> won_slot_latencies(const Log& log) {
   std::vector<sim::Time> out;
@@ -13,6 +28,20 @@ std::vector<sim::Time> won_slot_latencies(const Log& log) {
     const SlotRecord& r = records[s];
     if (r.proposed_here && r.won_here && !r.noop) {
       out.push_back(r.decided_at - r.enqueued_at);
+    }
+  }
+  return out;
+}
+
+std::vector<sim::Time> queue_wait_latencies(const Log& log) {
+  std::vector<sim::Time> out;
+  const auto& records = log.records();
+  for (Slot s = 0; s < log.applied_len() && s < records.size(); ++s) {
+    const SlotRecord& r = records[s];
+    if (r.proposed_here && !r.noop) {
+      out.push_back(r.proposed_at >= r.enqueued_at
+                        ? r.proposed_at - r.enqueued_at
+                        : 0);
     }
   }
   return out;
@@ -31,25 +60,41 @@ std::string RunStats::summary() const {
      << " slots=" << slots_applied << " noop=" << noop_slots
      << " fast=" << fast_slots << " p50=" << commit_p50
      << " p99=" << commit_p99 << " p999=" << commit_p999
+     << " qwait50=" << queue_wait_p50 << " qwait99=" << queue_wait_p99
+     << " occ=" << window_occupancy
      << " cmds/kdelay=" << commands_per_kdelay;
+  if (!tuner_trajectory.empty()) {
+    os << " tune=" << tuner_trajectory;
+  }
   return os.str();
 }
 
 Replica::Replica(sim::Executor& exec, core::ConsensusEngine& engine,
                  core::Omega& omega, StateMachine& sm, ReplicaConfig config)
-    : log_(exec, engine, omega, sm, config.log), config_(config) {
-  assert(config_.batch >= 1 && "smr::Replica: batch must be at least 1");
+    : tuner_(make_tuner_config(config)),
+      log_(exec, engine, omega, sm, config.log),
+      config_(config) {
+  // Same validation rule as LogConfig::window (see kMaxWindow): a batch of
+  // 0 flushed nothing and grew the open batch without bound.
+  config_.batch = std::clamp<std::size_t>(config_.batch, 1, kMaxWindow);
+  log_.set_tuner(&tuner_);
 }
 
 void Replica::submit(Bytes command) {
   ++submitted_;
   open_batch_.push_back(std::move(command));
-  if (open_batch_.size() >= config_.batch) flush();
+  if (open_batch_.size() >= live_batch()) flush();
 }
 
 void Replica::flush() {
   if (open_batch_.empty()) return;
-  log_.enqueue(encode_batch(open_batch_));
+  if (tuner_.enabled()) {
+    // Raw-group path: the pump encodes at launch and may merge consecutive
+    // groups up to the live batch — flushing early costs no batching power.
+    log_.enqueue_commands(std::move(open_batch_));
+  } else {
+    log_.enqueue(encode_batch(open_batch_));
+  }
   open_batch_.clear();
 }
 
@@ -64,12 +109,30 @@ RunStats Replica::stats() const {
     if (r.noop) ++out.noop_slots;
     if (r.fast) ++out.fast_slots;
     out.last_apply_at = std::max(out.last_apply_at, r.applied_at);
+    if (r.proposed_here) {
+      out.occupancy_slots += r.in_flight;
+      out.occupancy_limit += r.window_limit;
+    }
   }
   std::vector<sim::Time> latencies = won_slot_latencies(log_);
   std::sort(latencies.begin(), latencies.end());
   out.commit_p50 = latency_percentile(latencies, 50);
   out.commit_p99 = latency_percentile(latencies, 99);
   out.commit_p999 = latency_percentile(latencies, 99.9);
+  std::vector<sim::Time> waits = queue_wait_latencies(log_);
+  std::sort(waits.begin(), waits.end());
+  out.queue_wait_p50 = latency_percentile(waits, 50);
+  out.queue_wait_p99 = latency_percentile(waits, 99);
+  if (out.occupancy_limit > 0) {
+    out.window_occupancy = static_cast<double>(out.occupancy_slots) /
+                           static_cast<double>(out.occupancy_limit);
+  }
+  if (tuner_.enabled()) {
+    out.tuner_epochs = tuner_.trajectory().size();
+    out.tuner_window = tuner_.window();
+    out.tuner_batch = tuner_.batch();
+    out.tuner_trajectory = tuner_.trajectory_fingerprint();
+  }
   if (out.last_apply_at > 0) {
     out.commands_per_kdelay = 1000.0 *
                               static_cast<double>(out.commands_applied) /

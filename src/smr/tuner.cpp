@@ -1,0 +1,129 @@
+#include "src/smr/tuner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mnm::smr {
+
+namespace {
+
+/// Median of an unsorted sample list (lower median; zero when empty).
+sim::Time median(std::vector<sim::Time> v) {
+  if (v.empty()) return 0;
+  const std::size_t mid = (v.size() - 1) / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  return v[mid];
+}
+
+std::size_t clamp_knob(std::size_t v, std::size_t lo, std::size_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+Tuner::Tuner(TunerConfig config) : config_(config) {
+  // Repair malformed bounds instead of misbehaving quietly: zeros lift to 1
+  // (a window or batch of 0 can make no progress), inverted ranges swap.
+  config_.min_window = std::max<std::size_t>(1, config_.min_window);
+  config_.max_window = std::max<std::size_t>(1, config_.max_window);
+  config_.min_batch = std::max<std::size_t>(1, config_.min_batch);
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  if (config_.min_window > config_.max_window) {
+    std::swap(config_.min_window, config_.max_window);
+  }
+  if (config_.min_batch > config_.max_batch) {
+    std::swap(config_.min_batch, config_.max_batch);
+  }
+  config_.epoch_slots = std::max<std::size_t>(1, config_.epoch_slots);
+  window_ = clamp_knob(config_.window, config_.min_window, config_.max_window);
+  batch_ = clamp_knob(config_.batch, config_.min_batch, config_.max_batch);
+}
+
+sim::Time Tuner::queue_drain(std::uint64_t queue_cmds, std::size_t window,
+                             std::size_t batch, sim::Time service) {
+  window = std::max<std::size_t>(1, window);
+  batch = std::max<std::size_t>(1, batch);
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(window) * static_cast<std::uint64_t>(batch);
+  const std::uint64_t rounds = (queue_cmds + capacity - 1) / capacity;
+  return static_cast<sim::Time>(rounds) * service;
+}
+
+void Tuner::observe(sim::Time wait, sim::Time service,
+                    std::uint64_t queue_cmds, std::size_t in_flight,
+                    std::size_t slot_cmds) {
+  if (!config_.enabled) return;
+  ++observations_;
+  waits_.push_back(wait);
+  services_.push_back(service);
+  queue_sum_ += queue_cmds;
+  in_flight_peak_ = std::max(in_flight_peak_, in_flight);
+  slot_cmds_peak_ = std::max(slot_cmds_peak_, slot_cmds);
+  if (waits_.size() >= config_.epoch_slots) step();
+}
+
+void Tuner::step() {
+  const sim::Time wait50 = median(waits_);
+  // A decided slot costs at least one time unit end to end; clamping the
+  // service floor keeps the drain model meaningful when the engine decides
+  // in the same instant it proposed (noop fillers, warm fast paths).
+  const sim::Time svc50 = std::max<sim::Time>(1, median(services_));
+  const std::uint64_t depth = queue_sum_ / waits_.size();
+  const sim::Time drain = queue_drain(depth, window_, batch_, svc50);
+
+  if (drain > svc50 || wait50 > svc50) {
+    // Saturated: capacity (window·batch) is the binding resource. With a
+    // backlog worth more than two full rounds, double both knobs at once —
+    // every epoch spent converging is an epoch the queue pays for. At mild
+    // saturation double only the smaller knob: it has the most headroom,
+    // and growing the two in alternation walks the diagonal of the cost
+    // surface without overshooting.
+    if (drain > 2 * svc50) {
+      window_ = clamp_knob(window_ * 2, config_.min_window, config_.max_window);
+      batch_ = clamp_knob(batch_ * 2, config_.min_batch, config_.max_batch);
+    } else {
+      const bool window_smaller =
+          window_ <= batch_ || batch_ >= config_.max_batch;
+      if (window_smaller && window_ < config_.max_window) {
+        window_ =
+            clamp_knob(window_ * 2, config_.min_window, config_.max_window);
+      } else if (batch_ < config_.max_batch) {
+        batch_ = clamp_knob(batch_ * 2, config_.min_batch, config_.max_batch);
+      } else if (window_ < config_.max_window) {
+        window_ =
+            clamp_knob(window_ * 2, config_.min_window, config_.max_window);
+      }
+    }
+  } else if (drain == 0 && wait50 == 0) {
+    // Idle: the pipeline never queued this epoch. Shrink an oversized knob
+    // toward its observed peak — halving (not snapping) keeps adaptation
+    // noise from collapsing a converged config on one quiet epoch.
+    if (in_flight_peak_ * 2 <= window_ && window_ > config_.min_window) {
+      window_ = clamp_knob(std::max(window_ / 2, in_flight_peak_),
+                           config_.min_window, config_.max_window);
+    } else if (slot_cmds_peak_ * 2 <= batch_ && batch_ > config_.min_batch) {
+      batch_ = clamp_knob(std::max(batch_ / 2, slot_cmds_peak_),
+                          config_.min_batch, config_.max_batch);
+    }
+  }
+  // In between (drain ≈ round): converged — hold.
+
+  trajectory_.push_back(TunerEpoch{observations_, window_, batch_, wait50,
+                                   svc50, depth});
+  waits_.clear();
+  services_.clear();
+  queue_sum_ = 0;
+  in_flight_peak_ = 0;
+  slot_cmds_peak_ = 0;
+}
+
+std::string Tuner::trajectory_fingerprint() const {
+  std::ostringstream os;
+  os << "w" << window_ << "b" << batch_;
+  for (const TunerEpoch& e : trajectory_) {
+    os << ">" << e.at_slots << ":w" << e.window << "b" << e.batch;
+  }
+  return os.str();
+}
+
+}  // namespace mnm::smr

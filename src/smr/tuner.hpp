@@ -1,0 +1,139 @@
+// smr::Tuner — deterministic online self-tuning of window and batch.
+//
+// Window, batch size and the Router's flush threshold were static config
+// until this layer: BENCH_log_pipeline shows window 1→16 alone is ~8× and
+// batch ~4× more, and BENCH_kv shows no single fixed pair serves both the
+// latency-floor (read-heavy C mix) and the throughput-ceiling (write-heavy
+// A mix) well. The Tuner is the replication-stack analogue of the
+// continuous/dynamic batching every serving stack leans on: a greedy
+// cost-model controller that adapts the knobs online.
+//
+// Cost model (roofline shape): the commit latency of a newly enqueued
+// command is
+//
+//     L(w, b) = max( consensus_round,  queue_drain(depth, w, b) )
+//
+// where `consensus_round` is the observed propose→decide service time of a
+// slot (a property of the engine/network, invariant in w and b in the
+// simulated fabric) and `queue_drain = ceil(depth / (w·b)) · round` is the
+// time the current queue needs to drain with w slots in flight carrying b
+// commands each. While drain dominates, capacity (w·b) is the binding
+// resource and growing it converts directly into throughput; once the round
+// dominates, the pipeline is at its latency floor and extra capacity only
+// buys memory pressure.
+//
+// Greedy step, once per epoch (`epoch_slots` applied slots this replica
+// proposed):
+//   * saturated  (drain > round, or the observed enqueue→propose wait
+//     exceeds the round): double the smaller of window/batch, clamped to
+//     bounds — grow fast, the queue is paying for every epoch of delay.
+//     When the backlog is worth more than two full rounds, double both
+//     knobs at once: convergence epochs are pure queueing cost;
+//   * idle (no queue, no wait, in-flight peak under half the window /
+//     biggest batch under half the cap): halve the oversized knob, floored
+//     at bounds and at the observed peak — shrink slowly, adaptation noise
+//     must not destroy a converged config.
+//
+// Determinism is load-bearing: every input is executor-time- or
+// count-derived (queue depth, enqueue→propose wait, propose→decide service,
+// in-flight peak, commands per slot) — never wall clock — so a fixed seed
+// pins the whole adaptation trajectory, and determinism_test fingerprints
+// the per-epoch decisions byte-for-byte. All arithmetic is integer.
+//
+// One Tuner per Replica; only slots the owning replica proposed feed it
+// (followers observe nothing and keep their initial settings — a new
+// leader re-adapts from scratch). Requires leader-driven mode: in
+// all-propose (Byzantine) mode replicas must keep their queues in lockstep,
+// which per-replica live batching would break, so Replica forces the tuner
+// off there.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/sim/time.hpp"
+
+namespace mnm::smr {
+
+struct TunerConfig {
+  /// Master switch (`auto_tune`): off = window/batch stay the constants
+  /// LogConfig/ReplicaConfig carry, and nothing below applies.
+  bool enabled = false;
+  /// Initial settings (clamped into the bounds below at construction).
+  std::size_t window = 4;
+  std::size_t batch = 4;
+  /// Clamp bounds. A malformed range (min > max) is repaired by swapping;
+  /// zeros are lifted to 1.
+  std::size_t min_window = 1;
+  std::size_t max_window = 16;
+  std::size_t min_batch = 1;
+  std::size_t max_batch = 8;
+  /// Greedy step cadence: one decision per this many observed slots.
+  std::size_t epoch_slots = 4;
+};
+
+/// One greedy decision — the unit of the adaptation trajectory that
+/// determinism fingerprints pin.
+struct TunerEpoch {
+  std::uint64_t at_slots = 0;     // observations consumed when decided
+  std::size_t window = 0;         // settings after the step
+  std::size_t batch = 0;
+  sim::Time wait_p50 = 0;         // epoch median enqueue→propose wait
+  sim::Time service_p50 = 0;      // epoch median propose→decide time
+  std::uint64_t queue_depth = 0;  // epoch mean queued commands
+};
+
+class Tuner {
+ public:
+  explicit Tuner(TunerConfig config);
+
+  bool enabled() const { return config_.enabled; }
+  /// Live settings the Log pump / Replica batching read per slot.
+  std::size_t window() const { return window_; }
+  std::size_t batch() const { return batch_; }
+  const TunerConfig& config() const { return config_; }
+
+  /// Feed one applied slot this replica proposed. `wait` is
+  /// enqueue→propose, `service` is propose→decide, `queue_cmds` is the
+  /// number of commands still queued behind the window at apply time,
+  /// `in_flight` the open-slot count at apply time, `slot_cmds` the
+  /// commands the slot carried. Runs a greedy step every
+  /// `epoch_slots` observations.
+  void observe(sim::Time wait, sim::Time service, std::uint64_t queue_cmds,
+               std::size_t in_flight, std::size_t slot_cmds);
+
+  /// Cost model, exposed for tests: time for `queue_cmds` queued commands
+  /// to drain with `window` slots of `batch` commands in flight, each slot
+  /// costing `service`. Monotone: nonincreasing in window/batch,
+  /// nondecreasing in queue_cmds/service.
+  static sim::Time queue_drain(std::uint64_t queue_cmds, std::size_t window,
+                               std::size_t batch, sim::Time service);
+
+  std::uint64_t observations() const { return observations_; }
+  const std::vector<TunerEpoch>& trajectory() const { return trajectory_; }
+  /// Compact trajectory encoding ("w4b4>8:w8b4>16:w8b8"), the string the
+  /// determinism fingerprints compare byte-for-byte.
+  std::string trajectory_fingerprint() const;
+
+ private:
+  void step();
+
+  TunerConfig config_;
+  std::size_t window_ = 1;
+  std::size_t batch_ = 1;
+  std::uint64_t observations_ = 0;
+
+  // Current epoch's samples (bounded by epoch_slots).
+  std::vector<sim::Time> waits_;
+  std::vector<sim::Time> services_;
+  std::uint64_t queue_sum_ = 0;
+  std::size_t in_flight_peak_ = 0;
+  std::size_t slot_cmds_peak_ = 0;
+
+  std::vector<TunerEpoch> trajectory_;
+};
+
+}  // namespace mnm::smr

@@ -29,6 +29,16 @@ struct Fingerprint {
   Slot slots = 0;
   std::uint64_t cmds = 0;
   sim::Time p50 = 0, p99 = 0, p999 = 0;
+  // Queue-wait percentiles and the integer occupancy sums: a pipeline whose
+  // proposal scheduling drifted cannot hide behind equal commit times.
+  sim::Time qw50 = 0, qw99 = 0;
+  std::uint64_t occ_slots = 0, occ_limit = 0;
+  // Auto-tuning: the per-epoch adaptation trajectory itself (window/batch
+  // decisions and the epoch count), byte-for-byte. Empty when tuning is
+  // off, so fixed-config fingerprints are unchanged by the tuner's
+  // existence.
+  std::uint64_t tuner_epochs = 0;
+  std::string tuner_trajectory;
   // KV mode: per-shard effective op counts, the combined store/session
   // hash, client-visible latency percentiles, and the retry/dedup counters
   // — a sharded run whose partitioning, dedup decisions or reply timing
@@ -66,6 +76,12 @@ Fingerprint fingerprint(const RunReport& r) {
   f.p50 = r.commit_p50;
   f.p99 = r.commit_p99;
   f.p999 = r.commit_p999;
+  f.qw50 = r.queue_wait_p50;
+  f.qw99 = r.queue_wait_p99;
+  f.occ_slots = r.occupancy_slots;
+  f.occ_limit = r.occupancy_limit;
+  f.tuner_epochs = r.tuner_epochs;
+  f.tuner_trajectory = r.tuner_trajectory;
   f.kv_ops = r.kv_ops;
   f.kv_retries = r.kv_retries;
   f.kv_dups = r.kv_duplicates;
@@ -214,6 +230,67 @@ TEST(Determinism, SmrFastRobustBackupPathSameSeedSameRun) {
   expect_deterministic(c, /*check_ok=*/false);
 }
 
+// --- Auto-tuning: the adaptation trajectory is itself deterministic. ---
+
+TEST(Determinism, SmrAutoTuneTrajectorySameSeedSameRun) {
+  // The controller's per-epoch window/batch decisions ride on executor-time
+  // signals only; a fixed seed must pin the whole trajectory (the
+  // fingerprint compares it byte-for-byte), not just the final settings.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 42;
+  c.smr.enabled = true;
+  c.smr.commands = 96;
+  c.smr.batch = 1;
+  c.smr.window = 1;
+  c.smr.auto_tune = true;
+  const RunReport a = run_cluster(c);
+  EXPECT_GT(a.tuner_epochs, 0u) << a.summary();
+  EXPECT_FALSE(a.tuner_trajectory.empty()) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, SmrAutoTuneUnderLeaderCrashSameSeedSameRun) {
+  // Adaptation across a leader hand-off: the dead leader's tuner stops, the
+  // new leader's adapts from scratch mid-run — all of it on the same
+  // deterministic schedule.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 7;
+  c.smr.enabled = true;
+  c.smr.commands = 64;
+  c.smr.batch = 2;
+  c.smr.window = 2;
+  c.smr.auto_tune = true;
+  c.faults.process_crashes[1] = 6;
+  const RunReport a = run_cluster(c);
+  EXPECT_FALSE(a.tuner_trajectory.empty()) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, FixedConfigFingerprintUnchangedByTunerPlumbing) {
+  // auto_tune=false must behave exactly as if the tuner did not exist:
+  // no trajectory, no epochs — and the run fingerprints equal.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 42;
+  c.smr.enabled = true;
+  c.smr.commands = 24;
+  c.smr.batch = 2;
+  c.smr.window = 4;
+  c.smr.auto_tune = false;
+  const RunReport a = run_cluster(c);
+  EXPECT_EQ(a.tuner_epochs, 0u);
+  EXPECT_TRUE(a.tuner_trajectory.empty());
+  expect_deterministic(c);
+}
+
 // --- KV mode: the sharded store inherits the determinism invariant. ---
 
 TEST(Determinism, KvShardedZipfianSameSeedSameRun) {
@@ -253,6 +330,30 @@ TEST(Determinism, KvRetryStormLeaderCrashSameSeedSameRun) {
   c.faults.process_crashes[1] = 9;
   const RunReport a = run_cluster(c);
   EXPECT_GT(a.kv_duplicates, 0u) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, KvAutoTuneWithAdaptiveRetrySameSeedSameRun) {
+  // Everything adaptive at once: per-shard tuners moving window/batch, the
+  // Router's flush-hold packing decisions, and latency-derived retry
+  // deadlines. All signals are sim-time-derived, so the whole closed loop
+  // must fingerprint identically run to run.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 21;
+  c.kv.enabled = true;
+  c.kv.shards = 2;
+  c.kv.clients = 16;
+  c.kv.ops_per_client = 12;
+  c.kv.batch = 1;
+  c.kv.window = 1;
+  c.kv.auto_tune = true;
+  c.kv.adaptive_retry = true;
+  const RunReport a = run_cluster(c);
+  EXPECT_GT(a.tuner_epochs, 0u) << a.summary();
+  EXPECT_FALSE(a.tuner_trajectory.empty()) << a.summary();
   expect_deterministic(c);
 }
 

@@ -109,6 +109,9 @@ TEST(KvCluster, AggressiveRetriesStayExactlyOnce) {
   // reply answering the retry.
   ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 2, 6, 8);
   c.kv.retry_timeout = 2;
+  // Pin the fixed-deadline mode: adaptive retry exists precisely to stop
+  // this storm, and this test needs the storm to exercise the dedup.
+  c.kv.adaptive_retry = false;
   const RunReport r = run_cluster(c);
   EXPECT_TRUE(r.all_ok()) << r.summary();
   EXPECT_EQ(r.kv_ops, 6u * 8u);
@@ -148,6 +151,7 @@ TEST(KvCluster, RetryStormAcrossLeaderCrashStillExactlyOnce) {
   // crash. Duplicates come from both the client and the hand-off path.
   ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 2, 6, 8);
   c.kv.retry_timeout = 3;
+  c.kv.adaptive_retry = false;  // see AggressiveRetriesStayExactlyOnce
   c.faults.process_crashes[1] = 9;
   const RunReport r = run_cluster(c);
   EXPECT_TRUE(r.agreement) << r.summary();
@@ -186,6 +190,70 @@ TEST(KvCluster, ByzantineShardCannotForkReplies) {
   EXPECT_EQ(r.kv_ops, 2u * 3u) << "every client op must still complete";
   EXPECT_EQ(total_shard_ops(r), r.kv_ops)
       << "fork attempt must not double-apply: " << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive retry deadline (the slow-shard retry-storm regression).
+// ---------------------------------------------------------------------------
+
+TEST(KvCluster, SlowShardNoLongerRetryStormsWithAdaptiveDeadline) {
+  // A FastRobust-backed shard commits an op in ~80+ time units — beyond the
+  // default fixed deadline of 64, so the old Router re-submitted nearly
+  // every operation every time (dedup kept it correct, but the log filled
+  // with suppressed duplicates). The adaptive deadline observes the shard's
+  // real latency after the cold-start misses and stops the storm.
+  ClusterConfig fixed = kv_config(Algorithm::kFastRobust, 3, 3, 1, 2, 16);
+  fixed.kv.adaptive_retry = false;
+  ClusterConfig adaptive = fixed;
+  adaptive.kv.adaptive_retry = true;
+  const RunReport rf = run_cluster(fixed);
+  const RunReport ra = run_cluster(adaptive);
+  ASSERT_TRUE(rf.all_ok()) << rf.summary();
+  ASSERT_TRUE(ra.all_ok()) << ra.summary();
+  EXPECT_EQ(ra.kv_ops, 2u * 16u);
+  EXPECT_EQ(total_shard_ops(ra), ra.kv_ops) << ra.summary();
+  ASSERT_GT(rf.kv_op_p50, fixed.kv.retry_timeout)
+      << "precondition: the shard must actually be slower than the fixed "
+         "deadline, or neither mode storms: "
+      << rf.summary();
+  EXPECT_GT(rf.kv_retries, rf.kv_ops / 2)
+      << "precondition: the fixed deadline must retry-storm: " << rf.summary();
+  EXPECT_LT(ra.kv_retries * 4, rf.kv_retries)
+      << "adaptive deadline must cut re-submissions by at least 4x\nfixed:    "
+      << rf.summary() << "\nadaptive: " << ra.summary();
+  EXPECT_LT(ra.kv_retries, ra.kv_ops / 2)
+      << "most ops must complete without any retry: " << ra.summary();
+}
+
+TEST(KvCluster, AdaptiveDeadlineBacksOffExponentially) {
+  // A leader crash strands queued commands (batch 1, window 2 — the
+  // stranding shape ClientRetryAcrossLeaderCrashExactlyOnce establishes),
+  // so re-submission is required for liveness and each stranded op sits
+  // through the hand-off stall. With a fixed deadline the client hammers
+  // at a constant rate for the whole stall; with backoff each successive
+  // attempt waits twice as long, so the same stall costs strictly fewer
+  // re-submissions.
+  ClusterConfig fixed = kv_config(Algorithm::kFastPaxos, 3, 0, 1, 6, 8);
+  fixed.kv.retry_timeout = 4;
+  fixed.kv.batch = 1;  // 6 clients vs 2 slots in flight: commands queue at
+  fixed.kv.window = 2;  // the leader, so the crash reliably strands some
+  fixed.kv.adaptive_retry = false;
+  fixed.faults.process_crashes[1] = 7;
+  ClusterConfig adaptive = fixed;
+  adaptive.kv.adaptive_retry = true;
+  const RunReport rf = run_cluster(fixed);
+  const RunReport ra = run_cluster(adaptive);
+  for (const RunReport* r : {&rf, &ra}) {
+    EXPECT_TRUE(r->agreement) << r->summary();
+    EXPECT_TRUE(r->termination) << r->summary();
+    EXPECT_EQ(r->kv_ops, 6u * 8u);
+    EXPECT_EQ(total_shard_ops(*r), r->kv_ops) << r->summary();
+    EXPECT_GT(r->kv_retries, 0u)
+        << "stranded commands must force at least one retry: " << r->summary();
+  }
+  EXPECT_LT(ra.kv_retries, rf.kv_retries)
+      << "backoff must re-submit less over the same stall\nfixed:    "
+      << rf.summary() << "\nadaptive: " << ra.summary();
 }
 
 }  // namespace

@@ -209,5 +209,86 @@ TEST(SmrCluster, ReportCarriesCommitPercentiles) {
   EXPECT_GT(r.events_per_slot, 0.0);
 }
 
+TEST(SmrCluster, ReportCarriesQueueWaitAndOccupancy) {
+  // A narrow window over a big workload: commands must wait behind the
+  // window (queue-wait > 0), and launches must see a busy window.
+  const RunReport r =
+      harness::run_cluster(smr_config(Algorithm::kFastPaxos, 3, 0, 64, 2, 2));
+  ASSERT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_GT(r.queue_wait_p99, 0u) << r.summary();
+  EXPECT_GE(r.queue_wait_p99, r.queue_wait_p50);
+  EXPECT_GT(r.occupancy_limit, 0u);
+  EXPECT_GT(r.window_occupancy, 0.0);
+  EXPECT_LE(r.window_occupancy, 1.0 + 1e-9) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Config validation edges (the documented clamp rules).
+// ---------------------------------------------------------------------------
+
+TEST(SmrCluster, ZeroWindowAndBatchAreClampedNotStuck) {
+  // window=0 used to stall the pump silently and batch=0 grew the open
+  // batch without bound; both now clamp to 1 and the run completes.
+  ClusterConfig c = smr_config(Algorithm::kFastPaxos, 3, 0, 8, 0, 0);
+  const RunReport r = harness::run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  // Leader-driven mode commits the leader's workload (one command per slot
+  // at the clamped batch of 1).
+  EXPECT_EQ(r.commands_applied, 8u) << r.summary();
+  EXPECT_EQ(r.slots_applied, 8u) << r.summary();
+}
+
+TEST(SmrCluster, WindowWiderThanSlotTargetIsHarmless) {
+  // all_propose with fixed_slots < window: the window is simply never
+  // filled; every slot still commits on every correct replica.
+  const RunReport r =
+      harness::run_cluster(smr_config(Algorithm::kFastRobust, 3, 3, 4, 2, 64));
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  // fixed_slots = 4 commands / batch 2 = 2 slots, each won by one replica's
+  // candidate batch.
+  EXPECT_EQ(r.slots_applied, 2u) << r.summary();
+  EXPECT_EQ(r.commands_applied, 4u) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Auto-tuning (smr::Tuner through the harness).
+// ---------------------------------------------------------------------------
+
+TEST(SmrCluster, AutoTuneGrowsCapacityUnderBacklogWithinBounds) {
+  // Start from the worst fixed config (serial, single-command slots) with a
+  // large backlog: the controller must detect saturation and grow, and the
+  // run must finish markedly faster than the fixed w1/b1 run.
+  ClusterConfig fixed = smr_config(Algorithm::kFastPaxos, 3, 0, 128, 1, 1);
+  ClusterConfig tuned = fixed;
+  tuned.smr.auto_tune = true;
+  tuned.smr.max_window = 16;
+  tuned.smr.max_batch = 8;
+  const RunReport rf = harness::run_cluster(fixed);
+  const RunReport rt = harness::run_cluster(tuned);
+  ASSERT_TRUE(rf.all_ok()) << rf.summary();
+  ASSERT_TRUE(rt.all_ok()) << rt.summary();
+  EXPECT_EQ(rt.commands_applied, 128u) << rt.summary();
+  EXPECT_GT(rt.tuner_epochs, 0u) << rt.summary();
+  EXPECT_FALSE(rt.tuner_trajectory.empty());
+  EXPECT_GT(rt.tuner_window * rt.tuner_batch, 1u)
+      << "backlog must have grown capacity: " << rt.summary();
+  EXPECT_LE(rt.tuner_window, tuned.smr.max_window);
+  EXPECT_LE(rt.tuner_batch, tuned.smr.max_batch);
+  ASSERT_GT(rt.slots_applied, 0u);
+  EXPECT_LT(rt.slots_applied, rf.slots_applied)
+      << "merged batches must commit the workload in fewer slots";
+}
+
+TEST(SmrCluster, AutoTuneIsForcedOffUnderAllPropose) {
+  // Byzantine engines need lockstep queues; the tuner must not engage even
+  // when asked for, and the run must stay correct.
+  ClusterConfig c = smr_config(Algorithm::kFastRobust, 3, 3, 4, 2, 2);
+  c.smr.auto_tune = true;
+  const RunReport r = harness::run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.tuner_epochs, 0u);
+  EXPECT_TRUE(r.tuner_trajectory.empty()) << r.tuner_trajectory;
+}
+
 }  // namespace
 }  // namespace mnm

@@ -1,0 +1,254 @@
+// smr::Tuner unit tests: the cost model's monotonicity, the greedy step's
+// clamping and direction, config repair, epoch cadence, and the
+// determinism of the adaptation trajectory given an identical feed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/smr/tuner.hpp"
+
+namespace mnm::smr {
+namespace {
+
+TunerConfig enabled_config() {
+  TunerConfig c;
+  c.enabled = true;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Cost model.
+// ---------------------------------------------------------------------------
+
+TEST(TunerCostModel, DrainNonincreasingInWindowAndBatch) {
+  const std::uint64_t depth = 1000;
+  const sim::Time service = 4;
+  for (std::size_t w = 1; w <= 32; w *= 2) {
+    for (std::size_t b = 1; b <= 32; b *= 2) {
+      EXPECT_GE(Tuner::queue_drain(depth, w, b, service),
+                Tuner::queue_drain(depth, w * 2, b, service))
+          << "w=" << w << " b=" << b;
+      EXPECT_GE(Tuner::queue_drain(depth, w, b, service),
+                Tuner::queue_drain(depth, w, b * 2, service))
+          << "w=" << w << " b=" << b;
+    }
+  }
+}
+
+TEST(TunerCostModel, DrainNondecreasingInDepthAndService) {
+  for (std::uint64_t depth = 0; depth <= 512; depth += 64) {
+    EXPECT_LE(Tuner::queue_drain(depth, 4, 4, 3),
+              Tuner::queue_drain(depth + 64, 4, 4, 3));
+  }
+  for (sim::Time service = 1; service <= 64; service *= 2) {
+    EXPECT_LE(Tuner::queue_drain(100, 4, 4, service),
+              Tuner::queue_drain(100, 4, 4, service * 2));
+  }
+}
+
+TEST(TunerCostModel, DrainExactValues) {
+  // ceil(depth / (w*b)) * service.
+  EXPECT_EQ(Tuner::queue_drain(0, 4, 4, 10), 0u);
+  EXPECT_EQ(Tuner::queue_drain(1, 4, 4, 10), 10u);
+  EXPECT_EQ(Tuner::queue_drain(16, 4, 4, 10), 10u);
+  EXPECT_EQ(Tuner::queue_drain(17, 4, 4, 10), 20u);
+  // Degenerate knobs are lifted to 1, not divided by zero.
+  EXPECT_EQ(Tuner::queue_drain(3, 0, 0, 5), 15u);
+}
+
+// ---------------------------------------------------------------------------
+// Config repair.
+// ---------------------------------------------------------------------------
+
+TEST(TunerConfigRepair, ZerosAndInvertedBoundsAreRepaired) {
+  TunerConfig c = enabled_config();
+  c.window = 0;  // lifted to min
+  c.batch = 0;
+  c.min_window = 0;  // lifted to 1
+  c.min_batch = 0;
+  c.epoch_slots = 0;  // lifted to 1
+  const Tuner t(c);
+  EXPECT_GE(t.window(), 1u);
+  EXPECT_GE(t.batch(), 1u);
+  EXPECT_EQ(t.config().min_window, 1u);
+  EXPECT_EQ(t.config().epoch_slots, 1u);
+}
+
+TEST(TunerConfigRepair, InvertedRangeSwapsAndInitialClamps) {
+  TunerConfig c = enabled_config();
+  c.min_window = 16;  // inverted: swapped to [2, 16]
+  c.max_window = 2;
+  c.window = 64;  // clamped into the repaired range
+  c.min_batch = 8;
+  c.max_batch = 2;
+  c.batch = 1;
+  const Tuner t(c);
+  EXPECT_EQ(t.config().min_window, 2u);
+  EXPECT_EQ(t.config().max_window, 16u);
+  EXPECT_EQ(t.window(), 16u);
+  EXPECT_EQ(t.config().min_batch, 2u);
+  EXPECT_EQ(t.config().max_batch, 8u);
+  EXPECT_EQ(t.batch(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy step.
+// ---------------------------------------------------------------------------
+
+/// Feed `n` observations of a heavily queued pipeline (wait and backlog far
+/// above the service time).
+void feed_saturated(Tuner& t, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    t.observe(/*wait=*/50, /*service=*/2, /*queue_cmds=*/500,
+              /*in_flight=*/t.window(), /*slot_cmds=*/t.batch());
+  }
+}
+
+/// Feed `n` observations of an idle pipeline (no wait, no backlog, barely
+/// occupied window, single-command slots).
+void feed_idle(Tuner& t, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    t.observe(/*wait=*/0, /*service=*/2, /*queue_cmds=*/0,
+              /*in_flight=*/1, /*slot_cmds=*/1);
+  }
+}
+
+TEST(TunerStep, SaturationGrowsCapacityWithinBounds) {
+  TunerConfig c = enabled_config();
+  c.window = 1;
+  c.batch = 1;
+  c.max_window = 16;
+  c.max_batch = 8;
+  Tuner t(c);
+  const std::size_t start = t.window() * t.batch();
+  feed_saturated(t, c.epoch_slots);
+  EXPECT_GT(t.window() * t.batch(), start)
+      << "a saturated epoch must grow capacity";
+  // However long the pressure lasts, the bounds hold.
+  for (int e = 0; e < 50; ++e) feed_saturated(t, c.epoch_slots);
+  EXPECT_LE(t.window(), c.max_window);
+  EXPECT_LE(t.batch(), c.max_batch);
+  EXPECT_EQ(t.window(), c.max_window) << "sustained saturation reaches the cap";
+  EXPECT_EQ(t.batch(), c.max_batch);
+}
+
+TEST(TunerStep, MildSaturationGrowsSmallerKnobFirst) {
+  TunerConfig c = enabled_config();
+  c.window = 1;
+  c.batch = 4;
+  Tuner t(c);
+  // Backlog worth exactly two rounds (drain == 2·service): saturated, but
+  // not deep enough for the double-both fast path.
+  for (std::size_t i = 0; i < c.epoch_slots; ++i) {
+    t.observe(/*wait=*/0, /*service=*/4, /*queue_cmds=*/6,
+              /*in_flight=*/1, /*slot_cmds=*/4);
+  }
+  EXPECT_EQ(t.window(), 2u) << "window (smaller knob) must double first";
+  EXPECT_EQ(t.batch(), 4u);
+}
+
+TEST(TunerStep, DeepBacklogDoublesBothKnobs) {
+  TunerConfig c = enabled_config();
+  c.window = 2;
+  c.batch = 2;
+  Tuner t(c);
+  // drain = ceil(500/4)·2 = 250, far past 2·service: both knobs double.
+  feed_saturated(t, c.epoch_slots);
+  EXPECT_EQ(t.window(), 4u);
+  EXPECT_EQ(t.batch(), 4u);
+}
+
+TEST(TunerStep, IdleShrinksTowardPeakNeverBelowMin) {
+  TunerConfig c = enabled_config();
+  c.window = 16;
+  c.batch = 8;
+  c.max_window = 16;
+  c.min_window = 2;
+  Tuner t(c);
+  feed_idle(t, c.epoch_slots);
+  EXPECT_LT(t.window(), 16u) << "an idle epoch must shrink the window";
+  for (int e = 0; e < 50; ++e) feed_idle(t, c.epoch_slots);
+  EXPECT_GE(t.window(), c.min_window);
+  EXPECT_GE(t.batch(), c.min_batch);
+}
+
+TEST(TunerStep, ConvergedPipelineHolds) {
+  // Wait at zero but a backlog worth exactly one round: neither saturated
+  // (drain == service) nor idle (queue nonempty) — settings must not move.
+  TunerConfig c = enabled_config();
+  c.window = 4;
+  c.batch = 4;
+  Tuner t(c);
+  for (std::size_t i = 0; i < c.epoch_slots; ++i) {
+    t.observe(/*wait=*/0, /*service=*/4, /*queue_cmds=*/8,
+              /*in_flight=*/4, /*slot_cmds=*/4);
+  }
+  EXPECT_EQ(t.trajectory().size(), 1u);
+  EXPECT_EQ(t.window(), 4u);
+  EXPECT_EQ(t.batch(), 4u);
+}
+
+TEST(TunerStep, EpochCadenceGatesDecisions) {
+  TunerConfig c = enabled_config();
+  c.epoch_slots = 8;
+  Tuner t(c);
+  feed_saturated(t, 7);
+  EXPECT_TRUE(t.trajectory().empty()) << "no decision before a full epoch";
+  EXPECT_EQ(t.window(), c.window);
+  feed_saturated(t, 1);
+  EXPECT_EQ(t.trajectory().size(), 1u);
+  EXPECT_EQ(t.observations(), 8u);
+}
+
+TEST(TunerStep, DisabledTunerIgnoresObservations) {
+  TunerConfig c;  // enabled = false
+  c.window = 4;
+  c.batch = 4;
+  Tuner t(c);
+  for (int i = 0; i < 100; ++i) {
+    t.observe(/*wait=*/50, /*service=*/2, /*queue_cmds=*/500, 4, 4);
+  }
+  EXPECT_EQ(t.observations(), 0u);
+  EXPECT_TRUE(t.trajectory().empty());
+  EXPECT_EQ(t.window(), 4u);
+  EXPECT_EQ(t.batch(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+
+TEST(TunerDeterminism, IdenticalFeedIdenticalTrajectory) {
+  const auto run = [] {
+    Tuner t(enabled_config());
+    feed_saturated(t, 8);
+    feed_idle(t, 8);
+    feed_saturated(t, 4);
+    feed_idle(t, 12);
+    return t.trajectory_fingerprint();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("w"), std::string::npos);
+}
+
+TEST(TunerDeterminism, FingerprintEncodesEveryEpoch) {
+  TunerConfig c = enabled_config();
+  c.window = 2;
+  c.batch = 2;
+  Tuner t(c);
+  feed_saturated(t, c.epoch_slots * 3);
+  EXPECT_EQ(t.trajectory().size(), 3u);
+  const std::string fp = t.trajectory_fingerprint();
+  // Final settings up front, then one ">at:wXbY" per epoch.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(fp.begin(), fp.end(), '>')),
+            3u)
+      << fp;
+}
+
+}  // namespace
+}  // namespace mnm::smr
