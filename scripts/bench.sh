@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build the bench preset and run the benchmark suite.
 #
-# Four baseline-compared regression guards always run and write
+# Five baseline-compared regression guards always run and write
 # machine-readable JSON at the repo root (compare against the checked-in
 # baselines to detect regressions):
 #   * bench_smr_throughput — end-to-end consensus instances/sec per algorithm
@@ -13,6 +13,10 @@
 #   * bench_kv             — sharded KV aggregate ops/sec vs shards × mix ×
 #     engine (the kv/..._s8_C : kv/..._s1_C ops_per_kdelay ratio is the
 #     shard-scaling evidence) → BENCH_kv.json
+#   * bench_recovery       — crash-and-rejoin: snapshot cadence, log
+#     compaction and peer catch-up cost (the rejoin rows' cmds_per_kdelay
+#     matching the no-fault row is the recovery-doesn't-stall-survivors
+#     evidence) → BENCH_recovery.json
 #
 # A full run (the default) additionally executes every other bench_* target
 # — the paper-experiment tables (resilience, delays, signatures, memory
@@ -20,9 +24,9 @@
 # google-benchmark JSON (where the target supports it) under build-bench/.
 #
 #   ./scripts/bench.sh            # full sweep: all twelve bench targets
-#   ./scripts/bench.sh --quick    # just the four baseline-compared guards
+#   ./scripts/bench.sh --quick    # just the five baseline-compared guards
 #   git diff --stat BENCH_hotpath.json BENCH_smr_throughput.json \
-#                   BENCH_log_pipeline.json BENCH_kv.json
+#                   BENCH_log_pipeline.json BENCH_kv.json BENCH_recovery.json
 #
 # BENCH_MIN_TIME overrides google-benchmark's --benchmark_min_time (default
 # 0.5; CI smoke uses 0.01).
@@ -60,6 +64,9 @@ MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 ./build-bench/bench_kv \
   --benchmark_out=BENCH_kv.json --benchmark_out_format=json \
   --benchmark_min_time="${MIN_TIME}"
+./build-bench/bench_recovery \
+  --benchmark_out=BENCH_recovery.json --benchmark_out_format=json \
+  --benchmark_min_time="${MIN_TIME}"
 
 if [[ "${QUICK}" -eq 0 ]]; then
   # bench_nonequiv is google-benchmark based like the guards above; the rest
@@ -75,4 +82,4 @@ if [[ "${QUICK}" -eq 0 ]]; then
   done
 fi
 
-echo "Wrote BENCH_smr_throughput.json, BENCH_hotpath.json, BENCH_log_pipeline.json and BENCH_kv.json"
+echo "Wrote BENCH_smr_throughput.json, BENCH_hotpath.json, BENCH_log_pipeline.json, BENCH_kv.json and BENCH_recovery.json"

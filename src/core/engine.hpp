@@ -148,6 +148,13 @@ class ConsensusEngine {
   /// Locally decided slots, exactly once each, in local decision order.
   sim::Channel<SlotDecision>& decisions() { return decisions_; }
 
+  /// The replica-to-replica control channel (snapshot catch-up requests and
+  /// responses), or nullptr when the engine has no message path for it.
+  /// Hub-routed engines expose the hub's reserved control frame; memory-
+  /// routed Byzantine engines (Cheap Quorum, Fast & Robust) return nullptr —
+  /// replica recovery is not supported on those backends.
+  virtual Transport* control_transport() { return nullptr; }
+
   /// One past the highest slot this replica knows of.
   Slot slot_horizon() const { return horizon_; }
   sim::VersionSignal& horizon_signal() { return horizon_signal_; }
@@ -231,6 +238,8 @@ class HubEngine : public ConsensusEngine {
     const Bytes decided = co_await inst->propose(std::move(value));
     co_return Decision{decided, inst->decided_fast(), inst->decided_at()};
   }
+
+  Transport* control_transport() override { return &hub_.control(); }
 
  private:
   SlotTransportHub hub_;

@@ -37,6 +37,13 @@ class SlotTransportHub {
   /// into opening unbounded per-slot state.
   static constexpr Slot kDefaultMaxSlot = Slot{1} << 20;
 
+  /// Reserved frame id for the control channel (catch-up requests and
+  /// responses between replicas). All-ones can never be a real slot — it is
+  /// far above every max_slot guard — so the demux routes it to a dedicated
+  /// sub-transport without advancing the horizon: control traffic must not
+  /// look like slot activity to the discovery loop.
+  static constexpr Slot kControlSlot = ~Slot{0};
+
   SlotTransportHub(sim::Executor& exec, Transport& base,
                    Slot max_slot = kDefaultMaxSlot)
       : exec_(&exec), base_(&base), max_slot_(max_slot), heard_(exec) {}
@@ -58,6 +65,10 @@ class SlotTransportHub {
   /// inbound frames). `heard()` bumps whenever it grows.
   Slot horizon() const { return horizon_; }
   sim::VersionSignal& heard() { return heard_; }
+
+  /// The control channel: a sub-transport on the reserved kControlSlot
+  /// frame id. Created on first use; its traffic never notes the horizon.
+  Transport& control() { return sub(kControlSlot); }
 
   static Bytes frame(Slot s, util::ByteView payload) {
     util::Writer w(payload.size() + 8);
@@ -114,6 +125,12 @@ class SlotTransportHub {
         util::Reader r(m.payload);
         s = r.u64();
       } catch (const util::SerdeError&) {
+        continue;
+      }
+      if (s == kControlSlot) {  // control frame: route, never note
+        Sub& ctl = hub->sub(kControlSlot);
+        m.payload = m.payload.suffix(8);
+        ctl.incoming_.send(std::move(m));
         continue;
       }
       if (s >= hub->max_slot_) continue;  // horizon guard: drop

@@ -74,6 +74,21 @@ class NetTransport : public Transport {
     });
   }
   ~NetTransport() override {
+    // A severed transport already gave up its sink — possibly to a
+    // successor incarnation on the same tag. Unhooking here would clobber
+    // the successor's wiring.
+    if (!severed_) {
+      endpoint_.network().inbox(endpoint_.self()).set_sink(tag_, nullptr);
+    }
+  }
+
+  /// Retire this transport without destroying it (crash-and-rejoin keeps
+  /// the old incarnation alive for its parked coroutines): sends become
+  /// no-ops and the inbox sink is released immediately so a successor
+  /// NetTransport on the same (process, tag) can claim it.
+  void sever() {
+    if (severed_) return;
+    severed_ = true;
     endpoint_.network().inbox(endpoint_.self()).set_sink(tag_, nullptr);
   }
 
@@ -83,6 +98,7 @@ class NetTransport : public Transport {
   }
 
   void send(ProcessId dst, util::Buffer payload) override {
+    if (severed_) return;
     endpoint_.send(dst, tag_, std::move(payload));
   }
 
@@ -92,6 +108,7 @@ class NetTransport : public Transport {
   net::Endpoint endpoint_;
   net::MsgType tag_;
   sim::Channel<TMsg> incoming_;
+  bool severed_ = false;
 };
 
 }  // namespace mnm::core

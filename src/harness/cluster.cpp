@@ -30,6 +30,7 @@
 #include "src/sim/executor.hpp"
 #include "src/sim/rng.hpp"
 #include "src/smr/replica.hpp"
+#include "src/util/serde.hpp"
 #include "src/verbs/verbs.hpp"
 
 namespace mnm::harness {
@@ -77,6 +78,10 @@ std::string RunReport::summary() const {
          << " tuner_b=" << tuner_batch << " tune=" << tuner_trajectory;
     }
   }
+  if (snapshots_taken > 0 || snapshots_installed > 0) {
+    os << " snaps=" << snapshots_taken << "+" << snapshots_installed
+       << " truncated=" << slots_truncated << " catchup_bytes=" << catchup_bytes;
+  }
   if (kv_ops > 0) {
     os << " kv_ops=" << kv_ops << " kv_retries=" << kv_retries
        << " kv_dups=" << kv_duplicates << " kv_ops/kdelay=" << kv_ops_per_kdelay
@@ -109,6 +114,29 @@ struct RecordingSm : smr::StateMachine {
   std::vector<std::string> log;
   void apply(Slot, util::ByteView command) override {
     log.push_back(util::to_string(command));
+  }
+  // Snapshot = the whole recorded log (unbounded, but this machine exists
+  // to check log agreement — a rejoined replica must reproduce the full
+  // command sequence, not just a digest of it).
+  Bytes snapshot() const override {
+    util::Writer w(16 + 16 * log.size());
+    w.u32(static_cast<std::uint32_t>(log.size()));
+    for (const std::string& c : log) w.str(c);
+    return std::move(w).take();
+  }
+  bool restore(util::ByteView raw) override {
+    try {
+      util::Reader r(raw);
+      const std::uint32_t count = r.u32();
+      std::vector<std::string> out;
+      out.reserve(std::min<std::size_t>(count, r.remaining() / 4));
+      for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.str());
+      r.expect_end();
+      log = std::move(out);
+      return true;
+    } catch (const util::SerdeError&) {
+      return false;
+    }
   }
 };
 
@@ -156,24 +184,46 @@ struct World {
     // below (Ω queries, done()) never walk the fault maps.
     byzantine_.assign(cfg.n, 0);
     crash_at_.assign(cfg.n, sim::kTimeInfinity);
+    rejoin_at_.assign(cfg.n, sim::kTimeInfinity);
     for (ProcessId p : all_processes(cfg.n)) {
       if (cfg.faults.is_byzantine(p)) byzantine_[p - 1] = 1;
       const auto it = cfg.faults.process_crashes.find(p);
       if (it != cfg.faults.process_crashes.end()) crash_at_[p - 1] = it->second;
     }
+    for (const auto& [p, at] : cfg.faults.process_rejoins) {
+      if (p < 1 || p > static_cast<ProcessId>(cfg.n)) {
+        throw std::invalid_argument("process_rejoins: unknown process");
+      }
+      if (cfg.faults.is_byzantine(p)) {
+        throw std::invalid_argument(
+            "process_rejoins: Byzantine processes do not rejoin");
+      }
+      const auto crash = cfg.faults.process_crashes.find(p);
+      if (crash == cfg.faults.process_crashes.end() || crash->second >= at) {
+        throw std::invalid_argument(
+            "process_rejoins: rejoin must strictly follow a scheduled crash");
+      }
+      rejoin_at_[p - 1] = at;
+    }
 
     // Ω: lowest-id correct process alive at t (converges once crashes stop;
     // Byzantine processes are never trusted — the standard assumption that
     // Ω eventually outputs a correct process).
-    // poke_complete: this oracle's output changes only at process-crash
-    // times, and the crash callbacks below poke — so leadership waits need
-    // no fallback timers at all.
+    // poke_complete: this oracle's output changes only at process-crash and
+    // rejoin times, and the crash callbacks below (plus the rejoin rebuild
+    // hooks in run_smr/run_kv) poke — so leadership waits need no fallback
+    // timers at all.
     omega = std::make_unique<Omega>(
         exec,
         [this](sim::Time t) -> ProcessId {
           for (ProcessId p = 1; p <= static_cast<ProcessId>(this->cfg.n); ++p) {
             if (this->byzantine_[p - 1]) continue;
-            if (this->crash_at_[p - 1] <= t) continue;
+            // Down exactly during [crash, rejoin): a rejoined process is
+            // trustable again (and, as the lowest id, typically reclaims
+            // leadership once it recovers).
+            if (this->crash_at_[p - 1] <= t && t < this->rejoin_at_[p - 1]) {
+              continue;
+            }
             return p;
           }
           return kLeaderP1;
@@ -208,6 +258,9 @@ struct World {
       row.byzantine = cfg.faults.is_byzantine(p);
       const auto it = cfg.faults.process_crashes.find(p);
       if (it != cfg.faults.process_crashes.end()) row.crashed_at = it->second;
+      if (rejoin_at_[p - 1] != sim::kTimeInfinity) {
+        row.rejoined_at = rejoin_at_[p - 1];
+      }
     }
   }
 
@@ -221,8 +274,12 @@ struct World {
     }
   }
 
+  /// Correct by the paper's book-keeping: never faulty, or faulty only
+  /// transiently (crashes but rejoins — by the horizon it is a live replica
+  /// again and must satisfy every invariant the always-up replicas do).
   bool correct(ProcessId p) const {
-    return !byzantine_[p - 1] && crash_at_[p - 1] == sim::kTimeInfinity;
+    return !byzantine_[p - 1] && (crash_at_[p - 1] == sim::kTimeInfinity ||
+                                  rejoin_at_[p - 1] != sim::kTimeInfinity);
   }
 
   bool done() const {
@@ -249,6 +306,7 @@ struct World {
   std::vector<ProcessReport> reports;
   std::vector<std::uint8_t> byzantine_;   // index p - 1
   std::vector<sim::Time> crash_at_;       // index p - 1; infinity = never
+  std::vector<sim::Time> rejoin_at_;      // index p - 1; infinity = never
 
   // Algorithm objects (only the relevant vectors are populated).
   std::vector<std::unique_ptr<core::NetTransport>> transports;
@@ -275,6 +333,19 @@ struct World {
   std::vector<std::vector<std::unique_ptr<smr::Replica>>> kv_replicas;
   std::unique_ptr<kv::Router> kv_router;
   std::unique_ptr<kv::Workload> kv_workload;
+
+  // Crash-and-rejoin graveyard: a crashed incarnation's objects are parked
+  // here when the process rebuilds, because coroutine frames owned by the
+  // executor still reference them — they must outlive the run (the executor
+  // destroys parked frames at teardown without resuming them). Destroyed in
+  // reverse declaration order: replicas → machines → engines → muxes →
+  // transports, mirroring the live vectors.
+  std::vector<std::unique_ptr<core::NetTransport>> retired_transports;
+  std::vector<std::unique_ptr<core::TransportMux>> retired_muxes;
+  std::vector<std::unique_ptr<core::ConsensusEngine>> retired_engines;
+  std::vector<std::unique_ptr<RecordingSm>> retired_recording_sms;
+  std::vector<std::unique_ptr<kv::StateMachine>> retired_kv_machines;
+  std::vector<std::unique_ptr<smr::Replica>> retired_replicas;
 
   // Region ids + name prefixes used by Byzantine strategies (SMR mode
   // points them at slot 0's regions, KV mode at shard 0 / slot 0's).
@@ -412,6 +483,116 @@ void finish_tsend_stats(RunReport& report) {
   }
 }
 
+void add_recovery_counters(RunReport& report, const smr::RunStats& s) {
+  report.snapshots_taken += s.snapshots_taken;
+  report.snapshots_installed += s.snapshots_installed;
+  report.slots_truncated += s.slots_truncated;
+  report.catchup_bytes += s.catchup_bytes;
+}
+
+/// Crash-and-rejoin is limited to the message-based engines: memory-routed
+/// algorithms park reader coroutines inside crashed ProcessViews and have no
+/// catch-up channel, while Paxos engines rebuild cleanly over a fresh
+/// NetTransport. And without a snapshot cadence peers have nothing to serve
+/// a rejoiner, so the run would never converge — reject up front.
+void check_rejoin_support(const ClusterConfig& config, Slot snapshot_interval,
+                          const char* knob) {
+  if (config.faults.process_rejoins.empty()) return;
+  if (config.algo != Algorithm::kPaxos &&
+      config.algo != Algorithm::kFastPaxos) {
+    throw std::invalid_argument(
+        "crash-and-rejoin needs a message-based engine (Paxos / Fast Paxos)");
+  }
+  if (snapshot_interval == 0) {
+    throw std::invalid_argument(std::string("crash-and-rejoin needs ") + knob +
+                                " > 0 (peers must have a snapshot to serve)");
+  }
+}
+
+/// Rebuild process `p` as a fresh SMR incarnation: quarantine the crashed
+/// objects (live coroutine frames still reference them), free the network
+/// inbox, and start a recovering replica over a brand-new transport/engine.
+/// Volatile state is wiped by construction — everything the new incarnation
+/// knows arrives through snapshot + log catch-up from its peers.
+void rejoin_smr_process(World& w, const smr::ReplicaConfig& rc, ProcessId p) {
+  if (w.smr_replicas[p - 1] != nullptr) w.smr_replicas[p - 1]->log().halt();
+  w.transports[p - 1]->sever();
+  w.retired_replicas.push_back(std::move(w.smr_replicas[p - 1]));
+  w.retired_recording_sms.push_back(std::move(w.state_machines[p - 1]));
+  w.retired_engines.push_back(std::move(w.engines[p - 1]));
+  w.retired_transports.push_back(std::move(w.transports[p - 1]));
+
+  *w.alive[p - 1] = true;
+  w.network.revive(p);
+  core::PaxosConfig pc;
+  pc.n = w.cfg.n;
+  pc.skip_phase1_for_p1 = (w.cfg.algo == Algorithm::kFastPaxos);
+  w.transports[p - 1] = std::make_unique<core::NetTransport>(
+      w.exec, w.network, p, /*tag=*/100);
+  w.engines[p - 1] = std::make_unique<core::PaxosEngine>(
+      w.exec, *w.transports[p - 1], *w.omega, pc);
+  w.state_machines[p - 1] = std::make_unique<RecordingSm>();
+  smr::ReplicaConfig rejoin_rc = rc;
+  rejoin_rc.log.recover = true;
+  w.smr_replicas[p - 1] = std::make_unique<smr::Replica>(
+      w.exec, *w.engines[p - 1], *w.omega, *w.state_machines[p - 1],
+      rejoin_rc);
+  w.engines[p - 1]->start();
+  w.smr_replicas[p - 1]->start();
+  // Leadership may now revert to this (lower-id) process; wake the waiters.
+  w.omega->poke();
+}
+
+/// KV-mode twin of rejoin_smr_process: one fresh engine + machine + replica
+/// per shard over a rebuilt base transport/mux, rebound into the router so
+/// client replies flow from the new incarnation.
+void rejoin_kv_process(World& w, const smr::ReplicaConfig& rc, ProcessId p) {
+  const std::size_t shards = w.kv_engines.size();
+  for (std::size_t g = 0; g < shards; ++g) {
+    if (w.kv_replicas[g][p - 1] != nullptr) {
+      w.kv_replicas[g][p - 1]->log().halt();
+    }
+    w.kv_router->rebind(g, p, nullptr, nullptr);
+  }
+  w.transports[p - 1]->sever();
+  for (std::size_t g = 0; g < shards; ++g) {
+    w.retired_replicas.push_back(std::move(w.kv_replicas[g][p - 1]));
+    w.retired_kv_machines.push_back(std::move(w.kv_machines[g][p - 1]));
+    w.retired_engines.push_back(std::move(w.kv_engines[g][p - 1]));
+  }
+  w.retired_muxes.push_back(std::move(w.muxes[p - 1]));
+  w.retired_transports.push_back(std::move(w.transports[p - 1]));
+
+  *w.alive[p - 1] = true;
+  w.network.revive(p);
+  w.transports[p - 1] = std::make_unique<core::NetTransport>(
+      w.exec, w.network, p, /*tag=*/100);
+  w.muxes[p - 1] = std::make_unique<core::TransportMux>(
+      w.exec, *w.transports[p - 1]);
+  core::PaxosConfig pc;
+  pc.n = w.cfg.n;
+  pc.skip_phase1_for_p1 = (w.cfg.algo == Algorithm::kFastPaxos);
+  smr::ReplicaConfig rejoin_rc = rc;
+  rejoin_rc.log.recover = true;
+  for (std::size_t g = 0; g < shards; ++g) {
+    const std::uint8_t tag = static_cast<std::uint8_t>(g);
+    w.kv_engines[g][p - 1] = std::make_unique<core::PaxosEngine>(
+        w.exec, w.muxes[p - 1]->sub(tag), *w.omega, pc);
+    w.kv_machines[g][p - 1] = std::make_unique<kv::StateMachine>();
+    w.kv_replicas[g][p - 1] = std::make_unique<smr::Replica>(
+        w.exec, *w.kv_engines[g][p - 1], *w.omega, *w.kv_machines[g][p - 1],
+        rejoin_rc);
+  }
+  w.muxes[p - 1]->start();
+  for (std::size_t g = 0; g < shards; ++g) {
+    w.kv_engines[g][p - 1]->start();
+    w.kv_replicas[g][p - 1]->start();
+    w.kv_router->rebind(g, p, w.kv_replicas[g][p - 1].get(),
+                        w.kv_machines[g][p - 1].get());
+  }
+  w.omega->poke();
+}
+
 RunReport run_smr(World& w, const ClusterConfig& config) {
   const std::size_t n = config.n;
   const auto all = all_processes(n);
@@ -534,10 +715,13 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   // Byzantine engines route everything through memories, where passive
   // replicas could never be heard — every correct replica proposes each slot.
   const bool all_propose = (config.algo == Algorithm::kFastRobust);
+  check_rejoin_support(config, config.smr.snapshot_interval,
+                       "smr.snapshot_interval");
   smr::ReplicaConfig rc;
   rc.batch = config.smr.batch;
   rc.log.window = config.smr.window;
   rc.log.all_propose = all_propose;
+  rc.log.snapshot_interval = config.smr.snapshot_interval;
   rc.tune.enabled = config.smr.auto_tune;  // Replica forces off if all_propose
   rc.tune.max_window = config.smr.max_window;
   rc.tune.max_batch = config.smr.max_batch;
@@ -566,6 +750,14 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   }
 
   spawn_byzantine(w, config);
+
+  // Crash-and-rejoin: rebuild each rejoining process at its scheduled time.
+  // The fresh incarnation submits nothing — commands its predecessor queued
+  // but never got decided are simply lost, which validity tolerates (applied
+  // ⊆ submitted); its job is to catch back up and stay in lockstep.
+  for (const auto& [p, t] : config.faults.process_rejoins) {
+    w.exec.call_at(t, [&w, rc, p = p] { rejoin_smr_process(w, rc, p); });
+  }
 
   // ---- Run to quiescence. ----
   // Leader mode: the current leader drained its queue and applied everything
@@ -630,8 +822,13 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
       if (w.correct(p)) {
         // Aggregate SMR metrics over correct replicas. fast-path is a
         // proposer-local property (learners decide via DECIDE), so take the
-        // max rather than the last replica's count.
-        if (stats.slots_applied >= report.slots_applied) {
+        // max rather than the last replica's count. At equal log length
+        // prefer the fuller command count: a rejoined replica's log-derived
+        // stats exclude slots a snapshot install covered, so a survivor's
+        // accounting is the exact one.
+        if (stats.slots_applied > report.slots_applied ||
+            (stats.slots_applied == report.slots_applied &&
+             stats.commands_applied > report.commands_applied)) {
           report.slots_applied = stats.slots_applied;
           report.commands_applied = stats.commands_applied;
           report.noop_slots = stats.noop_slots;
@@ -643,6 +840,7 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
         queue_waits.insert(queue_waits.end(), qw.begin(), qw.end());
         report.occupancy_slots += stats.occupancy_slots;
         report.occupancy_limit += stats.occupancy_limit;
+        add_recovery_counters(report, stats);
         if (replica.tuner().enabled() && replica.tuner().observations() > 0) {
           report.tuner_epochs += stats.tuner_epochs;
           if (replica.tuner().observations() > tuner_best_obs) {
@@ -654,8 +852,11 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
           report.tuner_trajectory +=
               "p" + std::to_string(p) + ":" + stats.tuner_trajectory;
         }
+        // Slot 0's record only survives on replicas that never compacted it
+        // away (records_base() > 0 means the first decision time was folded).
         const auto& records = replica.log().records();
-        if (replica.log().applied_len() > 0 && !records.empty()) {
+        if (replica.log().applied_len() > 0 &&
+            replica.log().records_base() == 0 && !records.empty()) {
           report.first_decision_delay =
               std::min(report.first_decision_delay, records[0].decided_at);
           report.first_correct_decision_delay = std::min(
@@ -690,6 +891,13 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
   if (report.occupancy_limit > 0) {
     report.window_occupancy = static_cast<double>(report.occupancy_slots) /
                               static_cast<double>(report.occupancy_limit);
+  }
+
+  // Retired incarnations did real recovery work too (a first rejoiner may
+  // itself later serve catch-up before a second crash) — fold their counters
+  // in so the report covers every incarnation, per the RunReport contract.
+  for (const auto& retired : w.retired_replicas) {
+    if (retired != nullptr) add_recovery_counters(report, retired->stats());
   }
 
   fill_resource_counters(report, w, config);
@@ -844,6 +1052,8 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
     throw std::invalid_argument("KV mode: at most 256 shards (1-byte mux tag)");
   }
   const bool fan_out = (config.algo == Algorithm::kFastRobust);
+  check_rejoin_support(config, config.kv.snapshot_interval,
+                       "kv.snapshot_interval");
 
   // One base transport + mux per process; shard g's engine runs over sub(g).
   for (ProcessId p : all) {
@@ -863,6 +1073,7 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   rc.batch = config.kv.batch;
   rc.log.window = config.kv.window;
   rc.log.all_propose = fan_out;
+  rc.log.snapshot_interval = config.kv.snapshot_interval;
   rc.tune.enabled = config.kv.auto_tune;  // Replica forces off if fan_out
   rc.tune.max_window = config.kv.max_window;
   rc.tune.max_batch = config.kv.max_batch;
@@ -923,6 +1134,14 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   }
   w.kv_workload->start();
   spawn_byzantine(w, config);
+
+  // Crash-and-rejoin: rebuild every shard replica of a rejoining process at
+  // its scheduled time. Client commands the dead incarnation dropped are
+  // covered by the router's retry loop + session dedup (exactly-once still
+  // holds end to end — that is the acceptance invariant).
+  for (const auto& [p, t] : config.faults.process_rejoins) {
+    w.exec.call_at(t, [&w, rc, p = p] { rejoin_kv_process(w, rc, p); });
+  }
 
   // ---- Run to quiescence: every client answered, every shard converged
   // (no queued duplicates left, all correct replicas at one log length). ----
@@ -987,13 +1206,21 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   for (std::size_t g = 0; g < shards; ++g) {
     const kv::StateMachine* reference = nullptr;
     const smr::Replica* ref_replica = nullptr;
+    bool ref_rejoined = false;
     for (ProcessId p : all) {
       if (!w.correct(p)) continue;
       const kv::StateMachine& sm = *w.kv_machines[g][p - 1];
       const smr::Replica& replica = *w.kv_replicas[g][p - 1];
+      // Slot accounting reference: prefer a replica that never rejoined — a
+      // rejoiner's log-derived stats exclude slots its snapshot install
+      // covered, while a survivor's fold is exact.
+      const bool rejoined = w.rejoin_at_[p - 1] != sim::kTimeInfinity;
+      if (ref_replica == nullptr || (ref_rejoined && !rejoined)) {
+        ref_replica = &replica;
+        ref_rejoined = rejoined;
+      }
       if (reference == nullptr) {
         reference = &sm;
-        ref_replica = &replica;
         report.kv_shard_ops.push_back(sm.ops_applied());
         report.kv_duplicates += sm.duplicates_suppressed();
         report.kv_malformed += sm.malformed();
@@ -1010,6 +1237,7 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
       queue_waits.insert(queue_waits.end(), qw.begin(), qw.end());
       report.occupancy_slots += stats.occupancy_slots;
       report.occupancy_limit += stats.occupancy_limit;
+      add_recovery_counters(report, stats);
       if (replica.tuner().enabled() && replica.tuner().observations() > 0) {
         report.tuner_epochs += stats.tuner_epochs;
         if (replica.tuner().observations() > tuner_best_obs) {
@@ -1022,8 +1250,11 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
                                    std::to_string(p) + ":" +
                                    stats.tuner_trajectory;
       }
+      // Slot 0's record only survives on replicas that never compacted it
+      // away (records_base() > 0 means the first decision time was folded).
       const auto& records = replica.log().records();
-      if (replica.log().applied_len() > 0 && !records.empty()) {
+      if (replica.log().applied_len() > 0 &&
+          replica.log().records_base() == 0 && !records.empty()) {
         report.first_decision_delay =
             std::min(report.first_decision_delay, records[0].decided_at);
         report.first_correct_decision_delay = std::min(
@@ -1031,15 +1262,13 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
       }
     }
     if (ref_replica != nullptr) {
-      // Reference replica's records drive the aggregate slot accounting
-      // (all correct replicas of a shard apply the same log).
-      const Slot shard_slots = ref_replica->log().applied_len();
-      report.slots_applied += shard_slots;
-      const auto& recs = ref_replica->log().records();
-      for (Slot s = 0; s < shard_slots && s < recs.size(); ++s) {
-        report.commands_applied += recs[s].commands;
-        if (recs[s].noop) ++report.noop_slots;
-      }
+      // Reference replica's stats drive the aggregate slot accounting (all
+      // correct replicas of a shard apply the same log); RunStats folds in
+      // compacted slots, so this stays exact after truncation.
+      const smr::RunStats ref_stats = ref_replica->stats();
+      report.slots_applied += ref_stats.slots_applied;
+      report.commands_applied += ref_stats.commands_applied;
+      report.noop_slots += ref_stats.noop_slots;
       const std::uint64_t h = reference->store_hash();
       for (int i = 0; i < 8; ++i) {
         combined_hash ^= static_cast<std::uint8_t>(h >> (i * 8));
@@ -1095,6 +1324,11 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
     report.decided_value = "kv:" + std::to_string(report.kv_store_hash);
   }
 
+  // Retired incarnations' recovery work counts too (see run_smr).
+  for (const auto& retired : w.retired_replicas) {
+    if (retired != nullptr) add_recovery_counters(report, retired->stats());
+  }
+
   fill_resource_counters(report, w, config);
   if (report.slots_applied > 0) {
     report.events_per_slot = static_cast<double>(report.events) /
@@ -1119,6 +1353,11 @@ RunReport run_cluster(const ClusterConfig& config) {
   World w(config);
   if (config.kv.enabled) return run_kv(w, config);
   if (config.smr.enabled) return run_smr(w, config);
+  if (!config.faults.process_rejoins.empty()) {
+    throw std::invalid_argument(
+        "crash-and-rejoin requires SMR or KV mode (single-shot consensus has "
+        "no log to catch up on)");
+  }
   const std::size_t n = config.n;
   const auto all = all_processes(n);
   const std::size_t fP = n > 0 ? (n - 1) / 2 : 0;  // tolerance n >= 2f+1

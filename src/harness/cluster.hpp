@@ -56,9 +56,26 @@ struct FaultPlan {
   std::map<ProcessId, sim::Time> process_crashes;
   std::map<MemoryId, sim::Time> memory_crashes;
   std::map<ProcessId, ByzantineStrategy> byzantine;
+  /// Crash-and-rejoin: processes listed here (which must also have a crash
+  /// time, strictly earlier) restart at the given time with volatile state
+  /// wiped — a fresh replica incarnation that recovers through snapshot +
+  /// log catch-up from its peers. Message-based SMR/KV engines only
+  /// (kPaxos / kFastPaxos), and the relevant snapshot_interval must be > 0.
+  std::map<ProcessId, sim::Time> process_rejoins;
 
-  std::size_t crashed_by_horizon() const { return process_crashes.size(); }
+  /// Processes still down at the horizon — what resilience accounting (and
+  /// the f < n/2 sanity checks) should count, which is crashes minus the
+  /// crashes that later rejoin.
+  std::size_t crashed_by_horizon() const {
+    std::size_t n = process_crashes.size();
+    for (const auto& [p, at] : process_rejoins) {
+      const auto crash = process_crashes.find(p);
+      if (crash != process_crashes.end() && at > crash->second) --n;
+    }
+    return n;
+  }
   bool is_byzantine(ProcessId p) const { return byzantine.contains(p); }
+  bool rejoins(ProcessId p) const { return process_rejoins.contains(p); }
 };
 
 /// Multi-slot (state-machine replication) mode: instead of one consensus
@@ -79,6 +96,11 @@ struct SmrConfig {
   bool auto_tune = false;
   std::size_t max_window = 16;
   std::size_t max_batch = 8;
+  /// Snapshot + log compaction cadence (smr::LogConfig::snapshot_interval):
+  /// every replica snapshots its state machine and truncates applied slots
+  /// every this-many applies, and serves snapshot + suffix catch-up to
+  /// rejoining peers. 0 = off (required > 0 for process_rejoins).
+  Slot snapshot_interval = 0;
 };
 
 /// Sharded-KV mode: the key space is hash-partitioned across `shards`
@@ -111,6 +133,8 @@ struct KvConfig {
   bool auto_tune = false;
   std::size_t max_window = 16;
   std::size_t max_batch = 8;
+  /// Per-shard snapshot + log compaction cadence (see SmrConfig).
+  Slot snapshot_interval = 0;
 };
 
 struct ClusterConfig {
@@ -140,6 +164,7 @@ struct ProcessReport {
   ProcessId id = 0;
   bool byzantine = false;
   sim::Time crashed_at = sim::kTimeInfinity;
+  sim::Time rejoined_at = sim::kTimeInfinity;
   bool decided = false;
   std::string decision;
   sim::Time decided_at = 0;
@@ -219,6 +244,14 @@ struct RunReport {
   /// Executor events per applied slot — the pipelining-efficiency metric
   /// bench_log_pipeline tracks.
   double events_per_slot = 0.0;
+  /// Recovery accounting (SMR/KV modes, zeros with snapshotting off),
+  /// summed over every replica incarnation of every correct process:
+  /// snapshots cut locally / installed from a peer during catch-up, log
+  /// slots freed by compaction, and catch-up response bytes consumed.
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t slots_truncated = 0;
+  std::uint64_t catchup_bytes = 0;
 
   // KV mode only (config.kv.enabled). Shard/commit metrics above aggregate
   // over every shard's replicas; these add the client-visible layer.

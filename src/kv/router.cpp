@@ -31,6 +31,21 @@ Router::Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
   }
 }
 
+void Router::rebind(std::size_t shard, ProcessId p, smr::Replica* replica,
+                    StateMachine* machine) {
+  if (shard >= shards_.size()) return;
+  ShardBackend& b = shards_[shard];
+  if (p < 1 || p > b.replicas.size()) return;
+  b.replicas[p - 1] = replica;
+  b.machines[p - 1] = machine;
+  if (machine != nullptr) {
+    machine->set_reply_sink(
+        [this](ClientId c, std::uint64_t seq, const Reply& r) {
+          deliver(c, seq, r);
+        });
+  }
+}
+
 ClientId Router::register_client() {
   sessions_.emplace_back(*exec_);
   return static_cast<ClientId>(sessions_.size());

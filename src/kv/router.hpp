@@ -99,6 +99,14 @@ class Router {
   /// exactly-once end to end thanks to the state machines' session dedup.
   sim::Task<Reply> execute(ClientId client, Command cmd);
 
+  /// Crash-and-rejoin: point shard `shard`'s backend slot for process `p`
+  /// at a fresh replica incarnation (and wire its state machine's reply
+  /// sink). The old incarnation stops delivering replies the moment its
+  /// machine is unhooked from the backend — the caller keeps it alive but
+  /// quarantined. Either pointer may be nullptr (process gone for good).
+  void rebind(std::size_t shard, ProcessId p, smr::Replica* replica,
+              StateMachine* machine);
+
   /// Client re-submissions issued after a reply deadline expired.
   std::uint64_t retries() const { return retries_; }
   /// Decaying max of observed op latencies for a shard (0 until the first

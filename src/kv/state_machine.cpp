@@ -1,5 +1,9 @@
 #include "src/kv/state_machine.hpp"
 
+#include <utility>
+
+#include "src/util/serde.hpp"
+
 namespace mnm::kv {
 
 namespace {
@@ -93,6 +97,86 @@ std::uint64_t StateMachine::store_hash() const {
   }
   h = fnv1a_u64(h, ops_applied_);
   return h;
+}
+
+Bytes StateMachine::snapshot() const {
+  util::Writer w(64);
+  w.u32(static_cast<std::uint32_t>(store_.size()));
+  for (const auto& [k, v] : store_) w.bytes(k).bytes(v);
+  w.u32(static_cast<std::uint32_t>(sessions_.size()));
+  for (const auto& [client, s] : sessions_) {
+    w.u64(client)
+        .u64(s.last_seq)
+        .u8(static_cast<std::uint8_t>(s.last_reply.status))
+        .bytes(s.last_reply.value);
+  }
+  w.u64(ops_applied_).u64(duplicates_).u64(malformed_);
+  // Trailing digest: the store_hash() fold extended over the two counters
+  // the replicated-state hash leaves out, so the digest covers every byte an
+  // installer will adopt and any corruption fails closed on restore.
+  w.u64(fnv1a_u64(fnv1a_u64(store_hash(), duplicates_), malformed_));
+  return std::move(w).take();
+}
+
+bool StateMachine::restore(util::ByteView raw) {
+  std::map<Bytes, Bytes> store;
+  std::map<ClientId, Session> sessions;
+  std::uint64_t ops = 0, dups = 0, malformed = 0, claimed = 0;
+  try {
+    util::Reader r(raw);
+    const std::uint32_t nkeys = r.u32();
+    for (std::uint32_t i = 0; i < nkeys; ++i) {
+      Bytes k = r.bytes();
+      Bytes v = r.bytes();
+      // Map order is the codec's canonical order: out-of-order or duplicate
+      // keys mean the bytes were not produced by snapshot().
+      if (!store.emplace(std::move(k), std::move(v)).second) return false;
+    }
+    const std::uint32_t nsessions = r.u32();
+    for (std::uint32_t i = 0; i < nsessions; ++i) {
+      const ClientId client = r.u64();
+      Session s;
+      s.last_seq = r.u64();
+      const std::uint8_t status = r.u8();
+      if (status < static_cast<std::uint8_t>(Status::kOk) ||
+          status > static_cast<std::uint8_t>(Status::kCasMismatch)) {
+        return false;
+      }
+      s.last_reply.status = static_cast<Status>(status);
+      s.last_reply.value = r.bytes();
+      if (!sessions.emplace(client, std::move(s)).second) return false;
+    }
+    ops = r.u64();
+    dups = r.u64();
+    malformed = r.u64();
+    claimed = r.u64();
+    r.expect_end();
+  } catch (const util::SerdeError&) {
+    return false;
+  }
+  // Recompute the fold over the decoded state and compare against the
+  // embedded digest — a corrupted or forged snapshot fails closed here.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& [k, v] : store) {
+    h = fnv1a(h, k);
+    h = fnv1a(h, v);
+  }
+  for (const auto& [client, s] : sessions) {
+    h = fnv1a_u64(h, client);
+    h = fnv1a_u64(h, s.last_seq);
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(s.last_reply.status));
+    h = fnv1a(h, s.last_reply.value);
+  }
+  h = fnv1a_u64(h, ops);
+  h = fnv1a_u64(h, dups);
+  h = fnv1a_u64(h, malformed);
+  if (h != claimed) return false;
+  store_ = std::move(store);
+  sessions_ = std::move(sessions);
+  ops_applied_ = ops;
+  duplicates_ = dups;
+  malformed_ = malformed;
+  return true;
 }
 
 std::uint64_t StateMachine::last_seq(ClientId c) const {

@@ -42,6 +42,18 @@ class StateMachine : public smr::StateMachine {
 
   void apply(Slot slot, util::ByteView command) override;
 
+  /// Deterministic full-state codec for log compaction and peer catch-up:
+  /// store pairs + session records + op counters, length-prefixed in map
+  /// order, with the store_hash() fold embedded as a trailing digest. Equal
+  /// states ⇒ identical bytes, so snapshots themselves fingerprint.
+  Bytes snapshot() const override;
+  /// Total inverse: decodes into temporaries, recomputes the state fold and
+  /// checks it against the embedded digest, and only then swaps the decoded
+  /// state in (the reply sink is wiring, not state — it survives). Malformed
+  /// bytes or a digest mismatch return false with *this untouched. Never
+  /// throws — snapshots arrive from unverified peers.
+  bool restore(util::ByteView raw) override;
+
   const std::map<Bytes, Bytes>& store() const { return store_; }
 
   /// FNV-1a over the store and the session table (last seq + cached reply

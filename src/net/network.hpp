@@ -117,6 +117,13 @@ class Network {
   void crash(ProcessId pid) {
     if (pid >= 1 && pid <= n_) crashed_[pid - 1] = 1;
   }
+  /// Re-admit a crashed process (crash-and-rejoin). The process resumes
+  /// sending and receiving from the revive point on; messages that arrived
+  /// while it was down stay dropped — the rejoining replica recovers them
+  /// through the catch-up protocol, not the network.
+  void revive(ProcessId pid) {
+    if (pid >= 1 && pid <= n_) crashed_[pid - 1] = 0;
+  }
   bool crashed(ProcessId pid) const {
     return pid >= 1 && pid <= n_ && crashed_[pid - 1] != 0;
   }

@@ -43,10 +43,13 @@ Log::Log(sim::Executor& exec, core::ConsensusEngine& engine, core::Omega& omega,
       sm_(&sm),
       config_(config),
       pending_signal_(exec),
-      applied_signal_(exec) {
+      stash_signal_(exec),
+      applied_signal_(exec),
+      recovering_signal_(exec) {
   // Validation rule (see LogConfig): a window of 0 silently stalled the
   // pump; clamp rather than assert so Release builds behave identically.
   config_.window = std::clamp<std::size_t>(config_.window, 1, kMaxWindow);
+  config_.catchup_timeout = std::max<sim::Time>(1, config_.catchup_timeout);
 }
 
 void Log::start() {
@@ -54,6 +57,26 @@ void Log::start() {
   started_ = true;
   exec_->spawn(apply_loop());
   exec_->spawn(config_.all_propose ? pump_all() : pump_leader());
+  // Recovery machinery only where the engine has a control channel: serving
+  // needs retained state (snapshot_interval > 0), recovering needs a peer
+  // to ask. Memory-routed Byzantine engines have neither.
+  core::Transport* ctl = engine_->control_transport();
+  const bool serve = config_.snapshot_interval > 0 && ctl != nullptr;
+  recovering_ = config_.recover && ctl != nullptr;
+  if (serve || recovering_) exec_->spawn(control_loop());
+  if (recovering_) exec_->spawn(catchup_driver());
+}
+
+void Log::halt() {
+  if (halted_) return;
+  halted_ = true;
+  // Wake every Select this log's loops could be suspended in; each checks
+  // halted_ on wakeup and returns. Loops parked on a channel recv (apply,
+  // control) cannot be woken but are inert once the transport is dead.
+  pending_signal_.bump();
+  stash_signal_.bump();
+  applied_signal_.bump();
+  recovering_signal_.bump();
 }
 
 void Log::enqueue(Bytes payload) {
@@ -70,8 +93,16 @@ void Log::enqueue_commands(std::vector<Bytes> commands) {
 }
 
 SlotRecord& Log::record(Slot s) {
-  if (records_.size() <= s) records_.resize(s + 1);
-  return records_[s];
+  if (s < records_base_) {
+    // Compacted (or caught-up-over) slot: its stats are already folded.
+    // Hand back a scratch sink so rare late writers (a stale DECIDE racing
+    // a snapshot) stay harmless.
+    scratch_record_ = SlotRecord{};
+    return scratch_record_;
+  }
+  const std::size_t idx = s - records_base_;
+  if (records_.size() <= idx) records_.resize(idx + 1);
+  return records_[idx];
 }
 
 Log::Pending Log::take_pending_or_noop() {
@@ -170,27 +201,80 @@ void Log::apply_slot(Slot slot, const core::Decision& d) {
     }
   }
   for (const Bytes& c : commands) sm_->apply(slot, c);
+  if (config_.snapshot_interval > 0) retained_[slot] = d.value;
+}
+
+void Log::drain_stash() {
+  // Drain the contiguous prefix: decisions may land in any order, the
+  // state machine only ever sees slot order.
+  for (auto it = stash_.find(applied_len_); it != stash_.end();
+       it = stash_.find(applied_len_)) {
+    apply_slot(applied_len_, it->second);
+    stash_.erase(it);
+    ++applied_len_;
+    applied_signal_.bump();
+    maybe_snapshot();
+  }
 }
 
 sim::Task<void> Log::apply_loop() {
   while (true) {
     core::SlotDecision sd = co_await engine_->decisions().recv();
+    if (sd.slot < applied_len_) continue;  // stale: applied via catch-up
     stash_.emplace(sd.slot, std::move(sd.decision));
-    // Drain the contiguous prefix: decisions may land in any order, the
-    // state machine only ever sees slot order.
-    for (auto it = stash_.find(applied_len_); it != stash_.end();
-         it = stash_.find(applied_len_)) {
-      apply_slot(applied_len_, it->second);
-      stash_.erase(it);
-      ++applied_len_;
-      applied_signal_.bump();
+    stash_signal_.bump();  // the catch-up driver's gap watch
+    drain_stash();
+  }
+}
+
+void Log::maybe_snapshot() {
+  if (config_.snapshot_interval == 0) return;
+  if (applied_len_ - snapshot_slot_ < config_.snapshot_interval) return;
+  Bytes snap = sm_->snapshot();
+  if (snap.empty()) return;  // machine doesn't support snapshots
+  snapshot_ = std::move(snap);
+  snapshot_slot_ = applied_len_;
+  ++snapshots_taken_;
+  compact_below(snapshot_slot_);
+}
+
+void Log::compact_below(Slot s) {
+  retained_.erase(retained_.begin(), retained_.lower_bound(s));
+  // A decision below the snapshot slot can no longer be applied in order —
+  // the snapshot already covers it.
+  stash_.erase(stash_.begin(), stash_.lower_bound(s));
+  if (s <= records_base_) return;
+  const Slot upto =
+      std::min<Slot>(s, records_base_ + static_cast<Slot>(records_.size()));
+  for (Slot t = records_base_; t < upto; ++t) {
+    const SlotRecord& r = records_[t - records_base_];
+    compacted_.commands += r.commands;
+    if (r.noop) ++compacted_.noop_slots;
+    if (r.fast) ++compacted_.fast_slots;
+    compacted_.last_apply_at = std::max(compacted_.last_apply_at, r.applied_at);
+    if (r.proposed_here) {
+      compacted_.occupancy_slots += r.in_flight;
+      compacted_.occupancy_limit += r.window_limit;
+      if (!r.noop) {
+        compacted_.queue_waits.push_back(
+            r.proposed_at >= r.enqueued_at ? r.proposed_at - r.enqueued_at
+                                           : 0);
+        if (r.won_here) {
+          compacted_.won_latencies.push_back(r.decided_at - r.enqueued_at);
+        }
+      }
     }
   }
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(upto - records_base_));
+  slots_truncated_ += s - records_base_;
+  records_base_ = s;
 }
 
 sim::Task<void> Log::pump_leader() {
   const ProcessId self = engine_->self();
   while (true) {
+    if (halted_) co_return;
     // Snapshot every wait source BEFORE inspecting state: a bump landing
     // between the snapshot and the await makes the select ready
     // immediately, so wakeups cannot be lost.
@@ -198,8 +282,13 @@ sim::Task<void> Log::pump_leader() {
     const std::uint64_t v_applied = applied_signal_.version();
     const std::uint64_t v_omega = omega_->changed().version();
     const std::uint64_t v_horizon = engine_->horizon_signal().version();
+    const std::uint64_t v_recover = recovering_signal_.version();
 
-    if (omega_->trusts(self)) {
+    // Recovery hold: a rejoined replica that Ω immediately trusts must not
+    // march proposals through slots it is about to install from a peer —
+    // catch-up is cheaper than re-deciding, and next_slot_ floors at the
+    // installed prefix once the hold lifts.
+    if (omega_->trusts(self) && !recovering_) {
       // Hand-off / adoption: drive every open slot we have heard of but not
       // proposed ourselves (a dead or deposed leader's window). The
       // engine's protocol adopts any value a quorum already accepted;
@@ -208,7 +297,10 @@ sim::Task<void> Log::pump_leader() {
       // propose retries under our leadership), so they are skipped.
       const Slot horizon = engine_->slot_horizon();
       for (Slot s = applied_len_; s < horizon; ++s) {
-        if (s < records_.size() && records_[s].proposed_here) continue;
+        if (s >= records_base_ && s - records_base_ < records_.size() &&
+            records_[s - records_base_].proposed_here) {
+          continue;
+        }
         if (stash_.contains(s)) continue;  // decided, awaiting apply
         launch(s, take_pending_or_noop(), /*retry=*/true);
       }
@@ -227,12 +319,17 @@ sim::Task<void> Log::pump_leader() {
         .on(applied_signal_, v_applied)
         .on(omega_->changed(), v_omega)
         .on(engine_->horizon_signal(), v_horizon);
+    // Only recovering logs watch the recovery signal — an extra never-
+    // bumping source would be inert, but keeping the default Select set
+    // untouched keeps the pre-recovery event trace byte-identical.
+    if (config_.recover) sel.on(recovering_signal_, v_recover);
     (void)co_await sel;
   }
 }
 
 sim::Task<void> Log::pump_all() {
   while (next_slot_ < config_.fixed_slots) {
+    if (halted_) co_return;
     const std::uint64_t v_applied = applied_signal_.version();
     const std::uint64_t v_pending = pending_signal_.version();
     const bool have_work = !pending_.empty() || config_.noop_fillers;
@@ -247,6 +344,136 @@ sim::Task<void> Log::pump_all() {
     sel.on(applied_signal_, v_applied);
     if (!config_.noop_fillers) sel.on(pending_signal_, v_pending);
     (void)co_await sel;
+  }
+}
+
+sim::Task<void> Log::control_loop() {
+  core::Transport* ctl = engine_->control_transport();
+  while (true) {
+    const core::TMsg m = co_await ctl->incoming().recv();
+    if (halted_) co_return;
+    // Strict total dispatch: the control channel carries peer bytes, so a
+    // frame that is neither a well-formed request nor a well-formed
+    // response is counted and dropped — nothing on this path throws.
+    if (const auto req = decode_catchup_request(m.payload)) {
+      if (config_.snapshot_interval > 0) serve_catchup(m.src, req->from);
+    } else if (const auto resp = decode_catchup_response(m.payload)) {
+      ++responses_seen_;
+      install_catchup(*resp, m.payload.size());
+    } else {
+      ++catchup_rejected_;
+    }
+  }
+}
+
+void Log::serve_catchup(ProcessId dst, Slot from) {
+  core::Transport* ctl = engine_->control_transport();
+  CatchupResponse resp;
+  if (from < snapshot_slot_ && !snapshot_.empty()) {
+    resp.snap_slot = snapshot_slot_;
+    resp.snapshot = snapshot_;
+  }
+  // retained_ covers exactly [snapshot_slot_, applied_len_).
+  Slot s = std::max(from, snapshot_slot_);
+  resp.first_slot = s;
+  for (; s < applied_len_ && resp.payloads.size() < kMaxCatchupSlots; ++s) {
+    const auto it = retained_.find(s);
+    if (it == retained_.end()) break;
+    resp.payloads.push_back(it->second);
+  }
+  // An empty response is still sent: "nothing for you" is how a recovering
+  // peer learns it is level with us.
+  ctl->send(dst, encode_catchup_response(resp));
+}
+
+void Log::install_slot(Slot s, const Bytes& payload) {
+  const std::vector<Bytes> commands = decode_batch(payload);
+  for (const Bytes& c : commands) sm_->apply(s, c);
+  if (config_.snapshot_interval > 0) retained_[s] = payload;
+  ++applied_len_;
+  applied_signal_.bump();
+  maybe_snapshot();
+}
+
+void Log::install_catchup(const CatchupResponse& resp,
+                          std::size_t wire_bytes) {
+  catchup_bytes_ += wire_bytes;
+  bool progressed = false;
+  if (resp.snap_slot > applied_len_) {
+    if (!resp.snapshot.empty() && sm_->restore(resp.snapshot)) {
+      applied_len_ = resp.snap_slot;
+      // The installed snapshot becomes ours: we can serve it onward, and
+      // our own cadence restarts from its slot.
+      snapshot_ = resp.snapshot;
+      snapshot_slot_ = resp.snap_slot;
+      retained_.erase(retained_.begin(),
+                      retained_.lower_bound(resp.snap_slot));
+      ++snapshots_installed_;
+      progressed = true;
+    } else {
+      // Malformed or digest-mismatched snapshot: reject, state untouched.
+      ++catchup_rejected_;
+    }
+  }
+  for (std::size_t i = 0; i < resp.payloads.size(); ++i) {
+    const Slot s = resp.first_slot + static_cast<Slot>(i);
+    if (s < applied_len_) continue;  // already have it
+    if (s > applied_len_) break;     // non-contiguous: useless from here on
+    install_slot(s, resp.payloads[i]);
+    progressed = true;
+  }
+  if (!progressed) return;
+  // The caught-up region was never recorded here; slide the record base
+  // over it (fresh logs only — a log with live records keeps them).
+  if (records_.empty() && records_base_ < applied_len_) {
+    records_base_ = applied_len_;
+  }
+  stash_.erase(stash_.begin(), stash_.lower_bound(applied_len_));
+  drain_stash();  // decisions that arrived during recovery may now connect
+  next_slot_ = std::max(next_slot_, applied_len_);
+  applied_signal_.bump();
+}
+
+sim::Task<void> Log::catchup_driver() {
+  core::Transport* ctl = engine_->control_transport();
+  std::uint64_t empty_rounds = 0;
+  while (true) {
+    if (halted_) co_return;
+    if (!recovering_) {
+      // Gap watch: wait for a decided-but-unappliable suffix to appear,
+      // then give normal delivery one grace period before re-requesting —
+      // the missing DECIDEs may simply still be in flight.
+      while (stash_.empty()) {
+        const std::uint64_t v_stash = stash_signal_.version();
+        if (!stash_.empty() || halted_) break;
+        sim::Select sel(*exec_);
+        sel.on(stash_signal_, v_stash);
+        (void)co_await sel;
+      }
+      if (halted_) co_return;
+      const Slot before = applied_len_;
+      co_await exec_->sleep(config_.catchup_timeout);
+      if (halted_) co_return;
+      if (stash_.empty() || applied_len_ > before) continue;
+    }
+    const Slot before = applied_len_;
+    const std::uint64_t responses_before = responses_seen_;
+    ctl->send_all(encode_catchup_request(CatchupRequest{applied_len_}),
+                  /*include_self=*/false);
+    co_await exec_->sleep(config_.catchup_timeout);
+    if (halted_) co_return;
+    if (!recovering_) continue;
+    const bool heard = responses_seen_ > responses_before;
+    empty_rounds = heard ? 0 : empty_rounds + 1;
+    // Recovery ends when a peer answered and had nothing more for us (we
+    // are level), or when nobody serves at all (no snapshot-enabled peer
+    // alive) — holding proposals forever would trade a slow catch-up for a
+    // livelock.
+    if (applied_len_ == before && stash_.empty() &&
+        (heard || empty_rounds >= 4)) {
+      recovering_ = false;
+      recovering_signal_.bump();
+    }
   }
 }
 

@@ -44,6 +44,7 @@
 #include "src/sim/executor.hpp"
 #include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
+#include "src/smr/catchup.hpp"
 #include "src/smr/tuner.hpp"
 
 namespace mnm::smr {
@@ -55,6 +56,16 @@ class StateMachine {
  public:
   virtual ~StateMachine() = default;
   virtual void apply(Slot slot, util::ByteView command) = 0;
+
+  /// Recovery hooks, optional. snapshot() returns a self-contained,
+  /// deterministic encoding of the machine's full state; empty means
+  /// "snapshots unsupported", which disables log compaction (the Log never
+  /// truncates state it could not rebuild a peer from). restore() replaces
+  /// the state from a snapshot; it must be total — false (state untouched)
+  /// on malformed or digest-mismatched input, never a throw — because the
+  /// bytes arrive over the catch-up wire from an unverified peer.
+  virtual Bytes snapshot() const { return {}; }
+  virtual bool restore(util::ByteView) { return false; }
 };
 
 /// Slot payload codec: a batch of commands (u32 count + length-prefixed
@@ -92,6 +103,20 @@ struct LogConfig {
   bool noop_fillers = true;
   /// Seed for Ω leadership-wait backoff.
   sim::Time lead_poll = 1;
+  /// Snapshot the state machine every `snapshot_interval` applied slots and
+  /// compact the log below the snapshot slot (0 = never, the default — the
+  /// pre-snapshot behavior, byte-for-byte). With an interval set the Log
+  /// also retains applied decision payloads above the snapshot slot and
+  /// serves them (plus the snapshot) to catching-up peers over the engine's
+  /// control transport.
+  Slot snapshot_interval = 0;
+  /// Start in recovery: hold fresh proposals and catch up from a peer's
+  /// snapshot + log suffix first (requires an engine with a control
+  /// transport). The rejoin path of a restarted replica.
+  bool recover = false;
+  /// Recovery/gap-repair request cadence and response-collection deadline,
+  /// in executor time.
+  sim::Time catchup_timeout = 8;
 };
 
 /// Everything recorded about one slot at this replica (index == slot).
@@ -110,6 +135,22 @@ struct SlotRecord {
   /// window-occupancy signal the tuner and RunStats read.
   std::size_t in_flight = 0;
   std::size_t window_limit = 0;
+};
+
+/// Per-slot stats folded out of records compacted below a snapshot slot, so
+/// RunStats and the latency percentiles are identical whether or not the
+/// slots behind them were truncated. Latency samples are kept verbatim
+/// (8 bytes per slot vs. a full SlotRecord + payload) — percentiles cannot
+/// be folded into scalars.
+struct CompactedStats {
+  std::uint64_t commands = 0;
+  std::uint64_t noop_slots = 0;
+  std::uint64_t fast_slots = 0;
+  sim::Time last_apply_at = 0;
+  std::uint64_t occupancy_slots = 0;
+  std::uint64_t occupancy_limit = 0;
+  std::vector<sim::Time> won_latencies;  // enqueue → decide, won slots
+  std::vector<sim::Time> queue_waits;    // enqueue → propose, proposed slots
 };
 
 class Log {
@@ -154,7 +195,28 @@ class Log {
     return pending_.empty() && stash_.empty() && applied_len_ >= next_slot_;
   }
   sim::VersionSignal& applied_signal() { return applied_signal_; }
+  /// Live slot records: records()[i] describes slot records_base() + i.
+  /// Slots below records_base() were compacted; their stats live on in
+  /// compacted().
   const std::vector<SlotRecord>& records() const { return records_; }
+  Slot records_base() const { return records_base_; }
+  const CompactedStats& compacted() const { return compacted_; }
+
+  /// True while the recovery hold is on: the log is catching up from a
+  /// peer and pump_leader does not assign fresh slots yet.
+  bool recovering() const { return recovering_; }
+
+  /// Stop proposing and serving: pump loops exit at their next wakeup and
+  /// the control loop stops answering. For quarantining a superseded
+  /// incarnation of a replica whose coroutines the executor still owns —
+  /// loops blocked on a channel recv stay suspended but inert.
+  void halt();
+
+  std::uint64_t snapshots_taken() const { return snapshots_taken_; }
+  std::uint64_t snapshots_installed() const { return snapshots_installed_; }
+  std::uint64_t slots_truncated() const { return slots_truncated_; }
+  std::uint64_t catchup_bytes() const { return catchup_bytes_; }
+  std::uint64_t catchup_rejected() const { return catchup_rejected_; }
 
  private:
   struct Pending {
@@ -169,12 +231,31 @@ class Log {
   /// One slot proposal; on loss (another value decided) re-queues the
   /// group at the front when `retry`.
   sim::Task<void> drive(Slot slot, Pending group, bool retry);
+  /// Demux of the engine's control transport: answers catch-up requests
+  /// (when this log retains state to serve) and installs responses (when
+  /// recovering or gap-repairing).
+  sim::Task<void> control_loop();
+  /// Recovery driver: broadcasts catch-up requests until level with a peer,
+  /// then keeps watch for stalled gaps (slots decided before this replica
+  /// rejoined never re-broadcast their DECIDE — only a re-request fills
+  /// them).
+  sim::Task<void> catchup_driver();
 
   SlotRecord& record(Slot s);
   Pending take_pending_or_noop();
   void requeue_front(Pending group);
   void launch(Slot slot, Pending p, bool retry);
   void apply_slot(Slot slot, const core::Decision& d);
+  /// Snapshot + compact when the interval says so (no-op otherwise).
+  void maybe_snapshot();
+  /// Drop retained payloads, stash entries and records below `s`, folding
+  /// record stats into compacted_.
+  void compact_below(Slot s);
+  void serve_catchup(ProcessId dst, Slot from);
+  void install_catchup(const CatchupResponse& resp, std::size_t wire_bytes);
+  /// Apply one caught-up slot payload (no decision metadata, no record).
+  void install_slot(Slot s, const Bytes& payload);
+  void drain_stash();
 
   sim::Executor* exec_;
   core::ConsensusEngine* engine_;
@@ -186,13 +267,33 @@ class Log {
   std::uint64_t pending_cmds_ = 0;
   sim::VersionSignal pending_signal_;
   std::map<Slot, core::Decision> stash_;  // decided, awaiting in-order apply
+  sim::VersionSignal stash_signal_;       // bumps on stash insert (gap watch)
   std::vector<SlotRecord> records_;
+  Slot records_base_ = 0;  // slot of records_[0]; below = compacted
+  SlotRecord scratch_record_;  // write sink for compacted-slot records
+  CompactedStats compacted_;
   Slot applied_len_ = 0;
   Slot next_slot_ = 0;
   std::size_t open_slots_ = 0;  // launched here, not yet applied
   sim::VersionSignal applied_signal_;
   Tuner* tuner_ = nullptr;
   bool started_ = false;
+
+  // Recovery / compaction state. retained_ holds applied decision payloads
+  // for slots [snapshot_slot_, applied_len_) — the suffix a peer can catch
+  // up from — and only when snapshot_interval > 0.
+  std::map<Slot, Bytes> retained_;
+  Bytes snapshot_;        // latest state-machine snapshot (ours or installed)
+  Slot snapshot_slot_ = 0;  // slots covered by snapshot_
+  bool recovering_ = false;
+  sim::VersionSignal recovering_signal_;
+  bool halted_ = false;
+  std::uint64_t responses_seen_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
+  std::uint64_t snapshots_installed_ = 0;
+  std::uint64_t slots_truncated_ = 0;
+  std::uint64_t catchup_bytes_ = 0;
+  std::uint64_t catchup_rejected_ = 0;
 };
 
 }  // namespace mnm::smr

@@ -22,10 +22,13 @@ TunerConfig make_tuner_config(const ReplicaConfig& config) {
 }  // namespace
 
 std::vector<sim::Time> won_slot_latencies(const Log& log) {
-  std::vector<sim::Time> out;
+  // Latencies folded out of compacted slot records first, then the live
+  // records window — identical to the uncompacted list, in slot order.
+  std::vector<sim::Time> out = log.compacted().won_latencies;
   const auto& records = log.records();
-  for (Slot s = 0; s < log.applied_len() && s < records.size(); ++s) {
-    const SlotRecord& r = records[s];
+  const Slot base = log.records_base();
+  for (Slot s = base; s < log.applied_len() && s - base < records.size(); ++s) {
+    const SlotRecord& r = records[s - base];
     if (r.proposed_here && r.won_here && !r.noop) {
       out.push_back(r.decided_at - r.enqueued_at);
     }
@@ -34,10 +37,11 @@ std::vector<sim::Time> won_slot_latencies(const Log& log) {
 }
 
 std::vector<sim::Time> queue_wait_latencies(const Log& log) {
-  std::vector<sim::Time> out;
+  std::vector<sim::Time> out = log.compacted().queue_waits;
   const auto& records = log.records();
-  for (Slot s = 0; s < log.applied_len() && s < records.size(); ++s) {
-    const SlotRecord& r = records[s];
+  const Slot base = log.records_base();
+  for (Slot s = base; s < log.applied_len() && s - base < records.size(); ++s) {
+    const SlotRecord& r = records[s - base];
     if (r.proposed_here && !r.noop) {
       out.push_back(r.proposed_at >= r.enqueued_at
                         ? r.proposed_at - r.enqueued_at
@@ -65,6 +69,10 @@ std::string RunStats::summary() const {
      << " cmds/kdelay=" << commands_per_kdelay;
   if (!tuner_trajectory.empty()) {
     os << " tune=" << tuner_trajectory;
+  }
+  if (snapshots_taken > 0 || snapshots_installed > 0 || catchup_bytes > 0) {
+    os << " snaps=" << snapshots_taken << "+" << snapshots_installed
+       << " truncated=" << slots_truncated << " catchupB=" << catchup_bytes;
   }
   return os.str();
 }
@@ -102,9 +110,20 @@ RunStats Replica::stats() const {
   RunStats out;
   out.commands_submitted = submitted_;
   out.slots_applied = log_.applied_len();
+  // Seed with the sums folded out of compacted slots, then walk the live
+  // records window; together they cover every applied slot exactly once.
+  const CompactedStats& folded = log_.compacted();
+  out.commands_applied = folded.commands;
+  out.noop_slots = folded.noop_slots;
+  out.fast_slots = folded.fast_slots;
+  out.last_apply_at = folded.last_apply_at;
+  out.occupancy_slots = folded.occupancy_slots;
+  out.occupancy_limit = folded.occupancy_limit;
   const auto& records = log_.records();
-  for (Slot s = 0; s < out.slots_applied && s < records.size(); ++s) {
-    const SlotRecord& r = records[s];
+  const Slot base = log_.records_base();
+  for (Slot s = base; s < out.slots_applied && s - base < records.size();
+       ++s) {
+    const SlotRecord& r = records[s - base];
     out.commands_applied += r.commands;
     if (r.noop) ++out.noop_slots;
     if (r.fast) ++out.fast_slots;
@@ -127,6 +146,11 @@ RunStats Replica::stats() const {
     out.window_occupancy = static_cast<double>(out.occupancy_slots) /
                            static_cast<double>(out.occupancy_limit);
   }
+  out.snapshots_taken = log_.snapshots_taken();
+  out.snapshots_installed = log_.snapshots_installed();
+  out.slots_truncated = log_.slots_truncated();
+  out.catchup_bytes = log_.catchup_bytes();
+  out.catchup_rejected = log_.catchup_rejected();
   if (tuner_.enabled()) {
     out.tuner_epochs = tuner_.trajectory().size();
     out.tuner_window = tuner_.window();

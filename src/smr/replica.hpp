@@ -86,6 +86,15 @@ struct RunStats {
   std::size_t tuner_window = 0;
   std::size_t tuner_batch = 0;
   std::string tuner_trajectory;
+  /// Recovery counters (all zero when snapshotting is off): snapshots this
+  /// replica cut locally vs installed from a peer, log slots freed by
+  /// compaction, catch-up response bytes consumed, and malformed or
+  /// unusable control frames dropped.
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t slots_truncated = 0;
+  std::uint64_t catchup_bytes = 0;
+  std::uint64_t catchup_rejected = 0;
   /// Applied commands per 1000 sim-time units — the pipelining headline.
   double commands_per_kdelay = 0.0;
 

@@ -46,6 +46,13 @@ struct Fingerprint {
   std::uint64_t kv_ops = 0, kv_retries = 0, kv_dups = 0, kv_hash = 0;
   std::vector<std::uint64_t> kv_shard_ops;
   sim::Time kv_p50 = 0, kv_p99 = 0, kv_p999 = 0;
+  // Recovery: snapshot cadence, compaction and catch-up accounting, plus the
+  // rejoin timestamps — a crash-and-rejoin run whose recovery trajectory
+  // (when snapshots were cut, how many slots were truncated, how many bytes
+  // the rejoiner fetched) drifted cannot fingerprint equal.
+  std::uint64_t snaps_taken = 0, snaps_installed = 0, truncated = 0,
+                catchup_bytes = 0;
+  std::vector<sim::Time> rejoined_at;
   // Byzantine wire path: t-send suffix-decode accounting. Pinning these says
   // the decode-cost optimization is itself deterministic — the same seed
   // skips the same prefixes — without perturbing the (time, seq) schedule
@@ -62,6 +69,7 @@ Fingerprint fingerprint(const RunReport& r) {
     f.decided.push_back(p.decided);
     f.decisions.push_back(p.decision);
     f.decided_at.push_back(p.decided_at);
+    f.rejoined_at.push_back(p.rejoined_at);
   }
   f.value = r.decided_value;
   f.first_delay = r.first_decision_delay;
@@ -90,6 +98,10 @@ Fingerprint fingerprint(const RunReport& r) {
   f.kv_p50 = r.kv_op_p50;
   f.kv_p99 = r.kv_op_p99;
   f.kv_p999 = r.kv_op_p999;
+  f.snaps_taken = r.snapshots_taken;
+  f.snaps_installed = r.snapshots_installed;
+  f.truncated = r.slots_truncated;
+  f.catchup_bytes = r.catchup_bytes;
   f.tsend_deliveries = r.tsend_deliveries;
   f.entries_decoded = r.history_entries_decoded;
   f.entries_skipped = r.history_entries_skipped;
@@ -228,6 +240,58 @@ TEST(Determinism, SmrFastRobustBackupPathSameSeedSameRun) {
   EXPECT_GT(a.tsend_deliveries, 0u) << a.summary();
   EXPECT_GT(a.history_entries_skipped, 0u) << a.summary();
   expect_deterministic(c, /*check_ok=*/false);
+}
+
+// --- Crash-and-rejoin: the whole recovery trajectory is deterministic. ---
+
+TEST(Determinism, SmrCrashAndRejoinSameSeedSameRun) {
+  // A rejoining replica replays the entire recovery pipeline — snapshot
+  // election, catch-up request/response, log truncation — on the simulated
+  // schedule. The fingerprint pins the recovery counters and the rejoin
+  // timestamps, so a drifting catch-up (different snapshot slot, different
+  // fetched byte count) cannot hide behind an eventually-equal log.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 7;
+  c.smr.enabled = true;
+  c.smr.commands = 24;
+  c.smr.batch = 2;
+  c.smr.window = 4;
+  c.smr.snapshot_interval = 4;
+  c.faults.process_crashes[1] = 6;
+  c.faults.process_rejoins[1] = 400;
+  const RunReport a = run_cluster(c);
+  EXPECT_GT(a.snapshots_installed, 0u) << a.summary();
+  EXPECT_GT(a.slots_truncated, 0u) << a.summary();
+  EXPECT_GT(a.catchup_bytes, 0u) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, KvCrashAndRejoinRetryStormSameSeedSameRun) {
+  // Rejoin under the adversarial KV schedule: client retries racing the
+  // restart, session dedup across the snapshot boundary, shard routers
+  // rebinding to the new incarnation. All of it must replay byte-for-byte.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 7;
+  c.kv.enabled = true;
+  c.kv.shards = 2;
+  c.kv.clients = 6;
+  c.kv.ops_per_client = 8;
+  c.kv.batch = 1;
+  c.kv.window = 2;
+  c.kv.retry_timeout = 24;
+  c.kv.snapshot_interval = 4;
+  c.faults.process_crashes[1] = 7;
+  c.faults.process_rejoins[1] = 600;
+  const RunReport a = run_cluster(c);
+  EXPECT_GT(a.snapshots_installed, 0u) << a.summary();
+  EXPECT_GT(a.catchup_bytes, 0u) << a.summary();
+  expect_deterministic(c);
 }
 
 // --- Auto-tuning: the adaptation trajectory is itself deterministic. ---

@@ -162,6 +162,64 @@ TEST(KvCluster, RetryStormAcrossLeaderCrashStillExactlyOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash-and-rejoin: snapshots, compaction, peer catch-up.
+// ---------------------------------------------------------------------------
+
+TEST(KvCluster, CrashAndRejoinConvergesExactlyOnce) {
+  // The acceptance run for recovery: p1 crashes mid-workload, the shards
+  // move on (snapshotting + truncating as they go), and p1 rejoins with
+  // wiped state. By quiescence the rejoined replica's store hash must match
+  // the survivors' on every shard (checked by the harness agreement
+  // invariant, which includes rejoined processes), compaction must actually
+  // have dropped slots, and the global exactly-once sum must hold across
+  // the restart.
+  ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 2, 6, 8);
+  c.kv.retry_timeout = 24;
+  c.kv.batch = 1;
+  c.kv.window = 2;
+  c.kv.snapshot_interval = 4;
+  c.faults.process_crashes[1] = 7;  // mid-stream, slots in flight + queued
+  c.faults.process_rejoins[1] = 600;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_ops, 6u * 8u) << "every client op must complete";
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops)
+      << "effective applies must equal completed client ops across the "
+         "restart: "
+      << r.summary();
+  EXPECT_GT(r.snapshots_taken, 0u) << r.summary();
+  EXPECT_GE(r.snapshots_installed, 1u) << r.summary();
+  EXPECT_GT(r.slots_truncated, 0u) << r.summary();
+  EXPECT_GT(r.catchup_bytes, 0u) << r.summary();
+  EXPECT_EQ(r.processes[0].rejoined_at, 600u);
+  // The per-process fingerprint rows must agree shard by shard (same slots,
+  // same hashes) — including the rejoined process's row.
+  EXPECT_EQ(r.processes[0].decision, r.processes[1].decision) << r.summary();
+  EXPECT_EQ(r.processes[1].decision, r.processes[2].decision) << r.summary();
+}
+
+TEST(KvCluster, DuplicateRetryAcrossShardRestartStaysExactlyOnce) {
+  // Sharpen the duplicate path across a restart: aggressive fixed deadlines
+  // make clients re-submit constantly, and the rejoined incarnation's
+  // restored session table must keep suppressing retries of ops it applied
+  // in its previous life.
+  ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, 2, 6, 8);
+  c.kv.retry_timeout = 3;
+  c.kv.adaptive_retry = false;
+  c.kv.snapshot_interval = 4;
+  c.faults.process_crashes[1] = 9;
+  c.faults.process_rejoins[1] = 500;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement) << r.summary();
+  EXPECT_TRUE(r.termination) << r.summary();
+  EXPECT_TRUE(r.validity) << r.summary();
+  EXPECT_EQ(r.kv_ops, 6u * 8u);
+  EXPECT_GT(r.kv_duplicates, 0u);
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops) << r.summary();
+  EXPECT_GE(r.snapshots_installed, 1u) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
 // Byzantine shards (FastRobust engine, fan-out submission).
 // ---------------------------------------------------------------------------
 

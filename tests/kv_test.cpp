@@ -217,5 +217,87 @@ TEST(KvWorkloadMix, ReadFractions) {
   EXPECT_DOUBLE_EQ(read_fraction(Mix::kC), 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot / restore: the crash-and-rejoin codec.
+// ---------------------------------------------------------------------------
+
+TEST(KvStateMachine, SnapshotRestoreRoundTripPreservesEverything) {
+  StateMachine a;
+  a.apply(0, encode_command(cmd(Op::kPut, 1, 1, "a", "v1")));
+  a.apply(1, encode_command(cmd(Op::kPut, 2, 1, "b", "v2")));
+  a.apply(2, encode_command(cmd(Op::kCas, 1, 2, "a", "v3", "wrong")));  // mismatch
+  a.apply(3, encode_command(cmd(Op::kDel, 2, 2, "nope")));  // not-found
+  a.apply(4, encode_command(cmd(Op::kPut, 1, 2, "a", "dup")));  // dup of seq 2
+  a.apply(5, to_bytes("\xde\xad"));  // malformed
+
+  StateMachine b;
+  ASSERT_TRUE(b.restore(a.snapshot()));
+  EXPECT_EQ(b.store_hash(), a.store_hash());
+  EXPECT_EQ(b.ops_applied(), a.ops_applied());
+  EXPECT_EQ(b.duplicates_suppressed(), a.duplicates_suppressed());
+  EXPECT_EQ(b.malformed(), a.malformed());
+  EXPECT_EQ(b.store(), a.store());
+  EXPECT_EQ(b.last_seq(1), a.last_seq(1));
+  EXPECT_EQ(b.last_seq(2), a.last_seq(2));
+
+  // The restored sessions still dedup: a retry of client 1's last op must be
+  // suppressed and re-deliver the cached reply — across the restart.
+  std::vector<std::pair<std::uint64_t, Reply>> replies;
+  b.set_reply_sink([&](ClientId, std::uint64_t seq, const Reply& r) {
+    replies.emplace_back(seq, r);
+  });
+  const std::uint64_t before = b.ops_applied();
+  b.apply(6, encode_command(cmd(Op::kCas, 1, 2, "a", "v3", "wrong")));
+  EXPECT_EQ(b.ops_applied(), before);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].second.status, Status::kCasMismatch);
+  EXPECT_EQ(replies[0].second.value, to_bytes("v1"));
+  // Restored and original must keep hashing identically as they diverge
+  // together.
+  a.apply(6, encode_command(cmd(Op::kCas, 1, 2, "a", "v3", "wrong")));
+  EXPECT_EQ(b.store_hash(), a.store_hash());
+}
+
+TEST(KvStateMachine, EmptyMachineSnapshotRoundTrips) {
+  StateMachine a, b;
+  b.apply(0, encode_command(cmd(Op::kPut, 1, 1, "junk", "junk")));
+  ASSERT_TRUE(b.restore(a.snapshot()));  // restore back to pristine
+  EXPECT_EQ(b.store_hash(), a.store_hash());
+  EXPECT_TRUE(b.store().empty());
+  EXPECT_EQ(b.ops_applied(), 0u);
+}
+
+TEST(KvStateMachine, RestoreRejectsCorruptSnapshotsUntouched) {
+  StateMachine a;
+  a.apply(0, encode_command(cmd(Op::kPut, 1, 1, "k", "v")));
+  a.apply(1, encode_command(cmd(Op::kPut, 2, 1, "k2", "v2")));
+  const Bytes snap = a.snapshot();
+
+  StateMachine b;
+  b.apply(0, encode_command(cmd(Op::kPut, 7, 1, "mine", "intact")));
+  const std::uint64_t hash_before = b.store_hash();
+
+  // Every truncation fails (strict total decode).
+  for (std::size_t cut = 0; cut < snap.size(); ++cut) {
+    EXPECT_FALSE(b.restore(util::ByteView(snap).subspan(0, cut)))
+        << "cut " << cut;
+  }
+  // Trailing garbage fails.
+  Bytes extended = snap;
+  extended.push_back(0);
+  EXPECT_FALSE(b.restore(extended));
+  // Any flipped byte fails: either the codec rejects it or the embedded
+  // digest catches it.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    Bytes bad = snap;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(b.restore(bad)) << "flipped byte " << i;
+  }
+  EXPECT_FALSE(b.restore(Bytes{}));
+  // Every rejection left the target machine untouched.
+  EXPECT_EQ(b.store_hash(), hash_before);
+  EXPECT_EQ(b.store().at(to_bytes("mine")), to_bytes("intact"));
+}
+
 }  // namespace
 }  // namespace mnm::kv

@@ -17,6 +17,7 @@
 #include "src/harness/cluster.hpp"
 #include "src/sim/executor.hpp"
 #include "src/smr/replica.hpp"
+#include "src/util/serde.hpp"
 
 namespace mnm {
 namespace {
@@ -288,6 +289,177 @@ TEST(SmrCluster, AutoTuneIsForcedOffUnderAllPropose) {
   EXPECT_TRUE(r.all_ok()) << r.summary();
   EXPECT_EQ(r.tuner_epochs, 0u);
   EXPECT_TRUE(r.tuner_trajectory.empty()) << r.tuner_trajectory;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: snapshots, log compaction, crash-and-rejoin catch-up.
+// ---------------------------------------------------------------------------
+
+/// RecordingSm plus the snapshot/restore pair compaction requires (a machine
+/// that returns an empty snapshot opts out of compaction entirely).
+struct SnapshotSm : smr::StateMachine {
+  std::vector<std::string> applied;
+  void apply(Slot, util::ByteView command) override {
+    applied.push_back(to_string(command));
+  }
+  Bytes snapshot() const override {
+    util::Writer w(16);
+    w.u32(static_cast<std::uint32_t>(applied.size()));
+    for (const std::string& c : applied) w.str(c);
+    return std::move(w).take();
+  }
+  bool restore(util::ByteView raw) override {
+    try {
+      util::Reader r(raw);
+      const std::uint32_t count = r.u32();
+      std::vector<std::string> out;
+      out.reserve(std::min<std::size_t>(count, r.remaining() / 4));
+      for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.str());
+      r.expect_end();
+      applied = std::move(out);
+      return true;
+    } catch (const util::SerdeError&) {
+      return false;
+    }
+  }
+};
+
+TEST(SmrLogRecovery, SnapshotCadenceCompactsWithoutLosingAccounting) {
+  sim::Executor exec;
+  core::Omega omega = core::Omega::fixed(exec, 2);
+  ScriptedEngine engine(exec);
+  SnapshotSm sm;
+  smr::LogConfig lc;
+  lc.snapshot_interval = 4;
+  smr::Log log(exec, engine, omega, sm, lc);
+  log.start();
+
+  for (Slot s = 0; s < 10; ++s) {
+    engine.inject(s, {to_bytes("c" + std::to_string(s))}, s + 1);
+  }
+  exec.run_until([&] { return log.applied_len() == 10; }, 1000);
+  ASSERT_EQ(log.applied_len(), 10u);
+  ASSERT_EQ(sm.applied.size(), 10u);
+
+  // Two snapshot boundaries passed (slots 4 and 8): the applied prefix below
+  // the last snapshot is gone, its stats folded — totals stay exact.
+  EXPECT_GE(log.snapshots_taken(), 2u);
+  EXPECT_EQ(log.records_base(), 8u);
+  EXPECT_EQ(log.slots_truncated(), 8u);
+  EXPECT_EQ(log.records().size(), 2u);
+  std::uint64_t commands = log.compacted().commands;
+  for (const auto& rec : log.records()) commands += rec.commands;
+  EXPECT_EQ(commands, 10u);
+  // The fold kept the compacted prefix's apply times; the live suffix is
+  // at least as new.
+  EXPECT_LE(log.compacted().last_apply_at, log.records().back().applied_at);
+}
+
+TEST(SmrLogRecovery, CompactionIsInvisibleToReplicaStats) {
+  // Same scripted decisions with and without compaction: RunStats (and the
+  // latency vectors the harness aggregates) must be byte-identical.
+  const auto run = [](Slot interval) {
+    auto exec = std::make_unique<sim::Executor>();
+    core::Omega omega = core::Omega::fixed(*exec, 2);
+    auto engine = std::make_unique<ScriptedEngine>(*exec);
+    auto sm = std::make_unique<SnapshotSm>();
+    smr::LogConfig lc;
+    lc.snapshot_interval = interval;
+    smr::Log log(*exec, *engine, omega, *sm, lc);
+    log.start();
+    for (Slot s = 0; s < 13; ++s) {
+      engine->inject(s, {to_bytes("x" + std::to_string(s)),
+                         to_bytes("y" + std::to_string(s))},
+                     2 * s + 3);
+    }
+    exec->run_until([&] { return log.applied_len() == 13; }, 1000);
+    EXPECT_EQ(log.applied_len(), 13u);
+    std::uint64_t commands = log.compacted().commands;
+    sim::Time last = log.compacted().last_apply_at;
+    for (const auto& rec : log.records()) {
+      commands += rec.commands;
+      last = std::max(last, rec.applied_at);
+    }
+    return std::pair<std::uint64_t, sim::Time>{commands, last};
+  };
+  const auto plain = run(0);
+  const auto compacted = run(5);
+  EXPECT_EQ(plain, compacted);
+}
+
+TEST(SmrCluster, LeaderCrashAndRejoinCatchesUpAndConverges) {
+  // p1 crashes mid-window, the cluster moves on under p2, and p1 rejoins
+  // much later with wiped state: it must install a peer snapshot, replay the
+  // retained suffix, and end bit-identical to the survivors — after which
+  // it is the lowest-id correct process and takes leadership back.
+  ClusterConfig c = smr_config(Algorithm::kFastPaxos, 3, 0, 24, 2, 4);
+  c.smr.snapshot_interval = 4;
+  c.faults.process_crashes[1] = 6;
+  c.faults.process_rejoins[1] = 400;
+  const RunReport r = harness::run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.processes[0].rejoined_at, 400u);
+  // Full convergence — the rejoined replica too, not just the survivors.
+  EXPECT_EQ(r.processes[0].log, r.processes[1].log);
+  EXPECT_EQ(r.processes[1].log, r.processes[2].log);
+  EXPECT_FALSE(r.processes[0].log.empty());
+  EXPECT_GT(r.snapshots_taken, 0u) << r.summary();
+  EXPECT_GE(r.snapshots_installed, 1u) << r.summary();
+  EXPECT_GT(r.slots_truncated, 0u) << r.summary();
+  EXPECT_GT(r.catchup_bytes, 0u) << r.summary();
+}
+
+TEST(SmrCluster, TwoReplicasRejoinFromDifferentSnapshotSlots) {
+  // Two crashes at different depths of the same run: each rejoiner catches
+  // up from whatever snapshot its serving peer holds at that moment — two
+  // different base slots — and both must still converge.
+  ClusterConfig c = smr_config(Algorithm::kFastPaxos, 5, 0, 20, 2, 4);
+  c.smr.snapshot_interval = 4;
+  c.faults.process_crashes[1] = 6;
+  c.faults.process_rejoins[1] = 300;
+  c.faults.process_crashes[2] = 40;
+  c.faults.process_rejoins[2] = 700;
+  const RunReport r = harness::run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  for (ProcessId p = 2; p <= 5; ++p) {
+    EXPECT_EQ(r.processes[0].log, r.processes[p - 1].log) << "p" << p;
+  }
+  EXPECT_GE(r.snapshots_installed, 2u) << r.summary();
+  EXPECT_GT(r.slots_truncated, 0u) << r.summary();
+}
+
+TEST(SmrCluster, RejoinConfigIsValidated) {
+  ClusterConfig c = smr_config(Algorithm::kFastPaxos, 3, 0, 8, 2, 4);
+  c.faults.process_crashes[1] = 6;
+  c.faults.process_rejoins[1] = 100;
+  // No snapshot cadence: peers would have nothing to serve.
+  EXPECT_THROW(harness::run_cluster(c), std::invalid_argument);
+  c.smr.snapshot_interval = 4;
+
+  ClusterConfig before_crash = c;
+  before_crash.faults.process_rejoins[1] = 4;  // rejoin precedes the crash
+  EXPECT_THROW(harness::run_cluster(before_crash), std::invalid_argument);
+
+  ClusterConfig no_crash = c;
+  no_crash.faults.process_crashes.clear();
+  EXPECT_THROW(harness::run_cluster(no_crash), std::invalid_argument);
+
+  ClusterConfig memory_engine = c;
+  memory_engine.algo = Algorithm::kDiskPaxos;
+  memory_engine.m = 3;
+  EXPECT_THROW(harness::run_cluster(memory_engine), std::invalid_argument);
+}
+
+TEST(SmrFaultPlan, CrashedByHorizonAccountsForRejoins) {
+  harness::FaultPlan plan;
+  plan.process_crashes[1] = 10;
+  plan.process_crashes[2] = 20;
+  EXPECT_EQ(plan.crashed_by_horizon(), 2u);
+  // p1 comes back: only p2 is still down at the horizon.
+  plan.process_rejoins[1] = 50;
+  EXPECT_EQ(plan.crashed_by_horizon(), 1u);
+  plan.process_rejoins[2] = 90;
+  EXPECT_EQ(plan.crashed_by_horizon(), 0u);
 }
 
 }  // namespace
