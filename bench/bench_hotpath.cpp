@@ -11,7 +11,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "src/kv/shard.hpp"
 #include "src/net/network.hpp"
 #include "src/sim/channel.hpp"
 #include "src/sim/executor.hpp"
@@ -130,6 +133,55 @@ void bm_buffer_share(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(bm_buffer_share);
+
+std::vector<util::Bytes> route_keys() {
+  std::vector<util::Bytes> keys;
+  keys.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    const std::string name = "key-" + std::to_string(i);
+    keys.emplace_back(name.begin(), name.end());
+  }
+  return keys;
+}
+
+/// Static hash routing: the pre-reconfig ShardMap modulo — the cost floor
+/// the versioned table is measured against.
+void bm_shard_map_route(benchmark::State& state) {
+  const kv::ShardMap map(static_cast<std::size_t>(state.range(0)));
+  const std::vector<util::Bytes> keys = route_keys();
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const util::Bytes& k : keys) sink += map.shard_of(k);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(bm_shard_map_route)->Arg(1)->Arg(8);
+
+/// Versioned-table routing (src/reconfig/): hash → bucket → owning group
+/// through a post-split bucket array, table taken by const reference — the
+/// kv::Router's per-op lookup in a reconfiguration run. The delta against
+/// bm_shard_map_route is the whole price of dynamic resharding on the hot
+/// path (one extra indexed load).
+void bm_shard_table_route(benchmark::State& state) {
+  // state.range(0) groups after three splits' worth of doubling: the bucket
+  // array is wider than the group count, as it is after live resharding.
+  kv::ShardTable table = kv::ShardTable::initial(
+      static_cast<std::size_t>(state.range(0)));
+  while (table.buckets.size() < 8 * table.groups) {
+    const std::size_t b = table.buckets.size();
+    table.buckets.resize(2 * b);
+    for (std::size_t i = 0; i < b; ++i) table.buckets[b + i] = table.buckets[i];
+  }
+  const std::vector<util::Bytes> keys = route_keys();
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const util::Bytes& k : keys) sink += kv::shard_of(table, k);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(bm_shard_table_route)->Arg(1)->Arg(8);
 
 void bm_bytes_copy(benchmark::State& state) {
   const util::Bytes payload(1024, 0x5C);

@@ -204,6 +204,46 @@ void bm_kv(benchmark::State& state, Algorithm algo, std::size_t n,
   }
 }
 
+/// During-migration guard: the same fleet and mix as the static rows, but
+/// the run doubles the shard count (a consensus-decided split with live key
+/// migration) mid-workload. ops_per_kdelay is the whole-run aggregate —
+/// seal/drain/install stalls included — so the baseline pins how much a
+/// live reshard is allowed to cost.
+void bm_kv_split(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  std::uint64_t completed = 0, keys_moved = 0, bounces = 0;
+  double ops_per_kdelay = 0.0;
+  sim::Time op_p999 = 0;
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, /*shards=*/1,
+                                /*clients=*/64, /*ops=*/8, kv::Mix::kA);
+    c.seed = seed++;
+    c.kv.dist = kv::KeyDist::kZipfian;
+    c.kv.reconfig.push_back({/*at=*/40, reconfig::ChangeKind::kSplit, 0, 1});
+    const RunReport r = run_cluster(c);
+    if (!r.agreement || !r.termination || r.reconfig_migrations != 1) {
+      state.SkipWithError("split run failed");
+      break;
+    }
+    completed += r.kv_ops;
+    ops_per_kdelay += r.kv_ops_per_kdelay;
+    keys_moved += r.reconfig_keys_moved;
+    bounces += r.reconfig_bounces;
+    op_p999 += r.kv_op_p999;
+    ++iters;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  if (iters > 0) {
+    const double d = static_cast<double>(iters);
+    state.counters["ops_per_kdelay"] = ops_per_kdelay / d;
+    state.counters["keys_moved"] = static_cast<double>(keys_moved) / d;
+    state.counters["bounces"] = static_cast<double>(bounces) / d;
+    state.counters["op_p999"] = static_cast<double>(op_p999) / d;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +285,11 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("kv/FastPaxos_s4_A_auto", bm_kv,
                                Algorithm::kFastPaxos, 3, 0, 4, 64, 8,
                                kv::Mix::kA, true)
+      ->Unit(benchmark::kMillisecond);
+  // During-migration row: a live 1→2 split (src/reconfig/) mid-workload.
+  // Compare against kv/FastPaxos_s1_C for what the reshard costs while it
+  // runs; bench_reconfig carries the full plan matrix.
+  benchmark::RegisterBenchmark("kv/FastPaxos_split_1to2_A", bm_kv_split)
       ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build the bench preset and run the benchmark suite.
 #
-# Five baseline-compared regression guards always run and write
+# Six baseline-compared regression guards always run and write
 # machine-readable JSON at the repo root (compare against the checked-in
 # baselines to detect regressions):
 #   * bench_smr_throughput — end-to-end consensus instances/sec per algorithm
@@ -17,14 +17,18 @@
 #     compaction and peer catch-up cost (the rejoin rows' cmds_per_kdelay
 #     matching the no-fault row is the recovery-doesn't-stall-survivors
 #     evidence) → BENCH_recovery.json
+#   * bench_reconfig       — live resharding under load: split/double/merge
+#     plans vs the static control row (ops_per_kdelay with the migration
+#     stall included, plus keys_moved/bounces counters)
+#     → BENCH_reconfig.json
 #
 # A full run (the default) additionally executes every other bench_* target
 # — the paper-experiment tables (resilience, delays, signatures, memory
 # faults, lower bound, non-equivocation, failover, aligned) — writing
 # google-benchmark JSON (where the target supports it) under build-bench/.
 #
-#   ./scripts/bench.sh            # full sweep: all twelve bench targets
-#   ./scripts/bench.sh --quick    # just the five baseline-compared guards
+#   ./scripts/bench.sh            # full sweep: all thirteen bench targets
+#   ./scripts/bench.sh --quick    # just the six baseline-compared guards
 #   git diff --stat BENCH_hotpath.json BENCH_smr_throughput.json \
 #                   BENCH_log_pipeline.json BENCH_kv.json BENCH_recovery.json
 #
@@ -67,6 +71,9 @@ MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 ./build-bench/bench_recovery \
   --benchmark_out=BENCH_recovery.json --benchmark_out_format=json \
   --benchmark_min_time="${MIN_TIME}"
+./build-bench/bench_reconfig \
+  --benchmark_out=BENCH_reconfig.json --benchmark_out_format=json \
+  --benchmark_min_time="${MIN_TIME}"
 
 if [[ "${QUICK}" -eq 0 ]]; then
   # bench_nonequiv is google-benchmark based like the guards above; the rest
@@ -82,4 +89,4 @@ if [[ "${QUICK}" -eq 0 ]]; then
   done
 fi
 
-echo "Wrote BENCH_smr_throughput.json, BENCH_hotpath.json, BENCH_log_pipeline.json, BENCH_kv.json and BENCH_recovery.json"
+echo "Wrote BENCH_smr_throughput.json, BENCH_hotpath.json, BENCH_log_pipeline.json, BENCH_kv.json, BENCH_recovery.json and BENCH_reconfig.json"

@@ -38,7 +38,9 @@ class SlotTransportHub {
   static constexpr Slot kDefaultMaxSlot = Slot{1} << 20;
 
   /// Reserved frame id for the control channel (catch-up requests and
-  /// responses between replicas). All-ones can never be a real slot — it is
+  /// responses between replicas, and the range-snapshot transfer frames of
+  /// live resharding — smr/catchup.hpp demuxes the kinds by leading tag
+  /// byte). All-ones can never be a real slot — it is
   /// far above every max_slot guard — so the demux routes it to a dedicated
   /// sub-transport without advancing the horizon: control traffic must not
   /// look like slot activity to the discovery loop.

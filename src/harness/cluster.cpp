@@ -27,6 +27,9 @@
 #include "src/kv/workload.hpp"
 #include "src/mem/memory.hpp"
 #include "src/net/network.hpp"
+#include "src/reconfig/migrator.hpp"
+#include "src/reconfig/table_machine.hpp"
+#include "src/reconfig/table_view.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/rng.hpp"
 #include "src/smr/replica.hpp"
@@ -90,6 +93,17 @@ std::string RunReport::summary() const {
        << " shard_ops=[";
     for (std::size_t i = 0; i < kv_shard_ops.size(); ++i) {
       os << (i > 0 ? "," : "") << kv_shard_ops[i];
+    }
+    os << "]";
+  }
+  if (reconfig_epoch > 0 || reconfig_proposals > 0) {
+    os << " epoch=" << reconfig_epoch
+       << " migrations=" << reconfig_migrations
+       << " keys_moved=" << reconfig_keys_moved
+       << " bounces=" << reconfig_bounces
+       << " proposals=" << reconfig_proposals << " flips=[";
+    for (std::size_t i = 0; i < reconfig_flip_times.size(); ++i) {
+      os << (i > 0 ? "," : "") << reconfig_flip_times[i];
     }
     os << "]";
   }
@@ -334,6 +348,21 @@ struct World {
   std::unique_ptr<kv::Router> kv_router;
   std::unique_ptr<kv::Workload> kv_workload;
 
+  // Reconfiguration (kv.reconfig non-empty): the config group's objects
+  // (index p - 1; Byzantine processes hold no replica), the cluster-level
+  // table view and the migration driver. Destroyed migrator → view →
+  // replicas → machines → engines by reverse declaration order.
+  bool reconfig = false;
+  bool reconfig_plan_done = false;
+  kv::ShardTable initial_table;
+  smr::ReplicaConfig cfg_rc;
+  std::vector<std::unique_ptr<core::ConsensusEngine>> cfg_engines;
+  std::vector<std::unique_ptr<reconfig::TableMachine>> cfg_machines;
+  std::vector<std::unique_ptr<smr::Replica>> cfg_replicas;
+  std::unique_ptr<reconfig::TableView> table_view;
+  std::unique_ptr<reconfig::Migrator> migrator;
+  std::vector<sim::Time> reconfig_flips;  // accepted-epoch arrival times
+
   // Crash-and-rejoin graveyard: a crashed incarnation's objects are parked
   // here when the process rebuilds, because coroutine frames owned by the
   // executor still reference them — they must outlive the run (the executor
@@ -345,6 +374,7 @@ struct World {
   std::vector<std::unique_ptr<core::ConsensusEngine>> retired_engines;
   std::vector<std::unique_ptr<RecordingSm>> retired_recording_sms;
   std::vector<std::unique_ptr<kv::StateMachine>> retired_kv_machines;
+  std::vector<std::unique_ptr<reconfig::TableMachine>> retired_table_machines;
   std::vector<std::unique_ptr<smr::Replica>> retired_replicas;
 
   // Region ids + name prefixes used by Byzantine strategies (SMR mode
@@ -543,9 +573,12 @@ void rejoin_smr_process(World& w, const smr::ReplicaConfig& rc, ProcessId p) {
   w.omega->poke();
 }
 
+reconfig::TableMachine::TableSink table_sink_for(World& w);
+
 /// KV-mode twin of rejoin_smr_process: one fresh engine + machine + replica
-/// per shard over a rebuilt base transport/mux, rebound into the router so
-/// client replies flow from the new incarnation.
+/// per shard (plus the config group, under reconfiguration) over a rebuilt
+/// base transport/mux, rebound into the router so client replies flow from
+/// the new incarnation.
 void rejoin_kv_process(World& w, const smr::ReplicaConfig& rc, ProcessId p) {
   const std::size_t shards = w.kv_engines.size();
   for (std::size_t g = 0; g < shards; ++g) {
@@ -554,11 +587,20 @@ void rejoin_kv_process(World& w, const smr::ReplicaConfig& rc, ProcessId p) {
     }
     w.kv_router->rebind(g, p, nullptr, nullptr);
   }
+  if (w.reconfig) {
+    if (w.cfg_replicas[p - 1] != nullptr) w.cfg_replicas[p - 1]->log().halt();
+    w.migrator->rebind_config(p, nullptr);
+  }
   w.transports[p - 1]->sever();
   for (std::size_t g = 0; g < shards; ++g) {
     w.retired_replicas.push_back(std::move(w.kv_replicas[g][p - 1]));
     w.retired_kv_machines.push_back(std::move(w.kv_machines[g][p - 1]));
     w.retired_engines.push_back(std::move(w.kv_engines[g][p - 1]));
+  }
+  if (w.reconfig) {
+    w.retired_replicas.push_back(std::move(w.cfg_replicas[p - 1]));
+    w.retired_table_machines.push_back(std::move(w.cfg_machines[p - 1]));
+    w.retired_engines.push_back(std::move(w.cfg_engines[p - 1]));
   }
   w.retired_muxes.push_back(std::move(w.muxes[p - 1]));
   w.retired_transports.push_back(std::move(w.transports[p - 1]));
@@ -579,9 +621,32 @@ void rejoin_kv_process(World& w, const smr::ReplicaConfig& rc, ProcessId p) {
     w.kv_engines[g][p - 1] = std::make_unique<core::PaxosEngine>(
         w.exec, w.muxes[p - 1]->sub(tag), *w.omega, pc);
     w.kv_machines[g][p - 1] = std::make_unique<kv::StateMachine>();
+    if (w.reconfig) {
+      // The fresh machine starts partitioned at the *initial* table: a
+      // peer's snapshot (or the replayed admin ops, when no snapshot was
+      // cut yet) carries it to the current epoch's ownership.
+      w.kv_machines[g][p - 1]->configure_partition(
+          static_cast<std::uint32_t>(g), w.initial_table);
+    }
     w.kv_replicas[g][p - 1] = std::make_unique<smr::Replica>(
         w.exec, *w.kv_engines[g][p - 1], *w.omega, *w.kv_machines[g][p - 1],
         rejoin_rc);
+  }
+  if (w.reconfig) {
+    const std::uint8_t cfg_tag = static_cast<std::uint8_t>(shards);
+    w.cfg_engines[p - 1] = std::make_unique<core::PaxosEngine>(
+        w.exec, w.muxes[p - 1]->sub(cfg_tag), *w.omega, pc);
+    w.cfg_machines[p - 1] =
+        std::make_unique<reconfig::TableMachine>(w.initial_table);
+    // The sink re-attaches: replayed old epochs are dropped by the view,
+    // so a rejoiner into a post-split world installs the table without
+    // re-announcing flips.
+    w.cfg_machines[p - 1]->set_table_sink(table_sink_for(w));
+    smr::ReplicaConfig cfg_rejoin_rc = w.cfg_rc;
+    cfg_rejoin_rc.log.recover = true;
+    w.cfg_replicas[p - 1] = std::make_unique<smr::Replica>(
+        w.exec, *w.cfg_engines[p - 1], *w.omega, *w.cfg_machines[p - 1],
+        cfg_rejoin_rc);
   }
   w.muxes[p - 1]->start();
   for (std::size_t g = 0; g < shards; ++g) {
@@ -589,6 +654,11 @@ void rejoin_kv_process(World& w, const smr::ReplicaConfig& rc, ProcessId p) {
     w.kv_replicas[g][p - 1]->start();
     w.kv_router->rebind(g, p, w.kv_replicas[g][p - 1].get(),
                         w.kv_machines[g][p - 1].get());
+  }
+  if (w.reconfig) {
+    w.cfg_engines[p - 1]->start();
+    w.cfg_replicas[p - 1]->start();
+    w.migrator->rebind_config(p, w.cfg_replicas[p - 1].get());
   }
   w.omega->poke();
 }
@@ -924,14 +994,17 @@ RunReport run_smr(World& w, const ClusterConfig& config) {
 // clients.
 // ---------------------------------------------------------------------------
 
-/// Build shard `g`'s engine for every process. Message engines run over the
-/// per-process mux's sub-transport for tag g; memory engines get a per-shard
-/// SlotRegions pool whose names live under kv::shard_ns(g, ...).
-void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
+/// Build one consensus group's engine for every process: message engines
+/// run over the per-process mux's sub-transport for `tag`; memory engines
+/// get a SlotRegions pool whose names live under `ns(base)`. Data shards
+/// and the reconfiguration config group differ only in tag and namespace.
+/// `byz_target` points the Byzantine region attacks at this group's slot 0.
+void build_kv_group(World& w, const ClusterConfig& config, std::uint8_t tag,
+                    const std::function<std::string(const char*)>& ns,
+                    std::vector<std::unique_ptr<core::ConsensusEngine>>& engines,
+                    bool byz_target) {
   const std::size_t n = config.n;
   const std::size_t fP = n > 0 ? (n - 1) / 2 : 0;
-  const std::uint8_t tag = static_cast<std::uint8_t>(g);
-  auto& engines = w.kv_engines[g];
 
   switch (config.algo) {
     case Algorithm::kPaxos:
@@ -948,7 +1021,7 @@ void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
 
     case Algorithm::kDiskPaxos: {
       auto pool = std::make_shared<core::SlotRegions<RegionId>>(
-          [wp = &w, n, prefix = kv::shard_ns(g, "dp")](Slot s) {
+          [wp = &w, n, prefix = ns("dp")](Slot s) {
             RegionId region = 0;
             wp->for_each_backing([&](auto& m) {
               region = core::make_disk_region(m, n,
@@ -961,7 +1034,7 @@ void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
       for (ProcessId p : all_processes(n)) {
         engines.push_back(std::make_unique<core::DiskPaxosEngine>(
             w.exec, w.view_ptrs[p - 1], w.muxes[p - 1]->sub(tag), *w.omega,
-            pool, dc, kv::shard_ns(g, "dp")));
+            pool, dc, ns("dp")));
       }
       break;
     }
@@ -969,7 +1042,7 @@ void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
     case Algorithm::kProtectedMemoryPaxos:
     case Algorithm::kAlignedPaxos: {
       auto pool = std::make_shared<core::SlotRegions<RegionId>>(
-          [wp = &w, n, prefix = kv::shard_ns(g, "pmp")](Slot s) {
+          [wp = &w, n, prefix = ns("pmp")](Slot s) {
             RegionId region = 0;
             wp->for_each_backing([&](auto& m) {
               region = core::make_pmp_region(m, n, kLeaderP1,
@@ -983,21 +1056,21 @@ void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
           ac.n = n;
           engines.push_back(std::make_unique<core::AlignedEngine>(
               w.exec, w.view_ptrs[p - 1], w.muxes[p - 1]->sub(tag), *w.omega,
-              pool, ac, kv::shard_ns(g, "pmp")));
+              pool, ac, ns("pmp")));
         } else {
           core::PmpConfig pc;
           pc.n = n;
           engines.push_back(std::make_unique<core::PmpEngine>(
               w.exec, w.view_ptrs[p - 1], w.muxes[p - 1]->sub(tag), *w.omega,
-              pool, pc, kv::shard_ns(g, "pmp")));
+              pool, pc, ns("pmp")));
         }
       }
       break;
     }
 
     case Algorithm::kFastRobust: {
-      const std::string cq_prefix = kv::shard_ns(g, "cq");
-      const std::string neb_prefix = kv::shard_ns(g, "neb");
+      const std::string cq_prefix = ns("cq");
+      const std::string neb_prefix = ns("neb");
       auto pool = std::make_shared<core::SlotRegions<core::FastRobustSlotRegions>>(
           [wp = &w, n, cq_prefix, neb_prefix](Slot s) {
             core::FastRobustSlotRegions out;
@@ -1009,7 +1082,7 @@ void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
             });
             return out;
           });
-      if (g == 0) {
+      if (byz_target) {
         // Byzantine region attacks target the first shard's first slot.
         w.neb_prefix = core::slot_ns(0, neb_prefix);
         w.cq_prefix = core::slot_ns(0, cq_prefix);
@@ -1044,14 +1117,57 @@ void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
   }
 }
 
+/// Build data shard `g` (mux tag g, "g<g>/" region namespace).
+void build_kv_shard(World& w, const ClusterConfig& config, std::size_t g) {
+  build_kv_group(
+      w, config, static_cast<std::uint8_t>(g),
+      [g](const char* base) { return kv::shard_ns(g, base); },
+      w.kv_engines[g], /*byz_target=*/g == 0);
+}
+
+/// The table sink every config-group machine gets: offer to the cluster
+/// view (first replica to apply an epoch wins) and record the accepted
+/// flip's virtual time for the report fingerprint.
+reconfig::TableMachine::TableSink table_sink_for(World& w) {
+  return [&w](const kv::ShardTable& t, const reconfig::ConfigChange& c) {
+    const std::uint64_t before = w.table_view->epoch();
+    w.table_view->offer(t, c);
+    if (w.table_view->epoch() != before) {
+      w.reconfig_flips.push_back(w.exec.now());
+    }
+  };
+}
+
+/// Drive the scheduled reconfiguration plan, serially: each action waits
+/// for its time, then proposes and fully migrates before the next starts.
+sim::Task<void> run_reconfig_plan(World* w, std::vector<ReconfigAction> plan) {
+  for (const ReconfigAction& a : plan) {
+    if (w->exec.now() < a.at) co_await w->exec.sleep(a.at - w->exec.now());
+    (void)co_await w->migrator->run_change(a.kind, a.src, a.dst);
+  }
+  w->reconfig_plan_done = true;
+}
+
 RunReport run_kv(World& w, const ClusterConfig& config) {
   const std::size_t n = config.n;
   const auto all = all_processes(n);
   const std::size_t shards = std::max<std::size_t>(1, config.kv.shards);
-  if (shards > 256) {
-    throw std::invalid_argument("KV mode: at most 256 shards (1-byte mux tag)");
-  }
   const bool fan_out = (config.algo == Algorithm::kFastRobust);
+  const bool reconfig = !config.kv.reconfig.empty();
+  // Under reconfiguration, build every group any scheduled change can
+  // activate: split targets exist (idle) from the start, plus one extra
+  // consensus group — the config group — on the next mux tag.
+  std::size_t groups = shards;
+  for (const ReconfigAction& a : config.kv.reconfig) {
+    groups = std::max<std::size_t>(
+        groups, std::max<std::size_t>(a.src, a.dst) + 1);
+  }
+  if (groups + (reconfig ? 1 : 0) > 256) {
+    throw std::invalid_argument("KV mode: at most 256 groups (1-byte mux tag)");
+  }
+  if (reconfig && groups > kv::kMaxTableGroups) {
+    throw std::invalid_argument("KV mode: reconfig plan exceeds group cap");
+  }
   check_rejoin_support(config, config.kv.snapshot_interval,
                        "kv.snapshot_interval");
 
@@ -1063,10 +1179,20 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
         std::make_unique<core::TransportMux>(w.exec, *w.transports.back()));
   }
 
-  w.kv_engines.resize(shards);
-  w.kv_machines.resize(shards);
-  w.kv_replicas.resize(shards);
-  for (std::size_t g = 0; g < shards; ++g) build_kv_shard(w, config, g);
+  w.kv_engines.resize(groups);
+  w.kv_machines.resize(groups);
+  w.kv_replicas.resize(groups);
+  for (std::size_t g = 0; g < groups; ++g) build_kv_shard(w, config, g);
+  if (reconfig) {
+    w.reconfig = true;
+    w.initial_table = kv::ShardTable::initial(shards);
+    w.table_view =
+        std::make_unique<reconfig::TableView>(w.exec, w.initial_table);
+    build_kv_group(
+        w, config, static_cast<std::uint8_t>(groups),
+        [](const char* base) { return kv::config_ns(base); }, w.cfg_engines,
+        /*byz_target=*/false);
+  }
 
   // Replicas: one per (shard, correct process); Byzantine processes run none.
   smr::ReplicaConfig rc;
@@ -1077,6 +1203,10 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   rc.tune.enabled = config.kv.auto_tune;  // Replica forces off if fan_out
   rc.tune.max_window = config.kv.max_window;
   rc.tune.max_batch = config.kv.max_batch;
+  // Reconfiguration runs serve range-snapshot drains over the control
+  // channel; static runs keep the flag off so their event traces are
+  // byte-identical to before the subsystem existed.
+  rc.log.serve_ranges = reconfig;
   if (fan_out) {
     // The workload is dynamic (client-driven), so there is no slot target to
     // fill with no-ops: replicas wait for fanned-out payloads — which land
@@ -1085,9 +1215,13 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
     rc.log.fixed_slots = Slot{1} << 20;
     rc.log.noop_fillers = false;
   }
-  for (std::size_t g = 0; g < shards; ++g) {
+  for (std::size_t g = 0; g < groups; ++g) {
     for (ProcessId p : all) {
       w.kv_machines[g].push_back(std::make_unique<kv::StateMachine>());
+      if (reconfig) {
+        w.kv_machines[g].back()->configure_partition(
+            static_cast<std::uint32_t>(g), w.initial_table);
+      }
       if (config.faults.is_byzantine(p)) {
         w.kv_replicas[g].push_back(nullptr);
         continue;
@@ -1097,10 +1231,31 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
           rc));
     }
   }
+  if (reconfig) {
+    // Config group: one TableMachine replica per correct process. Config
+    // changes are rare and tiny — batch of 1, no range serving, but the
+    // same snapshot cadence so rejoiners can catch up the table history.
+    w.cfg_rc = rc;
+    w.cfg_rc.batch = 1;
+    w.cfg_rc.log.serve_ranges = false;
+    w.cfg_rc.tune.enabled = false;
+    for (ProcessId p : all) {
+      w.cfg_machines.push_back(
+          std::make_unique<reconfig::TableMachine>(w.initial_table));
+      w.cfg_machines.back()->set_table_sink(table_sink_for(w));
+      if (config.faults.is_byzantine(p)) {
+        w.cfg_replicas.push_back(nullptr);
+        continue;
+      }
+      w.cfg_replicas.push_back(std::make_unique<smr::Replica>(
+          w.exec, *w.cfg_engines[p - 1], *w.omega, *w.cfg_machines.back(),
+          w.cfg_rc));
+    }
+  }
 
   // Router + workload over every shard's replica group.
-  std::vector<kv::ShardBackend> backends(shards);
-  for (std::size_t g = 0; g < shards; ++g) {
+  std::vector<kv::ShardBackend> backends(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
     backends[g].fan_out = fan_out;
     for (ProcessId p : all) {
       backends[g].replicas.push_back(w.kv_replicas[g][p - 1].get());
@@ -1112,9 +1267,16 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   kv::RouterConfig router_cfg;
   router_cfg.retry_timeout = config.kv.retry_timeout;
   router_cfg.adaptive_retry = config.kv.adaptive_retry;
-  w.kv_router = std::make_unique<kv::Router>(w.exec, *w.omega,
-                                             kv::ShardMap(shards),
-                                             std::move(backends), router_cfg);
+  w.kv_router = std::make_unique<kv::Router>(
+      w.exec, *w.omega, kv::ShardMap(shards), std::move(backends), router_cfg,
+      w.table_view.get());
+  if (reconfig) {
+    std::vector<smr::Replica*> cfg_backend;
+    for (ProcessId p : all) cfg_backend.push_back(w.cfg_replicas[p - 1].get());
+    w.migrator = std::make_unique<reconfig::Migrator>(
+        w.exec, *w.omega, *w.table_view, std::move(cfg_backend), fan_out,
+        *w.kv_router);
+  }
   kv::WorkloadConfig wc;
   wc.clients = config.kv.clients;
   wc.ops_per_client = config.kv.ops_per_client;
@@ -1125,14 +1287,22 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   w.kv_workload = std::make_unique<kv::Workload>(w.exec, *w.kv_router, wc);
 
   for (ProcessId p : all) w.muxes[p - 1]->start();
-  for (std::size_t g = 0; g < shards; ++g) {
+  for (std::size_t g = 0; g < groups; ++g) {
     for (ProcessId p : all) {
       if (config.faults.is_byzantine(p)) continue;
       w.kv_engines[g][p - 1]->start();
       w.kv_replicas[g][p - 1]->start();
     }
   }
+  if (reconfig) {
+    for (ProcessId p : all) {
+      if (config.faults.is_byzantine(p)) continue;
+      w.cfg_engines[p - 1]->start();
+      w.cfg_replicas[p - 1]->start();
+    }
+  }
   w.kv_workload->start();
+  if (reconfig) w.exec.spawn(run_reconfig_plan(&w, config.kv.reconfig));
   spawn_byzantine(w, config);
 
   // Crash-and-rejoin: rebuild every shard replica of a rejoining process at
@@ -1145,12 +1315,13 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
 
   // ---- Run to quiescence: every client answered, every shard converged
   // (no queued duplicates left, all correct replicas at one log length). ----
-  const auto shard_settled = [&](std::size_t g) -> bool {
+  const auto group_settled =
+      [&](const std::vector<std::unique_ptr<smr::Replica>>& reps) -> bool {
     Slot len = 0;
     bool have_len = false;
     for (ProcessId p : all) {
       if (!w.correct(p)) continue;
-      const smr::Replica& r = *w.kv_replicas[g][p - 1];
+      const smr::Replica& r = *reps[p - 1];
       if (fan_out) {
         if (!r.idle()) return false;
       }
@@ -1164,15 +1335,19 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
     if (!fan_out) {
       const ProcessId leader = w.omega->leader();
       if (leader < 1 || leader > n || !w.correct(leader)) return false;
-      if (!w.kv_replicas[g][leader - 1]->idle()) return false;
+      if (!reps[leader - 1]->idle()) return false;
     }
     return true;
   };
   const auto done = [&]() -> bool {
     if (!w.kv_workload->done()) return false;
-    for (std::size_t g = 0; g < shards; ++g) {
-      if (!shard_settled(g)) return false;
+    if (reconfig && (!w.reconfig_plan_done || !w.migrator->idle())) {
+      return false;
     }
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (!group_settled(w.kv_replicas[g])) return false;
+    }
+    if (reconfig && !group_settled(w.cfg_replicas)) return false;
     return true;
   };
   w.exec.run_until(done, config.horizon);
@@ -1203,7 +1378,7 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   std::uint64_t tuner_best_obs = 0;  // the busiest tuner = a leader's
   std::uint64_t combined_hash = 0xCBF29CE484222325ULL;
   std::uint64_t effective_total = 0;
-  for (std::size_t g = 0; g < shards; ++g) {
+  for (std::size_t g = 0; g < groups; ++g) {
     const kv::StateMachine* reference = nullptr;
     const smr::Replica* ref_replica = nullptr;
     bool ref_rejoined = false;
@@ -1276,10 +1451,42 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
       }
     }
   }
+  // Config group rollup + agreement: every correct replica must hold the
+  // same table history (state_hash covers table + accept/reject counters);
+  // the fingerprint folds it in so reconfig determinism pins the config
+  // log too. Static runs have no config group — their hash is unchanged.
+  if (reconfig) {
+    const reconfig::TableMachine* cfg_ref = nullptr;
+    for (ProcessId p : all) {
+      if (!w.correct(p)) continue;
+      const reconfig::TableMachine& tm = *w.cfg_machines[p - 1];
+      if (cfg_ref == nullptr) {
+        cfg_ref = &tm;
+      } else if (tm.state_hash() != cfg_ref->state_hash()) {
+        report.agreement = false;
+      }
+      if (tm.malformed() != 0) report.validity = false;
+    }
+    if (cfg_ref != nullptr) {
+      const std::uint64_t h = cfg_ref->state_hash();
+      for (int i = 0; i < 8; ++i) {
+        combined_hash ^= static_cast<std::uint8_t>(h >> (i * 8));
+        combined_hash *= 0x100000001B3ULL;
+      }
+    }
+    report.reconfig_epoch = w.table_view->epoch();
+    report.reconfig_migrations = w.migrator->migrations();
+    report.reconfig_keys_moved = w.migrator->keys_moved();
+    report.reconfig_proposals = w.migrator->proposals();
+    report.reconfig_bounces = w.kv_router->bounces();
+    report.reconfig_flip_times = w.reconfig_flips;
+  }
   report.kv_store_hash = combined_hash;
   // Exactly-once, globally: every completed client op applied its mutation
   // exactly once, on exactly one shard (only checkable once everything
-  // settled — a cut-short run legitimately has uncommitted tails).
+  // settled — a cut-short run legitimately has uncommitted tails). Admin
+  // (seal/install/purge) applies count separately, so this rollup holds
+  // across epoch flips and live migrations too.
   if (report.termination && effective_total != ws.ops) {
     report.validity = false;
   }
@@ -1304,7 +1511,7 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
       std::ostringstream os;
       sim::Time last_apply = 0;
       bool any = false;
-      for (std::size_t g = 0; g < shards; ++g) {
+      for (std::size_t g = 0; g < groups; ++g) {
         const smr::Replica* replica = w.kv_replicas[g][p - 1].get();
         if (replica == nullptr) continue;
         const smr::RunStats stats = replica->stats();
@@ -1313,6 +1520,12 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
         os << (g > 0 ? "|" : "") << "g" << g << ":slots="
            << stats.slots_applied << ",h=" << std::hex
            << w.kv_machines[g][p - 1]->store_hash() << std::dec;
+      }
+      if (reconfig && w.cfg_replicas[p - 1] != nullptr) {
+        const smr::RunStats stats = w.cfg_replicas[p - 1]->stats();
+        last_apply = std::max(last_apply, stats.last_apply_at);
+        os << "|cfg:slots=" << stats.slots_applied << ",h=" << std::hex
+           << w.cfg_machines[p - 1]->state_hash() << std::dec;
       }
       row.decided = any;
       row.decided_at = last_apply;
@@ -1341,6 +1554,11 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
                         static_cast<const core::FastRobustEngine&>(*engine)
                             .tsend_stats());
       }
+    }
+    for (const auto& engine : w.cfg_engines) {
+      add_tsend_stats(report,
+                      static_cast<const core::FastRobustEngine&>(*engine)
+                          .tsend_stats());
     }
     finish_tsend_stats(report);
   }

@@ -24,6 +24,7 @@
 
 #include "src/common.hpp"
 #include "src/kv/workload.hpp"
+#include "src/reconfig/change.hpp"
 #include "src/sim/time.hpp"
 
 namespace mnm::harness {
@@ -112,6 +113,17 @@ struct SmrConfig {
 /// clients through it. Fault plans apply exactly as in the other modes
 /// (Byzantine region attacks target shard 0 / slot 0); the run checks
 /// per-shard store/session agreement, session validity, and termination.
+/// One scheduled reconfiguration step (KV mode): at time `at`, propose
+/// (kind, src, dst) into the config group and migrate the moved buckets.
+/// Steps run serially in vector order — a step whose time has passed when
+/// the previous migration finishes starts immediately.
+struct ReconfigAction {
+  sim::Time at = 0;
+  reconfig::ChangeKind kind = reconfig::ChangeKind::kSplit;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
 struct KvConfig {
   bool enabled = false;
   std::size_t shards = 2;
@@ -135,6 +147,15 @@ struct KvConfig {
   std::size_t max_batch = 8;
   /// Per-shard snapshot + log compaction cadence (see SmrConfig).
   Slot snapshot_interval = 0;
+  /// Live reconfiguration plan (src/reconfig/). Non-empty ⇒ routing runs
+  /// off a consensus-decided kv::ShardTable (epoch 0 = `shards` groups of
+  /// ShardTable::initial), a dedicated config group (one extra consensus
+  /// group on the next mux tag, "cfg/" region namespace) decides the
+  /// scheduled changes, and a reconfig::Migrator live-migrates the moved
+  /// buckets while the workload keeps running. Backends are built for
+  /// every group any action activates, so split targets exist (idle) from
+  /// the start. Empty ⇒ static sharding, byte-for-byte as before.
+  std::vector<ReconfigAction> reconfig;
 };
 
 struct ClusterConfig {
@@ -270,6 +291,18 @@ struct RunReport {
   sim::Time kv_op_p50 = 0;
   sim::Time kv_op_p99 = 0;
   sim::Time kv_op_p999 = 0;
+
+  // Reconfiguration (kv.reconfig non-empty; all zero otherwise).
+  std::uint64_t reconfig_epoch = 0;       // final decided table epoch
+  std::uint64_t reconfig_migrations = 0;  // changes fully migrated
+  std::uint64_t reconfig_keys_moved = 0;  // pairs carried by INSTALLs
+  std::uint64_t reconfig_proposals = 0;   // ConfigChange submissions
+  /// kWrongEpoch bounces the router re-routed (each a client op that hit a
+  /// sealed or moved bucket and still applied exactly once).
+  std::uint64_t reconfig_bounces = 0;
+  /// Virtual time each epoch flip reached the cluster view, epoch order —
+  /// part of the reconfiguration determinism fingerprint.
+  std::vector<sim::Time> reconfig_flip_times;
 
   std::string summary() const;
 };

@@ -8,6 +8,9 @@ const char* op_name(Op op) {
     case Op::kPut: return "PUT";
     case Op::kDel: return "DEL";
     case Op::kCas: return "CAS";
+    case Op::kSeal: return "SEAL";
+    case Op::kInstall: return "INSTALL";
+    case Op::kPurge: return "PURGE";
   }
   return "?";
 }
@@ -30,7 +33,7 @@ std::optional<Command> decode_command(util::ByteView raw) {
     Command c;
     const std::uint8_t op = r.u8();
     if (op < static_cast<std::uint8_t>(Op::kGet) ||
-        op > static_cast<std::uint8_t>(Op::kCas)) {
+        op > static_cast<std::uint8_t>(Op::kPurge)) {
       return std::nullopt;
     }
     c.op = static_cast<Op>(op);

@@ -32,9 +32,21 @@ enum class Op : std::uint8_t {
   kPut = 2,  // write key := value
   kDel = 3,  // remove key
   kCas = 4,  // compare-and-swap: key := value iff current == expected
+
+  // Reconfiguration admin operations (src/reconfig/): issued by the
+  // Migrator through its own router session — same exactly-once machinery
+  // as client ops — with the payload in `value` (a RangeSpec or
+  // RangeSnapshot encoding, see src/kv/range.hpp) and an empty key. They
+  // mutate the machine's ownership state, not the store's client-visible
+  // counters.
+  kSeal = 5,     // stop serving the listed buckets (ops on them bounce)
+  kInstall = 6,  // import a drained range snapshot and open its buckets
+  kPurge = 7,    // drop sealed-away pairs after the destination installed
 };
 
 const char* op_name(Op op);
+
+inline bool is_admin(Op op) { return op >= Op::kSeal && op <= Op::kPurge; }
 
 struct Command {
   Op op = Op::kGet;
@@ -52,6 +64,10 @@ enum class Status : std::uint8_t {
   kOk = 1,
   kNotFound = 2,     // GET/DEL of an absent key
   kCasMismatch = 3,  // CAS whose expectation failed
+  kWrongEpoch = 4,   // key's bucket is sealed here (or not owned yet): the
+                     // client must refetch the shard table and retry — the
+                     // reply is NOT recorded in the session, so the retried
+                     // seq still applies exactly once at the new owner
 };
 
 /// What a committed operation returned. Cached per session by

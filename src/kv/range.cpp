@@ -1,0 +1,162 @@
+#include "src/kv/range.hpp"
+
+#include <algorithm>
+
+#include "src/util/serde.hpp"
+
+namespace mnm::kv {
+
+namespace {
+
+inline std::uint64_t fnv1a(std::uint64_t h, util::ByteView bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (i * 8));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool valid_spec(const RangeSpec& spec) {
+  if (spec.table_buckets == 0 || spec.table_buckets > kMaxTableBuckets) {
+    return false;
+  }
+  if (spec.buckets.empty() || spec.buckets.size() > spec.table_buckets) {
+    return false;
+  }
+  for (std::size_t i = 0; i < spec.buckets.size(); ++i) {
+    if (spec.buckets[i] >= spec.table_buckets) return false;
+    if (i > 0 && spec.buckets[i] <= spec.buckets[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes encode_range_spec(const RangeSpec& spec) {
+  util::Writer w(8 + 4 + 4 + 4 * spec.buckets.size());
+  w.u64(spec.epoch).u32(spec.table_buckets).u32(
+      static_cast<std::uint32_t>(spec.buckets.size()));
+  for (const std::uint32_t b : spec.buckets) w.u32(b);
+  return std::move(w).take();
+}
+
+std::optional<RangeSpec> decode_range_spec(util::ByteView raw) {
+  try {
+    util::Reader r(raw);
+    RangeSpec spec;
+    spec.epoch = r.u64();
+    spec.table_buckets = r.u32();
+    const std::uint32_t count = r.u32();
+    if (count == 0 || count > kMaxTableBuckets) return std::nullopt;
+    // Peer-controlled count: bound the pre-size by the bytes present.
+    spec.buckets.reserve(std::min<std::size_t>(count, r.remaining() / 4));
+    for (std::uint32_t i = 0; i < count; ++i) spec.buckets.push_back(r.u32());
+    r.expect_end();
+    if (!valid_spec(spec)) return std::nullopt;
+    return spec;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::uint64_t range_snapshot_digest(const RangeSnapshot& snap) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv1a_u64(h, snap.spec.epoch);
+  h = fnv1a_u64(h, snap.spec.table_buckets);
+  for (const std::uint32_t b : snap.spec.buckets) h = fnv1a_u64(h, b);
+  h = fnv1a_u64(h, snap.pairs.size());
+  for (const auto& [k, v] : snap.pairs) {
+    h = fnv1a(h, k);
+    h = fnv1a(h, v);
+  }
+  h = fnv1a_u64(h, snap.sessions.size());
+  for (const SessionRecord& s : snap.sessions) {
+    h = fnv1a_u64(h, s.client);
+    h = fnv1a_u64(h, s.last_seq);
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(s.reply.status));
+    h = fnv1a(h, s.reply.value);
+  }
+  return h;
+}
+
+Bytes encode_range_snapshot(const RangeSnapshot& snap) {
+  const Bytes spec = encode_range_spec(snap.spec);
+  std::size_t payload = 4 + spec.size() + 4 + 4;
+  for (const auto& [k, v] : snap.pairs) payload += 8 + k.size() + v.size();
+  for (const SessionRecord& s : snap.sessions) {
+    payload += 8 + 8 + 1 + 4 + s.reply.value.size();
+  }
+  util::Writer w(payload + 8);
+  w.bytes(spec);
+  w.u32(static_cast<std::uint32_t>(snap.pairs.size()));
+  for (const auto& [k, v] : snap.pairs) w.bytes(k).bytes(v);
+  w.u32(static_cast<std::uint32_t>(snap.sessions.size()));
+  for (const SessionRecord& s : snap.sessions) {
+    w.u64(s.client)
+        .u64(s.last_seq)
+        .u8(static_cast<std::uint8_t>(s.reply.status))
+        .bytes(s.reply.value);
+  }
+  w.u64(range_snapshot_digest(snap));
+  return std::move(w).take();
+}
+
+std::optional<RangeSnapshot> decode_range_snapshot(util::ByteView raw) {
+  RangeSnapshot snap;
+  std::uint64_t claimed = 0;
+  try {
+    util::Reader r(raw);
+    const Bytes spec_bytes = r.bytes();
+    const std::optional<RangeSpec> spec = decode_range_spec(spec_bytes);
+    if (!spec.has_value()) return std::nullopt;
+    snap.spec = *spec;
+    const std::uint32_t npairs = r.u32();
+    // Every pair costs at least its two 4-byte length prefixes.
+    snap.pairs.reserve(std::min<std::size_t>(npairs, r.remaining() / 8));
+    for (std::uint32_t i = 0; i < npairs; ++i) {
+      Bytes k = r.bytes();
+      Bytes v = r.bytes();
+      // Store (map) order is canonical: out-of-order or duplicate keys mean
+      // the bytes were not produced by an honest export.
+      if (i > 0 && k <= snap.pairs.back().first) return std::nullopt;
+      snap.pairs.emplace_back(std::move(k), std::move(v));
+    }
+    const std::uint32_t nsessions = r.u32();
+    snap.sessions.reserve(
+        std::min<std::size_t>(nsessions, r.remaining() / 21));
+    for (std::uint32_t i = 0; i < nsessions; ++i) {
+      SessionRecord s;
+      s.client = r.u64();
+      s.last_seq = r.u64();
+      const std::uint8_t status = r.u8();
+      if (status < static_cast<std::uint8_t>(Status::kOk) ||
+          status > static_cast<std::uint8_t>(Status::kWrongEpoch)) {
+        return std::nullopt;
+      }
+      s.reply.status = static_cast<Status>(status);
+      s.reply.value = r.bytes();
+      if (i > 0 && s.client <= snap.sessions.back().client) {
+        return std::nullopt;
+      }
+      snap.sessions.push_back(std::move(s));
+    }
+    claimed = r.u64();
+    r.expect_end();
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+  // Recompute the digest over the decoded state: a corrupted or forged
+  // drain fails closed here, before any import.
+  if (range_snapshot_digest(snap) != claimed) return std::nullopt;
+  return snap;
+}
+
+}  // namespace mnm::kv

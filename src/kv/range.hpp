@@ -1,0 +1,79 @@
+// Range migration codec — the payloads behind the reconfiguration admin
+// operations (Op::kSeal / kInstall / kPurge) and the control-channel drain.
+//
+//  * RangeSpec names a set of hash buckets at a config epoch, against a
+//    stated table size: the seal and purge payloads, and the range-snapshot
+//    request a Migrator broadcasts on a source group's catch-up control
+//    channel.
+//  * RangeSnapshot is the drained state of a sealed range: the (key, value)
+//    pairs of the moving buckets plus the source machine's full session
+//    table (merged max-seq at the destination, so a retry straddling the
+//    epoch flip still deduplicates), with an embedded FNV-1a digest the
+//    decoder recomputes — a corrupted or forged drain fails closed before
+//    any import.
+//
+// Both decoders are strict and total, mirroring the catch-up decoder
+// hygiene: these bytes travel through consensus slots (a Byzantine proposer
+// can win a slot with arbitrary bytes) and over the control wire from
+// unverified peers, so malformed input yields nullopt deterministically,
+// counts are capped, pre-sizing is byte-bounded, and trailing garbage is
+// rejected. Nothing here throws out of apply.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/kv/command.hpp"
+#include "src/kv/shard.hpp"
+
+namespace mnm::kv {
+
+/// A set of hash buckets under a table of `table_buckets` buckets, at
+/// config epoch `epoch`. Bucket lists are strictly ascending (canonical
+/// form; decoders reject anything else).
+struct RangeSpec {
+  std::uint64_t epoch = 0;
+  std::uint32_t table_buckets = 1;  // bucket-array size the ids index into
+  std::vector<std::uint32_t> buckets;
+
+  bool operator==(const RangeSpec&) const = default;
+};
+
+Bytes encode_range_spec(const RangeSpec& spec);
+/// Strict decode: nullopt on truncation, trailing bytes, zero/oversized
+/// table, an empty / unsorted / out-of-range bucket list. Never throws.
+std::optional<RangeSpec> decode_range_spec(util::ByteView raw);
+
+/// One client session record as drained from a source machine.
+struct SessionRecord {
+  ClientId client = 0;
+  std::uint64_t last_seq = 0;
+  Reply reply;
+
+  bool operator==(const SessionRecord&) const = default;
+};
+
+/// The drained state of a sealed range. pairs are in store (map) order,
+/// sessions in client-id order — canonical, so equal drains are
+/// byte-identical and the digest doubles as a fingerprint.
+struct RangeSnapshot {
+  RangeSpec spec;
+  std::vector<std::pair<Bytes, Bytes>> pairs;
+  std::vector<SessionRecord> sessions;
+
+  bool operator==(const RangeSnapshot&) const = default;
+};
+
+/// Digest the decoder recomputes: FNV-1a over spec, pairs and sessions.
+std::uint64_t range_snapshot_digest(const RangeSnapshot& snap);
+
+Bytes encode_range_snapshot(const RangeSnapshot& snap);
+/// Strict decode + digest check: nullopt on malformed bytes, out-of-order
+/// pairs/sessions, or a digest mismatch — state never partially imports.
+std::optional<RangeSnapshot> decode_range_snapshot(util::ByteView raw);
+
+}  // namespace mnm::kv

@@ -8,15 +8,21 @@
 namespace mnm::kv {
 
 Router::Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
-               std::vector<ShardBackend> shards, RouterConfig config)
+               std::vector<ShardBackend> shards, RouterConfig config,
+               reconfig::TableView* view)
     : exec_(&exec),
       omega_(&omega),
       map_(map),
+      view_(view),
       shards_(std::move(shards)),
       config_(config),
       flush_armed_(shards_.size(), 0),
       shard_latency_(shards_.size(), 0) {
-  assert(map_.shards() == shards_.size() &&
+  // Static routing needs exactly one backend per shard; live routing only
+  // needs every group the table can ever name to have a backend (split
+  // targets exist from the start, idle until their first install).
+  assert((view_ != nullptr ? map_.shards() <= shards_.size()
+                           : map_.shards() == shards_.size()) &&
          "kv::Router: one backend per shard");
   config_.retry_timeout = std::max<sim::Time>(1, config_.retry_timeout);
   config_.retry_timeout_cap =
@@ -51,11 +57,32 @@ ClientId Router::register_client() {
   return static_cast<ClientId>(sessions_.size());
 }
 
+ClientId Router::register_admin_client() {
+  sessions_.emplace_back(*exec_);
+  sessions_.back().admin = true;
+  return static_cast<ClientId>(sessions_.size());
+}
+
+std::size_t Router::route(util::ByteView key) const {
+  if (view_ != nullptr) return shard_of(view_->table(), key);
+  return map_.shard_of(key);
+}
+
 void Router::deliver(ClientId client, std::uint64_t seq, const Reply& reply) {
   if (client == 0 || client > sessions_.size()) return;  // not one of ours
   ClientSession& s = sessions_[client - 1];
   // First replica to apply wins; replays of older seqs wake nobody.
   if (s.wait_seq != seq || s.reply.has_value()) return;
+  if (reply.status == Status::kWrongEpoch && !s.admin) {
+    // Not an outcome: the bucket is sealed or moved. Wake the retry loop to
+    // re-route; the state machine recorded nothing, so the re-submission
+    // still applies exactly once.
+    if (!s.bounced) {
+      s.bounced = true;
+      s.signal.bump();
+    }
+    return;
+  }
   s.reply = reply;
   s.signal.bump();
 }
@@ -152,16 +179,28 @@ void Router::observe_latency(std::size_t shard, sim::Time sample) {
 }
 
 sim::Task<Reply> Router::execute(ClientId client, Command cmd) {
+  return run_op(client, std::move(cmd), std::nullopt);
+}
+
+sim::Task<Reply> Router::execute_on(ClientId client, std::size_t group,
+                                    Command cmd) {
+  assert(group < shards_.size() && "kv::Router: unknown group");
+  return run_op(client, std::move(cmd), group);
+}
+
+sim::Task<Reply> Router::run_op(ClientId client, Command cmd,
+                                std::optional<std::size_t> pinned) {
   assert(client >= 1 && client <= sessions_.size() &&
          "kv::Router: unknown client");
   ClientSession& s = sessions_[client - 1];
   assert(s.wait_seq == 0 && "kv::Router: one outstanding op per session");
   cmd.client = client;
   cmd.seq = ++s.next_seq;
-  const std::size_t shard = map_.shard_of(cmd.key);
+  std::size_t shard = pinned.has_value() ? *pinned : route(cmd.key);
   const Bytes wire = encode_command(cmd);
   s.wait_seq = cmd.seq;
   s.reply.reset();
+  s.bounced = false;
   std::size_t attempt = 0;
   sim::Time submitted_at = exec_->now();
   submit(shard, wire);
@@ -170,16 +209,37 @@ sim::Task<Reply> Router::execute(ClientId client, Command cmd) {
     // the await makes the select ready immediately (no lost wakeup).
     const std::uint64_t seen = s.signal.version();
     if (s.reply.has_value()) break;
+    if (s.bounced) {
+      // The key's bucket is sealed or already moved. Re-read the live
+      // table; a changed route re-submits the identical wire immediately
+      // (session dedup keeps it exactly-once). An unchanged route means
+      // the destination hasn't opened the bucket yet — fall through to
+      // the deadline wait so sealed buckets back off like timeouts.
+      s.bounced = false;
+      ++bounces_;
+      const std::size_t next = route(cmd.key);
+      if (next != shard) {
+        shard = next;
+        submitted_at = exec_->now();
+        submit(shard, wire);
+        continue;
+      }
+      ++attempt;
+    }
     sim::Select sel(*exec_);
     sel.on(s.signal, seen)
         .until(exec_->now() + retry_deadline(shard, attempt));
     const int which = co_await sel;
     if (s.reply.has_value()) break;
+    if (s.bounced) continue;  // handled at the top of the loop
     if (which == sim::Select::kTimedOut) {
       // Same client id, same seq, same bytes: the state machines' session
       // dedup turns a double commit into one apply + a cached-reply echo.
+      // Keyed ops re-route first — the table may have flipped while the
+      // reply (or its bounce) was lost to a crash.
       ++retries_;
       ++attempt;
+      if (!pinned.has_value()) shard = route(cmd.key);
       submitted_at = exec_->now();
       submit(shard, wire);
     }

@@ -34,6 +34,17 @@
 // attempt (exponential backoff, capped). The static timeout remains the
 // cold-start fallback and the fixed deadline when `adaptive_retry` is off.
 //
+// Reconfiguration (src/reconfig/): when the Router is built with a
+// reconfig::TableView, routing consults the newest decided kv::ShardTable
+// instead of the static ShardMap. A `Status::kWrongEpoch` reply is not an
+// outcome — it means the key's bucket is sealed (mid-migration) or already
+// moved: the session marks itself bounced, re-reads the live table, and
+// re-submits the *identical* wire to the new owner. If the route hasn't
+// changed yet (the destination has not opened the bucket), the bounce
+// backs off like a timeout so sealed buckets aren't storm-retried. The
+// Migrator's own admin sessions (register_admin_client) are exempt: for
+// them kWrongEpoch is a real, resolved outcome (a stale seal/install).
+//
 // When a shard's leader replica is auto-tuning (smr::Tuner), the flush task
 // also consults Replica::flush_hold(): while the open batch is short of the
 // live batch size and the leader's pipeline is saturated, flushing is
@@ -54,6 +65,7 @@
 #include "src/kv/command.hpp"
 #include "src/kv/shard.hpp"
 #include "src/kv/state_machine.hpp"
+#include "src/reconfig/table_view.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/sync.hpp"
 #include "src/sim/task.hpp"
@@ -84,20 +96,40 @@ struct RouterConfig {
 
 class Router {
  public:
-  /// Wires itself as the reply sink of every machine in `shards`.
+  /// Wires itself as the reply sink of every machine in `shards`. With a
+  /// TableView the live table routes (and backends beyond the initial
+  /// shard count are legal — they are split targets); without one, the
+  /// static map routes, exactly as before reconfiguration existed.
   Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
-         std::vector<ShardBackend> shards, RouterConfig config);
+         std::vector<ShardBackend> shards, RouterConfig config,
+         reconfig::TableView* view = nullptr);
 
   /// Allocate a client session (dense ids, 1-based).
   ClientId register_client();
+  /// Allocate an admin session (the Migrator's): same exactly-once
+  /// machinery, but kWrongEpoch replies resolve instead of bouncing.
+  ClientId register_admin_client();
 
   std::size_t shards() const { return shards_.size(); }
   const ShardMap& shard_map() const { return map_; }
+  const reconfig::TableView* view() const { return view_; }
 
   /// Stamp `cmd` with the client's next seq, route it by key, replicate it,
   /// and resolve with the committed reply. Retries (same seq) on timeout —
   /// exactly-once end to end thanks to the state machines' session dedup.
   sim::Task<Reply> execute(ClientId client, Command cmd);
+
+  /// Like execute(), but pinned to one shard group regardless of the key —
+  /// the Migrator's seal/install/purge ops carry their payload in `value`
+  /// and must land in a specific group's log.
+  sim::Task<Reply> execute_on(ClientId client, std::size_t group, Command cmd);
+
+  /// The Ω-trusted replica of a shard group (first-correct fallback,
+  /// nullptr for a wholly faulty shard) — the Migrator drains range
+  /// snapshots from here.
+  smr::Replica* leader_of(std::size_t shard) {
+    return shard < shards_.size() ? leader_replica(shard) : nullptr;
+  }
 
   /// Crash-and-rejoin: point shard `shard`'s backend slot for process `p`
   /// at a fresh replica incarnation (and wire its state machine's reply
@@ -109,6 +141,9 @@ class Router {
 
   /// Client re-submissions issued after a reply deadline expired.
   std::uint64_t retries() const { return retries_; }
+  /// kWrongEpoch replies that re-routed a client op (each is one sealed or
+  /// moved bucket hit; the op still applies exactly once).
+  std::uint64_t bounces() const { return bounces_; }
   /// Decaying max of observed op latencies for a shard (0 until the first
   /// reply) — what the adaptive deadline is derived from.
   sim::Time observed_latency(std::size_t shard) const {
@@ -121,12 +156,21 @@ class Router {
     std::uint64_t next_seq = 0;
     std::uint64_t wait_seq = 0;  // seq currently awaited; 0 = none
     std::optional<Reply> reply;
+    bool bounced = false;  // kWrongEpoch seen for wait_seq; re-route needed
+    bool admin = false;    // Migrator session: kWrongEpoch resolves
     sim::VersionSignal signal;
   };
 
   void deliver(ClientId client, std::uint64_t seq, const Reply& reply);
   void submit(std::size_t shard, const Bytes& wire);
   static sim::Task<void> flush_soon(Router* self, std::size_t shard);
+  /// The key's current shard: live table when a view is wired, static map
+  /// otherwise.
+  std::size_t route(util::ByteView key) const;
+  /// The shared retry loop behind execute()/execute_on(). `pinned` fixes
+  /// the shard (admin ops); otherwise the key re-routes on bounce/timeout.
+  sim::Task<Reply> run_op(ClientId client, Command cmd,
+                          std::optional<std::size_t> pinned);
   /// The Ω-trusted replica of a shard (first-correct fallback, nullptr for
   /// a wholly faulty shard).
   smr::Replica* leader_replica(std::size_t shard);
@@ -137,12 +181,14 @@ class Router {
   sim::Executor* exec_;
   core::Omega* omega_;
   ShardMap map_;
+  reconfig::TableView* view_;
   std::vector<ShardBackend> shards_;
   RouterConfig config_;
   std::deque<ClientSession> sessions_;  // stable addresses; index = id - 1
   std::vector<std::uint8_t> flush_armed_;
   std::vector<sim::Time> shard_latency_;  // decaying max per shard
   std::uint64_t retries_ = 0;
+  std::uint64_t bounces_ = 0;
 };
 
 }  // namespace mnm::kv

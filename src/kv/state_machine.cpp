@@ -26,6 +26,37 @@ inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
+void StateMachine::configure_partition(std::uint32_t group,
+                                       const ShardTable& initial) {
+  partitioned_ = true;
+  group_ = group;
+  cfg_epoch_ = initial.epoch;
+  owned_.assign(initial.buckets.size(), 0);
+  for (std::size_t i = 0; i < initial.buckets.size(); ++i) {
+    if (initial.buckets[i] == group) owned_[i] = 1;
+  }
+}
+
+std::size_t StateMachine::owned_buckets() const {
+  std::size_t n = 0;
+  for (const std::uint8_t o : owned_) n += o;
+  return n;
+}
+
+bool StateMachine::resize_owned(std::uint32_t table_buckets) {
+  if (owned_.empty()) return false;
+  if (table_buckets < owned_.size()) return false;
+  std::size_t b = owned_.size();
+  while (b < table_buckets) b *= 2;  // routing-preserving doubling only
+  if (b != table_buckets) return false;
+  while (owned_.size() < table_buckets) {
+    const std::size_t half = owned_.size();
+    owned_.resize(2 * half);
+    for (std::size_t i = 0; i < half; ++i) owned_[half + i] = owned_[i];
+  }
+  return true;
+}
+
 void StateMachine::apply(Slot, util::ByteView command) {
   const std::optional<Command> c = decode_command(command);
   if (!c.has_value()) {
@@ -37,9 +68,30 @@ void StateMachine::apply(Slot, util::ByteView command) {
     ++duplicates_;
     // Re-deliver the cached outcome for the newest request only: in the
     // closed-loop session model that is the only seq a client can still be
-    // waiting on.
+    // waiting on. A duplicate of an op whose key has since moved away still
+    // answers from the cache — the original outcome is the right reply.
     if (c->seq == session.last_seq && sink_) {
       sink_(c->client, c->seq, session.last_reply);
+    }
+    return;
+  }
+  if (is_admin(c->op)) {
+    const Reply reply = apply_admin(*c);
+    session.last_seq = c->seq;
+    session.last_reply = reply;
+    ++admin_applied_;
+    if (sink_) sink_(c->client, c->seq, reply);
+    return;
+  }
+  if (partitioned_ && !owns_bucket(ShardMap::key_hash(c->key) % owned_.size())) {
+    // Sealed or not-yet-installed bucket: bounce. The session is NOT
+    // touched — the client re-routes and the same seq must apply fresh,
+    // exactly once, at the owner.
+    ++bounces_;
+    if (sink_) {
+      Reply bounce;
+      bounce.status = Status::kWrongEpoch;
+      sink_(c->client, c->seq, bounce);
     }
     return;
   }
@@ -79,8 +131,124 @@ Reply StateMachine::apply_op(const Command& c) {
       }
       break;
     }
+    default:
+      break;  // admin ops never reach here (apply() dispatches them)
   }
   return r;
+}
+
+Reply StateMachine::apply_admin(const Command& c) {
+  Reply rejected;
+  rejected.status = Status::kWrongEpoch;
+  if (!partitioned_) {
+    ++admin_rejected_;
+    return rejected;
+  }
+  switch (c.op) {
+    case Op::kSeal: {
+      const std::optional<RangeSpec> spec = decode_range_spec(c.value);
+      if (!spec.has_value() || spec->epoch < cfg_epoch_ ||
+          !resize_owned(spec->table_buckets)) {
+        ++admin_rejected_;
+        return rejected;
+      }
+      cfg_epoch_ = spec->epoch;
+      for (const std::uint32_t b : spec->buckets) owned_[b] = 0;
+      break;
+    }
+    case Op::kInstall: {
+      const std::optional<RangeSnapshot> snap = decode_range_snapshot(c.value);
+      if (!snap.has_value() || snap->spec.epoch < cfg_epoch_ ||
+          !resize_owned(snap->spec.table_buckets)) {
+        ++admin_rejected_;
+        return rejected;
+      }
+      cfg_epoch_ = snap->spec.epoch;
+      for (const auto& [k, v] : snap->pairs) store_[k] = v;
+      keys_imported_ += snap->pairs.size();
+      // Merge the drained sessions by max seq: the machine holding the
+      // newest seq for a client also holds the only reply that client can
+      // still be waiting on. This is what lets a retry that straddles the
+      // epoch flip (applied at the source pre-seal, re-sent here) hit the
+      // duplicate path instead of applying twice.
+      for (const SessionRecord& rec : snap->sessions) {
+        Session& s = sessions_[rec.client];
+        if (rec.last_seq > s.last_seq) {
+          s.last_seq = rec.last_seq;
+          s.last_reply = rec.reply;
+        }
+      }
+      for (const std::uint32_t b : snap->spec.buckets) owned_[b] = 1;
+      break;
+    }
+    case Op::kPurge: {
+      const std::optional<RangeSpec> spec = decode_range_spec(c.value);
+      if (!spec.has_value() || spec->epoch < cfg_epoch_ ||
+          !resize_owned(spec->table_buckets)) {
+        ++admin_rejected_;
+        return rejected;
+      }
+      cfg_epoch_ = spec->epoch;
+      std::vector<std::uint8_t> drop(owned_.size(), 0);
+      for (const std::uint32_t b : spec->buckets) drop[b] = 1;
+      for (auto it = store_.begin(); it != store_.end();) {
+        if (drop[ShardMap::key_hash(it->first) % owned_.size()] != 0) {
+          it = store_.erase(it);
+          ++keys_purged_;
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    default:
+      ++admin_rejected_;
+      return rejected;
+  }
+  return Reply{};
+}
+
+Bytes StateMachine::export_range(util::ByteView request) const {
+  if (!partitioned_) return {};
+  const std::optional<RangeSpec> spec = decode_range_spec(request);
+  if (!spec.has_value()) return {};
+  // Serve only once the seal for this epoch has applied here: the epoch has
+  // been reached, the geometry matches, and every listed bucket is sealed
+  // away — otherwise the drain would miss in-flight pre-seal ops.
+  if (cfg_epoch_ < spec->epoch) return {};
+  if (spec->table_buckets != owned_.size()) return {};
+  for (const std::uint32_t b : spec->buckets) {
+    if (owned_[b] != 0) return {};
+  }
+  std::vector<std::uint8_t> take(owned_.size(), 0);
+  for (const std::uint32_t b : spec->buckets) take[b] = 1;
+  RangeSnapshot snap;
+  snap.spec = *spec;
+  for (const auto& [k, v] : store_) {
+    if (take[ShardMap::key_hash(k) % owned_.size()] != 0) {
+      snap.pairs.emplace_back(k, v);
+    }
+  }
+  for (const auto& [client, s] : sessions_) {
+    SessionRecord rec;
+    rec.client = client;
+    rec.last_seq = s.last_seq;
+    rec.reply = s.last_reply;
+    snap.sessions.push_back(std::move(rec));
+  }
+  return encode_range_snapshot(snap);
+}
+
+std::uint64_t StateMachine::partition_fold(std::uint64_t h) const {
+  h = fnv1a_u64(h, group_);
+  h = fnv1a_u64(h, cfg_epoch_);
+  h = fnv1a_u64(h, owned_.size());
+  h = fnv1a(h, owned_);
+  h = fnv1a_u64(h, admin_applied_);
+  h = fnv1a_u64(h, bounces_);
+  h = fnv1a_u64(h, keys_imported_);
+  h = fnv1a_u64(h, keys_purged_);
+  return h;
 }
 
 std::uint64_t StateMachine::store_hash() const {
@@ -96,6 +264,10 @@ std::uint64_t StateMachine::store_hash() const {
     h = fnv1a(h, s.last_reply.value);
   }
   h = fnv1a_u64(h, ops_applied_);
+  // Partition state is replicated state: fold it in partitioned mode so the
+  // agreement check covers ownership and the epoch; static-sharding hashes
+  // are unchanged byte-for-byte.
+  if (partitioned_) h = partition_fold(h);
   return h;
 }
 
@@ -111,10 +283,22 @@ Bytes StateMachine::snapshot() const {
         .bytes(s.last_reply.value);
   }
   w.u64(ops_applied_).u64(duplicates_).u64(malformed_);
-  // Trailing digest: the store_hash() fold extended over the two counters
-  // the replicated-state hash leaves out, so the digest covers every byte an
+  // Partition section: a rejoiner restoring this snapshot lands in the
+  // post-split world — table geometry, ownership and epoch included —
+  // before it chases the log tip.
+  w.u8(partitioned_ ? 1 : 0);
+  if (partitioned_) {
+    w.u32(group_).u64(cfg_epoch_).bytes(owned_);
+    w.u64(admin_applied_).u64(bounces_).u64(admin_rejected_);
+    w.u64(keys_imported_).u64(keys_purged_);
+  }
+  // Trailing digest: the store_hash() fold extended over the counters the
+  // replicated-state hash leaves out, so the digest covers every byte an
   // installer will adopt and any corruption fails closed on restore.
-  w.u64(fnv1a_u64(fnv1a_u64(store_hash(), duplicates_), malformed_));
+  std::uint64_t digest = fnv1a_u64(fnv1a_u64(store_hash(), duplicates_),
+                                   malformed_);
+  if (partitioned_) digest = fnv1a_u64(digest, admin_rejected_);
+  w.u64(digest);
   return std::move(w).take();
 }
 
@@ -122,6 +306,12 @@ bool StateMachine::restore(util::ByteView raw) {
   std::map<Bytes, Bytes> store;
   std::map<ClientId, Session> sessions;
   std::uint64_t ops = 0, dups = 0, malformed = 0, claimed = 0;
+  bool partitioned = false;
+  std::uint32_t group = 0;
+  std::uint64_t cfg_epoch = 0;
+  Bytes owned;
+  std::uint64_t admin_applied = 0, bounces = 0, admin_rejected = 0;
+  std::uint64_t keys_imported = 0, keys_purged = 0;
   try {
     util::Reader r(raw);
     const std::uint32_t nkeys = r.u32();
@@ -139,7 +329,7 @@ bool StateMachine::restore(util::ByteView raw) {
       s.last_seq = r.u64();
       const std::uint8_t status = r.u8();
       if (status < static_cast<std::uint8_t>(Status::kOk) ||
-          status > static_cast<std::uint8_t>(Status::kCasMismatch)) {
+          status > static_cast<std::uint8_t>(Status::kWrongEpoch)) {
         return false;
       }
       s.last_reply.status = static_cast<Status>(status);
@@ -149,6 +339,21 @@ bool StateMachine::restore(util::ByteView raw) {
     ops = r.u64();
     dups = r.u64();
     malformed = r.u64();
+    partitioned = r.u8() != 0;
+    if (partitioned) {
+      group = r.u32();
+      cfg_epoch = r.u64();
+      owned = r.bytes();
+      if (owned.empty() || owned.size() > kMaxTableBuckets) return false;
+      for (const std::uint8_t o : owned) {
+        if (o > 1) return false;
+      }
+      admin_applied = r.u64();
+      bounces = r.u64();
+      admin_rejected = r.u64();
+      keys_imported = r.u64();
+      keys_purged = r.u64();
+    }
     claimed = r.u64();
     r.expect_end();
   } catch (const util::SerdeError&) {
@@ -168,14 +373,34 @@ bool StateMachine::restore(util::ByteView raw) {
     h = fnv1a(h, s.last_reply.value);
   }
   h = fnv1a_u64(h, ops);
+  if (partitioned) {
+    h = fnv1a_u64(h, group);
+    h = fnv1a_u64(h, cfg_epoch);
+    h = fnv1a_u64(h, owned.size());
+    h = fnv1a(h, owned);
+    h = fnv1a_u64(h, admin_applied);
+    h = fnv1a_u64(h, bounces);
+    h = fnv1a_u64(h, keys_imported);
+    h = fnv1a_u64(h, keys_purged);
+  }
   h = fnv1a_u64(h, dups);
   h = fnv1a_u64(h, malformed);
+  if (partitioned) h = fnv1a_u64(h, admin_rejected);
   if (h != claimed) return false;
   store_ = std::move(store);
   sessions_ = std::move(sessions);
   ops_applied_ = ops;
   duplicates_ = dups;
   malformed_ = malformed;
+  partitioned_ = partitioned;
+  group_ = group;
+  cfg_epoch_ = cfg_epoch;
+  owned_.assign(owned.begin(), owned.end());
+  admin_applied_ = admin_applied;
+  bounces_ = bounces;
+  admin_rejected_ = admin_rejected;
+  keys_imported_ = keys_imported;
+  keys_purged_ = keys_purged;
   return true;
 }
 

@@ -1,5 +1,6 @@
 // kv::StateMachine — the deterministic KV state machine behind every shard
-// replica, with exactly-once client sessions.
+// replica, with exactly-once client sessions and (optionally) partitioned
+// bucket ownership for live reconfiguration.
 //
 // Applied from smr::Log batches, strictly in slot order, identically on
 // every correct replica of a shard. On top of the plain GET/PUT/DEL/CAS
@@ -11,11 +12,31 @@
 // re-delivered so the retrying client observes the original outcome. That is
 // the client-visible exactly-once contract.
 //
+// Partitioned mode (configure_partition, reconfiguration runs only): the
+// machine knows which hash buckets its group owns. The reconfig admin
+// operations — replicated through the group's own log like any command, so
+// every replica transitions at the same slot — move ownership:
+//
+//   SEAL    marks the moving buckets not-owned; later client ops on them
+//           bounce with Status::kWrongEpoch, *without* touching the session
+//           (the retried seq must still apply exactly once at the new
+//           owner). Sealed pairs stay in the store for the drain.
+//   INSTALL imports a digest-checked RangeSnapshot: pairs land in the
+//           store, drained sessions merge by max seq (a retry straddling
+//           the epoch flip finds its cached reply here), buckets open.
+//   PURGE   drops the sealed-away pairs at the source once the destination
+//           has installed.
+//
+// Admin operations ride the Migrator's own session (dedup-covered retries)
+// but count in admin_applied(), never ops_applied() — the harness invariant
+// Σ per-shard ops_applied == completed client ops holds across epochs.
+//
 // The reply sink is how the co-located router learns outcomes: every replica
 // applies every command, each calls the sink, and the router keeps the first
 // delivery per (client, seq). Everything here is deterministic — iteration
-// is over ordered maps, and store_hash() folds store + sessions into one
-// fingerprint the determinism suite and the harness agreement check pin.
+// is over ordered maps, and store_hash() folds store + sessions (+ the
+// partition state in partitioned mode) into one fingerprint the determinism
+// suite and the harness agreement check pin.
 
 #pragma once
 
@@ -25,6 +46,8 @@
 
 #include "src/common.hpp"
 #include "src/kv/command.hpp"
+#include "src/kv/range.hpp"
+#include "src/kv/shard.hpp"
 #include "src/smr/log.hpp"
 
 namespace mnm::kv {
@@ -34,18 +57,27 @@ class StateMachine : public smr::StateMachine {
   /// Called once per applied command — fresh applies with the new reply,
   /// duplicate applies with the session's cached reply (seq == last applied
   /// only; older duplicates are counted and dropped, no client waits on
-  /// them in the closed-loop model).
+  /// them in the closed-loop model), bounced applies with a kWrongEpoch
+  /// reply that is never cached.
   using ReplySink =
       std::function<void(ClientId, std::uint64_t seq, const Reply&)>;
 
   void set_reply_sink(ReplySink sink) { sink_ = std::move(sink); }
 
+  /// Enter partitioned mode as group `group` of `initial` (epoch 0 table):
+  /// the machine starts owning exactly the buckets the table assigns it and
+  /// honors the reconfig admin operations. Without this call the machine
+  /// owns every key and admin operations are rejected — the static-sharding
+  /// behavior, byte-for-byte.
+  void configure_partition(std::uint32_t group, const ShardTable& initial);
+
   void apply(Slot slot, util::ByteView command) override;
 
   /// Deterministic full-state codec for log compaction and peer catch-up:
-  /// store pairs + session records + op counters, length-prefixed in map
-  /// order, with the store_hash() fold embedded as a trailing digest. Equal
-  /// states ⇒ identical bytes, so snapshots themselves fingerprint.
+  /// store pairs + session records + op counters + partition state,
+  /// length-prefixed in map order, with the digest fold embedded as a
+  /// trailing digest. Equal states ⇒ identical bytes, so snapshots
+  /// themselves fingerprint.
   Bytes snapshot() const override;
   /// Total inverse: decodes into temporaries, recomputes the state fold and
   /// checks it against the embedded digest, and only then swaps the decoded
@@ -54,20 +86,50 @@ class StateMachine : public smr::StateMachine {
   /// throws — snapshots arrive from unverified peers.
   bool restore(util::ByteView raw) override;
 
+  /// Drain service for the Migrator (smr::Log serves this over the catch-up
+  /// control channel): `request` is an encoded RangeSpec; the reply is an
+  /// encoded RangeSnapshot of the sealed range, or empty when this machine
+  /// cannot serve it yet (not partitioned, seal not applied, or the listed
+  /// buckets still owned).
+  Bytes export_range(util::ByteView request) const override;
+
   const std::map<Bytes, Bytes>& store() const { return store_; }
 
   /// FNV-1a over the store and the session table (last seq + cached reply
-  /// per client). Equal hashes across a shard's correct replicas ⇔ equal
-  /// stores and equal client-visible histories.
+  /// per client), plus the partition state in partitioned mode. Equal
+  /// hashes across a shard's correct replicas ⇔ equal stores and equal
+  /// client-visible histories.
   std::uint64_t store_hash() const;
 
-  /// Effective (non-duplicate, well-formed) operations applied.
+  /// Effective (non-duplicate, well-formed) client operations applied.
   std::uint64_t ops_applied() const { return ops_applied_; }
   /// Duplicate (client, seq) applies whose mutation was suppressed.
   std::uint64_t duplicates_suppressed() const { return duplicates_; }
   /// Commands that failed decode_command (a Byzantine win can put arbitrary
   /// bytes in a slot; they no-op deterministically).
   std::uint64_t malformed() const { return malformed_; }
+
+  bool partitioned() const { return partitioned_; }
+  std::uint32_t group() const { return group_; }
+  /// Highest config epoch of any accepted admin operation.
+  std::uint64_t config_epoch() const { return cfg_epoch_; }
+  /// Buckets currently owned (and the table size they index into).
+  std::size_t owned_buckets() const;
+  std::size_t table_buckets() const { return owned_.size(); }
+  bool owns_bucket(std::size_t b) const {
+    return b < owned_.size() && owned_[b] != 0;
+  }
+
+  /// Admin (SEAL/INSTALL/PURGE) operations applied — excluded from
+  /// ops_applied so the exactly-once rollup sees client ops only.
+  std::uint64_t admin_applied() const { return admin_applied_; }
+  /// Client ops bounced with kWrongEpoch (sealed or not-yet-open bucket).
+  std::uint64_t bounces() const { return bounces_; }
+  /// Admin operations rejected (malformed payload, stale epoch, bucket
+  /// geometry mismatch) — deterministic no-ops, counted.
+  std::uint64_t admin_rejected() const { return admin_rejected_; }
+  std::uint64_t keys_imported() const { return keys_imported_; }
+  std::uint64_t keys_purged() const { return keys_purged_; }
 
   /// Last applied request seq for a client (0 = no session).
   std::uint64_t last_seq(ClientId c) const;
@@ -79,6 +141,11 @@ class StateMachine : public smr::StateMachine {
   };
 
   Reply apply_op(const Command& c);
+  Reply apply_admin(const Command& c);
+  /// Grow owned_ to `table_buckets` by routing-preserving doubling; false
+  /// when the target is not reachable (reject the admin op).
+  bool resize_owned(std::uint32_t table_buckets);
+  std::uint64_t partition_fold(std::uint64_t h) const;
 
   std::map<Bytes, Bytes> store_;
   std::map<ClientId, Session> sessions_;
@@ -86,6 +153,17 @@ class StateMachine : public smr::StateMachine {
   std::uint64_t ops_applied_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t malformed_ = 0;
+
+  // Partition state (reconfiguration runs only; see class comment).
+  bool partitioned_ = false;
+  std::uint32_t group_ = 0;
+  std::uint64_t cfg_epoch_ = 0;
+  std::vector<std::uint8_t> owned_;  // owned_[bucket] != 0 ⇔ we serve it
+  std::uint64_t admin_applied_ = 0;
+  std::uint64_t bounces_ = 0;
+  std::uint64_t admin_rejected_ = 0;
+  std::uint64_t keys_imported_ = 0;
+  std::uint64_t keys_purged_ = 0;
 };
 
 }  // namespace mnm::kv

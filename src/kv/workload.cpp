@@ -119,6 +119,7 @@ void Workload::record(const Command& cmd, const Reply& reply,
     case Op::kPut: ++stats_.puts; break;
     case Op::kDel: ++stats_.dels; break;
     case Op::kCas: ++stats_.cas_ops; break;
+    default: break;  // admin ops never come from the workload generator
   }
   if (reply.status == Status::kNotFound) ++stats_.not_found;
   if (reply.status == Status::kCasMismatch) ++stats_.cas_mismatch;
@@ -156,6 +157,8 @@ sim::Task<void> Workload::client_loop(Workload* self, std::size_t idx) {
       case Op::kCas:
         c.seen[key] = reply.status == Status::kOk ? cmd.value : reply.value;
         break;
+      default:
+        break;  // admin ops never come from the workload generator
     }
   }
   ++self->finished_;

@@ -1,0 +1,70 @@
+// reconfig::TableView — the cluster-level view of the newest decided shard
+// table.
+//
+// The config group's replicas each apply every accepted ConfigChange and
+// each offer the resulting table here (via TableMachine's sink); the view
+// keeps the first delivery per epoch, exactly like the kv::Router keeps the
+// first reply per (client, seq). Routing-side consumers (the Router's
+// per-op lookup, the Migrator's drain driver) read the current table by
+// const reference — the table is never copied onto the hot path — and wait
+// on changed() for epoch flips.
+//
+// Epochs are serial: a table is accepted iff its epoch is exactly one past
+// the current one, so a lagging replica re-offering old epochs is dropped
+// and no gap can form (each replica applies its log in order).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/kv/shard.hpp"
+#include "src/reconfig/change.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/sync.hpp"
+
+namespace mnm::reconfig {
+
+class TableView {
+ public:
+  TableView(sim::Executor& exec, kv::ShardTable initial)
+      : initial_(initial), table_(std::move(initial)), changed_(exec) {}
+
+  /// The newest decided table (starts at the initial, epoch-0 table).
+  const kv::ShardTable& table() const { return table_; }
+  std::uint64_t epoch() const { return table_.epoch; }
+  sim::VersionSignal& changed() { return changed_; }
+
+  /// Table-sink entry point: first replica to apply epoch e lands it;
+  /// re-deliveries (every other replica applies the same change) drop.
+  void offer(const kv::ShardTable& t, const ConfigChange& c) {
+    if (t.epoch != table_.epoch + 1) return;
+    table_ = t;
+    changes_.push_back(c);
+    changed_.bump();
+  }
+
+  /// Accepted changes in epoch order: changes()[e - 1] produced epoch e.
+  const std::vector<ConfigChange>& changes() const { return changes_; }
+
+  /// Reconstruct the table as of `epoch` by replaying the accepted changes
+  /// from the initial table (accepted changes always re-apply cleanly —
+  /// each one's CAS matches the epoch it produced). The Migrator uses the
+  /// previous epoch's table to compute which buckets a change moved.
+  kv::ShardTable table_at(std::uint64_t epoch) const {
+    kv::ShardTable t = initial_;
+    for (std::uint64_t e = 0; e < epoch && e < changes_.size(); ++e) {
+      t = *apply_change(t, changes_[e]);
+    }
+    return t;
+  }
+
+ private:
+  kv::ShardTable initial_;
+  kv::ShardTable table_;
+  std::vector<ConfigChange> changes_;
+  sim::VersionSignal changed_;
+};
+
+}  // namespace mnm::reconfig

@@ -45,7 +45,8 @@ Log::Log(sim::Executor& exec, core::ConsensusEngine& engine, core::Omega& omega,
       pending_signal_(exec),
       stash_signal_(exec),
       applied_signal_(exec),
-      recovering_signal_(exec) {
+      recovering_signal_(exec),
+      range_signal_(exec) {
   // Validation rule (see LogConfig): a window of 0 silently stalled the
   // pump; clamp rather than assert so Release builds behave identically.
   config_.window = std::clamp<std::size_t>(config_.window, 1, kMaxWindow);
@@ -61,7 +62,8 @@ void Log::start() {
   // needs retained state (snapshot_interval > 0), recovering needs a peer
   // to ask. Memory-routed Byzantine engines have neither.
   core::Transport* ctl = engine_->control_transport();
-  const bool serve = config_.snapshot_interval > 0 && ctl != nullptr;
+  const bool serve = (config_.snapshot_interval > 0 ||
+                      config_.serve_ranges) && ctl != nullptr;
   recovering_ = config_.recover && ctl != nullptr;
   if (serve || recovering_) exec_->spawn(control_loop());
   if (recovering_) exec_->spawn(catchup_driver());
@@ -77,6 +79,7 @@ void Log::halt() {
   stash_signal_.bump();
   applied_signal_.bump();
   recovering_signal_.bump();
+  range_signal_.bump();
 }
 
 void Log::enqueue(Bytes payload) {
@@ -360,6 +363,16 @@ sim::Task<void> Log::control_loop() {
     } else if (const auto resp = decode_catchup_response(m.payload)) {
       ++responses_seen_;
       install_catchup(*resp, m.payload.size());
+    } else if (const auto rreq = decode_range_request(m.payload)) {
+      if (config_.serve_ranges) serve_range(m.src, *rreq);
+    } else if (const auto rresp = decode_range_response(m.payload)) {
+      // Responses for the live fetch round only; an abandoned round's
+      // stragglers drop on cookie mismatch.
+      if (live_range_cookie_ != 0 && rresp->cookie == live_range_cookie_) {
+        range_bytes_ += rresp->payload.size();
+        range_responses_.push_back(std::move(rresp->payload));
+        range_signal_.bump();
+      }
     } else {
       ++catchup_rejected_;
     }
@@ -384,6 +397,69 @@ void Log::serve_catchup(ProcessId dst, Slot from) {
   // An empty response is still sent: "nothing for you" is how a recovering
   // peer learns it is level with us.
   ctl->send(dst, encode_catchup_response(resp));
+}
+
+void Log::serve_range(ProcessId dst, const RangeSnapRequest& req) {
+  // The request bytes are machine-defined; a machine that cannot serve the
+  // range (yet) answers nothing — the requester re-broadcasts on its own
+  // cadence until some peer has sealed the range.
+  Bytes payload = sm_->export_range(req.request);
+  if (payload.empty() || payload.size() > kMaxRangeFrameBytes) return;
+  ++ranges_served_;
+  core::Transport* ctl = engine_->control_transport();
+  ctl->send(dst, encode_range_response(
+                     RangeSnapResponse{req.cookie, std::move(payload)}));
+}
+
+sim::Task<Bytes> Log::fetch_range(Bytes request,
+                                  std::function<bool(util::ByteView)> valid) {
+  core::Transport* ctl = engine_->control_transport();
+  while (true) {
+    if (halted_) co_return Bytes{};
+    // Local machine first: in the fault-free flow the replica driving the
+    // drain has itself applied the seal, so no wire round is needed.
+    {
+      Bytes local = sm_->export_range(request);
+      if (!local.empty() && valid(local)) co_return local;
+    }
+    if (ctl == nullptr) {
+      // No control channel (memory-routed Byzantine engines): wait for the
+      // local machine to advance and re-try the local export.
+      const std::uint64_t v_applied = applied_signal_.version();
+      sim::Select sel(*exec_);
+      sel.on(applied_signal_, v_applied);
+      (void)co_await sel;
+      continue;
+    }
+    // Broadcast one request round and collect responses until the catch-up
+    // cadence expires; the first response the validator accepts wins, and
+    // rejected ones (Byzantine peers can answer with garbage) are counted.
+    const std::uint64_t cookie = ++range_cookie_seq_;
+    live_range_cookie_ = cookie;
+    range_responses_.clear();
+    ctl->send_all(encode_range_request(RangeSnapRequest{cookie, request}),
+                  /*include_self=*/false);
+    const sim::Time deadline = exec_->now() + config_.catchup_timeout;
+    while (true) {
+      while (!range_responses_.empty()) {
+        Bytes b = std::move(range_responses_.front());
+        range_responses_.erase(range_responses_.begin());
+        if (valid(b)) {
+          live_range_cookie_ = 0;
+          range_responses_.clear();
+          co_return b;
+        }
+        ++catchup_rejected_;
+      }
+      if (halted_ || exec_->now() >= deadline) break;
+      const std::uint64_t v_range = range_signal_.version();
+      if (!range_responses_.empty()) continue;  // landed since the drain
+      sim::Select sel(*exec_);
+      sel.on(range_signal_, v_range).until(deadline);
+      (void)co_await sel;
+    }
+    live_range_cookie_ = 0;  // round over: stragglers drop, then re-ask
+  }
 }
 
 void Log::install_slot(Slot s, const Bytes& payload) {

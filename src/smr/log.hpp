@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -66,6 +67,14 @@ class StateMachine {
   /// bytes arrive over the catch-up wire from an unverified peer.
   virtual Bytes snapshot() const { return {}; }
   virtual bool restore(util::ByteView) { return false; }
+
+  /// Partial-state drain hook (reconfiguration): `request` is an opaque,
+  /// machine-defined range descriptor; the reply is a self-validating
+  /// encoding of the requested slice, or empty when this machine cannot
+  /// serve it (yet). The Log stays agnostic of the bytes — it only carries
+  /// them between a requester (Log::fetch_range) and serving peers over the
+  /// control channel. Must be total: the request arrives from the wire.
+  virtual Bytes export_range(util::ByteView) const { return {}; }
 };
 
 /// Slot payload codec: a batch of commands (u32 count + length-prefixed
@@ -114,6 +123,11 @@ struct LogConfig {
   /// snapshot + log suffix first (requires an engine with a control
   /// transport). The rejoin path of a restarted replica.
   bool recover = false;
+  /// Answer range-snapshot requests (StateMachine::export_range) on the
+  /// control channel and allow fetch_range() — the drain leg of live
+  /// resharding. Off by default so non-reconfiguration runs spawn exactly
+  /// the coroutines they always did, byte-for-byte.
+  bool serve_ranges = false;
   /// Recovery/gap-repair request cadence and response-collection deadline,
   /// in executor time.
   sim::Time catchup_timeout = 8;
@@ -212,11 +226,26 @@ class Log {
   /// loops blocked on a channel recv stay suspended but inert.
   void halt();
 
+  /// Fetch a machine-defined range slice from this group (reconfiguration
+  /// drain; requires serve_ranges). Tries the local machine first; while it
+  /// cannot serve, broadcasts a RangeSnapRequest on the control channel
+  /// each catchup_timeout and returns the first response `valid` accepts
+  /// (invalid responses — a Byzantine peer can answer with garbage — are
+  /// counted against catchup_rejected and skipped). Engines without a
+  /// control transport poll the local machine on the applied signal
+  /// instead. Returns empty only if this log halts first.
+  sim::Task<Bytes> fetch_range(Bytes request,
+                               std::function<bool(util::ByteView)> valid);
+
   std::uint64_t snapshots_taken() const { return snapshots_taken_; }
   std::uint64_t snapshots_installed() const { return snapshots_installed_; }
   std::uint64_t slots_truncated() const { return slots_truncated_; }
   std::uint64_t catchup_bytes() const { return catchup_bytes_; }
   std::uint64_t catchup_rejected() const { return catchup_rejected_; }
+  /// Range-snapshot responses this log served to drain requesters.
+  std::uint64_t ranges_served() const { return ranges_served_; }
+  /// Range-snapshot response bytes consumed by fetch_range here.
+  std::uint64_t range_bytes() const { return range_bytes_; }
 
  private:
   struct Pending {
@@ -252,6 +281,7 @@ class Log {
   /// record stats into compacted_.
   void compact_below(Slot s);
   void serve_catchup(ProcessId dst, Slot from);
+  void serve_range(ProcessId dst, const RangeSnapRequest& req);
   void install_catchup(const CatchupResponse& resp, std::size_t wire_bytes);
   /// Apply one caught-up slot payload (no decision metadata, no record).
   void install_slot(Slot s, const Bytes& payload);
@@ -289,6 +319,14 @@ class Log {
   sim::VersionSignal recovering_signal_;
   bool halted_ = false;
   std::uint64_t responses_seen_ = 0;
+  // Range-drain state: responses for the live fetch_range round, keyed by
+  // its cookie (stale rounds' responses are dropped on cookie mismatch).
+  std::uint64_t range_cookie_seq_ = 0;
+  std::uint64_t live_range_cookie_ = 0;
+  std::vector<Bytes> range_responses_;
+  sim::VersionSignal range_signal_;
+  std::uint64_t ranges_served_ = 0;
+  std::uint64_t range_bytes_ = 0;
   std::uint64_t snapshots_taken_ = 0;
   std::uint64_t snapshots_installed_ = 0;
   std::uint64_t slots_truncated_ = 0;

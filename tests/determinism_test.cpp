@@ -46,6 +46,14 @@ struct Fingerprint {
   std::uint64_t kv_ops = 0, kv_retries = 0, kv_dups = 0, kv_hash = 0;
   std::vector<std::uint64_t> kv_shard_ops;
   sim::Time kv_p50 = 0, kv_p99 = 0, kv_p999 = 0;
+  // Reconfiguration: the decided epoch history and the migration traffic it
+  // carried — the exact simulated times the routing table flipped, the
+  // pairs each INSTALL moved, every WrongEpoch bounce a client absorbed. A
+  // resharding run whose seal/drain/install interleaving drifted cannot
+  // fingerprint equal. All zero/empty for static (no-plan) runs.
+  std::uint64_t rc_epoch = 0, rc_migrations = 0, rc_keys_moved = 0,
+                rc_proposals = 0, rc_bounces = 0;
+  std::vector<sim::Time> rc_flips;
   // Recovery: snapshot cadence, compaction and catch-up accounting, plus the
   // rejoin timestamps — a crash-and-rejoin run whose recovery trajectory
   // (when snapshots were cut, how many slots were truncated, how many bytes
@@ -98,6 +106,12 @@ Fingerprint fingerprint(const RunReport& r) {
   f.kv_p50 = r.kv_op_p50;
   f.kv_p99 = r.kv_op_p99;
   f.kv_p999 = r.kv_op_p999;
+  f.rc_epoch = r.reconfig_epoch;
+  f.rc_migrations = r.reconfig_migrations;
+  f.rc_keys_moved = r.reconfig_keys_moved;
+  f.rc_proposals = r.reconfig_proposals;
+  f.rc_bounces = r.reconfig_bounces;
+  f.rc_flips = r.reconfig_flip_times;
   f.snaps_taken = r.snapshots_taken;
   f.snaps_installed = r.snapshots_installed;
   f.truncated = r.slots_truncated;
@@ -291,6 +305,30 @@ TEST(Determinism, KvCrashAndRejoinRetryStormSameSeedSameRun) {
   const RunReport a = run_cluster(c);
   EXPECT_GT(a.snapshots_installed, 0u) << a.summary();
   EXPECT_GT(a.catchup_bytes, 0u) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, KvSplitDuringZipfianSameSeedSameRun) {
+  // Live resharding mid-workload: the config group decides a split while
+  // zipfian clients hammer the source shard, the Migrator seals, drains and
+  // installs, and in-flight ops bounce with WrongEpoch and re-route. The
+  // whole interleaving — flip times, keys moved, every bounce — must replay
+  // byte-for-byte from the same seed.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 11;
+  c.kv.enabled = true;
+  c.kv.shards = 1;
+  c.kv.clients = 8;
+  c.kv.ops_per_client = 24;
+  c.kv.dist = kv::KeyDist::kZipfian;
+  c.kv.reconfig.push_back({40, reconfig::ChangeKind::kSplit, 0, 1});
+  const RunReport a = run_cluster(c);
+  EXPECT_EQ(a.reconfig_epoch, 1u) << a.summary();
+  EXPECT_GT(a.reconfig_keys_moved, 0u) << a.summary();
+  EXPECT_GT(a.reconfig_bounces, 0u) << a.summary();
   expect_deterministic(c);
 }
 

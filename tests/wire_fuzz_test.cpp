@@ -19,10 +19,16 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "src/core/nonequiv_broadcast.hpp"
 #include "src/core/trusted_messaging.hpp"
 #include "src/kv/command.hpp"
+#include "src/kv/range.hpp"
+#include "src/kv/shard.hpp"
 #include "src/kv/state_machine.hpp"
+#include "src/reconfig/change.hpp"
 #include "src/sim/rng.hpp"
 #include "src/smr/catchup.hpp"
 #include "src/smr/log.hpp"
@@ -349,8 +355,9 @@ TEST(WireFuzz, KvCommandRandomBytesNeverCrash) {
       ++decoded;
     }
   }
-  // The leading op byte (1..4 of 256) + three strict length prefixes +
-  // expect_end make accidental parses vanishingly rare.
+  // The leading op byte (1..7 of 256, the admin ops included) + three
+  // strict length prefixes + expect_end make accidental parses vanishingly
+  // rare.
   EXPECT_LT(decoded, 4u);
 }
 
@@ -649,6 +656,186 @@ TEST(WireFuzz, CheckpointMarkerJunkNeverCrash) {
     if (decode_tsend(std::move(junk).take()).has_value()) ++decoded;
   }
   EXPECT_LT(decoded, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration codecs (src/reconfig/ + kv range migration): ShardTable,
+// ConfigChange, RangeSpec, RangeSnapshot. These bytes travel through
+// consensus slots (a Byzantine proposer can win a slot with arbitrary
+// bytes) and over the catch-up control wire from unverified peers, so the
+// decoders must be strict and total: forged counts capped by the bytes
+// present, the snapshot digest failing closed, junk never crashing.
+// ---------------------------------------------------------------------------
+
+kv::ShardTable random_shard_table(sim::Rng& rng) {
+  kv::ShardTable t;
+  t.epoch = rng.below(1u << 20);
+  t.groups = static_cast<std::uint32_t>(rng.below(6) + 1);
+  const std::size_t buckets = static_cast<std::size_t>(t.groups)
+                              << rng.below(4);
+  t.buckets.resize(buckets);
+  for (auto& b : t.buckets) {
+    b = static_cast<std::uint32_t>(rng.below(t.groups));
+  }
+  return t;
+}
+
+kv::RangeSpec random_range_spec(sim::Rng& rng) {
+  kv::RangeSpec spec;
+  spec.epoch = rng.below(1u << 16);
+  spec.table_buckets = static_cast<std::uint32_t>(1u << rng.below(7));
+  // Strictly ascending, in-range bucket ids — the canonical form.
+  const std::size_t want =
+      rng.below(std::min<std::size_t>(spec.table_buckets, 6)) + 1;
+  std::set<std::uint32_t> picks;
+  while (picks.size() < want) {
+    picks.insert(static_cast<std::uint32_t>(rng.below(spec.table_buckets)));
+  }
+  spec.buckets.assign(picks.begin(), picks.end());
+  return spec;
+}
+
+kv::RangeSnapshot random_range_snapshot(sim::Rng& rng) {
+  kv::RangeSnapshot snap;
+  snap.spec = random_range_spec(rng);
+  // Pairs in store (map) order, sessions in client-id order — canonical.
+  std::map<Bytes, Bytes> pairs;
+  for (std::size_t i = rng.below(8); i > 0; --i) {
+    pairs[random_bytes(rng, rng.below(12) + 1)] = random_bytes(rng, rng.below(16));
+  }
+  snap.pairs.assign(pairs.begin(), pairs.end());
+  std::uint64_t client = 0;
+  for (std::size_t i = rng.below(5); i > 0; --i) {
+    kv::SessionRecord rec;
+    rec.client = (client += rng.below(9) + 1);
+    rec.last_seq = rng.below(1u << 12);
+    rec.reply.status = kv::Status::kOk;
+    rec.reply.value = random_bytes(rng, rng.below(10));
+    snap.sessions.push_back(std::move(rec));
+  }
+  return snap;
+}
+
+TEST(WireFuzz, ReconfigCodecsRoundTripExactly) {
+  sim::Rng rng(0x5EC0F1ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    const kv::ShardTable t = random_shard_table(rng);
+    const auto td = kv::decode_shard_table(kv::encode_shard_table(t));
+    ASSERT_TRUE(td.has_value()) << "trial " << trial;
+    EXPECT_EQ(*td, t);
+
+    reconfig::ConfigChange c;
+    c.kind = rng.chance(0.5) ? reconfig::ChangeKind::kSplit
+                             : reconfig::ChangeKind::kMerge;
+    c.base_epoch = rng.next();
+    c.src = static_cast<std::uint32_t>(rng.below(256));
+    c.dst = static_cast<std::uint32_t>(rng.below(256));
+    const auto cd =
+        reconfig::decode_config_change(reconfig::encode_config_change(c));
+    ASSERT_TRUE(cd.has_value()) << "trial " << trial;
+    EXPECT_EQ(*cd, c);
+
+    const kv::RangeSpec spec = random_range_spec(rng);
+    const auto sd = kv::decode_range_spec(kv::encode_range_spec(spec));
+    ASSERT_TRUE(sd.has_value()) << "trial " << trial;
+    EXPECT_EQ(*sd, spec);
+
+    const kv::RangeSnapshot snap = random_range_snapshot(rng);
+    const auto nd = kv::decode_range_snapshot(kv::encode_range_snapshot(snap));
+    ASSERT_TRUE(nd.has_value()) << "trial " << trial;
+    EXPECT_EQ(*nd, snap);
+  }
+}
+
+TEST(WireFuzz, ReconfigCodecTruncationsDecodeToNulloptNeverCrash) {
+  sim::Rng rng(0x5EC0F2ull);
+  for (int trial = 0; trial < 80; ++trial) {
+    const Bytes tw = kv::encode_shard_table(random_shard_table(rng));
+    const Bytes sw = kv::encode_range_spec(random_range_spec(rng));
+    const Bytes nw = kv::encode_range_snapshot(random_range_snapshot(rng));
+    for (std::size_t cut = 0; cut < tw.size(); cut += rng.below(5) + 1) {
+      EXPECT_FALSE(
+          kv::decode_shard_table(util::ByteView(tw).subspan(0, cut))
+              .has_value());
+    }
+    for (std::size_t cut = 0; cut < sw.size(); cut += rng.below(5) + 1) {
+      EXPECT_FALSE(
+          kv::decode_range_spec(util::ByteView(sw).subspan(0, cut))
+              .has_value());
+    }
+    for (std::size_t cut = 0; cut < nw.size(); cut += rng.below(7) + 1) {
+      EXPECT_FALSE(
+          kv::decode_range_snapshot(util::ByteView(nw).subspan(0, cut))
+              .has_value());
+    }
+    // Trailing garbage is rejected (expect_end strictness).
+    for (Bytes wire : {tw, sw, nw}) {
+      wire.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      EXPECT_FALSE(kv::decode_shard_table(wire).has_value() &&
+                   kv::decode_range_spec(wire).has_value() &&
+                   kv::decode_range_snapshot(wire).has_value());
+    }
+  }
+  // ConfigChange is fixed-size: every truncation must reject.
+  const Bytes cw = reconfig::encode_config_change({});
+  for (std::size_t cut = 0; cut < cw.size(); ++cut) {
+    EXPECT_FALSE(
+        reconfig::decode_config_change(util::ByteView(cw).subspan(0, cut))
+            .has_value());
+  }
+}
+
+TEST(WireFuzz, ReconfigForgedCountPrefixesCappedByBytesPresent) {
+  // A forged count header (0xFFFFFFFF buckets / pairs) must fail the parse
+  // without allocating for the claimed count — the unchecked-reserve class.
+  util::Writer forged_table;
+  forged_table.u64(0).u32(1).u32(0xFFFFFFFFu);
+  forged_table.u32(0);  // one bucket of the four billion claimed
+  EXPECT_FALSE(
+      kv::decode_shard_table(std::move(forged_table).take()).has_value());
+
+  util::Writer forged_spec;
+  forged_spec.u64(1).u32(4).u32(0xFFFFFFFFu).u32(1);
+  EXPECT_FALSE(
+      kv::decode_range_spec(std::move(forged_spec).take()).has_value());
+
+  sim::Rng rng(0x5EC0F3ull);
+  const kv::RangeSnapshot snap = random_range_snapshot(rng);
+  Bytes wire = kv::encode_range_snapshot(snap);
+  // The pair count sits right after the length-prefixed spec block.
+  const std::size_t count_at = 4 + (4 + 4 * snap.spec.buckets.size() + 8 + 4);
+  ASSERT_LT(count_at + 4, wire.size());
+  for (std::size_t i = 0; i < 4; ++i) wire[count_at + i] = 0xFF;
+  EXPECT_FALSE(kv::decode_range_snapshot(wire).has_value());
+}
+
+TEST(WireFuzz, ReconfigSnapshotBitFlipsNeverAccepted) {
+  // Unlike the plain command codec, the range snapshot carries a digest:
+  // ANY flipped bit must fail closed, not just not-crash.
+  sim::Rng rng(0x5EC0F4ull);
+  for (int trial = 0; trial < 120; ++trial) {
+    const Bytes wire = kv::encode_range_snapshot(random_range_snapshot(rng));
+    Bytes flipped = wire;
+    const std::size_t bit = rng.below(flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(kv::decode_range_snapshot(flipped).has_value())
+        << "trial " << trial << " bit " << bit;
+  }
+}
+
+TEST(WireFuzz, ReconfigRandomBytesNeverCrashAnyDecoder) {
+  sim::Rng rng(0x5EC0F5ull);
+  std::uint64_t snapshots_decoded = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Bytes junk = random_bytes(rng, rng.below(120));
+    (void)kv::decode_shard_table(junk);
+    (void)kv::decode_range_spec(junk);
+    (void)reconfig::decode_config_change(junk);
+    if (kv::decode_range_snapshot(junk).has_value()) ++snapshots_decoded;
+  }
+  // The embedded digest makes an accidental snapshot parse essentially
+  // impossible.
+  EXPECT_EQ(snapshots_decoded, 0u);
 }
 
 }  // namespace
