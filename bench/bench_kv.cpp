@@ -33,7 +33,7 @@ namespace {
 ClusterConfig kv_config(Algorithm algo, std::size_t n, std::size_t m,
                         std::size_t shards, std::size_t clients,
                         std::size_t ops, kv::Mix mix,
-                        bool auto_tune = false) {
+                        bool auto_tune = false, bool sign = false) {
   ClusterConfig c;
   c.algo = algo;
   c.n = n;
@@ -55,6 +55,10 @@ ClusterConfig kv_config(Algorithm algo, std::size_t n, std::size_t m,
   c.kv.auto_tune = auto_tune;
   c.kv.max_window = 16;
   c.kv.max_batch = 8;
+  // Signed rows: every client op carries an HMAC signature and every
+  // replica verifies before apply — the _signed guard rows pin that cost
+  // (expected small: one MAC sign per op, one verify per replica apply).
+  c.kv.sign_commands = sign;
   c.horizon = 400000;
   return c;
 }
@@ -167,7 +171,8 @@ void auto_tune_table() {
 
 void bm_kv(benchmark::State& state, Algorithm algo, std::size_t n,
            std::size_t m, std::size_t shards, std::size_t clients,
-           std::size_t ops, kv::Mix mix, bool auto_tune = false) {
+           std::size_t ops, kv::Mix mix, bool auto_tune = false,
+           bool sign = false) {
   std::uint64_t seed = 1;
   std::uint64_t completed = 0;
   double ops_per_kdelay = 0.0;
@@ -175,7 +180,7 @@ void bm_kv(benchmark::State& state, Algorithm algo, std::size_t n,
   std::uint64_t iters = 0;
   for (auto _ : state) {
     ClusterConfig c =
-        kv_config(algo, n, m, shards, clients, ops, mix, auto_tune);
+        kv_config(algo, n, m, shards, clients, ops, mix, auto_tune, sign);
     c.seed = seed++;
     const RunReport r = run_cluster(c);
     if (!r.agreement || !r.termination) {
@@ -257,34 +262,42 @@ int main(int argc, char** argv) {
   // ≥3x from one shard to eight on the read-heavy mix.
   benchmark::RegisterBenchmark("kv/FastPaxos_s1_C", bm_kv,
                                Algorithm::kFastPaxos, 3, 0, 1, 64, 8,
-                               kv::Mix::kC, false)
+                               kv::Mix::kC, false, false)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("kv/FastPaxos_s8_C", bm_kv,
                                Algorithm::kFastPaxos, 3, 0, 8, 64, 8,
-                               kv::Mix::kC, false)
+                               kv::Mix::kC, false, false)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("kv/FastPaxos_s4_A", bm_kv,
                                Algorithm::kFastPaxos, 3, 0, 4, 64, 8,
-                               kv::Mix::kA, false)
+                               kv::Mix::kA, false, false)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("kv/PMP_s2_A", bm_kv,
                                Algorithm::kProtectedMemoryPaxos, 2, 3, 2, 8, 4,
-                               kv::Mix::kA, false)
+                               kv::Mix::kA, false, false)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("kv/FastRobust_s1_A", bm_kv,
                                Algorithm::kFastRobust, 3, 3, 1, 2, 3,
-                               kv::Mix::kA, false)
+                               kv::Mix::kA, false, false)
+      ->Unit(benchmark::kMillisecond);
+  // Signed-vs-unsigned pair: identical workload to kv/FastPaxos_s4_A, but
+  // every command carries a client HMAC and every replica apply verifies
+  // it. The baseline pins the verification cost on the apply path (one
+  // sign per op + one verify per replica apply — expected small).
+  benchmark::RegisterBenchmark("kv/FastPaxos_s4_A_signed", bm_kv,
+                               Algorithm::kFastPaxos, 3, 0, 4, 64, 8,
+                               kv::Mix::kA, false, true)
       ->Unit(benchmark::kMillisecond);
   // Auto-tuned counterparts of the fixed guard rows: the controller starts
   // from the same 4x4 and must land within ~10% of it (or beat it) on both
   // the read-heavy and the write-heavy mix.
   benchmark::RegisterBenchmark("kv/FastPaxos_s1_C_auto", bm_kv,
                                Algorithm::kFastPaxos, 3, 0, 1, 64, 8,
-                               kv::Mix::kC, true)
+                               kv::Mix::kC, true, false)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("kv/FastPaxos_s4_A_auto", bm_kv,
                                Algorithm::kFastPaxos, 3, 0, 4, 64, 8,
-                               kv::Mix::kA, true)
+                               kv::Mix::kA, true, false)
       ->Unit(benchmark::kMillisecond);
   // During-migration row: a live 1→2 split (src/reconfig/) mid-workload.
   // Compare against kv/FastPaxos_s1_C for what the reshard costs while it

@@ -12,7 +12,10 @@
 #     window/batch → BENCH_log_pipeline.json
 #   * bench_kv             — sharded KV aggregate ops/sec vs shards × mix ×
 #     engine (the kv/..._s8_C : kv/..._s1_C ops_per_kdelay ratio is the
-#     shard-scaling evidence) → BENCH_kv.json
+#     shard-scaling evidence; the kv/FastPaxos_s4_A_signed row runs the
+#     same workload with client-signed commands — its ops_per_kdelay must
+#     match the unsigned row, since the HMAC cost is wall-clock-only and
+#     must never perturb the virtual-time schedule) → BENCH_kv.json
 #   * bench_recovery       — crash-and-rejoin: snapshot cadence, log
 #     compaction and peer catch-up cost (the rejoin rows' cmds_per_kdelay
 #     matching the no-fault row is the recovery-doesn't-stall-survivors

@@ -87,7 +87,11 @@ std::string RunReport::summary() const {
   }
   if (kv_ops > 0) {
     os << " kv_ops=" << kv_ops << " kv_retries=" << kv_retries
-       << " kv_dups=" << kv_duplicates << " kv_ops/kdelay=" << kv_ops_per_kdelay
+       << " kv_dups=" << kv_duplicates;
+    // Signed-mode-only counter: printed only when non-zero so legacy
+    // summary strings (and the fingerprints pinning them) are unchanged.
+    if (kv_forged > 0) os << " kv_forged=" << kv_forged;
+    os << " kv_ops/kdelay=" << kv_ops_per_kdelay
        << " kv_op_p50=" << kv_op_p50 << " kv_op_p99=" << kv_op_p99
        << " kv_op_p999=" << kv_op_p999 << " kv_hash=" << kv_store_hash
        << " shard_ops=[";
@@ -438,6 +442,42 @@ sim::Task<void> byz_cq_leader_equivocate(World* w, ProcessId p) {
   co_return;
 }
 
+sim::Task<void> byz_forge_client_commands(World* w, ProcessId p) {
+  // The session-hijack attack (KV mode, CQ leader): win slot 0 of shard 0
+  // honestly — the *same* validly-signed leader blob on every memory, so
+  // followers reach unanimity and the fast path decides it — but make the
+  // decided payload a batch of well-formed kv::Commands claiming a victim
+  // client's identity with sky-high seqs. Without client signing the
+  // machines apply them, the victim's session fast-forwards past the
+  // forged seqs, and every real retry deduplicates against the attacker's
+  // write. With signing on both land in kv_forged: one carries no client
+  // signature at all, the other a *valid* signature under the attacker's
+  // own keystore identity (the strongest forgery the model allows — a
+  // Byzantine process only ever holds its own signer).
+  const kv::ClientId victim = 1;
+  kv::Command forged1;
+  forged1.op = kv::Op::kPut;
+  forged1.client = victim;
+  forged1.seq = 1000000;
+  forged1.key = util::to_bytes("forged-key");
+  forged1.value = util::to_bytes("hijack");
+  kv::Command forged2 = forged1;
+  forged2.seq = 1000001;
+  const Bytes body2 = kv::encode_command(forged2);
+  const crypto::Signature sig2 =
+      w->signers[p - 1].sign(kv::command_signing_bytes(body2));
+  const Bytes payload = smr::encode_batch(
+      {kv::encode_command(forged1), kv::encode_signed_command(body2, sig2)});
+  const crypto::Signature blob_sig =
+      w->signers[p - 1].sign(core::cq_value_signing_bytes(payload));
+  for (std::size_t i = 0; i < w->memories.size(); ++i) {
+    (void)co_await w->memories[i]->write(
+        p, w->cq_region_leader_, w->cq_prefix + "/leader/value",
+        core::encode_leader_blob(payload, blob_sig));
+  }
+  co_return;
+}
+
 sim::Task<void> byz_garbage(World* w, ProcessId p) {
   // Malformed NEB slot + junk on every message tag others listen on.
   const std::string slot =
@@ -464,6 +504,9 @@ void spawn_byzantine(World& w, const ClusterConfig& config) {
         break;
       case ByzantineStrategy::kGarbage:
         w.exec.spawn(byz_garbage(&w, p));
+        break;
+      case ByzantineStrategy::kForgeClientCommands:
+        w.exec.spawn(byz_forge_client_commands(&w, p));
         break;
     }
   }
@@ -1267,6 +1310,11 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   kv::RouterConfig router_cfg;
   router_cfg.retry_timeout = config.kv.retry_timeout;
   router_cfg.adaptive_retry = config.kv.adaptive_retry;
+  // Signed-command mode: the router registers every session's client
+  // identity in the run's shared keystore and arms verification on every
+  // backend machine (client ids live at kClientSignerBase, disjoint from
+  // the replica processes registered above).
+  router_cfg.keystore = config.kv.sign_commands ? &w.keystore : nullptr;
   w.kv_router = std::make_unique<kv::Router>(
       w.exec, *w.omega, kv::ShardMap(shards), std::move(backends), router_cfg,
       w.table_view.get());
@@ -1399,6 +1447,7 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
         report.kv_shard_ops.push_back(sm.ops_applied());
         report.kv_duplicates += sm.duplicates_suppressed();
         report.kv_malformed += sm.malformed();
+        report.kv_forged += sm.forged();
         effective_total += sm.ops_applied();
       } else if (sm.store_hash() != reference->store_hash()) {
         report.agreement = false;

@@ -51,6 +51,9 @@ enum class ByzantineStrategy {
   kCqLeaderEquivocate, // as CQ leader: plants different signed values on
                        // different memories, then goes silent
   kGarbage,            // floods its regions and links with malformed bytes
+  kForgeClientCommands, // KV mode, CQ leader: wins slot 0 with *well-formed*
+                        // commands under a victim client's (client, seq) —
+                        // the session-hijack attack client signing stops
 };
 
 struct FaultPlan {
@@ -147,6 +150,13 @@ struct KvConfig {
   std::size_t max_batch = 8;
   /// Per-shard snapshot + log compaction cadence (see SmrConfig).
   Slot snapshot_interval = 0;
+  /// Client-signed commands: every client (and the Migrator's admin
+  /// session) signs each command under its own keystore identity, and
+  /// every state machine verifies before the session lookup — forged
+  /// commands (a Byzantine slot winner writing under a victim's session)
+  /// no-op into RunReport::kv_forged. Off (the default) keeps the legacy
+  /// unsigned wire and byte-identical fingerprints.
+  bool sign_commands = false;
   /// Live reconfiguration plan (src/reconfig/). Non-empty ⇒ routing runs
   /// off a consensus-decided kv::ShardTable (epoch 0 = `shards` groups of
   /// ShardTable::initial), a dedicated config group (one extra consensus
@@ -282,6 +292,8 @@ struct RunReport {
   std::uint64_t kv_retries = 0;         // client re-submissions (dedup-covered)
   std::uint64_t kv_duplicates = 0;      // duplicate applies suppressed
   std::uint64_t kv_malformed = 0;       // undecodable commands applied as no-ops
+  std::uint64_t kv_forged = 0;          // well-formed commands rejected by
+                                        // signature verification (signing on)
   std::uint64_t kv_store_hash = 0;      // combined per-shard store/session hash
   /// Effective (deduplicated) operations applied per shard, shard order —
   /// the partitioning fingerprint.

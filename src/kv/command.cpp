@@ -49,4 +49,58 @@ std::optional<Command> decode_command(util::ByteView raw) {
   }
 }
 
+namespace {
+constexpr char kSigningTag[] = "kvc1";
+constexpr std::size_t kSigningTagLen = 4;
+constexpr std::size_t kMacSize = 32;  // HMAC-SHA256
+}  // namespace
+
+Bytes command_signing_bytes(util::ByteView canonical_command) {
+  Bytes msg;
+  msg.reserve(kSigningTagLen + canonical_command.size());
+  msg.insert(msg.end(), kSigningTag, kSigningTag + kSigningTagLen);
+  msg.insert(msg.end(), canonical_command.begin(), canonical_command.end());
+  return msg;
+}
+
+Bytes encode_signed_command(util::ByteView canonical_command,
+                            const crypto::Signature& sig) {
+  util::Writer w(1 + 4 + canonical_command.size() + 4 + 4 + sig.mac.size());
+  w.u8(kSignedCommandMarker);
+  w.bytes(canonical_command);
+  sig.encode(w);
+  return std::move(w).take();
+}
+
+std::optional<SignedCommand> decode_signed_command(util::ByteView raw) {
+  if (raw.empty()) return std::nullopt;
+  if (raw[0] != kSignedCommandMarker) {
+    // Legacy unsigned wire — exactly decode_command.
+    std::optional<Command> c = decode_command(raw);
+    if (!c.has_value()) return std::nullopt;
+    SignedCommand out;
+    out.cmd = *std::move(c);
+    return out;
+  }
+  try {
+    util::Reader r(raw);
+    (void)r.u8();  // marker
+    SignedCommand out;
+    out.has_sig = true;
+    out.body = r.bytes();
+    out.sig = crypto::Signature::decode(r);
+    r.expect_end();
+    // Canonical-form checks: the MAC length is fixed and the inner command
+    // must itself be strict — a signed wrapper around junk is malformed,
+    // not forged.
+    if (out.sig.mac.size() != kMacSize) return std::nullopt;
+    std::optional<Command> c = decode_command(out.body);
+    if (!c.has_value()) return std::nullopt;
+    out.cmd = *std::move(c);
+    return out;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace mnm::kv

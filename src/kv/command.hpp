@@ -12,6 +12,17 @@
 // strict (expect_end) and total — Byzantine proposers can win log slots with
 // arbitrary bytes, so malformed commands must decode to nullopt
 // deterministically on every correct replica, never throw out of apply.
+//
+// Signed commands: a Byzantine slot winner can put a *well-formed* command
+// under a victim's (client, seq) into the log — replicas would stay in
+// agreement while the victim's session is hijacked. The signed wire closes
+// that hole: a marker byte (outside the legacy op range, so the two forms
+// are unambiguous), the length-prefixed canonical command bytes, and a
+// detached crypto::Signature by the client's identity over those bytes
+// (domain-tagged). decode_signed_command accepts both forms and is as
+// strict and total as decode_command; verification stays with the state
+// machine, which holds the keystore. With signing off the legacy encoding
+// is used untouched, byte for byte.
 
 #pragma once
 
@@ -19,6 +30,7 @@
 #include <optional>
 
 #include "src/common.hpp"
+#include "src/crypto/signature.hpp"
 #include "src/util/serde.hpp"
 
 namespace mnm::kv {
@@ -68,6 +80,12 @@ enum class Status : std::uint8_t {
                      // client must refetch the shard table and retry — the
                      // reply is NOT recorded in the session, so the retried
                      // seq still applies exactly once at the new owner
+  kStaleDup = 5,     // duplicate of a seq *older* than the session's newest:
+                     // only the newest request's reply is cached, so a very
+                     // late retry gets this marker instead of someone else's
+                     // answer. Never cached in a session (the codecs that
+                     // persist replies cap at kWrongEpoch), and in the
+                     // closed-loop model no client waits on a stale seq.
 };
 
 /// What a committed operation returned. Cached per session by
@@ -83,5 +101,47 @@ Bytes encode_command(const Command& c);
 /// Strict decode; nullopt on any malformed input (bad op byte, truncation,
 /// trailing bytes). Never throws, never over-reads.
 std::optional<Command> decode_command(util::ByteView raw);
+
+// --- Client-signed commands. ---
+
+/// First wire byte of the signed form. Legacy commands start with their op
+/// byte (1..7), so the two encodings are unambiguous and old decoders
+/// reject signed wires as malformed instead of misparsing them.
+inline constexpr std::uint8_t kSignedCommandMarker = 0x53;  // 'S'
+
+/// The signing identity a client session uses in the shared crypto::KeyStore.
+/// Replica processes occupy the low ids (1..n); clients live in a disjoint
+/// space, so a Byzantine *replica*'s own signer can never collide with any
+/// client identity.
+inline constexpr crypto::ProcessId kClientSignerBase = 0x40000000;
+inline crypto::ProcessId client_signer_id(ClientId client) {
+  return kClientSignerBase + static_cast<crypto::ProcessId>(client);
+}
+
+/// Domain-tagged message a client signs: "kvc1" + the canonical command
+/// bytes. The tag keeps client-command signatures unmixable with the
+/// consensus-layer signing domains (NEB slots, Cheap Quorum blobs).
+Bytes command_signing_bytes(util::ByteView canonical_command);
+
+/// Signed wire: marker byte + length-prefixed canonical command bytes +
+/// detached signature over command_signing_bytes(body).
+Bytes encode_signed_command(util::ByteView canonical_command,
+                            const crypto::Signature& sig);
+
+/// A decoded command plus its authentication evidence. `body` keeps the
+/// exact canonical bytes the signature covers, so verification needs no
+/// re-encode.
+struct SignedCommand {
+  Command cmd;
+  bool has_sig = false;   // false: legacy unsigned wire
+  crypto::Signature sig;  // valid only when has_sig
+  Bytes body;             // canonical command bytes (signed form only)
+};
+
+/// Total decode of either wire form. Strict end to end: the signed form
+/// requires a 32-byte MAC, a strictly-decodable inner command and no
+/// trailing bytes; the legacy form is decode_command exactly. Never throws,
+/// never over-reads — slot payloads are attacker-controlled.
+std::optional<SignedCommand> decode_signed_command(util::ByteView raw);
 
 }  // namespace mnm::kv

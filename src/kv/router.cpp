@@ -33,8 +33,24 @@ Router::Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
       sm->set_reply_sink([this](ClientId c, std::uint64_t seq, const Reply& r) {
         deliver(c, seq, r);
       });
+      arm_machine(sm);
     }
   }
+}
+
+void Router::arm_machine(StateMachine* sm) const {
+  if (config_.keystore == nullptr || sm == nullptr) return;
+  sm->set_keystore(config_.keystore);
+  for (const crypto::ProcessId id : admin_signer_ids_) {
+    sm->allow_admin_signer(id);
+  }
+}
+
+Bytes Router::encode_wire(const ClientSession& s, const Command& cmd) const {
+  Bytes body = encode_command(cmd);
+  if (config_.keystore == nullptr) return body;  // legacy unsigned wire
+  const crypto::Signature sig = s.signer->sign(command_signing_bytes(body));
+  return encode_signed_command(body, sig);
 }
 
 void Router::rebind(std::size_t shard, ProcessId p, smr::Replica* replica,
@@ -49,18 +65,38 @@ void Router::rebind(std::size_t shard, ProcessId p, smr::Replica* replica,
         [this](ClientId c, std::uint64_t seq, const Reply& r) {
           deliver(c, seq, r);
         });
+    // A rejoiner's fresh machine must verify like the incarnation it
+    // replaces, or forged commands would apply there and fork the shard.
+    arm_machine(machine);
   }
 }
 
 ClientId Router::register_client() {
   sessions_.emplace_back(*exec_);
-  return static_cast<ClientId>(sessions_.size());
+  const ClientId id = static_cast<ClientId>(sessions_.size());
+  if (config_.keystore != nullptr) {
+    sessions_.back().signer =
+        config_.keystore->register_process(client_signer_id(id));
+  }
+  return id;
 }
 
 ClientId Router::register_admin_client() {
-  sessions_.emplace_back(*exec_);
+  const ClientId id = register_client();
   sessions_.back().admin = true;
-  return static_cast<ClientId>(sessions_.size());
+  if (config_.keystore != nullptr) {
+    // Reconfiguration authority is per-identity: allow-list this session's
+    // signer on every backend machine, present and future (arm_machine
+    // replays the list on rebind).
+    const crypto::ProcessId signer = client_signer_id(id);
+    admin_signer_ids_.push_back(signer);
+    for (ShardBackend& b : shards_) {
+      for (StateMachine* sm : b.machines) {
+        if (sm != nullptr) sm->allow_admin_signer(signer);
+      }
+    }
+  }
+  return id;
 }
 
 std::size_t Router::route(util::ByteView key) const {
@@ -162,9 +198,16 @@ sim::Time Router::retry_deadline(std::size_t shard, std::size_t attempt) const {
     // mistaken for a lost command.
     base = 2 * shard_latency_[shard] + 2;
   }
-  for (std::size_t i = 0; i < attempt && base < config_.retry_timeout_cap;
-       ++i) {
-    base *= 2;  // exponential backoff: retries must not storm a slow shard
+  // Exponential backoff: retries must not storm a slow shard. Saturate at
+  // the cap *before* the multiply — a long outage can push `attempt` far
+  // past the doubling range of sim::Time, and the old `base *= 2` wrapped
+  // to a tiny (even zero) deadline, turning backoff into a retry storm.
+  for (std::size_t i = 0; i < attempt; ++i) {
+    if (base >= config_.retry_timeout_cap / 2) {
+      base = config_.retry_timeout_cap;
+      break;
+    }
+    base *= 2;
   }
   return std::min(base, config_.retry_timeout_cap);
 }
@@ -197,7 +240,7 @@ sim::Task<Reply> Router::run_op(ClientId client, Command cmd,
   cmd.client = client;
   cmd.seq = ++s.next_seq;
   std::size_t shard = pinned.has_value() ? *pinned : route(cmd.key);
-  const Bytes wire = encode_command(cmd);
+  const Bytes wire = encode_wire(s, cmd);
   s.wait_seq = cmd.seq;
   s.reply.reset();
   s.bounced = false;
@@ -226,9 +269,14 @@ sim::Task<Reply> Router::run_op(ClientId client, Command cmd,
       }
       ++attempt;
     }
+    // Saturating add: near the end of a huge horizon (or with a huge cap)
+    // now + deadline must not wrap past kTimeInfinity into the past.
+    const sim::Time deadline = retry_deadline(shard, attempt);
+    const sim::Time now = exec_->now();
     sim::Select sel(*exec_);
     sel.on(s.signal, seen)
-        .until(exec_->now() + retry_deadline(shard, attempt));
+        .until(now > sim::kTimeInfinity - deadline ? sim::kTimeInfinity
+                                                   : now + deadline);
     const int which = co_await sel;
     if (s.reply.has_value()) break;
     if (s.bounced) continue;  // handled at the top of the loop

@@ -92,6 +92,13 @@ struct RouterConfig {
   bool adaptive_retry = true;
   /// Upper bound on the backed-off deadline.
   sim::Time retry_timeout_cap = 4096;
+  /// Signed-command mode: every session registers a client identity here
+  /// (client_signer_id) and signs each canonical command; the Router
+  /// enables verification on every backend machine (including rebound
+  /// ones) and allow-lists admin sessions' identities for SEAL/INSTALL/
+  /// PURGE. nullptr (the default) keeps the legacy unsigned wire,
+  /// byte-identical to the pre-signing build.
+  crypto::KeyStore* keystore = nullptr;
 };
 
 class Router {
@@ -158,6 +165,9 @@ class Router {
     std::optional<Reply> reply;
     bool bounced = false;  // kWrongEpoch seen for wait_seq; re-route needed
     bool admin = false;    // Migrator session: kWrongEpoch resolves
+    /// Signed mode only: this session's signing capability under its
+    /// client_signer_id identity.
+    std::optional<crypto::Signer> signer;
     sim::VersionSignal signal;
   };
 
@@ -174,9 +184,19 @@ class Router {
   /// The Ω-trusted replica of a shard (first-correct fallback, nullptr for
   /// a wholly faulty shard).
   smr::Replica* leader_replica(std::size_t shard);
-  /// Per-attempt reply deadline (adaptive base, exponential backoff).
+  /// Per-attempt reply deadline (adaptive base, exponential backoff,
+  /// saturating at retry_timeout_cap even for attempt counts that would
+  /// overflow the doubling).
   sim::Time retry_deadline(std::size_t shard, std::size_t attempt) const;
   void observe_latency(std::size_t shard, sim::Time sample);
+  /// Wire bytes for `cmd`: signed form (canonical bytes + this session's
+  /// signature) in signed mode, the legacy encoding otherwise.
+  Bytes encode_wire(const ClientSession& s, const Command& cmd) const;
+  /// Enable signed-command verification on `sm` (no-op without a
+  /// keystore): sets the keystore and replays the admin allow-list, so
+  /// machines created after register_admin_client (rejoin, split targets)
+  /// still accept the Migrator.
+  void arm_machine(StateMachine* sm) const;
 
   sim::Executor* exec_;
   core::Omega* omega_;
@@ -185,6 +205,7 @@ class Router {
   std::vector<ShardBackend> shards_;
   RouterConfig config_;
   std::deque<ClientSession> sessions_;  // stable addresses; index = id - 1
+  std::vector<crypto::ProcessId> admin_signer_ids_;  // signed mode only
   std::vector<std::uint8_t> flush_armed_;
   std::vector<sim::Time> shard_latency_;  // decaying max per shard
   std::uint64_t retries_ = 0;

@@ -57,21 +57,55 @@ bool StateMachine::resize_owned(std::uint32_t table_buckets) {
   return true;
 }
 
+bool StateMachine::verify_signed(const SignedCommand& sc) const {
+  if (!sc.has_sig) return false;
+  // The signer must be the claimed client's own identity — a valid
+  // signature under identity A on a command claiming client B is a hijack
+  // attempt, not a misconfiguration.
+  const crypto::ProcessId expected = client_signer_id(sc.cmd.client);
+  if (sc.sig.signer != expected) return false;
+  // Admin authority is allow-listed on top: a perfectly valid client
+  // signature on a SEAL/INSTALL/PURGE is still forged unless that identity
+  // was granted reconfiguration authority.
+  if (is_admin(sc.cmd.op) &&
+      admin_signers_.find(expected) == admin_signers_.end()) {
+    return false;
+  }
+  return keystore_->valid(command_signing_bytes(sc.body), sc.sig);
+}
+
 void StateMachine::apply(Slot, util::ByteView command) {
-  const std::optional<Command> c = decode_command(command);
-  if (!c.has_value()) {
+  const std::optional<SignedCommand> sc = decode_signed_command(command);
+  if (!sc.has_value()) {
     ++malformed_;  // no-op, deterministically, on every correct replica
     return;
   }
+  if (keystore_ != nullptr && !verify_signed(*sc)) {
+    // Forged: well-formed bytes that fail authentication. Rejected *before*
+    // the session lookup — a forgery must never create a session nor
+    // advance last_seq, or the victim's own retries would deduplicate
+    // against the attacker's write. Deterministic no-op, mirroring the
+    // malformed rule: never a throw out of apply.
+    ++forged_;
+    return;
+  }
+  const Command* c = &sc->cmd;
   Session& session = sessions_[c->client];
   if (c->seq <= session.last_seq) {
     ++duplicates_;
-    // Re-deliver the cached outcome for the newest request only: in the
-    // closed-loop session model that is the only seq a client can still be
-    // waiting on. A duplicate of an op whose key has since moved away still
-    // answers from the cache — the original outcome is the right reply.
-    if (c->seq == session.last_seq && sink_) {
-      sink_(c->client, c->seq, session.last_reply);
+    // Only the newest request's reply is cached. Re-deliver it for a
+    // duplicate of exactly that seq — in the closed-loop session model that
+    // is the only seq a client can still be waiting on. A *stale* duplicate
+    // (seq < last_seq) must not observe someone else's answer, so it gets
+    // an explicit kStaleDup marker instead of the cache.
+    if (sink_) {
+      if (c->seq == session.last_seq) {
+        sink_(c->client, c->seq, session.last_reply);
+      } else {
+        Reply stale;
+        stale.status = Status::kStaleDup;
+        sink_(c->client, c->seq, stale);
+      }
     }
     return;
   }
@@ -283,6 +317,11 @@ Bytes StateMachine::snapshot() const {
         .bytes(s.last_reply.value);
   }
   w.u64(ops_applied_).u64(duplicates_).u64(malformed_);
+  // The forged counter exists only in signed mode; gating the field on the
+  // keystore keeps legacy (signing-off) snapshot bytes identical to the
+  // pre-signing codec. Restore is symmetric: the keystore is wiring that
+  // survives restore, so both ends agree on the layout.
+  if (keystore_ != nullptr) w.u64(forged_);
   // Partition section: a rejoiner restoring this snapshot lands in the
   // post-split world — table geometry, ownership and epoch included —
   // before it chases the log tip.
@@ -297,6 +336,7 @@ Bytes StateMachine::snapshot() const {
   // installer will adopt and any corruption fails closed on restore.
   std::uint64_t digest = fnv1a_u64(fnv1a_u64(store_hash(), duplicates_),
                                    malformed_);
+  if (keystore_ != nullptr) digest = fnv1a_u64(digest, forged_);
   if (partitioned_) digest = fnv1a_u64(digest, admin_rejected_);
   w.u64(digest);
   return std::move(w).take();
@@ -305,7 +345,7 @@ Bytes StateMachine::snapshot() const {
 bool StateMachine::restore(util::ByteView raw) {
   std::map<Bytes, Bytes> store;
   std::map<ClientId, Session> sessions;
-  std::uint64_t ops = 0, dups = 0, malformed = 0, claimed = 0;
+  std::uint64_t ops = 0, dups = 0, malformed = 0, forged = 0, claimed = 0;
   bool partitioned = false;
   std::uint32_t group = 0;
   std::uint64_t cfg_epoch = 0;
@@ -339,6 +379,7 @@ bool StateMachine::restore(util::ByteView raw) {
     ops = r.u64();
     dups = r.u64();
     malformed = r.u64();
+    if (keystore_ != nullptr) forged = r.u64();
     partitioned = r.u8() != 0;
     if (partitioned) {
       group = r.u32();
@@ -385,6 +426,7 @@ bool StateMachine::restore(util::ByteView raw) {
   }
   h = fnv1a_u64(h, dups);
   h = fnv1a_u64(h, malformed);
+  if (keystore_ != nullptr) h = fnv1a_u64(h, forged);
   if (partitioned) h = fnv1a_u64(h, admin_rejected);
   if (h != claimed) return false;
   store_ = std::move(store);
@@ -392,6 +434,7 @@ bool StateMachine::restore(util::ByteView raw) {
   ops_applied_ = ops;
   duplicates_ = dups;
   malformed_ = malformed;
+  forged_ = forged;
   partitioned_ = partitioned;
   group_ = group;
   cfg_epoch_ = cfg_epoch;

@@ -43,8 +43,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "src/common.hpp"
+#include "src/crypto/signature.hpp"
 #include "src/kv/command.hpp"
 #include "src/kv/range.hpp"
 #include "src/kv/shard.hpp"
@@ -63,6 +65,25 @@ class StateMachine : public smr::StateMachine {
       std::function<void(ClientId, std::uint64_t seq, const Reply&)>;
 
   void set_reply_sink(ReplySink sink) { sink_ = std::move(sink); }
+
+  /// Enable signed-command verification: every applied command must carry a
+  /// signature by its claimed client's identity (client_signer_id) that the
+  /// keystore validates — checked *before* the session lookup, so a forgery
+  /// never touches (or creates) a session. Forged commands are deterministic
+  /// no-ops counted in forged(), exactly like malformed ones. Without a
+  /// keystore (the default) the machine accepts legacy unsigned wires and
+  /// behaves byte-identically to the pre-signing build. The keystore is
+  /// wiring, not state — it is not snapshotted and survives restore().
+  void set_keystore(const crypto::KeyStore* ks) { keystore_ = ks; }
+  bool signing_enabled() const { return keystore_ != nullptr; }
+
+  /// Allow `signer` to issue admin (SEAL/INSTALL/PURGE) operations. Admin
+  /// commands signed by any other identity — including a perfectly valid
+  /// *client* signature — are forged: reconfiguration authority is the
+  /// migrator's alone. No-op unless signing is enabled.
+  void allow_admin_signer(crypto::ProcessId signer) {
+    admin_signers_.insert(signer);
+  }
 
   /// Enter partitioned mode as group `group` of `initial` (epoch 0 table):
   /// the machine starts owning exactly the buckets the table assigns it and
@@ -108,6 +129,10 @@ class StateMachine : public smr::StateMachine {
   /// Commands that failed decode_command (a Byzantine win can put arbitrary
   /// bytes in a slot; they no-op deterministically).
   std::uint64_t malformed() const { return malformed_; }
+  /// Well-formed commands rejected by signature verification (missing
+  /// signature, bad MAC, signer ≠ claimed client, unauthorized admin
+  /// signer). Only ever non-zero with signing enabled.
+  std::uint64_t forged() const { return forged_; }
 
   bool partitioned() const { return partitioned_; }
   std::uint32_t group() const { return group_; }
@@ -142,6 +167,11 @@ class StateMachine : public smr::StateMachine {
 
   Reply apply_op(const Command& c);
   Reply apply_admin(const Command& c);
+  /// Signature check for a decoded command (signing enabled only): true iff
+  /// the wire carried a signature, the signer is the claimed client's
+  /// identity (or an allowed admin signer for admin ops), and the MAC
+  /// verifies over the domain-tagged canonical bytes.
+  bool verify_signed(const SignedCommand& sc) const;
   /// Grow owned_ to `table_buckets` by routing-preserving doubling; false
   /// when the target is not reachable (reject the admin op).
   bool resize_owned(std::uint32_t table_buckets);
@@ -150,9 +180,12 @@ class StateMachine : public smr::StateMachine {
   std::map<Bytes, Bytes> store_;
   std::map<ClientId, Session> sessions_;
   ReplySink sink_;
+  const crypto::KeyStore* keystore_ = nullptr;   // wiring, not state
+  std::set<crypto::ProcessId> admin_signers_;    // wiring, not state
   std::uint64_t ops_applied_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t forged_ = 0;
 
   // Partition state (reconfiguration runs only; see class comment).
   bool partitioned_ = false;

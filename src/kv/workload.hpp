@@ -14,6 +14,12 @@
 // flows from one sim::Rng fork per client, so a (seed, config) pair
 // reproduces the identical operation stream — the determinism suite pins
 // whole sharded runs on that.
+//
+// Client identity is the Router's concern: each register_client() session
+// owns a crypto::Signer in signed-command mode, and the wire every
+// operation travels on carries that session's signature. The workload
+// itself never sees keys or signatures — it drives Commands, the Router
+// authenticates them.
 
 #pragma once
 

@@ -24,7 +24,12 @@
 //       PURGE   (src group log)  drop the sealed-away pairs at the source.
 //     The three admin ops ride the Migrator's own router session — the same
 //     exactly-once machinery as client ops, so a crash-induced re-submit of
-//     INSTALL imports once.
+//     INSTALL imports once. In signed-command mode that session carries its
+//     own keystore identity (registered by Router::register_admin_client
+//     and allow-listed on every backend machine): SEAL/INSTALL/PURGE are
+//     signed by the Migrator and rejected from any other signer — a
+//     Byzantine slot winner cannot reshape ownership even with a valid
+//     *client* signature.
 //
 // The driver is serial: one change decides and fully migrates before the
 // next is proposed (run_change is awaited by the harness plan runner).

@@ -43,7 +43,8 @@ struct Fingerprint {
   // hash, client-visible latency percentiles, and the retry/dedup counters
   // — a sharded run whose partitioning, dedup decisions or reply timing
   // drifted cannot fingerprint equal.
-  std::uint64_t kv_ops = 0, kv_retries = 0, kv_dups = 0, kv_hash = 0;
+  std::uint64_t kv_ops = 0, kv_retries = 0, kv_dups = 0, kv_forged = 0,
+                kv_hash = 0;
   std::vector<std::uint64_t> kv_shard_ops;
   sim::Time kv_p50 = 0, kv_p99 = 0, kv_p999 = 0;
   // Reconfiguration: the decided epoch history and the migration traffic it
@@ -101,6 +102,7 @@ Fingerprint fingerprint(const RunReport& r) {
   f.kv_ops = r.kv_ops;
   f.kv_retries = r.kv_retries;
   f.kv_dups = r.kv_duplicates;
+  f.kv_forged = r.kv_forged;
   f.kv_hash = r.kv_store_hash;
   f.kv_shard_ops = r.kv_shard_ops;
   f.kv_p50 = r.kv_op_p50;
@@ -305,6 +307,29 @@ TEST(Determinism, KvCrashAndRejoinRetryStormSameSeedSameRun) {
   const RunReport a = run_cluster(c);
   EXPECT_GT(a.snapshots_installed, 0u) << a.summary();
   EXPECT_GT(a.catchup_bytes, 0u) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, KvSignedCommandsSameSeedSameRun) {
+  // Client-signed commands: every session signs, every replica verifies
+  // before the session lookup. HMAC keys derive from the seeded keystore,
+  // so the whole signed run — wires, verification counts, store hashes —
+  // must replay byte-for-byte. A Byzantine forger is in the mix so the
+  // kv_forged counter (part of the fingerprint) is exercised too.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastRobust;
+  c.n = 3;
+  c.m = 3;
+  c.seed = 13;
+  c.kv.enabled = true;
+  c.kv.shards = 1;
+  c.kv.clients = 2;
+  c.kv.ops_per_client = 3;
+  c.kv.sign_commands = true;
+  c.faults.byzantine[1] = ByzantineStrategy::kForgeClientCommands;
+  c.horizon = 200000;
+  const RunReport a = run_cluster(c);
+  EXPECT_EQ(a.kv_forged, 2u) << a.summary();
   expect_deterministic(c);
 }
 

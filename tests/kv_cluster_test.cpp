@@ -251,6 +251,54 @@ TEST(KvCluster, ByzantineShardCannotForkReplies) {
 }
 
 // ---------------------------------------------------------------------------
+// Session hijack (client-signed commands end to end).
+// ---------------------------------------------------------------------------
+
+TEST(KvCluster, SignedCommandsStopSessionHijack) {
+  // The session-hijack attack: a Byzantine Cheap Quorum leader wins shard
+  // 0's slot 0 honestly (unanimous fast path), but the decided payload is a
+  // batch of two well-formed forged commands under client 1's session with
+  // sky-high seqs — one unsigned, one validly signed under the attacker's
+  // own identity. With client signing on, both must be rejected before the
+  // session lookup: zero hijacks, every victim retry observes its own
+  // outcome, the exactly-once rollup holds, and both forgeries land in
+  // kv_forged.
+  ClusterConfig c = kv_config(Algorithm::kFastRobust, 3, 3, 1, 2, 3);
+  c.faults.byzantine[1] = ByzantineStrategy::kForgeClientCommands;
+  c.kv.sign_commands = true;
+  c.horizon = 200000;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_forged, 2u)
+      << "both forged commands must be counted, not applied: " << r.summary();
+  EXPECT_EQ(r.kv_ops, 2u * 3u) << "every client op must still complete";
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops)
+      << "forgeries must not reach any session: " << r.summary();
+}
+
+TEST(KvCluster, UnsignedModeIsHijackableTheVulnerabilityIsReal) {
+  // Contrast run: the identical attack with signing off. The forged
+  // commands apply, client 1's session fast-forwards past the forged seqs,
+  // and every real op of the victim deduplicates against the attacker's
+  // writes — the exactly-once rollup breaks (validity fails). This pins
+  // that the scenario actually exercises the hole the tentpole closes.
+  ClusterConfig c = kv_config(Algorithm::kFastRobust, 3, 3, 1, 2, 3);
+  c.faults.byzantine[1] = ByzantineStrategy::kForgeClientCommands;
+  c.kv.sign_commands = false;
+  c.horizon = 200000;
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.agreement)
+      << "replicas stay in agreement — that is what makes the hijack "
+         "invisible to the consensus layer: "
+      << r.summary();
+  EXPECT_EQ(r.kv_forged, 0u) << "nothing verifies, nothing counts";
+  EXPECT_FALSE(r.validity)
+      << "with signing off the victim's session must be hijacked "
+         "(effective applies != completed ops): "
+      << r.summary();
+}
+
+// ---------------------------------------------------------------------------
 // Adaptive retry deadline (the slow-shard retry-storm regression).
 // ---------------------------------------------------------------------------
 

@@ -8,11 +8,17 @@
 #include <set>
 #include <vector>
 
+#include "src/core/omega.hpp"
+#include "src/crypto/signature.hpp"
 #include "src/kv/command.hpp"
+#include "src/kv/router.hpp"
 #include "src/kv/shard.hpp"
 #include "src/kv/state_machine.hpp"
 #include "src/kv/workload.hpp"
+#include "src/sim/executor.hpp"
 #include "src/sim/rng.hpp"
+#include "src/sim/task.hpp"
+#include "src/sim/time.hpp"
 
 namespace mnm::kv {
 namespace {
@@ -297,6 +303,217 @@ TEST(KvStateMachine, RestoreRejectsCorruptSnapshotsUntouched) {
   // Every rejection left the target machine untouched.
   EXPECT_EQ(b.store_hash(), hash_before);
   EXPECT_EQ(b.store().at(to_bytes("mine")), to_bytes("intact"));
+}
+
+// --- Stale duplicates (seq < last_seq). ---
+
+TEST(KvStateMachine, StaleDuplicateGetsMarkerNotSomeoneElsesReply) {
+  StateMachine sm;
+  std::vector<std::pair<std::uint64_t, Reply>> replies;
+  sm.set_reply_sink([&](ClientId, std::uint64_t seq, const Reply& r) {
+    replies.emplace_back(seq, r);
+  });
+  const Bytes put = encode_command(cmd(Op::kPut, 3, 1, "k", "mine"));
+  const Bytes get = encode_command(cmd(Op::kGet, 3, 2, "k"));
+  sm.apply(0, put);
+  sm.apply(1, get);
+  ASSERT_EQ(replies.size(), 2u);
+  const Reply get_reply = replies[1].second;
+
+  // A very late replay of seq 1 arrives after seq 2 already applied. Only
+  // seq 2's reply is cached — re-delivering it for seq 1 would hand the PUT
+  // a GET's answer. The stale replay must get the explicit marker instead.
+  sm.apply(2, put);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[2].first, 1u);
+  EXPECT_EQ(replies[2].second.status, Status::kStaleDup);
+  EXPECT_TRUE(replies[2].second.value.empty());
+  EXPECT_EQ(sm.duplicates_suppressed(), 1u);
+
+  // A replay of the *newest* seq still re-delivers the cached original.
+  sm.apply(3, get);
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_EQ(replies[3].first, 2u);
+  EXPECT_EQ(replies[3].second, get_reply);
+  EXPECT_EQ(sm.ops_applied(), 2u);
+}
+
+// --- Client-signed commands. ---
+
+Bytes signed_wire(const crypto::Signer& signer, const Command& c) {
+  const Bytes body = encode_command(c);
+  return encode_signed_command(body, signer.sign(command_signing_bytes(body)));
+}
+
+TEST(KvSignedCodec, RoundTripAndLegacyPassthrough) {
+  crypto::KeyStore ks(11);
+  const crypto::Signer signer = ks.register_process(client_signer_id(7));
+  const Command c = cmd(Op::kCas, 7, 42, "key", "new", "old");
+
+  // Legacy wire: decode_signed_command is decode_command exactly.
+  const auto legacy = decode_signed_command(encode_command(c));
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_FALSE(legacy->has_sig);
+  EXPECT_EQ(legacy->cmd, c);
+
+  const auto s = decode_signed_command(signed_wire(signer, c));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->has_sig);
+  EXPECT_EQ(s->cmd, c);
+  EXPECT_EQ(s->sig.signer, client_signer_id(7));
+  EXPECT_EQ(s->body, encode_command(c));
+  EXPECT_TRUE(ks.valid(command_signing_bytes(s->body), s->sig));
+}
+
+TEST(KvSignedCodec, MalformedSignedWiresReject) {
+  crypto::KeyStore ks(11);
+  const crypto::Signer signer = ks.register_process(client_signer_id(1));
+  const Bytes wire = signed_wire(signer, cmd(Op::kPut, 1, 1, "k", "v"));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(
+        decode_signed_command(util::ByteView(wire).subspan(0, cut)).has_value())
+        << "cut " << cut;
+  }
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_FALSE(decode_signed_command(extended).has_value());
+  // A signed wrapper around junk body bytes is malformed, not forged.
+  crypto::Signature sig = signer.sign(to_bytes("x"));
+  EXPECT_FALSE(
+      decode_signed_command(encode_signed_command(to_bytes("junk"), sig))
+          .has_value());
+  // Wrong-size MAC is malformed even before verification.
+  sig.mac.pop_back();
+  const Bytes body = encode_command(cmd(Op::kPut, 1, 1, "k", "v"));
+  EXPECT_FALSE(decode_signed_command(encode_signed_command(body, sig))
+                   .has_value());
+}
+
+TEST(KvStateMachine, SignedModeRejectsForgeriesBeforeSessionLookup) {
+  crypto::KeyStore ks(5);
+  const crypto::Signer victim = ks.register_process(client_signer_id(1));
+  const crypto::Signer attacker = ks.register_process(777);
+  StateMachine sm;
+  sm.set_keystore(&ks);
+  std::size_t sink_calls = 0;
+  sm.set_reply_sink(
+      [&](ClientId, std::uint64_t, const Reply&) { ++sink_calls; });
+
+  const Command hijack = cmd(Op::kPut, 1, 1000000, "k", "hijack");
+  // Unsigned legacy wire: rejected in signed mode.
+  sm.apply(0, encode_command(hijack));
+  // A valid signature under the attacker's OWN identity claiming client 1 —
+  // the strongest forgery the model allows (Byzantine processes hold only
+  // their own signer).
+  sm.apply(1, signed_wire(attacker, hijack));
+  // Victim-signed bytes with a flipped MAC bit.
+  Bytes tampered = signed_wire(victim, hijack);
+  tampered.back() ^= 0x01;
+  sm.apply(2, tampered);
+  EXPECT_EQ(sm.forged(), 3u);
+  EXPECT_EQ(sm.ops_applied(), 0u);
+  EXPECT_EQ(sink_calls, 0u);
+  EXPECT_TRUE(sm.store().empty());
+  // The forgeries never created a session: the victim's real seq 1 applies
+  // fresh, not as a duplicate of the forged seq 1000000.
+  EXPECT_EQ(sm.last_seq(1), 0u);
+  const Bytes real = signed_wire(victim, cmd(Op::kPut, 1, 1, "k", "mine"));
+  sm.apply(3, real);
+  EXPECT_EQ(sm.ops_applied(), 1u);
+  EXPECT_EQ(sm.store().at(to_bytes("k")), to_bytes("mine"));
+  // Signed retries still deduplicate.
+  sm.apply(4, real);
+  EXPECT_EQ(sm.duplicates_suppressed(), 1u);
+  EXPECT_EQ(sm.ops_applied(), 1u);
+}
+
+TEST(KvStateMachine, AdminOpsRequireAllowListedSigner) {
+  crypto::KeyStore ks(6);
+  const crypto::Signer admin = ks.register_process(client_signer_id(1));
+  StateMachine sm;
+  sm.set_keystore(&ks);
+  // A perfectly valid *client* signature on an admin op is still forged:
+  // reconfiguration authority is allow-listed per identity.
+  const Bytes seal = signed_wire(admin, cmd(Op::kSeal, 1, 1, ""));
+  sm.apply(0, seal);
+  EXPECT_EQ(sm.forged(), 1u);
+  EXPECT_EQ(sm.admin_applied(), 0u);
+  sm.allow_admin_signer(client_signer_id(1));
+  sm.apply(1, seal);
+  EXPECT_EQ(sm.forged(), 1u);
+  EXPECT_EQ(sm.admin_applied(), 1u);  // verified; rejected only as unpartitioned
+  EXPECT_EQ(sm.admin_rejected(), 1u);
+}
+
+TEST(KvStateMachine, SnapshotCarriesForgedCounterInSignedModeOnly) {
+  crypto::KeyStore ks(7);
+  const crypto::Signer client = ks.register_process(client_signer_id(2));
+  StateMachine a;
+  a.set_keystore(&ks);
+  a.apply(0, signed_wire(client, cmd(Op::kPut, 2, 1, "k", "v")));
+  a.apply(1, encode_command(cmd(Op::kPut, 2, 2, "k", "forged")));
+  EXPECT_EQ(a.forged(), 1u);
+
+  // Signed-mode snapshot restores signed-mode state, forged count included —
+  // a rejoiner must keep deduplicating signed retries AND keep its forgery
+  // accounting.
+  StateMachine b;
+  b.set_keystore(&ks);
+  ASSERT_TRUE(b.restore(a.snapshot()));
+  EXPECT_EQ(b.forged(), 1u);
+  EXPECT_EQ(b.ops_applied(), 1u);
+  EXPECT_EQ(b.last_seq(2), 1u);
+  EXPECT_EQ(b.store_hash(), a.store_hash());
+
+  // The forged field is gated on the keystore: signed-mode bytes do not
+  // restore into a legacy machine (layout mismatch fails closed), and a
+  // legacy machine's snapshot stays byte-identical to the pre-signing codec.
+  StateMachine legacy;
+  EXPECT_FALSE(legacy.restore(a.snapshot()));
+  StateMachine c, d;
+  const Bytes put = encode_command(cmd(Op::kPut, 2, 1, "k", "v"));
+  c.apply(0, put);
+  d.set_keystore(&ks);
+  d.apply(0, signed_wire(client, cmd(Op::kPut, 2, 1, "k", "v")));
+  // Same logical state; the signed-mode snapshot differs only by the gated
+  // forged field.
+  EXPECT_EQ(c.snapshot().size() + 8, d.snapshot().size());
+}
+
+// --- Router retry-deadline saturation (halted shard). ---
+
+sim::Task<void> drive_one_put(Router* router, ClientId client, bool* done) {
+  Command put;
+  put.op = Op::kPut;
+  put.key = to_bytes("k");
+  put.value = to_bytes("v");
+  (void)co_await router->execute(client, put);
+  *done = true;
+}
+
+TEST(KvRouter, RetryDeadlineSaturatesInsteadOfOverflowing) {
+  // A shard with no live replica at all: every submit is dropped, every
+  // attempt times out. With an (effectively) unbounded cap the per-attempt
+  // doubling used to overflow sim::Time after ~60 attempts and wrap the
+  // deadline to zero — an infinite same-instant retry storm. Saturated
+  // backoff must keep the attempt count logarithmic in the horizon.
+  sim::Executor exec;
+  core::Omega omega = core::Omega::fixed(exec, 1);
+  std::vector<ShardBackend> backends(1);
+  backends[0].replicas = {nullptr};
+  backends[0].machines = {nullptr};
+  RouterConfig rc;
+  rc.retry_timeout = 1;
+  rc.adaptive_retry = false;
+  rc.retry_timeout_cap = sim::kTimeInfinity;
+  Router router(exec, omega, ShardMap(1), std::move(backends), rc);
+  const ClientId client = router.register_client();
+  bool done = false;
+  exec.spawn(drive_one_put(&router, client, &done));
+  exec.run(sim::Time{1} << 60);
+  EXPECT_FALSE(done);  // the shard is dead; the op can never complete
+  EXPECT_GE(router.retries(), 30u);
+  EXPECT_LE(router.retries(), 80u);
 }
 
 }  // namespace
