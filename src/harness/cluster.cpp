@@ -464,8 +464,11 @@ sim::Task<void> byz_forge_client_commands(World* w, ProcessId p) {
   kv::Command forged2 = forged1;
   forged2.seq = 1000001;
   const Bytes body2 = kv::encode_command(forged2);
+  // Bind the forgery to shard 0's signing domain — the group the attack
+  // targets — so the rejection pinned here is the signer check, not the
+  // (also-enforced) cross-shard binding.
   const crypto::Signature sig2 =
-      w->signers[p - 1].sign(kv::command_signing_bytes(body2));
+      w->signers[p - 1].sign(kv::command_signing_bytes(0, body2));
   const Bytes payload = smr::encode_batch(
       {kv::encode_command(forged1), kv::encode_signed_command(body2, sig2)});
   const crypto::Signature blob_sig =

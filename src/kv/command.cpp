@@ -55,10 +55,14 @@ constexpr std::size_t kSigningTagLen = 4;
 constexpr std::size_t kMacSize = 32;  // HMAC-SHA256
 }  // namespace
 
-Bytes command_signing_bytes(util::ByteView canonical_command) {
+Bytes command_signing_bytes(std::uint32_t group,
+                            util::ByteView canonical_command) {
   Bytes msg;
-  msg.reserve(kSigningTagLen + canonical_command.size());
+  msg.reserve(kSigningTagLen + 4 + canonical_command.size());
   msg.insert(msg.end(), kSigningTag, kSigningTag + kSigningTagLen);
+  for (int i = 3; i >= 0; --i) {
+    msg.push_back(static_cast<std::uint8_t>(group >> (i * 8)));
+  }
   msg.insert(msg.end(), canonical_command.begin(), canonical_command.end());
   return msg;
 }

@@ -114,14 +114,34 @@ inline constexpr std::uint8_t kSignedCommandMarker = 0x53;  // 'S'
 /// space, so a Byzantine *replica*'s own signer can never collide with any
 /// client identity.
 inline constexpr crypto::ProcessId kClientSignerBase = 0x40000000;
+
+/// Largest client id whose signer identity is representable without wrapping
+/// the 32-bit ProcessId space. The claimed client id on the wire is 64-bit
+/// and attacker-controlled: past this bound the base+client sum would wrap
+/// back into (or truncate onto) the replica id range, letting a Byzantine
+/// replica pick a claimed client whose mapped signer is *itself* — so
+/// verification must reject any claim above it before mapping.
+inline constexpr ClientId kMaxSignableClient =
+    0xFFFFFFFFULL - kClientSignerBase;
+
+inline bool client_signer_representable(ClientId client) {
+  return client <= kMaxSignableClient;
+}
+/// Precondition: client_signer_representable(client).
 inline crypto::ProcessId client_signer_id(ClientId client) {
   return kClientSignerBase + static_cast<crypto::ProcessId>(client);
 }
 
-/// Domain-tagged message a client signs: "kvc1" + the canonical command
-/// bytes. The tag keeps client-command signatures unmixable with the
-/// consensus-layer signing domains (NEB slots, Cheap Quorum blobs).
-Bytes command_signing_bytes(util::ByteView canonical_command);
+/// Domain-tagged message a client signs: "kvc1" + the target shard group id
+/// + the canonical command bytes. The tag keeps client-command signatures
+/// unmixable with the consensus-layer signing domains (NEB slots, Cheap
+/// Quorum blobs); the group id binds the signature to one shard's log, so a
+/// Byzantine replica (a member of every group) cannot replay a victim's
+/// validly-signed command from shard A into shard B's log and advance the
+/// victim's session there. A re-route (bounce, post-timeout table flip)
+/// re-signs for the new group.
+Bytes command_signing_bytes(std::uint32_t group,
+                            util::ByteView canonical_command);
 
 /// Signed wire: marker byte + length-prefixed canonical command bytes +
 /// detached signature over command_signing_bytes(body).

@@ -33,23 +33,30 @@ Router::Router(sim::Executor& exec, core::Omega& omega, ShardMap map,
       sm->set_reply_sink([this](ClientId c, std::uint64_t seq, const Reply& r) {
         deliver(c, seq, r);
       });
-      arm_machine(sm);
     }
+  }
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    for (StateMachine* sm : shards_[shard].machines) arm_machine(sm, shard);
   }
 }
 
-void Router::arm_machine(StateMachine* sm) const {
+void Router::arm_machine(StateMachine* sm, std::size_t shard) const {
   if (config_.keystore == nullptr || sm == nullptr) return;
-  sm->set_keystore(config_.keystore);
+  sm->set_keystore(config_.keystore, static_cast<std::uint32_t>(shard));
   for (const crypto::ProcessId id : admin_signer_ids_) {
     sm->allow_admin_signer(id);
   }
 }
 
-Bytes Router::encode_wire(const ClientSession& s, const Command& cmd) const {
+Bytes Router::encode_wire(const ClientSession& s, const Command& cmd,
+                          std::size_t shard) const {
   Bytes body = encode_command(cmd);
   if (config_.keystore == nullptr) return body;  // legacy unsigned wire
-  const crypto::Signature sig = s.signer->sign(command_signing_bytes(body));
+  // The signature binds the target shard's log: a Byzantine member of
+  // every group must not be able to replay this wire into another group.
+  // Re-routes (bounce, post-timeout table flip) re-sign for the new shard.
+  const crypto::Signature sig = s.signer->sign(
+      command_signing_bytes(static_cast<std::uint32_t>(shard), body));
   return encode_signed_command(body, sig);
 }
 
@@ -67,7 +74,7 @@ void Router::rebind(std::size_t shard, ProcessId p, smr::Replica* replica,
         });
     // A rejoiner's fresh machine must verify like the incarnation it
     // replaces, or forged commands would apply there and fork the shard.
-    arm_machine(machine);
+    arm_machine(machine, shard);
   }
 }
 
@@ -209,7 +216,10 @@ sim::Time Router::retry_deadline(std::size_t shard, std::size_t attempt) const {
     }
     base *= 2;
   }
-  return std::min(base, config_.retry_timeout_cap);
+  // Never 0 — the constructor clamps the cap to ≥ retry_timeout ≥ 1, but a
+  // zero deadline here is the same-instant retry storm this function exists
+  // to prevent, so guard the degenerate case locally too.
+  return std::max<sim::Time>(1, std::min(base, config_.retry_timeout_cap));
 }
 
 void Router::observe_latency(std::size_t shard, sim::Time sample) {
@@ -240,7 +250,7 @@ sim::Task<Reply> Router::run_op(ClientId client, Command cmd,
   cmd.client = client;
   cmd.seq = ++s.next_seq;
   std::size_t shard = pinned.has_value() ? *pinned : route(cmd.key);
-  const Bytes wire = encode_wire(s, cmd);
+  Bytes wire = encode_wire(s, cmd, shard);
   s.wait_seq = cmd.seq;
   s.reply.reset();
   s.bounced = false;
@@ -254,15 +264,17 @@ sim::Task<Reply> Router::run_op(ClientId client, Command cmd,
     if (s.reply.has_value()) break;
     if (s.bounced) {
       // The key's bucket is sealed or already moved. Re-read the live
-      // table; a changed route re-submits the identical wire immediately
-      // (session dedup keeps it exactly-once). An unchanged route means
-      // the destination hasn't opened the bucket yet — fall through to
-      // the deadline wait so sealed buckets back off like timeouts.
+      // table; a changed route re-signs for the new shard's log and
+      // re-submits immediately (same client, same seq — session dedup
+      // keeps it exactly-once). An unchanged route means the destination
+      // hasn't opened the bucket yet — fall through to the deadline wait
+      // so sealed buckets back off like timeouts.
       s.bounced = false;
       ++bounces_;
       const std::size_t next = route(cmd.key);
       if (next != shard) {
         shard = next;
+        wire = encode_wire(s, cmd, shard);
         submitted_at = exec_->now();
         submit(shard, wire);
         continue;
@@ -281,13 +293,20 @@ sim::Task<Reply> Router::run_op(ClientId client, Command cmd,
     if (s.reply.has_value()) break;
     if (s.bounced) continue;  // handled at the top of the loop
     if (which == sim::Select::kTimedOut) {
-      // Same client id, same seq, same bytes: the state machines' session
-      // dedup turns a double commit into one apply + a cached-reply echo.
-      // Keyed ops re-route first — the table may have flipped while the
-      // reply (or its bounce) was lost to a crash.
+      // Same client id, same seq: the state machines' session dedup turns
+      // a double commit into one apply + a cached-reply echo. Keyed ops
+      // re-route first — the table may have flipped while the reply (or
+      // its bounce) was lost to a crash — and a changed route re-signs for
+      // the new shard's log (an unchanged one re-submits identical bytes).
       ++retries_;
       ++attempt;
-      if (!pinned.has_value()) shard = route(cmd.key);
+      if (!pinned.has_value()) {
+        const std::size_t next = route(cmd.key);
+        if (next != shard) {
+          shard = next;
+          wire = encode_wire(s, cmd, shard);
+        }
+      }
       submitted_at = exec_->now();
       submit(shard, wire);
     }

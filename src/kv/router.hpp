@@ -21,7 +21,9 @@
 // loop workload's natural batching.
 //
 // execute() is the exactly-once retry loop: submit, wait on the session's
-// reply signal with a deadline, re-submit the *identical* wire on timeout.
+// reply signal with a deadline, re-submit the same (client, seq) wire on
+// timeout (identical bytes while the route holds; a re-route re-signs in
+// signed mode).
 // Replies come back through the reply sinks of the shard's state machines
 // (every replica applies every command); the first delivery per (client,
 // seq) wins, later ones are ignored.
@@ -39,7 +41,9 @@
 // instead of the static ShardMap. A `Status::kWrongEpoch` reply is not an
 // outcome — it means the key's bucket is sealed (mid-migration) or already
 // moved: the session marks itself bounced, re-reads the live table, and
-// re-submits the *identical* wire to the new owner. If the route hasn't
+// re-submits the same (client, seq) command to the new owner — re-signed
+// for that shard's log in signed mode, since signatures bind the target
+// group. If the route hasn't
 // changed yet (the destination has not opened the bucket), the bounce
 // backs off like a timeout so sealed buckets aren't storm-retried. The
 // Migrator's own admin sessions (register_admin_client) are exempt: for
@@ -189,14 +193,17 @@ class Router {
   /// overflow the doubling).
   sim::Time retry_deadline(std::size_t shard, std::size_t attempt) const;
   void observe_latency(std::size_t shard, sim::Time sample);
-  /// Wire bytes for `cmd`: signed form (canonical bytes + this session's
-  /// signature) in signed mode, the legacy encoding otherwise.
-  Bytes encode_wire(const ClientSession& s, const Command& cmd) const;
-  /// Enable signed-command verification on `sm` (no-op without a
-  /// keystore): sets the keystore and replays the admin allow-list, so
-  /// machines created after register_admin_client (rejoin, split targets)
-  /// still accept the Migrator.
-  void arm_machine(StateMachine* sm) const;
+  /// Wire bytes for `cmd` headed to `shard`: signed form (canonical bytes
+  /// + this session's signature bound to the shard's log) in signed mode,
+  /// the legacy encoding otherwise.
+  Bytes encode_wire(const ClientSession& s, const Command& cmd,
+                    std::size_t shard) const;
+  /// Enable signed-command verification on `sm` as shard `shard`'s machine
+  /// (no-op without a keystore): sets the keystore + signing group and
+  /// replays the admin allow-list, so machines created after
+  /// register_admin_client (rejoin, split targets) still accept the
+  /// Migrator.
+  void arm_machine(StateMachine* sm, std::size_t shard) const;
 
   sim::Executor* exec_;
   core::Omega* omega_;

@@ -59,6 +59,11 @@ bool StateMachine::resize_owned(std::uint32_t table_buckets) {
 
 bool StateMachine::verify_signed(const SignedCommand& sc) const {
   if (!sc.has_sig) return false;
+  // The claimed client id is attacker-controlled 64-bit input: past the
+  // representable range the base+client mapping would wrap the 32-bit
+  // signer space, letting a Byzantine replica claim a client whose mapped
+  // identity is its *own* signer. Reject before mapping.
+  if (!client_signer_representable(sc.cmd.client)) return false;
   // The signer must be the claimed client's own identity — a valid
   // signature under identity A on a command claiming client B is a hijack
   // attempt, not a misconfiguration.
@@ -71,7 +76,11 @@ bool StateMachine::verify_signed(const SignedCommand& sc) const {
       admin_signers_.find(expected) == admin_signers_.end()) {
     return false;
   }
-  return keystore_->valid(command_signing_bytes(sc.body), sc.sig);
+  // The signed bytes bind the shard group: a command signed for another
+  // group's log — replayed here by a Byzantine member of both groups —
+  // fails verification instead of advancing the victim's session.
+  return keystore_->valid(command_signing_bytes(signing_group_, sc.body),
+                          sc.sig);
 }
 
 void StateMachine::apply(Slot, util::ByteView command) {
@@ -317,11 +326,14 @@ Bytes StateMachine::snapshot() const {
         .bytes(s.last_reply.value);
   }
   w.u64(ops_applied_).u64(duplicates_).u64(malformed_);
-  // The forged counter exists only in signed mode; gating the field on the
-  // keystore keeps legacy (signing-off) snapshot bytes identical to the
-  // pre-signing codec. Restore is symmetric: the keystore is wiring that
-  // survives restore, so both ends agree on the layout.
-  if (keystore_ != nullptr) w.u64(forged_);
+  // The forged counter rides along whenever it can matter: in signed mode,
+  // and when a restored signed-mode count must survive another hop through
+  // a not-yet-armed machine. Legacy (signing-off) snapshot bytes stay
+  // identical to the pre-signing codec. restore() does not need to guess
+  // the layout from wiring — the trailing digest covers the field, so the
+  // bytes are self-describing (see restore()).
+  const bool with_forged = keystore_ != nullptr || forged_ != 0;
+  if (with_forged) w.u64(forged_);
   // Partition section: a rejoiner restoring this snapshot lands in the
   // post-split world — table geometry, ownership and epoch included —
   // before it chases the log tip.
@@ -336,22 +348,39 @@ Bytes StateMachine::snapshot() const {
   // installer will adopt and any corruption fails closed on restore.
   std::uint64_t digest = fnv1a_u64(fnv1a_u64(store_hash(), duplicates_),
                                    malformed_);
-  if (keystore_ != nullptr) digest = fnv1a_u64(digest, forged_);
+  if (with_forged) digest = fnv1a_u64(digest, forged_);
   if (partitioned_) digest = fnv1a_u64(digest, admin_rejected_);
   w.u64(digest);
   return std::move(w).take();
 }
 
-bool StateMachine::restore(util::ByteView raw) {
+namespace {
+
+struct DecodedSession {
+  std::uint64_t last_seq = 0;
+  Reply last_reply;
+};
+
+/// Everything restore() decodes before committing any of it.
+struct DecodedSnapshot {
   std::map<Bytes, Bytes> store;
-  std::map<ClientId, Session> sessions;
-  std::uint64_t ops = 0, dups = 0, malformed = 0, forged = 0, claimed = 0;
+  std::map<ClientId, DecodedSession> sessions;
+  std::uint64_t ops = 0, dups = 0, malformed = 0, forged = 0;
   bool partitioned = false;
   std::uint32_t group = 0;
   std::uint64_t cfg_epoch = 0;
   Bytes owned;
   std::uint64_t admin_applied = 0, bounces = 0, admin_rejected = 0;
   std::uint64_t keys_imported = 0, keys_purged = 0;
+};
+
+/// One layout attempt: decode `raw` with or without the forged field,
+/// recompute the state fold and check it against the embedded digest.
+/// nullopt on malformed bytes or a digest mismatch.
+std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
+                                              bool with_forged) {
+  DecodedSnapshot d;
+  std::uint64_t claimed = 0;
   try {
     util::Reader r(raw);
     const std::uint32_t nkeys = r.u32();
@@ -360,90 +389,116 @@ bool StateMachine::restore(util::ByteView raw) {
       Bytes v = r.bytes();
       // Map order is the codec's canonical order: out-of-order or duplicate
       // keys mean the bytes were not produced by snapshot().
-      if (!store.emplace(std::move(k), std::move(v)).second) return false;
+      if (!d.store.emplace(std::move(k), std::move(v)).second) {
+        return std::nullopt;
+      }
     }
     const std::uint32_t nsessions = r.u32();
     for (std::uint32_t i = 0; i < nsessions; ++i) {
       const ClientId client = r.u64();
-      Session s;
+      DecodedSession s;
       s.last_seq = r.u64();
       const std::uint8_t status = r.u8();
       if (status < static_cast<std::uint8_t>(Status::kOk) ||
           status > static_cast<std::uint8_t>(Status::kWrongEpoch)) {
-        return false;
+        return std::nullopt;
       }
       s.last_reply.status = static_cast<Status>(status);
       s.last_reply.value = r.bytes();
-      if (!sessions.emplace(client, std::move(s)).second) return false;
-    }
-    ops = r.u64();
-    dups = r.u64();
-    malformed = r.u64();
-    if (keystore_ != nullptr) forged = r.u64();
-    partitioned = r.u8() != 0;
-    if (partitioned) {
-      group = r.u32();
-      cfg_epoch = r.u64();
-      owned = r.bytes();
-      if (owned.empty() || owned.size() > kMaxTableBuckets) return false;
-      for (const std::uint8_t o : owned) {
-        if (o > 1) return false;
+      if (!d.sessions.emplace(client, std::move(s)).second) {
+        return std::nullopt;
       }
-      admin_applied = r.u64();
-      bounces = r.u64();
-      admin_rejected = r.u64();
-      keys_imported = r.u64();
-      keys_purged = r.u64();
+    }
+    d.ops = r.u64();
+    d.dups = r.u64();
+    d.malformed = r.u64();
+    if (with_forged) d.forged = r.u64();
+    d.partitioned = r.u8() != 0;
+    if (d.partitioned) {
+      d.group = r.u32();
+      d.cfg_epoch = r.u64();
+      d.owned = r.bytes();
+      if (d.owned.empty() || d.owned.size() > kMaxTableBuckets) {
+        return std::nullopt;
+      }
+      for (const std::uint8_t o : d.owned) {
+        if (o > 1) return std::nullopt;
+      }
+      d.admin_applied = r.u64();
+      d.bounces = r.u64();
+      d.admin_rejected = r.u64();
+      d.keys_imported = r.u64();
+      d.keys_purged = r.u64();
     }
     claimed = r.u64();
     r.expect_end();
   } catch (const util::SerdeError&) {
-    return false;
+    return std::nullopt;
   }
   // Recompute the fold over the decoded state and compare against the
   // embedded digest — a corrupted or forged snapshot fails closed here.
   std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const auto& [k, v] : store) {
+  for (const auto& [k, v] : d.store) {
     h = fnv1a(h, k);
     h = fnv1a(h, v);
   }
-  for (const auto& [client, s] : sessions) {
+  for (const auto& [client, s] : d.sessions) {
     h = fnv1a_u64(h, client);
     h = fnv1a_u64(h, s.last_seq);
     h = fnv1a_u64(h, static_cast<std::uint64_t>(s.last_reply.status));
     h = fnv1a(h, s.last_reply.value);
   }
-  h = fnv1a_u64(h, ops);
-  if (partitioned) {
-    h = fnv1a_u64(h, group);
-    h = fnv1a_u64(h, cfg_epoch);
-    h = fnv1a_u64(h, owned.size());
-    h = fnv1a(h, owned);
-    h = fnv1a_u64(h, admin_applied);
-    h = fnv1a_u64(h, bounces);
-    h = fnv1a_u64(h, keys_imported);
-    h = fnv1a_u64(h, keys_purged);
+  h = fnv1a_u64(h, d.ops);
+  if (d.partitioned) {
+    h = fnv1a_u64(h, d.group);
+    h = fnv1a_u64(h, d.cfg_epoch);
+    h = fnv1a_u64(h, d.owned.size());
+    h = fnv1a(h, d.owned);
+    h = fnv1a_u64(h, d.admin_applied);
+    h = fnv1a_u64(h, d.bounces);
+    h = fnv1a_u64(h, d.keys_imported);
+    h = fnv1a_u64(h, d.keys_purged);
   }
-  h = fnv1a_u64(h, dups);
-  h = fnv1a_u64(h, malformed);
-  if (keystore_ != nullptr) h = fnv1a_u64(h, forged);
-  if (partitioned) h = fnv1a_u64(h, admin_rejected);
-  if (h != claimed) return false;
-  store_ = std::move(store);
-  sessions_ = std::move(sessions);
-  ops_applied_ = ops;
-  duplicates_ = dups;
-  malformed_ = malformed;
-  forged_ = forged;
-  partitioned_ = partitioned;
-  group_ = group;
-  cfg_epoch_ = cfg_epoch;
-  owned_.assign(owned.begin(), owned.end());
-  admin_applied_ = admin_applied;
-  bounces_ = bounces;
-  admin_rejected_ = admin_rejected;
-  keys_imported_ = keys_imported;
-  keys_purged_ = keys_purged;
+  h = fnv1a_u64(h, d.dups);
+  h = fnv1a_u64(h, d.malformed);
+  if (with_forged) h = fnv1a_u64(h, d.forged);
+  if (d.partitioned) h = fnv1a_u64(h, d.admin_rejected);
+  if (h != claimed) return std::nullopt;
+  return d;
+}
+
+}  // namespace
+
+bool StateMachine::restore(util::ByteView raw) {
+  // The layout is self-describing: the forged field's presence is resolved
+  // by the digest (which covers the field when present), not by this
+  // machine's keystore wiring — so a signed-mode snapshot restores on a
+  // machine that arms only after restore, and a legacy snapshot restores on
+  // an armed one. Exactly one layout can validate for honest bytes; any
+  // corruption still fails closed in both attempts.
+  std::optional<DecodedSnapshot> d = parse_snapshot(raw, /*with_forged=*/true);
+  if (!d.has_value()) d = parse_snapshot(raw, /*with_forged=*/false);
+  if (!d.has_value()) return false;
+  store_ = std::move(d->store);
+  sessions_.clear();
+  for (auto& [client, s] : d->sessions) {
+    Session& dst = sessions_[client];
+    dst.last_seq = s.last_seq;
+    dst.last_reply = std::move(s.last_reply);
+  }
+  ops_applied_ = d->ops;
+  duplicates_ = d->dups;
+  malformed_ = d->malformed;
+  forged_ = d->forged;
+  partitioned_ = d->partitioned;
+  group_ = d->group;
+  cfg_epoch_ = d->cfg_epoch;
+  owned_.assign(d->owned.begin(), d->owned.end());
+  admin_applied_ = d->admin_applied;
+  bounces_ = d->bounces;
+  admin_rejected_ = d->admin_rejected;
+  keys_imported_ = d->keys_imported;
+  keys_purged_ = d->keys_purged;
   return true;
 }
 

@@ -67,14 +67,20 @@ class StateMachine : public smr::StateMachine {
   void set_reply_sink(ReplySink sink) { sink_ = std::move(sink); }
 
   /// Enable signed-command verification: every applied command must carry a
-  /// signature by its claimed client's identity (client_signer_id) that the
-  /// keystore validates — checked *before* the session lookup, so a forgery
-  /// never touches (or creates) a session. Forged commands are deterministic
+  /// signature by its claimed client's identity (client_signer_id) over the
+  /// bytes bound to *this* machine's shard group — checked *before* the
+  /// session lookup, so a forgery never touches (or creates) a session.
+  /// `group` is the Router's backend index for this shard; binding it means
+  /// a command validly signed for another shard's log verifies as forged
+  /// here (cross-log replay protection). Forged commands are deterministic
   /// no-ops counted in forged(), exactly like malformed ones. Without a
   /// keystore (the default) the machine accepts legacy unsigned wires and
-  /// behaves byte-identically to the pre-signing build. The keystore is
-  /// wiring, not state — it is not snapshotted and survives restore().
-  void set_keystore(const crypto::KeyStore* ks) { keystore_ = ks; }
+  /// behaves byte-identically to the pre-signing build. The keystore and
+  /// group are wiring, not state — not snapshotted, surviving restore().
+  void set_keystore(const crypto::KeyStore* ks, std::uint32_t group = 0) {
+    keystore_ = ks;
+    signing_group_ = group;
+  }
   bool signing_enabled() const { return keystore_ != nullptr; }
 
   /// Allow `signer` to issue admin (SEAL/INSTALL/PURGE) operations. Admin
@@ -102,9 +108,12 @@ class StateMachine : public smr::StateMachine {
   Bytes snapshot() const override;
   /// Total inverse: decodes into temporaries, recomputes the state fold and
   /// checks it against the embedded digest, and only then swaps the decoded
-  /// state in (the reply sink is wiring, not state — it survives). Malformed
-  /// bytes or a digest mismatch return false with *this untouched. Never
-  /// throws — snapshots arrive from unverified peers.
+  /// state in (the reply sink is wiring, not state — it survives). Both the
+  /// legacy and the signed-mode (forged-field) layouts are accepted
+  /// regardless of this machine's own wiring — the digest disambiguates
+  /// them, so arming order does not matter. Malformed bytes or a digest
+  /// mismatch return false with *this untouched. Never throws — snapshots
+  /// arrive from unverified peers.
   bool restore(util::ByteView raw) override;
 
   /// Drain service for the Migrator (smr::Log serves this over the catch-up
@@ -168,9 +177,10 @@ class StateMachine : public smr::StateMachine {
   Reply apply_op(const Command& c);
   Reply apply_admin(const Command& c);
   /// Signature check for a decoded command (signing enabled only): true iff
-  /// the wire carried a signature, the signer is the claimed client's
-  /// identity (or an allowed admin signer for admin ops), and the MAC
-  /// verifies over the domain-tagged canonical bytes.
+  /// the wire carried a signature, the claimed client id maps to a signer
+  /// without wrapping, the signer is the claimed client's identity (and an
+  /// allowed admin signer for admin ops), and the MAC verifies over the
+  /// canonical bytes domain-tagged and bound to this machine's shard group.
   bool verify_signed(const SignedCommand& sc) const;
   /// Grow owned_ to `table_buckets` by routing-preserving doubling; false
   /// when the target is not reachable (reject the admin op).
@@ -181,6 +191,7 @@ class StateMachine : public smr::StateMachine {
   std::map<ClientId, Session> sessions_;
   ReplySink sink_;
   const crypto::KeyStore* keystore_ = nullptr;   // wiring, not state
+  std::uint32_t signing_group_ = 0;              // wiring, not state
   std::set<crypto::ProcessId> admin_signers_;    // wiring, not state
   std::uint64_t ops_applied_ = 0;
   std::uint64_t duplicates_ = 0;

@@ -298,6 +298,32 @@ TEST(KvCluster, UnsignedModeIsHijackableTheVulnerabilityIsReal) {
       << r.summary();
 }
 
+TEST(KvCluster, SignedCommandsSurviveLiveResharding) {
+  // Signatures bind the target shard's log, so a client bounced by a
+  // mid-migration seal (or re-routed after the table flips) must re-sign
+  // for the new group — otherwise its own retries would verify as forged
+  // at the destination and the op would never complete. Run a split under
+  // a zipfian signed workload: every op still completes exactly once,
+  // bounces prove the re-route path actually re-signed, and nothing
+  // legitimate lands in kv_forged.
+  ClusterConfig c = kv_config(Algorithm::kFastPaxos, 3, 0, /*shards=*/1,
+                              /*clients=*/8, /*ops=*/24);
+  c.kv.dist = kv::KeyDist::kZipfian;
+  c.kv.sign_commands = true;
+  c.kv.reconfig.push_back({40, reconfig::ChangeKind::kSplit, 0, 1});
+  const RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  EXPECT_EQ(r.kv_ops, 8u * 24u) << "every signed op must complete";
+  EXPECT_EQ(total_shard_ops(r), r.kv_ops)
+      << "exactly-once must hold across the epoch flip: " << r.summary();
+  EXPECT_EQ(r.kv_forged, 0u)
+      << "re-routed retries must re-sign for the new group: " << r.summary();
+  EXPECT_EQ(r.reconfig_epoch, 1u) << r.summary();
+  EXPECT_GT(r.reconfig_keys_moved, 0u) << r.summary();
+  EXPECT_GT(r.reconfig_bounces, 0u)
+      << "the split must actually bounce in-flight signed ops";
+}
+
 // ---------------------------------------------------------------------------
 // Adaptive retry deadline (the slow-shard retry-storm regression).
 // ---------------------------------------------------------------------------

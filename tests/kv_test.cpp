@@ -340,9 +340,11 @@ TEST(KvStateMachine, StaleDuplicateGetsMarkerNotSomeoneElsesReply) {
 
 // --- Client-signed commands. ---
 
-Bytes signed_wire(const crypto::Signer& signer, const Command& c) {
+Bytes signed_wire(const crypto::Signer& signer, const Command& c,
+                  std::uint32_t group = 0) {
   const Bytes body = encode_command(c);
-  return encode_signed_command(body, signer.sign(command_signing_bytes(body)));
+  return encode_signed_command(body,
+                               signer.sign(command_signing_bytes(group, body)));
 }
 
 TEST(KvSignedCodec, RoundTripAndLegacyPassthrough) {
@@ -362,7 +364,10 @@ TEST(KvSignedCodec, RoundTripAndLegacyPassthrough) {
   EXPECT_EQ(s->cmd, c);
   EXPECT_EQ(s->sig.signer, client_signer_id(7));
   EXPECT_EQ(s->body, encode_command(c));
-  EXPECT_TRUE(ks.valid(command_signing_bytes(s->body), s->sig));
+  EXPECT_TRUE(ks.valid(command_signing_bytes(0, s->body), s->sig));
+  // The signing bytes bind the shard group: the same body signed for
+  // group 0 does not verify under group 1's domain.
+  EXPECT_FALSE(ks.valid(command_signing_bytes(1, s->body), s->sig));
 }
 
 TEST(KvSignedCodec, MalformedSignedWiresReject) {
@@ -427,6 +432,69 @@ TEST(KvStateMachine, SignedModeRejectsForgeriesBeforeSessionLookup) {
   EXPECT_EQ(sm.ops_applied(), 1u);
 }
 
+TEST(KvStateMachine, SignerIdWrapForgeryRejected) {
+  // The claimed client id is 64-bit and attacker-controlled while signer
+  // ids are 32-bit: without a range check, a claim of 0x100000000 -
+  // kClientSignerBase + p wraps client_signer_id back to replica p itself,
+  // so a Byzantine replica could "authenticate" arbitrary writes with its
+  // OWN signer. Out-of-range claims must verify as forged.
+  crypto::KeyStore ks(9);
+  const crypto::ProcessId attacker_id = 3;  // a replica's own identity
+  const crypto::Signer attacker = ks.register_process(attacker_id);
+  StateMachine sm;
+  sm.set_keystore(&ks);
+  Command wrap = cmd(Op::kPut, 1, 1, "k", "owned");
+  wrap.client = 0x100000000ULL - kClientSignerBase + attacker_id;
+  ASSERT_FALSE(client_signer_representable(wrap.client));
+  // Unchecked, the mapping would land exactly on the attacker's signer.
+  ASSERT_EQ(kClientSignerBase +
+                static_cast<crypto::ProcessId>(wrap.client),
+            attacker_id);
+  const Bytes body = encode_command(wrap);
+  sm.apply(0, encode_signed_command(
+                  body, attacker.sign(command_signing_bytes(0, body))));
+  EXPECT_EQ(sm.forged(), 1u);
+  EXPECT_EQ(sm.ops_applied(), 0u);
+  EXPECT_TRUE(sm.store().empty());
+
+  // Truncation aliasing dies at the same check: a claim past 2^32 whose
+  // low bits match a real client never reaches the signer comparison,
+  // even with a MAC that is valid under the aliased identity.
+  const crypto::Signer victim = ks.register_process(client_signer_id(1));
+  Command alias = cmd(Op::kPut, 1, 1, "k", "alias");
+  alias.client = 0x100000001ULL;  // truncates onto client 1
+  const Bytes abody = encode_command(alias);
+  sm.apply(1, encode_signed_command(
+                  abody, victim.sign(command_signing_bytes(0, abody))));
+  EXPECT_EQ(sm.forged(), 2u);
+  EXPECT_EQ(sm.ops_applied(), 0u);
+}
+
+TEST(KvStateMachine, CrossShardReplayRejected) {
+  // A Byzantine replica is a member of every shard group: without shard
+  // binding it could replay a victim's validly-signed command from shard
+  // 0's log into shard 1's, advancing the victim's session there so the
+  // victim's later op routed to shard 1 is swallowed as a stale duplicate.
+  // The signing bytes bind the target group, so the replay verifies as
+  // forged.
+  crypto::KeyStore ks(10);
+  const crypto::Signer client = ks.register_process(client_signer_id(1));
+  StateMachine a, b;
+  a.set_keystore(&ks, 0);
+  b.set_keystore(&ks, 1);
+  const Bytes wire = signed_wire(client, cmd(Op::kPut, 1, 7, "k", "v"), 0);
+  a.apply(0, wire);
+  EXPECT_EQ(a.ops_applied(), 1u);
+  b.apply(0, wire);
+  EXPECT_EQ(b.forged(), 1u);
+  EXPECT_EQ(b.ops_applied(), 0u);
+  EXPECT_EQ(b.last_seq(1), 0u) << "replay must not create a session";
+  // The victim's own op signed for shard 1 still applies fresh there.
+  b.apply(1, signed_wire(client, cmd(Op::kPut, 1, 1, "bk", "bv"), 1));
+  EXPECT_EQ(b.ops_applied(), 1u);
+  EXPECT_EQ(b.last_seq(1), 1u);
+}
+
 TEST(KvStateMachine, AdminOpsRequireAllowListedSigner) {
   crypto::KeyStore ks(6);
   const crypto::Signer admin = ks.register_process(client_signer_id(1));
@@ -445,7 +513,7 @@ TEST(KvStateMachine, AdminOpsRequireAllowListedSigner) {
   EXPECT_EQ(sm.admin_rejected(), 1u);
 }
 
-TEST(KvStateMachine, SnapshotCarriesForgedCounterInSignedModeOnly) {
+TEST(KvStateMachine, SnapshotForgedFieldIsSelfDescribing) {
   crypto::KeyStore ks(7);
   const crypto::Signer client = ks.register_process(client_signer_id(2));
   StateMachine a;
@@ -465,19 +533,35 @@ TEST(KvStateMachine, SnapshotCarriesForgedCounterInSignedModeOnly) {
   EXPECT_EQ(b.last_seq(2), 1u);
   EXPECT_EQ(b.store_hash(), a.store_hash());
 
-  // The forged field is gated on the keystore: signed-mode bytes do not
-  // restore into a legacy machine (layout mismatch fails closed), and a
-  // legacy machine's snapshot stays byte-identical to the pre-signing codec.
+  // The layout is self-describing (the digest disambiguates the forged
+  // field), not inferred from wiring: signed-mode bytes restore into a
+  // machine that is not (yet) armed, forged count intact — arming order
+  // must never reject a valid snapshot — and the restored count keeps
+  // riding that machine's own snapshots to the next hop.
   StateMachine legacy;
-  EXPECT_FALSE(legacy.restore(a.snapshot()));
+  EXPECT_TRUE(legacy.restore(a.snapshot()));
+  EXPECT_EQ(legacy.forged(), 1u);
+  EXPECT_EQ(legacy.store_hash(), a.store_hash());
+  StateMachine rearmed;
+  rearmed.set_keystore(&ks);
+  ASSERT_TRUE(rearmed.restore(legacy.snapshot()));
+  EXPECT_EQ(rearmed.forged(), 1u);
+
+  // A never-signed machine's snapshot stays byte-identical to the
+  // pre-signing codec; an armed machine still accepts those legacy bytes.
   StateMachine c, d;
   const Bytes put = encode_command(cmd(Op::kPut, 2, 1, "k", "v"));
   c.apply(0, put);
   d.set_keystore(&ks);
   d.apply(0, signed_wire(client, cmd(Op::kPut, 2, 1, "k", "v")));
-  // Same logical state; the signed-mode snapshot differs only by the gated
+  // Same logical state; the signed-mode snapshot differs only by the
   // forged field.
   EXPECT_EQ(c.snapshot().size() + 8, d.snapshot().size());
+  StateMachine armed;
+  armed.set_keystore(&ks);
+  EXPECT_TRUE(armed.restore(c.snapshot()));
+  EXPECT_EQ(armed.forged(), 0u);
+  EXPECT_EQ(armed.store_hash(), c.store_hash());
 }
 
 // --- Router retry-deadline saturation (halted shard). ---

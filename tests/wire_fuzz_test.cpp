@@ -368,33 +368,37 @@ TEST(WireFuzz, KvCommandRandomBytesNeverCrash) {
 // hygiene as above, plus the verification properties: every forgery class a
 // Byzantine slot winner can attempt (mutated MAC, stripped signature,
 // signer swapped to another *valid* identity, truncation inside the
-// signature) must be rejected without crashing — by the strict decode or by
-// the state machine's pre-session verification, never by a throw.
+// signature, cross-shard replay of a genuine wire, a wrapped 64-bit client
+// id that maps onto the attacker's own signer) must be rejected without
+// crashing — by the strict decode or by the state machine's pre-session
+// verification, never by a throw.
 // ---------------------------------------------------------------------------
 
 TEST(WireFuzz, KvSignedCommandForgeriesAlwaysRejected) {
   sim::Rng rng(0xC0DE4ull);
   crypto::KeyStore ks(0x51C0DEull);
+  const crypto::Signer replica = ks.register_process(3);  // attacker's own id
   std::vector<crypto::Signer> clients;
   for (kv::ClientId id = 1; id <= 4; ++id) {
     clients.push_back(ks.register_process(kv::client_signer_id(id)));
   }
   kv::StateMachine sm;
-  sm.set_keystore(&ks);
-  std::uint64_t attacks = 0;
+  sm.set_keystore(&ks, /*group=*/0);
+  std::uint64_t expect_forged = 0;
+  std::uint64_t expect_malformed = 0;
   for (int trial = 0; trial < 150; ++trial) {
     kv::Command c = random_kv_command(rng);
     c.client = rng.below(4) + 1;
     const Bytes body = kv::encode_command(c);
     const crypto::Signature sig =
-        clients[c.client - 1].sign(kv::command_signing_bytes(body));
+        clients[c.client - 1].sign(kv::command_signing_bytes(0, body));
     const Bytes wire = kv::encode_signed_command(body, sig);
 
     // Sanity: the genuine wire decodes and verifies.
     const auto genuine = kv::decode_signed_command(wire);
     ASSERT_TRUE(genuine.has_value() && genuine->has_sig) << "trial " << trial;
     ASSERT_TRUE(ks.valid_from(kv::client_signer_id(c.client),
-                              kv::command_signing_bytes(genuine->body),
+                              kv::command_signing_bytes(0, genuine->body),
                               genuine->sig))
         << "trial " << trial;
 
@@ -404,20 +408,20 @@ TEST(WireFuzz, KvSignedCommandForgeriesAlwaysRejected) {
     forged_mac[wire.size() - 32 + bit / 8] ^=
         static_cast<std::uint8_t>(1u << (bit % 8));
     sm.apply(0, forged_mac);
-    ++attacks;
+    ++expect_forged;
 
     // 2. Signature stripped: the bare canonical bytes are a well-formed
     //    legacy wire, but signed mode must not accept them.
     sm.apply(0, body);
-    ++attacks;
+    ++expect_forged;
 
     // 3. Signer id swapped to another valid client's identity (which even
     //    re-signs correctly under its own key — the cross-client hijack).
     const std::size_t other = (c.client % 4);  // != c.client - 1
     const crypto::Signature other_sig =
-        clients[other].sign(kv::command_signing_bytes(body));
+        clients[other].sign(kv::command_signing_bytes(0, body));
     sm.apply(0, kv::encode_signed_command(body, other_sig));
-    ++attacks;
+    ++expect_forged;
 
     // 4. Truncation inside the signature: strict decode rejects.
     const std::size_t cut = wire.size() - 1 - rng.below(35);
@@ -425,14 +429,32 @@ TEST(WireFuzz, KvSignedCommandForgeriesAlwaysRejected) {
         kv::decode_signed_command(util::ByteView(wire).subspan(0, cut));
     EXPECT_FALSE(truncated.has_value()) << "trial " << trial << " cut " << cut;
     sm.apply(0, util::ByteView(wire).subspan(0, cut));
-    ++attacks;
+    ++expect_malformed;
+
+    // 5. Cross-shard replay: the victim's own valid signature, but bound
+    //    to another group's log — a Byzantine member of both groups could
+    //    otherwise move it into this one.
+    const crypto::Signature other_group_sig =
+        clients[c.client - 1].sign(kv::command_signing_bytes(1, body));
+    sm.apply(0, kv::encode_signed_command(body, other_group_sig));
+    ++expect_forged;
+
+    // 6. Signer-space wrap: claim a 64-bit client id whose 32-bit mapping
+    //    lands on the attacking replica's own identity, signed (validly!)
+    //    with the attacker's own key.
+    kv::Command wrapped = c;
+    wrapped.client = 0x100000000ULL - kv::kClientSignerBase + 3;
+    const Bytes wbody = kv::encode_command(wrapped);
+    sm.apply(0, kv::encode_signed_command(
+                    wbody, replica.sign(kv::command_signing_bytes(0, wbody))));
+    ++expect_forged;
   }
   // Every attack no-opped deterministically: nothing applied, nothing
   // created a session, and each landed in exactly one rejection counter.
   EXPECT_EQ(sm.ops_applied(), 0u);
   EXPECT_TRUE(sm.store().empty());
-  EXPECT_EQ(sm.forged() + sm.malformed(), attacks);
-  EXPECT_EQ(sm.forged(), attacks / 4 * 3);
+  EXPECT_EQ(sm.forged(), expect_forged);
+  EXPECT_EQ(sm.malformed(), expect_malformed);
 }
 
 TEST(WireFuzz, KvSignedCommandRandomBytesNeverCrash) {
