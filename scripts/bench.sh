@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build the bench preset and run the benchmark suite.
 #
-# Six baseline-compared regression guards always run and write
+# Seven baseline-compared regression guards always run and write
 # machine-readable JSON at the repo root (compare against the checked-in
 # baselines to detect regressions):
 #   * bench_smr_throughput — end-to-end consensus instances/sec per algorithm
@@ -24,16 +24,22 @@
 #     plans vs the static control row (ops_per_kdelay with the migration
 #     stall included, plus keys_moved/bounces counters)
 #     → BENCH_reconfig.json
+#   * bench_txn            — cross-shard 2PC transactions: abort_rate vs
+#     zipfian contention (the theta0/95/99 trio must rise), txn commit
+#     p50/p999, and the pure/plain pair whose ops_per_kdelay must agree
+#     within 15% (the 2PC machinery adds records, not per-record cost)
+#     → BENCH_txn.json
 #
 # A full run (the default) additionally executes every other bench_* target
 # — the paper-experiment tables (resilience, delays, signatures, memory
 # faults, lower bound, non-equivocation, failover, aligned) — writing
 # google-benchmark JSON (where the target supports it) under build-bench/.
 #
-#   ./scripts/bench.sh            # full sweep: all thirteen bench targets
-#   ./scripts/bench.sh --quick    # just the six baseline-compared guards
+#   ./scripts/bench.sh            # full sweep: all fourteen bench targets
+#   ./scripts/bench.sh --quick    # just the seven baseline-compared guards
 #   git diff --stat BENCH_hotpath.json BENCH_smr_throughput.json \
-#                   BENCH_log_pipeline.json BENCH_kv.json BENCH_recovery.json
+#                   BENCH_log_pipeline.json BENCH_kv.json BENCH_recovery.json \
+#                   BENCH_reconfig.json BENCH_txn.json
 #
 # BENCH_MIN_TIME overrides google-benchmark's --benchmark_min_time (default
 # 0.5; CI smoke uses 0.01).
@@ -77,6 +83,9 @@ MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 ./build-bench/bench_reconfig \
   --benchmark_out=BENCH_reconfig.json --benchmark_out_format=json \
   --benchmark_min_time="${MIN_TIME}"
+./build-bench/bench_txn \
+  --benchmark_out=BENCH_txn.json --benchmark_out_format=json \
+  --benchmark_min_time="${MIN_TIME}"
 
 if [[ "${QUICK}" -eq 0 ]]; then
   # bench_nonequiv is google-benchmark based like the guards above; the rest
@@ -92,4 +101,4 @@ if [[ "${QUICK}" -eq 0 ]]; then
   done
 fi
 
-echo "Wrote BENCH_smr_throughput.json, BENCH_hotpath.json, BENCH_log_pipeline.json, BENCH_kv.json, BENCH_recovery.json and BENCH_reconfig.json"
+echo "Wrote BENCH_smr_throughput.json, BENCH_hotpath.json, BENCH_log_pipeline.json, BENCH_kv.json, BENCH_recovery.json, BENCH_reconfig.json and BENCH_txn.json"

@@ -100,6 +100,14 @@ std::string RunReport::summary() const {
     }
     os << "]";
   }
+  // Transactional runs only — legacy summary strings are unchanged.
+  if (kv_txns > 0) {
+    os << " txns=" << kv_txns << " commits=" << kv_txn_commits
+       << " aborts=" << kv_txn_aborts << " txn_conflicts=" << kv_txn_conflicts
+       << " recoveries=" << kv_txn_recoveries << " balance=" << kv_txn_balance
+       << " locks=" << kv_locks_held << " txn_p50=" << kv_txn_commit_p50
+       << " txn_p999=" << kv_txn_commit_p999;
+  }
   if (reconfig_epoch > 0 || reconfig_proposals > 0) {
     os << " epoch=" << reconfig_epoch
        << " migrations=" << reconfig_migrations
@@ -442,7 +450,8 @@ sim::Task<void> byz_cq_leader_equivocate(World* w, ProcessId p) {
   co_return;
 }
 
-sim::Task<void> byz_forge_client_commands(World* w, ProcessId p) {
+sim::Task<void> byz_forge_client_commands(World* w, ProcessId p,
+                                          bool forge_txn) {
   // The session-hijack attack (KV mode, CQ leader): win slot 0 of shard 0
   // honestly — the *same* validly-signed leader blob on every memory, so
   // followers reach unanimity and the fast path decides it — but make the
@@ -469,8 +478,29 @@ sim::Task<void> byz_forge_client_commands(World* w, ProcessId p) {
   // (also-enforced) cross-shard binding.
   const crypto::Signature sig2 =
       w->signers[p - 1].sign(kv::command_signing_bytes(0, body2));
-  const Bytes payload = smr::encode_batch(
-      {kv::encode_command(forged1), kv::encode_signed_command(body2, sig2)});
+  std::vector<Bytes> batch = {kv::encode_command(forged1),
+                              kv::encode_signed_command(body2, sig2)};
+  if (forge_txn) {
+    // Transactional runs add a third forgery: a well-formed TxnPrepare on a
+    // hot account under the victim's session, attacker-signed — a Byzantine
+    // replica must not be able to plant a lock (and wedge every transfer
+    // touching the account) any more than it can plant a write.
+    kv::Command forged3;
+    forged3.op = kv::Op::kTxnPrepare;
+    forged3.client = victim;
+    forged3.seq = 1000002;
+    forged3.key = util::to_bytes("acct-0");
+    txn::PrepareRecord pr;
+    pr.txn = 0xF063D;
+    pr.write = txn::WriteKind::kPut;
+    pr.value = util::to_bytes("999999");
+    forged3.value = txn::encode_prepare(pr);
+    const Bytes body3 = kv::encode_command(forged3);
+    const crypto::Signature sig3 =
+        w->signers[p - 1].sign(kv::command_signing_bytes(0, body3));
+    batch.push_back(kv::encode_signed_command(body3, sig3));
+  }
+  const Bytes payload = smr::encode_batch(batch);
   const crypto::Signature blob_sig =
       w->signers[p - 1].sign(core::cq_value_signing_bytes(payload));
   for (std::size_t i = 0; i < w->memories.size(); ++i) {
@@ -509,7 +539,9 @@ void spawn_byzantine(World& w, const ClusterConfig& config) {
         w.exec.spawn(byz_garbage(&w, p));
         break;
       case ByzantineStrategy::kForgeClientCommands:
-        w.exec.spawn(byz_forge_client_commands(&w, p));
+        w.exec.spawn(byz_forge_client_commands(
+            &w, p,
+            config.kv.sign_commands && config.kv.txn_fraction > 0.0));
         break;
     }
   }
@@ -1335,6 +1367,14 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   wc.dist = config.kv.dist;
   wc.keys = config.kv.keys;
   wc.seed = config.seed;
+  wc.txn_fraction = config.kv.txn_fraction;
+  wc.txn_accounts = config.kv.txn_accounts;
+  wc.accounts = config.kv.accounts;
+  wc.txn_zipf_theta = config.kv.txn_zipf_theta;
+  wc.txn_crash_client = config.kv.txn_crash_client;
+  wc.txn_crash_txn = config.kv.txn_crash_txn;
+  wc.txn_crash_records = config.kv.txn_crash_records;
+  wc.txn_crash_pause = config.kv.txn_crash_pause;
   w.kv_workload = std::make_unique<kv::Workload>(w.exec, *w.kv_router, wc);
 
   for (ProcessId p : all) w.muxes[p - 1]->start();
@@ -1452,6 +1492,18 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
         report.kv_malformed += sm.malformed();
         report.kv_forged += sm.forged();
         effective_total += sm.ops_applied();
+        report.kv_txn_conflicts += sm.txn_conflicts();
+        report.kv_locks_held += sm.locks_held();
+        // Balance conservation: every committed transfer moves value
+        // between accounts without creating or destroying any, so the
+        // accounts' sum across all shards must be exactly 0.
+        for (const auto& [k, v] : sm.store()) {
+          static constexpr char kAcct[] = "acct-";
+          if (k.size() >= 5 && std::equal(kAcct, kAcct + 5, k.begin())) {
+            report.kv_txn_balance +=
+                v.empty() ? 0 : std::stoll(util::to_string(v));
+          }
+        }
       } else if (sm.store_hash() != reference->store_hash()) {
         report.agreement = false;
       }
@@ -1542,6 +1594,21 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   if (report.termination && effective_total != ws.ops) {
     report.validity = false;
   }
+  // Transaction invariants (checked on every terminated run — both hold
+  // trivially without a txn mix): no transaction may leave a lock behind
+  // (every 2PC decided), and committed transfers conserve Σ balances.
+  report.kv_txns = ws.txns;
+  report.kv_txn_commits = ws.txn_commits;
+  report.kv_txn_aborts = ws.txn_aborts;
+  report.kv_txn_recoveries = ws.txn_recoveries;
+  if (report.termination &&
+      (report.kv_locks_held != 0 || report.kv_txn_balance != 0)) {
+    report.validity = false;
+  }
+  std::vector<sim::Time> txn_latencies = ws.txn_commit_latencies;
+  std::sort(txn_latencies.begin(), txn_latencies.end());
+  report.kv_txn_commit_p50 = smr::latency_percentile(txn_latencies, 50);
+  report.kv_txn_commit_p999 = smr::latency_percentile(txn_latencies, 99.9);
 
   std::sort(commit_latencies.begin(), commit_latencies.end());
   report.commit_p50 = smr::latency_percentile(commit_latencies, 50);

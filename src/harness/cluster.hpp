@@ -166,6 +166,19 @@ struct KvConfig {
   /// every group any action activates, so split targets exist (idle) from
   /// the start. Empty ⇒ static sharding, byte-for-byte as before.
   std::vector<ReconfigAction> reconfig;
+
+  /// Transactional mix (src/txn/, kv::WorkloadConfig txn knobs): > 0 runs
+  /// bank transfers over 2PC for that share of op slots; 0 keeps the plain
+  /// workload byte-identical. The crash knobs script one coordinator crash
+  /// + presumed-abort recovery mid-run.
+  double txn_fraction = 0.0;
+  std::size_t txn_accounts = 2;
+  std::size_t accounts = 64;
+  double txn_zipf_theta = 0.0;
+  kv::ClientId txn_crash_client = 0;  // 0 = no scripted crash
+  std::size_t txn_crash_txn = 1;
+  std::size_t txn_crash_records = 0;
+  sim::Time txn_crash_pause = 64;
 };
 
 struct ClusterConfig {
@@ -303,6 +316,24 @@ struct RunReport {
   sim::Time kv_op_p50 = 0;
   sim::Time kv_op_p99 = 0;
   sim::Time kv_op_p999 = 0;
+
+  // Transactions (kv.txn_fraction > 0; all zero otherwise, except
+  // kv_locks_held, which is checked — and zero — in every KV run).
+  std::uint64_t kv_txns = 0;            // transfers driven to an outcome
+  std::uint64_t kv_txn_commits = 0;     // committed everywhere
+  std::uint64_t kv_txn_aborts = 0;      // aborted everywhere
+  std::uint64_t kv_txn_conflicts = 0;   // kTxnConflict outcomes machines returned
+  std::uint64_t kv_txn_recoveries = 0;  // crashed coordinators recovered
+  /// Locks still held at the end of the run — non-zero on a terminated run
+  /// means an undecided transaction leaked, and fails validity.
+  std::uint64_t kv_locks_held = 0;
+  /// Σ balances over the "acct-" key space (int64). Every committed
+  /// transfer conserves it, so a terminated transactional run must end at
+  /// exactly 0 — the cross-shard atomicity invariant; fails validity
+  /// otherwise.
+  std::int64_t kv_txn_balance = 0;
+  sim::Time kv_txn_commit_p50 = 0;   // committed-transfer latency
+  sim::Time kv_txn_commit_p999 = 0;
 
   // Reconfiguration (kv.reconfig non-empty; all zero otherwise).
   std::uint64_t reconfig_epoch = 0;       // final decided table epoch

@@ -11,6 +11,9 @@ const char* op_name(Op op) {
     case Op::kSeal: return "SEAL";
     case Op::kInstall: return "INSTALL";
     case Op::kPurge: return "PURGE";
+    case Op::kTxnPrepare: return "TXN-PREPARE";
+    case Op::kTxnCommit: return "TXN-COMMIT";
+    case Op::kTxnAbort: return "TXN-ABORT";
   }
   return "?";
 }
@@ -33,7 +36,7 @@ std::optional<Command> decode_command(util::ByteView raw) {
     Command c;
     const std::uint8_t op = r.u8();
     if (op < static_cast<std::uint8_t>(Op::kGet) ||
-        op > static_cast<std::uint8_t>(Op::kPurge)) {
+        op > static_cast<std::uint8_t>(Op::kTxnAbort)) {
       return std::nullopt;
     }
     c.op = static_cast<Op>(op);

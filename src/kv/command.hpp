@@ -54,11 +54,22 @@ enum class Op : std::uint8_t {
   kSeal = 5,     // stop serving the listed buckets (ops on them bounce)
   kInstall = 6,  // import a drained range snapshot and open its buckets
   kPurge = 7,    // drop sealed-away pairs after the destination installed
+
+  // Cross-shard transaction records (src/txn/): per-key 2PC operations
+  // issued by a txn::Coordinator through an ordinary client session. The
+  // touched key rides in `key` (so the record routes, bounces and re-signs
+  // like any keyed op) and the txn::PrepareRecord / DecisionRecord payload
+  // in `value`. They mutate the machine's lock table + pending-write
+  // buffer; commit additionally applies the buffered write to the store.
+  kTxnPrepare = 8,  // lock key for (txn, session), buffer the write
+  kTxnCommit = 9,   // apply the buffered write, release the lock
+  kTxnAbort = 10,   // discard the buffered write, release the lock
 };
 
 const char* op_name(Op op);
 
 inline bool is_admin(Op op) { return op >= Op::kSeal && op <= Op::kPurge; }
+inline bool is_txn(Op op) { return op >= Op::kTxnPrepare && op <= Op::kTxnAbort; }
 
 struct Command {
   Op op = Op::kGet;
@@ -83,10 +94,47 @@ enum class Status : std::uint8_t {
   kStaleDup = 5,     // duplicate of a seq *older* than the session's newest:
                      // only the newest request's reply is cached, so a very
                      // late retry gets this marker instead of someone else's
-                     // answer. Never cached in a session (the codecs that
-                     // persist replies cap at kWrongEpoch), and in the
+                     // answer. Never cached in a session, and in the
                      // closed-loop model no client waits on a stale seq.
+  kTxnConflict = 6,  // prepare refused: the key is locked by another live
+                     // transaction, or the prepare's optimistic guard did
+                     // not match the current committed value (the value
+                     // rides back like a CAS mismatch). Also returned to a
+                     // plain write (PUT/DEL/CAS) that hits a locked key —
+                     // the deterministic no-wait rule: a conflict is an
+                     // immediate committed outcome, never a block, so
+                     // replicas cannot diverge on lock wait order.
+  kTxnAborted = 7,   // decision resolved against the transaction: a commit
+                     // that found no matching lock (presumed abort — the
+                     // lock was never taken here or an abort already
+                     // released it), or a txn record whose payload failed
+                     // to decode.
 };
+
+/// THE reply-caching rule, in one place for every codec that persists
+/// session replies (the state-machine snapshot codec and the range-drain
+/// SessionRecord): a status is persistable iff it is a committed operation
+/// outcome — kOk, kNotFound, kCasMismatch, kTxnConflict, kTxnAborted. The
+/// two transport markers are not: kWrongEpoch is a routing bounce that is
+/// never recorded in a session (the retried seq must still apply exactly
+/// once at the new owner), and kStaleDup is synthesized for late retries of
+/// seqs whose cache slot was already overwritten. Decoders reject them —
+/// bytes claiming to have cached one were not produced by an honest
+/// machine.
+inline bool status_persistable(std::uint8_t status) {
+  switch (static_cast<Status>(status)) {
+    case Status::kOk:
+    case Status::kNotFound:
+    case Status::kCasMismatch:
+    case Status::kTxnConflict:
+    case Status::kTxnAborted:
+      return true;
+    case Status::kWrongEpoch:
+    case Status::kStaleDup:
+      return false;
+  }
+  return false;
+}
 
 /// What a committed operation returned. Cached per session by
 /// kv::StateMachine so duplicate applies re-deliver the original answer.
@@ -105,7 +153,7 @@ std::optional<Command> decode_command(util::ByteView raw);
 // --- Client-signed commands. ---
 
 /// First wire byte of the signed form. Legacy commands start with their op
-/// byte (1..7), so the two encodings are unambiguous and old decoders
+/// byte (1..10), so the two encodings are unambiguous and old decoders
 /// reject signed wires as malformed instead of misparsing them.
 inline constexpr std::uint8_t kSignedCommandMarker = 0x53;  // 'S'
 

@@ -84,6 +84,18 @@ std::uint64_t range_snapshot_digest(const RangeSnapshot& snap) {
     h = fnv1a_u64(h, static_cast<std::uint64_t>(s.reply.status));
     h = fnv1a(h, s.reply.value);
   }
+  // The locks fold only exists when locks ride along, so lock-free digests
+  // (and therefore lock-free drain bytes) are unchanged byte-for-byte.
+  if (!snap.locks.empty()) {
+    h = fnv1a_u64(h, snap.locks.size());
+    for (const LockRecord& l : snap.locks) {
+      h = fnv1a(h, l.key);
+      h = fnv1a_u64(h, l.txn);
+      h = fnv1a_u64(h, l.owner);
+      h = fnv1a_u64(h, l.write);
+      h = fnv1a(h, l.value);
+    }
+  }
   return h;
 }
 
@@ -94,6 +106,10 @@ Bytes encode_range_snapshot(const RangeSnapshot& snap) {
   for (const SessionRecord& s : snap.sessions) {
     payload += 8 + 8 + 1 + 4 + s.reply.value.size();
   }
+  for (const LockRecord& l : snap.locks) {
+    payload += 4 + l.key.size() + 8 + 8 + 1 + 4 + l.value.size();
+  }
+  if (!snap.locks.empty()) payload += 4;
   util::Writer w(payload + 8);
   w.bytes(spec);
   w.u32(static_cast<std::uint32_t>(snap.pairs.size()));
@@ -104,6 +120,15 @@ Bytes encode_range_snapshot(const RangeSnapshot& snap) {
         .u64(s.last_seq)
         .u8(static_cast<std::uint8_t>(s.reply.status))
         .bytes(s.reply.value);
+  }
+  // Locks section only when locks exist: a lock-free drain stays
+  // byte-identical to the pre-transaction wire, and the decoder can tell
+  // the layouts apart by the bytes remaining before the digest.
+  if (!snap.locks.empty()) {
+    w.u32(static_cast<std::uint32_t>(snap.locks.size()));
+    for (const LockRecord& l : snap.locks) {
+      w.bytes(l.key).u64(l.txn).u64(l.owner).u8(l.write).bytes(l.value);
+    }
   }
   w.u64(range_snapshot_digest(snap));
   return std::move(w).take();
@@ -137,16 +162,35 @@ std::optional<RangeSnapshot> decode_range_snapshot(util::ByteView raw) {
       s.client = r.u64();
       s.last_seq = r.u64();
       const std::uint8_t status = r.u8();
-      if (status < static_cast<std::uint8_t>(Status::kOk) ||
-          status > static_cast<std::uint8_t>(Status::kWrongEpoch)) {
-        return std::nullopt;
-      }
+      // Only committed outcomes are cacheable — see status_persistable.
+      if (!status_persistable(status)) return std::nullopt;
       s.reply.status = static_cast<Status>(status);
       s.reply.value = r.bytes();
       if (i > 0 && s.client <= snap.sessions.back().client) {
         return std::nullopt;
       }
       snap.sessions.push_back(std::move(s));
+    }
+    // Locks section, present iff more than the 8-byte digest remains. The
+    // encoder writes it only when non-empty, so presence is
+    // length-discriminated — no trial parse, and lock-free wires are
+    // byte-identical to the pre-transaction layout.
+    if (r.remaining() > 8) {
+      const std::uint32_t nlocks = r.u32();
+      if (nlocks == 0) return std::nullopt;  // empty section is non-canonical
+      // Each lock costs at least its two length prefixes + fixed fields.
+      snap.locks.reserve(std::min<std::size_t>(nlocks, r.remaining() / 25));
+      for (std::uint32_t i = 0; i < nlocks; ++i) {
+        LockRecord l;
+        l.key = r.bytes();
+        l.txn = r.u64();
+        l.owner = r.u64();
+        l.write = r.u8();
+        if (l.write < 1 || l.write > 2) return std::nullopt;
+        l.value = r.bytes();
+        if (i > 0 && l.key <= snap.locks.back().key) return std::nullopt;
+        snap.locks.push_back(std::move(l));
+      }
     }
     claimed = r.u64();
     r.expect_end();

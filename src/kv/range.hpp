@@ -57,13 +57,30 @@ struct SessionRecord {
   bool operator==(const SessionRecord&) const = default;
 };
 
+/// One transaction lock (+ its buffered pending write) as drained from a
+/// source machine — what lets a 2PC transaction straddle a live reshard:
+/// the lock migrates with its bucket, and the commit/abort record re-routes
+/// to the new owner and finds it there.
+struct LockRecord {
+  Bytes key;
+  std::uint64_t txn = 0;
+  ClientId owner = 0;      // coordinator session holding the lock
+  std::uint8_t write = 1;  // txn::WriteKind of the pending mutation
+  Bytes value;             // pending kPut payload (empty for kDel)
+
+  bool operator==(const LockRecord&) const = default;
+};
+
 /// The drained state of a sealed range. pairs are in store (map) order,
-/// sessions in client-id order — canonical, so equal drains are
-/// byte-identical and the digest doubles as a fingerprint.
+/// sessions in client-id order, locks in key order — canonical, so equal
+/// drains are byte-identical and the digest doubles as a fingerprint. The
+/// locks section is only encoded when non-empty, keeping lock-free drains
+/// byte-identical to the pre-transaction codec.
 struct RangeSnapshot {
   RangeSpec spec;
   std::vector<std::pair<Bytes, Bytes>> pairs;
   std::vector<SessionRecord> sessions;
+  std::vector<LockRecord> locks;
 
   bool operator==(const RangeSnapshot&) const = default;
 };

@@ -232,23 +232,39 @@ void Router::observe_latency(std::size_t shard, sim::Time sample) {
 }
 
 sim::Task<Reply> Router::execute(ClientId client, Command cmd) {
-  return run_op(client, std::move(cmd), std::nullopt);
+  return run_op(client, std::move(cmd), std::nullopt, std::nullopt);
 }
 
 sim::Task<Reply> Router::execute_on(ClientId client, std::size_t group,
                                     Command cmd) {
   assert(group < shards_.size() && "kv::Router: unknown group");
-  return run_op(client, std::move(cmd), group);
+  return run_op(client, std::move(cmd), group, std::nullopt);
+}
+
+sim::Task<Reply> Router::execute_replay(ClientId client, std::uint64_t seq,
+                                        Command cmd) {
+  assert(seq >= 1 && "kv::Router: replayed seqs are 1-based");
+  return run_op(client, std::move(cmd), std::nullopt, seq);
 }
 
 sim::Task<Reply> Router::run_op(ClientId client, Command cmd,
-                                std::optional<std::size_t> pinned) {
+                                std::optional<std::size_t> pinned,
+                                std::optional<std::uint64_t> forced_seq) {
   assert(client >= 1 && client <= sessions_.size() &&
          "kv::Router: unknown client");
   ClientSession& s = sessions_[client - 1];
   assert(s.wait_seq == 0 && "kv::Router: one outstanding op per session");
   cmd.client = client;
-  cmd.seq = ++s.next_seq;
+  if (forced_seq.has_value()) {
+    // Recovery replay: the seq was stamped by a previous (crashed) attempt.
+    // Re-submitting it verbatim hits the session dedup if it applied, and
+    // applies fresh if it never did — either way the outcome is the one the
+    // original attempt was bound to. next_seq only moves forward.
+    cmd.seq = *forced_seq;
+    s.next_seq = std::max(s.next_seq, *forced_seq);
+  } else {
+    cmd.seq = ++s.next_seq;
+  }
   std::size_t shard = pinned.has_value() ? *pinned : route(cmd.key);
   Bytes wire = encode_wire(s, cmd, shard);
   s.wait_seq = cmd.seq;

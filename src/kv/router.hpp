@@ -135,6 +135,22 @@ class Router {
   /// and must land in a specific group's log.
   sim::Task<Reply> execute_on(ClientId client, std::size_t group, Command cmd);
 
+  /// Coordinator crash recovery (src/txn/): re-submit `cmd` under an
+  /// explicit seq instead of the session's next one. Replaying a txn
+  /// record's original (client, seq) makes the machines' session dedup
+  /// re-deliver the reply the crashed attempt already earned — the replayed
+  /// decision is pinned to the original — while a seq the crash never
+  /// reached applies fresh. Advances next_seq past `seq`, so the session
+  /// continues cleanly after recovery.
+  sim::Task<Reply> execute_replay(ClientId client, std::uint64_t seq,
+                                  Command cmd);
+
+  /// Seqs stamped so far for a session — what a coordinator records before
+  /// its first prepare so recovery can replay the identical wire.
+  std::uint64_t next_seq(ClientId client) const {
+    return sessions_[client - 1].next_seq;
+  }
+
   /// The Ω-trusted replica of a shard group (first-correct fallback,
   /// nullptr for a wholly faulty shard) — the Migrator drains range
   /// snapshots from here.
@@ -181,10 +197,13 @@ class Router {
   /// The key's current shard: live table when a view is wired, static map
   /// otherwise.
   std::size_t route(util::ByteView key) const;
-  /// The shared retry loop behind execute()/execute_on(). `pinned` fixes
-  /// the shard (admin ops); otherwise the key re-routes on bounce/timeout.
+  /// The shared retry loop behind execute()/execute_on()/execute_replay().
+  /// `pinned` fixes the shard (admin ops); otherwise the key re-routes on
+  /// bounce/timeout. `forced_seq` replays an explicit seq (txn recovery)
+  /// instead of stamping the next one.
   sim::Task<Reply> run_op(ClientId client, Command cmd,
-                          std::optional<std::size_t> pinned);
+                          std::optional<std::size_t> pinned,
+                          std::optional<std::uint64_t> forced_seq);
   /// The Ω-trusted replica of a shard (first-correct fallback, nullptr for
   /// a wholly faulty shard).
   smr::Replica* leader_replica(std::size_t shard);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/txn/record.hpp"
 #include "src/util/serde.hpp"
 
 namespace mnm::kv {
@@ -138,7 +139,10 @@ void StateMachine::apply(Slot, util::ByteView command) {
     }
     return;
   }
-  const Reply reply = apply_op(*c);
+  // Txn records are client ops: they count in ops_applied_ and advance the
+  // session exactly like GET/PUT — that session advance is what makes a
+  // coordinator's recovery replay re-deliver the original outcomes.
+  const Reply reply = is_txn(c->op) ? apply_txn(*c) : apply_op(*c);
   session.last_seq = c->seq;
   session.last_reply = reply;
   ++ops_applied_;
@@ -147,6 +151,16 @@ void StateMachine::apply(Slot, util::ByteView command) {
 
 Reply StateMachine::apply_op(const Command& c) {
   Reply r;
+  // A plain write on a locked key is a conflict, committed immediately — the
+  // same deterministic no-wait rule as a refused prepare. Reads are not
+  // blocked: GET returns the committed value (buffered txn writes are
+  // invisible until commit).
+  if (!locks_.empty() && c.op != Op::kGet &&
+      locks_.find(c.key) != locks_.end()) {
+    ++txn_conflicts_;
+    r.status = Status::kTxnConflict;
+    return r;
+  }
   switch (c.op) {
     case Op::kGet: {
       const auto it = store_.find(c.key);
@@ -175,9 +189,111 @@ Reply StateMachine::apply_op(const Command& c) {
       break;
     }
     default:
-      break;  // admin ops never reach here (apply() dispatches them)
+      break;  // admin/txn ops never reach here (apply() dispatches them)
   }
   return r;
+}
+
+Reply StateMachine::apply_txn(const Command& c) {
+  Reply r;
+  switch (c.op) {
+    case Op::kTxnPrepare: {
+      const std::optional<txn::PrepareRecord> rec = txn::decode_prepare(c.value);
+      if (!rec.has_value()) {
+        // Undecodable payload: the transaction can never commit here, so the
+        // deterministic answer is an abort outcome, cached like any reply.
+        ++txn_rejected_;
+        r.status = Status::kTxnAborted;
+        return r;
+      }
+      const auto it = locks_.find(c.key);
+      if (it != locks_.end()) {
+        if (it->second.txn == rec->txn && it->second.owner == c.client) {
+          // Our own lock again — a recovery replay re-driving the prepare
+          // under a fresh seq (the cached-seq path never reaches here).
+          // Idempotent success keeps the replayed decision identical.
+          return r;
+        }
+        // Locked by another live transaction: refuse now, never wait. Lock
+        // acquisition order is log order, identical on every replica.
+        ++txn_conflicts_;
+        r.status = Status::kTxnConflict;
+        return r;
+      }
+      if (rec->has_expected) {
+        // Optimistic guard: the coordinator read this key before preparing;
+        // if someone committed in between, the transfer would be a lost
+        // update — refuse like a CAS miss, current value riding back.
+        const auto sit = store_.find(c.key);
+        const Bytes& current =
+            sit == store_.end() ? util::bottom() : sit->second;
+        if (current != rec->expected) {
+          ++txn_conflicts_;
+          r.status = Status::kTxnConflict;
+          r.value = current;
+          return r;
+        }
+      }
+      Lock& l = locks_[c.key];
+      l.txn = rec->txn;
+      l.owner = c.client;
+      l.write = static_cast<std::uint8_t>(rec->write);
+      l.value = rec->value;
+      ++txn_prepared_;
+      return r;
+    }
+    case Op::kTxnCommit: {
+      const std::optional<txn::DecisionRecord> rec =
+          txn::decode_decision(c.value);
+      if (!rec.has_value()) {
+        ++txn_rejected_;
+        r.status = Status::kTxnAborted;
+        return r;
+      }
+      const auto it = locks_.find(c.key);
+      if (it == locks_.end() || it->second.txn != rec->txn ||
+          it->second.owner != c.client) {
+        // Presumed abort: no matching lock means the prepare never landed
+        // here (or an abort already released it), so the commit cannot
+        // apply. A correct coordinator only sends commit after every
+        // prepare returned kOk, so honest runs never take this path.
+        ++txn_orphans_;
+        r.status = Status::kTxnAborted;
+        return r;
+      }
+      if (it->second.write == static_cast<std::uint8_t>(txn::WriteKind::kDel)) {
+        store_.erase(c.key);
+      } else {
+        store_[c.key] = it->second.value;
+      }
+      locks_.erase(it);
+      ++txn_committed_;
+      return r;
+    }
+    case Op::kTxnAbort: {
+      const std::optional<txn::DecisionRecord> rec =
+          txn::decode_decision(c.value);
+      if (!rec.has_value()) {
+        ++txn_rejected_;
+        r.status = Status::kTxnAborted;
+        return r;
+      }
+      const auto it = locks_.find(c.key);
+      if (it != locks_.end() && it->second.txn == rec->txn &&
+          it->second.owner == c.client) {
+        locks_.erase(it);
+        ++txn_aborted_;
+      } else {
+        // Abort is idempotent: releasing a lock that is not there (never
+        // taken, or already released) still succeeds — presumed abort
+        // means absence of a lock IS the aborted state.
+        ++txn_orphans_;
+      }
+      return r;
+    }
+    default:
+      return r;  // unreachable: apply() dispatches is_txn ops only
+  }
 }
 
 Reply StateMachine::apply_admin(const Command& c) {
@@ -221,6 +337,16 @@ Reply StateMachine::apply_admin(const Command& c) {
           s.last_reply = rec.reply;
         }
       }
+      // Locks migrate with their buckets: a transaction prepared before the
+      // split finds its lock here when the commit/abort record re-routes,
+      // so it still decides exactly once.
+      for (const LockRecord& rec : snap->locks) {
+        Lock& l = locks_[rec.key];
+        l.txn = rec.txn;
+        l.owner = rec.owner;
+        l.write = rec.write;
+        l.value = rec.value;
+      }
       for (const std::uint32_t b : snap->spec.buckets) owned_[b] = 1;
       break;
     }
@@ -238,6 +364,15 @@ Reply StateMachine::apply_admin(const Command& c) {
         if (drop[ShardMap::key_hash(it->first) % owned_.size()] != 0) {
           it = store_.erase(it);
           ++keys_purged_;
+        } else {
+          ++it;
+        }
+      }
+      // Sealed-away locks were drained with the range (export_range) and now
+      // live at the destination — drop the local copies with their pairs.
+      for (auto it = locks_.begin(); it != locks_.end();) {
+        if (drop[ShardMap::key_hash(it->first) % owned_.size()] != 0) {
+          it = locks_.erase(it);
         } else {
           ++it;
         }
@@ -279,7 +414,35 @@ Bytes StateMachine::export_range(util::ByteView request) const {
     rec.reply = s.last_reply;
     snap.sessions.push_back(std::move(rec));
   }
+  for (const auto& [k, l] : locks_) {
+    if (take[ShardMap::key_hash(k) % owned_.size()] != 0) {
+      LockRecord rec;
+      rec.key = k;
+      rec.txn = l.txn;
+      rec.owner = l.owner;
+      rec.write = l.write;
+      rec.value = l.value;
+      snap.locks.push_back(std::move(rec));
+    }
+  }
   return encode_range_snapshot(snap);
+}
+
+std::uint64_t StateMachine::txn_fold(std::uint64_t h) const {
+  h = fnv1a_u64(h, locks_.size());
+  for (const auto& [k, l] : locks_) {
+    h = fnv1a(h, k);
+    h = fnv1a_u64(h, l.txn);
+    h = fnv1a_u64(h, l.owner);
+    h = fnv1a_u64(h, l.write);
+    h = fnv1a(h, l.value);
+  }
+  h = fnv1a_u64(h, txn_prepared_);
+  h = fnv1a_u64(h, txn_committed_);
+  h = fnv1a_u64(h, txn_aborted_);
+  h = fnv1a_u64(h, txn_conflicts_);
+  h = fnv1a_u64(h, txn_orphans_);
+  return h;
 }
 
 std::uint64_t StateMachine::partition_fold(std::uint64_t h) const {
@@ -311,6 +474,9 @@ std::uint64_t StateMachine::store_hash() const {
   // agreement check covers ownership and the epoch; static-sharding hashes
   // are unchanged byte-for-byte.
   if (partitioned_) h = partition_fold(h);
+  // Same rule for transaction state: the fold exists only once transactions
+  // have touched this machine, so plain-KV hashes are unchanged.
+  if (txn_active()) h = txn_fold(h);
   return h;
 }
 
@@ -343,6 +509,19 @@ Bytes StateMachine::snapshot() const {
     w.u64(admin_applied_).u64(bounces_).u64(admin_rejected_);
     w.u64(keys_imported_).u64(keys_purged_);
   }
+  // Txn section — same self-describing pattern as the forged field: present
+  // exactly when transaction state exists, resolved on restore by the
+  // digest, never by wiring. Transaction-free snapshots keep the
+  // pre-transaction bytes.
+  const bool with_txn = txn_active();
+  if (with_txn) {
+    w.u32(static_cast<std::uint32_t>(locks_.size()));
+    for (const auto& [k, l] : locks_) {
+      w.bytes(k).u64(l.txn).u64(l.owner).u8(l.write).bytes(l.value);
+    }
+    w.u64(txn_prepared_).u64(txn_committed_).u64(txn_aborted_);
+    w.u64(txn_conflicts_).u64(txn_orphans_).u64(txn_rejected_);
+  }
   // Trailing digest: the store_hash() fold extended over the counters the
   // replicated-state hash leaves out, so the digest covers every byte an
   // installer will adopt and any corruption fails closed on restore.
@@ -350,6 +529,7 @@ Bytes StateMachine::snapshot() const {
                                    malformed_);
   if (with_forged) digest = fnv1a_u64(digest, forged_);
   if (partitioned_) digest = fnv1a_u64(digest, admin_rejected_);
+  if (with_txn) digest = fnv1a_u64(digest, txn_rejected_);
   w.u64(digest);
   return std::move(w).take();
 }
@@ -372,13 +552,17 @@ struct DecodedSnapshot {
   Bytes owned;
   std::uint64_t admin_applied = 0, bounces = 0, admin_rejected = 0;
   std::uint64_t keys_imported = 0, keys_purged = 0;
+  std::map<Bytes, StateMachine::Lock> locks;
+  std::uint64_t txn_prepared = 0, txn_committed = 0, txn_aborted = 0;
+  std::uint64_t txn_conflicts = 0, txn_orphans = 0, txn_rejected = 0;
 };
 
-/// One layout attempt: decode `raw` with or without the forged field,
-/// recompute the state fold and check it against the embedded digest.
-/// nullopt on malformed bytes or a digest mismatch.
+/// One layout attempt: decode `raw` with or without the forged field and
+/// the txn section, recompute the state fold and check it against the
+/// embedded digest. nullopt on malformed bytes or a digest mismatch.
 std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
-                                              bool with_forged) {
+                                              bool with_forged,
+                                              bool with_txn) {
   DecodedSnapshot d;
   std::uint64_t claimed = 0;
   try {
@@ -399,10 +583,8 @@ std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
       DecodedSession s;
       s.last_seq = r.u64();
       const std::uint8_t status = r.u8();
-      if (status < static_cast<std::uint8_t>(Status::kOk) ||
-          status > static_cast<std::uint8_t>(Status::kWrongEpoch)) {
-        return std::nullopt;
-      }
+      // Only committed outcomes are cacheable — see status_persistable.
+      if (!status_persistable(status)) return std::nullopt;
       s.last_reply.status = static_cast<Status>(status);
       s.last_reply.value = r.bytes();
       if (!d.sessions.emplace(client, std::move(s)).second) {
@@ -429,6 +611,27 @@ std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
       d.admin_rejected = r.u64();
       d.keys_imported = r.u64();
       d.keys_purged = r.u64();
+    }
+    if (with_txn) {
+      const std::uint32_t nlocks = r.u32();
+      for (std::uint32_t i = 0; i < nlocks; ++i) {
+        Bytes k = r.bytes();
+        StateMachine::Lock l;
+        l.txn = r.u64();
+        l.owner = r.u64();
+        l.write = r.u8();
+        if (l.write < 1 || l.write > 2) return std::nullopt;
+        l.value = r.bytes();
+        if (!d.locks.emplace(std::move(k), std::move(l)).second) {
+          return std::nullopt;
+        }
+      }
+      d.txn_prepared = r.u64();
+      d.txn_committed = r.u64();
+      d.txn_aborted = r.u64();
+      d.txn_conflicts = r.u64();
+      d.txn_orphans = r.u64();
+      d.txn_rejected = r.u64();
     }
     claimed = r.u64();
     r.expect_end();
@@ -459,10 +662,26 @@ std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
     h = fnv1a_u64(h, d.keys_imported);
     h = fnv1a_u64(h, d.keys_purged);
   }
+  if (with_txn) {
+    h = fnv1a_u64(h, d.locks.size());
+    for (const auto& [k, l] : d.locks) {
+      h = fnv1a(h, k);
+      h = fnv1a_u64(h, l.txn);
+      h = fnv1a_u64(h, l.owner);
+      h = fnv1a_u64(h, l.write);
+      h = fnv1a(h, l.value);
+    }
+    h = fnv1a_u64(h, d.txn_prepared);
+    h = fnv1a_u64(h, d.txn_committed);
+    h = fnv1a_u64(h, d.txn_aborted);
+    h = fnv1a_u64(h, d.txn_conflicts);
+    h = fnv1a_u64(h, d.txn_orphans);
+  }
   h = fnv1a_u64(h, d.dups);
   h = fnv1a_u64(h, d.malformed);
   if (with_forged) h = fnv1a_u64(h, d.forged);
   if (d.partitioned) h = fnv1a_u64(h, d.admin_rejected);
+  if (with_txn) h = fnv1a_u64(h, d.txn_rejected);
   if (h != claimed) return std::nullopt;
   return d;
 }
@@ -470,14 +689,21 @@ std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
 }  // namespace
 
 bool StateMachine::restore(util::ByteView raw) {
-  // The layout is self-describing: the forged field's presence is resolved
-  // by the digest (which covers the field when present), not by this
-  // machine's keystore wiring — so a signed-mode snapshot restores on a
-  // machine that arms only after restore, and a legacy snapshot restores on
-  // an armed one. Exactly one layout can validate for honest bytes; any
-  // corruption still fails closed in both attempts.
-  std::optional<DecodedSnapshot> d = parse_snapshot(raw, /*with_forged=*/true);
-  if (!d.has_value()) d = parse_snapshot(raw, /*with_forged=*/false);
+  // The layout is self-describing: the forged field's and txn section's
+  // presence is resolved by the digest (which covers them when present),
+  // not by this machine's wiring — so a signed-mode or mid-transaction
+  // snapshot restores on a freshly-constructed machine, and a legacy
+  // snapshot restores on an armed one. Exactly one of the four layouts can
+  // validate for honest bytes; any corruption still fails closed in all
+  // attempts.
+  std::optional<DecodedSnapshot> d;
+  for (const bool with_forged : {true, false}) {
+    for (const bool with_txn : {true, false}) {
+      d = parse_snapshot(raw, with_forged, with_txn);
+      if (d.has_value()) break;
+    }
+    if (d.has_value()) break;
+  }
   if (!d.has_value()) return false;
   store_ = std::move(d->store);
   sessions_.clear();
@@ -499,6 +725,13 @@ bool StateMachine::restore(util::ByteView raw) {
   admin_rejected_ = d->admin_rejected;
   keys_imported_ = d->keys_imported;
   keys_purged_ = d->keys_purged;
+  locks_ = std::move(d->locks);
+  txn_prepared_ = d->txn_prepared;
+  txn_committed_ = d->txn_committed;
+  txn_aborted_ = d->txn_aborted;
+  txn_conflicts_ = d->txn_conflicts;
+  txn_orphans_ = d->txn_orphans;
+  txn_rejected_ = d->txn_rejected;
   return true;
 }
 

@@ -31,6 +31,19 @@
 // but count in admin_applied(), never ops_applied() — the harness invariant
 // Σ per-shard ops_applied == completed client ops holds across epochs.
 //
+// Transactions (src/txn/): the machine keeps a lock table — key → (txn id,
+// owner session, buffered write). A TxnPrepare locks its key and buffers
+// the write (refused with kTxnConflict when the key is locked by another
+// transaction or the prepare's optimistic guard misses — deterministic and
+// no-wait, so replicas cannot diverge on lock wait order); TxnCommit applies
+// the buffered write and releases; TxnAbort releases. Plain writes on a
+// locked key also get kTxnConflict; GETs read committed state. Txn records
+// are ordinary keyed client ops everywhere else: they count in
+// ops_applied(), advance their session (so a coordinator's recovery replay
+// deduplicates), bounce on sealed buckets, and the lock table travels in
+// snapshot(), export_range() and INSTALL — a transaction straddling a live
+// reshard or a crash-and-rejoin commits or aborts exactly once.
+//
 // The reply sink is how the co-located router learns outcomes: every replica
 // applies every command, each calls the sink, and the router keeps the first
 // delivery per (client, seq). Everything here is deterministic — iteration
@@ -168,6 +181,30 @@ class StateMachine : public smr::StateMachine {
   /// Last applied request seq for a client (0 = no session).
   std::uint64_t last_seq(ClientId c) const;
 
+  /// One held transaction lock: the pending write buffered at prepare,
+  /// applied on commit, discarded on abort.
+  struct Lock {
+    std::uint64_t txn = 0;
+    ClientId owner = 0;      // coordinator session that prepared it
+    std::uint8_t write = 1;  // txn::WriteKind of the buffered mutation
+    Bytes value;             // pending kPut payload (empty for kDel)
+  };
+
+  const std::map<Bytes, Lock>& locks() const { return locks_; }
+  /// Locks currently held — zero once every transaction has decided, which
+  /// is the harness's residual-lock atomicity check.
+  std::uint64_t locks_held() const { return locks_.size(); }
+  std::uint64_t txn_prepared() const { return txn_prepared_; }
+  std::uint64_t txn_committed() const { return txn_committed_; }
+  std::uint64_t txn_aborted() const { return txn_aborted_; }
+  /// Prepares refused (lock held / guard miss) + plain writes that hit a
+  /// locked key — every kTxnConflict this machine ever returned.
+  std::uint64_t txn_conflicts() const { return txn_conflicts_; }
+  /// Decisions that found no matching lock (presumed abort / double abort).
+  std::uint64_t txn_orphans() const { return txn_orphans_; }
+  /// Txn records whose payload failed to decode — deterministic kTxnAborted.
+  std::uint64_t txn_rejected() const { return txn_rejected_; }
+
  private:
   struct Session {
     std::uint64_t last_seq = 0;
@@ -176,6 +213,16 @@ class StateMachine : public smr::StateMachine {
 
   Reply apply_op(const Command& c);
   Reply apply_admin(const Command& c);
+  Reply apply_txn(const Command& c);
+  /// True once any transaction state exists. Gates the txn hash fold and
+  /// the snapshot txn section, keeping transaction-free runs byte-identical
+  /// to the pre-transaction build.
+  bool txn_active() const {
+    return !locks_.empty() || txn_prepared_ != 0 || txn_committed_ != 0 ||
+           txn_aborted_ != 0 || txn_conflicts_ != 0 || txn_orphans_ != 0 ||
+           txn_rejected_ != 0;
+  }
+  std::uint64_t txn_fold(std::uint64_t h) const;
   /// Signature check for a decoded command (signing enabled only): true iff
   /// the wire carried a signature, the claimed client id maps to a signer
   /// without wrapping, the signer is the claimed client's identity (and an
@@ -189,6 +236,13 @@ class StateMachine : public smr::StateMachine {
 
   std::map<Bytes, Bytes> store_;
   std::map<ClientId, Session> sessions_;
+  std::map<Bytes, Lock> locks_;
+  std::uint64_t txn_prepared_ = 0;
+  std::uint64_t txn_committed_ = 0;
+  std::uint64_t txn_aborted_ = 0;
+  std::uint64_t txn_conflicts_ = 0;
+  std::uint64_t txn_orphans_ = 0;
+  std::uint64_t txn_rejected_ = 0;
   ReplySink sink_;
   const crypto::KeyStore* keystore_ = nullptr;   // wiring, not state
   std::uint32_t signing_group_ = 0;              // wiring, not state

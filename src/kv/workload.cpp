@@ -1,10 +1,27 @@
 #include "src/kv/workload.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <string>
 
 namespace mnm::kv {
+
+namespace {
+
+/// Account keys live in their own prefix, disjoint from the plain-mix
+/// "key-<i>" space — plain writes can never touch a balance.
+Bytes account_key(std::size_t i) {
+  return util::to_bytes("acct-" + std::to_string(i));
+}
+
+/// Balances are decimal int64 strings; an absent key is balance 0.
+std::int64_t parse_balance(const Bytes& raw) {
+  if (raw.empty()) return 0;
+  return std::stoll(util::to_string(raw));
+}
+
+}  // namespace
 
 const char* mix_name(Mix mix) {
   switch (mix) {
@@ -58,6 +75,16 @@ Workload::Workload(sim::Executor& exec, Router& router, WorkloadConfig config)
       config_(config),
       zipf_(config.keys, config.zipf_theta) {
   assert(config_.keys >= 1 && "kv::Workload: key space must be non-empty");
+  if (config_.txn_fraction > 0.0) {
+    assert(config_.txn_accounts >= 2 &&
+           "kv::Workload: a transfer needs at least two accounts");
+    assert(config_.accounts >= config_.txn_accounts &&
+           "kv::Workload: account space smaller than one transfer");
+    coordinator_.emplace(router);
+    if (config_.txn_zipf_theta > 0.0) {
+      txn_zipf_.emplace(config_.accounts, config_.txn_zipf_theta);
+    }
+  }
   sim::Rng root(config_.seed ^ 0x79C5B454ULL);
   clients_.resize(config_.clients);
   for (Client& c : clients_) {
@@ -77,6 +104,11 @@ void Workload::start() {
 std::size_t Workload::next_key(Client& c) {
   return config_.dist == KeyDist::kZipfian ? zipf_.next(c.rng)
                                            : c.rng.below(config_.keys);
+}
+
+std::size_t Workload::next_account(Client& c) {
+  return txn_zipf_.has_value() ? txn_zipf_->next(c.rng)
+                               : c.rng.below(config_.accounts);
 }
 
 Command Workload::next_op(Client& c) {
@@ -125,9 +157,99 @@ void Workload::record(const Command& cmd, const Reply& reply,
   if (reply.status == Status::kCasMismatch) ++stats_.cas_mismatch;
 }
 
+sim::Task<void> Workload::run_txn(Workload* self, Client& c) {
+  const sim::Time started_at = self->exec_->now();
+  ++c.txns_started;
+  // Txn ids are (client, ordinal) — unique per run, derived with no extra
+  // rng draws.
+  const txn::TxnId id = (static_cast<txn::TxnId>(c.id) << 24) | c.txns_started;
+
+  // Draw distinct accounts (redraw duplicates — deterministic, and the
+  // account space is larger than one transfer so this terminates).
+  std::vector<std::size_t> accts;
+  while (accts.size() < self->config_.txn_accounts) {
+    const std::size_t a = self->next_account(c);
+    if (std::find(accts.begin(), accts.end(), a) == accts.end()) {
+      accts.push_back(a);
+    }
+  }
+
+  // Read every account's committed balance — each read is an ordinary
+  // counted client op through the same session the 2PC records will use.
+  std::vector<Bytes> read_raw(accts.size());
+  std::vector<std::int64_t> balance(accts.size(), 0);
+  for (std::size_t i = 0; i < accts.size(); ++i) {
+    Command get;
+    get.op = Op::kGet;
+    get.key = account_key(accts[i]);
+    const sim::Time issued_at = self->exec_->now();
+    const Reply reply = co_await self->router_->execute(c.id, get);
+    self->record(get, reply, issued_at);
+    if (reply.status == Status::kOk) {
+      read_raw[i] = reply.value;
+      balance[i] = parse_balance(reply.value);
+    }
+  }
+
+  // The transfer: debit accts[0] by delta per credited account, credit the
+  // rest — Σ balances is invariant under every committed transfer, which is
+  // the harness's atomicity check. Each prepare guards on the exact bytes
+  // read (empty = absent), so a write slipping in between read and prepare
+  // aborts the transfer instead of losing the update.
+  const std::int64_t delta = 1 + static_cast<std::int64_t>(c.rng.below(100));
+  std::vector<txn::Write> writes(accts.size());
+  for (std::size_t i = 0; i < accts.size(); ++i) {
+    writes[i].kind = txn::WriteKind::kPut;
+    writes[i].key = account_key(accts[i]);
+    const std::int64_t next =
+        i == 0
+            ? balance[i] - delta * static_cast<std::int64_t>(accts.size() - 1)
+            : balance[i] + delta;
+    writes[i].value = util::to_bytes(std::to_string(next));
+    writes[i].has_expected = true;
+    writes[i].expected = read_raw[i];
+  }
+
+  const bool crash_here = self->config_.txn_crash_client == c.id &&
+                          c.txns_started == self->config_.txn_crash_txn;
+  txn::TxnReport rep = co_await self->coordinator_->run(
+      c.id, id, writes,
+      crash_here ? self->config_.txn_crash_records : txn::kNoCrash);
+  // Only records that applied fresh count toward ops — the recovery
+  // replay's cached re-deliveries must not inflate the exactly-once sum.
+  self->stats_.ops += rep.fresh_records;
+  if (rep.outcome == txn::Outcome::kCrashed) {
+    // Crash window: the coordinator is gone, locks stay held, conflicting
+    // transfers abort against them. Then the recovered coordinator replays
+    // the stream under the original seqs and drives it to a decision.
+    co_await self->exec_->sleep(self->config_.txn_crash_pause);
+    const txn::TxnReport rec = co_await self->coordinator_->recover(
+        c.id, id, writes, rep.first_seq, rep.records);
+    self->stats_.ops += rec.fresh_records;
+    ++self->stats_.txn_recoveries;
+    rep = rec;
+  }
+  ++self->stats_.txns;
+  self->stats_.last_reply_at = self->exec_->now();
+  if (rep.outcome == txn::Outcome::kCommitted) {
+    ++self->stats_.txn_commits;
+    self->stats_.txn_commit_latencies.push_back(self->exec_->now() -
+                                                started_at);
+  } else {
+    ++self->stats_.txn_aborts;
+  }
+}
+
 sim::Task<void> Workload::client_loop(Workload* self, std::size_t idx) {
   Client& c = self->clients_[idx];
   for (std::size_t i = 0; i < self->config_.ops_per_client; ++i) {
+    // The txn draw only exists in transactional runs, so a plain run's rng
+    // stream — and therefore its whole fingerprint — is unchanged.
+    if (self->config_.txn_fraction > 0.0 &&
+        c.rng.unit() < self->config_.txn_fraction) {
+      co_await run_txn(self, c);
+      continue;
+    }
     const Command cmd = self->next_op(c);
     const sim::Time issued_at = self->exec_->now();
     const Reply reply = co_await self->router_->execute(c.id, cmd);

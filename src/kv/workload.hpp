@@ -20,16 +20,32 @@
 // operation travels on carries that session's signature. The workload
 // itself never sees keys or signatures — it drives Commands, the Router
 // authenticates them.
+//
+// Transactional mix (YCSB+T-style, txn_fraction > 0): a fraction of each
+// client's operation slots run a bank transfer through txn::Coordinator
+// instead of a plain op — read `txn_accounts` distinct accounts, debit the
+// first, credit the rest, with optimistic guards pinning each prepare to the
+// value read. Accounts live in their own "acct-<i>" key space (disjoint from
+// the plain "key-<i>" space, so plain writes can never corrupt balances) and
+// every account starts absent ⇒ balance 0 — committed transfers conserve
+// Σ balances == 0, the harness's atomicity invariant. Account popularity has
+// its own zipfian knob: contention (conflicting prepares → aborts) rises
+// with txn_zipf_theta, which is what bench_txn sweeps. A scripted
+// coordinator crash (txn_crash_*) stops one chosen transaction dead after N
+// completed records, pauses, then recovers through the presumed-abort
+// replay — all on the deterministic clock, so crash runs fingerprint too.
 
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "src/common.hpp"
 #include "src/kv/router.hpp"
 #include "src/sim/rng.hpp"
+#include "src/txn/coordinator.hpp"
 
 namespace mnm::kv {
 
@@ -59,6 +75,23 @@ struct WorkloadConfig {
   std::size_t keys = 128;  // key-space size
   double zipf_theta = 0.99;
   std::uint64_t seed = 1;
+
+  // Transactional mix (see file comment). 0 keeps the plain workload
+  // byte-identical — no extra rng draws, no txn state anywhere.
+  double txn_fraction = 0.0;   // share of op slots that run a transfer
+  std::size_t txn_accounts = 2;  // accounts touched per transfer (≥ 2)
+  std::size_t accounts = 64;     // "acct-<i>" key-space size
+  /// Account popularity: 0 = uniform, else zipfian with this theta — the
+  /// contention knob (hot accounts ⇒ conflicting prepares ⇒ aborts).
+  double txn_zipf_theta = 0.0;
+  /// Scripted coordinator crash: client `txn_crash_client` (1-based router
+  /// id; 0 = never) stops its `txn_crash_txn`-th transaction after
+  /// `txn_crash_records` completed records, sleeps `txn_crash_pause`, then
+  /// recovers via the presumed-abort replay.
+  ClientId txn_crash_client = 0;
+  std::size_t txn_crash_txn = 1;
+  std::size_t txn_crash_records = 0;
+  sim::Time txn_crash_pause = 64;
 };
 
 struct WorkloadStats {
@@ -69,6 +102,15 @@ struct WorkloadStats {
   /// Issue → committed-reply latency of every completed op, completion
   /// order (unsorted).
   std::vector<sim::Time> latencies;
+
+  // Transactional mix only (all zero otherwise).
+  std::uint64_t txns = 0;         // transfers driven to a final outcome
+  std::uint64_t txn_commits = 0;  // committed everywhere
+  std::uint64_t txn_aborts = 0;   // aborted everywhere (conflict/guard miss)
+  std::uint64_t txn_recoveries = 0;  // crashed coordinators recovered
+  /// Start → decision latency of every *committed* transfer (crash pause
+  /// included for the recovered one), completion order.
+  std::vector<sim::Time> txn_commit_latencies;
 
   /// Completed operations per 1000 sim-time units — the aggregate
   /// throughput sharding is supposed to scale.
@@ -100,10 +142,17 @@ class Workload {
     /// Last value this client observed per key index (reads and writes) —
     /// seeds CAS expectations so both success and mismatch paths occur.
     std::map<std::size_t, Bytes> seen;
+    /// Transfers started by this client — feeds the txn id and the scripted
+    /// crash ordinal.
+    std::uint64_t txns_started = 0;
   };
 
   static sim::Task<void> client_loop(Workload* self, std::size_t idx);
+  /// One bank transfer end to end: reads, 2PC, and (for the scripted crash
+  /// victim) the crash + recovery.
+  static sim::Task<void> run_txn(Workload* self, Client& c);
   std::size_t next_key(Client& c);
+  std::size_t next_account(Client& c);
   Command next_op(Client& c);
   void record(const Command& cmd, const Reply& reply, sim::Time issued_at);
 
@@ -111,6 +160,8 @@ class Workload {
   Router* router_;
   WorkloadConfig config_;
   ZipfGenerator zipf_;
+  std::optional<ZipfGenerator> txn_zipf_;  // txn_zipf_theta > 0 only
+  std::optional<txn::Coordinator> coordinator_;  // txn_fraction > 0 only
   std::vector<Client> clients_;
   std::size_t finished_ = 0;
   WorkloadStats stats_;

@@ -1,0 +1,113 @@
+#include "src/txn/coordinator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mnm::txn {
+
+sim::Task<TxnReport> Coordinator::run(kv::ClientId client, TxnId txn,
+                                      std::vector<Write> writes,
+                                      std::size_t stop_after) {
+  // The first record will be stamped next_seq + 1; recording it up front is
+  // what makes the crashed attempt recoverable.
+  const std::uint64_t first_seq = router_->next_seq(client) + 1;
+  return drive(client, txn, std::move(writes), stop_after, first_seq,
+               /*completed=*/0, /*replay=*/false);
+}
+
+sim::Task<TxnReport> Coordinator::recover(kv::ClientId client, TxnId txn,
+                                          std::vector<Write> writes,
+                                          std::uint64_t first_seq,
+                                          std::size_t completed) {
+  return drive(client, txn, std::move(writes), kNoCrash, first_seq, completed,
+               /*replay=*/true);
+}
+
+sim::Task<TxnReport> Coordinator::drive(kv::ClientId client, TxnId txn,
+                                        std::vector<Write> writes,
+                                        std::size_t stop_after,
+                                        std::uint64_t first_seq,
+                                        std::size_t completed, bool replay) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < writes.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      assert(writes[i].key != writes[j].key &&
+             "txn::Coordinator: keys must be distinct within a transaction");
+    }
+  }
+#endif
+  TxnReport rep;
+  rep.first_seq = first_seq;
+  std::size_t pos = 0;  // record index == seq offset from first_seq
+
+  // Phase 1: prepares in write order, stopping at the first refusal.
+  std::size_t prepared = 0;
+  bool refused = false;
+  for (std::size_t i = 0; i < writes.size() && !refused; ++i) {
+    if (pos == stop_after) {
+      rep.outcome = Outcome::kCrashed;
+      co_return rep;
+    }
+    kv::Command cmd;
+    cmd.op = kv::Op::kTxnPrepare;
+    cmd.key = writes[i].key;
+    PrepareRecord pr;
+    pr.txn = txn;
+    pr.write = writes[i].kind;
+    if (writes[i].kind == WriteKind::kPut) pr.value = writes[i].value;
+    pr.has_expected = writes[i].has_expected;
+    if (pr.has_expected) pr.expected = writes[i].expected;
+    cmd.value = encode_prepare(pr);
+    kv::Reply reply;
+    if (replay) {
+      reply = co_await router_->execute_replay(client, first_seq + pos,
+                                               std::move(cmd));
+    } else {
+      reply = co_await router_->execute(client, std::move(cmd));
+    }
+    if (!replay || pos >= completed) ++rep.fresh_records;
+    ++pos;
+    rep.records = pos;
+    // kStaleDup only appears in replay: a *newer* record for this key's
+    // shard exists, and the coordinator only ever sent one after this
+    // prepare was accepted — so a stale-dup marker proves acceptance.
+    if (reply.status == kv::Status::kOk ||
+        reply.status == kv::Status::kStaleDup) {
+      ++prepared;
+    } else {
+      refused = true;
+    }
+  }
+
+  // Phase 2: the decision, one record per key — every key on commit, only
+  // the prepared ones on abort (the refusing shard took no lock). Replies
+  // carry no control flow: locks are released whether the decision applies
+  // fresh or re-delivers from a session cache.
+  const bool commit = !refused && prepared == writes.size();
+  const std::size_t decisions = commit ? writes.size() : prepared;
+  for (std::size_t i = 0; i < decisions; ++i) {
+    if (pos == stop_after) {
+      rep.outcome = Outcome::kCrashed;
+      co_return rep;
+    }
+    kv::Command cmd;
+    cmd.op = commit ? kv::Op::kTxnCommit : kv::Op::kTxnAbort;
+    cmd.key = writes[i].key;
+    DecisionRecord dr;
+    dr.txn = txn;
+    cmd.value = encode_decision(dr);
+    if (replay) {
+      (void)co_await router_->execute_replay(client, first_seq + pos,
+                                             std::move(cmd));
+    } else {
+      (void)co_await router_->execute(client, std::move(cmd));
+    }
+    if (!replay || pos >= completed) ++rep.fresh_records;
+    ++pos;
+    rep.records = pos;
+  }
+  rep.outcome = commit ? Outcome::kCommitted : Outcome::kAborted;
+  co_return rep;
+}
+
+}  // namespace mnm::txn

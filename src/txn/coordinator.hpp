@@ -1,0 +1,116 @@
+// txn::Coordinator — client-side two-phase commit over the shards'
+// replicated logs.
+//
+// A transaction is a list of writes to distinct keys. The coordinator runs
+// it through an ordinary kv::Router client session, one record per key:
+//
+//   Phase 1 (prepare): one Op::kTxnPrepare per key, in write order, stopping
+//   at the first refusal. Each prepare locks its key at the key's shard and
+//   buffers the write; a kTxnConflict (lock held by another transaction, or
+//   the optimistic guard missed) decides the transaction *abort* — the
+//   no-wait rule means a refusal is a final, committed outcome, so there is
+//   no lock-wait deadlock and no distributed wait-for graph.
+//
+//   Phase 2 (decision): all prepares accepted ⇒ one Op::kTxnCommit per key;
+//   otherwise one Op::kTxnAbort per *prepared* key. Decisions release the
+//   locks, applying the buffered writes on commit.
+//
+// Every record is a normal keyed client command: it routes by key (so a key
+// that moved to another shard mid-transaction simply takes its decision
+// record to the new owner, which imported the lock with the drained range),
+// bounces on sealed buckets, re-signs on re-route, retries on timeout, and
+// advances the session exactly-once — the machinery transactions get for
+// free by living *above* the log instead of beside it.
+//
+// Coordinator crash recovery (presumed abort, no new consensus): run() can
+// stop dead after any completed record, modeling a coordinator crash; the
+// report carries the first record's session seq. recover() then re-drives
+// the *identical* record stream under the *same* (client, seq) pairs via
+// Router::execute_replay. Records the crashed attempt completed hit the
+// participants' session dedup — the newest record per shard re-delivers its
+// cached reply, older ones come back kStaleDup, which itself proves the
+// prepare succeeded (the coordinator only sends a later record for a key
+// after its prepare was accepted) — so the replayed control flow re-derives
+// the original decision from participant state alone; records past the
+// crash point apply fresh. Either way every lock is released and the
+// transaction commits everywhere or aborts everywhere, exactly once.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common.hpp"
+#include "src/kv/command.hpp"
+#include "src/kv/router.hpp"
+#include "src/sim/task.hpp"
+#include "src/txn/record.hpp"
+
+namespace mnm::txn {
+
+/// One intended mutation of a transaction. Keys must be distinct within a
+/// transaction — each key sees at most two records (prepare, then decision),
+/// which is what makes the recovery replay's reply interpretation total.
+struct Write {
+  WriteKind kind = WriteKind::kPut;
+  Bytes key;
+  Bytes value;  // kPut payload; ignored for kDel
+  /// Optimistic guard (see PrepareRecord::expected).
+  bool has_expected = false;
+  Bytes expected;
+};
+
+enum class Outcome : std::uint8_t {
+  kCommitted = 1,  // every key's buffered write applied
+  kAborted = 2,    // no key's write applied (a prepare was refused)
+  kCrashed = 3,    // stopped at the requested crash point; recover() resolves
+};
+
+/// What one coordinator attempt (or recovery) did.
+struct TxnReport {
+  Outcome outcome = Outcome::kAborted;
+  /// Records completed (replied) by this attempt, crash point included.
+  std::size_t records = 0;
+  /// Records that applied *fresh* at a shard during this attempt — replayed
+  /// duplicates re-deliver cached replies and are excluded, so the harness
+  /// exactly-once sum (Σ ops_applied == completed client ops) stays exact
+  /// across a crash + recovery.
+  std::size_t fresh_records = 0;
+  /// Session seq of the transaction's first record — with the write list,
+  /// all a recovering coordinator needs.
+  std::uint64_t first_seq = 0;
+};
+
+/// stop_after value meaning "run to completion".
+inline constexpr std::size_t kNoCrash = static_cast<std::size_t>(-1);
+
+class Coordinator {
+ public:
+  explicit Coordinator(kv::Router& router) : router_(&router) {}
+
+  /// Run one transaction on `client`'s session. With `stop_after` < the
+  /// stream length, the coordinator "crashes" after that many completed
+  /// records: locks stay held, the report says kCrashed, and the caller
+  /// must eventually recover() with the reported first_seq.
+  sim::Task<TxnReport> run(kv::ClientId client, TxnId txn,
+                           std::vector<Write> writes,
+                           std::size_t stop_after = kNoCrash);
+
+  /// Resolve a crashed attempt by replaying the record stream under its
+  /// original seqs (see file comment). `completed` is the crashed attempt's
+  /// TxnReport::records — only later records count as fresh.
+  sim::Task<TxnReport> recover(kv::ClientId client, TxnId txn,
+                               std::vector<Write> writes,
+                               std::uint64_t first_seq,
+                               std::size_t completed);
+
+ private:
+  sim::Task<TxnReport> drive(kv::ClientId client, TxnId txn,
+                             std::vector<Write> writes,
+                             std::size_t stop_after, std::uint64_t first_seq,
+                             std::size_t completed, bool replay);
+
+  kv::Router* router_;
+};
+
+}  // namespace mnm::txn

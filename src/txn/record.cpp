@@ -1,0 +1,60 @@
+#include "src/txn/record.hpp"
+
+namespace mnm::txn {
+
+Bytes encode_prepare(const PrepareRecord& rec) {
+  util::Writer w(8 + 1 + 4 + rec.value.size() + 1 + 4 + rec.expected.size());
+  w.u64(rec.txn)
+      .u8(static_cast<std::uint8_t>(rec.write))
+      .bytes(rec.value)
+      .u8(rec.has_expected ? 1 : 0);
+  if (rec.has_expected) w.bytes(rec.expected);
+  return std::move(w).take();
+}
+
+std::optional<PrepareRecord> decode_prepare(util::ByteView raw) {
+  try {
+    util::Reader r(raw);
+    PrepareRecord rec;
+    rec.txn = r.u64();
+    const std::uint8_t write = r.u8();
+    if (write < static_cast<std::uint8_t>(WriteKind::kPut) ||
+        write > static_cast<std::uint8_t>(WriteKind::kDel)) {
+      return std::nullopt;
+    }
+    rec.write = static_cast<WriteKind>(write);
+    rec.value = r.bytes();
+    // Canonical form: a delete buffers no payload.
+    if (rec.write == WriteKind::kDel && !rec.value.empty()) {
+      return std::nullopt;
+    }
+    const std::uint8_t guard = r.u8();
+    if (guard > 1) return std::nullopt;
+    rec.has_expected = guard != 0;
+    if (rec.has_expected) rec.expected = r.bytes();
+    r.expect_end();
+    return rec;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_decision(const DecisionRecord& rec) {
+  util::Writer w(8);
+  w.u64(rec.txn);
+  return std::move(w).take();
+}
+
+std::optional<DecisionRecord> decode_decision(util::ByteView raw) {
+  try {
+    util::Reader r(raw);
+    DecisionRecord rec;
+    rec.txn = r.u64();
+    r.expect_end();
+    return rec;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mnm::txn

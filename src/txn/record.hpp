@@ -1,0 +1,84 @@
+// Transaction record codec — the payloads behind the 2PC operations
+// (kv::Op::kTxnPrepare / kTxnCommit / kTxnAbort).
+//
+// Cross-shard transactions are layered *over* the shards' replicated logs:
+// every 2PC record is an ordinary (signed) kv::Command in one participant
+// shard's log, carrying the touched key in Command::key — so records route,
+// bounce (kWrongEpoch), re-sign and deduplicate exactly like client ops —
+// and one of these payloads in Command::value:
+//
+//  * PrepareRecord locks its command's key for (txn, coordinator session)
+//    and buffers the write it wants to apply. The optional `expected` guard
+//    makes the prepare conditional on the current committed value (the
+//    optimistic read-validate step a transfer needs to be lost-update-free).
+//  * DecisionRecord (commit and abort share the payload; the op byte is the
+//    verb) releases the lock — applying the buffered write on commit,
+//    discarding it on abort.
+//
+// Per-key records are what keep a transaction well-defined across a live
+// reshard: a prepare's key can move to another group mid-transaction, and
+// the decision for that key simply routes to the new owner (which imported
+// the lock with the drained range).
+//
+// Both decoders are strict and total, mirroring decode_command: these bytes
+// ride consensus slots a Byzantine proposer can win with arbitrary content,
+// so malformed payloads must decode to nullopt deterministically — the
+// state machine turns them into a counted kTxnAborted no-op, never a throw
+// out of apply.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common.hpp"
+#include "src/util/serde.hpp"
+
+namespace mnm::txn {
+
+/// Coordinator-chosen transaction identifier. Unique per transaction within
+/// a run (the workload derives it from the coordinator's client id + a
+/// per-client counter, deterministically).
+using TxnId = std::uint64_t;
+
+/// The buffered mutation a prepare carries for its key.
+enum class WriteKind : std::uint8_t {
+  kPut = 1,  // key := value on commit
+  kDel = 2,  // remove key on commit
+};
+
+/// Payload of one Op::kTxnPrepare command (Command::value); the locked key
+/// itself rides in Command::key.
+struct PrepareRecord {
+  TxnId txn = 0;
+  WriteKind write = WriteKind::kPut;
+  Bytes value;  // kPut payload; must be empty for kDel (canonical form)
+  /// Optimistic guard: when set, the prepare conflicts unless the key's
+  /// current committed value equals `expected` (empty = absent, the kCas
+  /// convention) — a concurrent committed write between the coordinator's
+  /// read and its prepare aborts the transaction instead of losing the
+  /// update.
+  bool has_expected = false;
+  Bytes expected;
+
+  bool operator==(const PrepareRecord&) const = default;
+};
+
+/// Payload of one Op::kTxnCommit / kTxnAbort command for one key.
+struct DecisionRecord {
+  TxnId txn = 0;
+
+  bool operator==(const DecisionRecord&) const = default;
+};
+
+Bytes encode_prepare(const PrepareRecord& rec);
+/// Strict decode; nullopt on any malformed input (bad write kind, a kDel
+/// carrying a value, a guard flag above 1, an absent-guard record carrying
+/// guard bytes, truncation, trailing bytes). Never throws, never over-reads.
+std::optional<PrepareRecord> decode_prepare(util::ByteView raw);
+
+Bytes encode_decision(const DecisionRecord& rec);
+/// Strict decode; nullopt on truncation or trailing bytes.
+std::optional<DecisionRecord> decode_decision(util::ByteView raw);
+
+}  // namespace mnm::txn

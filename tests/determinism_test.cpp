@@ -62,6 +62,15 @@ struct Fingerprint {
   std::uint64_t snaps_taken = 0, snaps_installed = 0, truncated = 0,
                 catchup_bytes = 0;
   std::vector<sim::Time> rejoined_at;
+  // Transactions: commit/abort/conflict/recovery counts, the conserved
+  // balance sum, residual locks (the lock-table *contents* fold into
+  // kv_hash), and committed-transfer latency percentiles — a transactional
+  // run whose 2PC interleaving, no-wait conflict outcomes or crash-recovery
+  // replay drifted cannot fingerprint equal. All zero for plain runs.
+  std::uint64_t txns = 0, txn_commits = 0, txn_aborts = 0, txn_conflicts = 0,
+                txn_recoveries = 0, txn_locks = 0;
+  std::int64_t txn_balance = 0;
+  sim::Time txn_p50 = 0, txn_p999 = 0;
   // Byzantine wire path: t-send suffix-decode accounting. Pinning these says
   // the decode-cost optimization is itself deterministic — the same seed
   // skips the same prefixes — without perturbing the (time, seq) schedule
@@ -118,6 +127,15 @@ Fingerprint fingerprint(const RunReport& r) {
   f.snaps_installed = r.snapshots_installed;
   f.truncated = r.slots_truncated;
   f.catchup_bytes = r.catchup_bytes;
+  f.txns = r.kv_txns;
+  f.txn_commits = r.kv_txn_commits;
+  f.txn_aborts = r.kv_txn_aborts;
+  f.txn_conflicts = r.kv_txn_conflicts;
+  f.txn_recoveries = r.kv_txn_recoveries;
+  f.txn_locks = r.kv_locks_held;
+  f.txn_balance = r.kv_txn_balance;
+  f.txn_p50 = r.kv_txn_commit_p50;
+  f.txn_p999 = r.kv_txn_commit_p999;
   f.tsend_deliveries = r.tsend_deliveries;
   f.entries_decoded = r.history_entries_decoded;
   f.entries_skipped = r.history_entries_skipped;
@@ -494,6 +512,77 @@ TEST(Determinism, KvFastRobustShardSameSeedSameRun) {
   c.kv.shards = 1;
   c.kv.clients = 2;
   c.kv.ops_per_client = 3;
+  expect_deterministic(c);
+}
+
+// --- Transactions: the 2PC mix and its crash recovery replay too. ---
+
+TEST(Determinism, KvTxnZipfianContentionSameSeedSameRun) {
+  // The transactional YCSB+T mix under account contention: prepares racing
+  // across shards, no-wait conflicts deciding aborts, per-key decision
+  // records releasing locks. The fingerprint folds the commit/abort split,
+  // the conflict count and the lock-table state (via kv_hash), so a drifted
+  // 2PC interleaving cannot hide behind equal op counts.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 17;
+  c.kv.enabled = true;
+  c.kv.shards = 3;
+  c.kv.clients = 8;
+  c.kv.ops_per_client = 16;
+  c.kv.txn_fraction = 0.4;
+  c.kv.accounts = 8;
+  c.kv.txn_zipf_theta = 0.95;
+  const RunReport a = run_cluster(c);
+  EXPECT_GT(a.kv_txns, 0u) << a.summary();
+  EXPECT_GT(a.kv_txn_aborts, 0u) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, KvTxnCoordinatorCrashRecoverySameSeedSameRun) {
+  // Coordinator crash mid-prepare: client 1's first transfer stops after
+  // one completed prepare (one lock held through the pause), then the
+  // presumed-abort replay re-drives the stream under the original seqs.
+  // The whole crash + recovery trajectory must replay byte-for-byte.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 19;
+  c.kv.enabled = true;
+  c.kv.shards = 2;
+  c.kv.clients = 6;
+  c.kv.ops_per_client = 12;
+  c.kv.txn_fraction = 0.5;
+  c.kv.txn_crash_client = 1;
+  c.kv.txn_crash_txn = 1;
+  c.kv.txn_crash_records = 1;
+  c.kv.txn_crash_pause = 200;
+  const RunReport a = run_cluster(c);
+  EXPECT_EQ(a.kv_txn_recoveries, 1u) << a.summary();
+  EXPECT_EQ(a.kv_locks_held, 0u) << a.summary();
+  expect_deterministic(c);
+}
+
+TEST(Determinism, PlainKvFingerprintUnchangedByTxnPlumbing) {
+  // txn_fraction = 0 must behave exactly as if the transaction subsystem
+  // did not exist: no txn rng draws, no txn counters, no lock fold in the
+  // store hash — and the run fingerprints equal.
+  ClusterConfig c;
+  c.algo = Algorithm::kFastPaxos;
+  c.n = 3;
+  c.m = 0;
+  c.seed = 42;
+  c.kv.enabled = true;
+  c.kv.shards = 4;
+  c.kv.clients = 8;
+  c.kv.ops_per_client = 12;
+  const RunReport a = run_cluster(c);
+  EXPECT_EQ(a.kv_txns, 0u);
+  EXPECT_EQ(a.kv_txn_balance, 0);
+  EXPECT_EQ(a.kv_locks_held, 0u);
   expect_deterministic(c);
 }
 

@@ -34,6 +34,7 @@
 #include "src/sim/rng.hpp"
 #include "src/smr/catchup.hpp"
 #include "src/smr/log.hpp"
+#include "src/txn/record.hpp"
 #include "src/util/serde.hpp"
 
 namespace mnm::core::trusted {
@@ -953,6 +954,262 @@ TEST(WireFuzz, ReconfigRandomBytesNeverCrashAnyDecoder) {
   // The embedded digest makes an accidental snapshot parse essentially
   // impossible.
   EXPECT_EQ(snapshots_decoded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction record codecs (src/txn/) and the lock-carrying state codecs.
+// Txn payloads ride consensus slots inside kv::Commands, so they inherit the
+// same threat model: arbitrary bytes a Byzantine proposer can win with.
+// ---------------------------------------------------------------------------
+
+txn::PrepareRecord random_prepare(sim::Rng& rng) {
+  txn::PrepareRecord p;
+  p.txn = rng.next();
+  p.write = rng.chance(0.3) ? txn::WriteKind::kDel : txn::WriteKind::kPut;
+  if (p.write == txn::WriteKind::kPut) {
+    p.value = random_bytes(rng, rng.below(48));
+  }
+  p.has_expected = rng.chance(0.5);
+  if (p.has_expected) p.expected = random_bytes(rng, rng.below(16));
+  return p;
+}
+
+TEST(WireFuzz, TxnRecordCodecsRoundTripExactly) {
+  sim::Rng rng(0x7A10ull);
+  for (int trial = 0; trial < 300; ++trial) {
+    const txn::PrepareRecord p = random_prepare(rng);
+    const auto dp = txn::decode_prepare(txn::encode_prepare(p));
+    ASSERT_TRUE(dp.has_value()) << "trial " << trial;
+    EXPECT_EQ(*dp, p);
+
+    txn::DecisionRecord d;
+    d.txn = rng.next();
+    const auto dd = txn::decode_decision(txn::encode_decision(d));
+    ASSERT_TRUE(dd.has_value()) << "trial " << trial;
+    EXPECT_EQ(*dd, d);
+  }
+}
+
+TEST(WireFuzz, TxnRecordTruncationsAndNoncanonicalFormsRejected) {
+  sim::Rng rng(0x7A11ull);
+  for (int trial = 0; trial < 150; ++trial) {
+    const Bytes wire = txn::encode_prepare(random_prepare(rng));
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      EXPECT_FALSE(
+          txn::decode_prepare(util::ByteView(wire).subspan(0, cut)).has_value())
+          << "trial " << trial << " cut " << cut;
+    }
+    Bytes extended = wire;
+    extended.push_back(0);
+    EXPECT_FALSE(txn::decode_prepare(extended).has_value());
+  }
+
+  // Non-canonical forms an encoder can never emit must still be rejected:
+  // a delete buffering a payload, a bad write kind, a guard flag above 1.
+  util::Writer del_with_value;
+  del_with_value.u64(7)
+      .u8(static_cast<std::uint8_t>(txn::WriteKind::kDel))
+      .bytes(to_bytes("sneak"))
+      .u8(0);
+  EXPECT_FALSE(txn::decode_prepare(std::move(del_with_value).take()));
+  for (const std::uint8_t kind : {std::uint8_t{0}, std::uint8_t{3},
+                                  std::uint8_t{255}}) {
+    util::Writer bad_kind;
+    bad_kind.u64(7).u8(kind).bytes(Bytes{}).u8(0);
+    EXPECT_FALSE(txn::decode_prepare(std::move(bad_kind).take()))
+        << "kind " << int{kind};
+  }
+  util::Writer bad_guard;
+  bad_guard.u64(7)
+      .u8(static_cast<std::uint8_t>(txn::WriteKind::kPut))
+      .bytes(Bytes{})
+      .u8(2);
+  EXPECT_FALSE(txn::decode_prepare(std::move(bad_guard).take()));
+
+  const Bytes decision = txn::encode_decision({9});
+  for (std::size_t cut = 0; cut < decision.size(); ++cut) {
+    EXPECT_FALSE(txn::decode_decision(util::ByteView(decision).subspan(0, cut))
+                     .has_value());
+  }
+  Bytes trailing = decision;
+  trailing.push_back(0);
+  EXPECT_FALSE(txn::decode_decision(trailing).has_value());
+}
+
+TEST(WireFuzz, TxnRecordRandomBytesNeverCrash) {
+  sim::Rng rng(0x7A12ull);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Bytes junk = random_bytes(rng, rng.below(80));
+    (void)txn::decode_prepare(junk);
+    (void)txn::decode_decision(junk);
+  }
+}
+
+TEST(WireFuzz, SignedTxnPrepareCrossShardReplayRejected) {
+  // A PREPARE validly signed by its own client for shard 0's log, replayed
+  // into shard 1 by a Byzantine member of both groups: the group binding in
+  // the signing bytes must make it verify as forged — otherwise an attacker
+  // could plant the victim's lock (and pending write) on a shard the
+  // transaction never touched.
+  crypto::KeyStore ks(0x51C7A0ull);
+  const crypto::Signer client = ks.register_process(kv::client_signer_id(1));
+  kv::Command c;
+  c.op = kv::Op::kTxnPrepare;
+  c.client = 1;
+  c.seq = 1;
+  c.key = to_bytes("acct-0");
+  txn::PrepareRecord pr;
+  pr.txn = 42;
+  pr.write = txn::WriteKind::kPut;
+  pr.value = to_bytes("999999");
+  c.value = txn::encode_prepare(pr);
+  const Bytes body = kv::encode_command(c);
+  const Bytes wire = kv::encode_signed_command(
+      body, client.sign(kv::command_signing_bytes(0, body)));
+
+  kv::StateMachine home, other;
+  home.set_keystore(&ks, /*group=*/0);
+  other.set_keystore(&ks, /*group=*/1);
+  home.apply(0, wire);
+  EXPECT_EQ(home.forged(), 0u);
+  EXPECT_EQ(home.locks_held(), 1u);  // the genuine wire locks at home
+  other.apply(0, wire);
+  EXPECT_EQ(other.forged(), 1u) << "cross-shard replay must verify as forged";
+  EXPECT_EQ(other.locks_held(), 0u);
+  EXPECT_EQ(other.ops_applied(), 0u);
+}
+
+/// random_kv_machine plus transaction traffic: prepares (guarded and not),
+/// decisions (matching and orphan), malformed txn payloads — some locks
+/// still held, every counter exercised.
+kv::StateMachine random_txn_machine(sim::Rng& rng) {
+  kv::StateMachine m = random_kv_machine(rng);
+  std::map<std::uint64_t, std::uint64_t> seqs;
+  for (kv::ClientId c = 1; c <= 4; ++c) seqs[c] = m.last_seq(c);
+  const std::size_t ops = rng.below(16) + 4;
+  for (std::size_t i = 0; i < ops; ++i) {
+    kv::Command c;
+    c.client = rng.below(4) + 1;
+    c.seq = ++seqs[c.client];
+    c.key = random_bytes(rng, rng.below(6) + 1);
+    const std::size_t kind = rng.below(4);
+    if (kind == 0) {
+      c.op = kv::Op::kTxnPrepare;
+      c.value = txn::encode_prepare(random_prepare(rng));
+    } else if (kind == 1) {
+      c.op = rng.chance(0.5) ? kv::Op::kTxnCommit : kv::Op::kTxnAbort;
+      c.value = txn::encode_decision({rng.below(4)});
+    } else if (kind == 2) {
+      // Decision matching a held lock, if any — releases it.
+      c.op = rng.chance(0.5) ? kv::Op::kTxnCommit : kv::Op::kTxnAbort;
+      if (!m.locks().empty()) {
+        const auto& [key, lock] = *m.locks().begin();
+        c.key = key;
+        c.client = lock.owner;
+        c.seq = ++seqs[c.client];
+        c.value = txn::encode_decision({lock.txn});
+      } else {
+        c.value = txn::encode_decision({7});
+      }
+    } else {
+      c.op = kv::Op::kTxnPrepare;
+      c.value = random_bytes(rng, rng.below(12));  // likely malformed payload
+    }
+    m.apply(100 + i, kv::encode_command(c));
+  }
+  return m;
+}
+
+TEST(WireFuzz, TxnSnapshotWithLocksRoundTripsExactly) {
+  sim::Rng rng(0x7A13ull);
+  std::uint64_t with_locks = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const kv::StateMachine m = random_txn_machine(rng);
+    if (m.locks_held() > 0) ++with_locks;
+    kv::StateMachine fresh;
+    ASSERT_TRUE(fresh.restore(m.snapshot())) << "trial " << trial;
+    EXPECT_EQ(fresh.store_hash(), m.store_hash());
+    EXPECT_EQ(fresh.locks_held(), m.locks_held());
+    EXPECT_EQ(fresh.txn_prepared(), m.txn_prepared());
+    EXPECT_EQ(fresh.txn_committed(), m.txn_committed());
+    EXPECT_EQ(fresh.txn_aborted(), m.txn_aborted());
+    EXPECT_EQ(fresh.txn_conflicts(), m.txn_conflicts());
+    EXPECT_EQ(fresh.txn_orphans(), m.txn_orphans());
+    EXPECT_EQ(fresh.txn_rejected(), m.txn_rejected());
+    EXPECT_EQ(fresh.snapshot(), m.snapshot());
+  }
+  // The generator must actually produce held locks, or the lock section of
+  // the codec went untested.
+  EXPECT_GT(with_locks, 20u);
+}
+
+TEST(WireFuzz, TxnSnapshotTruncationsAndFlipsRejectedUntouched) {
+  sim::Rng rng(0x7A14ull);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Bytes wire = random_txn_machine(rng).snapshot();
+    kv::StateMachine victim;
+    victim.apply(0, kv::encode_command({kv::Op::kPut, 9, 1, to_bytes("canary"),
+                                        to_bytes("alive"), {}}));
+    const std::uint64_t before = victim.store_hash();
+    for (std::size_t cut = 0; cut < wire.size(); cut += rng.below(9) + 1) {
+      EXPECT_FALSE(victim.restore(util::ByteView(wire).subspan(0, cut)))
+          << "trial " << trial << " cut " << cut;
+    }
+    Bytes flipped = wire;
+    const std::size_t bit = rng.below(flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(victim.restore(flipped)) << "trial " << trial;
+    EXPECT_EQ(victim.store_hash(), before);
+  }
+}
+
+TEST(WireFuzz, RangeSnapshotWithLocksRoundTripsAndFailsClosed) {
+  sim::Rng rng(0x7A15ull);
+  for (int trial = 0; trial < 100; ++trial) {
+    kv::RangeSnapshot snap;
+    snap.spec.epoch = rng.below(8) + 1;
+    snap.spec.table_buckets = 4;
+    snap.spec.buckets = {static_cast<std::uint32_t>(rng.below(4))};
+    const std::size_t pairs = rng.below(4);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      snap.pairs.emplace_back(to_bytes("k" + std::to_string(i)),
+                              random_bytes(rng, rng.below(16)));
+    }
+    const std::size_t locks = rng.below(3) + 1;
+    for (std::size_t i = 0; i < locks; ++i) {
+      kv::LockRecord l;
+      l.key = to_bytes("lk" + std::to_string(i));  // sorted by construction
+      l.txn = rng.next();
+      l.owner = rng.below(8) + 1;
+      l.write = rng.chance(0.5) ? 1 : 2;
+      l.value = random_bytes(rng, rng.below(16));
+      snap.locks.push_back(std::move(l));
+    }
+    const Bytes wire = kv::encode_range_snapshot(snap);
+    const auto d = kv::decode_range_snapshot(wire);
+    ASSERT_TRUE(d.has_value()) << "trial " << trial;
+    ASSERT_EQ(d->locks.size(), snap.locks.size());
+    for (std::size_t i = 0; i < snap.locks.size(); ++i) {
+      EXPECT_EQ(d->locks[i].key, snap.locks[i].key);
+      EXPECT_EQ(d->locks[i].txn, snap.locks[i].txn);
+      EXPECT_EQ(d->locks[i].owner, snap.locks[i].owner);
+      EXPECT_EQ(d->locks[i].write, snap.locks[i].write);
+      EXPECT_EQ(d->locks[i].value, snap.locks[i].value);
+    }
+
+    // Truncations and any flipped bit fail the embedded digest, closed.
+    for (std::size_t cut = 0; cut < wire.size(); cut += rng.below(9) + 1) {
+      EXPECT_FALSE(
+          kv::decode_range_snapshot(util::ByteView(wire).subspan(0, cut))
+              .has_value())
+          << "trial " << trial << " cut " << cut;
+    }
+    Bytes flipped = wire;
+    const std::size_t bit = rng.below(flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(kv::decode_range_snapshot(flipped).has_value())
+        << "trial " << trial;
+  }
 }
 
 }  // namespace
