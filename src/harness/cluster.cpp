@@ -1,6 +1,7 @@
 #include "src/harness/cluster.hpp"
 
 #include <cassert>
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -1375,6 +1376,7 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
   wc.txn_crash_txn = config.kv.txn_crash_txn;
   wc.txn_crash_records = config.kv.txn_crash_records;
   wc.txn_crash_pause = config.kv.txn_crash_pause;
+  wc.txn_crash_conflict = config.kv.txn_crash_conflict;
   w.kv_workload = std::make_unique<kv::Workload>(w.exec, *w.kv_router, wc);
 
   for (ProcessId p : all) w.muxes[p - 1]->start();
@@ -1500,8 +1502,18 @@ RunReport run_kv(World& w, const ClusterConfig& config) {
         for (const auto& [k, v] : sm.store()) {
           static constexpr char kAcct[] = "acct-";
           if (k.size() >= 5 && std::equal(kAcct, kAcct + 5, k.begin())) {
-            report.kv_txn_balance +=
-                v.empty() ? 0 : std::stoll(util::to_string(v));
+            // Account bytes are attacker-influenced in unsigned Byzantine
+            // runs: parse totally — anything that is not exactly a decimal
+            // int64 is a validity failure, never a throw out of the rollup.
+            const char* b = reinterpret_cast<const char*>(v.data());
+            const char* e = b + v.size();
+            std::int64_t bal = 0;
+            const std::from_chars_result res = std::from_chars(b, e, bal);
+            if (res.ec == std::errc{} && res.ptr == e) {
+              report.kv_txn_balance += bal;
+            } else {
+              report.validity = false;
+            }
           }
         }
       } else if (sm.store_hash() != reference->store_hash()) {

@@ -179,6 +179,10 @@ struct KvConfig {
   std::size_t txn_crash_txn = 1;
   std::size_t txn_crash_records = 0;
   sim::Time txn_crash_pause = 64;
+  /// Refuse the crash transaction's last prepare via a planted foreign
+  /// lock (kv::WorkloadConfig::txn_crash_conflict) — pins the abort-side
+  /// crash recovery.
+  bool txn_crash_conflict = false;
 };
 
 struct ClusterConfig {

@@ -24,6 +24,18 @@ inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
+// Tail section tags (see RangeSnapshot): strictly ascending on the wire,
+// each section present only when non-empty.
+constexpr std::uint8_t kTailLocks = 1;
+constexpr std::uint8_t kTailPrepareMarks = 2;
+
+/// The only statuses a TxnPrepare can produce — what a PrepareMark carries.
+bool prepare_status_valid(std::uint8_t status) {
+  const auto st = static_cast<Status>(status);
+  return st == Status::kOk || st == Status::kTxnConflict ||
+         st == Status::kTxnAborted;
+}
+
 bool valid_spec(const RangeSpec& spec) {
   if (spec.table_buckets == 0 || spec.table_buckets > kMaxTableBuckets) {
     return false;
@@ -84,9 +96,11 @@ std::uint64_t range_snapshot_digest(const RangeSnapshot& snap) {
     h = fnv1a_u64(h, static_cast<std::uint64_t>(s.reply.status));
     h = fnv1a(h, s.reply.value);
   }
-  // The locks fold only exists when locks ride along, so lock-free digests
-  // (and therefore lock-free drain bytes) are unchanged byte-for-byte.
+  // Each tail section folds under its tag and only when present, so a
+  // transaction-free digest (and therefore its drain bytes) is unchanged
+  // byte-for-byte, and section layouts cannot alias each other.
   if (!snap.locks.empty()) {
+    h = fnv1a_u64(h, kTailLocks);
     h = fnv1a_u64(h, snap.locks.size());
     for (const LockRecord& l : snap.locks) {
       h = fnv1a(h, l.key);
@@ -94,6 +108,17 @@ std::uint64_t range_snapshot_digest(const RangeSnapshot& snap) {
       h = fnv1a_u64(h, l.owner);
       h = fnv1a_u64(h, l.write);
       h = fnv1a(h, l.value);
+      h = fnv1a_u64(h, l.has_expected);
+      h = fnv1a(h, l.expected);
+    }
+  }
+  if (!snap.prepare_marks.empty()) {
+    h = fnv1a_u64(h, kTailPrepareMarks);
+    h = fnv1a_u64(h, snap.prepare_marks.size());
+    for (const PrepareMark& m : snap.prepare_marks) {
+      h = fnv1a_u64(h, m.client);
+      h = fnv1a_u64(h, m.seq);
+      h = fnv1a_u64(h, m.status);
     }
   }
   return h;
@@ -107,9 +132,14 @@ Bytes encode_range_snapshot(const RangeSnapshot& snap) {
     payload += 8 + 8 + 1 + 4 + s.reply.value.size();
   }
   for (const LockRecord& l : snap.locks) {
-    payload += 4 + l.key.size() + 8 + 8 + 1 + 4 + l.value.size();
+    payload +=
+        4 + l.key.size() + 8 + 8 + 1 + 4 + l.value.size() + 1 + 4 +
+        l.expected.size();
   }
-  if (!snap.locks.empty()) payload += 4;
+  if (!snap.locks.empty()) payload += 1 + 4;
+  if (!snap.prepare_marks.empty()) {
+    payload += 1 + 4 + 17 * snap.prepare_marks.size();
+  }
   util::Writer w(payload + 8);
   w.bytes(spec);
   w.u32(static_cast<std::uint32_t>(snap.pairs.size()));
@@ -121,13 +151,23 @@ Bytes encode_range_snapshot(const RangeSnapshot& snap) {
         .u8(static_cast<std::uint8_t>(s.reply.status))
         .bytes(s.reply.value);
   }
-  // Locks section only when locks exist: a lock-free drain stays
-  // byte-identical to the pre-transaction wire, and the decoder can tell
-  // the layouts apart by the bytes remaining before the digest.
+  // Tagged tail sections, ascending, each only when non-empty: a
+  // transaction-free drain carries no tail and stays byte-identical to the
+  // pre-transaction wire; the decoder discriminates presence by the bytes
+  // remaining before the digest and dispatches on the tag.
   if (!snap.locks.empty()) {
+    w.u8(kTailLocks);
     w.u32(static_cast<std::uint32_t>(snap.locks.size()));
     for (const LockRecord& l : snap.locks) {
       w.bytes(l.key).u64(l.txn).u64(l.owner).u8(l.write).bytes(l.value);
+      w.u8(l.has_expected).bytes(l.expected);
+    }
+  }
+  if (!snap.prepare_marks.empty()) {
+    w.u8(kTailPrepareMarks);
+    w.u32(static_cast<std::uint32_t>(snap.prepare_marks.size()));
+    for (const PrepareMark& m : snap.prepare_marks) {
+      w.u64(m.client).u64(m.seq).u8(m.status);
     }
   }
   w.u64(range_snapshot_digest(snap));
@@ -171,25 +211,56 @@ std::optional<RangeSnapshot> decode_range_snapshot(util::ByteView raw) {
       }
       snap.sessions.push_back(std::move(s));
     }
-    // Locks section, present iff more than the 8-byte digest remains. The
-    // encoder writes it only when non-empty, so presence is
-    // length-discriminated — no trial parse, and lock-free wires are
-    // byte-identical to the pre-transaction layout.
-    if (r.remaining() > 8) {
-      const std::uint32_t nlocks = r.u32();
-      if (nlocks == 0) return std::nullopt;  // empty section is non-canonical
-      // Each lock costs at least its two length prefixes + fixed fields.
-      snap.locks.reserve(std::min<std::size_t>(nlocks, r.remaining() / 25));
-      for (std::uint32_t i = 0; i < nlocks; ++i) {
-        LockRecord l;
-        l.key = r.bytes();
-        l.txn = r.u64();
-        l.owner = r.u64();
-        l.write = r.u8();
-        if (l.write < 1 || l.write > 2) return std::nullopt;
-        l.value = r.bytes();
-        if (i > 0 && l.key <= snap.locks.back().key) return std::nullopt;
-        snap.locks.push_back(std::move(l));
+    // Tagged tail sections, present iff more than the 8-byte digest
+    // remains. The encoder writes a section only when non-empty and tags
+    // ascend, so presence is length-discriminated — no trial parse — and
+    // transaction-free wires are byte-identical to the pre-tail layout.
+    std::uint8_t last_tag = 0;
+    while (r.remaining() > 8) {
+      const std::uint8_t tag = r.u8();
+      if (tag <= last_tag) return std::nullopt;  // unordered or repeated
+      last_tag = tag;
+      if (tag == kTailLocks) {
+        const std::uint32_t nlocks = r.u32();
+        if (nlocks == 0) return std::nullopt;  // empty section non-canonical
+        // Each lock costs at least its three length prefixes + fixed fields.
+        snap.locks.reserve(std::min<std::size_t>(nlocks, r.remaining() / 30));
+        for (std::uint32_t i = 0; i < nlocks; ++i) {
+          LockRecord l;
+          l.key = r.bytes();
+          l.txn = r.u64();
+          l.owner = r.u64();
+          l.write = r.u8();
+          if (l.write < 1 || l.write > 2) return std::nullopt;
+          l.value = r.bytes();
+          l.has_expected = r.u8();
+          if (l.has_expected > 1) return std::nullopt;
+          l.expected = r.bytes();
+          // Canonical form: no guard ⇒ no guard bytes.
+          if (l.has_expected == 0 && !l.expected.empty()) return std::nullopt;
+          if (i > 0 && l.key <= snap.locks.back().key) return std::nullopt;
+          snap.locks.push_back(std::move(l));
+        }
+      } else if (tag == kTailPrepareMarks) {
+        const std::uint32_t nmarks = r.u32();
+        if (nmarks == 0) return std::nullopt;  // empty section non-canonical
+        snap.prepare_marks.reserve(
+            std::min<std::size_t>(nmarks, r.remaining() / 17));
+        for (std::uint32_t i = 0; i < nmarks; ++i) {
+          PrepareMark m;
+          m.client = r.u64();
+          m.seq = r.u64();
+          m.status = r.u8();
+          if (m.seq == 0 || !prepare_status_valid(m.status)) {
+            return std::nullopt;
+          }
+          if (i > 0 && m.client <= snap.prepare_marks.back().client) {
+            return std::nullopt;
+          }
+          snap.prepare_marks.push_back(m);
+        }
+      } else {
+        return std::nullopt;  // unknown tail section
       }
     }
     claimed = r.u64();

@@ -67,20 +67,36 @@ struct LockRecord {
   ClientId owner = 0;      // coordinator session holding the lock
   std::uint8_t write = 1;  // txn::WriteKind of the pending mutation
   Bytes value;             // pending kPut payload (empty for kDel)
+  std::uint8_t has_expected = 0;  // prepare carried an optimistic guard
+  Bytes expected;                 // guard value (empty when !has_expected)
 
   bool operator==(const LockRecord&) const = default;
 };
 
+/// One session prepare mark as drained from a source machine: the seq and
+/// outcome of the client's newest TxnPrepare there. Merged by max seq at
+/// the destination (like the session records it extends), so a coordinator
+/// replaying a pre-seal prepare at the new owner reads its true outcome.
+struct PrepareMark {
+  ClientId client = 0;
+  std::uint64_t seq = 0;    // never 0 — a zero mark means "none", not drained
+  std::uint8_t status = 1;  // kv::Status of the prepare outcome
+  bool operator==(const PrepareMark&) const = default;
+};
+
 /// The drained state of a sealed range. pairs are in store (map) order,
-/// sessions in client-id order, locks in key order — canonical, so equal
-/// drains are byte-identical and the digest doubles as a fingerprint. The
-/// locks section is only encoded when non-empty, keeping lock-free drains
+/// sessions and prepare_marks in client-id order, locks in key order —
+/// canonical, so equal drains are byte-identical and the digest doubles as
+/// a fingerprint. The transaction tail (locks, prepare_marks) is encoded as
+/// tagged sections, each present only when non-empty and in ascending tag
+/// order — a transaction-free drain carries no tail at all and stays
 /// byte-identical to the pre-transaction codec.
 struct RangeSnapshot {
   RangeSpec spec;
   std::vector<std::pair<Bytes, Bytes>> pairs;
   std::vector<SessionRecord> sessions;
   std::vector<LockRecord> locks;
+  std::vector<PrepareMark> prepare_marks;
 
   bool operator==(const RangeSnapshot&) const = default;
 };

@@ -105,12 +105,23 @@ void StateMachine::apply(Slot, util::ByteView command) {
     ++duplicates_;
     // Only the newest request's reply is cached. Re-deliver it for a
     // duplicate of exactly that seq — in the closed-loop session model that
-    // is the only seq a client can still be waiting on. A *stale* duplicate
-    // (seq < last_seq) must not observe someone else's answer, so it gets
-    // an explicit kStaleDup marker instead of the cache.
+    // is the only seq a client can still be waiting on. One more seq stays
+    // answerable: the session's newest TxnPrepare keeps its outcome in the
+    // prepare mark, which decision records never overwrite — a recovering
+    // coordinator replaying its record stream re-reads that prepare's true
+    // accept/refuse outcome even after later abort records advanced
+    // last_seq on this shard (re-deriving it from kStaleDup alone would
+    // mistake a refused prepare for an accepted one and partially commit).
+    // Any *other* stale duplicate (seq < last_seq) must not observe someone
+    // else's answer, so it gets an explicit kStaleDup marker instead.
     if (sink_) {
       if (c->seq == session.last_seq) {
         sink_(c->client, c->seq, session.last_reply);
+      } else if (session.last_prepare_seq != 0 &&
+                 c->seq == session.last_prepare_seq) {
+        Reply mark;
+        mark.status = session.last_prepare_status;
+        sink_(c->client, c->seq, mark);
       } else {
         Reply stale;
         stale.status = Status::kStaleDup;
@@ -145,6 +156,14 @@ void StateMachine::apply(Slot, util::ByteView command) {
   const Reply reply = is_txn(c->op) ? apply_txn(*c) : apply_op(*c);
   session.last_seq = c->seq;
   session.last_reply = reply;
+  if (c->op == Op::kTxnPrepare) {
+    // Record the prepare mark (replicated state; see class comment). Every
+    // prepare outcome is a committed, persistable status — kOk,
+    // kTxnConflict or kTxnAborted — so caching it here is as safe as the
+    // last_reply cache it extends.
+    session.last_prepare_seq = c->seq;
+    session.last_prepare_status = reply.status;
+  }
   ++ops_applied_;
   if (sink_) sink_(c->client, c->seq, reply);
 }
@@ -209,9 +228,25 @@ Reply StateMachine::apply_txn(const Command& c) {
       const auto it = locks_.find(c.key);
       if (it != locks_.end()) {
         if (it->second.txn == rec->txn && it->second.owner == c.client) {
-          // Our own lock again — a recovery replay re-driving the prepare
-          // under a fresh seq (the cached-seq path never reaches here).
-          // Idempotent success keeps the replayed decision identical.
+          const Lock& held = it->second;
+          if (static_cast<std::uint8_t>(rec->write) != held.write ||
+              rec->value != held.value ||
+              rec->has_expected != held.has_expected ||
+              (rec->has_expected && rec->expected != held.expected)) {
+            // Same (txn, owner) but a different payload: a buggy or
+            // equivocating coordinator re-preparing with new bytes. Only a
+            // byte-identical re-prepare (a recovery replay re-driving the
+            // original record) is idempotent — refuse anything else so the
+            // held buffered write is never silently swapped, and the sender
+            // never gets success for bytes that will not commit.
+            ++txn_conflicts_;
+            r.status = Status::kTxnConflict;
+            return r;
+          }
+          // Our own lock again, byte-identical — a recovery replay
+          // re-driving the prepare under a fresh seq (the cached-seq path
+          // never reaches here). Idempotent success keeps the replayed
+          // decision identical.
           return r;
         }
         // Locked by another live transaction: refuse now, never wait. Lock
@@ -239,6 +274,8 @@ Reply StateMachine::apply_txn(const Command& c) {
       l.owner = c.client;
       l.write = static_cast<std::uint8_t>(rec->write);
       l.value = rec->value;
+      l.has_expected = rec->has_expected;
+      l.expected = rec->has_expected ? rec->expected : Bytes{};
       ++txn_prepared_;
       return r;
     }
@@ -346,6 +383,19 @@ Reply StateMachine::apply_admin(const Command& c) {
         l.owner = rec.owner;
         l.write = rec.write;
         l.value = rec.value;
+        l.has_expected = rec.has_expected != 0;
+        l.expected = rec.expected;
+      }
+      // Prepare marks merge by max seq, the same monotone rule as the
+      // session records they extend: the machine holding a client's newest
+      // prepare also holds the only prepare outcome a recovering
+      // coordinator can still replay against.
+      for (const PrepareMark& rec : snap->prepare_marks) {
+        Session& s = sessions_[rec.client];
+        if (rec.seq > s.last_prepare_seq) {
+          s.last_prepare_seq = rec.seq;
+          s.last_prepare_status = static_cast<Status>(rec.status);
+        }
       }
       for (const std::uint32_t b : snap->spec.buckets) owned_[b] = 1;
       break;
@@ -422,10 +472,37 @@ Bytes StateMachine::export_range(util::ByteView request) const {
       rec.owner = l.owner;
       rec.write = l.write;
       rec.value = l.value;
+      rec.has_expected = l.has_expected ? 1 : 0;
+      rec.expected = l.expected;
       snap.locks.push_back(std::move(rec));
     }
   }
+  // Prepare marks travel with the full session table (they extend it): a
+  // coordinator whose prepare landed pre-seal can crash and replay it at
+  // the new owner and still read the original outcome.
+  for (const auto& [client, s] : sessions_) {
+    if (s.last_prepare_seq == 0) continue;
+    PrepareMark m;
+    m.client = client;
+    m.seq = s.last_prepare_seq;
+    m.status = static_cast<std::uint8_t>(s.last_prepare_status);
+    snap.prepare_marks.push_back(m);
+  }
   return encode_range_snapshot(snap);
+}
+
+bool StateMachine::txn_active() const {
+  if (!locks_.empty() || txn_prepared_ != 0 || txn_committed_ != 0 ||
+      txn_aborted_ != 0 || txn_conflicts_ != 0 || txn_orphans_ != 0 ||
+      txn_rejected_ != 0) {
+    return true;
+  }
+  // Marks can exist with every counter zero: INSTALL imports them from a
+  // machine that applied the prepares elsewhere.
+  for (const auto& [client, s] : sessions_) {
+    if (s.last_prepare_seq != 0) return true;
+  }
+  return false;
 }
 
 std::uint64_t StateMachine::txn_fold(std::uint64_t h) const {
@@ -436,12 +513,27 @@ std::uint64_t StateMachine::txn_fold(std::uint64_t h) const {
     h = fnv1a_u64(h, l.owner);
     h = fnv1a_u64(h, l.write);
     h = fnv1a(h, l.value);
+    h = fnv1a_u64(h, l.has_expected ? 1 : 0);
+    h = fnv1a(h, l.expected);
   }
   h = fnv1a_u64(h, txn_prepared_);
   h = fnv1a_u64(h, txn_committed_);
   h = fnv1a_u64(h, txn_aborted_);
   h = fnv1a_u64(h, txn_conflicts_);
   h = fnv1a_u64(h, txn_orphans_);
+  // Prepare marks are replicated state (the duplicate path answers from
+  // them), so divergent marks must diverge the agreement hash.
+  std::uint64_t nmarks = 0;
+  for (const auto& [client, s] : sessions_) {
+    if (s.last_prepare_seq != 0) ++nmarks;
+  }
+  h = fnv1a_u64(h, nmarks);
+  for (const auto& [client, s] : sessions_) {
+    if (s.last_prepare_seq == 0) continue;
+    h = fnv1a_u64(h, client);
+    h = fnv1a_u64(h, s.last_prepare_seq);
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(s.last_prepare_status));
+  }
   return h;
 }
 
@@ -518,9 +610,21 @@ Bytes StateMachine::snapshot() const {
     w.u32(static_cast<std::uint32_t>(locks_.size()));
     for (const auto& [k, l] : locks_) {
       w.bytes(k).u64(l.txn).u64(l.owner).u8(l.write).bytes(l.value);
+      w.u8(l.has_expected ? 1 : 0).bytes(l.expected);
     }
     w.u64(txn_prepared_).u64(txn_committed_).u64(txn_aborted_);
     w.u64(txn_conflicts_).u64(txn_orphans_).u64(txn_rejected_);
+    // Prepare marks, client order (canonical — sessions_ is ordered).
+    std::uint32_t nmarks = 0;
+    for (const auto& [client, s] : sessions_) {
+      if (s.last_prepare_seq != 0) ++nmarks;
+    }
+    w.u32(nmarks);
+    for (const auto& [client, s] : sessions_) {
+      if (s.last_prepare_seq == 0) continue;
+      w.u64(client).u64(s.last_prepare_seq);
+      w.u8(static_cast<std::uint8_t>(s.last_prepare_status));
+    }
   }
   // Trailing digest: the store_hash() fold extended over the counters the
   // replicated-state hash leaves out, so the digest covers every byte an
@@ -539,7 +643,17 @@ namespace {
 struct DecodedSession {
   std::uint64_t last_seq = 0;
   Reply last_reply;
+  std::uint64_t last_prepare_seq = 0;
+  Status last_prepare_status = Status::kOk;
 };
+
+/// The only statuses a TxnPrepare can produce — what a prepare mark (or a
+/// drained PrepareMark record) may carry.
+inline bool prepare_status_valid(std::uint8_t status) {
+  const auto st = static_cast<Status>(status);
+  return st == Status::kOk || st == Status::kTxnConflict ||
+         st == Status::kTxnAborted;
+}
 
 /// Everything restore() decodes before committing any of it.
 struct DecodedSnapshot {
@@ -622,6 +736,12 @@ std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
         l.write = r.u8();
         if (l.write < 1 || l.write > 2) return std::nullopt;
         l.value = r.bytes();
+        const std::uint8_t he = r.u8();
+        if (he > 1) return std::nullopt;
+        l.has_expected = he != 0;
+        l.expected = r.bytes();
+        // Canonical form: no guard ⇒ no guard bytes.
+        if (!l.has_expected && !l.expected.empty()) return std::nullopt;
         if (!d.locks.emplace(std::move(k), std::move(l)).second) {
           return std::nullopt;
         }
@@ -632,6 +752,22 @@ std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
       d.txn_conflicts = r.u64();
       d.txn_orphans = r.u64();
       d.txn_rejected = r.u64();
+      const std::uint32_t nmarks = r.u32();
+      ClientId prev_mark_client = 0;
+      for (std::uint32_t i = 0; i < nmarks; ++i) {
+        const ClientId client = r.u64();
+        const std::uint64_t seq = r.u64();
+        const std::uint8_t status = r.u8();
+        if (i > 0 && client <= prev_mark_client) return std::nullopt;
+        prev_mark_client = client;
+        if (seq == 0 || !prepare_status_valid(status)) return std::nullopt;
+        // A mark extends an existing session record — a machine that set
+        // (or imported) one always has the session it belongs to.
+        const auto sit = d.sessions.find(client);
+        if (sit == d.sessions.end()) return std::nullopt;
+        sit->second.last_prepare_seq = seq;
+        sit->second.last_prepare_status = static_cast<Status>(status);
+      }
     }
     claimed = r.u64();
     r.expect_end();
@@ -670,12 +806,25 @@ std::optional<DecodedSnapshot> parse_snapshot(util::ByteView raw,
       h = fnv1a_u64(h, l.owner);
       h = fnv1a_u64(h, l.write);
       h = fnv1a(h, l.value);
+      h = fnv1a_u64(h, l.has_expected ? 1 : 0);
+      h = fnv1a(h, l.expected);
     }
     h = fnv1a_u64(h, d.txn_prepared);
     h = fnv1a_u64(h, d.txn_committed);
     h = fnv1a_u64(h, d.txn_aborted);
     h = fnv1a_u64(h, d.txn_conflicts);
     h = fnv1a_u64(h, d.txn_orphans);
+    std::uint64_t nmarks = 0;
+    for (const auto& [client, s] : d.sessions) {
+      if (s.last_prepare_seq != 0) ++nmarks;
+    }
+    h = fnv1a_u64(h, nmarks);
+    for (const auto& [client, s] : d.sessions) {
+      if (s.last_prepare_seq == 0) continue;
+      h = fnv1a_u64(h, client);
+      h = fnv1a_u64(h, s.last_prepare_seq);
+      h = fnv1a_u64(h, static_cast<std::uint64_t>(s.last_prepare_status));
+    }
   }
   h = fnv1a_u64(h, d.dups);
   h = fnv1a_u64(h, d.malformed);
@@ -711,6 +860,8 @@ bool StateMachine::restore(util::ByteView raw) {
     Session& dst = sessions_[client];
     dst.last_seq = s.last_seq;
     dst.last_reply = std::move(s.last_reply);
+    dst.last_prepare_seq = s.last_prepare_seq;
+    dst.last_prepare_status = s.last_prepare_status;
   }
   ops_applied_ = d->ops;
   duplicates_ = d->dups;

@@ -32,17 +32,29 @@
 // Σ per-shard ops_applied == completed client ops holds across epochs.
 //
 // Transactions (src/txn/): the machine keeps a lock table — key → (txn id,
-// owner session, buffered write). A TxnPrepare locks its key and buffers
-// the write (refused with kTxnConflict when the key is locked by another
-// transaction or the prepare's optimistic guard misses — deterministic and
-// no-wait, so replicas cannot diverge on lock wait order); TxnCommit applies
-// the buffered write and releases; TxnAbort releases. Plain writes on a
-// locked key also get kTxnConflict; GETs read committed state. Txn records
-// are ordinary keyed client ops everywhere else: they count in
-// ops_applied(), advance their session (so a coordinator's recovery replay
-// deduplicates), bounce on sealed buckets, and the lock table travels in
-// snapshot(), export_range() and INSTALL — a transaction straddling a live
-// reshard or a crash-and-rejoin commits or aborts exactly once.
+// owner session, buffered write + its guard). A TxnPrepare locks its key
+// and buffers the write (refused with kTxnConflict when the key is locked
+// by another transaction or the prepare's optimistic guard misses —
+// deterministic and no-wait, so replicas cannot diverge on lock wait
+// order); TxnCommit applies the buffered write and releases; TxnAbort
+// releases. Plain writes on a locked key also get kTxnConflict; GETs read
+// committed state. Txn records are ordinary keyed client ops everywhere
+// else: they count in ops_applied(), advance their session (so a
+// coordinator's recovery replay deduplicates), bounce on sealed buckets,
+// and the lock table travels in snapshot(), export_range() and INSTALL — a
+// transaction straddling a live reshard or a crash-and-rejoin commits or
+// aborts exactly once.
+//
+// On top of the (last seq, cached reply) record, each session keeps a
+// *prepare mark*: the seq and outcome of the newest TxnPrepare it applied.
+// Decision records advance last_seq but never touch the mark, so when a
+// recovering coordinator replays a prepare whose seq fell behind last_seq
+// (an abort for an earlier key landed on the same shard before the crash),
+// the duplicate path still re-delivers the prepare's true accept/refuse
+// outcome instead of an ambiguous kStaleDup — the replayed decision is
+// guaranteed to equal the crashed attempt's (see txn::Coordinator). The
+// mark is replicated state: hashed, snapshotted, drained and merged (by max
+// seq) exactly like the session record it extends.
 //
 // The reply sink is how the co-located router learns outcomes: every replica
 // applies every command, each calls the sink, and the router keeps the first
@@ -182,12 +194,17 @@ class StateMachine : public smr::StateMachine {
   std::uint64_t last_seq(ClientId c) const;
 
   /// One held transaction lock: the pending write buffered at prepare,
-  /// applied on commit, discarded on abort.
+  /// applied on commit, discarded on abort. The guard fields record the
+  /// prepare's full payload so a re-prepare by the same (txn, owner) is
+  /// idempotent only when byte-identical — an equivocating coordinator
+  /// re-preparing with different bytes is refused, never silently merged.
   struct Lock {
     std::uint64_t txn = 0;
     ClientId owner = 0;      // coordinator session that prepared it
     std::uint8_t write = 1;  // txn::WriteKind of the buffered mutation
     Bytes value;             // pending kPut payload (empty for kDel)
+    bool has_expected = false;  // optimistic guard carried by the prepare
+    Bytes expected;             // guard value (empty when !has_expected)
   };
 
   const std::map<Bytes, Lock>& locks() const { return locks_; }
@@ -209,19 +226,22 @@ class StateMachine : public smr::StateMachine {
   struct Session {
     std::uint64_t last_seq = 0;
     Reply last_reply;
+    // Prepare mark (see class comment): seq + outcome of the newest
+    // TxnPrepare this session applied. 0 = no prepare ever applied.
+    // Decisions never overwrite it, so a replayed prepare's outcome
+    // survives later same-session records on this shard.
+    std::uint64_t last_prepare_seq = 0;
+    Status last_prepare_status = Status::kOk;
   };
 
   Reply apply_op(const Command& c);
   Reply apply_admin(const Command& c);
   Reply apply_txn(const Command& c);
-  /// True once any transaction state exists. Gates the txn hash fold and
-  /// the snapshot txn section, keeping transaction-free runs byte-identical
-  /// to the pre-transaction build.
-  bool txn_active() const {
-    return !locks_.empty() || txn_prepared_ != 0 || txn_committed_ != 0 ||
-           txn_aborted_ != 0 || txn_conflicts_ != 0 || txn_orphans_ != 0 ||
-           txn_rejected_ != 0;
-  }
+  /// True once any transaction state exists — counters, live locks, or a
+  /// session prepare mark (marks can arrive alone via INSTALL). Gates the
+  /// txn hash fold and the snapshot txn section, keeping transaction-free
+  /// runs byte-identical to the pre-transaction build.
+  bool txn_active() const;
   std::uint64_t txn_fold(std::uint64_t h) const;
   /// Signature check for a decoded command (signing enabled only): true iff
   /// the wire carried a signature, the claimed client id maps to a signer

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 #include <cmath>
 #include <string>
 
@@ -15,10 +16,17 @@ Bytes account_key(std::size_t i) {
   return util::to_bytes("acct-" + std::to_string(i));
 }
 
-/// Balances are decimal int64 strings; an absent key is balance 0.
+/// Balances are decimal int64 strings; an absent key is balance 0. In an
+/// unsigned Byzantine run a hostile proposer can plant arbitrary bytes in
+/// an account, so the parse is total: unparsable (or >64-bit) bytes read as
+/// 0 instead of throwing out of the client loop — the harness's balance
+/// rollup separately fails validity on such values.
 std::int64_t parse_balance(const Bytes& raw) {
-  if (raw.empty()) return 0;
-  return std::stoll(util::to_string(raw));
+  const char* begin = reinterpret_cast<const char*>(raw.data());
+  const char* end = begin + raw.size();
+  std::int64_t v = 0;
+  const std::from_chars_result res = std::from_chars(begin, end, v);
+  return (res.ec == std::errc{} && res.ptr == end) ? v : 0;
 }
 
 }  // namespace
@@ -212,6 +220,25 @@ sim::Task<void> Workload::run_txn(Workload* self, Client& c) {
 
   const bool crash_here = self->config_.txn_crash_client == c.id &&
                           c.txns_started == self->config_.txn_crash_txn;
+  // Foreign txn id for the scripted conflict: top bit set, which no
+  // coordinator-generated (client << 24 | ordinal) id ever carries.
+  const txn::TxnId blocker_txn = id | (std::uint64_t{1} << 63);
+  if (crash_here && self->config_.txn_crash_conflict) {
+    // Pre-lock the crash transaction's last key from a separate session so
+    // its final prepare is refused (see WorkloadConfig::txn_crash_conflict).
+    // The prepare is an ordinary counted client op; it applies exactly once.
+    if (self->blocker_ == 0) self->blocker_ = self->router_->register_client();
+    txn::PrepareRecord pr;
+    pr.txn = blocker_txn;
+    pr.write = txn::WriteKind::kPut;
+    pr.value = read_raw.back();
+    Command block;
+    block.op = Op::kTxnPrepare;
+    block.key = writes.back().key;
+    block.value = txn::encode_prepare(pr);
+    (void)co_await self->router_->execute(self->blocker_, block);
+    ++self->stats_.ops;
+  }
   txn::TxnReport rep = co_await self->coordinator_->run(
       c.id, id, writes,
       crash_here ? self->config_.txn_crash_records : txn::kNoCrash);
@@ -228,6 +255,18 @@ sim::Task<void> Workload::run_txn(Workload* self, Client& c) {
     self->stats_.ops += rec.fresh_records;
     ++self->stats_.txn_recoveries;
     rep = rec;
+    if (self->config_.txn_crash_conflict) {
+      // Release the planted lock so the run ends with zero residual locks —
+      // the harness atomicity check counts every held lock as a failure.
+      txn::DecisionRecord dr;
+      dr.txn = blocker_txn;
+      Command release;
+      release.op = Op::kTxnAbort;
+      release.key = writes.back().key;
+      release.value = txn::encode_decision(dr);
+      (void)co_await self->router_->execute(self->blocker_, release);
+      ++self->stats_.ops;
+    }
   }
   ++self->stats_.txns;
   self->stats_.last_reply_at = self->exec_->now();

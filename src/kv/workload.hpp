@@ -92,6 +92,13 @@ struct WorkloadConfig {
   std::size_t txn_crash_txn = 1;
   std::size_t txn_crash_records = 0;
   sim::Time txn_crash_pause = 64;
+  /// Force the crash transaction's *last* prepare to be refused: a separate
+  /// blocker session pre-locks that key under a foreign txn id just before
+  /// the crash attempt, and releases it after recovery. This pins the
+  /// abort-side replay — prepares accepted, one refused, abort records
+  /// racing the crash — the window where recovery must re-read the refusal
+  /// from the participant's prepare mark rather than guess from kStaleDup.
+  bool txn_crash_conflict = false;
 };
 
 struct WorkloadStats {
@@ -166,6 +173,10 @@ class Workload {
   std::size_t finished_ = 0;
   WorkloadStats stats_;
   bool started_ = false;
+  /// Lazily-registered session for txn_crash_conflict's planted lock —
+  /// separate from every workload client so the conflict is a genuinely
+  /// foreign transaction.
+  ClientId blocker_ = 0;
 };
 
 }  // namespace mnm::kv

@@ -68,9 +68,12 @@ sim::Task<TxnReport> Coordinator::drive(kv::ClientId client, TxnId txn,
     if (!replay || pos >= completed) ++rep.fresh_records;
     ++pos;
     rep.records = pos;
-    // kStaleDup only appears in replay: a *newer* record for this key's
-    // shard exists, and the coordinator only ever sent one after this
-    // prepare was accepted — so a stale-dup marker proves acceptance.
+    // Replayed prepares always read their true outcome: a prepare behind
+    // the session cache re-delivers from the participant's prepare mark
+    // (kOk / kTxnConflict / kTxnAborted, whatever it originally was), so
+    // kStaleDup can only mean a *newer prepare* of this session exists on
+    // that shard — which the coordinator only sent after this one was
+    // accepted. See the file comment in coordinator.hpp.
     if (reply.status == kv::Status::kOk ||
         reply.status == kv::Status::kStaleDup) {
       ++prepared;

@@ -27,13 +27,26 @@
 // report carries the first record's session seq. recover() then re-drives
 // the *identical* record stream under the *same* (client, seq) pairs via
 // Router::execute_replay. Records the crashed attempt completed hit the
-// participants' session dedup — the newest record per shard re-delivers its
-// cached reply, older ones come back kStaleDup, which itself proves the
-// prepare succeeded (the coordinator only sends a later record for a key
-// after its prepare was accepted) — so the replayed control flow re-derives
-// the original decision from participant state alone; records past the
-// crash point apply fresh. Either way every lock is released and the
-// transaction commits everywhere or aborts everywhere, exactly once.
+// participants' session dedup: the newest record per shard re-delivers its
+// cached reply, and a prepare that fell behind it re-delivers from the
+// session's *prepare mark* — each kv::StateMachine session remembers the
+// seq and outcome of its newest TxnPrepare, and decision records never
+// overwrite that mark — so a replayed prepare always reads its true
+// accept/refuse outcome. (kStaleDup alone would be ambiguous: a REFUSED
+// prepare's shard can see a later abort record for an earlier key of the
+// same transaction, and inferring acceptance from staleness would turn
+// that abort into a partial commit.) A kStaleDup can therefore only mean a
+// *newer prepare* of this session exists on that shard — possible only
+// after this prepare was accepted and the coordinator moved on — so the
+// replayed control flow re-derives exactly the original decision from
+// participant state alone; records past the crash point apply fresh.
+// Either way every lock is released and the transaction commits everywhere
+// or aborts everywhere, exactly once.
+//
+// The mark covers one prepare per (session, shard) — the newest — which is
+// why a crashed transaction must be recovered on its session before that
+// session issues any new prepares (the closed-loop workload does exactly
+// that; nothing enforces it for arbitrary callers).
 
 #pragma once
 

@@ -156,6 +156,98 @@ TEST(TxnStateMachine, ConflictingPrepareRefusedOwnPrepareIdempotent) {
   EXPECT_EQ(m.sm.txn_aborted(), 1u);
 }
 
+TEST(TxnStateMachine, ReprepareWithDifferentPayloadRefused) {
+  // Idempotent re-prepare is byte-identical re-prepare only: the same
+  // (txn, owner) sending a different value, write kind or guard must be
+  // refused, with the originally buffered write untouched — success here
+  // would let an equivocating coordinator swap bytes under a held lock.
+  Machine m;
+  const Bytes key = to_bytes("acct-7");
+  EXPECT_EQ(m.apply(0, cmd_bytes(Op::kTxnPrepare, 1, 1, key,
+                                 prepare_bytes(7, to_bytes("a")))).status,
+            Status::kOk);
+
+  // Different value.
+  EXPECT_EQ(m.apply(1, cmd_bytes(Op::kTxnPrepare, 1, 2, key,
+                                 prepare_bytes(7, to_bytes("b")))).status,
+            Status::kTxnConflict);
+  // Different write kind.
+  EXPECT_EQ(m.apply(2, cmd_bytes(Op::kTxnPrepare, 1, 3, key,
+                                 prepare_bytes(7, Bytes{},
+                                               txn::WriteKind::kDel))).status,
+            Status::kTxnConflict);
+  // Same value but a guard appears.
+  EXPECT_EQ(m.apply(3, cmd_bytes(Op::kTxnPrepare, 1, 4, key,
+                                 prepare_bytes(7, to_bytes("a"),
+                                               txn::WriteKind::kPut,
+                                               /*has_expected=*/true,
+                                               Bytes{}))).status,
+            Status::kTxnConflict);
+  EXPECT_EQ(m.sm.txn_conflicts(), 3u);
+
+  // The byte-identical re-prepare is still idempotent, and the commit
+  // applies the *original* buffered write.
+  EXPECT_EQ(m.apply(4, cmd_bytes(Op::kTxnPrepare, 1, 5, key,
+                                 prepare_bytes(7, to_bytes("a")))).status,
+            Status::kOk);
+  EXPECT_EQ(m.sm.locks_held(), 1u);
+  EXPECT_EQ(m.apply(5, cmd_bytes(Op::kTxnCommit, 1, 6, key,
+                                 decision_bytes(7))).status,
+            Status::kOk);
+  EXPECT_EQ(m.sm.store().at(key), to_bytes("a"));
+}
+
+TEST(TxnStateMachine, PrepareMarkRedeliversRefusalAfterLaterAbort) {
+  // The recovery-ambiguity window: coordinator session 9 prepares key "a"
+  // (accepted), prepares key "c" (refused — a foreign lock holds it), then
+  // an abort for "a" lands on the same machine and advances the session
+  // cache past the refused prepare. A replay of that prepare must re-read
+  // the *refusal* from the prepare mark — a bare kStaleDup here is what
+  // used to turn this abort into a partial commit.
+  Machine m;
+  const Bytes a = to_bytes("acct-a");
+  const Bytes c = to_bytes("acct-c");
+  // Foreign lock on "c" (txn 5, session 8).
+  ASSERT_EQ(m.apply(0, cmd_bytes(Op::kTxnPrepare, 8, 1, c,
+                                 prepare_bytes(5, to_bytes("x")))).status,
+            Status::kOk);
+  // Session 9, txn 7: prepare "a" accepted, prepare "c" refused, abort "a".
+  ASSERT_EQ(m.apply(1, cmd_bytes(Op::kTxnPrepare, 9, 1, a,
+                                 prepare_bytes(7, to_bytes("1")))).status,
+            Status::kOk);
+  ASSERT_EQ(m.apply(2, cmd_bytes(Op::kTxnPrepare, 9, 2, c,
+                                 prepare_bytes(7, to_bytes("2")))).status,
+            Status::kTxnConflict);
+  ASSERT_EQ(m.apply(3, cmd_bytes(Op::kTxnAbort, 9, 3, a,
+                                 decision_bytes(7))).status,
+            Status::kOk);
+
+  // Replay of the refused prepare (seq 2 < last_seq 3): the mark answers
+  // with the recorded refusal, not kStaleDup.
+  EXPECT_EQ(m.apply(4, cmd_bytes(Op::kTxnPrepare, 9, 2, c,
+                                 prepare_bytes(7, to_bytes("2")))).status,
+            Status::kTxnConflict);
+  // Replay of the *accepted* prepare (seq 1, older than the mark): plain
+  // kStaleDup — which now really does imply acceptance, since only an
+  // accepted prepare is ever followed by a newer one.
+  EXPECT_EQ(m.apply(5, cmd_bytes(Op::kTxnPrepare, 9, 1, a,
+                                 prepare_bytes(7, to_bytes("1")))).status,
+            Status::kStaleDup);
+  // Replays are duplicates: no state moved, nothing double-counted.
+  EXPECT_EQ(m.sm.duplicates_suppressed(), 2u);
+  EXPECT_EQ(m.sm.txn_conflicts(), 1u);
+
+  // The mark is replicated state: it survives a snapshot round trip and
+  // still answers the replay on the restored machine.
+  const Bytes snap = m.sm.snapshot();
+  Machine b;
+  ASSERT_TRUE(b.sm.restore(snap));
+  EXPECT_EQ(b.sm.store_hash(), m.sm.store_hash());
+  EXPECT_EQ(b.apply(0, cmd_bytes(Op::kTxnPrepare, 9, 2, c,
+                                 prepare_bytes(7, to_bytes("2")))).status,
+            Status::kTxnConflict);
+}
+
 TEST(TxnStateMachine, OptimisticGuardRefusesOnChangedValue) {
   Machine m;
   const Bytes key = to_bytes("acct-2");
@@ -323,6 +415,16 @@ TEST(TxnStateMachine, LocksMigrateWithTheDrainedRange) {
   ASSERT_EQ(snap->locks.size(), 1u);
   EXPECT_EQ(snap->locks[0].key, moving);
   EXPECT_EQ(snap->locks[0].txn, 6u);
+  // The guard travels with the lock, and the prepare mark travels with the
+  // session table — a coordinator replaying this prepare at the new owner
+  // must read its original outcome there.
+  EXPECT_EQ(snap->locks[0].has_expected, 1u);
+  EXPECT_EQ(snap->locks[0].expected, to_bytes("30"));
+  ASSERT_EQ(snap->prepare_marks.size(), 1u);
+  EXPECT_EQ(snap->prepare_marks[0].client, 2u);
+  EXPECT_EQ(snap->prepare_marks[0].seq, 1u);
+  EXPECT_EQ(snap->prepare_marks[0].status,
+            static_cast<std::uint8_t>(Status::kOk));
 
   Command install;
   install.op = Op::kInstall;
@@ -427,6 +529,32 @@ TEST(TxnCluster, CoordinatorCrashAfterPrepareRecoversExactlyOnce) {
       << "the scripted crash must have happened and recovered: "
       << r.summary();
   EXPECT_GT(r.kv_txns, 0u);
+}
+
+TEST(TxnCluster, CoordinatorCrashWithRefusedPrepareRecoversAbort) {
+  // The reviewer's partial-commit window, end to end: a 3-account transfer
+  // whose *last* prepare is refused (a planted foreign lock), crashing
+  // after the first abort record already landed on the refused prepare's
+  // shard. The recovery replay sees that prepare behind the session cache;
+  // it must re-read the refusal from the prepare mark and drive the abort
+  // side — inferring acceptance from kStaleDup would decide commit and
+  // apply the middle account's credit without the first account's debit.
+  // Single shard makes the collision certain: every record shares one
+  // session on one machine.
+  harness::ClusterConfig c = txn_config(1, 6, 12);
+  c.kv.txn_fraction = 0.5;
+  c.kv.txn_accounts = 3;
+  c.kv.txn_crash_client = 1;
+  c.kv.txn_crash_txn = 1;
+  c.kv.txn_crash_records = 4;  // 3 prepares + the first abort
+  c.kv.txn_crash_conflict = true;
+  c.kv.txn_crash_pause = 200;
+  const harness::RunReport r = run_cluster(c);
+  EXPECT_TRUE(r.all_ok()) << r.summary();
+  expect_atomic(r);
+  EXPECT_EQ(r.kv_txn_recoveries, 1u) << r.summary();
+  EXPECT_GT(r.kv_txn_aborts, 0u)
+      << "the crashed transfer must resolve as a full abort: " << r.summary();
 }
 
 TEST(TxnCluster, ParticipantLeaderCrashMidTransactions) {

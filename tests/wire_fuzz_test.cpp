@@ -1183,19 +1183,24 @@ TEST(WireFuzz, RangeSnapshotWithLocksRoundTripsAndFailsClosed) {
       l.owner = rng.below(8) + 1;
       l.write = rng.chance(0.5) ? 1 : 2;
       l.value = random_bytes(rng, rng.below(16));
+      l.has_expected = rng.chance(0.5) ? 1 : 0;
+      if (l.has_expected != 0) l.expected = random_bytes(rng, rng.below(16));
       snap.locks.push_back(std::move(l));
+    }
+    // Prepare marks ride as their own tail section, sometimes absent.
+    const std::size_t marks = rng.below(3);
+    for (std::size_t i = 0; i < marks; ++i) {
+      kv::PrepareMark pm;
+      pm.client = i + 1;  // ascending by construction
+      pm.seq = rng.below(64) + 1;
+      pm.status = static_cast<std::uint8_t>(
+          rng.chance(0.5) ? kv::Status::kOk : kv::Status::kTxnConflict);
+      snap.prepare_marks.push_back(pm);
     }
     const Bytes wire = kv::encode_range_snapshot(snap);
     const auto d = kv::decode_range_snapshot(wire);
     ASSERT_TRUE(d.has_value()) << "trial " << trial;
-    ASSERT_EQ(d->locks.size(), snap.locks.size());
-    for (std::size_t i = 0; i < snap.locks.size(); ++i) {
-      EXPECT_EQ(d->locks[i].key, snap.locks[i].key);
-      EXPECT_EQ(d->locks[i].txn, snap.locks[i].txn);
-      EXPECT_EQ(d->locks[i].owner, snap.locks[i].owner);
-      EXPECT_EQ(d->locks[i].write, snap.locks[i].write);
-      EXPECT_EQ(d->locks[i].value, snap.locks[i].value);
-    }
+    EXPECT_EQ(*d, snap) << "trial " << trial;
 
     // Truncations and any flipped bit fail the embedded digest, closed.
     for (std::size_t cut = 0; cut < wire.size(); cut += rng.below(9) + 1) {
@@ -1209,6 +1214,81 @@ TEST(WireFuzz, RangeSnapshotWithLocksRoundTripsAndFailsClosed) {
     flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
     EXPECT_FALSE(kv::decode_range_snapshot(flipped).has_value())
         << "trial " << trial;
+  }
+}
+
+TEST(WireFuzz, RangeSnapshotTailSectionsRejectNonCanonicalForms) {
+  // Structural validators on the tagged tail fire before the digest check,
+  // so these malformed forms must reject even with a consistent digest.
+  kv::RangeSnapshot base;
+  base.spec.epoch = 1;
+  base.spec.table_buckets = 4;
+  base.spec.buckets = {2};
+
+  // Unordered prepare marks (the encoder writes whatever it is given; the
+  // decoder enforces ascending clients).
+  kv::RangeSnapshot unordered = base;
+  unordered.prepare_marks.push_back({2, 5, 1});
+  unordered.prepare_marks.push_back({1, 6, 1});
+  EXPECT_FALSE(
+      kv::decode_range_snapshot(kv::encode_range_snapshot(unordered))
+          .has_value());
+
+  // A zero-seq mark means "no mark" and is never drained.
+  kv::RangeSnapshot zero_seq = base;
+  zero_seq.prepare_marks.push_back({1, 0, 1});
+  EXPECT_FALSE(
+      kv::decode_range_snapshot(kv::encode_range_snapshot(zero_seq))
+          .has_value());
+
+  // Marks carry prepare outcomes only — a kStaleDup (non-persistable
+  // marker) can never be one.
+  kv::RangeSnapshot bad_status = base;
+  bad_status.prepare_marks.push_back(
+      {1, 3, static_cast<std::uint8_t>(kv::Status::kStaleDup)});
+  EXPECT_FALSE(
+      kv::decode_range_snapshot(kv::encode_range_snapshot(bad_status))
+          .has_value());
+
+  // Guard bytes without the guard flag are non-canonical.
+  kv::RangeSnapshot stray_guard = base;
+  {
+    kv::LockRecord l;
+    l.key = to_bytes("lk");
+    l.txn = 7;
+    l.owner = 1;
+    l.write = 1;
+    l.has_expected = 0;
+    l.expected = to_bytes("stray");
+    stray_guard.locks.push_back(std::move(l));
+  }
+  EXPECT_FALSE(
+      kv::decode_range_snapshot(kv::encode_range_snapshot(stray_guard))
+          .has_value());
+
+  // Unknown or repeated tail tags reject regardless of the digest bytes:
+  // splice extra sections into an otherwise valid wire.
+  kv::RangeSnapshot marked = base;
+  marked.prepare_marks.push_back({1, 3, 1});
+  const Bytes wire = kv::encode_range_snapshot(marked);
+  const Bytes no_tail_wire = kv::encode_range_snapshot(base);
+  // Duplicate the marks section (tag 2 twice: not ascending).
+  {
+    const std::size_t tail = wire.size() - 8;          // digest offset
+    const std::size_t head = no_tail_wire.size() - 8;  // tail-free prefix
+    Bytes doubled(wire.begin(), wire.begin() + tail);
+    doubled.insert(doubled.end(), wire.begin() + head, wire.begin() + tail);
+    doubled.insert(doubled.end(), wire.begin() + tail, wire.end());
+    EXPECT_FALSE(kv::decode_range_snapshot(doubled).has_value());
+  }
+  // Unknown tag 3 with enough bytes behind it to look like a section.
+  {
+    Bytes junk_tag(no_tail_wire.begin(), no_tail_wire.end() - 8);
+    junk_tag.push_back(3);
+    for (int i = 0; i < 12; ++i) junk_tag.push_back(0);
+    junk_tag.insert(junk_tag.end(), no_tail_wire.end() - 8,
+                    no_tail_wire.end());
+    EXPECT_FALSE(kv::decode_range_snapshot(junk_tag).has_value());
   }
 }
 
